@@ -1,0 +1,38 @@
+// Ablation: the two factorization orders for two-level scales discussed in
+// Sec. 4.4 — Eq. 7's "vector-first" (compute per-vector fp scales, then
+// factor) vs "channel-first" (fix the coarse scale from the channel amax,
+// back-calculate integer vector scales). Measures resulting quantization
+// SQNR across scale bitwidths.
+#include "bench_common.h"
+#include "quant/two_level.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace vsq;
+  bench::print_header("Ablation — two-level factorization order (Sec. 4.4)",
+                      "Sec. 4.4 discussion");
+
+  Rng rng(21);
+  Tensor x(Shape{64, 256});
+  for (auto& v : x.span()) v = static_cast<float>(rng.laplace(0.5));
+  const QuantFormat fmt{4, true};
+  const VectorLayout layout{256, 16, 0};
+
+  const ScaleSet fp = compute_scales(x, Granularity::kPerVector, layout, fmt);
+  const double sqnr_fp = sqnr_db(x, fake_quantize(x, fp, fmt));
+
+  Table t({"Scale bits M", "vector-first (Eq. 7) SQNR dB", "channel-first SQNR dB",
+           "fp32-scale SQNR dB"});
+  for (const int m : {3, 4, 6, 8, 10}) {
+    const QuantFormat sf{m, false};
+    const TwoLevelScales vf = two_level_from_scales(fp, sf, CoarseAxis::kPerRow);
+    const TwoLevelScales cf = two_level_channel_first(x, fmt, sf, layout, CoarseAxis::kPerRow);
+    t.add_row({std::to_string(m),
+               Table::num(sqnr_db(x, fake_quantize(x, vf.to_scale_set(), fmt)), 2),
+               Table::num(sqnr_db(x, fake_quantize(x, cf.to_scale_set(), fmt)), 2),
+               Table::num(sqnr_fp, 2)});
+  }
+  bench::emit(t, "ablation_two_level_order.tsv");
+  return 0;
+}

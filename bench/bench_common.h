@@ -1,0 +1,124 @@
+// Shared scaffolding for the table/figure bench binaries.
+#pragma once
+
+#include <iostream>
+
+#include "exp/experiment_context.h"
+#include "exp/ptq.h"
+#include "util/svg.h"
+#include "util/table.h"
+
+namespace vsq::bench {
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::cout << "\n=== " << title << " ===\n"
+            << "Reproduces: " << paper_ref << "\n"
+            << "(substituted models/datasets per DESIGN.md §1; compare shapes, "
+               "not absolute values)\n\n";
+}
+
+inline void emit(const Table& t, const std::string& tsv_name) {
+  t.print(std::cout);
+  const std::string path = artifacts_dir() + "/" + tsv_name;
+  t.write_tsv(path);
+  std::cout << "\n[written " << path << "]\n";
+}
+
+}  // namespace vsq::bench
+
+#include "hw/design_space.h"
+
+namespace vsq::bench {
+
+// Shared driver for the Figure 4/5/6 design-space scatters: joins modeled
+// energy/area with measured PTQ accuracy, assigns the paper's accuracy
+// bands (relative to the fp32 baseline), and flags per-band Pareto points.
+// Returns all points above the loosest band for reuse (Figure 7).
+inline std::vector<DesignPoint> run_design_space(
+    ModelKind kind, PtqRunner& ptq, double fp32_baseline,
+    const std::vector<double>& band_deltas,  // e.g. {0.6, 1.2, 1.8, 2.4}
+    const std::string& tsv_name) {
+  EnergyModel em;
+  AreaModel am;
+  std::vector<DesignPoint> pts =
+      evaluate_design_points(design_space_configs(kind), em, am);
+
+  for (DesignPoint& p : pts) {
+    const QuantSpec w = p.mac.weight_spec();
+    const QuantSpec a = p.mac.act_spec();
+    p.accuracy = kind == ModelKind::kResNet
+                     ? ptq.resnet_accuracy(w, a)
+                     : ptq.bert_accuracy(kind == ModelKind::kBertLarge, w, a);
+  }
+
+  const double floor = fp32_baseline - band_deltas.back();
+  std::vector<DesignPoint> visible;
+  for (const DesignPoint& p : pts) {
+    if (p.accuracy >= floor) visible.push_back(p);
+  }
+  const auto band_of = [&](double acc) {
+    for (std::size_t b = 0; b < band_deltas.size(); ++b) {
+      if (acc >= fp32_baseline - band_deltas[b]) return static_cast<int>(b);
+    }
+    return static_cast<int>(band_deltas.size()) - 1;
+  };
+
+  Table t({"Config", "Granularity", "Energy/op", "Perf/Area", "Area", "Accuracy", "Band",
+           "Pareto"});
+  for (int b = 0; b < static_cast<int>(band_deltas.size()); ++b) {
+    std::vector<DesignPoint> in_band;
+    for (const DesignPoint& p : visible) {
+      if (band_of(p.accuracy) == b) in_band.push_back(p);
+    }
+    const std::vector<DesignPoint> front = pareto_front(in_band);
+    const auto on_front = [&](const DesignPoint& p) {
+      for (const DesignPoint& f : front) {
+        if (f.label() == p.label()) return true;
+      }
+      return false;
+    };
+    for (const DesignPoint& p : in_band) {
+      t.add_row({p.label(), p.mac.granularity_label(), Table::num(p.energy, 3),
+                 Table::num(p.perf_per_area, 3), Table::num(p.area, 3),
+                 Table::num(p.accuracy), ">" + Table::num(fp32_baseline - band_deltas[b], 1),
+                 on_front(p) ? "*" : ""});
+    }
+  }
+  emit(t, tsv_name);
+
+  // The same points as an SVG scatter in the paper's layout: energy/op on
+  // x, perf/area on y, one series per accuracy band (color + marker shape),
+  // filled markers = band-Pareto (upper-left optimal).
+  PlotOptions opt;
+  opt.title = tsv_name.substr(0, tsv_name.find('.')) + " design space (normalized to 8/8/-/-)";
+  opt.x_label = "Energy per op (relative)";
+  opt.y_label = "Performance per area (relative)";
+  opt.point_labels = true;
+  ScatterPlot plot(opt);
+  const Marker band_markers[] = {Marker::kCircle, Marker::kSquare, Marker::kDiamond,
+                                 Marker::kTriangle};
+  for (int b = 0; b < static_cast<int>(band_deltas.size()); ++b) {
+    auto& series = plot.add_series(
+        "acc > " + Table::num(fp32_baseline - band_deltas[static_cast<std::size_t>(b)], 1),
+        svg::palette()[static_cast<std::size_t>(b) % svg::palette().size()],
+        band_markers[b % 4]);
+    std::vector<DesignPoint> in_band;
+    for (const DesignPoint& p : visible) {
+      if (band_of(p.accuracy) == b) in_band.push_back(p);
+    }
+    const std::vector<DesignPoint> front = pareto_front(in_band);
+    for (const DesignPoint& p : in_band) {
+      bool filled = false;
+      for (const DesignPoint& f : front) {
+        if (f.label() == p.label()) filled = true;
+      }
+      series.points.push_back({p.energy, p.perf_per_area, filled, filled ? p.label() : ""});
+    }
+  }
+  const std::string svg_path =
+      artifacts_dir() + "/" + tsv_name.substr(0, tsv_name.find('.')) + ".svg";
+  if (plot.write(svg_path)) std::cout << "[written " << svg_path << "]\n";
+  return visible;
+}
+
+}  // namespace vsq::bench

@@ -1,0 +1,56 @@
+// Extension bench: map the two model families onto the chip-level
+// accelerator model and report per-layer cycles, utilization and the
+// op-weighted energy/op — the methodology behind the paper's Sec. 6
+// energy numbers ("averaged over layers, weighted by the number of
+// operations in each layer"), made visible per layer.
+#include "bench_common.h"
+#include "hw/chip.h"
+#include "models/zoo.h"
+
+int main() {
+  using namespace vsq;
+  bench::print_header("Chip mapping report — per-layer cycles/utilization/energy",
+                      "Sec. 6 methodology (extension)");
+
+  ModelZoo zoo(artifacts_dir());
+  auto model = zoo.resnet();
+  // One inference batch records each layer's GEMM dims.
+  model->forward(zoo.image_test().batch_images(0, 32), false);
+
+  const auto report_for = [&](const MacConfig& mac, const char* label) {
+    ChipConfig cc;
+    cc.mac = mac;
+    const Chip chip(cc);
+    const ChipReport r = chip.map_model(model->gemms());
+    std::cout << "\n-- ResNetV on " << label << " (" << mac.str() << ") --\n";
+    Table t({"Layer", "MACs", "Cycles", "Utilization", "Energy (norm units)"});
+    for (const LayerMapping& m : r.layers) {
+      t.add_row({m.name, std::to_string(m.macs), std::to_string(m.cycles),
+                 Table::num(m.utilization, 3), Table::num(m.energy / 1e6, 3)});
+    }
+    t.print(std::cout);
+    std::cout << "total cycles " << r.total_cycles << ", op-weighted energy/op "
+              << Table::num(r.weighted_energy_per_op, 3) << ", mean utilization "
+              << Table::num(r.mean_utilization, 3) << "\n";
+    return r;
+  };
+
+  MacConfig base;  // 8/8/-/-
+  const ChipReport rb = report_for(base, "baseline PE");
+  MacConfig vs;
+  vs.wt_bits = 4;
+  vs.act_bits = 4;
+  vs.wt_scale_bits = 4;
+  vs.act_scale_bits = 4;
+  const ChipReport rv = report_for(vs, "VS-Quant PE");
+
+  Table s({"Config", "Total cycles", "Weighted energy/op", "Energy vs baseline"});
+  s.add_row({base.str(), std::to_string(rb.total_cycles),
+             Table::num(rb.weighted_energy_per_op, 3), "1.00"});
+  s.add_row({vs.str(), std::to_string(rv.total_cycles),
+             Table::num(rv.weighted_energy_per_op, 3),
+             Table::num(rv.weighted_energy_per_op / rb.weighted_energy_per_op, 3)});
+  std::cout << '\n';
+  bench::emit(s, "chip_report.tsv");
+  return 0;
+}

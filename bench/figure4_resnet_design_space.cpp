@@ -1,0 +1,18 @@
+// Figure 4: ResNet design space — energy/op (x), performance per area (y),
+// accuracy (bands). Full-bitwidth scale products, as in the paper's Sec. 6.
+// Paper shape: VS-Quant points dominate the per-channel baselines within
+// each accuracy band; e.g. a 4-bit-weight PVWO point wins the band just
+// below fp32 with large energy+area savings.
+#include "bench_common.h"
+#include "models/zoo.h"
+
+int main() {
+  using namespace vsq;
+  bench::print_header("Figure 4 — ResNetV design space", "Figure 4");
+  ModelZoo zoo(artifacts_dir());
+  PtqRunner ptq(zoo);
+  const double fp32 = zoo.resnet_fp32_top1();
+  std::cout << "fp32 baseline top-1: " << Table::num(fp32) << "%\n";
+  bench::run_design_space(ModelKind::kResNet, ptq, fp32, {0.6, 1.2, 1.8, 2.4}, "figure4.tsv");
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Figure 5: BERT-base design space (energy x perf/area x accuracy bands).
+// Paper shape: 4-bit-weight VS-Quant configs (e.g. 4/8/6/10) reach
+// near-fp32 F1 — unattainable for any per-channel config — while saving
+// area; relaxing the accuracy target admits 3-bit weights.
+#include "bench_common.h"
+#include "models/zoo.h"
+
+int main() {
+  using namespace vsq;
+  bench::print_header("Figure 5 — BERT-base design space", "Figure 5");
+  ModelZoo zoo(artifacts_dir());
+  PtqRunner ptq(zoo);
+  const double fp32 = zoo.bert_base_fp32_f1();
+  std::cout << "fp32 baseline F1: " << Table::num(fp32) << "\n";
+  bench::run_design_space(ModelKind::kBertBase, ptq, fp32, {1.0, 2.5, 4.5, 7.0}, "figure5.tsv");
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Figure 6: BERT-large design space (energy x perf/area x accuracy bands).
+// Paper shape: as Figure 5, with per-channel only viable at 6/8 bits near
+// a ~1% accuracy-loss target, and VS-Quant configurations like 4/8/6/10
+// holding near-fp32 F1 at lower area.
+#include "bench_common.h"
+#include "models/zoo.h"
+
+int main() {
+  using namespace vsq;
+  bench::print_header("Figure 6 — BERT-large design space", "Figure 6");
+  ModelZoo zoo(artifacts_dir());
+  PtqRunner ptq(zoo);
+  const double fp32 = zoo.bert_large_fp32_f1();
+  std::cout << "fp32 baseline F1: " << Table::num(fp32) << "\n";
+  bench::run_design_space(ModelKind::kBertLarge, ptq, fp32, {1.0, 2.5, 4.5, 7.0}, "figure6.tsv");
+  return 0;
+}

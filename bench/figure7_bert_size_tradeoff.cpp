@@ -1,0 +1,94 @@
+// Figure 7: accuracy vs area for BERT-base and BERT-large design points on
+// one axis system. Paper shape: above the best accuracy BERT-base can
+// reach, only BERT-large points exist; below that crossover, BERT-base is
+// consistently more area-efficient — pick the model size by accuracy
+// target.
+#include "bench_common.h"
+#include "models/zoo.h"
+
+int main() {
+  using namespace vsq;
+  bench::print_header("Figure 7 — BERT model-size accuracy/area tradeoff", "Figure 7");
+  ModelZoo zoo(artifacts_dir());
+  PtqRunner ptq(zoo);
+
+  EnergyModel em;
+  AreaModel am;
+  // Relative area between the two models: scale each PE-normalized area by
+  // the model's parameter-proportional compute footprint so the two sets
+  // share an axis (the paper plots chip-level area for each network).
+  const auto model_macs = [](const TransformerConfig& c) {
+    return static_cast<double>(12 * c.layers * c.dim * c.dim);
+  };
+  const double base_macs = model_macs(bert_base_config());
+  const double large_macs = model_macs(bert_large_config());
+
+  Table t({"Model", "Config", "Granularity", "RelArea", "Accuracy", "Pareto"});
+  struct Joined {
+    std::string model;
+    DesignPoint p;
+    double rel_area;
+  };
+  std::vector<Joined> all;
+  for (const bool large : {false, true}) {
+    const ModelKind kind = large ? ModelKind::kBertLarge : ModelKind::kBertBase;
+    auto pts = evaluate_design_points(design_space_configs(kind), em, am);
+    for (DesignPoint& p : pts) {
+      p.accuracy = ptq.bert_accuracy(large, p.mac.weight_spec(), p.mac.act_spec());
+      const double rel = p.area * (large ? large_macs : base_macs) / base_macs;
+      all.push_back({large ? "BERT-large" : "BERT-base", p, rel});
+    }
+  }
+  // Keep points within 8 F1 of the better fp32 baseline.
+  const double best_fp32 = std::max(zoo.bert_base_fp32_f1(), zoo.bert_large_fp32_f1());
+  std::erase_if(all, [&](const Joined& j) { return j.p.accuracy < best_fp32 - 8.0; });
+
+  // Accuracy/area Pareto across BOTH models: smaller area + higher accuracy.
+  const auto dominated = [&](const Joined& x) {
+    for (const Joined& y : all) {
+      if ((y.rel_area < x.rel_area && y.p.accuracy >= x.p.accuracy) ||
+          (y.rel_area <= x.rel_area && y.p.accuracy > x.p.accuracy)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (const Joined& j : all) {
+    t.add_row({j.model, j.p.label(), j.p.mac.granularity_label(), Table::num(j.rel_area, 3),
+               Table::num(j.p.accuracy), dominated(j) ? "" : "*"});
+  }
+  bench::emit(t, "figure7.tsv");
+
+  PlotOptions opt;
+  opt.title = "Figure 7 — accuracy vs area, BERT-base vs BERT-large";
+  opt.x_label = "Relative chip area (BERT-base 8/8/-/- = 1)";
+  opt.y_label = "Span F1 (%)";
+  opt.point_labels = true;
+  ScatterPlot plot(opt);
+  auto& base_series = plot.add_series("BERT-base", svg::palette()[0], Marker::kCircle);
+  auto& large_series = plot.add_series("BERT-large", svg::palette()[1], Marker::kTriangle);
+  for (const Joined& j : all) {
+    const bool pareto = !dominated(j);
+    (j.model == "BERT-base" ? base_series : large_series)
+        .points.push_back({j.rel_area, j.p.accuracy, pareto, pareto ? j.p.label() : ""});
+  }
+  const std::string svg_path = artifacts_dir() + "/figure7.svg";
+  if (plot.write(svg_path)) std::cout << "[written " << svg_path << "]\n";
+
+  // The paper's takeaway, stated explicitly.
+  double base_best = 0, large_best = 0;
+  for (const Joined& j : all) {
+    if (j.model == "BERT-base") {
+      base_best = std::max(base_best, j.p.accuracy);
+    } else {
+      large_best = std::max(large_best, j.p.accuracy);
+    }
+  }
+  std::cout << "\nBest quantized accuracy: base=" << Table::num(base_best)
+            << ", large=" << Table::num(large_best)
+            << (large_best > base_best
+                    ? " -> targets above base's best require BERT-large"
+                    : "")
+            << "\n";
+  return 0;
+}

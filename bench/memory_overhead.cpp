@@ -1,0 +1,78 @@
+// Memory/storage study (paper Sec. 4.4's overhead analysis, extended):
+//   1. Effective bitwidth N + M/V across the Table-8 precision space — the
+//      paper's "4-bit + 4-bit scales at V=16 is really 4.25 bits" point.
+//   2. Per-model DRAM traffic at representative hardware configurations,
+//      relative to the 8/8/-/- baseline: the bandwidth saving quantization
+//      buys, net of the per-vector scale metadata VS-Quant adds.
+#include "bench_common.h"
+#include "hw/memory_model.h"
+#include "models/zoo.h"
+
+int main() {
+  using namespace vsq;
+  bench::print_header("Memory overhead — effective bitwidth and DRAM traffic",
+                      "Sec. 4.4 storage-overhead analysis");
+
+  // Part 1: closed-form overhead sweep (V x M at N = 4).
+  Table sweep({"V", "M=3", "M=4", "M=6", "M=8", "M=10"});
+  for (const int v : {8, 16, 32, 64}) {
+    std::vector<std::string> row{std::to_string(v)};
+    for (const int m : {3, 4, 6, 8, 10}) {
+      row.push_back(Table::num(effective_bitwidth(4, m, v), 3) + "b (" +
+                    Table::num(100 * scale_overhead_fraction(4, m, v), 1) + "%)");
+    }
+    sweep.add_row(row);
+  }
+  std::cout << "Effective bitwidth of 4-bit values with M-bit per-vector scales\n";
+  bench::emit(sweep, "memory_sweep.tsv");
+
+  // Part 2: whole-model traffic. One forward sets the GEMM dims.
+  ModelZoo zoo(artifacts_dir());
+  const std::vector<std::string> configs = {"8/8/-/-", "6/8/-/-", "6/6/4/4",
+                                            "4/8/4/6", "4/4/4/4", "3/8/4/8"};
+
+  Table t({"Model", "Config", "Wt Mbit", "Act Mbit", "Total Mbit", "vs 8/8/-/-",
+           "Wt eff-bits", "Act eff-bits"});
+  const auto report = [&](const std::string& name, const std::vector<QuantizableGemm*>& gemms) {
+    const ModelTraffic base = MemoryModel(MacConfig::parse("8/8/-/-")).traffic(gemms);
+    for (const std::string& cs : configs) {
+      const MacConfig mac = MacConfig::parse(cs);
+      const MemoryModel mm(mac);
+      const ModelTraffic tr = mm.traffic(gemms);
+      double wt_bits = 0, wt_elems = 0, act_bits = 0, act_elems = 0;
+      for (const LayerTraffic& lt : tr.layers) {
+        wt_bits += static_cast<double>(lt.weights.total_bits());
+        wt_elems += static_cast<double>(lt.weights.elements);
+        act_bits += static_cast<double>(lt.acts.total_bits());
+        act_elems += static_cast<double>(lt.acts.elements);
+      }
+      t.add_row({name, cs, Table::num(static_cast<double>(tr.weight_bits) / 1e6, 2),
+                 Table::num(static_cast<double>(tr.act_bits) / 1e6, 2),
+                 Table::num(static_cast<double>(tr.total_bits()) / 1e6, 2),
+                 Table::num(tr.ratio_vs(base), 3), Table::num(wt_bits / wt_elems, 2),
+                 Table::num(act_bits / act_elems, 2)});
+    }
+  };
+
+  {
+    auto model = zoo.resnet();
+    model->forward(zoo.image_calib().batch_images(0, 8), false);
+    report("ResNetV", model->gemms());
+  }
+  {
+    auto model = zoo.bert_base();
+    model->forward(zoo.span_calib().batch_tokens(0, 8), false);
+    report("BERT-base", model->gemms());
+  }
+  {
+    auto model = zoo.bert_large();
+    model->forward(zoo.span_calib().batch_tokens(0, 8), false);
+    report("BERT-large", model->gemms());
+  }
+  bench::emit(t, "memory_traffic.tsv");
+
+  std::cout << "\nShape check: 4/4/4/4 must land near 0.5x of 8/8/-/- (the\n"
+               "6.25% scale overhead barely dents the 2x payload saving), and\n"
+               "3/8/4/8 must beat 6/8/-/- on weight bits despite richer scales.\n";
+  return 0;
+}

@@ -1,0 +1,118 @@
+// google-benchmark microbenchmarks of the library's kernels: GEMM,
+// per-vector fake quantization (single- and two-level), the bit-accurate
+// integer PE datapath, and fp16 scale rounding.
+#include <benchmark/benchmark.h>
+
+#include "hw/pe_simulator.h"
+#include "quant/fake_quant.h"
+#include "tensor/gemm.h"
+#include "util/fp16.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace vsq;
+
+Tensor random_matrix(std::int64_t r, std::int64_t c, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(Shape{r, c});
+  for (auto& v : t.span()) v = static_cast<float>(rng.normal());
+  return t;
+}
+
+void BM_GemmNt(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const Tensor a = random_matrix(n, n, 1);
+  const Tensor b = random_matrix(n, n, 2);
+  Tensor c(Shape{n, n});
+  for (auto _ : state) {
+    gemm_nt(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmNt)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_FakeQuantPerVectorDynamic(benchmark::State& state) {
+  const Tensor x = random_matrix(256, 512, 3);
+  QuantSpec spec;
+  spec.enabled = true;
+  spec.fmt = QuantFormat{4, true};
+  spec.granularity = Granularity::kPerVector;
+  spec.vector_size = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Tensor y = fake_quantize_per_vector_dynamic(x, spec);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * x.numel());
+}
+BENCHMARK(BM_FakeQuantPerVectorDynamic)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_FakeQuantTwoLevelDynamic(benchmark::State& state) {
+  const Tensor x = random_matrix(256, 512, 4);
+  QuantSpec spec;
+  spec.enabled = true;
+  spec.fmt = QuantFormat{4, true};
+  spec.granularity = Granularity::kPerVector;
+  spec.vector_size = 16;
+  spec.scale_fmt = QuantFormat{6, false};
+  const float gamma = scale_from_amax(amax_per_tensor(x), spec.fmt) /
+                      static_cast<float>(spec.scale_fmt.qmax());
+  for (auto _ : state) {
+    Tensor y = fake_quantize_per_vector_two_level_dynamic(x, spec, gamma);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * x.numel());
+}
+BENCHMARK(BM_FakeQuantTwoLevelDynamic);
+
+void BM_PeSimulator(benchmark::State& state) {
+  const Tensor w = random_matrix(64, 256, 5);
+  const Tensor a = random_matrix(64, 256, 6);
+  MacConfig cfg;
+  cfg.wt_bits = 4;
+  cfg.act_bits = 4;
+  cfg.wt_scale_bits = 4;
+  cfg.act_scale_bits = 4;
+  cfg.scale_product_bits = static_cast<int>(state.range(0));
+  cfg.act_unsigned = false;
+  const PeSimulator pe(cfg);
+  const float amax = amax_per_tensor(a);
+  for (auto _ : state) {
+    PeRunResult r = pe.run(a, w, amax);
+    benchmark::DoNotOptimize(r.output.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * 64 * 256);
+}
+BENCHMARK(BM_PeSimulator)->Arg(-1)->Arg(4);
+
+void BM_Fp16Round(benchmark::State& state) {
+  const Tensor x = random_matrix(64, 512, 7);
+  Tensor y(x.shape());
+  for (auto _ : state) {
+    for (std::int64_t i = 0; i < x.numel(); ++i) y[i] = fp16_round(x[i]);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * x.numel());
+}
+BENCHMARK(BM_Fp16Round);
+
+void BM_WeightQuantizeTwoLevel(benchmark::State& state) {
+  const Tensor w = random_matrix(128, 1152, 8);
+  QuantSpec spec;
+  spec.enabled = true;
+  spec.fmt = QuantFormat{4, true};
+  spec.granularity = Granularity::kPerVector;
+  spec.vector_size = 16;
+  spec.scale_dtype = ScaleDtype::kTwoLevelInt;
+  spec.scale_fmt = QuantFormat{6, false};
+  spec.channel_block = 128;
+  for (auto _ : state) {
+    QuantizedOperand q = quantize_weights(w, spec);
+    benchmark::DoNotOptimize(q.fake.data());
+  }
+  state.SetItemsProcessed(state.iterations() * w.numel());
+}
+BENCHMARK(BM_WeightQuantizeTwoLevel);
+
+}  // namespace

@@ -1,0 +1,22 @@
+// Table 1: overview of the DNN models in this study — task, fp32 accuracy
+// metric, dataset. Paper: ResNet50/ImageNet 76.16 top-1, BERT-base/SQuAD
+// 86.88 F1, BERT-large/SQuAD 90.93 F1. Here: the substituted models of
+// DESIGN.md §1 with their fp32 baselines on the synthetic datasets.
+#include "bench_common.h"
+#include "models/zoo.h"
+
+int main() {
+  using namespace vsq;
+  bench::print_header("Table 1 — models in this study", "Table 1");
+
+  ModelZoo zoo(artifacts_dir());
+  Table t({"Model", "Task", "Accuracy", "Metric", "Dataset"});
+  t.add_row({"ResNetV (ResNet50 stand-in)", "Image classification",
+             Table::num(zoo.resnet_fp32_top1()), "Top1", "SyntheticImages-10"});
+  t.add_row({"BERT-base stand-in", "Span extraction", Table::num(zoo.bert_base_fp32_f1()), "F1",
+             "SyntheticSQuAD"});
+  t.add_row({"BERT-large stand-in", "Span extraction", Table::num(zoo.bert_large_fp32_f1()), "F1",
+             "SyntheticSQuAD"});
+  bench::emit(t, "table1.tsv");
+  return 0;
+}

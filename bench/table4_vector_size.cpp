@@ -1,0 +1,35 @@
+// Table 4: accuracy of the quantized CNN with VS-Quant as the vector size
+// V sweeps 1..64. Paper shape: accuracy decreases slowly and monotonically
+// (within noise) as V grows, because larger vectors must cover wider
+// ranges (Sec. 4.1).
+//
+// The paper runs this at 6 bits, where its ResNet50 sits just below
+// saturation (76.13 -> 75.96 over the sweep). Our stand-in CNN saturates
+// at 6 bits AND at 4 bits with per-vector scaling, so the 6-bit row
+// reproduces the paper's "decline within noise" regime and a 3-bit row is
+// added where the V dependence has room to show (EXPERIMENTS.md discusses
+// both).
+#include "bench_common.h"
+
+int main() {
+  using namespace vsq;
+  bench::print_header("Table 4 — vector size sweep, ResNetV", "Table 4");
+
+  ModelZoo zoo(artifacts_dir());
+  PtqRunner ptq(zoo);
+
+  Table t({"Bits", "V=1", "V=2", "V=4", "V=8", "V=16", "V=32", "V=64"});
+  for (const int bits : {6, 4, 3}) {
+    std::vector<std::string> row{"Wt=" + std::to_string(bits) + " Act=" + std::to_string(bits) +
+                                 "U"};
+    for (const int v : {1, 2, 4, 8, 16, 32, 64}) {
+      const double acc =
+          ptq.resnet_accuracy(specs::weight_pv(bits, ScaleDtype::kFp32, 6, v),
+                              specs::act_pv(bits, /*is_unsigned=*/true, ScaleDtype::kFp32, 8, v));
+      row.push_back(Table::num(acc));
+    }
+    t.add_row(row);
+  }
+  bench::emit(t, "table4.tsv");
+  return 0;
+}

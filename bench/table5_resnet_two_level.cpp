@@ -1,0 +1,60 @@
+// Table 5: CNN accuracy with two-level integer per-vector scale factors.
+// Columns sweep the (weight-scale / activation-scale) bitwidths S=ws/as
+// plus single-level fp32 scales; rows sweep Wt/Act bitwidths; the last
+// column is the best per-channel result (Table 2).
+// Paper shape: accuracy increases with scale bits, S=6/6 ~ fp32, and every
+// VS-Quant column beats best per-channel at low Wt/Act bits.
+#include <algorithm>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace vsq;
+  bench::print_header("Table 5 — ResNetV with integer per-vector scale factors", "Table 5");
+
+  ModelZoo zoo(artifacts_dir());
+  PtqRunner ptq(zoo);
+
+  const std::vector<CalibSpec> calibs = {
+      {CalibMethod::kMax, 0},          {CalibMethod::kEntropy, 0},
+      {CalibMethod::kPercentile, 99.9}, {CalibMethod::kPercentile, 99.99},
+      {CalibMethod::kPercentile, 99.999}, {CalibMethod::kPercentile, 99.9999},
+      {CalibMethod::kMse, 0},
+  };
+  const auto best_poc = [&](int wbits, int abits) {
+    double best = 0;
+    for (const auto& c : calibs) {
+      best = std::max(best, ptq.resnet_accuracy(specs::weight_coarse(wbits),
+                                                specs::act_coarse(abits, true, c)));
+    }
+    return best;
+  };
+
+  const std::vector<std::pair<int, int>> scale_cols = {{3, 4}, {3, 6}, {4, 4},
+                                                       {4, 6}, {6, 4}, {6, 6}};
+  std::vector<std::string> header{"Bitwidths"};
+  for (const auto& [ws, as] : scale_cols) {
+    header.push_back("S=" + std::to_string(ws) + "/" + std::to_string(as));
+  }
+  header.push_back("S=fp32");
+  header.push_back("Best Per-channel");
+  Table t(header);
+
+  for (const int w : {4, 6, 8}) {
+    for (const int a : {3, 4, 6, 8}) {
+      std::vector<std::string> row{"Wt=" + std::to_string(w) + " Act=" + std::to_string(a) + "U"};
+      for (const auto& [ws, as] : scale_cols) {
+        const double acc =
+            ptq.resnet_accuracy(specs::weight_pv(w, ScaleDtype::kTwoLevelInt, ws),
+                                specs::act_pv(a, true, ScaleDtype::kTwoLevelInt, as));
+        row.push_back(Table::num(acc));
+      }
+      row.push_back(Table::num(ptq.resnet_accuracy(specs::weight_pv(w, ScaleDtype::kFp32),
+                                                   specs::act_pv(a, true, ScaleDtype::kFp32))));
+      row.push_back(Table::num(best_poc(w, a)));
+      t.add_row(row);
+    }
+  }
+  bench::emit(t, "table5.tsv");
+  return 0;
+}

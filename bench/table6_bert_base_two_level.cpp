@@ -1,0 +1,58 @@
+// Table 6: BERT-base (stand-in) on the span task with integer per-vector
+// scale factors: S = ws/as in {4/8, 4/10, 6/8, 6/10}, plus single-level
+// fp16 and fp32 scales and the best per-channel column.
+// Paper shape: 4-bit weights with 8-bit acts stay near fp32 F1; two-level
+// integer scales track fp16/fp32 scales closely; per-channel collapses.
+#include <algorithm>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace vsq;
+  bench::print_header("Table 6 — BERT-base with integer per-vector scale factors", "Table 6");
+
+  ModelZoo zoo(artifacts_dir());
+  PtqRunner ptq(zoo);
+
+  const std::vector<CalibSpec> calibs = {
+      {CalibMethod::kMax, 0},          {CalibMethod::kEntropy, 0},
+      {CalibMethod::kPercentile, 99.9}, {CalibMethod::kPercentile, 99.99},
+      {CalibMethod::kPercentile, 99.999}, {CalibMethod::kPercentile, 99.9999},
+      {CalibMethod::kMse, 0},
+  };
+  const auto best_poc = [&](int wbits, int abits) {
+    double best = 0;
+    for (const auto& c : calibs) {
+      best = std::max(best, ptq.bert_accuracy(false, specs::weight_coarse(wbits),
+                                              specs::act_coarse(abits, false, c)));
+    }
+    return best;
+  };
+
+  const std::vector<std::pair<int, int>> scale_cols = {{4, 8}, {4, 10}, {6, 8}, {6, 10}};
+  std::vector<std::string> header{"Bitwidths"};
+  for (const auto& [ws, as] : scale_cols) {
+    header.push_back("S=" + std::to_string(ws) + "/" + std::to_string(as));
+  }
+  header.push_back("S=fp16");
+  header.push_back("S=fp32");
+  header.push_back("Best Per-channel");
+  Table t(header);
+
+  for (const int w : {3, 4, 6, 8}) {
+    std::vector<std::string> row{"Wt=" + std::to_string(w) + " Act=8"};
+    for (const auto& [ws, as] : scale_cols) {
+      const double f1 = ptq.bert_accuracy(false, specs::weight_pv(w, ScaleDtype::kTwoLevelInt, ws),
+                                          specs::act_pv(8, false, ScaleDtype::kTwoLevelInt, as));
+      row.push_back(Table::num(f1));
+    }
+    row.push_back(Table::num(ptq.bert_accuracy(false, specs::weight_pv(w, ScaleDtype::kFp16),
+                                               specs::act_pv(8, false, ScaleDtype::kFp16))));
+    row.push_back(Table::num(ptq.bert_accuracy(false, specs::weight_pv(w, ScaleDtype::kFp32),
+                                               specs::act_pv(8, false, ScaleDtype::kFp32))));
+    row.push_back(Table::num(best_poc(w, 8)));
+    t.add_row(row);
+  }
+  bench::emit(t, "table6.tsv");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Table 9: quantization-aware finetuning at aggressive bitwidths —
+// per-vector (PVAW) vs per-channel (POC) scaling, epochs in parentheses.
+// Paper shape: PVAW QAT recovers substantially more accuracy than POC QAT
+// at the same bitwidths, with few epochs.
+#include "bench_common.h"
+#include "exp/qat.h"
+
+int main() {
+  using namespace vsq;
+  bench::print_header("Table 9 — QAT study: per-vector vs per-channel", "Table 9");
+
+  ModelZoo zoo(artifacts_dir());
+  ResultCache cache(artifacts_dir() + "/accuracy_cache.tsv");
+
+  Table t({"Model", "Bitwidths", "PVAW (epochs)", "POC (epochs)"});
+
+  struct Case {
+    bool bert;
+    bool large;
+    int wbits, abits;
+    bool act_unsigned;
+    int epochs;
+  };
+  const std::vector<Case> cases = {
+      {false, false, 3, 3, true, 2},   // ResNetV Wt=3 Act=3U
+      {true, false, 4, 4, false, 2},   // BERT-base Wt=4 Act=4
+      {true, false, 4, 8, false, 1},   // BERT-base Wt=4 Act=8
+      {true, true, 3, 4, false, 1},    // BERT-large Wt=3 Act=4
+      {true, true, 3, 8, false, 1},    // BERT-large Wt=3 Act=8
+  };
+
+  for (const Case& c : cases) {
+    QatConfig qc;
+    qc.epochs = c.epochs;
+    qc.lr = c.bert ? 5e-4f : 5e-3f;
+    const QuantSpec w_pv = specs::weight_pv(c.wbits, ScaleDtype::kFp32);
+    const QuantSpec a_pv = specs::act_pv(c.abits, c.act_unsigned, ScaleDtype::kFp32);
+    const QuantSpec w_poc = specs::weight_coarse(c.wbits);
+    const QuantSpec a_poc = specs::act_coarse(c.abits, c.act_unsigned, {}, /*dynamic=*/true);
+
+    const std::string model = c.bert ? (c.large ? "bert_large" : "bert_base") : "resnetv";
+    const auto run = [&](const QuantSpec& w, const QuantSpec& a, const char* tag) {
+      const std::string key = "qat|" + model + "|" + tag + "|" + accuracy_key("", w, a) + "|e" +
+                              std::to_string(c.epochs);
+      return cache.get_or_compute(key, [&] {
+        const QatResult r = c.bert ? qat_bert(zoo, c.large, w, a, qc)
+                                   : qat_resnet(zoo, w, a, qc);
+        return r.accuracy;
+      });
+    };
+
+    const double pvaw = run(w_pv, a_pv, "pvaw");
+    const double poc = run(w_poc, a_poc, "poc");
+    t.add_row({c.bert ? (c.large ? "BERT-large" : "BERT-base") : "ResNetV",
+               "Wt=" + std::to_string(c.wbits) + " Act=" + std::to_string(c.abits) +
+                   (c.act_unsigned ? "U" : ""),
+               Table::num(pvaw) + " (" + std::to_string(c.epochs) + ")",
+               Table::num(poc) + " (" + std::to_string(c.epochs) + ")"});
+  }
+  bench::emit(t, "table9.tsv");
+  return 0;
+}

@@ -1,0 +1,158 @@
+// Bring-your-own-network: what a downstream user does with this library.
+//
+// Defines a small MLP from the public layer API (not one of the repo's
+// stand-in models), trains it briefly on a synthetic task, then walks the
+// full VS-Quant lifecycle:
+//
+//   1. PTQ-calibrate every GEMM at 4-bit per-vector (two-level scales)
+//   2. compare against per-channel scaling at the same bitwidth
+//   3. export the integer package and run it through the bit-accurate
+//      integer datapath (what the accelerator executes)
+//
+// Build & run:  ./build/examples/custom_model
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "exp/ptq.h"
+#include "nn/activations.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "quant/export.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace vsq;
+
+// A user-defined network: 2-hidden-layer MLP for a 4-class problem.
+struct Mlp {
+  std::unique_ptr<Linear> fc1, fc2, head;
+  ReLU relu1, relu2;
+
+  explicit Mlp(Rng& rng) {
+    fc1 = std::make_unique<Linear>("fc1", 64, 96, rng);
+    fc2 = std::make_unique<Linear>("fc2", 96, 96, rng);
+    head = std::make_unique<Linear>("head", 96, 4, rng);
+  }
+  Tensor forward(const Tensor& x, bool train) {
+    Tensor h = relu1.forward(fc1->forward(x, train), train);
+    h = relu2.forward(fc2->forward(h, train), train);
+    return head->forward(h, train);
+  }
+  void backward(const Tensor& g) {
+    fc1->backward(relu1.backward(fc2->backward(relu2.backward(head->backward(g)))));
+  }
+  std::vector<Param*> params() {
+    std::vector<Param*> ps;
+    for (auto* l : {fc1.get(), fc2.get(), head.get()}) {
+      for (Param* p : l->params()) ps.push_back(p);
+    }
+    return ps;
+  }
+  // The hook the quantization pipeline needs: the GEMM-bearing layers.
+  std::vector<QuantizableGemm*> gemms() { return {fc1.get(), fc2.get(), head.get()}; }
+};
+
+// Synthetic 4-class task: class = argmax over 4 random linear projections
+// of a long-tailed input (some features are 10x larger than others, so
+// coarse scale factors struggle — the regime VS-Quant targets).
+struct Task {
+  Tensor inputs;            // [N, 64]
+  std::vector<int> labels;  // N
+
+  explicit Task(std::int64_t n, Rng& rng) : inputs(Shape{n, 64}) {
+    std::vector<float> feature_scale(64);
+    for (auto& f : feature_scale) f = static_cast<float>(std::exp(rng.normal(0.0, 1.0)));
+    Tensor proto(Shape{4, 64});
+    for (auto& v : proto.span()) v = static_cast<float>(rng.normal());
+    labels.resize(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      float best = -1e30f;
+      int arg = 0;
+      for (std::int64_t c = 0; c < 64; ++c) {
+        inputs.at2(i, c) =
+            static_cast<float>(rng.normal()) * feature_scale[static_cast<std::size_t>(c)];
+      }
+      for (int k = 0; k < 4; ++k) {
+        float s = 0;
+        for (std::int64_t c = 0; c < 64; ++c) s += proto.at2(k, c) * inputs.at2(i, c);
+        if (s > best) {
+          best = s;
+          arg = k;
+        }
+      }
+      labels[static_cast<std::size_t>(i)] = arg;
+    }
+  }
+};
+
+double accuracy(Mlp& model, const Task& task, std::int64_t i0, std::int64_t i1) {
+  const Tensor logits = model.forward(task.inputs.slice_rows(i0, i1), false);
+  return top1_accuracy(logits, {task.labels.begin() + i0, task.labels.begin() + i1});
+}
+
+}  // namespace
+
+int main() {
+  using namespace vsq;
+  std::cout << "VS-Quant on a user-defined network\n"
+            << "==================================\n\n";
+  Rng rng(2718);
+  Mlp model(rng);
+  Task task(1024, rng);
+  constexpr std::int64_t kTrain = 768, kTest = 1024;
+
+  Adam opt(model.params(), 3e-3f);
+  for (int epoch = 0; epoch < 30; ++epoch) {
+    for (std::int64_t i0 = 0; i0 < kTrain; i0 += 64) {
+      opt.zero_grad();
+      const Tensor logits = model.forward(task.inputs.slice_rows(i0, i0 + 64), true);
+      const LossResult loss =
+          cross_entropy(logits, {task.labels.begin() + i0, task.labels.begin() + i0 + 64});
+      model.backward(loss.grad);
+      opt.step();
+    }
+  }
+  const double fp32 = accuracy(model, task, kTrain, kTest);
+
+  // PTQ at 4 bits: per-channel vs per-vector two-level, same pipeline the
+  // repo's stand-in models use. The first layer's activations are the raw
+  // inputs (signed); apply_quant_specs handles that automatically.
+  const auto evaluate = [&](const QuantSpec& w, const QuantSpec& a) {
+    auto gemms = model.gemms();
+    apply_quant_specs(gemms, w, a);
+    set_mode_all(gemms, QuantMode::kCalibrate);
+    model.forward(task.inputs.slice_rows(0, 256), false);  // calibration batch
+    finalize_calibration(gemms);
+    set_mode_all(gemms, QuantMode::kQuantEval);
+    const double acc = accuracy(model, task, kTrain, kTest);
+    return acc;  // leave kQuantEval active for export
+  };
+
+  Table t({"configuration", "top-1 (%)"});
+  t.add_row({"fp32", Table::num(fp32)});
+  t.add_row({"W4A4 per-channel",
+             Table::num(evaluate(specs::weight_coarse(4), specs::act_coarse(4, true)))});
+  const double pv = evaluate(specs::weight_pv(4, ScaleDtype::kTwoLevelInt, 6),
+                             specs::act_pv(4, true, ScaleDtype::kTwoLevelInt, 6));
+  t.add_row({"W4A4 per-vector (V=16, 6-bit scales)", Table::num(pv)});
+
+  // Ship it: integer package -> bit-accurate integer inference.
+  QuantizedModelPackage pkg;
+  for (QuantizableGemm* g : model.gemms()) pkg.layers[g->gemm_name()] = export_gemm(*g, {});
+  double int_acc = 0;
+  {
+    IntegerExecutionGuard guard(model.gemms(), pkg);
+    int_acc = accuracy(model, task, kTrain, kTest);
+  }
+  t.add_row({"W4A4 per-vector, integer datapath", Table::num(int_acc)});
+  t.print(std::cout);
+
+  std::cout << "\nPer-vector scaling recovers the coarse-scaling loss on this\n"
+               "long-tailed task, and the deployed integer path reproduces the\n"
+               "simulated accuracy.\n";
+  return 0;
+}

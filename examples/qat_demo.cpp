@@ -1,0 +1,49 @@
+// QAT demo (paper Sec. 7): take the pretrained CNN to an aggressive
+// bitwidth where PTQ visibly degrades, then recover accuracy with a couple
+// of epochs of straight-through-estimator finetuning — per-vector vs
+// per-channel.
+//
+//   ./build/examples/qat_demo [--bits=3] [--epochs=2]
+#include <iostream>
+
+#include "exp/ptq.h"
+#include "exp/qat.h"
+#include "util/table.h"
+#include "util/args.h"
+
+int main(int argc, char** argv) {
+  using namespace vsq;
+  const Args args(argc, argv);
+  const int bits = args.get_int("bits", 3);
+  QatConfig qc;
+  qc.epochs = args.get_int("epochs", 2);
+
+  std::cout << "QAT demo: W" << bits << "/A" << bits << "U, " << qc.epochs
+            << " finetuning epochs\n\n";
+
+  ModelZoo zoo(artifacts_dir());
+  PtqRunner ptq(zoo);
+  const double fp32 = zoo.resnet_fp32_top1();
+
+  const QuantSpec w_pv = specs::weight_pv(bits, ScaleDtype::kFp32);
+  const QuantSpec a_pv = specs::act_pv(bits, true, ScaleDtype::kFp32);
+  const QuantSpec w_poc = specs::weight_coarse(bits);
+  const QuantSpec a_poc = specs::act_coarse(bits, true);
+
+  const double ptq_pv = ptq.resnet_accuracy(w_pv, a_pv);
+  const double ptq_poc = ptq.resnet_accuracy(w_poc, a_poc);
+  const QatResult qat_pv = qat_resnet(zoo, w_pv, a_pv, qc);
+  const QatResult qat_poc = qat_resnet(zoo, w_poc, a_poc, qc);
+
+  Table t({"scheme", "PTQ top-1", "QAT top-1", "fp32"});
+  t.add_row({"per-vector (PVAW)", Table::num(ptq_pv), Table::num(qat_pv.accuracy),
+             Table::num(fp32)});
+  t.add_row({"per-channel (POC)", Table::num(ptq_poc), Table::num(qat_poc.accuracy),
+             Table::num(fp32)});
+  t.print(std::cout);
+
+  std::cout << "\nQAT closes most of the PTQ gap in " << qc.epochs
+            << " epochs, and per-vector scaling both starts and ends higher\n"
+               "(paper Table 9).\n";
+  return 0;
+}

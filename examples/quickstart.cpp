@@ -1,0 +1,75 @@
+// Quickstart: the VS-Quant public API in five minutes, no training needed.
+//
+//   1. quantize a long-tailed matrix at each scale granularity and watch
+//      the error shrink (the paper's core claim, Sec. 4)
+//   2. factor the per-vector scales into the two-level integer form the
+//      hardware stores (Sec. 4.4, Eq. 7)
+//   3. run the bit-accurate integer PE datapath and check it against the
+//      simulated-quantization reference (Sec. 5)
+//
+// Build & run:  ./build/examples/quickstart
+#include <iostream>
+
+#include "hw/pe_simulator.h"
+#include "quant/two_level.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main() {
+  using namespace vsq;
+  std::cout << "VS-Quant quickstart\n===================\n\n";
+
+  // A weight-like matrix with outliers: 64 output channels x 256 inputs.
+  Rng rng(1234);
+  Tensor w(Shape{64, 256});
+  for (auto& v : w.span()) v = static_cast<float>(rng.laplace(0.4));
+
+  // --- 1. Granularity sweep at 4 bits ------------------------------------
+  const QuantFormat int4{4, true};
+  const VectorLayout layout{256, 16, 0};  // V = 16
+  Table t1({"granularity", "scales stored", "SQNR (dB)"});
+  for (const auto g :
+       {Granularity::kPerTensor, Granularity::kPerRow, Granularity::kPerVector}) {
+    const ScaleSet s = compute_scales(w, g, layout, int4);
+    const Tensor wq = fake_quantize(w, s, int4);
+    t1.add_row({granularity_name(g), std::to_string(s.scales.size()),
+                Table::num(sqnr_db(w, wq), 2)});
+  }
+  t1.print(std::cout);
+  std::cout << "\nPer-vector scaling stores more scales but each vector only has\n"
+               "to cover its own range -> much lower quantization error.\n\n";
+
+  // --- 2. Two-level scales (Eq. 7) ----------------------------------------
+  const ScaleSet fp_scales = compute_scales(w, Granularity::kPerVector, layout, int4);
+  Table t2({"scale repr", "SQNR (dB)", "bits/scale"});
+  t2.add_row({"fp32 per-vector", Table::num(sqnr_db(w, fake_quantize(w, fp_scales, int4)), 2),
+              "32"});
+  for (const int m : {4, 6}) {
+    const TwoLevelScales tl =
+        two_level_from_scales(fp_scales, QuantFormat{m, false}, CoarseAxis::kPerRow);
+    t2.add_row({"int" + std::to_string(m) + " + fp32/channel",
+                Table::num(sqnr_db(w, fake_quantize(w, tl.to_scale_set(), int4)), 2),
+                std::to_string(m)});
+  }
+  t2.print(std::cout);
+  std::cout << "\n6-bit integer per-vector scales recover nearly all of the fp32-\n"
+               "scale quality at a fraction of the storage (Tables 5-7).\n\n";
+
+  // --- 3. Bit-accurate hardware datapath ----------------------------------
+  Tensor a(Shape{32, 256});
+  for (auto& v : a.span()) v = static_cast<float>(rng.laplace(0.5));
+  MacConfig cfg;  // 4/4/4/4 VS-Quant PE
+  cfg.wt_bits = cfg.act_bits = 4;
+  cfg.wt_scale_bits = cfg.act_scale_bits = 4;
+  cfg.act_unsigned = false;
+  const PeSimulator pe(cfg);
+  const PeRunResult hw = pe.run(a, w, amax_per_tensor(a));
+  const Tensor ref = pe.reference(a, w, amax_per_tensor(a));
+  std::cout << "PE (" << cfg.str() << ") vs simulated quantization: max |diff| = "
+            << max_abs_diff(hw.output, ref) << " over " << hw.stats.vector_ops
+            << " vector ops\n";
+  std::cout << "The integer datapath reproduces the math exactly; Fig. 2's design\n"
+               "is just this computation in hardware.\n";
+  return 0;
+}

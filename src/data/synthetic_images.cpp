@@ -1,0 +1,80 @@
+#include "data/synthetic_images.h"
+
+#include <cmath>
+#include <cstring>
+#include <numbers>
+
+#include "util/rng.h"
+
+namespace vsq {
+
+Tensor ImageDataset::batch_images(std::int64_t i0, std::int64_t i1) const {
+  const std::int64_t h = images.shape()[1], w = images.shape()[2], c = images.shape()[3];
+  Tensor out(Shape{i1 - i0, h, w, c});
+  const std::int64_t per = h * w * c;
+  std::memcpy(out.data(), images.data() + i0 * per,
+              static_cast<std::size_t>((i1 - i0) * per) * sizeof(float));
+  return out;
+}
+
+std::vector<int> ImageDataset::batch_labels(std::int64_t i0, std::int64_t i1) const {
+  return {labels.begin() + i0, labels.begin() + i1};
+}
+
+ImageDataset make_image_dataset(const ImageDatasetConfig& config) {
+  ImageDataset ds;
+  ds.classes = config.classes;
+  ds.images = Tensor(Shape{config.count, config.height, config.width, 3});
+  ds.labels.resize(static_cast<std::size_t>(config.count));
+  Rng rng(config.seed);
+
+  const double pi = std::numbers::pi;
+  for (std::int64_t n = 0; n < config.count; ++n) {
+    const int cls = static_cast<int>(rng.uniform_u64(static_cast<std::uint64_t>(config.classes)));
+    // Class signature: orientation x blob-corner, so neighbouring classes
+    // differ in exactly ONE attribute. Together with heavy pixel noise this
+    // keeps decision margins small — quantization error then flips
+    // borderline predictions instead of being absorbed (the regime the
+    // paper's accuracy tables live in).
+    const int half = std::max(config.classes / 2, 1);
+    const double theta = pi * (cls % half) / half;
+    const double freq = 2.0 + 0.45 * (cls % half);
+    const int blob_corner = (cls / half) % 4;
+    // Per-image nuisance parameters.
+    const double phase = rng.uniform(0.0, 2.0 * pi);
+    const double amp = rng.uniform(0.6, 1.0);
+    const double brightness = rng.uniform(-0.15, 0.15);
+    const double blob_str = rng.uniform(0.5, 1.0);
+
+    const double cx = (blob_corner % 2 == 0) ? 0.25 : 0.75;
+    const double cy = (blob_corner / 2 == 0) ? 0.25 : 0.75;
+    const double ct = std::cos(theta), st = std::sin(theta);
+
+    float* img = ds.images.data() + n * config.height * config.width * 3;
+    for (std::int64_t y = 0; y < config.height; ++y) {
+      for (std::int64_t x = 0; x < config.width; ++x) {
+        const double u = static_cast<double>(x) / config.width;
+        const double v = static_cast<double>(y) / config.height;
+        const double grating = amp * std::sin(2.0 * pi * freq * (u * ct + v * st) + phase);
+        const double d2 = (u - cx) * (u - cx) + (v - cy) * (v - cy);
+        const double blob = blob_str * std::exp(-d2 / 0.02);
+        float* px = img + (y * config.width + x) * 3;
+        // Channels see the signature with different mixtures, so color
+        // carries class information too.
+        px[0] = static_cast<float>(grating + brightness + rng.normal(0.0, config.pixel_noise));
+        px[1] = static_cast<float>(0.5 * grating + blob + brightness +
+                                   rng.normal(0.0, config.pixel_noise));
+        px[2] = static_cast<float>(blob - 0.5 * grating + brightness +
+                                   rng.normal(0.0, config.pixel_noise));
+      }
+    }
+    int label = cls;
+    if (rng.bernoulli(config.label_noise)) {
+      label = static_cast<int>(rng.uniform_u64(static_cast<std::uint64_t>(config.classes)));
+    }
+    ds.labels[static_cast<std::size_t>(n)] = label;
+  }
+  return ds;
+}
+
+}  // namespace vsq

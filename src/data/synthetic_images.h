@@ -1,0 +1,38 @@
+// Synthetic 10-class image classification dataset (the ImageNet
+// substitute; see DESIGN.md §1). Each class is a procedural texture —
+// an oriented sinusoidal grating plus a class-positioned blob — rendered
+// with per-image random phase, amplitude, brightness and pixel noise, and
+// a configurable label-noise fraction so the fp32 ceiling stays below
+// 100% and quantization-induced degradation is measurable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace vsq {
+
+struct ImageDataset {
+  Tensor images;            // [N, H, W, 3], NHWC, values roughly in [-1, 1]
+  std::vector<int> labels;  // N class ids in [0, classes)
+  int classes = 10;
+
+  std::int64_t size() const { return images.shape()[0]; }
+  // Contiguous batch [i0, i1) as a tensor + label slice.
+  Tensor batch_images(std::int64_t i0, std::int64_t i1) const;
+  std::vector<int> batch_labels(std::int64_t i0, std::int64_t i1) const;
+};
+
+struct ImageDatasetConfig {
+  std::int64_t count = 2000;
+  std::int64_t height = 16, width = 16;
+  int classes = 10;
+  double pixel_noise = 0.55;   // stddev of additive Gaussian noise
+  double label_noise = 0.02;   // fraction of randomized labels
+  std::uint64_t seed = 1234;
+};
+
+ImageDataset make_image_dataset(const ImageDatasetConfig& config);
+
+}  // namespace vsq

@@ -1,0 +1,116 @@
+#include "data/synthetic_squad.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace vsq {
+
+Tensor SpanDataset::batch_tokens(std::int64_t i0, std::int64_t i1) const {
+  const std::int64_t t = tokens.shape()[1];
+  Tensor out(Shape{i1 - i0, t});
+  std::memcpy(out.data(), tokens.data() + i0 * t,
+              static_cast<std::size_t>((i1 - i0) * t) * sizeof(float));
+  return out;
+}
+
+SpanLabels SpanDataset::batch_labels(std::int64_t i0, std::int64_t i1) const {
+  SpanLabels out;
+  out.start.assign(labels.start.begin() + i0, labels.start.begin() + i1);
+  out.end.assign(labels.end.begin() + i0, labels.end.begin() + i1);
+  return out;
+}
+
+SpanDataset make_span_dataset(const SpanDatasetConfig& config) {
+  SpanDataset ds;
+  ds.tokens = Tensor(Shape{config.count, config.seq_len});
+  ds.labels.start.resize(static_cast<std::size_t>(config.count));
+  ds.labels.end.resize(static_cast<std::size_t>(config.count));
+  Rng rng(config.seed);
+
+  // Zipf sampling table over content tokens.
+  const int content_count = config.vocab - kFirstContentToken;
+  std::vector<double> cdf(static_cast<std::size_t>(content_count));
+  double acc = 0.0;
+  for (int i = 0; i < content_count; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), config.zipf_exponent);
+    cdf[static_cast<std::size_t>(i)] = acc;
+  }
+  for (auto& v : cdf) v /= acc;
+  const auto sample_content = [&]() {
+    const double u = rng.uniform();
+    int lo = 0, hi = content_count - 1;
+    while (lo < hi) {
+      const int mid = (lo + hi) / 2;
+      if (cdf[static_cast<std::size_t>(mid)] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return kFirstContentToken + lo;
+  };
+  const auto sample_answer = [&]() {
+    return kFirstAnswerToken + static_cast<int>(rng.uniform_u64(kNumAnswerTokens));
+  };
+
+  // Each pattern occupies a fixed-width slot so patterns never overlap:
+  // slot width = 2 (query+marker) + max_span.
+  const std::int64_t slot = 2 + config.max_span;
+  const std::int64_t n_slots = config.seq_len / slot;
+  const int patterns = 1 + config.num_distractors + 1;  // true + distractors + lone query
+  if (n_slots < patterns) {
+    throw std::invalid_argument("make_span_dataset: seq_len too short for the pattern count");
+  }
+
+  for (std::int64_t n = 0; n < config.count; ++n) {
+    float* row = ds.tokens.data() + n * config.seq_len;
+    for (std::int64_t j = 0; j < config.seq_len; ++j) {
+      row[j] = static_cast<float>(sample_content());
+    }
+
+    // Choose distinct slots, then a random offset inside each slot so
+    // positions are not fully predictable.
+    const auto slot_perm = rng.permutation(static_cast<std::size_t>(n_slots));
+    const int query = static_cast<int>(rng.uniform_u64(kNumQueries));
+
+    // True pattern: [query, marker_q, answer run].
+    {
+      const std::int64_t base = static_cast<std::int64_t>(slot_perm[0]) * slot;
+      const auto span_len = 1 + static_cast<std::int64_t>(
+                                    rng.uniform_u64(static_cast<std::uint64_t>(config.max_span)));
+      row[base] = static_cast<float>(kFirstQueryToken + query);
+      row[base + 1] = static_cast<float>(kFirstMarkerToken + query);
+      for (std::int64_t j = 0; j < span_len; ++j) {
+        row[base + 2 + j] = static_cast<float>(sample_answer());
+      }
+      ds.labels.start[static_cast<std::size_t>(n)] = static_cast<int>(base + 2);
+      ds.labels.end[static_cast<std::size_t>(n)] = static_cast<int>(base + 1 + span_len);
+    }
+    // Distractors: [other content, marker_j (j != q), answer run] — only
+    // the missing query token distinguishes them from the true pattern.
+    for (int d = 0; d < config.num_distractors; ++d) {
+      const std::int64_t base = static_cast<std::int64_t>(slot_perm[static_cast<std::size_t>(1 + d)]) * slot;
+      int other = static_cast<int>(rng.uniform_u64(kNumQueries - 1));
+      if (other >= query) ++other;
+      const auto span_len = 1 + static_cast<std::int64_t>(
+                                    rng.uniform_u64(static_cast<std::uint64_t>(config.max_span)));
+      row[base + 1] = static_cast<float>(kFirstMarkerToken + other);
+      for (std::int64_t j = 0; j < span_len; ++j) {
+        row[base + 2 + j] = static_cast<float>(sample_answer());
+      }
+    }
+    // Lone query (followed by content): a negative for "find the query".
+    {
+      const std::int64_t base =
+          static_cast<std::int64_t>(slot_perm[static_cast<std::size_t>(1 + config.num_distractors)]) * slot;
+      row[base] = static_cast<float>(kFirstQueryToken + query);
+    }
+  }
+  return ds;
+}
+
+}  // namespace vsq

@@ -1,0 +1,57 @@
+// Synthetic span-extraction dataset (the SQuAD v1.1 substitute; see
+// DESIGN.md §1). Each example is a token sequence of fixed length T
+// containing:
+//   * one QUERY token q (one of kNumQueries ids) followed immediately by
+//     its MATCHING MARKER token m_q, followed by the answer span of
+//     1..max_span tokens from a dedicated answer sub-vocabulary;
+//   * several DISTRACTOR markers m_j (j != q), each also followed by an
+//     answer-vocabulary run, but NOT preceded by the query;
+//   * one lone query token elsewhere (followed by plain content);
+//   * long-tailed (Zipf) content tokens everywhere else.
+// The gold span is the answer run after the query-matched marker. Finding
+// it requires query-conditioned bigram matching — attention quality — so
+// quantization error degrades F1 gradually instead of falling off a
+// cliff, and larger models genuinely score higher (Fig. 7's premise).
+// The Zipf content distribution gives embeddings/activations a long-tailed
+// dynamic range, the regime where coarse-grained quantization of
+// transformers collapses (Tables 2/6/7).
+#pragma once
+
+#include <cstdint>
+
+#include "nn/loss.h"
+#include "tensor/tensor.h"
+
+namespace vsq {
+
+struct SpanDataset {
+  Tensor tokens;     // [N, T] token ids stored as float
+  SpanLabels labels;
+
+  std::int64_t size() const { return tokens.shape()[0]; }
+  std::int64_t seq_len() const { return tokens.shape()[1]; }
+  Tensor batch_tokens(std::int64_t i0, std::int64_t i1) const;
+  SpanLabels batch_labels(std::int64_t i0, std::int64_t i1) const;
+};
+
+struct SpanDatasetConfig {
+  std::int64_t count = 2000;
+  std::int64_t seq_len = 36;
+  int vocab = 64;
+  int max_span = 4;
+  int num_distractors = 3;
+  double zipf_exponent = 1.2;
+  std::uint64_t seed = 4321;
+};
+
+// Token-id layout (see header comment).
+inline constexpr int kNumQueries = 12;
+inline constexpr int kFirstQueryToken = 1;                                // 1..6
+inline constexpr int kFirstMarkerToken = kFirstQueryToken + kNumQueries;  // 7..12
+inline constexpr int kFirstAnswerToken = kFirstMarkerToken + kNumQueries; // 13..16
+inline constexpr int kNumAnswerTokens = 4;
+inline constexpr int kFirstContentToken = kFirstAnswerToken + kNumAnswerTokens;  // 17+
+
+SpanDataset make_span_dataset(const SpanDatasetConfig& config);
+
+}  // namespace vsq

@@ -1,0 +1,67 @@
+#include "exp/experiment_context.h"
+
+#include <cstdlib>
+
+#include "util/archive.h"
+
+namespace vsq {
+
+std::string artifacts_dir() {
+  const char* env = std::getenv("VSQ_ARTIFACTS");
+  std::string dir = env && *env ? env : "artifacts";
+  ensure_dir(dir);
+  return dir;
+}
+
+namespace specs {
+
+QuantSpec weight_coarse(int bits, CalibSpec calib) {
+  QuantSpec s;
+  s.enabled = true;
+  s.fmt = QuantFormat{bits, true};
+  s.granularity = Granularity::kPerRow;
+  s.calib = calib;
+  return s;
+}
+
+QuantSpec weight_pv(int bits, ScaleDtype dtype, int scale_bits, int vector_size) {
+  QuantSpec s;
+  s.enabled = true;
+  s.fmt = QuantFormat{bits, true};
+  s.granularity = Granularity::kPerVector;
+  s.vector_size = vector_size;
+  s.scale_dtype = dtype;
+  s.scale_fmt = QuantFormat{scale_bits, false};
+  return s;
+}
+
+QuantSpec act_coarse(int bits, bool is_unsigned, CalibSpec calib, bool dynamic) {
+  QuantSpec s;
+  s.enabled = true;
+  s.fmt = QuantFormat{bits, !is_unsigned};
+  s.granularity = Granularity::kPerTensor;
+  s.calib = calib;
+  s.dynamic = dynamic;
+  return s;
+}
+
+QuantSpec act_pv(int bits, bool is_unsigned, ScaleDtype dtype, int scale_bits, int vector_size) {
+  QuantSpec s;
+  s.enabled = true;
+  s.fmt = QuantFormat{bits, !is_unsigned};
+  s.granularity = Granularity::kPerVector;
+  s.vector_size = vector_size;
+  s.scale_dtype = dtype;
+  s.scale_fmt = QuantFormat{scale_bits, false};
+  s.dynamic = true;
+  return s;
+}
+
+}  // namespace specs
+
+std::string accuracy_key(const std::string& model, const QuantSpec& weight_spec,
+                         const QuantSpec& act_spec) {
+  return model + "|w:" + weight_spec.str() + "|a:" + act_spec.str();
+}
+
+}  // namespace vsq

@@ -1,0 +1,34 @@
+// Shared context for bench binaries and examples: artifacts directory
+// resolution, QuantSpec builders matching the paper's configuration
+// notation, and cache-key construction.
+#pragma once
+
+#include <string>
+
+#include "quant/granularity.h"
+
+namespace vsq {
+
+// artifacts/ directory: $VSQ_ARTIFACTS if set, else "artifacts" relative
+// to the current working directory. Created if missing.
+std::string artifacts_dir();
+
+namespace specs {
+
+// Per-channel weights (the paper's coarse-grained weight scaling).
+QuantSpec weight_coarse(int bits, CalibSpec calib = {});
+// Per-vector weights: fp32/fp16 single-level or two-level integer scales.
+QuantSpec weight_pv(int bits, ScaleDtype dtype, int scale_bits = 6, int vector_size = 16);
+// Per-tensor (per-layer) activations, statically calibrated.
+QuantSpec act_coarse(int bits, bool is_unsigned, CalibSpec calib = {}, bool dynamic = false);
+// Per-vector activations with dynamic (PPU-style) max calibration.
+QuantSpec act_pv(int bits, bool is_unsigned, ScaleDtype dtype, int scale_bits = 8,
+                 int vector_size = 16);
+
+}  // namespace specs
+
+// Deterministic cache key for a (model, weight spec, act spec) accuracy.
+std::string accuracy_key(const std::string& model, const QuantSpec& weight_spec,
+                         const QuantSpec& act_spec);
+
+}  // namespace vsq

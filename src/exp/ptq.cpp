@@ -1,0 +1,85 @@
+#include "exp/ptq.h"
+
+#include "util/logging.h"
+
+namespace vsq {
+
+void apply_quant_specs(const std::vector<QuantizableGemm*>& gemms, const QuantSpec& weight_spec,
+                       const QuantSpec& act_spec) {
+  bool first = true;
+  for (QuantizableGemm* g : gemms) {
+    QuantSpec as = act_spec;
+    if (first) {
+      as.fmt.is_signed = true;
+      first = false;
+    }
+    g->set_quant(weight_spec, as);
+  }
+}
+
+void set_mode_all(const std::vector<QuantizableGemm*>& gemms, QuantMode mode) {
+  for (QuantizableGemm* g : gemms) g->set_quant_mode(mode);
+}
+
+void finalize_calibration(const std::vector<QuantizableGemm*>& gemms) {
+  for (QuantizableGemm* g : gemms) g->calibrate_finalize();
+}
+
+PtqRunner::PtqRunner(ModelZoo& zoo) : zoo_(zoo), cache_(zoo.artifacts_dir() + "/accuracy_cache.tsv") {}
+
+double PtqRunner::resnet_accuracy(const QuantSpec& weight_spec, const QuantSpec& act_spec) {
+  const std::string key = accuracy_key("resnetv", weight_spec, act_spec);
+  return cache_.get_or_compute(key, [&] {
+    const double acc = eval_resnet_quantized(weight_spec, act_spec);
+    VSQ_LOG(Info) << key << " -> " << acc;
+    return acc;
+  });
+}
+
+double PtqRunner::bert_accuracy(bool large, const QuantSpec& weight_spec,
+                                const QuantSpec& act_spec) {
+  const std::string key =
+      accuracy_key(large ? "bert_large" : "bert_base", weight_spec, act_spec);
+  return cache_.get_or_compute(key, [&] {
+    const double f1 = eval_bert_quantized(large, weight_spec, act_spec);
+    VSQ_LOG(Info) << key << " -> " << f1;
+    return f1;
+  });
+}
+
+double PtqRunner::eval_resnet_quantized(const QuantSpec& w, const QuantSpec& a) {
+  if (!resnet_) resnet_ = zoo_.resnet(/*folded=*/true);
+  auto gemms = resnet_->gemms();
+  apply_quant_specs(gemms, w, a);
+  set_mode_all(gemms, QuantMode::kCalibrate);
+  const ImageDataset& calib = zoo_.image_calib();
+  for (std::int64_t i0 = 0; i0 < calib.size(); i0 += 64) {
+    const std::int64_t i1 = std::min(calib.size(), i0 + 64);
+    resnet_->forward(calib.batch_images(i0, i1), /*train=*/false);
+  }
+  finalize_calibration(gemms);
+  set_mode_all(gemms, QuantMode::kQuantEval);
+  const double acc = eval_resnet(*resnet_, zoo_.image_test());
+  set_mode_all(gemms, QuantMode::kOff);
+  return acc;
+}
+
+double PtqRunner::eval_bert_quantized(bool large, const QuantSpec& w, const QuantSpec& a) {
+  auto& slot = large ? large_ : base_;
+  if (!slot) slot = large ? zoo_.bert_large() : zoo_.bert_base();
+  auto gemms = slot->gemms();
+  apply_quant_specs(gemms, w, a);
+  set_mode_all(gemms, QuantMode::kCalibrate);
+  const SpanDataset& calib = zoo_.span_calib();
+  for (std::int64_t i0 = 0; i0 < calib.size(); i0 += 64) {
+    const std::int64_t i1 = std::min(calib.size(), i0 + 64);
+    slot->forward(calib.batch_tokens(i0, i1), /*train=*/false);
+  }
+  finalize_calibration(gemms);
+  set_mode_all(gemms, QuantMode::kQuantEval);
+  const double f1 = eval_transformer(*slot, zoo_.span_test());
+  set_mode_all(gemms, QuantMode::kOff);
+  return f1;
+}
+
+}  // namespace vsq

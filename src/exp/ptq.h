@@ -1,0 +1,47 @@
+// Post-training-quantization pipeline (paper Sec. 3-4):
+//   1. configure every weighted GEMM in the model with (weight, act) specs
+//      (the first GEMM's activations stay signed — raw inputs/embeddings)
+//   2. stream calibration batches through the fp32 model to collect
+//      activation statistics (amax / histograms / two-level gamma)
+//   3. evaluate on the test split with simulated quantization
+// Results are cached in artifacts/accuracy_cache.tsv keyed by the spec
+// strings, so table benches and design-space figures share evaluations.
+#pragma once
+
+#include <memory>
+
+#include "exp/experiment_context.h"
+#include "models/zoo.h"
+#include "util/result_cache.h"
+
+namespace vsq {
+
+class PtqRunner {
+ public:
+  explicit PtqRunner(ModelZoo& zoo);
+
+  // Accuracy of the quantized model (top-1 % for the CNN, F1 % for BERT).
+  double resnet_accuracy(const QuantSpec& weight_spec, const QuantSpec& act_spec);
+  double bert_accuracy(bool large, const QuantSpec& weight_spec, const QuantSpec& act_spec);
+
+  ModelZoo& zoo() { return zoo_; }
+
+ private:
+  double eval_resnet_quantized(const QuantSpec& w, const QuantSpec& a);
+  double eval_bert_quantized(bool large, const QuantSpec& w, const QuantSpec& a);
+
+  ModelZoo& zoo_;
+  ResultCache cache_;
+  std::unique_ptr<ResNetV> resnet_;  // lazily built, reused across configs
+  std::unique_ptr<TransformerEncoder> base_, large_;
+};
+
+// Configure quantization on a set of GEMMs (first layer's activations are
+// forced signed: raw images / embeddings are not post-ReLU).
+void apply_quant_specs(const std::vector<QuantizableGemm*>& gemms, const QuantSpec& weight_spec,
+                       const QuantSpec& act_spec);
+// Switch all GEMMs to a mode; finalize calibration when leaving kCalibrate.
+void set_mode_all(const std::vector<QuantizableGemm*>& gemms, QuantMode mode);
+void finalize_calibration(const std::vector<QuantizableGemm*>& gemms);
+
+}  // namespace vsq

@@ -1,0 +1,61 @@
+#include "exp/qat.h"
+
+#include "exp/ptq.h"
+#include "util/logging.h"
+
+namespace vsq {
+namespace {
+
+// QAT trains with quantizers in the loop but without static calibration
+// passes: activations fall back to dynamic (per-batch) calibration, and
+// two-level integer activation scales (whose gamma would need a frozen
+// calibration) use single-level fp32 scales — matching the paper's QAT
+// setup where scale factors are not trained parameters (Sec. 7).
+QuantSpec qat_act_spec(QuantSpec s) {
+  s.dynamic = true;
+  if (s.scale_dtype == ScaleDtype::kTwoLevelInt) s.scale_dtype = ScaleDtype::kFp32;
+  return s;
+}
+
+}  // namespace
+
+QatResult qat_resnet(ModelZoo& zoo, const QuantSpec& weight_spec, const QuantSpec& act_spec,
+                     const QatConfig& config) {
+  // QAT finetunes the pretrained model with BatchNorm live (unfolded).
+  auto model = zoo.resnet(/*folded=*/false);
+  auto gemms = model->gemms();
+  apply_quant_specs(gemms, weight_spec, qat_act_spec(act_spec));
+  set_mode_all(gemms, QuantMode::kQat);
+
+  TrainConfig tc;
+  tc.epochs = config.epochs;
+  tc.batch = config.batch;
+  tc.lr = config.lr;
+  tc.seed = config.seed;
+  tc.log_progress = false;
+  const double acc = train_resnet(*model, zoo.image_train(), zoo.image_test(), tc);
+  VSQ_LOG(Info) << "QAT resnet w:" << weight_spec.str() << " a:" << act_spec.str() << " -> "
+                << acc;
+  return QatResult{acc, config.epochs};
+}
+
+QatResult qat_bert(ModelZoo& zoo, bool large, const QuantSpec& weight_spec,
+                   const QuantSpec& act_spec, const QatConfig& config) {
+  auto model = large ? zoo.bert_large() : zoo.bert_base();
+  auto gemms = model->gemms();
+  apply_quant_specs(gemms, weight_spec, qat_act_spec(act_spec));
+  set_mode_all(gemms, QuantMode::kQat);
+
+  TrainConfig tc;
+  tc.epochs = config.epochs;
+  tc.batch = config.batch;
+  tc.lr = config.lr;
+  tc.seed = config.seed;
+  tc.log_progress = false;
+  const double f1 = train_transformer(*model, zoo.span_train(), zoo.span_test(), tc);
+  VSQ_LOG(Info) << "QAT bert" << (large ? "-large" : "-base") << " w:" << weight_spec.str()
+                << " a:" << act_spec.str() << " -> " << f1;
+  return QatResult{f1, config.epochs};
+}
+
+}  // namespace vsq

@@ -1,0 +1,32 @@
+// Quantization-aware-training pipeline (paper Sec. 7, Table 9): finetune a
+// pretrained checkpoint with quantizers in the loop, gradients flowing
+// through a straight-through estimator. Scale factors are not trained
+// (exactly the paper's setup): activations use dynamic max calibration and
+// weights are re-quantized from their float shadows every step.
+#pragma once
+
+#include "models/zoo.h"
+#include "quant/granularity.h"
+
+namespace vsq {
+
+struct QatResult {
+  double accuracy = 0;  // top-1 % / F1 % after finetuning
+  int epochs = 0;       // finetuning epochs used
+};
+
+struct QatConfig {
+  int epochs = 2;
+  std::int64_t batch = 32;
+  float lr = 5e-3f;  // small finetuning rate
+  std::uint64_t seed = 77;
+};
+
+// Finetunes a fresh copy of the pretrained model with the given quant
+// specs applied to every GEMM, then reports quantized accuracy.
+QatResult qat_resnet(ModelZoo& zoo, const QuantSpec& weight_spec, const QuantSpec& act_spec,
+                     const QatConfig& config);
+QatResult qat_bert(ModelZoo& zoo, bool large, const QuantSpec& weight_spec,
+                   const QuantSpec& act_spec, const QatConfig& config);
+
+}  // namespace vsq

@@ -1,0 +1,76 @@
+#include "exp/sensitivity.h"
+
+#include <algorithm>
+
+#include "exp/ptq.h"
+
+namespace vsq {
+namespace {
+
+// Calibrate + evaluate the CNN with whatever per-layer quant configuration
+// has already been applied to `gemms` (layers with disabled specs pass
+// through untouched).
+double calibrate_and_eval(ResNetV& model, ModelZoo& zoo,
+                          const std::vector<QuantizableGemm*>& gemms) {
+  set_mode_all(gemms, QuantMode::kCalibrate);
+  const ImageDataset& calib = zoo.image_calib();
+  for (std::int64_t i0 = 0; i0 < calib.size(); i0 += 64) {
+    const std::int64_t i1 = std::min(calib.size(), i0 + 64);
+    model.forward(calib.batch_images(i0, i1), /*train=*/false);
+  }
+  finalize_calibration(gemms);
+  set_mode_all(gemms, QuantMode::kQuantEval);
+  const double acc = eval_resnet(model, zoo.image_test());
+  set_mode_all(gemms, QuantMode::kOff);
+  return acc;
+}
+
+}  // namespace
+
+std::vector<LayerSensitivity> resnet_layer_sensitivity(ModelZoo& zoo, const QuantSpec& weight_spec,
+                                                       const QuantSpec& act_spec) {
+  auto model = zoo.resnet(/*folded=*/true);
+  auto gemms = model->gemms();
+  const double fp32 = eval_resnet(*model, zoo.image_test());
+
+  std::vector<LayerSensitivity> out;
+  for (std::size_t target = 0; target < gemms.size(); ++target) {
+    for (std::size_t i = 0; i < gemms.size(); ++i) {
+      if (i == target) {
+        QuantSpec as = act_spec;
+        if (i == 0) as.fmt.is_signed = true;  // raw image input
+        gemms[i]->set_quant(weight_spec, as);
+      } else {
+        gemms[i]->set_quant(QuantSpec::disabled(), QuantSpec::disabled());
+      }
+    }
+    LayerSensitivity s;
+    s.layer = gemms[target]->gemm_name();
+    s.accuracy = calibrate_and_eval(*model, zoo, gemms);
+    s.drop = fp32 - s.accuracy;
+    out.push_back(s);
+  }
+  return out;
+}
+
+double resnet_mixed_precision_accuracy(ModelZoo& zoo, const std::vector<std::string>& keep_high,
+                                       const QuantSpec& w_low, const QuantSpec& a_low,
+                                       const QuantSpec& w_high, const QuantSpec& a_high) {
+  auto model = zoo.resnet(/*folded=*/true);
+  auto gemms = model->gemms();
+  bool first = true;
+  for (QuantizableGemm* g : gemms) {
+    const bool high = std::find(keep_high.begin(), keep_high.end(), g->gemm_name()) !=
+                      keep_high.end();
+    QuantSpec w = high ? w_high : w_low;
+    QuantSpec a = high ? a_high : a_low;
+    if (first) {
+      a.fmt.is_signed = true;
+      first = false;
+    }
+    g->set_quant(w, a);
+  }
+  return calibrate_and_eval(*model, zoo, gemms);
+}
+
+}  // namespace vsq

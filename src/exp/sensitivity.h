@@ -1,0 +1,36 @@
+// Per-layer quantization sensitivity and mixed-precision assignment — an
+// extension in the spirit of the paper's related-work discussion (Wu et
+// al. 2018, Khoram & Li 2018: per-layer bitwidths matched to sensitivity).
+//
+// Sensitivity: quantize ONE GEMM layer at a time (all others fp32),
+// evaluate, and report the accuracy drop attributable to that layer.
+// Mixed precision: keep the k most sensitive layers at a high-precision
+// spec and quantize the rest aggressively — the classic recipe that
+// recovers most of the accuracy at a fraction of the cost.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "models/zoo.h"
+#include "quant/granularity.h"
+
+namespace vsq {
+
+struct LayerSensitivity {
+  std::string layer;
+  double accuracy = 0;  // accuracy with only this layer quantized
+  double drop = 0;      // fp32 baseline minus accuracy
+};
+
+// Quantize one layer at a time on the (BN-folded) CNN.
+std::vector<LayerSensitivity> resnet_layer_sensitivity(ModelZoo& zoo, const QuantSpec& weight_spec,
+                                                       const QuantSpec& act_spec);
+
+// Mixed precision on the CNN: layers whose names are in `keep_high` use
+// (w_high, a_high); every other GEMM uses (w_low, a_low). Returns accuracy.
+double resnet_mixed_precision_accuracy(ModelZoo& zoo, const std::vector<std::string>& keep_high,
+                                       const QuantSpec& w_low, const QuantSpec& a_low,
+                                       const QuantSpec& w_high, const QuantSpec& a_high);
+
+}  // namespace vsq

@@ -1,0 +1,44 @@
+// Analytical PE area model, normalized to 8/8/-/- = 1.0 (the paper's
+// performance-per-area axis is the reciprocal: all configurations run at
+// the same ops/cycle, so perf/area = baseline_area / area).
+//
+// Components: MAC array (multipliers ~ Nw*Na, adder tree ~ width), the
+// VS-Quant scale path (Fig. 2b multipliers + rounding), accumulation
+// collectors (~ accumulator width), weight/activation SRAM buffers
+// (~ bits per entry, fixed entry count, including the M-bit per-vector
+// scale columns), PPU (vector-max + reciprocal + shifter for dynamic
+// per-vector calibration), and fixed control overhead.
+#pragma once
+
+#include "hw/mac_config.h"
+
+namespace vsq {
+
+struct AreaBreakdown {
+  double mac_array = 0;
+  double scale_path = 0;
+  double collectors = 0;
+  double buffers = 0;
+  double ppu = 0;
+  double fixed = 0;
+  double total() const {
+    return mac_array + scale_path + collectors + buffers + ppu + fixed;
+  }
+};
+
+class AreaModel {
+ public:
+  AreaModel();
+
+  // PE area normalized to the 8/8/-/- baseline.
+  double area(const MacConfig& config) const;
+  AreaBreakdown breakdown(const MacConfig& config) const;
+  // The paper's y-axis: performance per unit area, normalized to baseline.
+  double perf_per_area(const MacConfig& config) const { return 1.0 / area(config); }
+
+ private:
+  double k_mul_, k_add_, k_reg_, k_sram_, k_ppu_, k_fixed_;
+  double baseline_;
+};
+
+}  // namespace vsq

@@ -1,0 +1,57 @@
+#include "hw/chip.h"
+
+#include <stdexcept>
+
+#include "quant/granularity.h"
+
+namespace vsq {
+
+LayerMapping Chip::map_gemm(const std::string& name, const GemmDims& dims,
+                            std::int64_t channel_block, double gated_fraction) const {
+  if (dims.rows <= 0 || dims.cols <= 0 || dims.outs <= 0) {
+    throw std::invalid_argument("Chip::map_gemm: layer has no recorded dims (" + name +
+                                "); run a forward pass first");
+  }
+  LayerMapping m;
+  m.name = name;
+  m.macs = dims.macs();
+
+  // Tiling: activation rows across PE rows, output channels across
+  // (PE cols x MAC units); every MAC unit walks the reduction axis one
+  // vector per cycle. Ceil divisions model edge-tile underutilization;
+  // the vector count includes short tail vectors (channel blocks not
+  // divisible by V), exactly the lanes the real array would idle.
+  const VectorLayout layout{dims.cols, config_.mac.vector_size, channel_block};
+  const std::int64_t row_tiles = (dims.rows + config_.pe_rows - 1) / config_.pe_rows;
+  const std::int64_t k_lanes =
+      static_cast<std::int64_t>(config_.pe_cols) * config_.mac_units_per_pe;
+  const std::int64_t k_tiles = (dims.outs + k_lanes - 1) / k_lanes;
+  m.cycles = row_tiles * k_tiles * layout.vectors_per_row();
+  const double peak = static_cast<double>(config_.peak_macs_per_cycle());
+  m.utilization = static_cast<double>(m.macs) / (static_cast<double>(m.cycles) * peak);
+  m.energy = static_cast<double>(m.macs) *
+             energy_model_.energy_per_op(config_.mac, gated_fraction);
+  return m;
+}
+
+ChipReport Chip::map_model(const std::vector<QuantizableGemm*>& gemms,
+                           double gated_fraction) const {
+  ChipReport r;
+  double energy_total = 0, util_weighted = 0;
+  for (const QuantizableGemm* g : gemms) {
+    const LayerMapping m =
+        map_gemm(g->gemm_name(), g->gemm_dims(), g->weight_spec().channel_block, gated_fraction);
+    r.total_macs += m.macs;
+    r.total_cycles += m.cycles;
+    energy_total += m.energy;
+    util_weighted += m.utilization * static_cast<double>(m.macs);
+    r.layers.push_back(m);
+  }
+  if (r.total_macs > 0) {
+    r.weighted_energy_per_op = energy_total / static_cast<double>(r.total_macs);
+    r.mean_utilization = util_weighted / static_cast<double>(r.total_macs);
+  }
+  return r;
+}
+
+}  // namespace vsq

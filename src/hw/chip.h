@@ -1,0 +1,69 @@
+// Chip-level accelerator model: an array of processing elements, each with
+// several VS-Quant vector MAC units (the MAGNet-style organization of
+// Fig. 2a). Maps a model's GEMM layers onto the array to obtain cycle
+// counts, utilization (tail vectors and non-dividing tile shapes waste
+// lanes), and the op-weighted average energy per operation — the paper's
+// "energy averaged over layers, weighted by the number of operations in
+// each layer" methodology (Sec. 6).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/energy_model.h"
+#include "nn/layer.h"
+
+namespace vsq {
+
+struct ChipConfig {
+  int pe_rows = 4;          // PEs along the activation-row dimension
+  int pe_cols = 4;          // PEs along the output-channel dimension
+  int mac_units_per_pe = 8; // vector MAC units per PE (Fig. 2a)
+  MacConfig mac;            // datapath configuration of every MAC unit
+
+  // Peak MACs retired per cycle when every lane is busy.
+  std::int64_t peak_macs_per_cycle() const {
+    return static_cast<std::int64_t>(pe_rows) * pe_cols * mac_units_per_pe *
+           mac.vector_size;
+  }
+};
+
+struct LayerMapping {
+  std::string name;
+  std::int64_t macs = 0;       // useful multiply-accumulates
+  std::int64_t cycles = 0;     // issue cycles on the array
+  double utilization = 0;      // macs / (cycles * peak)
+  double energy = 0;           // normalized energy units for this layer
+};
+
+struct ChipReport {
+  std::vector<LayerMapping> layers;
+  std::int64_t total_macs = 0;
+  std::int64_t total_cycles = 0;
+  double weighted_energy_per_op = 0;  // op-weighted (the paper's metric)
+  double mean_utilization = 0;        // op-weighted
+};
+
+class Chip {
+ public:
+  explicit Chip(const ChipConfig& config) : config_(config), energy_model_() {}
+
+  const ChipConfig& config() const { return config_; }
+
+  // Map one GEMM (activation rows x reduction cols -> outs channels) onto
+  // the array. channel_block as in VectorLayout (conv channel boundaries).
+  LayerMapping map_gemm(const std::string& name, const GemmDims& dims,
+                        std::int64_t channel_block = 0,
+                        double gated_fraction = 0.0) const;
+
+  // Map every quantizable GEMM of a model (uses each layer's dims from its
+  // most recent forward, so run one inference batch first).
+  ChipReport map_model(const std::vector<QuantizableGemm*>& gemms,
+                       double gated_fraction = 0.0) const;
+
+ private:
+  ChipConfig config_;
+  EnergyModel energy_model_;
+};
+
+}  // namespace vsq

@@ -1,0 +1,116 @@
+#include "hw/design_space.h"
+
+namespace vsq {
+namespace {
+
+MacConfig poc(int w, int a) {
+  MacConfig c;
+  c.wt_bits = w;
+  c.act_bits = a;
+  return c;
+}
+
+MacConfig pv(int w, int a, int ws, int as) {
+  MacConfig c;
+  c.wt_bits = w;
+  c.act_bits = a;
+  c.wt_scale_bits = ws;
+  c.act_scale_bits = as;
+  return c;
+}
+
+}  // namespace
+
+std::vector<MacConfig> design_space_configs(ModelKind kind) {
+  std::vector<MacConfig> cs;
+  switch (kind) {
+    case ModelKind::kResNet: {
+      // POC baselines (Fig. 3/4 blue points).
+      for (const auto [w, a] : {std::pair{4, 4}, {4, 6}, {6, 4}, {6, 6}, {6, 8}, {8, 8}, {6, 3},
+                                {8, 6}}) {
+        cs.push_back(poc(w, a));
+      }
+      // PVAW grid at the Table 5 scale precisions.
+      for (const int w : {4, 6, 8}) {
+        for (const int a : {3, 4, 6, 8}) {
+          for (const int ws : {4, 6}) {
+            for (const int as : {4, 6}) cs.push_back(pv(w, a, ws, as));
+          }
+        }
+      }
+      // PVWO (weights only) and PVAO (activations only) — paper's named
+      // points include 6/8/6/-, 4/6/4/-, 6/3/-/4, 4/3/4/6.
+      for (const int w : {4, 6, 8}) {
+        for (const int a : {3, 4, 6, 8}) {
+          cs.push_back(pv(w, a, 4, -1));
+          cs.push_back(pv(w, a, 6, -1));
+          cs.push_back(pv(w, a, -1, 4));
+          cs.push_back(pv(w, a, -1, 6));
+        }
+      }
+      break;
+    }
+    case ModelKind::kBertBase:
+    case ModelKind::kBertLarge: {
+      for (const auto [w, a] : {std::pair{6, 8}, {8, 8}, {6, 6}, {8, 6}}) {
+        MacConfig c = poc(w, a);
+        c.act_unsigned = false;  // transformer activations are signed
+        cs.push_back(c);
+      }
+      for (const int w : {3, 4, 6, 8}) {
+        for (const int a : {6, 8}) {
+          for (const int ws : {4, 6}) {
+            for (const int as : {8, 10}) {
+              MacConfig c = pv(w, a, ws, as);
+              c.act_unsigned = false;
+              cs.push_back(c);
+            }
+          }
+          // Weights-only and acts-only variants (e.g. the paper's 6/8/-/10).
+          MacConfig c1 = pv(w, a, 6, -1);
+          c1.act_unsigned = false;
+          cs.push_back(c1);
+          MacConfig c2 = pv(w, a, -1, 10);
+          c2.act_unsigned = false;
+          cs.push_back(c2);
+        }
+      }
+      break;
+    }
+  }
+  return cs;
+}
+
+std::vector<DesignPoint> evaluate_design_points(const std::vector<MacConfig>& configs,
+                                                const EnergyModel& em, const AreaModel& am) {
+  std::vector<DesignPoint> pts;
+  pts.reserve(configs.size());
+  for (const MacConfig& c : configs) {
+    DesignPoint p;
+    p.mac = c;
+    p.energy = em.energy_per_op(c);
+    p.area = am.area(c);
+    p.perf_per_area = am.perf_per_area(c);
+    pts.push_back(p);
+  }
+  return pts;
+}
+
+std::vector<DesignPoint> pareto_front(const std::vector<DesignPoint>& points) {
+  std::vector<DesignPoint> front;
+  for (const DesignPoint& p : points) {
+    bool dominated = false;
+    for (const DesignPoint& q : points) {
+      const bool strictly_better = (q.energy < p.energy && q.perf_per_area >= p.perf_per_area) ||
+                                   (q.energy <= p.energy && q.perf_per_area > p.perf_per_area);
+      if (strictly_better) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) front.push_back(p);
+  }
+  return front;
+}
+
+}  // namespace vsq

@@ -1,0 +1,41 @@
+// Design-space enumeration and Pareto analysis (paper Sec. 6, Table 8,
+// Figs. 4-7). A DesignPoint couples one hardware configuration with its
+// modeled energy/area and the measured inference accuracy of a model
+// quantized the same way.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/area_model.h"
+#include "hw/energy_model.h"
+
+namespace vsq {
+
+struct DesignPoint {
+  MacConfig mac;
+  double energy = 0;         // per-op, normalized to 8/8/-/-
+  double perf_per_area = 0;  // normalized to 8/8/-/-
+  double area = 0;           // normalized
+  double accuracy = 0;       // task metric (top-1 % or F1 %)
+
+  std::string label() const { return mac.str(); }
+};
+
+enum class ModelKind { kResNet, kBertBase, kBertLarge };
+
+// Curated configuration list per model, spanning the paper's Table 8
+// space: POC baselines at each precision plus PVAW/PVWO/PVAO variants
+// with the scale precisions the paper's figures populate. Figures 4-6 use
+// full-bitwidth scale products (as the paper does for Sec. 6).
+std::vector<MacConfig> design_space_configs(ModelKind kind);
+
+// Fill energy/area for every point (accuracy joined by the caller).
+std::vector<DesignPoint> evaluate_design_points(const std::vector<MacConfig>& configs,
+                                                const EnergyModel& em, const AreaModel& am);
+
+// Pareto front within an accuracy band: a point survives if no other point
+// in the band has both lower energy and higher perf/area.
+std::vector<DesignPoint> pareto_front(const std::vector<DesignPoint>& points);
+
+}  // namespace vsq

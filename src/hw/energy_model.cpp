@@ -1,0 +1,83 @@
+#include "hw/energy_model.h"
+
+#include <bit>
+#include <cmath>
+
+namespace vsq {
+namespace {
+int log2_of(int v) { return std::bit_width(static_cast<unsigned>(v)) - 1; }
+}  // namespace
+
+EnergyModel::EnergyModel() {
+  // Anchors (paper): 8/8/-/- == 1.0 by construction; 4/4/-/- lands near 0.5
+  // ("up to 2x energy savings over an 8-bit baseline", Fig. 3); VS-Quant
+  // 4/4/4/4 with full scale products shows a modest overhead over 4/4/-/-;
+  // rounding the product to 4-6 bits plus data gating pushes VS-Quant to or
+  // below the per-channel configurations.
+  k_mul_ = 0.0090;   // per bit^2 of multiplier work per MAC
+  k_add_ = 0.0070;   // per bit of adder-tree width per MAC
+  k_acc_ = 0.0450;   // per bit of accumulator width per vector op
+  k_sram_ = 0.0500;  // per bit read per MAC (post-amortization)
+  k_fixed_ = 0.115;  // control/PPU share per MAC
+  wt_reuse_ = 4.0;   // weight collector temporal reuse
+  act_reuse_ = 8.0;  // input vector shared across MAC units
+  baseline_ = 1.0;
+  MacConfig base;  // 8/8/-/- defaults
+  baseline_ = breakdown(base, 0.0).total();
+}
+
+EnergyBreakdown EnergyModel::breakdown(const MacConfig& c, double gated_fraction) const {
+  EnergyBreakdown e;
+  const double v = c.vector_size;
+  const int log2v = log2_of(c.vector_size);
+  const int dp_bits = c.wt_bits + c.act_bits + log2v;  // dot-product width
+  const int sp_bits = c.effective_scale_product_bits();
+  // Zero scale products gate the whole vector MAC: the scale factors are
+  // read alongside the operands, so a zero product suppresses the MAC
+  // array, reduction, the dp x sp multiply, and the accumulation update
+  // (the Fig. 3 data-gating effect).
+  const double gate = 1.0 - gated_fraction;
+
+  // V multipliers of Nw x Na, one per MAC.
+  e.mac_mul = k_mul_ * c.wt_bits * c.act_bits * gate;
+  // Adder tree reducing V products of (Nw+Na) bits; per-MAC share ~ width.
+  e.adder_tree = k_add_ * (c.wt_bits + c.act_bits + 0.5 * log2v) * gate;
+
+  if (c.is_vs_quant()) {
+    // Per vector op (amortized over V MACs):
+    //   sw x sa multiplier (only when both operands carry integer scales),
+    //   rounding, and the dp x sp multiplier of (2N+log2V) x P bits.
+    double per_vec = 0.0;
+    if (c.per_vector_weights() && c.per_vector_acts()) {
+      per_vec += k_mul_ * c.wt_scale_bits * c.act_scale_bits;
+    }
+    per_vec += k_mul_ * dp_bits * sp_bits * gate;  // gated when sp == 0
+    e.scale_path = per_vec / v;
+  }
+
+  // Accumulation collector: one update of (dp + sp)-bit width per vector op.
+  e.accumulation = k_acc_ * c.accumulator_bits() / v * gate;
+
+  // Buffer accesses per MAC: weights (V*Nw + ws)/reuse/V, activations
+  // (V*Na + as)/reuse/V.
+  const double wt_bits_per_vec = v * c.wt_bits + std::max(0, c.wt_scale_bits);
+  const double act_bits_per_vec = v * c.act_bits + std::max(0, c.act_scale_bits);
+  e.sram = k_sram_ * (wt_bits_per_vec / wt_reuse_ + act_bits_per_vec / act_reuse_) / v;
+
+  e.fixed = k_fixed_;
+
+  const double norm = 1.0 / baseline_;
+  e.mac_mul *= norm;
+  e.adder_tree *= norm;
+  e.scale_path *= norm;
+  e.accumulation *= norm;
+  e.sram *= norm;
+  e.fixed *= norm;
+  return e;
+}
+
+double EnergyModel::energy_per_op(const MacConfig& config, double gated_fraction) const {
+  return breakdown(config, gated_fraction).total();
+}
+
+}  // namespace vsq

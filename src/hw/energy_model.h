@@ -1,0 +1,56 @@
+// Analytical per-operation energy model of the processing element,
+// normalized to the 8/8/-/- per-channel baseline = 1.0 (as in every energy
+// figure of the paper).
+//
+// Component scaling laws (standard CMOS datapath estimates, consistent
+// with the MAGNet-derived PE of Sec. 5):
+//   multiplier energy     ~ product of operand widths (array multiplier)
+//   adder/register energy ~ operand width
+//   SRAM access energy    ~ bits accessed (amortized by PE-level reuse:
+//                           activations shared across MAC lanes, weights
+//                           reused temporally via the weight collector)
+//   fixed overhead        ~ control, sequencing, PPU share
+// The VS-Quant additions (Fig. 2b) are modeled explicitly: the ws x as
+// scale-product multiplier, the (2N+log2V) x P dot-product scale
+// multiplier, wider accumulation, and the per-vector scale storage reads.
+// Scale-product rounding to P bits shrinks the second multiplier and the
+// accumulator; the measured fraction of zero (gateable) products further
+// gates accumulation energy (the Fig. 3 effect).
+#pragma once
+
+#include "hw/mac_config.h"
+
+namespace vsq {
+
+struct EnergyBreakdown {
+  double mac_mul = 0;      // V NxN multipliers
+  double adder_tree = 0;   // dot-product reduction
+  double scale_path = 0;   // sw*sa multiplier + rounding + dp*sp multiplier
+  double accumulation = 0; // accumulation collector
+  double sram = 0;         // weight/activation/scale buffer accesses
+  double fixed = 0;        // control + PPU share
+  double total() const {
+    return mac_mul + adder_tree + scale_path + accumulation + sram + fixed;
+  }
+};
+
+class EnergyModel {
+ public:
+  EnergyModel();
+
+  // Per-MAC energy, normalized to the 8/8/-/- baseline.
+  // gated_fraction: fraction of vector ops whose scale product rounds to
+  // zero (from IntGemmStats::gateable_fraction()); gates the accumulation
+  // and dot-product-scale multiply energy.
+  double energy_per_op(const MacConfig& config, double gated_fraction = 0.0) const;
+  EnergyBreakdown breakdown(const MacConfig& config, double gated_fraction = 0.0) const;
+
+ private:
+  // Calibration constants (set so the 8/8/-/- baseline totals 1.0 before
+  // normalization; see energy_model.cpp for the anchor derivation).
+  double k_mul_, k_add_, k_acc_, k_sram_, k_fixed_;
+  double wt_reuse_, act_reuse_;  // buffer-access amortization factors
+  double baseline_;              // raw energy of 8/8/-/- for normalization
+};
+
+}  // namespace vsq

@@ -1,0 +1,88 @@
+#include "hw/mac_config.h"
+
+#include <array>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace vsq {
+
+std::string MacConfig::granularity_label() const {
+  if (per_vector_weights() && per_vector_acts()) return "PVAW";
+  if (per_vector_weights()) return "PVWO";
+  if (per_vector_acts()) return "PVAO";
+  return "POC";
+}
+
+int MacConfig::accumulator_bits() const {
+  const int log2v = std::bit_width(static_cast<unsigned>(vector_size)) - 1;
+  return wt_bits + act_bits + log2v + effective_scale_product_bits();
+}
+
+std::string MacConfig::str() const {
+  const auto scale_str = [](int bits) {
+    return bits > 0 ? std::to_string(bits) : std::string("-");
+  };
+  return std::to_string(wt_bits) + "/" + std::to_string(act_bits) + "/" +
+         scale_str(wt_scale_bits) + "/" + scale_str(act_scale_bits);
+}
+
+MacConfig MacConfig::parse(const std::string& notation) {
+  std::array<std::string, 4> parts;
+  std::size_t pos = 0;
+  for (int i = 0; i < 4; ++i) {
+    const std::size_t next = notation.find('/', pos);
+    if (i < 3 && next == std::string::npos) {
+      throw std::invalid_argument("MacConfig::parse: expected W/A/ws/as, got " + notation);
+    }
+    parts[static_cast<std::size_t>(i)] =
+        notation.substr(pos, next == std::string::npos ? std::string::npos : next - pos);
+    pos = next + 1;
+  }
+  const auto to_bits = [&](const std::string& s, bool allow_dash) {
+    if (allow_dash && s == "-") return -1;
+    const int v = std::stoi(s);
+    if (v < 2 || v > 16) throw std::invalid_argument("MacConfig::parse: bits out of range: " + s);
+    return v;
+  };
+  MacConfig c;
+  c.wt_bits = to_bits(parts[0], false);
+  c.act_bits = to_bits(parts[1], false);
+  c.wt_scale_bits = to_bits(parts[2], true);
+  c.act_scale_bits = to_bits(parts[3], true);
+  return c;
+}
+
+QuantSpec MacConfig::weight_spec() const {
+  QuantSpec s;
+  s.enabled = true;
+  s.fmt = QuantFormat{wt_bits, true};
+  s.vector_size = vector_size;
+  if (per_vector_weights()) {
+    s.granularity = Granularity::kPerVector;
+    s.scale_dtype = ScaleDtype::kTwoLevelInt;
+    s.scale_fmt = QuantFormat{wt_scale_bits, false};
+  } else {
+    s.granularity = Granularity::kPerRow;  // per output channel
+  }
+  return s;
+}
+
+QuantSpec MacConfig::act_spec() const {
+  QuantSpec s;
+  s.enabled = true;
+  s.fmt = QuantFormat{act_bits, !act_unsigned};
+  s.vector_size = vector_size;
+  if (per_vector_acts()) {
+    s.granularity = Granularity::kPerVector;
+    s.scale_dtype = ScaleDtype::kTwoLevelInt;
+    s.scale_fmt = QuantFormat{act_scale_bits, false};
+    s.dynamic = true;  // PPU calibrates per vector at runtime
+  } else {
+    s.granularity = Granularity::kPerTensor;  // per layer
+  }
+  return s;
+}
+
+}  // namespace vsq

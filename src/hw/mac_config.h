@@ -1,0 +1,53 @@
+// Hardware configuration of one accelerator datapath variant, following
+// the paper's W/A/ws/as notation (Fig. 3 onward): weight bits, activation
+// bits, per-vector weight-scale bits, per-vector activation-scale bits.
+// A dash (-1) for a scale precision means per-channel/per-layer coarse
+// scaling on that operand (the baseline datapath: no integer scale
+// multiplier, no scale storage alongside vectors).
+#pragma once
+
+#include <string>
+
+#include "quant/granularity.h"
+
+namespace vsq {
+
+struct MacConfig {
+  int wt_bits = 8;
+  int act_bits = 8;
+  int wt_scale_bits = -1;   // -1 -> per-channel weights (POC)
+  int act_scale_bits = -1;  // -1 -> per-layer activations
+  int vector_size = 16;
+  // Round the sw*sa product to this many MSBs before the dot-product
+  // multiply (Fig. 3); -1 keeps the full ws+as-bit product.
+  int scale_product_bits = -1;
+  bool act_unsigned = true;  // post-ReLU activations ("U" in the tables)
+
+  bool per_vector_weights() const { return wt_scale_bits > 0; }
+  bool per_vector_acts() const { return act_scale_bits > 0; }
+  bool is_vs_quant() const { return per_vector_weights() || per_vector_acts(); }
+  // Paper's Table 8 granularity labels: POC, PVWO, PVAO, PVAW.
+  std::string granularity_label() const;
+  // Full width of the integer scale product feeding the rounding unit.
+  int full_scale_product_bits() const {
+    return (per_vector_weights() ? wt_scale_bits : 0) +
+           (per_vector_acts() ? act_scale_bits : 0);
+  }
+  int effective_scale_product_bits() const {
+    const int full = full_scale_product_bits();
+    return (scale_product_bits > 0 && scale_product_bits < full) ? scale_product_bits : full;
+  }
+  // Accumulation-collector width: 2N + log2(V) + scale product bits.
+  int accumulator_bits() const;
+
+  // "W/A/ws/as" exactly as the paper prints it, e.g. "4/4/4/4", "8/8/-/-".
+  std::string str() const;
+  // Parse the same notation (throws std::invalid_argument on bad input).
+  static MacConfig parse(const std::string& notation);
+
+  // QuantSpecs for the two operands of a GEMM run on this hardware.
+  QuantSpec weight_spec() const;
+  QuantSpec act_spec() const;
+};
+
+}  // namespace vsq

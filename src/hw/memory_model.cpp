@@ -1,0 +1,73 @@
+#include "hw/memory_model.h"
+
+#include "quant/granularity.h"
+
+namespace vsq {
+
+namespace {
+// Coarse scales are stored as fp16 in the packaged format (quant/export):
+// full fp32 precision is unnecessary for a ratio of two amaxes.
+constexpr int kCoarseScaleBits = 16;
+}  // namespace
+
+double scale_overhead_fraction(int value_bits, int scale_bits, int vector_size) {
+  if (value_bits <= 0 || scale_bits <= 0 || vector_size <= 0) return 0.0;
+  return static_cast<double>(scale_bits) /
+         (static_cast<double>(vector_size) * static_cast<double>(value_bits));
+}
+
+double effective_bitwidth(int value_bits, int scale_bits, int vector_size) {
+  return value_bits * (1.0 + scale_overhead_fraction(value_bits, scale_bits, vector_size));
+}
+
+double ModelTraffic::ratio_vs(const ModelTraffic& other) const {
+  return other.total_bits() == 0
+             ? 0.0
+             : static_cast<double>(total_bits()) / static_cast<double>(other.total_bits());
+}
+
+StorageCost MemoryModel::storage(std::int64_t rows, std::int64_t cols, int value_bits,
+                                 int scale_bits, bool per_vector, bool coarse_per_row,
+                                 std::int64_t channel_block) const {
+  StorageCost c;
+  c.elements = rows * cols;
+  c.value_bits = c.elements * value_bits;
+  if (per_vector) {
+    const VectorLayout layout{cols, config_.vector_size, channel_block};
+    c.scale_bits = rows * layout.vectors_per_row() * scale_bits;
+  }
+  // Coarse scales: per-row for weights (per-channel), one per tensor for
+  // activations. Present for coarse-only scaling AND as the two-level gamma.
+  c.coarse_bits = (coarse_per_row ? rows : 1) * kCoarseScaleBits;
+  return c;
+}
+
+StorageCost MemoryModel::weight_storage(const GemmDims& dims, std::int64_t channel_block) const {
+  return storage(dims.outs, dims.cols, config_.wt_bits, config_.wt_scale_bits,
+                 config_.per_vector_weights(), /*coarse_per_row=*/true, channel_block);
+}
+
+StorageCost MemoryModel::act_storage(const GemmDims& dims, std::int64_t channel_block) const {
+  return storage(dims.rows, dims.cols, config_.act_bits, config_.act_scale_bits,
+                 config_.per_vector_acts(), /*coarse_per_row=*/false, channel_block);
+}
+
+ModelTraffic MemoryModel::traffic(const std::vector<QuantizableGemm*>& gemms) const {
+  ModelTraffic t;
+  for (const QuantizableGemm* g : gemms) {
+    LayerTraffic lt;
+    lt.name = g->gemm_name();
+    lt.dims = g->gemm_dims();
+    // Vector boundaries follow the layer's configured channel blocking when
+    // a spec is applied; default whole-row otherwise.
+    const std::int64_t block = g->weight_spec().enabled ? g->weight_spec().channel_block : 0;
+    lt.weights = weight_storage(lt.dims, block);
+    lt.acts = act_storage(lt.dims, g->act_spec().enabled ? g->act_spec().channel_block : 0);
+    t.weight_bits += lt.weights.total_bits();
+    t.act_bits += lt.acts.total_bits();
+    t.layers.push_back(std::move(lt));
+  }
+  return t;
+}
+
+}  // namespace vsq

@@ -1,0 +1,91 @@
+// Storage and memory-traffic model for VS-Quant operands (paper Sec. 4.4).
+//
+// An M-bit per-vector scale alongside each V-element vector of N-bit values
+// costs M/(V*N) extra storage — the paper's example: N = M = 4, V = 16
+// gives 6.25% overhead, an "effective bitwidth" of 4.25 bits. Two-level
+// scaling additionally keeps one floating-point coarse scale per channel
+// (weights) or per tensor (activations); coarse-only scaling keeps just
+// the coarse scales. This model turns a QuantSpec (or a whole MacConfig)
+// plus GEMM dimensions into exact bit counts, overhead fractions and
+// effective bitwidths, and aggregates per-layer DRAM traffic for a model:
+// weights fetched once per inference, activations once per layer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/mac_config.h"
+#include "nn/layer.h"
+
+namespace vsq {
+
+// Exact storage cost of one quantized operand tensor, in bits.
+struct StorageCost {
+  std::int64_t elements = 0;     // tensor elements stored
+  std::int64_t value_bits = 0;   // N-bit integer payload
+  std::int64_t scale_bits = 0;   // M-bit integer per-vector scales
+  std::int64_t coarse_bits = 0;  // floating-point coarse scales (fp16)
+
+  std::int64_t total_bits() const { return value_bits + scale_bits + coarse_bits; }
+  // Metadata overhead relative to the value payload (the paper's M/(V*N)).
+  double overhead_fraction() const {
+    return value_bits == 0 ? 0.0
+                           : static_cast<double>(scale_bits + coarse_bits) /
+                                 static_cast<double>(value_bits);
+  }
+  // Bits per element including all scale metadata (paper: 4.25 for 4/4/V16).
+  double effective_bits_per_element() const {
+    return elements == 0 ? 0.0
+                         : static_cast<double>(total_bits()) / static_cast<double>(elements);
+  }
+};
+
+// Closed-form Sec. 4.4 overhead for the per-vector integer scales alone:
+// M / (V * N). (Ignores the coarse scales, as the paper's expression does.)
+double scale_overhead_fraction(int value_bits, int scale_bits, int vector_size);
+// value_bits * (1 + overhead), e.g. effective_bitwidth(4, 4, 16) == 4.25.
+double effective_bitwidth(int value_bits, int scale_bits, int vector_size);
+
+// Per-layer traffic of one GEMM at a hardware configuration.
+struct LayerTraffic {
+  std::string name;
+  GemmDims dims;
+  StorageCost weights;  // fetched once per inference pass
+  StorageCost acts;     // input activations, fetched once by this layer
+  std::int64_t total_bits() const { return weights.total_bits() + acts.total_bits(); }
+};
+
+struct ModelTraffic {
+  std::vector<LayerTraffic> layers;
+  std::int64_t weight_bits = 0;
+  std::int64_t act_bits = 0;
+  std::int64_t total_bits() const { return weight_bits + act_bits; }
+  // Ratio against another configuration's traffic (e.g. the 8/8/-/-
+  // baseline) — the bandwidth-saving headline.
+  double ratio_vs(const ModelTraffic& other) const;
+};
+
+class MemoryModel {
+ public:
+  explicit MemoryModel(const MacConfig& config) : config_(config) {}
+
+  const MacConfig& config() const { return config_; }
+
+  // Storage of a [outs, cols] weight matrix under the config's weight spec.
+  // channel_block as in VectorLayout (conv: C per kernel position).
+  StorageCost weight_storage(const GemmDims& dims, std::int64_t channel_block = 0) const;
+  // Storage of a [rows, cols] activation matrix under the activation spec.
+  StorageCost act_storage(const GemmDims& dims, std::int64_t channel_block = 0) const;
+
+  // Aggregate over a model's GEMM layers (uses each layer's dims from its
+  // most recent forward, like Chip::map_model).
+  ModelTraffic traffic(const std::vector<QuantizableGemm*>& gemms) const;
+
+ private:
+  StorageCost storage(std::int64_t rows, std::int64_t cols, int value_bits, int scale_bits,
+                      bool per_vector, bool coarse_per_row, std::int64_t channel_block) const;
+
+  MacConfig config_;
+};
+
+}  // namespace vsq

@@ -1,0 +1,62 @@
+#include "hw/pe_simulator.h"
+
+#include "tensor/gemm.h"
+
+namespace vsq {
+namespace {
+
+float two_level_gamma(const QuantSpec& spec, float act_amax) {
+  // gamma = smax / (2^M - 1) with smax = amax / qmax (Eq. 7e-7f at
+  // per-tensor coarse granularity) — the value the PPU is programmed with.
+  const float smax = scale_from_amax(act_amax, spec.fmt);
+  return smax / static_cast<float>(spec.scale_fmt.qmax());
+}
+
+}  // namespace
+
+PeRunResult PeSimulator::run(const Tensor& activations, const Tensor& weights, float act_amax,
+                             std::int64_t channel_block) const {
+  QuantSpec wspec = config_.weight_spec();
+  QuantSpec aspec = config_.act_spec();
+  wspec.channel_block = channel_block;
+  aspec.channel_block = channel_block;
+
+  const QuantizedMatrix wq = quantize_weights_int(weights, wspec);
+  const float gamma =
+      aspec.scale_dtype == ScaleDtype::kTwoLevelInt ? two_level_gamma(aspec, act_amax) : 0.0f;
+  const QuantizedMatrix aq = quantize_activations_int(activations, aspec, act_amax, gamma);
+
+  PeRunResult res;
+  res.output = int_gemm(aq, wq, config_.scale_product_bits, &res.stats);
+  return res;
+}
+
+Tensor PeSimulator::reference(const Tensor& activations, const Tensor& weights, float act_amax,
+                              std::int64_t channel_block) const {
+  QuantSpec wspec = config_.weight_spec();
+  QuantSpec aspec = config_.act_spec();
+  wspec.channel_block = channel_block;
+  aspec.channel_block = channel_block;
+
+  const QuantizedOperand wq = quantize_weights(weights, wspec);
+
+  Tensor aq;
+  if (aspec.granularity == Granularity::kPerVector) {
+    aq = fake_quantize_per_vector_two_level_dynamic(activations, aspec,
+                                                    two_level_gamma(aspec, act_amax));
+  } else {
+    ScaleSet s;
+    s.granularity = Granularity::kPerTensor;
+    s.layout.cols = activations.shape()[1];
+    s.rows = activations.shape()[0];
+    s.scales = {scale_from_amax(act_amax, aspec.fmt)};
+    aq = fake_quantize(activations, s, aspec.fmt);
+  }
+
+  const std::int64_t rows = aq.shape()[0], k = weights.shape()[0], l = weights.shape()[1];
+  Tensor out(Shape{rows, k});
+  gemm_nt(aq.data(), wq.fake.data(), out.data(), rows, k, l);
+  return out;
+}
+
+}  // namespace vsq

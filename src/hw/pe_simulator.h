@@ -1,0 +1,42 @@
+// Bit-accurate functional model of the VS-Quant processing element
+// (paper Fig. 2): quantizes both GEMM operands to integers exactly as the
+// buffers store them, runs the integer vector-MAC datapath (int_gemm)
+// with the configured scale-product rounding, and de-scales through the
+// PPU. Also reports the data-gating statistics that feed the energy model
+// (Fig. 3's "scale factor rounding truncates many small values to zero").
+#pragma once
+
+#include "hw/mac_config.h"
+#include "quant/int_gemm.h"
+
+namespace vsq {
+
+struct PeRunResult {
+  Tensor output;       // de-scaled float output [rows, K]
+  IntGemmStats stats;  // vector-op counts and gateable fractions
+};
+
+class PeSimulator {
+ public:
+  explicit PeSimulator(const MacConfig& config) : config_(config) {}
+
+  const MacConfig& config() const { return config_; }
+
+  // Run one GEMM: activations [rows, L] x weights [K, L] -> [rows, K].
+  // act_amax: static per-layer activation amax from calibration (used for
+  // the coarse path and to derive the two-level gamma the PPU holds).
+  // channel_block: vector-boundary block for convs (0 = whole row).
+  PeRunResult run(const Tensor& activations, const Tensor& weights, float act_amax,
+                  std::int64_t channel_block = 0) const;
+
+  // Floating-point reference for the same quantization decisions (the
+  // simulated-quantization path). With full-precision scale products the
+  // PE output must match this exactly up to float rounding.
+  Tensor reference(const Tensor& activations, const Tensor& weights, float act_amax,
+                   std::int64_t channel_block = 0) const;
+
+ private:
+  MacConfig config_;
+};
+
+}  // namespace vsq

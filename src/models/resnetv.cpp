@@ -1,0 +1,220 @@
+#include "models/resnetv.h"
+
+#include "nn/init.h"
+
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace vsq {
+
+ResidualBlock::ResidualBlock(std::string name, std::int64_t in_c, std::int64_t out_c,
+                             std::int64_t stride, Rng& rng) {
+  conv1_ = std::make_unique<Conv2d>(name + ".conv1", in_c, out_c, 3, stride, 1, rng,
+                                    /*has_bias=*/false);
+  bn1_ = std::make_unique<BatchNorm2d>(name + ".bn1", out_c);
+  conv2_ = std::make_unique<Conv2d>(name + ".conv2", out_c, out_c, 3, 1, 1, rng,
+                                    /*has_bias=*/false);
+  bn2_ = std::make_unique<BatchNorm2d>(name + ".bn2", out_c);
+  if (stride != 1 || in_c != out_c) {
+    shortcut_ = std::make_unique<Conv2d>(name + ".shortcut", in_c, out_c, 1, stride, 0, rng,
+                                         /*has_bias=*/false);
+    shortcut_bn_ = std::make_unique<BatchNorm2d>(name + ".shortcut_bn", out_c);
+  }
+}
+
+Tensor ResidualBlock::forward(const Tensor& x, bool train) {
+  Tensor y = relu1_.forward(bn1_->forward(conv1_->forward(x, train), train), train);
+  y = bn2_->forward(conv2_->forward(y, train), train);
+  Tensor identity = x;
+  if (shortcut_) identity = shortcut_bn_->forward(shortcut_->forward(x, train), train);
+  add_inplace(y, identity);
+  return relu2_.forward(y, train);
+}
+
+Tensor ResidualBlock::backward(const Tensor& grad_out) {
+  Tensor g = relu2_.backward(grad_out);
+  // The add fans the gradient to both branches.
+  Tensor g_main = conv1_->backward(bn1_->backward(relu1_.backward(
+      conv2_->backward(bn2_->backward(g)))));
+  if (shortcut_) {
+    Tensor g_short = shortcut_->backward(shortcut_bn_->backward(g));
+    add_inplace(g_main, g_short);
+    return g_main;
+  }
+  add_inplace(g_main, g);
+  return g_main;
+}
+
+std::vector<Param*> ResidualBlock::params() {
+  std::vector<Param*> ps;
+  for (Layer* l : std::initializer_list<Layer*>{conv1_.get(), bn1_.get(), conv2_.get(),
+                                                bn2_.get(), shortcut_.get(), shortcut_bn_.get()}) {
+    if (!l) continue;
+    for (Param* p : l->params()) ps.push_back(p);
+  }
+  return ps;
+}
+
+std::vector<QuantizableGemm*> ResidualBlock::gemms() {
+  std::vector<QuantizableGemm*> gs{conv1_.get(), conv2_.get()};
+  if (shortcut_) gs.push_back(shortcut_.get());
+  return gs;
+}
+
+void ResidualBlock::fold_batchnorm() {
+  std::vector<float> mul, add;
+  bn1_->inference_affine(mul, add);
+  conv1_->fold_affine(mul, add);
+  bn1_->set_identity();
+  bn2_->inference_affine(mul, add);
+  conv2_->fold_affine(mul, add);
+  bn2_->set_identity();
+  if (shortcut_) {
+    shortcut_bn_->inference_affine(mul, add);
+    shortcut_->fold_affine(mul, add);
+    shortcut_bn_->set_identity();
+  }
+}
+
+std::vector<std::pair<std::string, Tensor*>> ResidualBlock::named_tensors() {
+  std::vector<std::pair<std::string, Tensor*>> ts;
+  const auto add_layer_params = [&ts](Layer* l) {
+    if (!l) return;
+    for (Param* p : l->params()) ts.emplace_back(p->name, &p->value);
+  };
+  add_layer_params(conv1_.get());
+  add_layer_params(conv2_.get());
+  add_layer_params(shortcut_.get());
+  for (BatchNorm2d* bn : {bn1_.get(), bn2_.get(), shortcut_bn_.get()}) {
+    if (!bn) continue;
+    add_layer_params(bn);
+    ts.emplace_back(bn->gamma().name + ".running_mean", &bn->running_mean());
+    ts.emplace_back(bn->gamma().name + ".running_var", &bn->running_var());
+  }
+  return ts;
+}
+
+ResNetV::ResNetV(const ResNetVConfig& config) : config_(config) {
+  Rng rng(config.seed);
+  if (config.widths.empty()) throw std::invalid_argument("ResNetV: widths must be non-empty");
+  stem_ = std::make_unique<Conv2d>("stem", config.in_c, config.widths[0], 3, 1, 1, rng,
+                                   /*has_bias=*/false);
+  stem_bn_ = std::make_unique<BatchNorm2d>("stem_bn", config.widths[0]);
+  std::int64_t in_c = config.widths[0];
+  for (std::size_t stage = 0; stage < config.widths.size(); ++stage) {
+    const std::int64_t out_c = config.widths[stage];
+    for (int b = 0; b < config.blocks_per_stage; ++b) {
+      const std::int64_t stride = (stage > 0 && b == 0) ? 2 : 1;
+      blocks_.push_back(std::make_unique<ResidualBlock>(
+          "stage" + std::to_string(stage) + ".block" + std::to_string(b), in_c, out_c, stride,
+          rng));
+      in_c = out_c;
+    }
+  }
+  fc_ = std::make_unique<Linear>("fc", in_c, config.classes, rng);
+
+  // Plant the long-tailed per-column weight profile of mature trained
+  // networks (DESIGN.md §1): within-filter input-channel magnitude spread
+  // is what separates per-vector from per-channel scaling. The fc head is
+  // left alone (its columns are the pooled features; spreading them would
+  // only rescale logits).
+  if (config.init_scale_spread > 0.0) {
+    Rng spread_rng = rng.split(0x5eed);
+    for (QuantizableGemm* g : gemms()) {
+      if (auto* conv = dynamic_cast<Conv2d*>(g)) {
+        lognormal_column_spread(conv->weight().value, config.init_scale_spread, spread_rng);
+      }
+    }
+  }
+}
+
+Tensor ResNetV::forward(const Tensor& images, bool train) {
+  Tensor x = stem_relu_.forward(stem_bn_->forward(stem_->forward(images, train), train), train);
+  for (auto& block : blocks_) x = block->forward(x, train);
+  x = gap_.forward(x, train);
+  return fc_->forward(x, train);
+}
+
+Tensor ResNetV::backward(const Tensor& grad_logits) {
+  Tensor g = fc_->backward(grad_logits);
+  g = gap_.backward(g);
+  for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) g = (*it)->backward(g);
+  return stem_->backward(stem_bn_->backward(stem_relu_.backward(g)));
+}
+
+std::vector<Param*> ResNetV::params() {
+  std::vector<Param*> ps;
+  for (Param* p : stem_->params()) ps.push_back(p);
+  for (Param* p : stem_bn_->params()) ps.push_back(p);
+  for (auto& b : blocks_) {
+    for (Param* p : b->params()) ps.push_back(p);
+  }
+  for (Param* p : fc_->params()) ps.push_back(p);
+  return ps;
+}
+
+std::vector<QuantizableGemm*> ResNetV::gemms() {
+  std::vector<QuantizableGemm*> gs{stem_.get()};
+  for (auto& b : blocks_) {
+    for (QuantizableGemm* g : b->gemms()) gs.push_back(g);
+  }
+  gs.push_back(fc_.get());
+  return gs;
+}
+
+void ResNetV::fold_batchnorm() {
+  if (folded_) return;
+  std::vector<float> mul, add;
+  stem_bn_->inference_affine(mul, add);
+  stem_->fold_affine(mul, add);
+  stem_bn_->set_identity();
+  for (auto& b : blocks_) b->fold_batchnorm();
+  folded_ = true;
+}
+
+std::vector<std::pair<std::string, Tensor*>> ResNetV::named_tensors() const {
+  std::vector<std::pair<std::string, Tensor*>> ts;
+  auto* self = const_cast<ResNetV*>(this);
+  for (Param* p : self->stem_->params()) ts.emplace_back(p->name, &p->value);
+  for (Param* p : self->stem_bn_->params()) ts.emplace_back(p->name, &p->value);
+  ts.emplace_back("stem_bn.running_mean", &self->stem_bn_->running_mean());
+  ts.emplace_back("stem_bn.running_var", &self->stem_bn_->running_var());
+  for (auto& b : self->blocks_) {
+    for (auto& [name, t] : b->named_tensors()) ts.emplace_back(name, t);
+  }
+  for (Param* p : self->fc_->params()) ts.emplace_back(p->name, &p->value);
+  return ts;
+}
+
+void ResNetV::save(const std::string& path) const {
+  Archive a;
+  for (const auto& [name, t] : named_tensors()) {
+    std::vector<std::int64_t> dims;
+    for (int i = 0; i < t->shape().rank(); ++i) dims.push_back(t->shape()[i]);
+    a.put(name, std::move(dims), t->to_vector());
+  }
+  a.save(path);
+}
+
+void ResNetV::load(const std::string& path) {
+  const Archive a = Archive::load(path);
+  for (auto& [name, t] : named_tensors()) {
+    const ArchiveEntry& e = a.get(name);
+    if (static_cast<std::int64_t>(e.data.size()) != t->numel()) {
+      throw std::runtime_error("ResNetV::load: size mismatch for " + name);
+    }
+    std::copy(e.data.begin(), e.data.end(), t->data());
+  }
+}
+
+void ResNetV::on_weights_updated() {
+  stem_->on_weights_updated();
+  fc_->on_weights_updated();
+  for (QuantizableGemm* g : gemms()) {
+    if (auto* conv = dynamic_cast<Conv2d*>(g)) conv->on_weights_updated();
+    if (auto* lin = dynamic_cast<Linear*>(g)) lin->on_weights_updated();
+  }
+}
+
+}  // namespace vsq

@@ -1,0 +1,87 @@
+// ResNetV: a residual CNN standing in for ResNet50 v1.5 (DESIGN.md §1).
+// NHWC throughout. Structure:
+//   stem conv3x3 -> BN -> ReLU
+//   one or more stages of residual blocks; the first block of each stage
+//   after the first downsamples with stride 2 and a 1x1 projection shortcut
+//   global average pool -> fully connected classifier
+// Every conv and the classifier are QuantizableGemm layers, so PTQ/QAT
+// apply to all weighted ops like the paper's ResNet experiments.
+#pragma once
+
+#include <memory>
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "util/archive.h"
+
+namespace vsq {
+
+class ResidualBlock : public Layer {
+ public:
+  ResidualBlock(std::string name, std::int64_t in_c, std::int64_t out_c, std::int64_t stride,
+                Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+  std::string kind() const override { return "residual_block"; }
+
+  std::vector<QuantizableGemm*> gemms();
+  void fold_batchnorm();
+  std::vector<std::pair<std::string, Tensor*>> named_tensors();
+
+ private:
+  std::unique_ptr<Conv2d> conv1_, conv2_, shortcut_;
+  std::unique_ptr<BatchNorm2d> bn1_, bn2_, shortcut_bn_;
+  ReLU relu1_, relu2_;
+};
+
+struct ResNetVConfig {
+  std::int64_t in_h = 16, in_w = 16, in_c = 3;
+  std::vector<std::int64_t> widths{16, 32, 64};
+  int blocks_per_stage = 2;
+  std::int64_t classes = 10;
+  std::uint64_t seed = 7;
+  // Lognormal sigma of the planted per-column weight-magnitude spread
+  // (see nn/init.h lognormal_column_spread and DESIGN.md §1). 0 disables.
+  double init_scale_spread = 0.7;
+};
+
+class ResNetV {
+ public:
+  explicit ResNetV(const ResNetVConfig& config);
+
+  Tensor forward(const Tensor& images, bool train);  // [N,H,W,3] -> [N,classes]
+  Tensor backward(const Tensor& grad_logits);
+  std::vector<Param*> params();
+  // All weighted GEMM layers in execution order (convs + final fc).
+  std::vector<QuantizableGemm*> gemms();
+  const ResNetVConfig& config() const { return config_; }
+
+  // Fold every BatchNorm into its preceding conv (inference/PTQ form).
+  void fold_batchnorm();
+  bool batchnorm_folded() const { return folded_; }
+
+  void save(const std::string& path) const;
+  void load(const std::string& path);
+
+  // Conv/Linear layers whose weights refresh after optimizer steps (QAT).
+  void on_weights_updated();
+
+ private:
+  std::vector<std::pair<std::string, Tensor*>> named_tensors() const;
+
+  ResNetVConfig config_;
+  bool folded_ = false;
+  std::unique_ptr<Conv2d> stem_;
+  std::unique_ptr<BatchNorm2d> stem_bn_;
+  ReLU stem_relu_;
+  std::vector<std::unique_ptr<ResidualBlock>> blocks_;
+  GlobalAvgPool gap_;
+  std::unique_ptr<Linear> fc_;
+};
+
+}  // namespace vsq

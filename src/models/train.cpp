@@ -1,0 +1,138 @@
+#include "models/train.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace vsq {
+namespace {
+
+float cosine_lr(float peak, float final_fraction, std::int64_t step, std::int64_t total) {
+  const double t = static_cast<double>(step) / std::max<std::int64_t>(1, total);
+  const double floor = peak * final_fraction;
+  return static_cast<float>(floor + 0.5 * (peak - floor) * (1.0 + std::cos(std::numbers::pi * t)));
+}
+
+}  // namespace
+
+double train_resnet(ResNetV& model, const ImageDataset& train_set, const ImageDataset& test_set,
+                    const TrainConfig& config) {
+  Sgd opt(model.params(), config.lr, 0.9f, config.weight_decay);
+  Rng rng(config.seed);
+  const std::int64_t n = train_set.size();
+  const std::int64_t steps_per_epoch = (n + config.batch - 1) / config.batch;
+  const std::int64_t total_steps = steps_per_epoch * config.epochs;
+  std::int64_t step = 0;
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    const auto perm = rng.permutation(static_cast<std::size_t>(n));
+    double epoch_loss = 0.0;
+    for (std::int64_t i0 = 0; i0 < n; i0 += config.batch) {
+      const std::int64_t i1 = std::min(n, i0 + config.batch);
+      // Gather the shuffled batch.
+      Tensor images(Shape{i1 - i0, train_set.images.shape()[1], train_set.images.shape()[2],
+                          train_set.images.shape()[3]});
+      std::vector<int> labels(static_cast<std::size_t>(i1 - i0));
+      const std::int64_t per = images.numel() / (i1 - i0);
+      for (std::int64_t b = 0; b < i1 - i0; ++b) {
+        const auto src = static_cast<std::int64_t>(perm[static_cast<std::size_t>(i0 + b)]);
+        std::copy_n(train_set.images.data() + src * per, per, images.data() + b * per);
+        labels[static_cast<std::size_t>(b)] = train_set.labels[static_cast<std::size_t>(src)];
+      }
+      opt.set_lr(cosine_lr(config.lr, config.final_lr_fraction, step, total_steps));
+      opt.zero_grad();
+      const Tensor logits = model.forward(images, /*train=*/true);
+      const LossResult loss = cross_entropy(logits, labels);
+      model.backward(loss.grad);
+      opt.step();
+      model.on_weights_updated();
+      epoch_loss += loss.loss * static_cast<double>(i1 - i0);
+      ++step;
+    }
+    if (config.log_progress) {
+      VSQ_LOG(Info) << "resnet epoch " << epoch + 1 << "/" << config.epochs
+                    << " loss=" << epoch_loss / static_cast<double>(n);
+    }
+  }
+  const double acc = eval_resnet(model, test_set);
+  if (config.log_progress) VSQ_LOG(Info) << "resnet final top1=" << acc << "%";
+  return acc;
+}
+
+double train_transformer(TransformerEncoder& model, const SpanDataset& train_set,
+                         const SpanDataset& test_set, const TrainConfig& config) {
+  Adam opt(model.params(), config.lr, 0.9f, 0.999f, 1e-8f, config.weight_decay);
+  Rng rng(config.seed);
+  const std::int64_t n = train_set.size();
+  const std::int64_t steps_per_epoch = (n + config.batch - 1) / config.batch;
+  const std::int64_t total_steps = steps_per_epoch * config.epochs;
+  std::int64_t step = 0;
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    const auto perm = rng.permutation(static_cast<std::size_t>(n));
+    double epoch_loss = 0.0;
+    for (std::int64_t i0 = 0; i0 < n; i0 += config.batch) {
+      const std::int64_t i1 = std::min(n, i0 + config.batch);
+      const std::int64_t t = train_set.seq_len();
+      Tensor tokens(Shape{i1 - i0, t});
+      SpanLabels labels;
+      labels.start.resize(static_cast<std::size_t>(i1 - i0));
+      labels.end.resize(static_cast<std::size_t>(i1 - i0));
+      for (std::int64_t b = 0; b < i1 - i0; ++b) {
+        const auto src = static_cast<std::int64_t>(perm[static_cast<std::size_t>(i0 + b)]);
+        std::copy_n(train_set.tokens.data() + src * t, t, tokens.data() + b * t);
+        labels.start[static_cast<std::size_t>(b)] =
+            train_set.labels.start[static_cast<std::size_t>(src)];
+        labels.end[static_cast<std::size_t>(b)] =
+            train_set.labels.end[static_cast<std::size_t>(src)];
+      }
+      opt.set_lr(cosine_lr(config.lr, config.final_lr_fraction, step, total_steps));
+      opt.zero_grad();
+      const Tensor logits = model.forward(tokens, /*train=*/true);
+      const LossResult loss = span_cross_entropy(logits, labels);
+      model.backward(loss.grad);
+      opt.step();
+      model.on_weights_updated();
+      epoch_loss += loss.loss * static_cast<double>(i1 - i0);
+      ++step;
+    }
+    if (config.log_progress) {
+      VSQ_LOG(Info) << "transformer epoch " << epoch + 1 << "/" << config.epochs
+                    << " loss=" << epoch_loss / static_cast<double>(n);
+    }
+  }
+  const double f1 = eval_transformer(model, test_set);
+  if (config.log_progress) VSQ_LOG(Info) << "transformer final F1=" << f1;
+  return f1;
+}
+
+double eval_resnet(ResNetV& model, const ImageDataset& test_set, std::int64_t batch) {
+  const std::int64_t n = test_set.size();
+  double correct_weighted = 0.0;
+  for (std::int64_t i0 = 0; i0 < n; i0 += batch) {
+    const std::int64_t i1 = std::min(n, i0 + batch);
+    const Tensor logits = model.forward(test_set.batch_images(i0, i1), /*train=*/false);
+    correct_weighted +=
+        top1_accuracy(logits, test_set.batch_labels(i0, i1)) * static_cast<double>(i1 - i0);
+  }
+  return correct_weighted / static_cast<double>(n);
+}
+
+double eval_transformer(TransformerEncoder& model, const SpanDataset& test_set,
+                        std::int64_t batch) {
+  const std::int64_t n = test_set.size();
+  double f1_weighted = 0.0;
+  for (std::int64_t i0 = 0; i0 < n; i0 += batch) {
+    const std::int64_t i1 = std::min(n, i0 + batch);
+    const Tensor logits = model.forward(test_set.batch_tokens(i0, i1), /*train=*/false);
+    f1_weighted += span_f1(logits, test_set.batch_labels(i0, i1)) * static_cast<double>(i1 - i0);
+  }
+  return f1_weighted / static_cast<double>(n);
+}
+
+}  // namespace vsq

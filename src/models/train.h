@@ -1,0 +1,33 @@
+// Training and evaluation loops for the two model families.
+#pragma once
+
+#include "data/synthetic_images.h"
+#include "data/synthetic_squad.h"
+#include "models/resnetv.h"
+#include "models/transformer.h"
+
+namespace vsq {
+
+struct TrainConfig {
+  int epochs = 8;
+  std::int64_t batch = 32;
+  float lr = 0.05f;          // peak learning rate
+  float weight_decay = 1e-4f;
+  std::uint64_t seed = 99;
+  bool log_progress = true;
+  // Cosine decay from lr to lr * final_lr_fraction over the run.
+  float final_lr_fraction = 0.05f;
+};
+
+// Trains in place; returns final test metric (top-1 % / F1 %).
+double train_resnet(ResNetV& model, const ImageDataset& train_set, const ImageDataset& test_set,
+                    const TrainConfig& config);
+double train_transformer(TransformerEncoder& model, const SpanDataset& train_set,
+                         const SpanDataset& test_set, const TrainConfig& config);
+
+// Evaluation with whatever quant mode the model's GEMMs are currently in.
+double eval_resnet(ResNetV& model, const ImageDataset& test_set, std::int64_t batch = 128);
+double eval_transformer(TransformerEncoder& model, const SpanDataset& test_set,
+                        std::int64_t batch = 256);
+
+}  // namespace vsq

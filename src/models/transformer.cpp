@@ -1,0 +1,182 @@
+#include "models/transformer.h"
+
+#include "nn/init.h"
+
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace vsq {
+
+EncoderBlock::EncoderBlock(std::string name, std::int64_t dim, std::int64_t heads,
+                           std::int64_t ffn_dim, Rng& rng) {
+  ln1_ = std::make_unique<LayerNorm>(name + ".ln1", dim);
+  attn_ = std::make_unique<MultiHeadSelfAttention>(name + ".attn", dim, heads, rng);
+  ln2_ = std::make_unique<LayerNorm>(name + ".ln2", dim);
+  fc1_ = std::make_unique<Linear>(name + ".fc1", dim, ffn_dim, rng);
+  fc2_ = std::make_unique<Linear>(name + ".fc2", ffn_dim, dim, rng);
+}
+
+Tensor EncoderBlock::forward(const Tensor& x, bool train) {
+  // x += attn(ln1(x))
+  Tensor y = attn_->forward(ln1_->forward(x, train), train);
+  add_inplace(y, x);
+  // y += fc2(gelu(fc1(ln2(y))))
+  Tensor z = fc2_->forward(gelu_.forward(fc1_->forward(ln2_->forward(y, train), train), train),
+                           train);
+  add_inplace(z, y);
+  return z;
+}
+
+Tensor EncoderBlock::backward(const Tensor& grad_out) {
+  // Through the FFN residual.
+  Tensor g_ffn = ln2_->backward(fc1_->backward(gelu_.backward(fc2_->backward(grad_out))));
+  add_inplace(g_ffn, grad_out);  // residual branch
+  // Through the attention residual.
+  Tensor g_attn = ln1_->backward(attn_->backward(g_ffn));
+  add_inplace(g_attn, g_ffn);
+  return g_attn;
+}
+
+std::vector<Param*> EncoderBlock::params() {
+  std::vector<Param*> ps;
+  for (Layer* l : std::initializer_list<Layer*>{ln1_.get(), attn_.get(), ln2_.get(), fc1_.get(),
+                                                fc2_.get()}) {
+    for (Param* p : l->params()) ps.push_back(p);
+  }
+  return ps;
+}
+
+std::vector<QuantizableGemm*> EncoderBlock::gemms() {
+  std::vector<QuantizableGemm*> gs = attn_->gemms();
+  gs.push_back(fc1_.get());
+  gs.push_back(fc2_.get());
+  return gs;
+}
+
+std::vector<Linear*> EncoderBlock::linears() {
+  std::vector<Linear*> ls = attn_->linears();
+  ls.push_back(fc1_.get());
+  ls.push_back(fc2_.get());
+  return ls;
+}
+
+TransformerConfig bert_base_config() {
+  TransformerConfig c;
+  // One encoder layer: query-conditioned marker matching is an
+  // induction-style task that fundamentally wants two attention hops, so
+  // the small model saturates below the large one — giving the base/large
+  // accuracy ordering of the paper's Fig. 7 a real mechanism.
+  c.dim = 48;
+  c.heads = 4;
+  c.layers = 1;
+  c.seed = 11;
+  return c;
+}
+
+TransformerConfig bert_large_config() {
+  TransformerConfig c;
+  c.dim = 96;
+  c.heads = 6;
+  c.layers = 4;
+  c.seed = 13;
+  return c;
+}
+
+TransformerEncoder::TransformerEncoder(const TransformerConfig& config) : config_(config) {
+  Rng rng(config.seed);
+  emb_ = std::make_unique<Embedding>("emb", config.vocab, config.max_len, config.dim, rng);
+  for (int l = 0; l < config.layers; ++l) {
+    blocks_.push_back(std::make_unique<EncoderBlock>("layer" + std::to_string(l), config.dim,
+                                                     config.heads, config.dim * config.ffn_mult,
+                                                     rng));
+  }
+  final_ln_ = std::make_unique<LayerNorm>("final_ln", config.dim);
+  span_head_ = std::make_unique<Linear>("span_head", config.dim, 2, rng);
+
+  // Plant the long-tailed per-column weight profile of mature trained
+  // transformers (DESIGN.md §1): real BERT matrices carry within-row
+  // magnitude outliers that pin coarse scale factors — the regime where
+  // the paper's per-channel baselines collapse at 3-4 weight bits. The
+  // tiny span head is left alone.
+  if (config.init_scale_spread > 0.0) {
+    Rng spread_rng = rng.split(0x5eed);
+    for (auto& b : blocks_) {
+      for (QuantizableGemm* g : b->gemms()) {
+        if (auto* lin = dynamic_cast<Linear*>(g)) {
+          lognormal_column_spread(lin->weight().value, config.init_scale_spread, spread_rng);
+        }
+      }
+    }
+  }
+}
+
+Tensor TransformerEncoder::forward(const Tensor& tokens, bool train) {
+  Tensor x = emb_->forward(tokens, train);
+  for (auto& b : blocks_) x = b->forward(x, train);
+  x = final_ln_->forward(x, train);
+  return span_head_->forward(x, train);  // [B, T, 2]
+}
+
+void TransformerEncoder::backward(const Tensor& grad_logits) {
+  Tensor g = final_ln_->backward(span_head_->backward(grad_logits));
+  for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) g = (*it)->backward(g);
+  emb_->backward(g);
+}
+
+std::vector<Param*> TransformerEncoder::params() {
+  std::vector<Param*> ps;
+  for (Param* p : emb_->params()) ps.push_back(p);
+  for (auto& b : blocks_) {
+    for (Param* p : b->params()) ps.push_back(p);
+  }
+  for (Param* p : final_ln_->params()) ps.push_back(p);
+  for (Param* p : span_head_->params()) ps.push_back(p);
+  return ps;
+}
+
+std::vector<QuantizableGemm*> TransformerEncoder::gemms() {
+  std::vector<QuantizableGemm*> gs;
+  for (auto& b : blocks_) {
+    for (QuantizableGemm* g : b->gemms()) gs.push_back(g);
+  }
+  gs.push_back(span_head_.get());
+  return gs;
+}
+
+std::vector<std::pair<std::string, Tensor*>> TransformerEncoder::named_tensors() const {
+  std::vector<std::pair<std::string, Tensor*>> ts;
+  auto* self = const_cast<TransformerEncoder*>(this);
+  for (Param* p : self->params()) ts.emplace_back(p->name, &p->value);
+  return ts;
+}
+
+void TransformerEncoder::save(const std::string& path) const {
+  Archive a;
+  for (const auto& [name, t] : named_tensors()) {
+    std::vector<std::int64_t> dims;
+    for (int i = 0; i < t->shape().rank(); ++i) dims.push_back(t->shape()[i]);
+    a.put(name, std::move(dims), t->to_vector());
+  }
+  a.save(path);
+}
+
+void TransformerEncoder::load(const std::string& path) {
+  const Archive a = Archive::load(path);
+  for (auto& [name, t] : named_tensors()) {
+    const ArchiveEntry& e = a.get(name);
+    if (static_cast<std::int64_t>(e.data.size()) != t->numel()) {
+      throw std::runtime_error("TransformerEncoder::load: size mismatch for " + name);
+    }
+    std::copy(e.data.begin(), e.data.end(), t->data());
+  }
+}
+
+void TransformerEncoder::on_weights_updated() {
+  for (auto& b : blocks_) {
+    for (Linear* l : b->linears()) l->on_weights_updated();
+  }
+  span_head_->on_weights_updated();
+}
+
+}  // namespace vsq

@@ -1,0 +1,79 @@
+// TransformerEncoder: a BERT-style encoder with a span-extraction head,
+// standing in for BERT-base / BERT-large on SQuAD (DESIGN.md §1).
+// Pre-LN blocks: x += MHSA(LN(x)); x += FFN(LN(x)), FFN = fc1-GELU-fc2.
+// All projection and FFN GEMMs (plus the span head) are quantizable.
+#pragma once
+
+#include <memory>
+
+#include "nn/activations.h"
+#include "nn/attention.h"
+#include "nn/embedding.h"
+#include "nn/layernorm.h"
+#include "util/archive.h"
+
+namespace vsq {
+
+class EncoderBlock : public Layer {
+ public:
+  EncoderBlock(std::string name, std::int64_t dim, std::int64_t heads, std::int64_t ffn_dim,
+               Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;  // [B, T, D]
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+  std::string kind() const override { return "encoder_block"; }
+
+  std::vector<QuantizableGemm*> gemms();
+  std::vector<Linear*> linears();
+
+ private:
+  std::unique_ptr<LayerNorm> ln1_, ln2_;
+  std::unique_ptr<MultiHeadSelfAttention> attn_;
+  std::unique_ptr<Linear> fc1_, fc2_;
+  GELU gelu_;
+};
+
+struct TransformerConfig {
+  std::int64_t vocab = 64;
+  std::int64_t max_len = 48;
+  std::int64_t dim = 64;
+  std::int64_t heads = 4;
+  int layers = 3;
+  std::int64_t ffn_mult = 4;
+  std::uint64_t seed = 11;
+  // Lognormal sigma of the planted per-column weight-magnitude spread
+  // (see nn/init.h lognormal_column_spread and DESIGN.md §1). 0 disables.
+  double init_scale_spread = 0.7;
+};
+
+// Named presets mirroring the paper's two model sizes.
+TransformerConfig bert_base_config();
+TransformerConfig bert_large_config();
+
+class TransformerEncoder {
+ public:
+  explicit TransformerEncoder(const TransformerConfig& config);
+
+  // tokens [B, T] -> span logits [B, T, 2].
+  Tensor forward(const Tensor& tokens, bool train);
+  void backward(const Tensor& grad_logits);
+  std::vector<Param*> params();
+  std::vector<QuantizableGemm*> gemms();
+  const TransformerConfig& config() const { return config_; }
+
+  void save(const std::string& path) const;
+  void load(const std::string& path);
+  void on_weights_updated();
+
+ private:
+  std::vector<std::pair<std::string, Tensor*>> named_tensors() const;
+
+  TransformerConfig config_;
+  std::unique_ptr<Embedding> emb_;
+  std::vector<std::unique_ptr<EncoderBlock>> blocks_;
+  std::unique_ptr<LayerNorm> final_ln_;
+  std::unique_ptr<Linear> span_head_;
+};
+
+}  // namespace vsq

@@ -1,0 +1,50 @@
+// ModelZoo: train-on-first-use model + dataset provider shared by every
+// bench binary and example. Trained checkpoints are cached under
+// artifacts/ so the expensive training happens once per machine; datasets
+// are deterministic functions of their seeds.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "models/train.h"
+
+namespace vsq {
+
+class ModelZoo {
+ public:
+  // artifacts_dir is created if missing.
+  explicit ModelZoo(std::string artifacts_dir = "artifacts");
+
+  // Datasets (deterministic; built lazily, cached in memory).
+  const ImageDataset& image_train();
+  const ImageDataset& image_test();
+  const ImageDataset& image_calib();  // small calibration split
+  const SpanDataset& span_train();
+  const SpanDataset& span_test();
+  const SpanDataset& span_calib();
+
+  // Models. Trains + saves on first use; later calls load the checkpoint.
+  // `folded` returns the BN-folded inference form (PTQ experiments).
+  std::unique_ptr<ResNetV> resnet(bool folded = true);
+  std::unique_ptr<TransformerEncoder> bert_base();
+  std::unique_ptr<TransformerEncoder> bert_large();
+
+  // fp32 baseline metrics (computed once, cached on disk).
+  double resnet_fp32_top1();
+  double bert_base_fp32_f1();
+  double bert_large_fp32_f1();
+
+  const std::string& artifacts_dir() const { return dir_; }
+
+ private:
+  std::unique_ptr<TransformerEncoder> transformer(const TransformerConfig& config,
+                                                  const std::string& ckpt_name,
+                                                  const TrainConfig& tc);
+
+  std::string dir_;
+  std::unique_ptr<ImageDataset> img_train_, img_test_, img_calib_;
+  std::unique_ptr<SpanDataset> span_train_, span_test_, span_calib_;
+};
+
+}  // namespace vsq

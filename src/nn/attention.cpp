@@ -1,0 +1,143 @@
+#include "nn/attention.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace vsq {
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(std::string name, std::int64_t dim,
+                                               std::int64_t heads, Rng& rng)
+    : name_(std::move(name)), dim_(dim), heads_(heads), head_dim_(dim / heads) {
+  if (dim % heads != 0) throw std::invalid_argument(name_ + ": dim must divide heads");
+  q_ = std::make_unique<Linear>(name_ + ".q", dim, dim, rng);
+  k_ = std::make_unique<Linear>(name_ + ".k", dim, dim, rng);
+  v_ = std::make_unique<Linear>(name_ + ".v", dim, dim, rng);
+  out_ = std::make_unique<Linear>(name_ + ".out", dim, dim, rng);
+}
+
+Tensor MultiHeadSelfAttention::forward(const Tensor& x, bool train) {
+  if (x.shape().rank() != 3 || x.shape()[2] != dim_) {
+    throw std::invalid_argument(name_ + ": expected [B, T, D]");
+  }
+  batch_ = x.shape()[0];
+  seq_ = x.shape()[1];
+  const std::int64_t b = batch_, t = seq_, h = heads_, dh = head_dim_;
+
+  Tensor q = q_->forward(x, train);
+  Tensor k = k_->forward(x, train);
+  Tensor v = v_->forward(x, train);
+
+  // scores[b,h,i,j] = q[b,i,h*dh:] . k[b,j,h*dh:] / sqrt(dh)
+  Tensor scores(Shape{b, h, t, t});
+  const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(dh));
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    for (std::int64_t hi = 0; hi < h; ++hi) {
+      for (std::int64_t i = 0; i < t; ++i) {
+        const float* qi = q.data() + (bi * t + i) * dim_ + hi * dh;
+        for (std::int64_t j = 0; j < t; ++j) {
+          const float* kj = k.data() + (bi * t + j) * dim_ + hi * dh;
+          float s = 0.0f;
+          for (std::int64_t d = 0; d < dh; ++d) s += qi[d] * kj[d];
+          scores.at4(bi, hi, i, j) = s * inv_sqrt;
+        }
+      }
+    }
+  }
+  Tensor probs = softmax_last_axis(scores);
+
+  // ctx[b,i,h*dh+d] = sum_j probs[b,h,i,j] * v[b,j,h*dh+d]
+  Tensor ctx(Shape{b, t, dim_});
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    for (std::int64_t hi = 0; hi < h; ++hi) {
+      for (std::int64_t i = 0; i < t; ++i) {
+        float* ci = ctx.data() + (bi * t + i) * dim_ + hi * dh;
+        for (std::int64_t j = 0; j < t; ++j) {
+          const float p = probs.at4(bi, hi, i, j);
+          if (p == 0.0f) continue;
+          const float* vj = v.data() + (bi * t + j) * dim_ + hi * dh;
+          for (std::int64_t d = 0; d < dh; ++d) ci[d] += p * vj[d];
+        }
+      }
+    }
+  }
+  if (train) {
+    qt_ = std::move(q);
+    kt_ = std::move(k);
+    vt_ = std::move(v);
+    probs_ = std::move(probs);
+  }
+  return out_->forward(ctx, train);
+}
+
+Tensor MultiHeadSelfAttention::backward(const Tensor& grad_out) {
+  if (probs_.empty()) throw std::logic_error(name_ + "::backward without forward(train=true)");
+  const std::int64_t b = batch_, t = seq_, h = heads_, dh = head_dim_;
+  const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(dh));
+
+  Tensor gctx = out_->backward(grad_out);  // [B, T, D]
+
+  // Grad wrt probs and v.
+  Tensor gprobs(Shape{b, h, t, t});
+  Tensor gv(Shape{b, t, dim_});
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    for (std::int64_t hi = 0; hi < h; ++hi) {
+      for (std::int64_t i = 0; i < t; ++i) {
+        const float* gci = gctx.data() + (bi * t + i) * dim_ + hi * dh;
+        for (std::int64_t j = 0; j < t; ++j) {
+          const float* vj = vt_.data() + (bi * t + j) * dim_ + hi * dh;
+          float s = 0.0f;
+          for (std::int64_t d = 0; d < dh; ++d) s += gci[d] * vj[d];
+          gprobs.at4(bi, hi, i, j) = s;
+          const float p = probs_.at4(bi, hi, i, j);
+          if (p == 0.0f) continue;
+          float* gvj = gv.data() + (bi * t + j) * dim_ + hi * dh;
+          for (std::int64_t d = 0; d < dh; ++d) gvj[d] += p * gci[d];
+        }
+      }
+    }
+  }
+  Tensor gscores = softmax_backward_last_axis(probs_, gprobs);
+
+  // Grad wrt q and k (scores were scaled by inv_sqrt).
+  Tensor gq(Shape{b, t, dim_});
+  Tensor gk(Shape{b, t, dim_});
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    for (std::int64_t hi = 0; hi < h; ++hi) {
+      for (std::int64_t i = 0; i < t; ++i) {
+        float* gqi = gq.data() + (bi * t + i) * dim_ + hi * dh;
+        const float* qi = qt_.data() + (bi * t + i) * dim_ + hi * dh;
+        for (std::int64_t j = 0; j < t; ++j) {
+          const float gs = gscores.at4(bi, hi, i, j) * inv_sqrt;
+          if (gs == 0.0f) continue;
+          const float* kj = kt_.data() + (bi * t + j) * dim_ + hi * dh;
+          float* gkj = gk.data() + (bi * t + j) * dim_ + hi * dh;
+          for (std::int64_t d = 0; d < dh; ++d) {
+            gqi[d] += gs * kj[d];
+            gkj[d] += gs * qi[d];
+          }
+        }
+      }
+    }
+  }
+
+  Tensor gx = q_->backward(gq);
+  add_inplace(gx, k_->backward(gk));
+  add_inplace(gx, v_->backward(gv));
+  return gx;
+}
+
+std::vector<Param*> MultiHeadSelfAttention::params() {
+  std::vector<Param*> ps;
+  for (Linear* l : {q_.get(), k_.get(), v_.get(), out_.get()}) {
+    for (Param* p : l->params()) ps.push_back(p);
+  }
+  return ps;
+}
+
+std::vector<QuantizableGemm*> MultiHeadSelfAttention::gemms() {
+  return {q_.get(), k_.get(), v_.get(), out_.get()};
+}
+
+}  // namespace vsq

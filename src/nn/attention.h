@@ -1,0 +1,39 @@
+// Multi-head self-attention (BERT-style, bidirectional, no mask).
+// The four projection GEMMs (Q, K, V, output) are quantizable Linear
+// layers — these are the weight-bearing matmuls the paper quantizes in
+// BERT. The attention score/context batched matmuls have no weights and
+// stay in floating point (as in the paper's PTQ library, which quantizes
+// weighted layers).
+#pragma once
+
+#include <memory>
+
+#include "nn/linear.h"
+#include "nn/softmax.h"
+
+namespace vsq {
+
+class MultiHeadSelfAttention : public Layer {
+ public:
+  MultiHeadSelfAttention(std::string name, std::int64_t dim, std::int64_t heads, Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;  // [B, T, D]
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+  std::string kind() const override { return "mhsa"; }
+
+  // The quantizable projections, for PTQ/QAT configuration.
+  std::vector<QuantizableGemm*> gemms();
+  std::vector<Linear*> linears() { return {q_.get(), k_.get(), v_.get(), out_.get()}; }
+
+ private:
+  std::string name_;
+  std::int64_t dim_, heads_, head_dim_;
+  std::unique_ptr<Linear> q_, k_, v_, out_;
+  // Cached activations for backward.
+  Tensor qt_, kt_, vt_;  // [B, T, D] projections
+  Tensor probs_;         // [B, H, T, T] attention probabilities
+  std::int64_t batch_ = 0, seq_ = 0;
+};
+
+}  // namespace vsq

@@ -1,0 +1,116 @@
+#include "nn/batchnorm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vsq {
+
+BatchNorm2d::BatchNorm2d(std::string name, std::int64_t channels, float momentum, float eps)
+    : name_(std::move(name)), channels_(channels), momentum_(momentum), eps_(eps) {
+  gamma_.name = name_ + ".gamma";
+  gamma_.value = Tensor(Shape{channels});
+  gamma_.value.fill(1.0f);
+  gamma_.grad = Tensor(Shape{channels});
+  beta_.name = name_ + ".beta";
+  beta_.value = Tensor(Shape{channels});
+  beta_.grad = Tensor(Shape{channels});
+  running_mean_ = Tensor(Shape{channels});
+  running_var_ = Tensor(Shape{channels});
+  running_var_.fill(1.0f);
+}
+
+Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
+  if (identity_) return x;
+  if (x.shape().rank() != 4 || x.shape()[3] != channels_) {
+    throw std::invalid_argument(name_ + ": expected NHWC with C=" + std::to_string(channels_));
+  }
+  const std::int64_t n = x.numel() / channels_;  // N*H*W samples per channel
+  Tensor y(x.shape());
+
+  Tensor mean(Shape{channels_}), var(Shape{channels_});
+  if (train) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t c = 0; c < channels_; ++c) mean[c] += x[i * channels_ + c];
+    }
+    for (std::int64_t c = 0; c < channels_; ++c) mean[c] /= static_cast<float>(n);
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t c = 0; c < channels_; ++c) {
+        const float d = x[i * channels_ + c] - mean[c];
+        var[c] += d * d;
+      }
+    }
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      var[c] /= static_cast<float>(n);
+      running_mean_[c] = (1 - momentum_) * running_mean_[c] + momentum_ * mean[c];
+      running_var_[c] = (1 - momentum_) * running_var_[c] + momentum_ * var[c];
+    }
+  } else {
+    mean = running_mean_.clone();
+    var = running_var_.clone();
+  }
+
+  Tensor inv_std(Shape{channels_});
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    inv_std[c] = 1.0f / std::sqrt(var[c] + eps_);
+  }
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      y[i * channels_ + c] =
+          (x[i * channels_ + c] - mean[c]) * inv_std[c] * gamma_.value[c] + beta_.value[c];
+    }
+  }
+  if (train) {
+    x_ = x;
+    mean_ = std::move(mean);
+    inv_std_ = std::move(inv_std);
+  }
+  return y;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+  if (identity_) return grad_out;
+  if (x_.empty()) throw std::logic_error("BatchNorm2d::backward without forward(train=true)");
+  const std::int64_t n = x_.numel() / channels_;
+  const auto fn = static_cast<float>(n);
+
+  // Standard batchnorm backward (per channel):
+  //   dxhat = dy * gamma
+  //   dx = inv_std/n * (n*dxhat - sum(dxhat) - xhat * sum(dxhat*xhat))
+  Tensor sum_dy(Shape{channels_}), sum_dy_xhat(Shape{channels_});
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      const float xhat = (x_[i * channels_ + c] - mean_[c]) * inv_std_[c];
+      const float dy = grad_out[i * channels_ + c];
+      sum_dy[c] += dy;
+      sum_dy_xhat[c] += dy * xhat;
+    }
+  }
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    beta_.grad[c] += sum_dy[c];
+    gamma_.grad[c] += sum_dy_xhat[c];
+  }
+  Tensor gx(x_.shape());
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      const float xhat = (x_[i * channels_ + c] - mean_[c]) * inv_std_[c];
+      const float dxhat = grad_out[i * channels_ + c] * gamma_.value[c];
+      gx[i * channels_ + c] =
+          inv_std_[c] / fn * (fn * dxhat - sum_dy[c] * gamma_.value[c] - xhat * sum_dy_xhat[c] * gamma_.value[c]);
+    }
+  }
+  return gx;
+}
+
+std::vector<Param*> BatchNorm2d::params() { return {&gamma_, &beta_}; }
+
+void BatchNorm2d::inference_affine(std::vector<float>& mul, std::vector<float>& add) const {
+  mul.resize(static_cast<std::size_t>(channels_));
+  add.resize(static_cast<std::size_t>(channels_));
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    const float m = gamma_.value[c] / std::sqrt(running_var_[c] + eps_);
+    mul[static_cast<std::size_t>(c)] = m;
+    add[static_cast<std::size_t>(c)] = beta_.value[c] - running_mean_[c] * m;
+  }
+}
+
+}  // namespace vsq

@@ -1,0 +1,45 @@
+// BatchNorm2d over NHWC activations (statistics per channel across N*H*W).
+// Training uses batch statistics and maintains running estimates; inference
+// uses the running estimates. For PTQ the inference-form affine can be
+// folded into the preceding conv (fold params below), which is the standard
+// deployment transformation the paper's PTQ library applies.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace vsq {
+
+class BatchNorm2d : public Layer {
+ public:
+  BatchNorm2d(std::string name, std::int64_t channels, float momentum = 0.1f,
+              float eps = 1e-5f);
+
+  Tensor forward(const Tensor& x, bool train) override;  // [N, H, W, C]
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+  std::string kind() const override { return "batchnorm2d"; }
+
+  // Inference-form per-channel affine: y = x * mul + add, with
+  // mul = gamma / sqrt(var + eps), add = beta - mean * mul.
+  void inference_affine(std::vector<float>& mul, std::vector<float>& add) const;
+  // After folding into the previous conv, this layer must act as identity.
+  void set_identity() { identity_ = true; }
+  bool is_identity() const { return identity_; }
+
+  Param& gamma() { return gamma_; }
+  Param& beta() { return beta_; }
+  Tensor& running_mean() { return running_mean_; }
+  Tensor& running_var() { return running_var_; }
+
+ private:
+  std::string name_;
+  std::int64_t channels_;
+  float momentum_, eps_;
+  bool identity_ = false;
+  Param gamma_, beta_;
+  Tensor running_mean_, running_var_;
+  // Cached batch statistics for backward.
+  Tensor x_, mean_, inv_std_;
+};
+
+}  // namespace vsq

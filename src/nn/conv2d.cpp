@@ -1,0 +1,127 @@
+#include "nn/conv2d.h"
+
+#include <stdexcept>
+
+#include "nn/init.h"
+#include "tensor/gemm.h"
+
+namespace vsq {
+
+Conv2d::Conv2d(std::string name, std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kernel, std::int64_t stride, std::int64_t pad, Rng& rng,
+               bool has_bias)
+    : name_(std::move(name)),
+      in_c_(in_channels),
+      out_c_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      has_bias_(has_bias) {
+  const std::int64_t plen = kernel_ * kernel_ * in_c_;
+  w_.name = name_ + ".weight";
+  w_.value = Tensor(Shape{out_c_, plen});
+  w_.grad = Tensor(Shape{out_c_, plen});
+  kaiming_normal(w_.value, plen, rng);
+  if (has_bias_) {
+    b_.name = name_ + ".bias";
+    b_.value = Tensor(Shape{out_c_});
+    b_.grad = Tensor(Shape{out_c_});
+  }
+}
+
+void Conv2d::set_quant(const QuantSpec& weight_spec, const QuantSpec& act_spec) {
+  // Per-vector scales must not straddle kernel positions: vectors subdivide
+  // each C-length channel block of the unrolled patch row.
+  QuantSpec ws = weight_spec, as = act_spec;
+  ws.channel_block = in_c_;
+  as.channel_block = in_c_;
+  quant_.configure(ws, as);
+}
+
+void Conv2d::set_quant_mode(QuantMode mode) { quant_.set_mode(mode); }
+
+Tensor Conv2d::forward(const Tensor& x, bool train) {
+  if (x.shape().rank() != 4 || x.shape()[3] != in_c_) {
+    throw std::invalid_argument(name_ + ": expected NHWC input with C=" + std::to_string(in_c_));
+  }
+  batch_ = x.shape()[0];
+  geom_ = ConvGeom{x.shape()[1], x.shape()[2], in_c_, kernel_, stride_, pad_};
+  const std::int64_t oh = geom_.out_h(), ow = geom_.out_w(), plen = geom_.patch_len();
+  const std::int64_t rows = batch_ * oh * ow;
+  dims_ = GemmDims{rows, plen, out_c_};
+
+  Tensor cols = im2col(x, geom_);
+  Tensor y(Shape{rows, out_c_});
+  if (quant_.has_override()) {
+    if (train) throw std::logic_error(name_ + ": GEMM override is inference-only");
+    y = quant_.run_override(cols);
+    if (y.shape() != Shape{rows, out_c_}) {
+      throw std::logic_error(name_ + ": GEMM override returned wrong shape");
+    }
+  } else {
+    const Tensor* wp = nullptr;
+    Tensor colsq = quant_.prepare(cols, w_.value, &wp);
+    if (train) {
+      cols_used_ = colsq;
+      w_used_ = *wp;
+    }
+    gemm_nt(colsq.data(), wp->data(), y.data(), rows, out_c_, plen);
+  }
+  if (has_bias_) {
+    float* yd = y.data();
+    const float* bd = b_.value.data();
+    for (std::int64_t r = 0; r < rows; ++r) {
+      for (std::int64_t k = 0; k < out_c_; ++k) yd[r * out_c_ + k] += bd[k];
+    }
+  }
+  return y.reshape(Shape{batch_, oh, ow, out_c_});
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  if (cols_used_.empty()) throw std::logic_error("Conv2d::backward without forward(train=true)");
+  const std::int64_t oh = geom_.out_h(), ow = geom_.out_w(), plen = geom_.patch_len();
+  const std::int64_t rows = batch_ * oh * ow;
+  const Tensor g2d = grad_out.reshape(Shape{rows, out_c_});
+
+  // dW += g^T cols
+  gemm_tn(g2d.data(), cols_used_.data(), w_.grad.data(), out_c_, plen, rows,
+          /*accumulate=*/true);
+  if (has_bias_) {
+    float* bg = b_.grad.data();
+    const float* gd = g2d.data();
+    for (std::int64_t r = 0; r < rows; ++r) {
+      for (std::int64_t k = 0; k < out_c_; ++k) bg[k] += gd[r * out_c_ + k];
+    }
+  }
+  // dCols = g W, then scatter back to the input image.
+  Tensor gcols(Shape{rows, plen});
+  gemm_nn(g2d.data(), w_used_.data(), gcols.data(), rows, plen, out_c_);
+  return col2im(gcols, geom_, batch_);
+}
+
+std::vector<Param*> Conv2d::params() {
+  std::vector<Param*> ps{&w_};
+  if (has_bias_) ps.push_back(&b_);
+  return ps;
+}
+
+void Conv2d::fold_affine(const std::vector<float>& mul, const std::vector<float>& add) {
+  if (static_cast<std::int64_t>(mul.size()) != out_c_ ||
+      static_cast<std::int64_t>(add.size()) != out_c_) {
+    throw std::invalid_argument("Conv2d::fold_affine: size mismatch");
+  }
+  if (!has_bias_) {
+    has_bias_ = true;
+    b_.name = name_ + ".bias";
+    b_.value = Tensor(Shape{out_c_});
+    b_.grad = Tensor(Shape{out_c_});
+  }
+  const std::int64_t plen = kernel_ * kernel_ * in_c_;
+  for (std::int64_t k = 0; k < out_c_; ++k) {
+    for (std::int64_t c = 0; c < plen; ++c) w_.value.at2(k, c) *= mul[static_cast<std::size_t>(k)];
+    b_.value[k] = b_.value[k] * mul[static_cast<std::size_t>(k)] + add[static_cast<std::size_t>(k)];
+  }
+  quant_.invalidate_weights();
+}
+
+}  // namespace vsq

@@ -1,0 +1,64 @@
+// 2-D convolution (NHWC, square kernel) implemented as im2col + GEMM with
+// quantization hooks. The unrolled patch rows are channel-innermost, so the
+// per-vector quantizer's channel_block = in_channels reproduces the paper's
+// V x 1 x 1 vectors (Fig. 1).
+#pragma once
+
+#include "nn/layer.h"
+#include "nn/quant_wrapper.h"
+#include "tensor/im2col.h"
+#include "util/rng.h"
+
+namespace vsq {
+
+class Conv2d : public Layer, public QuantizableGemm {
+ public:
+  Conv2d(std::string name, std::int64_t in_channels, std::int64_t out_channels,
+         std::int64_t kernel, std::int64_t stride, std::int64_t pad, Rng& rng,
+         bool has_bias = true);
+
+  Tensor forward(const Tensor& x, bool train) override;  // x: [N, H, W, C]
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+  std::string kind() const override { return "conv2d"; }
+
+  // QuantizableGemm:
+  void set_quant(const QuantSpec& weight_spec, const QuantSpec& act_spec) override;
+  void set_quant_mode(QuantMode mode) override;
+  QuantMode quant_mode() const override { return quant_.mode(); }
+  void calibrate_finalize() override { quant_.calibrate_finalize(); }
+  const QuantSpec& weight_spec() const override { return quant_.weight_spec(); }
+  const QuantSpec& act_spec() const override { return quant_.act_spec(); }
+  GemmDims gemm_dims() const override { return dims_; }
+  const std::string& gemm_name() const override { return name_; }
+  const Tensor& weight_matrix() const override { return w_.value; }
+  const ActivationQuantizer* act_quantizer() const override { return quant_.act_quantizer(); }
+  void set_gemm_override(std::function<Tensor(const Tensor&)> fn) override {
+    quant_.set_gemm_override(std::move(fn));
+  }
+
+  Param& weight() { return w_; }  // [K, KH*KW*C], channel-innermost rows
+  Param& bias() { return b_; }
+  std::int64_t in_channels() const { return in_c_; }
+  std::int64_t out_channels() const { return out_c_; }
+  void on_weights_updated() { quant_.invalidate_weights(); }
+
+  // Fold a per-channel affine (BatchNorm in inference form) into the conv:
+  // w[k,:] *= mul[k]; b[k] = b[k]*mul[k] + add[k].
+  void fold_affine(const std::vector<float>& mul, const std::vector<float>& add);
+
+ private:
+  std::string name_;
+  std::int64_t in_c_, out_c_, kernel_, stride_, pad_;
+  bool has_bias_;
+  Param w_;  // [K, KH*KW*C]
+  Param b_;  // [K]
+  GemmQuantState quant_;
+  GemmDims dims_{};
+  ConvGeom geom_{};        // geometry of the most recent forward
+  std::int64_t batch_ = 0;
+  Tensor cols_used_;       // unrolled (possibly quantized) patches
+  Tensor w_used_;
+};
+
+}  // namespace vsq

@@ -1,0 +1,62 @@
+#include "nn/embedding.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/init.h"
+
+namespace vsq {
+
+Embedding::Embedding(std::string name, std::int64_t vocab, std::int64_t max_len,
+                     std::int64_t dim, Rng& rng)
+    : name_(std::move(name)), vocab_(vocab), max_len_(max_len), dim_(dim) {
+  tok_.name = name_ + ".tok";
+  tok_.value = Tensor(Shape{vocab, dim});
+  tok_.grad = Tensor(Shape{vocab, dim});
+  normal_init(tok_.value, 0.05, rng);
+  pos_.name = name_ + ".pos";
+  pos_.value = Tensor(Shape{max_len, dim});
+  pos_.grad = Tensor(Shape{max_len, dim});
+  normal_init(pos_.value, 0.05, rng);
+}
+
+Tensor Embedding::forward(const Tensor& ids, bool train) {
+  if (ids.shape().rank() != 2) throw std::invalid_argument(name_ + ": ids must be [B, T]");
+  const std::int64_t b = ids.shape()[0], t = ids.shape()[1];
+  if (t > max_len_) throw std::invalid_argument(name_ + ": sequence longer than max_len");
+  Tensor y(Shape{b, t, dim_});
+  for (std::int64_t i = 0; i < b; ++i) {
+    for (std::int64_t j = 0; j < t; ++j) {
+      const auto id = static_cast<std::int64_t>(std::lround(ids.at2(i, j)));
+      if (id < 0 || id >= vocab_) throw std::out_of_range(name_ + ": token id out of range");
+      const float* te = tok_.value.data() + id * dim_;
+      const float* pe = pos_.value.data() + j * dim_;
+      float* yr = y.data() + (i * t + j) * dim_;
+      for (std::int64_t d = 0; d < dim_; ++d) yr[d] = te[d] + pe[d];
+    }
+  }
+  if (train) ids_ = ids;
+  return y;
+}
+
+Tensor Embedding::backward(const Tensor& grad_out) {
+  if (ids_.empty()) throw std::logic_error("Embedding::backward without forward(train=true)");
+  const std::int64_t b = ids_.shape()[0], t = ids_.shape()[1];
+  for (std::int64_t i = 0; i < b; ++i) {
+    for (std::int64_t j = 0; j < t; ++j) {
+      const auto id = static_cast<std::int64_t>(std::lround(ids_.at2(i, j)));
+      const float* gr = grad_out.data() + (i * t + j) * dim_;
+      float* tg = tok_.grad.data() + id * dim_;
+      float* pg = pos_.grad.data() + j * dim_;
+      for (std::int64_t d = 0; d < dim_; ++d) {
+        tg[d] += gr[d];
+        pg[d] += gr[d];
+      }
+    }
+  }
+  return Tensor();  // ids carry no gradient
+}
+
+std::vector<Param*> Embedding::params() { return {&tok_, &pos_}; }
+
+}  // namespace vsq

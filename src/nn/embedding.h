@@ -1,0 +1,32 @@
+// Token + position embedding for the transformer models. Token ids arrive
+// as a float tensor of indices [B, T] (the engine is float-only); forward
+// produces [B, T, D] = tok_emb[id] + pos_emb[t].
+#pragma once
+
+#include "nn/layer.h"
+#include "util/rng.h"
+
+namespace vsq {
+
+class Embedding : public Layer {
+ public:
+  Embedding(std::string name, std::int64_t vocab, std::int64_t max_len, std::int64_t dim,
+            Rng& rng);
+
+  Tensor forward(const Tensor& ids, bool train) override;  // [B, T] -> [B, T, D]
+  Tensor backward(const Tensor& grad_out) override;        // returns empty (no input grad)
+  std::vector<Param*> params() override;
+  std::string kind() const override { return "embedding"; }
+
+  Param& token_table() { return tok_; }
+  Param& position_table() { return pos_; }
+
+ private:
+  std::string name_;
+  std::int64_t vocab_, max_len_, dim_;
+  Param tok_;  // [vocab, D]
+  Param pos_;  // [max_len, D]
+  Tensor ids_;
+};
+
+}  // namespace vsq

@@ -1,0 +1,32 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace vsq {
+
+void kaiming_normal(Tensor& w, std::int64_t fan_in, Rng& rng) {
+  const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+  for (auto& v : w.span()) v = static_cast<float>(rng.normal(0.0, stddev));
+}
+
+void xavier_uniform(Tensor& w, std::int64_t fan_in, std::int64_t fan_out, Rng& rng) {
+  const double limit = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (auto& v : w.span()) v = static_cast<float>(rng.uniform(-limit, limit));
+}
+
+void normal_init(Tensor& w, double stddev, Rng& rng) {
+  for (auto& v : w.span()) v = static_cast<float>(rng.normal(0.0, stddev));
+}
+
+void lognormal_column_spread(Tensor& w2d, double sigma, Rng& rng) {
+  if (sigma <= 0.0) return;
+  const std::int64_t rows = w2d.shape()[0], cols = w2d.shape()[1];
+  std::vector<float> factor(static_cast<std::size_t>(cols));
+  for (auto& f : factor) f = static_cast<float>(std::exp(sigma * rng.normal()));
+  float* d = w2d.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) d[r * cols + c] *= factor[static_cast<std::size_t>(c)];
+  }
+}
+
+}  // namespace vsq

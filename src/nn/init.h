@@ -1,0 +1,28 @@
+// Weight initialization (Kaiming/Xavier) with the repo's deterministic RNG.
+#pragma once
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace vsq {
+
+// He-normal: stddev = sqrt(2 / fan_in). For conv/linear weights feeding ReLU.
+void kaiming_normal(Tensor& w, std::int64_t fan_in, Rng& rng);
+
+// Xavier-uniform: limit = sqrt(6 / (fan_in + fan_out)). For attention /
+// embedding projections.
+void xavier_uniform(Tensor& w, std::int64_t fan_in, std::int64_t fan_out, Rng& rng);
+
+// N(0, stddev) fill (embeddings).
+void normal_init(Tensor& w, double stddev, Rng& rng);
+
+// Plant a long-tailed per-column magnitude profile on a [rows, cols] GEMM
+// weight matrix: column c is scaled by exp(sigma * z_c), z_c ~ N(0, 1).
+// Mature trained networks (ImageNet CNNs, BERT) develop exactly this kind
+// of within-row dynamic-range spread — the regime where coarse-grained
+// scale factors break down (paper Sec. 1/4) — but small synthetic models
+// trained for a few epochs do not, so the model builders plant it at init
+// and train through it (DESIGN.md §1). sigma = 0 is a no-op.
+void lognormal_column_spread(Tensor& w2d, double sigma, Rng& rng);
+
+}  // namespace vsq

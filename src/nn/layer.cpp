@@ -1,0 +1,6 @@
+#include "nn/layer.h"
+
+// Layer and QuantizableGemm are interfaces; their virtual destructors are
+// emitted here to anchor the vtables in one translation unit.
+
+namespace vsq {}  // namespace vsq

@@ -1,0 +1,81 @@
+// Layer interface for the inference/training engine. Layer-wise explicit
+// backprop (each layer caches what its backward needs); models wire
+// residual/attention topology by hand. Quantization plugs into the two
+// GEMM-bearing layers (Linear, Conv2d) through the QuantizableGemm
+// interface below.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "quant/fake_quant.h"
+#include "tensor/tensor.h"
+
+namespace vsq {
+
+struct Param {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  void zero_grad() { grad.zero(); }
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  // `train` enables caching for backward (and batch statistics where
+  // applicable). Inference should pass false.
+  virtual Tensor forward(const Tensor& x, bool train) = 0;
+  // Consumes the gradient w.r.t. this layer's output, accumulates parameter
+  // gradients, and returns the gradient w.r.t. the input. Must be called
+  // after a forward(train=true).
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+  virtual std::vector<Param*> params() { return {}; }
+  virtual std::string kind() const = 0;
+};
+
+// How a quantizable GEMM executes (paper Sec. 4/7).
+enum class QuantMode {
+  kOff,        // fp32
+  kCalibrate,  // fp32 forward, activation statistics collected
+  kQuantEval,  // PTQ inference: static fake weights + quantized activations
+  kQat,        // training with quantizers in the loop (STE backward)
+};
+
+// Per-GEMM operation counts for hardware-energy weighting (the paper
+// weights per-layer energy by operation count).
+struct GemmDims {
+  std::int64_t rows = 0;  // activation rows per inference batch
+  std::int64_t cols = 0;  // reduction length
+  std::int64_t outs = 0;  // output features
+  std::int64_t macs() const { return rows * cols * outs; }
+};
+
+// Interface implemented by Linear and Conv2d.
+class QuantizableGemm {
+ public:
+  virtual ~QuantizableGemm() = default;
+  virtual void set_quant(const QuantSpec& weight_spec, const QuantSpec& act_spec) = 0;
+  virtual void set_quant_mode(QuantMode mode) = 0;
+  virtual QuantMode quant_mode() const = 0;
+  virtual void calibrate_finalize() = 0;
+  virtual const QuantSpec& weight_spec() const = 0;
+  virtual const QuantSpec& act_spec() const = 0;
+  // Dims of the GEMM at the most recent forward (for op-weighted energy).
+  virtual GemmDims gemm_dims() const = 0;
+  // Identifier used in reports ("stage2.block1.conv2", ...).
+  virtual const std::string& gemm_name() const = 0;
+  // Hooks for the bit-accurate hardware path (tests, PE simulator):
+  virtual const Tensor& weight_matrix() const = 0;       // [outs, cols] fp32
+  virtual const ActivationQuantizer* act_quantizer() const = 0;
+  // Replace the layer's inner GEMM with `fn(x2d) -> y2d` (integer
+  // deployment path; see quant/export.h). Empty uninstalls. Inference only:
+  // forward(train=true) with an override installed throws.
+  virtual void set_gemm_override(std::function<Tensor(const Tensor&)> fn) = 0;
+};
+
+}  // namespace vsq

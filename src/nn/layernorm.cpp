@@ -1,0 +1,83 @@
+#include "nn/layernorm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vsq {
+
+LayerNorm::LayerNorm(std::string name, std::int64_t features, float eps)
+    : name_(std::move(name)), features_(features), eps_(eps) {
+  gamma_.name = name_ + ".gamma";
+  gamma_.value = Tensor(Shape{features});
+  gamma_.value.fill(1.0f);
+  gamma_.grad = Tensor(Shape{features});
+  beta_.name = name_ + ".beta";
+  beta_.value = Tensor(Shape{features});
+  beta_.grad = Tensor(Shape{features});
+}
+
+Tensor LayerNorm::forward(const Tensor& x, bool train) {
+  const Shape& s = x.shape();
+  if (s[s.rank() - 1] != features_) {
+    throw std::invalid_argument(name_ + ": last axis != features");
+  }
+  const std::int64_t rows = x.numel() / features_;
+  Tensor y(x.shape());
+  Tensor xhat(Shape{rows, features_}), inv_std(Shape{rows});
+  const auto fd = static_cast<float>(features_);
+
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* xr = x.data() + r * features_;
+    float mean = 0.0f;
+    for (std::int64_t c = 0; c < features_; ++c) mean += xr[c];
+    mean /= fd;
+    float var = 0.0f;
+    for (std::int64_t c = 0; c < features_; ++c) {
+      const float d = xr[c] - mean;
+      var += d * d;
+    }
+    var /= fd;
+    const float is = 1.0f / std::sqrt(var + eps_);
+    inv_std[r] = is;
+    float* yr = y.data() + r * features_;
+    for (std::int64_t c = 0; c < features_; ++c) {
+      const float xh = (xr[c] - mean) * is;
+      xhat.at2(r, c) = xh;
+      yr[c] = xh * gamma_.value[c] + beta_.value[c];
+    }
+  }
+  if (train) {
+    xhat_ = std::move(xhat);
+    inv_std_ = std::move(inv_std);
+  }
+  return y;
+}
+
+Tensor LayerNorm::backward(const Tensor& grad_out) {
+  if (xhat_.empty()) throw std::logic_error("LayerNorm::backward without forward(train=true)");
+  const std::int64_t rows = xhat_.shape()[0];
+  const auto fd = static_cast<float>(features_);
+  Tensor gx(grad_out.shape());
+
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* gr = grad_out.data() + r * features_;
+    float sum_dxhat = 0.0f, sum_dxhat_xhat = 0.0f;
+    for (std::int64_t c = 0; c < features_; ++c) {
+      const float dxhat = gr[c] * gamma_.value[c];
+      sum_dxhat += dxhat;
+      sum_dxhat_xhat += dxhat * xhat_.at2(r, c);
+      gamma_.grad[c] += gr[c] * xhat_.at2(r, c);
+      beta_.grad[c] += gr[c];
+    }
+    float* gxr = gx.data() + r * features_;
+    for (std::int64_t c = 0; c < features_; ++c) {
+      const float dxhat = gr[c] * gamma_.value[c];
+      gxr[c] = inv_std_[r] / fd * (fd * dxhat - sum_dxhat - xhat_.at2(r, c) * sum_dxhat_xhat);
+    }
+  }
+  return gx;
+}
+
+std::vector<Param*> LayerNorm::params() { return {&gamma_, &beta_}; }
+
+}  // namespace vsq

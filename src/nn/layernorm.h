@@ -1,0 +1,28 @@
+// LayerNorm over the last axis with learned affine (transformer blocks).
+#pragma once
+
+#include "nn/layer.h"
+
+namespace vsq {
+
+class LayerNorm : public Layer {
+ public:
+  LayerNorm(std::string name, std::int64_t features, float eps = 1e-5f);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+  std::string kind() const override { return "layernorm"; }
+
+  Param& gamma() { return gamma_; }
+  Param& beta() { return beta_; }
+
+ private:
+  std::string name_;
+  std::int64_t features_;
+  float eps_;
+  Param gamma_, beta_;
+  Tensor xhat_, inv_std_;  // cached per row
+};
+
+}  // namespace vsq

@@ -1,0 +1,114 @@
+#include "nn/linear.h"
+
+#include <stdexcept>
+
+#include "nn/init.h"
+#include "tensor/gemm.h"
+
+namespace vsq {
+namespace {
+
+// Flatten all leading axes into rows; last axis must equal `features`.
+Tensor as_rows(const Tensor& x, std::int64_t features, const char* who) {
+  const Shape& s = x.shape();
+  if (s.rank() < 1 || s[s.rank() - 1] != features) {
+    throw std::invalid_argument(std::string(who) + ": last axis != in_features");
+  }
+  return x.reshape(Shape{x.numel() / features, features});
+}
+
+Shape with_last_axis(const Shape& s, std::int64_t last) {
+  switch (s.rank()) {
+    case 1: return Shape{last};
+    case 2: return Shape{s[0], last};
+    case 3: return Shape{s[0], s[1], last};
+    case 4: return Shape{s[0], s[1], s[2], last};
+    default: throw std::invalid_argument("Linear: unsupported input rank");
+  }
+}
+
+}  // namespace
+
+Linear::Linear(std::string name, std::int64_t in_features, std::int64_t out_features, Rng& rng,
+               bool has_bias)
+    : name_(std::move(name)),
+      in_features_(in_features),
+      out_features_(out_features),
+      has_bias_(has_bias) {
+  w_.name = name_ + ".weight";
+  w_.value = Tensor(Shape{out_features, in_features});
+  w_.grad = Tensor(Shape{out_features, in_features});
+  kaiming_normal(w_.value, in_features, rng);
+  if (has_bias_) {
+    b_.name = name_ + ".bias";
+    b_.value = Tensor(Shape{out_features});
+    b_.grad = Tensor(Shape{out_features});
+  }
+}
+
+void Linear::set_quant(const QuantSpec& weight_spec, const QuantSpec& act_spec) {
+  quant_.configure(weight_spec, act_spec);
+}
+
+void Linear::set_quant_mode(QuantMode mode) { quant_.set_mode(mode); }
+
+Tensor Linear::forward(const Tensor& x, bool train) {
+  in_shape_ = x.shape();
+  const Tensor x2d = as_rows(x, in_features_, "Linear");
+  const std::int64_t rows = x2d.shape()[0];
+  dims_ = GemmDims{rows, in_features_, out_features_};
+
+  Tensor y(Shape{rows, out_features_});
+  if (quant_.has_override()) {
+    if (train) throw std::logic_error(name_ + ": GEMM override is inference-only");
+    y = quant_.run_override(x2d);
+    if (y.shape() != Shape{rows, out_features_}) {
+      throw std::logic_error(name_ + ": GEMM override returned wrong shape");
+    }
+  } else {
+    const Tensor* wp = nullptr;
+    Tensor xq = quant_.prepare(x2d, w_.value, &wp);
+    if (train) {
+      x_used_ = xq;
+      w_used_ = *wp;
+    }
+    gemm_nt(xq.data(), wp->data(), y.data(), rows, out_features_, in_features_);
+  }
+  if (has_bias_) {
+    float* yd = y.data();
+    const float* bd = b_.value.data();
+    for (std::int64_t r = 0; r < rows; ++r) {
+      for (std::int64_t o = 0; o < out_features_; ++o) yd[r * out_features_ + o] += bd[o];
+    }
+  }
+  return y.reshape(with_last_axis(in_shape_, out_features_));
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  const Tensor g2d = as_rows(grad_out, out_features_, "Linear::backward");
+  const std::int64_t rows = g2d.shape()[0];
+  if (x_used_.empty()) throw std::logic_error("Linear::backward without forward(train=true)");
+
+  // dW += g^T x   ([out, in] = [rows, out]^T [rows, in])
+  gemm_tn(g2d.data(), x_used_.data(), w_.grad.data(), out_features_, in_features_, rows,
+          /*accumulate=*/true);
+  if (has_bias_) {
+    float* bg = b_.grad.data();
+    const float* gd = g2d.data();
+    for (std::int64_t r = 0; r < rows; ++r) {
+      for (std::int64_t o = 0; o < out_features_; ++o) bg[o] += gd[r * out_features_ + o];
+    }
+  }
+  // dX = g W (STE: through the quantized weights actually used).
+  Tensor gx(Shape{rows, in_features_});
+  gemm_nn(g2d.data(), w_used_.data(), gx.data(), rows, in_features_, out_features_);
+  return gx.reshape(in_shape_);
+}
+
+std::vector<Param*> Linear::params() {
+  std::vector<Param*> ps{&w_};
+  if (has_bias_) ps.push_back(&b_);
+  return ps;
+}
+
+}  // namespace vsq

@@ -1,0 +1,57 @@
+// Fully-connected layer y = x W^T + b with quantization hooks.
+// Accepts inputs of any rank; the last axis is the feature axis and all
+// leading axes are flattened into GEMM rows (so [B, T, D] works directly
+// for transformer blocks).
+#pragma once
+
+#include "nn/layer.h"
+#include "nn/quant_wrapper.h"
+#include "util/rng.h"
+
+namespace vsq {
+
+class Linear : public Layer, public QuantizableGemm {
+ public:
+  Linear(std::string name, std::int64_t in_features, std::int64_t out_features, Rng& rng,
+         bool has_bias = true);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+  std::string kind() const override { return "linear"; }
+
+  // QuantizableGemm:
+  void set_quant(const QuantSpec& weight_spec, const QuantSpec& act_spec) override;
+  void set_quant_mode(QuantMode mode) override;
+  QuantMode quant_mode() const override { return quant_.mode(); }
+  void calibrate_finalize() override { quant_.calibrate_finalize(); }
+  const QuantSpec& weight_spec() const override { return quant_.weight_spec(); }
+  const QuantSpec& act_spec() const override { return quant_.act_spec(); }
+  GemmDims gemm_dims() const override { return dims_; }
+  const std::string& gemm_name() const override { return name_; }
+  const Tensor& weight_matrix() const override { return w_.value; }
+  const ActivationQuantizer* act_quantizer() const override { return quant_.act_quantizer(); }
+  void set_gemm_override(std::function<Tensor(const Tensor&)> fn) override {
+    quant_.set_gemm_override(std::move(fn));
+  }
+
+  Param& weight() { return w_; }
+  Param& bias() { return b_; }
+  // Called by optimizers after a step so cached fake weights refresh.
+  void on_weights_updated() { quant_.invalidate_weights(); }
+
+ private:
+  std::string name_;
+  std::int64_t in_features_, out_features_;
+  bool has_bias_;
+  Param w_;  // [out, in]
+  Param b_;  // [out]
+  GemmQuantState quant_;
+  GemmDims dims_{};
+  // Cached for backward (the operands actually used in the GEMM).
+  Tensor x_used_;   // [rows, in]
+  Tensor w_used_;   // [out, in] (quantized copy under QAT)
+  Shape in_shape_;  // original input shape, to restore grad shape
+};
+
+}  // namespace vsq

@@ -1,0 +1,103 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/softmax.h"
+
+namespace vsq {
+
+LossResult cross_entropy(const Tensor& logits, const std::vector<int>& labels) {
+  if (logits.shape().rank() != 2) throw std::invalid_argument("cross_entropy: logits rank != 2");
+  const std::int64_t b = logits.shape()[0], c = logits.shape()[1];
+  if (static_cast<std::int64_t>(labels.size()) != b) {
+    throw std::invalid_argument("cross_entropy: label count mismatch");
+  }
+  const Tensor p = softmax_last_axis(logits);
+  LossResult res;
+  res.grad = p.clone();
+  double loss = 0.0;
+  const float invb = 1.0f / static_cast<float>(b);
+  for (std::int64_t i = 0; i < b; ++i) {
+    const int y = labels[static_cast<std::size_t>(i)];
+    if (y < 0 || y >= c) throw std::out_of_range("cross_entropy: label out of range");
+    loss -= std::log(std::max(p.at2(i, y), 1e-12f));
+    res.grad.at2(i, y) -= 1.0f;
+  }
+  for (auto& g : res.grad.span()) g *= invb;
+  res.loss = loss / static_cast<double>(b);
+  return res;
+}
+
+double top1_accuracy(const Tensor& logits, const std::vector<int>& labels) {
+  const std::int64_t b = logits.shape()[0], c = logits.shape()[1];
+  std::int64_t correct = 0;
+  for (std::int64_t i = 0; i < b; ++i) {
+    std::int64_t best = 0;
+    for (std::int64_t j = 1; j < c; ++j) {
+      if (logits.at2(i, j) > logits.at2(i, best)) best = j;
+    }
+    if (best == labels[static_cast<std::size_t>(i)]) ++correct;
+  }
+  return 100.0 * static_cast<double>(correct) / static_cast<double>(b);
+}
+
+LossResult span_cross_entropy(const Tensor& logits, const SpanLabels& labels) {
+  if (logits.shape().rank() != 3 || logits.shape()[2] != 2) {
+    throw std::invalid_argument("span_cross_entropy: logits must be [B, T, 2]");
+  }
+  const std::int64_t b = logits.shape()[0], t = logits.shape()[1];
+  // Split into start/end logit rows, run per-head cross entropy.
+  Tensor start(Shape{b, t}), end(Shape{b, t});
+  for (std::int64_t i = 0; i < b; ++i) {
+    for (std::int64_t j = 0; j < t; ++j) {
+      start.at2(i, j) = logits.at3(i, j, 0);
+      end.at2(i, j) = logits.at3(i, j, 1);
+    }
+  }
+  const LossResult ls = cross_entropy(start, labels.start);
+  const LossResult le = cross_entropy(end, labels.end);
+  LossResult res;
+  res.loss = 0.5 * (ls.loss + le.loss);
+  res.grad = Tensor(logits.shape());
+  for (std::int64_t i = 0; i < b; ++i) {
+    for (std::int64_t j = 0; j < t; ++j) {
+      res.grad.at3(i, j, 0) = 0.5f * ls.grad.at2(i, j);
+      res.grad.at3(i, j, 1) = 0.5f * le.grad.at2(i, j);
+    }
+  }
+  return res;
+}
+
+double span_f1(const Tensor& logits, const SpanLabels& labels, int max_span) {
+  const std::int64_t b = logits.shape()[0], t = logits.shape()[1];
+  double f1_sum = 0.0;
+  for (std::int64_t i = 0; i < b; ++i) {
+    // Predicted start = argmax of start logits; end = best end in
+    // [start, start + max_span).
+    std::int64_t ps = 0;
+    for (std::int64_t j = 1; j < t; ++j) {
+      if (logits.at3(i, j, 0) > logits.at3(i, ps, 0)) ps = j;
+    }
+    std::int64_t pe = ps;
+    for (std::int64_t j = ps; j < std::min(t, ps + max_span); ++j) {
+      if (logits.at3(i, j, 1) > logits.at3(i, pe, 1)) pe = j;
+    }
+    const std::int64_t gs = labels.start[static_cast<std::size_t>(i)];
+    const std::int64_t ge = labels.end[static_cast<std::size_t>(i)];
+    // Token-overlap F1 between [ps, pe] and [gs, ge].
+    const std::int64_t lo = std::max(ps, gs), hi = std::min(pe, ge);
+    const double overlap = static_cast<double>(std::max<std::int64_t>(0, hi - lo + 1));
+    const double pred_len = static_cast<double>(pe - ps + 1);
+    const double gold_len = static_cast<double>(ge - gs + 1);
+    if (overlap > 0) {
+      const double prec = overlap / pred_len;
+      const double rec = overlap / gold_len;
+      f1_sum += 2.0 * prec * rec / (prec + rec);
+    }
+  }
+  return 100.0 * f1_sum / static_cast<double>(b);
+}
+
+}  // namespace vsq

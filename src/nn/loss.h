@@ -1,0 +1,38 @@
+// Losses and task metrics.
+//   * softmax cross-entropy for classification (CNN top-1)
+//   * span cross-entropy (start + end heads) for the synthetic-SQuAD task,
+//     plus the token-overlap F1 metric used by SQuAD v1.1
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace vsq {
+
+struct LossResult {
+  double loss = 0.0;
+  Tensor grad;  // dL/dlogits (mean reduction)
+};
+
+// logits: [B, classes]; labels: B integer class ids.
+LossResult cross_entropy(const Tensor& logits, const std::vector<int>& labels);
+
+// Top-1 accuracy in percent.
+double top1_accuracy(const Tensor& logits, const std::vector<int>& labels);
+
+// Span extraction: logits [B, T, 2] (start channel 0, end channel 1);
+// labels give the gold start/end token indices per example.
+struct SpanLabels {
+  std::vector<int> start;
+  std::vector<int> end;
+};
+
+LossResult span_cross_entropy(const Tensor& logits, const SpanLabels& labels);
+
+// SQuAD-style token-overlap F1 (percent, averaged over examples):
+// predicted span = (argmax start, argmax end >= start, capped at start+max_span).
+double span_f1(const Tensor& logits, const SpanLabels& labels, int max_span = 16);
+
+}  // namespace vsq

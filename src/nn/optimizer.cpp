@@ -1,0 +1,65 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace vsq {
+
+void Optimizer::zero_grad() {
+  for (Param* p : params_) p->zero_grad();
+}
+
+Sgd::Sgd(std::vector<Param*> params, float lr, float momentum, float weight_decay)
+    : Optimizer(std::move(params)), momentum_(momentum), weight_decay_(weight_decay) {
+  lr_ = lr;
+  velocity_.reserve(params_.size());
+  for (const Param* p : params_) velocity_.emplace_back(p->value.shape());
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param& p = *params_[i];
+    Tensor& vel = velocity_[i];
+    const std::int64_t n = p.value.numel();
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float g = p.grad[j] + weight_decay_ * p.value[j];
+      vel[j] = momentum_ * vel[j] + g;
+      p.value[j] -= lr_ * vel[j];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Param*> params, float lr, float beta1, float beta2, float eps,
+           float weight_decay)
+    : Optimizer(std::move(params)),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  lr_ = lr;
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Param* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param& p = *params_[i];
+    const std::int64_t n = p.value.numel();
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float g = p.grad[j] + weight_decay_ * p.value[j];
+      m_[i][j] = beta1_ * m_[i][j] + (1 - beta1_) * g;
+      v_[i][j] = beta2_ * v_[i][j] + (1 - beta2_) * g * g;
+      const double mhat = m_[i][j] / bc1;
+      const double vhat = v_[i][j] / bc2;
+      p.value[j] -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_));
+    }
+  }
+}
+
+}  // namespace vsq

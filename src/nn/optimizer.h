@@ -1,0 +1,48 @@
+// Optimizers: SGD with momentum + weight decay (CNN) and Adam
+// (transformers). Both operate on the Param lists collected from models.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace vsq {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  explicit Optimizer(std::vector<Param*> params) : params_(std::move(params)) {}
+
+  void zero_grad();
+  virtual void step() = 0;
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ protected:
+  std::vector<Param*> params_;
+  float lr_ = 0.01f;
+};
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Param*> params, float lr, float momentum = 0.9f, float weight_decay = 0.0f);
+  void step() override;
+
+ private:
+  float momentum_, weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Param*> params, float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+       float eps = 1e-8f, float weight_decay = 0.0f);
+  void step() override;
+
+ private:
+  float beta1_, beta2_, eps_, weight_decay_;
+  std::vector<Tensor> m_, v_;
+  std::int64_t t_ = 0;
+};
+
+}  // namespace vsq

@@ -1,0 +1,85 @@
+#include "nn/pooling.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace vsq {
+
+Tensor GlobalAvgPool::forward(const Tensor& x, bool train) {
+  if (x.shape().rank() != 4) throw std::invalid_argument("GlobalAvgPool: expected NHWC");
+  const std::int64_t n = x.shape()[0], h = x.shape()[1], w = x.shape()[2], c = x.shape()[3];
+  if (train) in_shape_ = x.shape();
+  Tensor y(Shape{n, c});
+  const float inv = 1.0f / static_cast<float>(h * w);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t p = 0; p < h * w; ++p) {
+      const float* px = x.data() + (i * h * w + p) * c;
+      float* py = y.data() + i * c;
+      for (std::int64_t ch = 0; ch < c; ++ch) py[ch] += px[ch];
+    }
+    float* py = y.data() + i * c;
+    for (std::int64_t ch = 0; ch < c; ++ch) py[ch] *= inv;
+  }
+  return y;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+  if (in_shape_.rank() != 4) throw std::logic_error("GlobalAvgPool::backward without forward");
+  const std::int64_t n = in_shape_[0], h = in_shape_[1], w = in_shape_[2], c = in_shape_[3];
+  Tensor gx(in_shape_);
+  const float inv = 1.0f / static_cast<float>(h * w);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* g = grad_out.data() + i * c;
+    for (std::int64_t p = 0; p < h * w; ++p) {
+      float* px = gx.data() + (i * h * w + p) * c;
+      for (std::int64_t ch = 0; ch < c; ++ch) px[ch] = g[ch] * inv;
+    }
+  }
+  return gx;
+}
+
+Tensor MaxPool2x2::forward(const Tensor& x, bool train) {
+  if (x.shape().rank() != 4) throw std::invalid_argument("MaxPool2x2: expected NHWC");
+  const std::int64_t n = x.shape()[0], h = x.shape()[1], w = x.shape()[2], c = x.shape()[3];
+  if (h % 2 != 0 || w % 2 != 0) throw std::invalid_argument("MaxPool2x2: H, W must be even");
+  const std::int64_t oh = h / 2, ow = w / 2;
+  in_shape_ = x.shape();
+  Tensor y(Shape{n, oh, ow, c});
+  if (train) argmax_.assign(static_cast<std::size_t>(y.numel()), 0);
+
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        for (std::int64_t ch = 0; ch < c; ++ch) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::int64_t best_idx = 0;
+          for (int dy = 0; dy < 2; ++dy) {
+            for (int dx = 0; dx < 2; ++dx) {
+              const std::int64_t idx = ((i * h + oy * 2 + dy) * w + ox * 2 + dx) * c + ch;
+              if (x[idx] > best) {
+                best = x[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          const std::int64_t oidx = ((i * oh + oy) * ow + ox) * c + ch;
+          y[oidx] = best;
+          if (train) argmax_[static_cast<std::size_t>(oidx)] = static_cast<std::int32_t>(best_idx);
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool2x2::backward(const Tensor& grad_out) {
+  if (argmax_.empty()) throw std::logic_error("MaxPool2x2::backward without forward(train=true)");
+  Tensor gx(in_shape_);
+  const std::int64_t n = grad_out.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    gx[argmax_[static_cast<std::size_t>(i)]] += grad_out[i];
+  }
+  return gx;
+}
+
+}  // namespace vsq

@@ -1,0 +1,31 @@
+// Pooling layers for NHWC activations.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace vsq {
+
+// Global average pool: [N, H, W, C] -> [N, C].
+class GlobalAvgPool : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string kind() const override { return "globalavgpool"; }
+
+ private:
+  Shape in_shape_;
+};
+
+// 2x2 max pool with stride 2 (H and W must be even).
+class MaxPool2x2 : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string kind() const override { return "maxpool2x2"; }
+
+ private:
+  Shape in_shape_;
+  std::vector<std::int32_t> argmax_;  // flat input index per output element
+};
+
+}  // namespace vsq

@@ -1,0 +1,56 @@
+#include "nn/quant_wrapper.h"
+
+#include <stdexcept>
+
+namespace vsq {
+
+void GemmQuantState::configure(const QuantSpec& weight_spec, const QuantSpec& act_spec) {
+  w_spec_ = weight_spec;
+  a_spec_ = act_spec;
+  qw_.reset();
+  act_quant_.emplace(a_spec_);
+}
+
+void GemmQuantState::set_mode(QuantMode mode) {
+  if (mode != QuantMode::kOff && !act_quant_) {
+    throw std::logic_error("GemmQuantState: set_mode before configure");
+  }
+  if (mode == QuantMode::kCalibrate && act_quant_) {
+    // Restart calibration from scratch.
+    act_quant_.emplace(a_spec_);
+  }
+  mode_ = mode;
+}
+
+void GemmQuantState::calibrate_finalize() {
+  if (act_quant_) act_quant_->finalize();
+}
+
+Tensor GemmQuantState::prepare(const Tensor& x2d, const Tensor& w2d, const Tensor** weights) {
+  switch (mode_) {
+    case QuantMode::kOff:
+      *weights = &w2d;
+      return x2d;
+    case QuantMode::kCalibrate:
+      if (act_quant_) act_quant_->observe(x2d);
+      *weights = &w2d;
+      return x2d;
+    case QuantMode::kQuantEval:
+      if (w_spec_.enabled && !qw_) qw_ = quantize_weights(w2d, w_spec_);
+      *weights = w_spec_.enabled ? &qw_->fake : &w2d;
+      return act_quant_ && a_spec_.enabled ? act_quant_->apply(x2d) : x2d;
+    case QuantMode::kQat:
+      // Weights change every optimizer step: re-quantize on each forward.
+      if (w_spec_.enabled) {
+        qw_ = quantize_weights(w2d, w_spec_);
+        *weights = &qw_->fake;
+      } else {
+        *weights = &w2d;
+      }
+      return act_quant_ && a_spec_.enabled ? act_quant_->apply(x2d) : x2d;
+  }
+  *weights = &w2d;
+  return x2d;
+}
+
+}  // namespace vsq

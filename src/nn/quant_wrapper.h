@@ -1,0 +1,61 @@
+// Shared quantized-GEMM execution state embedded by Linear and Conv2d.
+//
+// Modes (paper Sec. 4, 6, 7):
+//  kOff        y = x W^T
+//  kCalibrate  y = x W^T, activation statistics streamed to the calibrator
+//  kQuantEval  y = Q(x) Q(W)^T with cached static fake weights (PTQ)
+//  kQat        y = Q(x) Q(W)^T, weights re-quantized every step; backward
+//              uses the straight-through estimator: gradients flow through
+//              the quantizers as if they were identity, computed against
+//              the quantized operands (dW = dY^T Q(x), dX = dY Q(W)).
+//
+// Independently of the mode, a *GEMM override* can be installed: the layer
+// then delegates its inner GEMM (without bias) to the callback — the hook
+// the integer-deployment runner (quant/export.h) uses to route every layer
+// through the bit-accurate int_gemm datapath. Inference only.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "nn/layer.h"
+
+namespace vsq {
+
+class GemmQuantState {
+ public:
+  void configure(const QuantSpec& weight_spec, const QuantSpec& act_spec);
+  void set_mode(QuantMode mode);
+  QuantMode mode() const { return mode_; }
+  void calibrate_finalize();
+  const QuantSpec& weight_spec() const { return w_spec_; }
+  const QuantSpec& act_spec() const { return a_spec_; }
+  const ActivationQuantizer* act_quantizer() const {
+    return act_quant_ ? &*act_quant_ : nullptr;
+  }
+
+  // Invalidate cached fake weights (call after optimizer steps).
+  void invalidate_weights() { qw_.reset(); }
+
+  // Apply the mode to a GEMM's operands. Returns the activation matrix to
+  // multiply and sets *weights to the weight matrix to use (owned by this
+  // object when quantized). `x2d` is the unrolled activation matrix.
+  Tensor prepare(const Tensor& x2d, const Tensor& w2d, const Tensor** weights);
+
+  // y2d = fn(x2d), replacing Q(x) Q(W)^T entirely (bias still added by the
+  // layer). Empty function uninstalls.
+  using GemmOverride = std::function<Tensor(const Tensor& x2d)>;
+  void set_gemm_override(GemmOverride fn) { override_ = std::move(fn); }
+  bool has_override() const { return static_cast<bool>(override_); }
+  Tensor run_override(const Tensor& x2d) const { return override_(x2d); }
+
+ private:
+  QuantSpec w_spec_ = QuantSpec::disabled();
+  QuantSpec a_spec_ = QuantSpec::disabled();
+  QuantMode mode_ = QuantMode::kOff;
+  GemmOverride override_;
+  std::optional<QuantizedOperand> qw_;
+  std::optional<ActivationQuantizer> act_quant_;
+};
+
+}  // namespace vsq

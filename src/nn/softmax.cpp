@@ -1,0 +1,48 @@
+#include "nn/softmax.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vsq {
+
+Tensor softmax_last_axis(const Tensor& x) {
+  const Shape& s = x.shape();
+  const std::int64_t d = s[s.rank() - 1];
+  const std::int64_t rows = x.numel() / d;
+  Tensor y(x.shape());
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* xr = x.data() + r * d;
+    float* yr = y.data() + r * d;
+    float m = xr[0];
+    for (std::int64_t c = 1; c < d; ++c) m = std::max(m, xr[c]);
+    float sum = 0.0f;
+    for (std::int64_t c = 0; c < d; ++c) {
+      yr[c] = std::exp(xr[c] - m);
+      sum += yr[c];
+    }
+    const float inv = 1.0f / sum;
+    for (std::int64_t c = 0; c < d; ++c) yr[c] *= inv;
+  }
+  return y;
+}
+
+Tensor softmax_backward_last_axis(const Tensor& p, const Tensor& grad_p) {
+  if (p.shape() != grad_p.shape()) {
+    throw std::invalid_argument("softmax_backward: shape mismatch");
+  }
+  const Shape& s = p.shape();
+  const std::int64_t d = s[s.rank() - 1];
+  const std::int64_t rows = p.numel() / d;
+  Tensor gx(p.shape());
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* pr = p.data() + r * d;
+    const float* gr = grad_p.data() + r * d;
+    float dot = 0.0f;
+    for (std::int64_t c = 0; c < d; ++c) dot += gr[c] * pr[c];
+    float* gxr = gx.data() + r * d;
+    for (std::int64_t c = 0; c < d; ++c) gxr[c] = pr[c] * (gr[c] - dot);
+  }
+  return gx;
+}
+
+}  // namespace vsq

@@ -1,0 +1,54 @@
+#include "quant/amax.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vsq {
+namespace {
+void check_2d(const Tensor& x) {
+  if (x.shape().rank() != 2) throw std::invalid_argument("amax: expected a 2-D matrix");
+}
+}  // namespace
+
+float amax_per_tensor(const Tensor& x2d) {
+  check_2d(x2d);
+  float m = 0.0f;
+  for (const float v : x2d.span()) m = std::max(m, std::abs(v));
+  return m;
+}
+
+std::vector<float> amax_per_row(const Tensor& x2d) {
+  check_2d(x2d);
+  const std::int64_t rows = x2d.shape()[0], cols = x2d.shape()[1];
+  std::vector<float> out(static_cast<std::size_t>(rows), 0.0f);
+  const float* p = x2d.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float m = 0.0f;
+    for (std::int64_t c = 0; c < cols; ++c) m = std::max(m, std::abs(p[r * cols + c]));
+    out[static_cast<std::size_t>(r)] = m;
+  }
+  return out;
+}
+
+std::vector<float> amax_per_vector(const Tensor& x2d, const VectorLayout& layout) {
+  check_2d(x2d);
+  if (x2d.shape()[1] != layout.cols) {
+    throw std::invalid_argument("amax_per_vector: layout does not match matrix");
+  }
+  layout.validate();
+  const std::int64_t rows = x2d.shape()[0], cols = layout.cols;
+  const std::int64_t vpr = layout.vectors_per_row();
+  std::vector<float> out(static_cast<std::size_t>(rows * vpr), 0.0f);
+  const float* p = x2d.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t v = 0; v < vpr; ++v) {
+      const auto [c0, c1] = layout.col_range(v);
+      float m = 0.0f;
+      for (std::int64_t c = c0; c < c1; ++c) m = std::max(m, std::abs(p[r * cols + c]));
+      out[static_cast<std::size_t>(r * vpr + v)] = m;
+    }
+  }
+  return out;
+}
+
+}  // namespace vsq

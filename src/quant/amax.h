@@ -1,0 +1,25 @@
+// Absolute-maximum computation at each scale granularity (Eq. 7a and the
+// coarse-grained analogues). Input is always a [rows, cols] matrix with the
+// reduction axis along columns.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "quant/granularity.h"
+#include "tensor/tensor.h"
+
+namespace vsq {
+
+// One value: max |x| over the whole matrix.
+float amax_per_tensor(const Tensor& x2d);
+
+// rows values: max |x| over each row.
+std::vector<float> amax_per_row(const Tensor& x2d);
+
+// rows * layout.vectors_per_row() values, vector index fastest (the paper's
+// (k, i) order). Vector boundaries follow the layout's channel blocks, so
+// conv vectors are V x 1 x 1 along input channels (Fig. 1).
+std::vector<float> amax_per_vector(const Tensor& x2d, const VectorLayout& layout);
+
+}  // namespace vsq

@@ -1,0 +1,159 @@
+#include "quant/calibrator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace vsq {
+namespace {
+
+// KL(P || Q) over raw (unnormalized) distributions; both are normalized
+// internally. Bins where p == 0 contribute nothing; p > 0 with q == 0 is
+// penalized via a small epsilon (matches the TensorRT reference behaviour
+// of smoothing empty quantized bins).
+double kl_divergence(const std::vector<double>& p, const std::vector<double>& q) {
+  double psum = 0.0, qsum = 0.0;
+  for (const double v : p) psum += v;
+  for (const double v : q) qsum += v;
+  if (psum <= 0.0 || qsum <= 0.0) return std::numeric_limits<double>::infinity();
+  constexpr double kEps = 1e-12;
+  double kl = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double pi = p[i] / psum;
+    if (pi <= 0.0) continue;
+    const double qi = std::max(q[i] / qsum, kEps);
+    kl += pi * std::log(pi / qi);
+  }
+  return kl;
+}
+
+}  // namespace
+
+double calibrate_max(const Histogram& hist) { return hist.max_value(); }
+
+double calibrate_percentile(const Histogram& hist, double percentile) {
+  if (hist.total_count() == 0) return 0.0;
+  const double target = std::clamp(percentile, 0.0, 100.0) / 100.0 *
+                        static_cast<double>(hist.total_count());
+  std::uint64_t cum = 0;
+  const auto& counts = hist.counts();
+  for (int b = 0; b < hist.num_bins(); ++b) {
+    cum += counts[static_cast<std::size_t>(b)];
+    if (static_cast<double>(cum) >= target) {
+      // Upper edge of the covering bin, but never beyond the true max.
+      return std::min((b + 1) * hist.bin_width(), hist.max_value());
+    }
+  }
+  return hist.max_value();
+}
+
+double calibrate_entropy(const Histogram& hist, const QuantFormat& fmt) {
+  if (hist.total_count() == 0) return 0.0;
+  const auto& counts = hist.counts();
+  const int nbins = hist.num_bins();
+  // Number of distinct magnitude levels available after quantization.
+  const int levels = static_cast<int>(std::min<std::int64_t>(fmt.qmax(), nbins / 2));
+  if (levels < 1) return hist.max_value();
+
+  // Find the last non-empty bin; candidates only need to go that far.
+  // Start the clip-candidate search at 1/16 of the histogram (as the
+  // TensorRT reference does) so sparse histograms cannot collapse to a
+  // pathologically small clip range.
+  int last_nonempty = 0;
+  for (int b = 0; b < nbins; ++b) {
+    if (counts[static_cast<std::size_t>(b)] > 0) last_nonempty = b;
+  }
+  const int start = std::max(levels, nbins / 16);
+  if (start > last_nonempty) return hist.max_value();
+
+  double best_kl = std::numeric_limits<double>::infinity();
+  int best_i = last_nonempty + 1;
+  for (int i = start; i <= last_nonempty + 1; ++i) {
+    // Reference distribution: first i bins, with the tail mass folded into
+    // the clip bin (values beyond alpha clip to the top level).
+    std::vector<double> p(counts.begin(), counts.begin() + i);
+    double outlier_mass = 0.0;
+    for (int b = i; b < nbins; ++b) outlier_mass += static_cast<double>(counts[b]);
+    p.back() += outlier_mass;
+
+    // Quantized distribution: merge i bins into `levels` groups, then
+    // re-expand each group's average over its non-empty member bins.
+    std::vector<double> q(static_cast<std::size_t>(i), 0.0);
+    const double group_width = static_cast<double>(i) / levels;
+    for (int g = 0; g < levels; ++g) {
+      const int b0 = static_cast<int>(g * group_width);
+      const int b1 = std::max(b0 + 1, static_cast<int>((g + 1) * group_width));
+      double mass = 0.0;
+      int nonempty = 0;
+      for (int b = b0; b < b1 && b < i; ++b) {
+        mass += p[static_cast<std::size_t>(b)];
+        if (counts[static_cast<std::size_t>(b)] > 0 || b == i - 1) ++nonempty;
+      }
+      if (nonempty == 0) continue;
+      const double avg = mass / nonempty;
+      for (int b = b0; b < b1 && b < i; ++b) {
+        if (counts[static_cast<std::size_t>(b)] > 0 || b == i - 1) {
+          q[static_cast<std::size_t>(b)] = avg;
+        }
+      }
+    }
+    const double kl = kl_divergence(p, q);
+    if (kl < best_kl) {
+      best_kl = kl;
+      best_i = i;
+    }
+  }
+  return std::min(best_i * hist.bin_width(), hist.max_value());
+}
+
+double calibrate_mse(const Histogram& hist, const QuantFormat& fmt) {
+  if (hist.total_count() == 0) return 0.0;
+  const auto& counts = hist.counts();
+  const int nbins = hist.num_bins();
+  const double qmax = static_cast<double>(fmt.qmax());
+  const double full = hist.max_value();
+  if (full <= 0.0) return 0.0;
+
+  // Sweep candidate clip points (fractions of the max) and pick the one
+  // minimizing expected squared error estimated at bin centers:
+  //   inside the clip range -> uniform rounding noise  s^2 / 12
+  //   beyond the clip range -> (|x| - alpha)^2 clipping error.
+  double best_alpha = full;
+  double best_err = std::numeric_limits<double>::infinity();
+  constexpr int kCandidates = 128;
+  for (int c = 1; c <= kCandidates; ++c) {
+    const double alpha = full * c / kCandidates;
+    const double s = alpha / qmax;
+    const double round_err = s * s / 12.0;
+    double err = 0.0;
+    for (int b = 0; b < nbins; ++b) {
+      const auto n = counts[static_cast<std::size_t>(b)];
+      if (n == 0) continue;
+      const double x = hist.bin_center(b);
+      if (x <= alpha) {
+        err += static_cast<double>(n) * round_err;
+      } else {
+        const double d = x - alpha;
+        err += static_cast<double>(n) * d * d;
+      }
+    }
+    if (err < best_err) {
+      best_err = err;
+      best_alpha = alpha;
+    }
+  }
+  return best_alpha;
+}
+
+double calibrate_amax(const Histogram& hist, const CalibSpec& calib, const QuantFormat& fmt) {
+  switch (calib.method) {
+    case CalibMethod::kMax: return calibrate_max(hist);
+    case CalibMethod::kPercentile: return calibrate_percentile(hist, calib.percentile);
+    case CalibMethod::kEntropy: return calibrate_entropy(hist, fmt);
+    case CalibMethod::kMse: return calibrate_mse(hist, fmt);
+  }
+  return calibrate_max(hist);
+}
+
+}  // namespace vsq

@@ -1,0 +1,45 @@
+// Calibration: choosing the clip threshold alpha from observed data
+// (paper Sec. 3). Four methods, matching Table 2's columns:
+//   max         — alpha = max |x|
+//   percentile  — alpha covers p% of the |x| probability mass
+//   entropy     — alpha minimizing KL(P || Q) between the clipped reference
+//                 distribution and its N-bit quantized approximation
+//                 (TensorRT-style)
+//   mse         — alpha minimizing expected squared quantization error
+// All methods run on an absolute-value Histogram, so activations can be
+// calibrated statically by streaming representative batches.
+#pragma once
+
+#include "quant/format.h"
+#include "quant/granularity.h"
+#include "quant/histogram.h"
+
+namespace vsq {
+
+// Returns the calibrated clip threshold alpha for quantizing to `fmt`.
+// `hist` must have collected at least one value; returns 0 for empty data.
+double calibrate_amax(const Histogram& hist, const CalibSpec& calib, const QuantFormat& fmt);
+
+// Individual methods (exposed for tests and the calibration ablation).
+double calibrate_max(const Histogram& hist);
+double calibrate_percentile(const Histogram& hist, double percentile);
+double calibrate_entropy(const Histogram& hist, const QuantFormat& fmt);
+double calibrate_mse(const Histogram& hist, const QuantFormat& fmt);
+
+// Streaming calibrator for one operand: feed matrices, then read amax.
+class Calibrator {
+ public:
+  explicit Calibrator(CalibSpec spec, QuantFormat fmt, int num_bins = 2048)
+      : spec_(spec), fmt_(fmt), hist_(num_bins) {}
+
+  void observe(std::span<const float> values) { hist_.collect(values); }
+  double amax() const { return calibrate_amax(hist_, spec_, fmt_); }
+  const Histogram& histogram() const { return hist_; }
+
+ private:
+  CalibSpec spec_;
+  QuantFormat fmt_;
+  Histogram hist_;
+};
+
+}  // namespace vsq

@@ -1,0 +1,177 @@
+#include "quant/export.h"
+
+#include <stdexcept>
+
+#include "quant/int_gemm.h"
+
+namespace vsq {
+namespace {
+
+// Archive key helpers: each layer stores several named blobs.
+std::string key(const std::string& layer, const char* what) { return layer + "/" + what; }
+
+std::vector<float> to_float(const std::vector<std::int16_t>& v) {
+  return {v.begin(), v.end()};
+}
+
+std::vector<float> to_float_u16(const std::vector<std::uint16_t>& v) {
+  return {v.begin(), v.end()};
+}
+
+}  // namespace
+
+QuantizedLayerPackage export_gemm(const QuantizableGemm& gemm, const std::vector<float>& bias) {
+  QuantizedLayerPackage pkg;
+  pkg.name = gemm.gemm_name();
+  const QuantSpec wspec = gemm.weight_spec();
+  QuantSpec aspec = gemm.act_spec();
+  if (!wspec.enabled || !aspec.enabled) {
+    throw std::invalid_argument("export_gemm: layer is not quantized: " + pkg.name);
+  }
+  pkg.weights = quantize_weights_int(gemm.weight_matrix(), wspec);
+  pkg.act_spec = aspec;
+  const ActivationQuantizer* aq = gemm.act_quantizer();
+  if (!aq || !aq->calibrated()) {
+    throw std::logic_error("export_gemm: activation quantizer not calibrated: " + pkg.name);
+  }
+  pkg.act_amax = aq->static_amax();
+  pkg.act_gamma = aq->gamma();
+  pkg.bias = bias;
+  return pkg;
+}
+
+Tensor run_packaged_layer(const QuantizedLayerPackage& layer, const Tensor& x2d,
+                          int scale_product_bits, IntGemmStats* stats) {
+  const QuantizedMatrix acts =
+      quantize_activations_int(x2d, layer.act_spec, layer.act_amax, layer.act_gamma);
+  Tensor y = int_gemm(acts, layer.weights, scale_product_bits, stats);
+  if (!layer.bias.empty()) {
+    const std::int64_t rows = y.shape()[0], outs = y.shape()[1];
+    if (static_cast<std::int64_t>(layer.bias.size()) != outs) {
+      throw std::invalid_argument("run_packaged_layer: bias size mismatch");
+    }
+    for (std::int64_t r = 0; r < rows; ++r) {
+      for (std::int64_t o = 0; o < outs; ++o) {
+        y.at2(r, o) += layer.bias[static_cast<std::size_t>(o)];
+      }
+    }
+  }
+  return y;
+}
+
+void QuantizedModelPackage::save(const std::string& path) const {
+  Archive a;
+  for (const auto& [name, l] : layers) {
+    const QuantizedMatrix& w = l.weights;
+    a.put(key(name, "q"), {w.rows, w.cols()}, to_float(w.q));
+    // meta: rows, cols, elem bits, signed, V, block, act bits, act signed,
+    // act granularity (0 coarse / 1 per-vector), act scale bits, amax, gamma
+    a.put(key(name, "meta"), {12},
+          {static_cast<float>(w.rows), static_cast<float>(w.cols()),
+           static_cast<float>(w.fmt.bits), w.fmt.is_signed ? 1.0f : 0.0f,
+           static_cast<float>(w.layout.vector_size), static_cast<float>(w.layout.block),
+           static_cast<float>(l.act_spec.fmt.bits), l.act_spec.fmt.is_signed ? 1.0f : 0.0f,
+           l.act_spec.granularity == Granularity::kPerVector ? 1.0f : 0.0f,
+           static_cast<float>(l.act_spec.scale_fmt.bits), l.act_amax, l.act_gamma});
+    if (w.two_level) {
+      a.put(key(name, "sq"), {static_cast<std::int64_t>(w.two_level->sq.size())},
+            to_float_u16(w.two_level->sq));
+      a.put(key(name, "gamma"), {static_cast<std::int64_t>(w.two_level->gamma.size())},
+            w.two_level->gamma);
+      a.put(key(name, "scale_bits"), {1}, {static_cast<float>(w.two_level->scale_fmt.bits)});
+    } else {
+      a.put(key(name, "coarse"), {static_cast<std::int64_t>(w.coarse_scales.size())},
+            w.coarse_scales);
+    }
+    if (!l.bias.empty()) {
+      a.put(key(name, "bias"), {static_cast<std::int64_t>(l.bias.size())}, l.bias);
+    }
+  }
+  a.save(path);
+}
+
+QuantizedModelPackage QuantizedModelPackage::load(const std::string& path) {
+  const Archive a = Archive::load(path);
+  QuantizedModelPackage pkg;
+  for (const std::string& entry : a.names()) {
+    const auto slash = entry.rfind("/meta");
+    if (slash == std::string::npos || slash + 5 != entry.size()) continue;
+    const std::string name = entry.substr(0, slash);
+
+    const auto& meta = a.get(entry).data;
+    QuantizedLayerPackage l;
+    l.name = name;
+    QuantizedMatrix& w = l.weights;
+    w.rows = static_cast<std::int64_t>(meta[0]);
+    w.layout.cols = static_cast<std::int64_t>(meta[1]);
+    w.fmt = QuantFormat{static_cast<int>(meta[2]), meta[3] != 0.0f};
+    w.layout.vector_size = static_cast<int>(meta[4]);
+    w.layout.block = static_cast<std::int64_t>(meta[5]);
+
+    const auto& q = a.get(key(name, "q")).data;
+    w.q.assign(q.size(), 0);
+    for (std::size_t i = 0; i < q.size(); ++i) w.q[i] = static_cast<std::int16_t>(q[i]);
+
+    if (a.contains(key(name, "sq"))) {
+      TwoLevelScales tl;
+      tl.scale_fmt = QuantFormat{static_cast<int>(a.get(key(name, "scale_bits")).data[0]), false};
+      tl.coarse_axis = CoarseAxis::kPerRow;
+      tl.layout = w.layout;
+      tl.rows = w.rows;
+      const auto& sq = a.get(key(name, "sq")).data;
+      tl.sq.assign(sq.size(), 0);
+      for (std::size_t i = 0; i < sq.size(); ++i) tl.sq[i] = static_cast<std::uint16_t>(sq[i]);
+      tl.gamma = a.get(key(name, "gamma")).data;
+      if (tl.gamma.size() == 1) tl.coarse_axis = CoarseAxis::kPerTensor;
+      w.two_level = std::move(tl);
+    } else {
+      w.coarse_scales = a.get(key(name, "coarse")).data;
+    }
+
+    l.act_spec.enabled = true;
+    l.act_spec.fmt = QuantFormat{static_cast<int>(meta[6]), meta[7] != 0.0f};
+    l.act_spec.vector_size = w.layout.vector_size;
+    l.act_spec.channel_block = w.layout.block;
+    if (meta[8] != 0.0f) {
+      l.act_spec.granularity = Granularity::kPerVector;
+      l.act_spec.scale_dtype = ScaleDtype::kTwoLevelInt;
+      l.act_spec.scale_fmt = QuantFormat{static_cast<int>(meta[9]), false};
+      l.act_spec.dynamic = true;
+    } else {
+      l.act_spec.granularity = Granularity::kPerTensor;
+    }
+    l.act_amax = meta[10];
+    l.act_gamma = meta[11];
+    if (a.contains(key(name, "bias"))) l.bias = a.get(key(name, "bias")).data;
+
+    pkg.layers[name] = std::move(l);
+  }
+  return pkg;
+}
+
+IntegerExecutionGuard::IntegerExecutionGuard(std::vector<QuantizableGemm*> gemms,
+                                             const QuantizedModelPackage& pkg,
+                                             int scale_product_bits)
+    : gemms_(std::move(gemms)) {
+  // Validate up-front so a missing entry cannot leave a half-installed model.
+  for (const QuantizableGemm* g : gemms_) {
+    if (pkg.layers.find(g->gemm_name()) == pkg.layers.end()) {
+      throw std::invalid_argument("IntegerExecutionGuard: no package entry for layer " +
+                                  g->gemm_name());
+    }
+  }
+  for (QuantizableGemm* g : gemms_) {
+    // The map node is stable for the guard's lifetime (caller keeps pkg
+    // alive, as the constructor reference implies).
+    const QuantizedLayerPackage* layer = &pkg.layers.at(g->gemm_name());
+    g->set_gemm_override([this, layer, scale_product_bits](const Tensor& x2d) {
+      return run_packaged_layer(*layer, x2d, scale_product_bits, &stats_);
+    });
+  }
+}
+
+IntegerExecutionGuard::~IntegerExecutionGuard() {
+  for (QuantizableGemm* g : gemms_) g->set_gemm_override({});
+}
+
+}  // namespace vsq

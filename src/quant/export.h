@@ -1,0 +1,74 @@
+// Deployment export: package a PTQ-calibrated model's GEMM layers as the
+// integer payloads the accelerator consumes — N-bit integer weights,
+// M-bit integer per-vector scales, per-channel/per-layer fp coarse scales
+// and the activation calibration constants (amax, gamma) the PPU needs.
+// The package round-trips through util/Archive, and QuantizedModelRunner
+// executes inference entirely through the bit-accurate integer datapath
+// (hw/int_gemm) — what a real VS-Quant deployment would ship.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "nn/layer.h"
+#include "quant/int_gemm.h"
+#include "quant/quantized_tensor.h"
+#include "util/archive.h"
+
+namespace vsq {
+
+// One exported GEMM layer.
+struct QuantizedLayerPackage {
+  std::string name;
+  QuantizedMatrix weights;   // integer weights + scale metadata
+  QuantSpec act_spec;        // how the PPU quantizes this layer's input
+  float act_amax = 0.0f;     // static per-layer activation amax
+  float act_gamma = 0.0f;    // two-level gamma for dynamic per-vector acts
+  std::vector<float> bias;   // fp bias applied after de-scaling
+};
+
+struct QuantizedModelPackage {
+  std::map<std::string, QuantizedLayerPackage> layers;
+
+  void save(const std::string& path) const;
+  static QuantizedModelPackage load(const std::string& path);
+};
+
+// Export a calibrated QuantizableGemm (must be in kQuantEval mode with a
+// finalized activation quantizer). `bias` may be empty.
+QuantizedLayerPackage export_gemm(const QuantizableGemm& gemm, const std::vector<float>& bias);
+
+// Run one packaged layer on an activation matrix through the integer
+// datapath. scale_product_bits as in int_gemm.
+Tensor run_packaged_layer(const QuantizedLayerPackage& layer, const Tensor& x2d,
+                          int scale_product_bits = -1, IntGemmStats* stats = nullptr);
+
+// RAII deployment runner: installs a GEMM override on every listed layer so
+// the model's own forward() executes each GEMM through the bit-accurate
+// integer datapath of its package entry (the layer still applies its fp
+// bias, exactly as the fake-quant path does). Uninstalls on destruction.
+// Aggregate datapath statistics (vector ops, gating) accumulate in stats().
+//
+//   QuantizedModelPackage pkg = QuantizedModelPackage::load(path);
+//   {
+//     IntegerExecutionGuard guard(model.gemms(), pkg);
+//     Tensor logits = model.forward(batch, /*train=*/false);  // integer GEMMs
+//   }  // model back to its previous execution mode
+class IntegerExecutionGuard {
+ public:
+  // Throws std::invalid_argument if a layer has no package entry.
+  IntegerExecutionGuard(std::vector<QuantizableGemm*> gemms, const QuantizedModelPackage& pkg,
+                        int scale_product_bits = -1);
+  ~IntegerExecutionGuard();
+
+  IntegerExecutionGuard(const IntegerExecutionGuard&) = delete;
+  IntegerExecutionGuard& operator=(const IntegerExecutionGuard&) = delete;
+
+  const IntGemmStats& stats() const { return stats_; }
+
+ private:
+  std::vector<QuantizableGemm*> gemms_;
+  IntGemmStats stats_;
+};
+
+}  // namespace vsq

@@ -1,0 +1,212 @@
+#include "quant/fake_quant.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/fp16.h"
+#include "util/thread_pool.h"
+
+namespace vsq {
+
+QuantizedOperand quantize_weights(const Tensor& w2d, const QuantSpec& spec) {
+  if (!spec.enabled) {
+    return QuantizedOperand{w2d, ScaleSet{}, std::nullopt};
+  }
+  QuantizedOperand out;
+  const VectorLayout layout = spec.layout(w2d.shape()[1]);
+  if (spec.granularity == Granularity::kPerVector) {
+    ScaleSet fp = compute_scales(w2d, Granularity::kPerVector, layout, spec.fmt);
+    switch (spec.scale_dtype) {
+      case ScaleDtype::kFp32:
+        out.scales = std::move(fp);
+        break;
+      case ScaleDtype::kFp16:
+        round_scales_fp16(fp);
+        out.scales = std::move(fp);
+        break;
+      case ScaleDtype::kTwoLevelInt: {
+        out.two_level = two_level_from_scales(fp, spec.scale_fmt, CoarseAxis::kPerRow);
+        out.scales = out.two_level->to_scale_set();
+        break;
+      }
+    }
+  } else if (spec.calib.method == CalibMethod::kMax) {
+    out.scales = compute_scales(w2d, spec.granularity, layout, spec.fmt);
+  } else {
+    // Calibrated coarse scales: per-row -> one histogram per row;
+    // per-tensor -> a single histogram.
+    const std::int64_t rows = w2d.shape()[0], cols = w2d.shape()[1];
+    std::vector<float> amax;
+    if (spec.granularity == Granularity::kPerRow) {
+      amax.resize(static_cast<std::size_t>(rows));
+      for (std::int64_t r = 0; r < rows; ++r) {
+        Histogram h(512);
+        h.collect(std::span<const float>(w2d.data() + r * cols, static_cast<std::size_t>(cols)));
+        amax[static_cast<std::size_t>(r)] =
+            static_cast<float>(calibrate_amax(h, spec.calib, spec.fmt));
+      }
+    } else {
+      Histogram h(2048);
+      h.collect(w2d.span());
+      amax = {static_cast<float>(calibrate_amax(h, spec.calib, spec.fmt))};
+    }
+    out.scales = scales_from_amax(spec.granularity, layout, rows, amax, spec.fmt);
+  }
+  out.fake = fake_quantize(w2d, out.scales, spec.fmt);
+  return out;
+}
+
+namespace {
+
+// Fused per-vector dynamic quantization: one pass computing the vector max,
+// then quantize the (<= V) elements. `snap` maps the raw fp32 scale to its
+// representable value (identity, fp16 rounding, or two-level snapping).
+template <typename SnapFn>
+Tensor per_vector_dynamic_impl(const Tensor& x2d, const QuantSpec& spec, SnapFn&& snap) {
+  const std::int64_t rows = x2d.shape()[0], cols = x2d.shape()[1];
+  const VectorLayout layout = spec.layout(cols);
+  layout.validate();
+  const std::int64_t vpr = layout.vectors_per_row();
+  Tensor out(x2d.shape());
+  const float* src = x2d.data();
+  float* dst = out.data();
+  const auto qmin = static_cast<float>(spec.fmt.qmin());
+  const auto qmax = static_cast<float>(spec.fmt.qmax());
+
+  parallel_for(0, static_cast<std::size_t>(rows), [&](std::size_t rb, std::size_t re) {
+    for (std::size_t r = rb; r < re; ++r) {
+      const float* row = src + static_cast<std::int64_t>(r) * cols;
+      float* orow = dst + static_cast<std::int64_t>(r) * cols;
+      for (std::int64_t v = 0; v < vpr; ++v) {
+        const auto [c0, c1] = layout.col_range(v);
+        float m = 0.0f;
+        for (std::int64_t c = c0; c < c1; ++c) m = std::max(m, std::abs(row[c]));
+        const float s = snap(scale_from_amax(m, spec.fmt));
+        if (s <= 0.0f) {
+          for (std::int64_t c = c0; c < c1; ++c) orow[c] = 0.0f;
+          continue;
+        }
+        const float inv = 1.0f / s;
+        for (std::int64_t c = c0; c < c1; ++c) {
+          const float q = std::clamp(std::nearbyintf(row[c] * inv), qmin, qmax);
+          orow[c] = q * s;
+        }
+      }
+    }
+  });
+  return out;
+}
+
+}  // namespace
+
+Tensor fake_quantize_per_vector_dynamic(const Tensor& x2d, const QuantSpec& spec) {
+  if (spec.scale_dtype == ScaleDtype::kFp16) {
+    return per_vector_dynamic_impl(x2d, spec, [](float s) { return fp16_round(s); });
+  }
+  return per_vector_dynamic_impl(x2d, spec, [](float s) { return s; });
+}
+
+Tensor fake_quantize_per_vector_two_level_dynamic(const Tensor& x2d, const QuantSpec& spec,
+                                                  float gamma) {
+  const auto scale_qmax = static_cast<float>(spec.scale_fmt.qmax());
+  return per_vector_dynamic_impl(x2d, spec, [gamma, scale_qmax](float s) {
+    if (gamma <= 0.0f) return 0.0f;
+    // PPU: sq = round(s / gamma) clipped to M bits (Eq. 7g), scale = sq*gamma.
+    const float sq = std::clamp(std::nearbyintf(s / gamma), 0.0f, scale_qmax);
+    return sq * gamma;
+  });
+}
+
+ActivationQuantizer::ActivationQuantizer(QuantSpec spec) : spec_(spec) {
+  if (!spec_.enabled) {
+    calibrated_ = true;
+    return;
+  }
+  if (needs_calibration()) {
+    calib_.emplace(spec_.calib, spec_.fmt);
+  } else {
+    calibrated_ = true;
+  }
+}
+
+bool ActivationQuantizer::needs_calibration() const {
+  if (!spec_.enabled) return false;
+  if (spec_.granularity == Granularity::kPerVector) {
+    // Dynamic single-level needs nothing; two-level needs gamma; static
+    // per-vector needs frozen scales from a calibration batch.
+    return spec_.scale_dtype == ScaleDtype::kTwoLevelInt || !spec_.dynamic;
+  }
+  // Coarse: static needs amax; dynamic recomputes per batch.
+  return !spec_.dynamic;
+}
+
+void ActivationQuantizer::observe(const Tensor& x2d) {
+  if (!needs_calibration()) return;
+  if (spec_.granularity == Granularity::kPerVector && !spec_.dynamic) {
+    // Static per-vector: freeze scales from the latest calibration batch.
+    frozen_scales_ = compute_scales(x2d, Granularity::kPerVector,
+                                    spec_.layout(x2d.shape()[1]), spec_.fmt);
+    if (spec_.scale_dtype == ScaleDtype::kFp16) round_scales_fp16(*frozen_scales_);
+  }
+  if (calib_) calib_->observe(x2d.span());
+}
+
+void ActivationQuantizer::finalize() {
+  if (!needs_calibration()) {
+    calibrated_ = true;
+    return;
+  }
+  if (!calib_ || calib_->histogram().total_count() == 0) {
+    throw std::logic_error("ActivationQuantizer: finalize() before observe()");
+  }
+  static_amax_ = static_cast<float>(calib_->amax());
+  if (spec_.scale_dtype == ScaleDtype::kTwoLevelInt) {
+    // gamma = smax / (2^M - 1), where smax is the scale of the largest
+    // observed vector; with max calibration that is amax/qmax (Eq. 7e-7f
+    // applied at per-tensor coarse granularity).
+    const float smax = scale_from_amax(static_amax_, spec_.fmt);
+    gamma_ = smax / static_cast<float>(spec_.scale_fmt.qmax());
+    if (spec_.granularity == Granularity::kPerVector && !spec_.dynamic && frozen_scales_) {
+      ScaleSet& s = *frozen_scales_;
+      const auto scale_qmax = static_cast<float>(spec_.scale_fmt.qmax());
+      for (auto& v : s.scales) {
+        v = gamma_ > 0.0f
+                ? std::clamp(std::nearbyintf(v / gamma_), 0.0f, scale_qmax) * gamma_
+                : 0.0f;
+      }
+    }
+  }
+  calibrated_ = true;
+}
+
+Tensor ActivationQuantizer::apply(const Tensor& x2d) const {
+  if (!spec_.enabled) return x2d;
+  if (!calibrated_) throw std::logic_error("ActivationQuantizer: apply() before finalize()");
+
+  if (spec_.granularity == Granularity::kPerVector) {
+    if (spec_.dynamic) {
+      if (spec_.scale_dtype == ScaleDtype::kTwoLevelInt) {
+        return fake_quantize_per_vector_two_level_dynamic(x2d, spec_, gamma_);
+      }
+      return fake_quantize_per_vector_dynamic(x2d, spec_);
+    }
+    if (!frozen_scales_) throw std::logic_error("ActivationQuantizer: no frozen scales");
+    if (frozen_scales_->rows != x2d.shape()[0] || frozen_scales_->cols() != x2d.shape()[1]) {
+      throw std::invalid_argument(
+          "ActivationQuantizer: static per-vector scales require a fixed activation shape");
+    }
+    return fake_quantize(x2d, *frozen_scales_, spec_.fmt);
+  }
+
+  // Coarse granularities (per-tensor for activations).
+  float amax = static_amax_;
+  if (spec_.dynamic) amax = amax_per_tensor(x2d);
+  ScaleSet s;
+  s.granularity = Granularity::kPerTensor;
+  s.layout.cols = x2d.shape()[1];
+  s.rows = x2d.shape()[0];
+  s.scales = {scale_from_amax(amax, spec_.fmt)};
+  return fake_quantize(x2d, s, spec_.fmt);
+}
+
+}  // namespace vsq

@@ -1,0 +1,80 @@
+// High-level, QuantSpec-driven simulated quantization of GEMM operands.
+// This is the path all accuracy experiments use (the paper's PyTorch PTQ
+// library analogue): weights are quantized statically, activations either
+// statically (calibrated) or dynamically per batch (the paper's default
+// for per-vector activations, computed by the PPU in hardware).
+#pragma once
+
+#include <optional>
+
+#include "quant/calibrator.h"
+#include "quant/scale.h"
+#include "quant/two_level.h"
+
+namespace vsq {
+
+// A statically quantized operand: fake-quantized values plus the scales
+// that produced them (kept for export to the integer/PE path).
+struct QuantizedOperand {
+  Tensor fake;                            // simulated-quantized matrix
+  ScaleSet scales;                        // effective single-level scales
+  std::optional<TwoLevelScales> two_level;  // set when spec.scale_dtype == kTwoLevelInt
+};
+
+// Quantize a weight matrix [K, L] according to `spec` (static, max
+// calibration per granularity; coarse granularities honor spec.calib).
+// Weights use CoarseAxis::kPerRow for the two-level gamma (per-channel).
+QuantizedOperand quantize_weights(const Tensor& w2d, const QuantSpec& spec);
+
+// Activation quantizer with optional static calibration state.
+//
+// Usage:
+//   ActivationQuantizer aq(spec);
+//   for (batch : calibration_set) aq.observe(batch);   // static calib only
+//   aq.finalize();
+//   Tensor xq = aq.apply(x);                           // every inference
+//
+// Behaviour by spec:
+//   * kPerTensor, dynamic=false  -> static amax via spec.calib
+//   * kPerTensor, dynamic=true   -> amax recomputed per batch
+//   * kPerVector, dynamic=true   -> per-vector max scales per batch
+//       - kFp32/kFp16 scale dtype: single-level runtime scales
+//       - kTwoLevelInt: gamma calibrated statically (from observed amax),
+//         M-bit sq computed at runtime (exactly what the PPU implements)
+//   * kPerVector, dynamic=false  -> per-vector scales frozen from the
+//         last observed calibration batch (requires fixed spatial shape)
+class ActivationQuantizer {
+ public:
+  explicit ActivationQuantizer(QuantSpec spec);
+
+  const QuantSpec& spec() const { return spec_; }
+  bool needs_calibration() const;
+  bool calibrated() const { return calibrated_; }
+
+  void observe(const Tensor& x2d);
+  void finalize();
+
+  // Fake-quantize a [rows, L] activation matrix. Throws if static
+  // calibration is required but missing.
+  Tensor apply(const Tensor& x2d) const;
+
+  // Static per-tensor amax (after finalize); 0 if not applicable.
+  float static_amax() const { return static_amax_; }
+  // Two-level coarse scale for activations (after finalize); 0 if N/A.
+  float gamma() const { return gamma_; }
+
+ private:
+  QuantSpec spec_;
+  std::optional<Calibrator> calib_;
+  float static_amax_ = 0.0f;
+  float gamma_ = 0.0f;
+  std::optional<ScaleSet> frozen_scales_;  // static per-vector mode
+  bool calibrated_ = false;
+};
+
+// Dynamic per-vector fake quantization helpers (also used by the PPU model).
+Tensor fake_quantize_per_vector_dynamic(const Tensor& x2d, const QuantSpec& spec);
+Tensor fake_quantize_per_vector_two_level_dynamic(const Tensor& x2d, const QuantSpec& spec,
+                                                  float gamma);
+
+}  // namespace vsq

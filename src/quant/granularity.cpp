@@ -1,0 +1,56 @@
+#include "quant/granularity.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace vsq {
+
+void VectorLayout::validate() const {
+  if (cols <= 0) throw std::invalid_argument("VectorLayout: cols must be positive");
+  if (vector_size <= 0) throw std::invalid_argument("VectorLayout: V must be positive");
+  if (block < 0 || (block > 0 && cols % block != 0)) {
+    throw std::invalid_argument("VectorLayout: channel block must divide cols");
+  }
+}
+
+std::string granularity_name(Granularity g) {
+  switch (g) {
+    case Granularity::kPerTensor: return "per-tensor";
+    case Granularity::kPerRow: return "per-row";
+    case Granularity::kPerVector: return "per-vector";
+  }
+  return "?";
+}
+
+std::string CalibSpec::str() const {
+  switch (method) {
+    case CalibMethod::kMax: return "max";
+    case CalibMethod::kPercentile: {
+      std::ostringstream os;
+      os << percentile << "%";
+      return os.str();
+    }
+    case CalibMethod::kEntropy: return "entropy";
+    case CalibMethod::kMse: return "mse";
+  }
+  return "?";
+}
+
+std::string QuantSpec::str() const {
+  if (!enabled) return "fp32";
+  std::ostringstream os;
+  os << fmt.str() << "/" << granularity_name(granularity);
+  if (granularity == Granularity::kPerVector) {
+    os << "(V=" << vector_size << ",";
+    switch (scale_dtype) {
+      case ScaleDtype::kFp32: os << "fp32"; break;
+      case ScaleDtype::kFp16: os << "fp16"; break;
+      case ScaleDtype::kTwoLevelInt: os << "int" << scale_fmt.bits; break;
+    }
+    os << ")";
+  }
+  os << "/" << calib.str() << (dynamic ? "/dyn" : "/static");
+  return os.str();
+}
+
+}  // namespace vsq

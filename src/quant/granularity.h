@@ -1,0 +1,97 @@
+// Scale-factor sharing granularities and the QuantSpec describing how one
+// operand (weight or activation matrix) is quantized.
+//
+// All quantization in this repo operates on 2-D matrices [rows, cols] whose
+// column axis is the GEMM reduction axis, unrolled channel-innermost:
+//   * conv weights  [K, KH*KW*C]  — rows are output channels (paper's k)
+//   * linear weights [out, in]
+//   * activations   [batch*spatial, reduction]
+// PerRow on a weight matrix is the paper's per-channel (per-output-channel)
+// scaling; PerTensor on activations is per-layer scaling; PerVector splits
+// the column axis into ceil(cols / V) vectors of V consecutive elements —
+// V x 1 x 1 input channels for convs (Fig. 1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "quant/format.h"
+
+namespace vsq {
+
+enum class Granularity {
+  kPerTensor,  // one scale for the whole matrix ("per-layer")
+  kPerRow,     // one scale per row ("per-channel" for weights)
+  kPerVector,  // one scale per V consecutive reduction elements (VS-Quant)
+};
+
+// Mapping from reduction-axis columns to vector indices. The unrolled
+// reduction axis of a conv is R*S blocks of C channels; the paper's vectors
+// subdivide the C dimension only ("each with V elements", ceil(C/V) vectors
+// per channel block), never straddling kernel positions. `block` is the
+// channel-block length (C for convs, the whole row for linear layers) and
+// must divide cols. Blocks whose length is not a multiple of V end with a
+// short tail vector, exactly like a C not divisible by V in the paper.
+struct VectorLayout {
+  std::int64_t cols = 0;
+  int vector_size = 16;
+  std::int64_t block = 0;  // 0 -> single block spanning the row
+
+  std::int64_t block_len() const { return block > 0 ? block : cols; }
+  std::int64_t num_blocks() const { return cols / block_len(); }
+  std::int64_t vecs_per_block() const {
+    return (block_len() + vector_size - 1) / vector_size;
+  }
+  std::int64_t vectors_per_row() const { return num_blocks() * vecs_per_block(); }
+  std::int64_t vector_of_col(std::int64_t c) const {
+    const std::int64_t b = block_len();
+    return (c / b) * vecs_per_block() + (c % b) / vector_size;
+  }
+  // Column range [first, second) covered by vector v.
+  std::pair<std::int64_t, std::int64_t> col_range(std::int64_t v) const {
+    const std::int64_t b = v / vecs_per_block(), w = v % vecs_per_block();
+    const std::int64_t c0 = b * block_len() + w * vector_size;
+    return {c0, std::min(c0 + vector_size, (b + 1) * block_len())};
+  }
+  void validate() const;  // throws if block does not divide cols
+};
+
+// How per-vector scale factors are represented (Sec. 4.4, Tables 5-7).
+enum class ScaleDtype {
+  kFp32,         // single-level float scales (Table 3, "S=fp32")
+  kFp16,         // single-level scales rounded to IEEE fp16 ("S=fp16")
+  kTwoLevelInt,  // M-bit unsigned integer per-vector scale + fp coarse scale
+};
+
+enum class CalibMethod { kMax, kPercentile, kEntropy, kMse };
+
+struct CalibSpec {
+  CalibMethod method = CalibMethod::kMax;
+  double percentile = 99.99;  // only for kPercentile
+
+  std::string str() const;
+};
+
+// Full description of how one operand is quantized.
+struct QuantSpec {
+  bool enabled = false;
+  QuantFormat fmt{8, true};
+  Granularity granularity = Granularity::kPerRow;
+  int vector_size = 16;  // V, for kPerVector
+  std::int64_t channel_block = 0;  // vector boundaries reset every block (0 = whole row)
+  ScaleDtype scale_dtype = ScaleDtype::kFp32;
+  QuantFormat scale_fmt{6, false};  // M-bit per-vector scales for kTwoLevelInt
+  CalibSpec calib;   // calibration of the coarse scale (weights / static acts)
+  bool dynamic = false;  // activations: per-vector scales computed at runtime
+
+  static QuantSpec disabled() { return QuantSpec{}; }
+  std::string str() const;
+
+  VectorLayout layout(std::int64_t cols) const {
+    return VectorLayout{cols, vector_size, channel_block};
+  }
+};
+
+std::string granularity_name(Granularity g);
+
+}  // namespace vsq

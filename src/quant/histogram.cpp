@@ -1,0 +1,48 @@
+#include "quant/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vsq {
+
+Histogram::Histogram(int num_bins) {
+  if (num_bins < 16) throw std::invalid_argument("Histogram: too few bins");
+  counts_.assign(static_cast<std::size_t>(num_bins), 0);
+}
+
+void Histogram::grow_to(double new_max) {
+  // Double the range until new_max fits, merging pairs of bins so counts
+  // stay consistent (standard TensorRT-style growth).
+  while (new_max > upper_edge()) {
+    const int n = num_bins();
+    std::vector<std::uint64_t> merged(static_cast<std::size_t>(n), 0);
+    for (int b = 0; b < n; ++b) merged[static_cast<std::size_t>(b / 2)] += counts_[b];
+    counts_ = std::move(merged);
+    width_ *= 2.0;
+  }
+}
+
+void Histogram::collect(std::span<const float> values) {
+  if (values.empty()) return;
+  double batch_max = 0.0;
+  for (const float v : values) batch_max = std::max(batch_max, static_cast<double>(std::abs(v)));
+  max_value_ = std::max(max_value_, batch_max);
+  if (width_ == 0.0) {
+    // First batch establishes the range (with headroom so growth is rare).
+    width_ = std::max(batch_max, 1e-12) / num_bins();
+  } else {
+    grow_to(batch_max);
+  }
+  const double inv_width = 1.0 / width_;
+  const int last = num_bins() - 1;
+  for (const float v : values) {
+    const double a = std::abs(static_cast<double>(v));
+    int b = static_cast<int>(a * inv_width);
+    b = std::min(b, last);
+    ++counts_[static_cast<std::size_t>(b)];
+  }
+  total_ += values.size();
+}
+
+}  // namespace vsq

@@ -1,0 +1,39 @@
+// Absolute-value histogram used by the percentile / entropy / MSE
+// calibrators (paper Sec. 3, Table 2). Collection is two-pass friendly:
+// the histogram range grows automatically by rebinning when new data
+// exceeds the current upper edge, so activations can be streamed batch by
+// batch during static calibration.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace vsq {
+
+class Histogram {
+ public:
+  explicit Histogram(int num_bins = 2048);
+
+  // Accumulate |x| for every element.
+  void collect(std::span<const float> values);
+
+  int num_bins() const { return static_cast<int>(counts_.size()); }
+  double bin_width() const { return width_; }
+  double upper_edge() const { return width_ * num_bins(); }
+  std::uint64_t total_count() const { return total_; }
+  double max_value() const { return max_value_; }
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+  // Center of bin b.
+  double bin_center(int b) const { return (b + 0.5) * width_; }
+
+ private:
+  void grow_to(double new_max);
+
+  std::vector<std::uint64_t> counts_;
+  double width_ = 0.0;  // 0 until first collect
+  double max_value_ = 0.0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace vsq

@@ -1,0 +1,88 @@
+#include "quant/int_gemm.h"
+
+#include <atomic>
+#include <stdexcept>
+
+#include "util/thread_pool.h"
+
+namespace vsq {
+
+std::uint32_t round_scale_product(std::uint32_t p, int full_bits, int bits) {
+  if (bits <= 0 || bits >= full_bits) return p;
+  const int shift = full_bits - bits;
+  const std::uint32_t half = 1u << (shift - 1);
+  return ((p + half) >> shift) << shift;
+}
+
+Tensor int_gemm(const QuantizedMatrix& act, const QuantizedMatrix& wgt, int scale_product_bits,
+                IntGemmStats* stats) {
+  if (act.cols() != wgt.cols()) throw std::invalid_argument("int_gemm: reduction dims differ");
+  if (act.layout.vector_size != wgt.layout.vector_size ||
+      act.layout.block_len() != wgt.layout.block_len()) {
+    throw std::invalid_argument("int_gemm: operand vector layouts differ");
+  }
+  const std::int64_t rows = act.rows, k_out = wgt.rows, cols = act.cols();
+  const VectorLayout& layout = act.layout;
+  const std::int64_t vpr = layout.vectors_per_row();
+
+  // Width of the full scale product in bits, for MSB-keeping rounding.
+  int full_bits = 0;
+  if (act.two_level) full_bits += act.two_level->scale_fmt.bits;
+  if (wgt.two_level) full_bits += wgt.two_level->scale_fmt.bits;
+
+  Tensor out(Shape{rows, k_out});
+  float* dst = out.data();
+
+  // Per-thread stat accumulation to avoid contention.
+  std::atomic<std::uint64_t> vec_ops{0}, zero_sp{0}, zero_dp{0};
+  std::atomic<std::int64_t> max_psum{0};
+
+  parallel_for(0, static_cast<std::size_t>(rows), [&](std::size_t rb, std::size_t re) {
+    std::uint64_t t_vec = 0, t_zsp = 0, t_zdp = 0;
+    std::int64_t t_max = 0;
+    for (std::size_t r = rb; r < re; ++r) {
+      const auto ri = static_cast<std::int64_t>(r);
+      const std::int16_t* arow = act.q.data() + ri * cols;
+      for (std::int64_t k = 0; k < k_out; ++k) {
+        const std::int16_t* wrow = wgt.q.data() + k * cols;
+        std::int64_t acc = 0;  // accumulation collector (2N+log2V+2M wide)
+        for (std::int64_t v = 0; v < vpr; ++v) {
+          const auto [c0, c1] = layout.col_range(v);
+          std::int64_t dp = 0;  // 2N+log2V-wide dot product
+          for (std::int64_t c = c0; c < c1; ++c) {
+            dp += static_cast<std::int64_t>(arow[c]) * wrow[c];
+          }
+          std::uint32_t sp = act.int_scale(ri, v) * wgt.int_scale(k, v);
+          sp = round_scale_product(sp, full_bits, scale_product_bits);
+          acc += dp * static_cast<std::int64_t>(sp);
+          ++t_vec;
+          if (sp == 0) {
+            ++t_zsp;
+          } else if (dp == 0) {
+            ++t_zdp;
+          }
+        }
+        t_max = std::max(t_max, std::abs(acc));
+        dst[ri * k_out + k] =
+            static_cast<float>(static_cast<double>(acc) *
+                               static_cast<double>(wgt.outer_scale(k)) * act.outer_scale(ri));
+      }
+    }
+    vec_ops.fetch_add(t_vec, std::memory_order_relaxed);
+    zero_sp.fetch_add(t_zsp, std::memory_order_relaxed);
+    zero_dp.fetch_add(t_zdp, std::memory_order_relaxed);
+    std::int64_t prev = max_psum.load(std::memory_order_relaxed);
+    while (prev < t_max && !max_psum.compare_exchange_weak(prev, t_max)) {
+    }
+  });
+
+  if (stats) {
+    stats->vector_ops += vec_ops.load();
+    stats->zero_scale_products += zero_sp.load();
+    stats->zero_dot_products += zero_dp.load();
+    stats->max_abs_psum = std::max(stats->max_abs_psum, max_psum.load());
+  }
+  return out;
+}
+
+}  // namespace vsq

@@ -1,0 +1,82 @@
+#include "quant/learned_scale.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace vsq {
+
+LearnedScaleQuantizer::LearnedScaleQuantizer(const Tensor& w2d, const QuantFormat& fmt,
+                                             const VectorLayout& layout)
+    : fmt_(fmt), scales_(compute_scales(w2d, Granularity::kPerVector, layout, fmt)) {
+  // Degenerate all-zero vectors get a tiny positive scale so gradients can
+  // move them if the weights change.
+  for (auto& s : scales_.scales) {
+    if (s <= 0.0f) s = 1e-8f;
+  }
+}
+
+Tensor LearnedScaleQuantizer::forward(const Tensor& w2d) const {
+  return fake_quantize(w2d, scales_, fmt_);
+}
+
+LearnedScaleQuantizer::Grads LearnedScaleQuantizer::backward(const Tensor& w2d,
+                                                             const Tensor& grad_out) const {
+  Grads g;
+  g.scale_grad.assign(scales_.scales.size(), 0.0f);
+  g.input_grad = Tensor(w2d.shape());
+  const std::int64_t rows = scales_.rows, cols = scales_.cols();
+  const std::int64_t vpr = scales_.vectors_per_row();
+  const auto qmin = static_cast<float>(fmt_.qmin());
+  const auto qmax = static_cast<float>(fmt_.qmax());
+
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t v = 0; v < vpr; ++v) {
+      const float s = scales_.scales[static_cast<std::size_t>(r * vpr + v)];
+      const auto [c0, c1] = scales_.layout.col_range(v);
+      float sg = 0.0f;
+      for (std::int64_t c = c0; c < c1; ++c) {
+        const float x = w2d.at2(r, c);
+        const float go = grad_out.at2(r, c);
+        const float ratio = s > 0.0f ? x / s : 0.0f;
+        if (ratio <= qmin) {
+          sg += go * qmin;
+          g.input_grad.at2(r, c) = 0.0f;
+        } else if (ratio >= qmax) {
+          sg += go * qmax;
+          g.input_grad.at2(r, c) = 0.0f;
+        } else {
+          const float q = std::nearbyintf(ratio);
+          sg += go * (q - ratio);
+          g.input_grad.at2(r, c) = go;  // STE inside the clip range
+        }
+      }
+      g.scale_grad[static_cast<std::size_t>(r * vpr + v)] = sg;
+    }
+  }
+  return g;
+}
+
+void LearnedScaleQuantizer::step(const std::vector<float>& scale_grad, float lr) {
+  for (std::size_t i = 0; i < scales_.scales.size(); ++i) {
+    scales_.scales[i] = std::max(scales_.scales[i] - lr * scale_grad[i], 1e-10f);
+  }
+}
+
+double LearnedScaleQuantizer::fit_reconstruction(const Tensor& w2d, int steps, float lr) {
+  // Sum-of-squares loss (not mean): per-scale gradients then aggregate V
+  // element contributions directly, keeping their magnitude independent of
+  // the matrix size so one lr works across layer shapes.
+  double last = 0.0;
+  for (int it = 0; it < steps; ++it) {
+    const Tensor wq = forward(w2d);
+    Tensor go(w2d.shape());
+    for (std::int64_t i = 0; i < w2d.numel(); ++i) go[i] = 2.0f * (wq[i] - w2d[i]);
+    const Grads g = backward(w2d, go);
+    step(g.scale_grad, lr);
+    last = mse(w2d, wq);
+  }
+  return last;
+}
+
+}  // namespace vsq

@@ -1,0 +1,48 @@
+// Learned per-vector scale factors — the extension the paper's conclusion
+// names as future work ("we will extend QAT to explicitly learn per-vector
+// scale factors").
+//
+// LSQ-style straight-through gradients (Esser et al., "Learned Step Size
+// Quantization"): with q = clip(round(x/s), qmin, qmax) and xq = q * s,
+//   d xq / d s = q - x/s            if x/s is inside [qmin, qmax]
+//              = qmin or qmax       if clipped
+//   d xq / d x = 1 inside the clip range, 0 outside (STE)
+// Scales are parameterized per vector of the weight matrix and optimized
+// by gradient descent against a reconstruction or task loss. The
+// ablation bench (bench/ablation_learned_scales) shows learned scales
+// recover error beyond max-calibrated scales at 3-4 bits.
+#pragma once
+
+#include "quant/scale.h"
+
+namespace vsq {
+
+class LearnedScaleQuantizer {
+ public:
+  // Initializes scales with the max-calibrated per-vector values (Eq. 7a-b)
+  // — the standard LSQ initialization.
+  LearnedScaleQuantizer(const Tensor& w2d, const QuantFormat& fmt, const VectorLayout& layout);
+
+  // Fake-quantize with the current scales.
+  Tensor forward(const Tensor& w2d) const;
+  // Gradients of a loss wrt scales and wrt the input, given dL/d(xq).
+  struct Grads {
+    std::vector<float> scale_grad;  // per vector
+    Tensor input_grad;              // STE with clip mask
+  };
+  Grads backward(const Tensor& w2d, const Tensor& grad_out) const;
+
+  // One SGD step on the scales (clamped positive).
+  void step(const std::vector<float>& scale_grad, float lr);
+
+  // Optimize scales to minimize ||W - Q(W)||^2 directly; returns final MSE.
+  double fit_reconstruction(const Tensor& w2d, int steps, float lr);
+
+  const ScaleSet& scales() const { return scales_; }
+
+ private:
+  QuantFormat fmt_;
+  ScaleSet scales_;
+};
+
+}  // namespace vsq

@@ -1,0 +1,143 @@
+#include "quant/ocs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+#include "tensor/gemm.h"
+
+namespace vsq {
+namespace {
+
+// One expanded column: a base column of the original matrix times a
+// power-of-two attenuation (0.5 per split along its lineage).
+struct SplitEntry {
+  std::int64_t col = 0;
+  float scale = 1.0f;
+  float amax = 0.0f;  // amax of the attenuated column (ordering key)
+
+  bool operator<(const SplitEntry& other) const { return amax < other.amax; }
+};
+
+float column_amax(const Tensor& w2d, std::int64_t c) {
+  float m = 0.0f;
+  const std::int64_t rows = w2d.shape()[0], cols = w2d.shape()[1];
+  const float* d = w2d.data();
+  for (std::int64_t r = 0; r < rows; ++r) m = std::max(m, std::abs(d[r * cols + c]));
+  return m;
+}
+
+}  // namespace
+
+OcsResult ocs_fake_quantize(const Tensor& w2d, const QuantFormat& fmt, double expand_ratio) {
+  if (w2d.shape().rank() != 2) throw std::invalid_argument("ocs_fake_quantize: need 2-D");
+  const std::int64_t rows = w2d.shape()[0], cols = w2d.shape()[1];
+  const std::int64_t budget =
+      expand_ratio <= 0.0
+          ? 0
+          : static_cast<std::int64_t>(std::ceil(expand_ratio * static_cast<double>(cols)));
+
+  // Greedy split: always halve the entry whose attenuated column currently
+  // holds the largest |w| (the outlier that pins the scale factor).
+  std::priority_queue<SplitEntry> heap;
+  for (std::int64_t c = 0; c < cols; ++c) heap.push({c, 1.0f, column_amax(w2d, c)});
+  std::vector<SplitEntry> entries;
+  entries.reserve(static_cast<std::size_t>(cols + budget));
+  for (std::int64_t s = 0; s < budget; ++s) {
+    SplitEntry top = heap.top();
+    heap.pop();
+    top.scale *= 0.5f;
+    top.amax *= 0.5f;
+    heap.push(top);
+    heap.push(top);  // the split produces two half-valued copies
+  }
+  while (!heap.empty()) {
+    entries.push_back(heap.top());
+    heap.pop();
+  }
+
+  // Materialize the expanded matrix [rows, cols + splits].
+  const std::int64_t xcols = static_cast<std::int64_t>(entries.size());
+  Tensor expanded(Shape{rows, xcols});
+  {
+    const float* src = w2d.data();
+    float* dst = expanded.data();
+    for (std::int64_t r = 0; r < rows; ++r) {
+      for (std::int64_t e = 0; e < xcols; ++e) {
+        const SplitEntry& en = entries[static_cast<std::size_t>(e)];
+        dst[r * xcols + e] = src[r * cols + en.col] * en.scale;
+      }
+    }
+  }
+
+  // Per-output-channel quantization of the expanded matrix, then collapse
+  // duplicates by summation (the dequantized halves add back together).
+  const VectorLayout layout{xcols, 16, 0};
+  const ScaleSet scales = compute_scales(expanded, Granularity::kPerRow, layout, fmt);
+  const Tensor fake_expanded = fake_quantize(expanded, scales, fmt);
+
+  OcsResult res;
+  res.fake = Tensor(Shape{rows, cols});
+  res.splits = xcols - cols;
+  res.expanded_cols = xcols;
+  {
+    const float* src = fake_expanded.data();
+    float* dst = res.fake.data();
+    for (std::int64_t r = 0; r < rows; ++r) {
+      for (std::int64_t e = 0; e < xcols; ++e) {
+        dst[r * cols + entries[static_cast<std::size_t>(e)].col] += src[r * xcols + e];
+      }
+    }
+  }
+  return res;
+}
+
+OcsExecutionGuard::OcsExecutionGuard(std::vector<QuantizableGemm*> gemms,
+                                     const QuantFormat& wt_fmt, double expand_ratio,
+                                     QuantFormat act_fmt)
+    : gemms_(std::move(gemms)) {
+  prepared_.reserve(gemms_.size());
+  for (QuantizableGemm* g : gemms_) {
+    prepared_.push_back(ocs_fake_quantize(g->weight_matrix(), wt_fmt, expand_ratio));
+  }
+  // prepared_ is fully populated (and reserve()d) before any pointer into
+  // it is captured, so the captured addresses stay valid for the guard's
+  // lifetime.
+  for (std::size_t i = 0; i < gemms_.size(); ++i) {
+    const Tensor* w_eff = &prepared_[i].fake;
+    gemms_[i]->set_gemm_override([w_eff, act_fmt](const Tensor& x2d) {
+      const std::int64_t rows = x2d.shape()[0], cols = x2d.shape()[1];
+      const std::int64_t outs = w_eff->shape()[0];
+      Tensor y(Shape{rows, outs});
+      if (act_fmt.bits > 0) {
+        // Per-tensor dynamic max calibration of the activations.
+        const VectorLayout layout{cols, 16, 0};
+        const ScaleSet s = compute_scales(x2d, Granularity::kPerTensor, layout, act_fmt);
+        const Tensor xq = fake_quantize(x2d, s, act_fmt);
+        gemm_nt(xq.data(), w_eff->data(), y.data(), rows, outs, cols);
+      } else {
+        gemm_nt(x2d.data(), w_eff->data(), y.data(), rows, outs, cols);
+      }
+      return y;
+    });
+  }
+}
+
+OcsExecutionGuard::~OcsExecutionGuard() {
+  for (QuantizableGemm* g : gemms_) g->set_gemm_override({});
+}
+
+double OcsExecutionGuard::mean_expansion() const {
+  if (prepared_.empty()) return 1.0;
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < prepared_.size(); ++i) {
+    const GemmDims dims = gemms_[i]->gemm_dims();
+    const double weight = static_cast<double>(std::max<std::int64_t>(dims.macs(), 1));
+    num += prepared_[i].expansion() * weight;
+    den += weight;
+  }
+  return num / den;
+}
+
+}  // namespace vsq

@@ -1,0 +1,68 @@
+// Outlier channel splitting (Zhao et al., ICML 2019) — the related-work
+// PTQ baseline the paper contrasts with (Sec. 2): instead of finer scale
+// granularity, OCS shrinks the quantization range by *duplicating* the
+// input channels that contain outliers and halving their values. The
+// network function is exactly preserved (x*w == x*(w/2) + x*(w/2)) while
+// the per-channel amax — and therefore the scale factor and quantization
+// error of inlier values — shrinks. The cost is compute/storage expansion:
+// every split adds a full column of MACs to the GEMM.
+//
+// This implementation splits weight reduction-axis columns greedily: the
+// column holding the current largest |w| splits first, iterating until the
+// expansion budget is used. Quantization happens on the expanded matrix
+// (per output channel); the result is collapsed back to the original shape
+// by summing duplicate columns, yielding a drop-in simulated-quantized
+// weight matrix comparable with per-channel and per-vector scaling.
+//
+// bench/ablation_ocs measures both sides of the trade: OCS error reduction
+// vs its expansion overhead, against VS-Quant's M/(V*N) storage overhead.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.h"
+#include "quant/scale.h"
+
+namespace vsq {
+
+struct OcsResult {
+  Tensor fake;                // [K, L] effective simulated-quantized weights
+  std::int64_t splits = 0;    // column splits performed
+  std::int64_t expanded_cols = 0;  // L + splits (GEMM width after OCS)
+  // Compute/storage expansion the accelerator would pay: expanded_cols / L.
+  double expansion() const {
+    return expanded_cols == 0 || splits == 0
+               ? 1.0
+               : static_cast<double>(expanded_cols) /
+                     static_cast<double>(expanded_cols - splits);
+  }
+};
+
+// Simulated OCS quantization of a [K, L] weight matrix with per-output-
+// channel scales. `expand_ratio` is the fraction of extra columns allowed
+// (0.05 = 5% more GEMM work, the operating point the OCS paper uses);
+// expand_ratio <= 0 degenerates to plain per-channel fake quantization.
+OcsResult ocs_fake_quantize(const Tensor& w2d, const QuantFormat& fmt, double expand_ratio);
+
+// RAII: route a set of GEMM layers through OCS-quantized weights (weights
+// only; activations fake-quantized per-tensor with dynamic max calibration
+// at `act_fmt`, or left fp32 when act_fmt.bits <= 0). Restores the layers
+// on destruction. Inference only.
+class OcsExecutionGuard {
+ public:
+  OcsExecutionGuard(std::vector<QuantizableGemm*> gemms, const QuantFormat& wt_fmt,
+                    double expand_ratio, QuantFormat act_fmt = QuantFormat{0, true});
+  ~OcsExecutionGuard();
+
+  OcsExecutionGuard(const OcsExecutionGuard&) = delete;
+  OcsExecutionGuard& operator=(const OcsExecutionGuard&) = delete;
+
+  // Op-weighted mean expansion across the guarded layers.
+  double mean_expansion() const;
+
+ private:
+  std::vector<QuantizableGemm*> gemms_;
+  std::vector<OcsResult> prepared_;
+};
+
+}  // namespace vsq

@@ -1,0 +1,91 @@
+#include "quant/packing.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace vsq {
+namespace {
+
+// Append the low `bits` bits of `field` to the stream at bit offset `pos`.
+void write_bits(std::vector<std::uint8_t>& bytes, std::int64_t pos, std::uint32_t field,
+                int bits) {
+  for (int b = 0; b < bits; ++b, ++pos) {
+    if (field & (1u << b)) {
+      bytes[static_cast<std::size_t>(pos >> 3)] |= static_cast<std::uint8_t>(1u << (pos & 7));
+    }
+  }
+}
+
+std::uint32_t read_bits(const std::vector<std::uint8_t>& bytes, std::int64_t pos, int bits) {
+  std::uint32_t field = 0;
+  for (int b = 0; b < bits; ++b, ++pos) {
+    if (bytes[static_cast<std::size_t>(pos >> 3)] & (1u << (pos & 7))) field |= (1u << b);
+  }
+  return field;
+}
+
+PackedBuffer pack_fields(const std::int64_t count, const QuantFormat& fmt,
+                         const std::uint32_t* fields) {
+  PackedBuffer out;
+  out.fmt = fmt;
+  out.count = count;
+  out.bytes.assign(static_cast<std::size_t>((count * fmt.bits + 7) / 8), 0);
+  for (std::int64_t i = 0; i < count; ++i) {
+    write_bits(out.bytes, i * fmt.bits, fields[i], fmt.bits);
+  }
+  return out;
+}
+
+}  // namespace
+
+PackedBuffer pack_values(const std::vector<std::int16_t>& values, const QuantFormat& fmt) {
+  const std::uint32_t mask = (1u << fmt.bits) - 1;
+  std::vector<std::uint32_t> fields(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const std::int16_t v = values[i];
+    if (v < fmt.qmin() || v > fmt.qmax()) {
+      throw std::out_of_range("pack_values: " + std::to_string(v) + " does not fit " + fmt.str());
+    }
+    // Two's complement within N bits for signed formats.
+    fields[i] = static_cast<std::uint32_t>(static_cast<std::int32_t>(v)) & mask;
+  }
+  return pack_fields(static_cast<std::int64_t>(values.size()), fmt, fields.data());
+}
+
+PackedBuffer pack_scales(const std::vector<std::uint16_t>& scales, const QuantFormat& fmt) {
+  if (fmt.is_signed) throw std::invalid_argument("pack_scales: scale formats are unsigned");
+  std::vector<std::uint32_t> fields(scales.size());
+  for (std::size_t i = 0; i < scales.size(); ++i) {
+    if (scales[i] > fmt.qmax()) {
+      throw std::out_of_range("pack_scales: " + std::to_string(scales[i]) + " does not fit " +
+                              fmt.str());
+    }
+    fields[i] = scales[i];
+  }
+  return pack_fields(static_cast<std::int64_t>(scales.size()), fmt, fields.data());
+}
+
+std::vector<std::int16_t> unpack_values(const PackedBuffer& packed) {
+  std::vector<std::int16_t> out(static_cast<std::size_t>(packed.count));
+  const int bits = packed.fmt.bits;
+  const std::uint32_t sign_bit = 1u << (bits - 1);
+  const std::uint32_t mask = (1u << bits) - 1;
+  for (std::int64_t i = 0; i < packed.count; ++i) {
+    std::uint32_t field = read_bits(packed.bytes, i * bits, bits);
+    if (packed.fmt.is_signed && (field & sign_bit)) field |= ~mask;  // sign-extend
+    out[static_cast<std::size_t>(i)] =
+        static_cast<std::int16_t>(static_cast<std::int32_t>(field));
+  }
+  return out;
+}
+
+std::vector<std::uint16_t> unpack_scales(const PackedBuffer& packed) {
+  std::vector<std::uint16_t> out(static_cast<std::size_t>(packed.count));
+  for (std::int64_t i = 0; i < packed.count; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        static_cast<std::uint16_t>(read_bits(packed.bytes, i * packed.fmt.bits, packed.fmt.bits));
+  }
+  return out;
+}
+
+}  // namespace vsq

@@ -1,0 +1,45 @@
+// Bit-packing for sub-byte integer payloads. The memory model
+// (hw/memory_model) accounts storage in exact bits; this module makes
+// those numbers physical: N-bit quantized values (3 <= N <= 10, signed or
+// unsigned) are packed into a dense little-endian bitstream with no
+// padding between elements, exactly N bits per value — the buffer layout
+// a VS-Quant deployment would ship and the accelerator's weight buffer
+// would hold. M-bit per-vector scales pack through the same functions.
+//
+// Packing is value-checked: an element outside the format's
+// representable range throws rather than silently truncating.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "quant/format.h"
+
+namespace vsq {
+
+struct PackedBuffer {
+  QuantFormat fmt{8, true};
+  std::int64_t count = 0;           // packed element count
+  std::vector<std::uint8_t> bytes;  // ceil(count * fmt.bits / 8) bytes
+
+  // Exact payload size in bits (count * fmt.bits).
+  std::int64_t payload_bits() const { return count * fmt.bits; }
+  // Bits per element actually consumed including the final byte's padding.
+  double bits_per_element() const {
+    return count == 0 ? 0.0 : static_cast<double>(bytes.size()) * 8.0 / static_cast<double>(count);
+  }
+};
+
+// Pack signed quantized values (the int16 elements of a QuantizedMatrix).
+// Signed formats are stored as sign-extended N-bit two's complement;
+// unsigned formats as plain N-bit fields. Throws std::out_of_range if any
+// value does not fit fmt.
+PackedBuffer pack_values(const std::vector<std::int16_t>& values, const QuantFormat& fmt);
+// Unsigned variant (per-vector integer scale factors).
+PackedBuffer pack_scales(const std::vector<std::uint16_t>& scales, const QuantFormat& fmt);
+
+// Exact inverses of the packers.
+std::vector<std::int16_t> unpack_values(const PackedBuffer& packed);
+std::vector<std::uint16_t> unpack_scales(const PackedBuffer& packed);
+
+}  // namespace vsq

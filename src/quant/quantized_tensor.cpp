@@ -1,0 +1,80 @@
+#include "quant/quantized_tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vsq {
+
+QuantizedMatrix quantize_weights_int(const Tensor& w2d, const QuantSpec& spec) {
+  if (!spec.enabled) throw std::invalid_argument("quantize_weights_int: spec disabled");
+  QuantizedMatrix out;
+  out.rows = w2d.shape()[0];
+  out.fmt = spec.fmt;
+  out.layout = spec.layout(w2d.shape()[1]);
+
+  if (spec.granularity == Granularity::kPerVector) {
+    if (spec.scale_dtype != ScaleDtype::kTwoLevelInt) {
+      throw std::invalid_argument(
+          "quantize_weights_int: hardware path requires two-level integer scales");
+    }
+    const ScaleSet fp = compute_scales(w2d, Granularity::kPerVector, out.layout, spec.fmt);
+    out.two_level = two_level_from_scales(fp, spec.scale_fmt, CoarseAxis::kPerRow);
+    out.q = quantize_to_int(w2d, out.two_level->to_scale_set(), spec.fmt);
+  } else {
+    const ScaleSet s = compute_scales(w2d, spec.granularity, out.layout, spec.fmt);
+    out.coarse_scales = s.scales;
+    out.q = quantize_to_int(w2d, s, spec.fmt);
+  }
+  return out;
+}
+
+QuantizedMatrix quantize_activations_int(const Tensor& x2d, const QuantSpec& spec,
+                                         float static_amax, float gamma) {
+  if (!spec.enabled) throw std::invalid_argument("quantize_activations_int: spec disabled");
+  QuantizedMatrix out;
+  out.rows = x2d.shape()[0];
+  out.fmt = spec.fmt;
+  out.layout = spec.layout(x2d.shape()[1]);
+
+  if (spec.granularity == Granularity::kPerVector) {
+    if (spec.scale_dtype != ScaleDtype::kTwoLevelInt) {
+      throw std::invalid_argument(
+          "quantize_activations_int: hardware path requires two-level integer scales");
+    }
+    // Dynamic per-vector: runtime vector max -> sq = round(s/gamma) (Eq. 7g),
+    // exactly the PPU's calibrate-and-quantize pipeline.
+    TwoLevelScales tl;
+    tl.scale_fmt = spec.scale_fmt;
+    tl.coarse_axis = CoarseAxis::kPerTensor;
+    tl.layout = out.layout;
+    tl.rows = out.rows;
+    tl.gamma = {gamma};
+    const std::vector<float> vec_amax = amax_per_vector(x2d, out.layout);
+    tl.sq.resize(vec_amax.size());
+    const auto scale_qmax = static_cast<float>(spec.scale_fmt.qmax());
+    for (std::size_t i = 0; i < vec_amax.size(); ++i) {
+      if (gamma <= 0.0f) {
+        tl.sq[i] = 0;
+        continue;
+      }
+      const float s = scale_from_amax(vec_amax[i], spec.fmt);
+      tl.sq[i] = static_cast<std::uint16_t>(
+          std::clamp(std::nearbyintf(s / gamma), 0.0f, scale_qmax));
+    }
+    out.q = quantize_to_int(x2d, tl.to_scale_set(), spec.fmt);
+    out.two_level = std::move(tl);
+  } else {
+    const float amax = spec.dynamic ? amax_per_tensor(x2d) : static_amax;
+    ScaleSet s;
+    s.granularity = Granularity::kPerTensor;
+    s.layout = out.layout;
+    s.rows = out.rows;
+    s.scales = {scale_from_amax(amax, spec.fmt)};
+    out.coarse_scales = s.scales;
+    out.q = quantize_to_int(x2d, s, spec.fmt);
+  }
+  return out;
+}
+
+}  // namespace vsq

@@ -1,0 +1,122 @@
+#include "quant/scale.h"
+
+#include <stdexcept>
+
+#include "util/fp16.h"
+
+namespace vsq {
+namespace {
+
+void check_matrix(const Tensor& x2d) {
+  if (x2d.shape().rank() != 2) throw std::invalid_argument("quant: expected a 2-D matrix");
+}
+
+std::size_t expected_scale_count(Granularity g, std::int64_t rows, std::int64_t vpr) {
+  switch (g) {
+    case Granularity::kPerTensor: return 1;
+    case Granularity::kPerRow: return static_cast<std::size_t>(rows);
+    case Granularity::kPerVector: return static_cast<std::size_t>(rows * vpr);
+  }
+  return 0;
+}
+
+}  // namespace
+
+float ScaleSet::at(std::int64_t r, std::int64_t c) const {
+  switch (granularity) {
+    case Granularity::kPerTensor: return scales[0];
+    case Granularity::kPerRow: return scales[static_cast<std::size_t>(r)];
+    case Granularity::kPerVector:
+      return scales[static_cast<std::size_t>(r * vectors_per_row() + layout.vector_of_col(c))];
+  }
+  return scales[0];
+}
+
+ScaleSet compute_scales(const Tensor& x2d, Granularity g, const VectorLayout& layout,
+                        const QuantFormat& fmt) {
+  check_matrix(x2d);
+  ScaleSet s;
+  s.granularity = g;
+  s.layout = layout;
+  s.layout.cols = x2d.shape()[1];
+  s.rows = x2d.shape()[0];
+  std::vector<float> amax;
+  switch (g) {
+    case Granularity::kPerTensor: amax = {amax_per_tensor(x2d)}; break;
+    case Granularity::kPerRow: amax = amax_per_row(x2d); break;
+    case Granularity::kPerVector: amax = amax_per_vector(x2d, s.layout); break;
+  }
+  s.scales.resize(amax.size());
+  for (std::size_t i = 0; i < amax.size(); ++i) s.scales[i] = scale_from_amax(amax[i], fmt);
+  return s;
+}
+
+ScaleSet scales_from_amax(Granularity g, const VectorLayout& layout, std::int64_t rows,
+                          const std::vector<float>& amax, const QuantFormat& fmt) {
+  ScaleSet s;
+  s.granularity = g;
+  s.layout = layout;
+  s.rows = rows;
+  if (amax.size() != expected_scale_count(g, rows, layout.vectors_per_row())) {
+    throw std::invalid_argument("scales_from_amax: amax count does not match granularity");
+  }
+  s.scales.resize(amax.size());
+  for (std::size_t i = 0; i < amax.size(); ++i) s.scales[i] = scale_from_amax(amax[i], fmt);
+  return s;
+}
+
+void round_scales_fp16(ScaleSet& s) {
+  for (auto& v : s.scales) v = fp16_round(v);
+}
+
+Tensor fake_quantize(const Tensor& x2d, const ScaleSet& s, const QuantFormat& fmt) {
+  check_matrix(x2d);
+  if (x2d.shape()[0] != s.rows || x2d.shape()[1] != s.cols()) {
+    throw std::invalid_argument("fake_quantize: scale set does not match matrix");
+  }
+  Tensor out(x2d.shape());
+  const float* src = x2d.data();
+  float* dst = out.data();
+  const std::int64_t rows = s.rows, cols = s.cols();
+
+  if (s.granularity == Granularity::kPerVector) {
+    const std::int64_t vpr = s.vectors_per_row();
+    for (std::int64_t r = 0; r < rows; ++r) {
+      for (std::int64_t v = 0; v < vpr; ++v) {
+        const float sc = s.scales[static_cast<std::size_t>(r * vpr + v)];
+        const auto [c0, c1] = s.layout.col_range(v);
+        for (std::int64_t c = c0; c < c1; ++c) {
+          dst[r * cols + c] = fake_quantize_value(src[r * cols + c], sc, fmt);
+        }
+      }
+    }
+  } else {
+    for (std::int64_t r = 0; r < rows; ++r) {
+      const float sc = s.granularity == Granularity::kPerTensor
+                           ? s.scales[0]
+                           : s.scales[static_cast<std::size_t>(r)];
+      for (std::int64_t c = 0; c < cols; ++c) {
+        dst[r * cols + c] = fake_quantize_value(src[r * cols + c], sc, fmt);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::int16_t> quantize_to_int(const Tensor& x2d, const ScaleSet& s,
+                                          const QuantFormat& fmt) {
+  check_matrix(x2d);
+  if (fmt.bits > 10) throw std::invalid_argument("quantize_to_int: bits > 10 does not fit int16");
+  const std::int64_t rows = s.rows, cols = s.cols();
+  std::vector<std::int16_t> out(static_cast<std::size_t>(rows * cols));
+  const float* src = x2d.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      out[static_cast<std::size_t>(r * cols + c)] =
+          static_cast<std::int16_t>(quantize_value(src[r * cols + c], s.at(r, c), fmt));
+    }
+  }
+  return out;
+}
+
+}  // namespace vsq

@@ -1,0 +1,50 @@
+// Scale-factor sets at each granularity and single-level (fake) quantization
+// with them. Implements Eq. 1-3 / 7a-7d of the paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "quant/amax.h"
+#include "quant/granularity.h"
+#include "tensor/tensor.h"
+
+namespace vsq {
+
+// Scale factors for one [rows, cols] matrix at a given granularity.
+// Storage: kPerTensor -> 1 value; kPerRow -> rows values;
+// kPerVector -> rows * layout.vectors_per_row() values (vector idx fastest).
+struct ScaleSet {
+  Granularity granularity = Granularity::kPerTensor;
+  VectorLayout layout;  // meaningful for kPerVector
+  std::int64_t rows = 0;
+  std::vector<float> scales;
+
+  std::int64_t cols() const { return layout.cols; }
+  std::int64_t vectors_per_row() const { return layout.vectors_per_row(); }
+  // Scale applying to element (r, c).
+  float at(std::int64_t r, std::int64_t c) const;
+};
+
+// Scales from max-amax at the requested granularity (Eq. 7a-7b for
+// per-vector; Eq. 1 per tensor/row).
+ScaleSet compute_scales(const Tensor& x2d, Granularity g, const VectorLayout& layout,
+                        const QuantFormat& fmt);
+
+// Scales from externally calibrated amax values (percentile/entropy/MSE
+// calibrators produce these for coarse granularities).
+ScaleSet scales_from_amax(Granularity g, const VectorLayout& layout, std::int64_t rows,
+                          const std::vector<float>& amax, const QuantFormat& fmt);
+
+// Round every scale to IEEE fp16 (the paper's "S=fp16" configurations).
+void round_scales_fp16(ScaleSet& s);
+
+// Eq. 7c-7d: quantize+rescale each element with its scale ("simulated
+// quantization"). Output has the same shape as the input.
+Tensor fake_quantize(const Tensor& x2d, const ScaleSet& s, const QuantFormat& fmt);
+
+// Integer quantization (Eq. 7c only); values fit int16 for bits <= 10.
+std::vector<std::int16_t> quantize_to_int(const Tensor& x2d, const ScaleSet& s,
+                                          const QuantFormat& fmt);
+
+}  // namespace vsq

@@ -1,0 +1,136 @@
+#include "quant/two_level.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vsq {
+
+ScaleSet TwoLevelScales::to_scale_set() const {
+  ScaleSet s;
+  s.granularity = Granularity::kPerVector;
+  s.layout = layout;
+  s.rows = rows;
+  s.scales.resize(sq.size());
+  const std::int64_t vpr = vectors_per_row();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t v = 0; v < vpr; ++v) {
+      s.scales[static_cast<std::size_t>(r * vpr + v)] = effective_scale(r, v);
+    }
+  }
+  return s;
+}
+
+TwoLevelScales two_level_from_scales(const ScaleSet& fp_scales, const QuantFormat& scale_fmt,
+                                     CoarseAxis coarse_axis) {
+  if (fp_scales.granularity != Granularity::kPerVector) {
+    throw std::invalid_argument("two_level_from_scales: input must be per-vector scales");
+  }
+  if (scale_fmt.is_signed) {
+    throw std::invalid_argument("two_level_from_scales: scale format must be unsigned");
+  }
+  TwoLevelScales out;
+  out.scale_fmt = scale_fmt;
+  out.coarse_axis = coarse_axis;
+  out.layout = fp_scales.layout;
+  out.rows = fp_scales.rows;
+  const std::int64_t vpr = fp_scales.vectors_per_row();
+  out.sq.resize(fp_scales.scales.size());
+  const auto scale_qmax = static_cast<float>(scale_fmt.qmax());
+
+  const auto factor_group = [&](std::int64_t row_begin, std::int64_t row_end, float& gamma_out) {
+    // Eq. 7e: smax over the group; Eq. 7f: gamma = smax / (2^M - 1).
+    float smax = 0.0f;
+    for (std::int64_t r = row_begin; r < row_end; ++r) {
+      for (std::int64_t v = 0; v < vpr; ++v) {
+        smax = std::max(smax, fp_scales.scales[static_cast<std::size_t>(r * vpr + v)]);
+      }
+    }
+    const float gamma = smax > 0.0f ? smax / scale_qmax : 0.0f;
+    gamma_out = gamma;
+    // Eq. 7g: sq = round(s / gamma), clipped to the M-bit range.
+    for (std::int64_t r = row_begin; r < row_end; ++r) {
+      for (std::int64_t v = 0; v < vpr; ++v) {
+        const auto idx = static_cast<std::size_t>(r * vpr + v);
+        if (gamma <= 0.0f) {
+          out.sq[idx] = 0;
+          continue;
+        }
+        const auto q = static_cast<std::int64_t>(std::llrint(fp_scales.scales[idx] / gamma));
+        out.sq[idx] = static_cast<std::uint16_t>(std::clamp<std::int64_t>(q, 0, scale_fmt.qmax()));
+      }
+    }
+  };
+
+  if (coarse_axis == CoarseAxis::kPerRow) {
+    out.gamma.resize(static_cast<std::size_t>(out.rows));
+    for (std::int64_t r = 0; r < out.rows; ++r) {
+      factor_group(r, r + 1, out.gamma[static_cast<std::size_t>(r)]);
+    }
+  } else {
+    out.gamma.resize(1);
+    factor_group(0, out.rows, out.gamma[0]);
+  }
+  return out;
+}
+
+TwoLevelScales two_level_channel_first(const Tensor& x2d, const QuantFormat& fmt,
+                                       const QuantFormat& scale_fmt, const VectorLayout& layout,
+                                       CoarseAxis coarse_axis) {
+  if (x2d.shape().rank() != 2) {
+    throw std::invalid_argument("two_level_channel_first: expected 2-D matrix");
+  }
+  TwoLevelScales out;
+  out.scale_fmt = scale_fmt;
+  out.coarse_axis = coarse_axis;
+  out.layout = layout;
+  out.layout.cols = x2d.shape()[1];
+  out.rows = x2d.shape()[0];
+  const std::int64_t vpr = out.vectors_per_row();
+  out.sq.resize(static_cast<std::size_t>(out.rows * vpr));
+
+  const std::vector<float> vec_amax = amax_per_vector(x2d, out.layout);
+  const auto elem_qmax = static_cast<float>(fmt.qmax());
+  const auto scale_qmax = static_cast<float>(scale_fmt.qmax());
+
+  const auto factor_group = [&](std::int64_t row_begin, std::int64_t row_end, float& gamma_out) {
+    // Coarse scale first: the group's largest element must be representable
+    // with the largest integer vector scale, so
+    //   gamma = group_amax / (elem_qmax * scale_qmax).
+    float group_amax = 0.0f;
+    for (std::int64_t r = row_begin; r < row_end; ++r) {
+      for (std::int64_t v = 0; v < vpr; ++v) {
+        group_amax = std::max(group_amax, vec_amax[static_cast<std::size_t>(r * vpr + v)]);
+      }
+    }
+    const float gamma = group_amax > 0.0f ? group_amax / (elem_qmax * scale_qmax) : 0.0f;
+    gamma_out = gamma;
+    // Back-calculate per-vector integer scales with a ceiling so every
+    // vector's amax stays within range (no clipping beyond rounding).
+    for (std::int64_t r = row_begin; r < row_end; ++r) {
+      for (std::int64_t v = 0; v < vpr; ++v) {
+        const auto idx = static_cast<std::size_t>(r * vpr + v);
+        if (gamma <= 0.0f || vec_amax[idx] <= 0.0f) {
+          out.sq[idx] = 0;
+          continue;
+        }
+        const auto q = static_cast<std::int64_t>(
+            std::ceil(vec_amax[idx] / (gamma * elem_qmax) - 1e-6f));
+        out.sq[idx] = static_cast<std::uint16_t>(std::clamp<std::int64_t>(q, 1, scale_fmt.qmax()));
+      }
+    }
+  };
+
+  if (coarse_axis == CoarseAxis::kPerRow) {
+    out.gamma.resize(static_cast<std::size_t>(out.rows));
+    for (std::int64_t r = 0; r < out.rows; ++r) {
+      factor_group(r, r + 1, out.gamma[static_cast<std::size_t>(r)]);
+    }
+  } else {
+    out.gamma.resize(1);
+    factor_group(0, out.rows, out.gamma[0]);
+  }
+  return out;
+}
+
+}  // namespace vsq

@@ -1,0 +1,64 @@
+// Two-level scaling (paper Sec. 4.4, Eq. 7e-7j): each per-vector scale is
+// factored into an M-bit unsigned integer per-vector component sq and a
+// floating-point coarse component gamma shared across a row (per-channel,
+// weights) or the whole tensor (per-layer, activations).
+//
+//   gamma(k)   = max_i s(k,i) / (2^M - 1)                  (7e-7f)
+//   sq(k,i)    = round(s(k,i) / gamma(k))                  (7g)
+//   s2(k,i)    = sq(k,i) * gamma(k)                        (7h)
+//
+// Hardware stores sq alongside each vector and keeps gamma in the
+// post-processing unit, so all vector-wise math stays integer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "quant/scale.h"
+
+namespace vsq {
+
+// Which axis the floating-point coarse scale gamma is shared across.
+enum class CoarseAxis {
+  kPerRow,     // per output channel (weights)
+  kPerTensor,  // per layer (activations)
+};
+
+struct TwoLevelScales {
+  QuantFormat scale_fmt{6, false};  // M-bit unsigned integer scales
+  CoarseAxis coarse_axis = CoarseAxis::kPerRow;
+  VectorLayout layout;
+  std::int64_t rows = 0;
+
+  std::vector<std::uint16_t> sq;  // rows * vectors_per_row, integer scales
+  std::vector<float> gamma;       // rows (kPerRow) or 1 (kPerTensor)
+
+  std::int64_t vectors_per_row() const { return layout.vectors_per_row(); }
+  float gamma_of_row(std::int64_t r) const {
+    return coarse_axis == CoarseAxis::kPerRow ? gamma[static_cast<std::size_t>(r)] : gamma[0];
+  }
+  // Effective (simulated) per-vector scale sq * gamma (Eq. 7h).
+  float effective_scale(std::int64_t r, std::int64_t v) const {
+    return static_cast<float>(sq[static_cast<std::size_t>(r * vectors_per_row() + v)]) *
+           gamma_of_row(r);
+  }
+  // Expand to a plain per-vector ScaleSet (for fake quantization, Eq. 7i).
+  ScaleSet to_scale_set() const;
+};
+
+// Eq. 7e-7h: factor single-level per-vector scales into (sq, gamma).
+// `fp_scales` must be per-vector.
+TwoLevelScales two_level_from_scales(const ScaleSet& fp_scales, const QuantFormat& scale_fmt,
+                                     CoarseAxis coarse_axis);
+
+// Alternative factorization order discussed at the end of Sec. 4.4
+// ("compute the per-channel scale factor first, then back-calculate the
+// per-vector scale factor"): gamma is derived from the coarse amax of the
+// matrix, and sq is chosen per vector to cover that vector's range
+// (ceiling, so no extra clipping is introduced). Explored in
+// bench/ablation_two_level_order.
+TwoLevelScales two_level_channel_first(const Tensor& x2d, const QuantFormat& fmt,
+                                       const QuantFormat& scale_fmt, const VectorLayout& layout,
+                                       CoarseAxis coarse_axis);
+
+}  // namespace vsq

@@ -1,0 +1,24 @@
+// Single-precision GEMM variants used by the NN engine. The hot one is
+// gemm_nt (A[M,K] * B[N,K]^T): both conv-via-im2col and linear layers keep
+// the reduction axis innermost in BOTH operands, which is also the layout
+// per-vector quantization wants (V consecutive K elements = one vector).
+#pragma once
+
+#include <cstdint>
+
+namespace vsq {
+
+// C[M,N] = A[M,K] * B[N,K]^T (+ C if accumulate). Blocked and threaded.
+void gemm_nt(const float* a, const float* b, float* c, std::int64_t m, std::int64_t n,
+             std::int64_t k, bool accumulate = false);
+
+// C[M,N] = A[M,K] * B[K,N] (+ C if accumulate).
+void gemm_nn(const float* a, const float* b, float* c, std::int64_t m, std::int64_t n,
+             std::int64_t k, bool accumulate = false);
+
+// C[M,N] = A[K,M]^T * B[K,N] (+ C if accumulate). Used by weight-gradient
+// computations.
+void gemm_tn(const float* a, const float* b, float* c, std::int64_t m, std::int64_t n,
+             std::int64_t k, bool accumulate = false);
+
+}  // namespace vsq

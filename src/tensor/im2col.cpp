@@ -1,0 +1,85 @@
+#include "tensor/im2col.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "util/thread_pool.h"
+
+namespace vsq {
+
+Tensor im2col(const Tensor& input, const ConvGeom& g) {
+  if (input.shape().rank() != 4) throw std::invalid_argument("im2col: input must be NHWC");
+  const std::int64_t n = input.shape()[0];
+  if (input.shape()[1] != g.in_h || input.shape()[2] != g.in_w || input.shape()[3] != g.in_c) {
+    throw std::invalid_argument("im2col: input shape does not match geometry");
+  }
+  const std::int64_t oh = g.out_h(), ow = g.out_w(), plen = g.patch_len();
+  Tensor out(Shape{n * oh * ow, plen});
+  const float* src = input.data();
+  float* dst = out.data();
+  const std::int64_t hw_stride = g.in_w * g.in_c;
+
+  parallel_for(0, static_cast<std::size_t>(n * oh), [&](std::size_t rb, std::size_t re) {
+    for (std::size_t r = rb; r < re; ++r) {
+      const std::int64_t img = static_cast<std::int64_t>(r) / oh;
+      const std::int64_t oy = static_cast<std::int64_t>(r) % oh;
+      const float* img_base = src + img * g.in_h * hw_stride;
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        float* row = dst + ((img * oh + oy) * ow + ox) * plen;
+        for (std::int64_t kh = 0; kh < g.kernel; ++kh) {
+          const std::int64_t iy = oy * g.stride - g.pad + kh;
+          for (std::int64_t kw = 0; kw < g.kernel; ++kw) {
+            const std::int64_t ix = ox * g.stride - g.pad + kw;
+            float* cell = row + (kh * g.kernel + kw) * g.in_c;
+            if (iy < 0 || iy >= g.in_h || ix < 0 || ix >= g.in_w) {
+              std::memset(cell, 0, static_cast<std::size_t>(g.in_c) * sizeof(float));
+            } else {
+              std::memcpy(cell, img_base + iy * hw_stride + ix * g.in_c,
+                          static_cast<std::size_t>(g.in_c) * sizeof(float));
+            }
+          }
+        }
+      }
+    }
+  });
+  return out;
+}
+
+Tensor col2im(const Tensor& cols, const ConvGeom& g, std::int64_t batch) {
+  const std::int64_t oh = g.out_h(), ow = g.out_w(), plen = g.patch_len();
+  if (cols.shape().rank() != 2 || cols.shape()[0] != batch * oh * ow ||
+      cols.shape()[1] != plen) {
+    throw std::invalid_argument("col2im: cols shape does not match geometry");
+  }
+  Tensor out(Shape{batch, g.in_h, g.in_w, g.in_c});
+  const float* src = cols.data();
+  float* dst = out.data();
+  const std::int64_t hw_stride = g.in_w * g.in_c;
+
+  // Parallelize over images: each image's scatter-adds are independent.
+  parallel_for(0, static_cast<std::size_t>(batch), [&](std::size_t ib, std::size_t ie) {
+    for (std::size_t img = ib; img < ie; ++img) {
+      float* img_base = dst + static_cast<std::int64_t>(img) * g.in_h * hw_stride;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          const float* row =
+              src + ((static_cast<std::int64_t>(img) * oh + oy) * ow + ox) * plen;
+          for (std::int64_t kh = 0; kh < g.kernel; ++kh) {
+            const std::int64_t iy = oy * g.stride - g.pad + kh;
+            if (iy < 0 || iy >= g.in_h) continue;
+            for (std::int64_t kw = 0; kw < g.kernel; ++kw) {
+              const std::int64_t ix = ox * g.stride - g.pad + kw;
+              if (ix < 0 || ix >= g.in_w) continue;
+              const float* cell = row + (kh * g.kernel + kw) * g.in_c;
+              float* acc = img_base + iy * hw_stride + ix * g.in_c;
+              for (std::int64_t c = 0; c < g.in_c; ++c) acc[c] += cell[c];
+            }
+          }
+        }
+      }
+    }
+  });
+  return out;
+}
+
+}  // namespace vsq

@@ -1,0 +1,34 @@
+// im2col / col2im with channel-innermost (NHWC) layout.
+//
+// Patches are unrolled as rows of length KH*KW*C with the *channel index
+// innermost* ((kh, kw, c) ordering, c fastest). Consequently V consecutive
+// elements of a patch row at a fixed (kh, kw) are V consecutive input
+// channels — exactly the paper's V x 1 x 1 quantization vector, so conv
+// and linear layers share one per-vector quantization code path.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace vsq {
+
+struct ConvGeom {
+  std::int64_t in_h = 0, in_w = 0, in_c = 0;
+  std::int64_t kernel = 3;   // square kernels
+  std::int64_t stride = 1;
+  std::int64_t pad = 1;
+
+  std::int64_t out_h() const { return (in_h + 2 * pad - kernel) / stride + 1; }
+  std::int64_t out_w() const { return (in_w + 2 * pad - kernel) / stride + 1; }
+  std::int64_t patch_len() const { return kernel * kernel * in_c; }
+};
+
+// input:  [N, H, W, C]  ->  output: [N * out_h * out_w, patch_len]
+Tensor im2col(const Tensor& input, const ConvGeom& g);
+
+// Scatter-add of patch-row gradients back to an input-shaped tensor.
+// cols: [N * out_h * out_w, patch_len] -> returns [N, H, W, C].
+Tensor col2im(const Tensor& cols, const ConvGeom& g, std::int64_t batch);
+
+}  // namespace vsq

@@ -1,0 +1,84 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace vsq {
+namespace {
+void check_same_shape(const Tensor& a, const Tensor& b, const char* what) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument(std::string(what) + ": shape mismatch " + a.shape().str() +
+                                " vs " + b.shape().str());
+  }
+}
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add");
+  Tensor out(a.shape());
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+void add_inplace(Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add_inplace");
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) a[i] += b[i];
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor out(a.shape());
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) out[i] = a[i] * s;
+  return out;
+}
+
+void scale_inplace(Tensor& a, float s) {
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) a[i] *= s;
+}
+
+float amax(const Tensor& x) {
+  float m = 0.0f;
+  const std::int64_t n = x.numel();
+  for (std::int64_t i = 0; i < n; ++i) m = std::max(m, std::abs(x[i]));
+  return m;
+}
+
+double mse(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "mse");
+  const std::int64_t n = a.numel();
+  if (n == 0) return 0.0;
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(n);
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "max_abs_diff");
+  float m = 0.0f;
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+double sqnr_db(const Tensor& reference, const Tensor& quantized) {
+  check_same_shape(reference, quantized, "sqnr_db");
+  double sig = 0.0, noise = 0.0;
+  const std::int64_t n = reference.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double x = reference[i];
+    const double e = x - static_cast<double>(quantized[i]);
+    sig += x * x;
+    noise += e * e;
+  }
+  if (noise == 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(sig / noise);
+}
+
+}  // namespace vsq

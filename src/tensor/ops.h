@@ -1,0 +1,28 @@
+// Elementwise and reduction helpers shared by layers, quantizers and tests.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace vsq {
+
+// out = a + b (shapes must match).
+Tensor add(const Tensor& a, const Tensor& b);
+// a += b in place.
+void add_inplace(Tensor& a, const Tensor& b);
+// out = a * scalar.
+Tensor scale(const Tensor& a, float s);
+void scale_inplace(Tensor& a, float s);
+
+// max_i |x_i| over the whole tensor.
+float amax(const Tensor& x);
+// mean((a-b)^2)
+double mse(const Tensor& a, const Tensor& b);
+// max_i |a_i - b_i|
+float max_abs_diff(const Tensor& a, const Tensor& b);
+// Signal-to-quantization-noise ratio in dB: 10*log10(E[x^2]/E[(x-xq)^2]).
+// Returns +inf when the error is exactly zero.
+double sqnr_db(const Tensor& reference, const Tensor& quantized);
+
+}  // namespace vsq

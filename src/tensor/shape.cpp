@@ -1,0 +1,67 @@
+#include "tensor/shape.h"
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace vsq {
+
+Shape::Shape(std::initializer_list<std::int64_t> dims) {
+  if (dims.size() > kMaxRank) throw std::invalid_argument("Shape: rank > kMaxRank");
+  for (const auto d : dims) {
+    if (d < 0) throw std::invalid_argument("Shape: negative dimension");
+    dims_[rank_++] = d;
+  }
+}
+
+std::int64_t Shape::dim(int i) const {
+  assert(i >= 0 && i < rank_);
+  return dims_[i];
+}
+
+void Shape::set_dim(int i, std::int64_t value) {
+  assert(i >= 0 && i < rank_);
+  dims_[i] = value;
+}
+
+std::int64_t Shape::numel() const {
+  std::int64_t n = 1;
+  for (int i = 0; i < rank_; ++i) n *= dims_[i];
+  return n;
+}
+
+bool Shape::operator==(const Shape& other) const {
+  if (rank_ != other.rank_) return false;
+  for (int i = 0; i < rank_; ++i) {
+    if (dims_[i] != other.dims_[i]) return false;
+  }
+  return true;
+}
+
+std::int64_t Shape::offset2(std::int64_t i, std::int64_t j) const {
+  assert(rank_ == 2);
+  return i * dims_[1] + j;
+}
+
+std::int64_t Shape::offset3(std::int64_t i, std::int64_t j, std::int64_t k) const {
+  assert(rank_ == 3);
+  return (i * dims_[1] + j) * dims_[2] + k;
+}
+
+std::int64_t Shape::offset4(std::int64_t i, std::int64_t j, std::int64_t k, std::int64_t l) const {
+  assert(rank_ == 4);
+  return ((i * dims_[1] + j) * dims_[2] + k) * dims_[3] + l;
+}
+
+std::string Shape::str() const {
+  std::ostringstream os;
+  os << '[';
+  for (int i = 0; i < rank_; ++i) {
+    if (i) os << ", ";
+    os << dims_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace vsq

@@ -1,0 +1,41 @@
+// Tensor shape: a small fixed-capacity dimension list with helpers for
+// element counts and row-major offsets.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+namespace vsq {
+
+class Shape {
+ public:
+  static constexpr int kMaxRank = 5;
+
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims);
+
+  int rank() const { return rank_; }
+  std::int64_t dim(int i) const;
+  std::int64_t operator[](int i) const { return dim(i); }
+  // Replace dimension i (must be < rank()); used by row slicing.
+  void set_dim(int i, std::int64_t value);
+  std::int64_t numel() const;
+
+  bool operator==(const Shape& other) const;
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  // Row-major offset helpers for common ranks (bounds-checked in debug).
+  std::int64_t offset2(std::int64_t i, std::int64_t j) const;
+  std::int64_t offset3(std::int64_t i, std::int64_t j, std::int64_t k) const;
+  std::int64_t offset4(std::int64_t i, std::int64_t j, std::int64_t k, std::int64_t l) const;
+
+  std::string str() const;  // e.g. "[2, 3, 4]"
+
+ private:
+  int rank_ = 0;
+  std::array<std::int64_t, kMaxRank> dims_{};
+};
+
+}  // namespace vsq

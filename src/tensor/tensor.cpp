@@ -1,0 +1,54 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace vsq {
+
+Tensor::Tensor(Shape shape) : shape_(shape) {
+  const auto n = static_cast<std::size_t>(shape_.numel());
+  data_ = std::shared_ptr<float[]>(new float[std::max<std::size_t>(n, 1)]());
+}
+
+Tensor Tensor::from_vector(Shape shape, std::vector<float> values) {
+  if (shape.numel() != static_cast<std::int64_t>(values.size())) {
+    throw std::invalid_argument("Tensor::from_vector: size mismatch");
+  }
+  Tensor t(shape);
+  std::copy(values.begin(), values.end(), t.data());
+  return t;
+}
+
+Tensor Tensor::clone() const {
+  Tensor t(shape_);
+  std::memcpy(t.data(), data(), static_cast<std::size_t>(numel()) * sizeof(float));
+  return t;
+}
+
+Tensor Tensor::reshape(Shape new_shape) const {
+  if (new_shape.numel() != numel()) throw std::invalid_argument("Tensor::reshape: numel mismatch");
+  Tensor t = *this;
+  t.shape_ = new_shape;
+  return t;
+}
+
+Tensor Tensor::slice_rows(std::int64_t i0, std::int64_t i1) const {
+  if (shape_.rank() < 1 || i0 < 0 || i1 < i0 || i1 > shape_[0]) {
+    throw std::invalid_argument("Tensor::slice_rows: bad range");
+  }
+  const std::int64_t row_elems = shape_[0] == 0 ? 0 : numel() / shape_[0];
+  Shape out_shape = shape_;
+  out_shape.set_dim(0, i1 - i0);
+  Tensor out(out_shape);
+  std::copy_n(data() + i0 * row_elems, (i1 - i0) * row_elems, out.data());
+  return out;
+}
+
+void Tensor::fill(float v) { std::fill_n(data(), numel(), v); }
+
+std::vector<float> Tensor::to_vector() const {
+  return std::vector<float>(data(), data() + numel());
+}
+
+}  // namespace vsq

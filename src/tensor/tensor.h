@@ -1,0 +1,71 @@
+// Contiguous row-major float32 tensor with shared ownership of storage.
+// Copies are shallow (views of the same buffer); use clone() for a deep
+// copy. All layers and quantizers operate on this type.
+//
+// Layout convention used throughout the repo: image activations are NHWC
+// (channels innermost). That makes a "vector" of V consecutive elements
+// along the reduction axis equal to V consecutive input channels — the
+// exact V x 1 x 1 vector shape of the paper (Fig. 1).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "tensor/shape.h"
+
+namespace vsq {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape);  // zero-initialized
+  static Tensor from_vector(Shape shape, std::vector<float> values);
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t numel() const { return shape_.numel(); }
+  bool empty() const { return numel() == 0; }
+
+  float* data() { return data_.get(); }
+  const float* data() const { return data_.get(); }
+  std::span<float> span() { return {data_.get(), static_cast<std::size_t>(numel())}; }
+  std::span<const float> span() const { return {data_.get(), static_cast<std::size_t>(numel())}; }
+
+  float& operator[](std::int64_t i) { return data_[i]; }
+  float operator[](std::int64_t i) const { return data_[i]; }
+
+  // Rank-specific accessors (assert on rank mismatch in debug builds).
+  float& at2(std::int64_t i, std::int64_t j) { return data_[shape_.offset2(i, j)]; }
+  float at2(std::int64_t i, std::int64_t j) const { return data_[shape_.offset2(i, j)]; }
+  float& at3(std::int64_t i, std::int64_t j, std::int64_t k) {
+    return data_[shape_.offset3(i, j, k)];
+  }
+  float at3(std::int64_t i, std::int64_t j, std::int64_t k) const {
+    return data_[shape_.offset3(i, j, k)];
+  }
+  float& at4(std::int64_t i, std::int64_t j, std::int64_t k, std::int64_t l) {
+    return data_[shape_.offset4(i, j, k, l)];
+  }
+  float at4(std::int64_t i, std::int64_t j, std::int64_t k, std::int64_t l) const {
+    return data_[shape_.offset4(i, j, k, l)];
+  }
+
+  // Deep copy.
+  Tensor clone() const;
+  // Same storage, new shape (numel must match).
+  Tensor reshape(Shape new_shape) const;
+  // Deep copy of rows [i0, i1) along the leading axis (any rank >= 1).
+  Tensor slice_rows(std::int64_t i0, std::int64_t i1) const;
+  void fill(float v);
+  void zero() { fill(0.0f); }
+
+  // Copy out as std::vector (for archiving).
+  std::vector<float> to_vector() const;
+
+ private:
+  Shape shape_;
+  std::shared_ptr<float[]> data_;
+};
+
+}  // namespace vsq

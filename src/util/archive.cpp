@@ -1,0 +1,110 @@
+#include "util/archive.h"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace vsq {
+namespace {
+
+constexpr char kMagic[4] = {'V', 'S', 'Q', 'A'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& f, const T& v) {
+  f.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& f) {
+  T v{};
+  f.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!f) throw std::runtime_error("Archive: truncated file");
+  return v;
+}
+
+}  // namespace
+
+void Archive::put(const std::string& name, std::vector<std::int64_t> dims,
+                  std::vector<float> data) {
+  std::size_t n = 1;
+  for (const auto d : dims) n *= static_cast<std::size_t>(d);
+  if (n != data.size()) throw std::invalid_argument("Archive::put: dims/data mismatch for " + name);
+  entries_[name] = ArchiveEntry{std::move(dims), std::move(data)};
+}
+
+const ArchiveEntry& Archive::get(const std::string& name) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) throw std::out_of_range("Archive: missing entry " + name);
+  return it->second;
+}
+
+bool Archive::contains(const std::string& name) const { return entries_.count(name) > 0; }
+
+std::vector<std::string> Archive::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, _] : entries_) out.push_back(name);
+  return out;
+}
+
+void Archive::save(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("Archive::save: cannot open " + path);
+  f.write(kMagic, 4);
+  write_pod(f, kVersion);
+  write_pod(f, static_cast<std::uint64_t>(entries_.size()));
+  for (const auto& [name, e] : entries_) {
+    write_pod(f, static_cast<std::uint32_t>(name.size()));
+    f.write(name.data(), static_cast<std::streamsize>(name.size()));
+    write_pod(f, static_cast<std::uint64_t>(e.dims.size()));
+    for (const auto d : e.dims) write_pod(f, d);
+    f.write(reinterpret_cast<const char*>(e.data.data()),
+            static_cast<std::streamsize>(e.data.size() * sizeof(float)));
+  }
+  if (!f) throw std::runtime_error("Archive::save: write failed for " + path);
+}
+
+Archive Archive::load(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("Archive::load: cannot open " + path);
+  char magic[4];
+  f.read(magic, 4);
+  if (!f || std::memcmp(magic, kMagic, 4) != 0) {
+    throw std::runtime_error("Archive::load: bad magic in " + path);
+  }
+  const auto version = read_pod<std::uint32_t>(f);
+  if (version != kVersion) throw std::runtime_error("Archive::load: unsupported version");
+  const auto count = read_pod<std::uint64_t>(f);
+  Archive a;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto name_len = read_pod<std::uint32_t>(f);
+    std::string name(name_len, '\0');
+    f.read(name.data(), name_len);
+    const auto ndim = read_pod<std::uint64_t>(f);
+    std::vector<std::int64_t> dims(ndim);
+    std::size_t n = 1;
+    for (auto& d : dims) {
+      d = read_pod<std::int64_t>(f);
+      n *= static_cast<std::size_t>(d);
+    }
+    std::vector<float> data(n);
+    f.read(reinterpret_cast<char*>(data.data()), static_cast<std::streamsize>(n * sizeof(float)));
+    if (!f) throw std::runtime_error("Archive::load: truncated data in " + path);
+    a.put(name, std::move(dims), std::move(data));
+  }
+  return a;
+}
+
+bool file_exists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::exists(path, ec);
+}
+
+void ensure_dir(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+}
+
+}  // namespace vsq

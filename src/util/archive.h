@@ -1,0 +1,40 @@
+// Tiny binary archive for named float blobs: model checkpoints under
+// artifacts/ are saved/loaded with this. Format:
+//   magic "VSQA" | u32 version | u64 count | repeated:
+//     u32 name_len | name bytes | u64 ndim | i64 dims[] | f32 data[]
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vsq {
+
+struct ArchiveEntry {
+  std::vector<std::int64_t> dims;
+  std::vector<float> data;
+};
+
+class Archive {
+ public:
+  void put(const std::string& name, std::vector<std::int64_t> dims, std::vector<float> data);
+  const ArchiveEntry& get(const std::string& name) const;  // throws if missing
+  bool contains(const std::string& name) const;
+  std::size_t size() const { return entries_.size(); }
+  std::vector<std::string> names() const;  // sorted entry names
+
+  void save(const std::string& path) const;
+  static Archive load(const std::string& path);  // throws on malformed input
+
+ private:
+  std::map<std::string, ArchiveEntry> entries_;
+};
+
+// True if the file exists and is readable.
+bool file_exists(const std::string& path);
+
+// Create directory (and parents) if missing; no error if it exists.
+void ensure_dir(const std::string& path);
+
+}  // namespace vsq

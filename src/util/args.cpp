@@ -1,0 +1,54 @@
+#include "util/args.h"
+
+#include <stdexcept>
+
+namespace vsq {
+
+Args::Args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("Args: expected --key[=value], got " + arg);
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      kv_[arg] = "1";
+    } else {
+      kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+std::string Args::get_str(const std::string& name, const std::string& def) const {
+  used_.insert(name);
+  const auto it = kv_.find(name);
+  return it == kv_.end() ? def : it->second;
+}
+
+int Args::get_int(const std::string& name, int def) const {
+  used_.insert(name);
+  const auto it = kv_.find(name);
+  return it == kv_.end() ? def : std::stoi(it->second);
+}
+
+double Args::get_double(const std::string& name, double def) const {
+  used_.insert(name);
+  const auto it = kv_.find(name);
+  return it == kv_.end() ? def : std::stod(it->second);
+}
+
+bool Args::get_flag(const std::string& name) const {
+  used_.insert(name);
+  return kv_.count(name) > 0;
+}
+
+std::set<std::string> Args::unused() const {
+  std::set<std::string> out;
+  for (const auto& [k, _] : kv_) {
+    if (!used_.count(k)) out.insert(k);
+  }
+  return out;
+}
+
+}  // namespace vsq

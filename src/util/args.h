@@ -1,0 +1,30 @@
+// Small command-line flag parser for examples and bench binaries.
+// Supports --key=value and --flag forms; unknown flags are errors so
+// typos fail loudly.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace vsq {
+
+class Args {
+ public:
+  Args(int argc, char** argv);
+
+  // Declare flags before reading; get_* throws on undeclared names.
+  std::string get_str(const std::string& name, const std::string& def) const;
+  int get_int(const std::string& name, int def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_flag(const std::string& name) const;  // present -> true
+
+  // Returns names the user passed that were never queried (for warnings).
+  std::set<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+  mutable std::set<std::string> used_;
+};
+
+}  // namespace vsq

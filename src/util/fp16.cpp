@@ -1,0 +1,68 @@
+#include "util/fp16.h"
+
+#include <bit>
+#include <cstring>
+
+namespace vsq {
+
+std::uint16_t fp32_to_fp16_bits(float x) {
+  const std::uint32_t f = std::bit_cast<std::uint32_t>(x);
+  const std::uint32_t sign = (f >> 16) & 0x8000u;
+  const std::uint32_t exp32 = (f >> 23) & 0xffu;
+  std::uint32_t mant = f & 0x7fffffu;
+
+  if (exp32 == 0xffu) {  // Inf / NaN
+    return static_cast<std::uint16_t>(sign | 0x7c00u | (mant ? 0x200u : 0u));
+  }
+  const int exp = static_cast<int>(exp32) - 127 + 15;
+  if (exp >= 0x1f) {  // overflow -> Inf
+    return static_cast<std::uint16_t>(sign | 0x7c00u);
+  }
+  if (exp <= 0) {  // subnormal or zero
+    if (exp < -10) return static_cast<std::uint16_t>(sign);  // rounds to zero
+    mant |= 0x800000u;                                       // implicit leading 1
+    const int shift = 14 - exp;  // bring to 10-bit mantissa with guard bits
+    const std::uint32_t sub = mant >> shift;
+    const std::uint32_t rem = mant & ((1u << shift) - 1);
+    const std::uint32_t half = 1u << (shift - 1);
+    std::uint32_t rounded = sub;
+    if (rem > half || (rem == half && (sub & 1u))) rounded += 1;
+    return static_cast<std::uint16_t>(sign | rounded);
+  }
+  // Normal: round 23-bit mantissa to 10 bits, round-to-nearest-even.
+  std::uint32_t out = sign | (static_cast<std::uint32_t>(exp) << 10) | (mant >> 13);
+  const std::uint32_t rem = mant & 0x1fffu;
+  if (rem > 0x1000u || (rem == 0x1000u && (out & 1u))) out += 1;  // may carry into exp: correct
+  return static_cast<std::uint16_t>(out);
+}
+
+float fp16_bits_to_fp32(std::uint16_t h) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(h & 0x8000u) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1fu;
+  const std::uint32_t mant = h & 0x3ffu;
+
+  std::uint32_t f = 0;
+  if (exp == 0) {
+    if (mant == 0) {
+      f = sign;  // +-0
+    } else {
+      // Subnormal: normalize.
+      int e = -1;
+      std::uint32_t m = mant;
+      do {
+        ++e;
+        m <<= 1;
+      } while ((m & 0x400u) == 0);
+      f = sign | static_cast<std::uint32_t>(127 - 15 - e) << 23 | ((m & 0x3ffu) << 13);
+    }
+  } else if (exp == 0x1fu) {
+    f = sign | 0x7f800000u | (mant << 13);  // Inf/NaN
+  } else {
+    f = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+  }
+  return std::bit_cast<float>(f);
+}
+
+float fp16_round(float x) { return fp16_bits_to_fp32(fp32_to_fp16_bits(x)); }
+
+}  // namespace vsq

@@ -1,0 +1,20 @@
+// Software IEEE-754 binary16 emulation. The paper evaluates fp16 per-vector
+// scale factors (Tables 6-7, "S=fp16"); we need round-to-nearest-even
+// fp32->fp16->fp32 to model that datatype without hardware support.
+#pragma once
+
+#include <cstdint>
+
+namespace vsq {
+
+// Round a float to the nearest representable IEEE binary16 value
+// (round-to-nearest-even), returning the bit pattern.
+std::uint16_t fp32_to_fp16_bits(float x);
+
+// Expand a binary16 bit pattern back to float (exact).
+float fp16_bits_to_fp32(std::uint16_t h);
+
+// Convenience: fp32 -> fp16 -> fp32 round trip (the fp16-quantized value).
+float fp16_round(float x);
+
+}  // namespace vsq

@@ -1,0 +1,41 @@
+// Minimal timestamped logging to stderr. Bench binaries log training /
+// calibration progress so long runs are observable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace vsq {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Process-wide minimum level (default Info). Set kWarn in tests to quiet them.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}
+
+// Usage: VSQ_LOG(Info) << "trained " << n << " steps";
+#define VSQ_LOG(severity) \
+  ::vsq::detail::LogStream(::vsq::LogLevel::k##severity)
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, os_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace vsq

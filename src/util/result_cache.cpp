@@ -1,0 +1,43 @@
+#include "util/result_cache.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace vsq {
+
+ResultCache::ResultCache(std::string path) : path_(std::move(path)) {
+  std::ifstream f(path_);
+  if (!f) return;  // first use: empty cache
+  std::string line;
+  while (std::getline(f, line)) {
+    const auto tab = line.find('\t');
+    if (tab == std::string::npos) continue;
+    const std::string key = line.substr(0, tab);
+    try {
+      entries_[key] = std::stod(line.substr(tab + 1));
+    } catch (const std::exception&) {
+      // Skip malformed lines rather than poisoning the run.
+    }
+  }
+}
+
+std::optional<double> ResultCache::get(const std::string& key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ResultCache::put(const std::string& key, double value) {
+  entries_[key] = value;
+  flush();
+}
+
+void ResultCache::flush() const {
+  std::ofstream f(path_, std::ios::trunc);
+  if (!f) throw std::runtime_error("ResultCache: cannot write " + path_);
+  f.precision(17);
+  for (const auto& [k, v] : entries_) f << k << '\t' << v << '\n';
+}
+
+}  // namespace vsq

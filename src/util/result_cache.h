@@ -1,0 +1,36 @@
+// File-backed key->double cache. Accuracy experiments are expensive
+// (model evaluation per quantization config); table benches store their
+// results here so figure benches (design-space plots) reuse them.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace vsq {
+
+class ResultCache {
+ public:
+  // Loads existing entries from `path` if present; writes back on put().
+  explicit ResultCache(std::string path);
+
+  std::optional<double> get(const std::string& key) const;
+  void put(const std::string& key, double value);  // persists immediately
+  // Returns cached value or computes-and-stores via fn().
+  template <typename Fn>
+  double get_or_compute(const std::string& key, Fn&& fn) {
+    if (const auto v = get(key)) return *v;
+    const double v = fn();
+    put(key, v);
+    return v;
+  }
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  void flush() const;
+
+  std::string path_;
+  std::map<std::string, double> entries_;
+};
+
+}  // namespace vsq

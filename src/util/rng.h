@@ -1,0 +1,43 @@
+// Deterministic pseudo-random number generation for datasets, model init,
+// and property tests. A thin xoshiro256** implementation: fast, seedable,
+// and stable across platforms (unlike std::mt19937 distributions, whose
+// outputs are not specified bit-exactly by the standard).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace vsq {
+
+// xoshiro256** PRNG. Deterministic for a given seed on all platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  // Derive an independent stream; `stream` values give distinct substreams.
+  Rng split(std::uint64_t stream) const;
+
+  std::uint64_t next_u64();
+  // Uniform in [0, 1).
+  double uniform();
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  // Uniform integer in [0, n).
+  std::uint64_t uniform_u64(std::uint64_t n);
+  // Standard normal via Box-Muller (deterministic, platform-stable).
+  double normal();
+  double normal(double mean, double stddev);
+  // Laplace(0, b): long-tailed, models trained-weight outliers.
+  double laplace(double b);
+  // Bernoulli with probability p.
+  bool bernoulli(double p);
+  // Fisher-Yates shuffle of indices [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+ private:
+  std::uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace vsq

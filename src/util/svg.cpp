@@ -1,0 +1,366 @@
+#include "util/svg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace vsq {
+namespace svg {
+
+std::string fmt(double v) {
+  if (!std::isfinite(v)) return "0";
+  // Up to 4 significant decimals, trailing zeros trimmed.
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  int prec = 4;
+  const double a = std::abs(v);
+  if (a >= 1000) prec = 0;
+  else if (a >= 100) prec = 1;
+  else if (a >= 10) prec = 2;
+  else if (a >= 1) prec = 3;
+  os.precision(prec);
+  os << v;
+  std::string s = os.str();
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  if (s == "-0") s = "0";
+  return s;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+double nice_step(double span, int max_ticks) {
+  if (span <= 0 || max_ticks < 1) return 1.0;
+  const double raw = span / max_ticks;
+  const double mag = std::pow(10.0, std::floor(std::log10(raw)));
+  const double norm = raw / mag;  // in [1, 10)
+  double step;
+  if (norm <= 1.0) step = 1.0;
+  else if (norm <= 2.0) step = 2.0;
+  else if (norm <= 5.0) step = 5.0;
+  else step = 10.0;
+  return step * mag;
+}
+
+std::string marker_element(Marker m, double cx, double cy, double r,
+                           const std::string& color, bool filled) {
+  const std::string fill = filled ? color : "white";
+  const std::string common =
+      " fill=\"" + fill + "\" stroke=\"" + color + "\" stroke-width=\"1.4\"";
+  std::ostringstream os;
+  switch (m) {
+    case Marker::kCircle:
+      os << "<circle cx=\"" << fmt(cx) << "\" cy=\"" << fmt(cy) << "\" r=\"" << fmt(r) << "\""
+         << common << "/>";
+      break;
+    case Marker::kSquare:
+      os << "<rect x=\"" << fmt(cx - r) << "\" y=\"" << fmt(cy - r) << "\" width=\""
+         << fmt(2 * r) << "\" height=\"" << fmt(2 * r) << "\"" << common << "/>";
+      break;
+    case Marker::kDiamond:
+      os << "<polygon points=\"" << fmt(cx) << "," << fmt(cy - 1.3 * r) << " "
+         << fmt(cx + 1.3 * r) << "," << fmt(cy) << " " << fmt(cx) << "," << fmt(cy + 1.3 * r)
+         << " " << fmt(cx - 1.3 * r) << "," << fmt(cy) << "\"" << common << "/>";
+      break;
+    case Marker::kTriangle:
+      os << "<polygon points=\"" << fmt(cx) << "," << fmt(cy - 1.2 * r) << " "
+         << fmt(cx + 1.2 * r) << "," << fmt(cy + r) << " " << fmt(cx - 1.2 * r) << ","
+         << fmt(cy + r) << "\"" << common << "/>";
+      break;
+    case Marker::kCross:
+      os << "<path d=\"M" << fmt(cx - r) << " " << fmt(cy - r) << " L" << fmt(cx + r) << " "
+         << fmt(cy + r) << " M" << fmt(cx - r) << " " << fmt(cy + r) << " L" << fmt(cx + r)
+         << " " << fmt(cy - r) << "\" stroke=\"" << color << "\" stroke-width=\"1.8\" fill=\"none\"/>";
+      break;
+  }
+  return os.str();
+}
+
+const std::vector<std::string>& palette() {
+  static const std::vector<std::string> kPalette = {
+      "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd",
+      "#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf"};
+  return kPalette;
+}
+
+namespace {
+
+constexpr double kMarginLeft = 72, kMarginRight = 168, kMarginTop = 48, kMarginBottom = 58;
+
+struct Frame {
+  double x0, x1, y0, y1;      // data ranges
+  double px0, px1, py0, py1;  // pixel ranges (py0 = bottom)
+
+  double sx(double x) const {
+    return x1 == x0 ? (px0 + px1) / 2 : px0 + (x - x0) / (x1 - x0) * (px1 - px0);
+  }
+  double sy(double y) const {
+    return y1 == y0 ? (py0 + py1) / 2 : py0 - (y - y0) / (y1 - y0) * (py0 - py1);
+  }
+};
+
+void pad_range(double& lo, double& hi) {
+  if (lo > hi) std::swap(lo, hi);
+  const double span = hi - lo;
+  const double pad = span == 0 ? (std::abs(hi) > 0 ? std::abs(hi) * 0.1 : 1.0) : span * 0.05;
+  lo -= pad;
+  hi += pad;
+}
+
+void open_doc(std::ostringstream& os, const PlotOptions& opt) {
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << opt.width << "\" height=\""
+     << opt.height << "\" viewBox=\"0 0 " << opt.width << " " << opt.height << "\">\n"
+     << "<rect width=\"" << opt.width << "\" height=\"" << opt.height
+     << "\" fill=\"white\"/>\n"
+     << "<g font-family=\"Helvetica,Arial,sans-serif\" font-size=\"12\">\n";
+  if (!opt.title.empty()) {
+    os << "<text x=\"" << opt.width / 2 << "\" y=\"24\" text-anchor=\"middle\" "
+       << "font-size=\"15\" font-weight=\"bold\">" << svg::escape(opt.title) << "</text>\n";
+  }
+}
+
+void close_doc(std::ostringstream& os) { os << "</g>\n</svg>\n"; }
+
+void draw_frame_and_ticks(std::ostringstream& os, const PlotOptions& opt, const Frame& f) {
+  // Frame.
+  os << "<rect x=\"" << svg::fmt(f.px0) << "\" y=\"" << svg::fmt(f.py1) << "\" width=\""
+     << svg::fmt(f.px1 - f.px0) << "\" height=\"" << svg::fmt(f.py0 - f.py1)
+     << "\" fill=\"none\" stroke=\"#444\"/>\n";
+  // X ticks.
+  const double xstep = svg::nice_step(f.x1 - f.x0, opt.x_ticks);
+  for (double t = std::ceil(f.x0 / xstep) * xstep; t <= f.x1 + 1e-12; t += xstep) {
+    const double px = f.sx(t);
+    if (opt.grid) {
+      os << "<line x1=\"" << svg::fmt(px) << "\" y1=\"" << svg::fmt(f.py0) << "\" x2=\""
+         << svg::fmt(px) << "\" y2=\"" << svg::fmt(f.py1)
+         << "\" stroke=\"#ddd\" stroke-width=\"0.6\"/>\n";
+    }
+    os << "<line x1=\"" << svg::fmt(px) << "\" y1=\"" << svg::fmt(f.py0) << "\" x2=\""
+       << svg::fmt(px) << "\" y2=\"" << svg::fmt(f.py0 + 4) << "\" stroke=\"#444\"/>\n"
+       << "<text x=\"" << svg::fmt(px) << "\" y=\"" << svg::fmt(f.py0 + 18)
+       << "\" text-anchor=\"middle\">" << svg::fmt(t) << "</text>\n";
+  }
+  // Y ticks.
+  const double ystep = svg::nice_step(f.y1 - f.y0, opt.y_ticks);
+  for (double t = std::ceil(f.y0 / ystep) * ystep; t <= f.y1 + 1e-12; t += ystep) {
+    const double py = f.sy(t);
+    if (opt.grid) {
+      os << "<line x1=\"" << svg::fmt(f.px0) << "\" y1=\"" << svg::fmt(py) << "\" x2=\""
+         << svg::fmt(f.px1) << "\" y2=\"" << svg::fmt(py)
+         << "\" stroke=\"#ddd\" stroke-width=\"0.6\"/>\n";
+    }
+    os << "<line x1=\"" << svg::fmt(f.px0 - 4) << "\" y1=\"" << svg::fmt(py) << "\" x2=\""
+       << svg::fmt(f.px0) << "\" y2=\"" << svg::fmt(py) << "\" stroke=\"#444\"/>\n"
+       << "<text x=\"" << svg::fmt(f.px0 - 8) << "\" y=\"" << svg::fmt(py + 4)
+       << "\" text-anchor=\"end\">" << svg::fmt(t) << "</text>\n";
+  }
+  // Axis titles.
+  if (!opt.x_label.empty()) {
+    os << "<text x=\"" << svg::fmt((f.px0 + f.px1) / 2) << "\" y=\""
+       << svg::fmt(f.py0 + 42) << "\" text-anchor=\"middle\" font-size=\"13\">"
+       << svg::escape(opt.x_label) << "</text>\n";
+  }
+  if (!opt.y_label.empty()) {
+    const double cx = f.px0 - 52, cy = (f.py0 + f.py1) / 2;
+    os << "<text x=\"" << svg::fmt(cx) << "\" y=\"" << svg::fmt(cy)
+       << "\" text-anchor=\"middle\" font-size=\"13\" transform=\"rotate(-90 " << svg::fmt(cx)
+       << " " << svg::fmt(cy) << ")\">" << svg::escape(opt.y_label) << "</text>\n";
+  }
+}
+
+}  // namespace
+}  // namespace svg
+
+// ---------------------------------------------------------------- Scatter
+
+ScatterPlot::ScatterPlot(PlotOptions options) : opt_(std::move(options)) {}
+
+ScatterSeries& ScatterPlot::add_series(std::string name, std::string color, Marker marker) {
+  series_.push_back(ScatterSeries{std::move(name), std::move(color), marker, {}});
+  return series_.back();
+}
+
+std::string ScatterPlot::render() const {
+  using namespace svg;
+  std::ostringstream os;
+  open_doc(os, opt_);
+
+  Frame f;
+  f.px0 = kMarginLeft;
+  f.px1 = opt_.width - kMarginRight;
+  f.py0 = opt_.height - kMarginBottom;
+  f.py1 = kMarginTop;
+
+  if (opt_.x_min != opt_.x_max) {
+    f.x0 = opt_.x_min;
+    f.x1 = opt_.x_max;
+  } else {
+    f.x0 = 1e300;
+    f.x1 = -1e300;
+    for (const auto& s : series_)
+      for (const auto& p : s.points) {
+        f.x0 = std::min(f.x0, p.x);
+        f.x1 = std::max(f.x1, p.x);
+      }
+    if (f.x0 > f.x1) { f.x0 = 0; f.x1 = 1; }
+    pad_range(f.x0, f.x1);
+  }
+  if (opt_.y_min != opt_.y_max) {
+    f.y0 = opt_.y_min;
+    f.y1 = opt_.y_max;
+  } else {
+    f.y0 = 1e300;
+    f.y1 = -1e300;
+    for (const auto& s : series_)
+      for (const auto& p : s.points) {
+        f.y0 = std::min(f.y0, p.y);
+        f.y1 = std::max(f.y1, p.y);
+      }
+    if (f.y0 > f.y1) { f.y0 = 0; f.y1 = 1; }
+    pad_range(f.y0, f.y1);
+  }
+
+  draw_frame_and_ticks(os, opt_, f);
+
+  for (const auto& s : series_) {
+    for (const auto& p : s.points) {
+      const double cx = f.sx(p.x), cy = f.sy(p.y);
+      os << marker_element(s.marker, cx, cy, 5.0, s.color, p.filled) << "\n";
+      if (opt_.point_labels && !p.label.empty()) {
+        os << "<text x=\"" << fmt(cx + 7) << "\" y=\"" << fmt(cy - 6)
+           << "\" font-size=\"9\" fill=\"#555\">" << escape(p.label) << "</text>\n";
+      }
+    }
+  }
+
+  // Legend (right margin).
+  double ly = kMarginTop + 8;
+  const double lx = opt_.width - kMarginRight + 16;
+  for (const auto& s : series_) {
+    os << marker_element(s.marker, lx, ly - 4, 5.0, s.color, true) << "\n"
+       << "<text x=\"" << fmt(lx + 12) << "\" y=\"" << fmt(ly) << "\">" << escape(s.name)
+       << "</text>\n";
+    ly += 20;
+  }
+  os << "<text x=\"" << fmt(lx) << "\" y=\"" << fmt(ly + 4)
+     << "\" font-size=\"10\" fill=\"#555\">filled = Pareto</text>\n";
+
+  close_doc(os);
+  return os.str();
+}
+
+bool ScatterPlot::write(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << render();
+  return static_cast<bool>(out);
+}
+
+// ---------------------------------------------------------------- Bars
+
+BarChart::BarChart(PlotOptions options) : opt_(std::move(options)) {}
+
+void BarChart::set_series(std::vector<std::string> names, std::vector<std::string> colors) {
+  series_names_ = std::move(names);
+  series_colors_ = std::move(colors);
+}
+
+void BarChart::add_group(std::string label, std::vector<double> values) {
+  groups_.push_back(BarGroup{std::move(label), std::move(values)});
+}
+
+std::string BarChart::render() const {
+  using namespace svg;
+  std::ostringstream os;
+  open_doc(os, opt_);
+
+  Frame f;
+  f.px0 = kMarginLeft;
+  f.px1 = opt_.width - kMarginRight;
+  f.py0 = opt_.height - kMarginBottom;
+  f.py1 = kMarginTop;
+  f.x0 = 0;
+  f.x1 = 1;  // bar layout is positional, not data-scaled
+
+  if (opt_.y_min != opt_.y_max) {
+    f.y0 = opt_.y_min;
+    f.y1 = opt_.y_max;
+  } else {
+    f.y0 = 0;
+    f.y1 = 0;
+    for (const auto& g : groups_)
+      for (double v : g.values)
+        if (std::isfinite(v)) f.y1 = std::max(f.y1, v);
+    if (f.y1 == 0) f.y1 = 1;
+    f.y1 *= 1.08;
+  }
+
+  // Y grid/ticks only; X axis carries group labels.
+  PlotOptions yonly = opt_;
+  yonly.x_ticks = 0;
+  draw_frame_and_ticks(os, yonly, f);
+
+  const std::size_t n_groups = groups_.size();
+  const std::size_t n_series = series_names_.size();
+  if (n_groups > 0 && n_series > 0) {
+    const double group_w = (f.px1 - f.px0) / static_cast<double>(n_groups);
+    const double bar_w = group_w * 0.8 / static_cast<double>(n_series);
+    for (std::size_t g = 0; g < n_groups; ++g) {
+      const double gx = f.px0 + group_w * (static_cast<double>(g) + 0.1);
+      for (std::size_t s = 0; s < n_series && s < groups_[g].values.size(); ++s) {
+        const double v = groups_[g].values[s];
+        if (!std::isfinite(v)) continue;
+        const double x = gx + bar_w * static_cast<double>(s);
+        const double y = f.sy(v);
+        os << "<rect x=\"" << fmt(x) << "\" y=\"" << fmt(y) << "\" width=\"" << fmt(bar_w * 0.92)
+           << "\" height=\"" << fmt(std::max(0.0, f.py0 - y)) << "\" fill=\""
+           << series_colors_[s % series_colors_.size()] << "\"/>\n"
+           << "<text x=\"" << fmt(x + bar_w * 0.46) << "\" y=\"" << fmt(y - 3)
+           << "\" text-anchor=\"middle\" font-size=\"9\" fill=\"#333\">" << fmt(v)
+           << "</text>\n";
+      }
+      os << "<text x=\"" << fmt(gx + group_w * 0.4) << "\" y=\"" << fmt(f.py0 + 18)
+         << "\" text-anchor=\"middle\" font-size=\"11\">" << escape(groups_[g].label)
+         << "</text>\n";
+    }
+  }
+
+  // Legend.
+  double ly = kMarginTop + 8;
+  const double lx = opt_.width - kMarginRight + 16;
+  for (std::size_t s = 0; s < n_series; ++s) {
+    os << "<rect x=\"" << fmt(lx - 5) << "\" y=\"" << fmt(ly - 9) << "\" width=\"10\" height=\"10\" fill=\""
+       << series_colors_[s % series_colors_.size()] << "\"/>\n"
+       << "<text x=\"" << fmt(lx + 12) << "\" y=\"" << fmt(ly) << "\">" << escape(series_names_[s])
+       << "</text>\n";
+    ly += 20;
+  }
+
+  close_doc(os);
+  return os.str();
+}
+
+bool BarChart::write(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << render();
+  return static_cast<bool>(out);
+}
+
+}  // namespace vsq

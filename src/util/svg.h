@@ -1,0 +1,118 @@
+// Dependency-free SVG plot writer used by the figure benches to render the
+// paper's plots (Figures 3-7) as standalone .svg files under artifacts/.
+//
+// Two chart types cover everything the paper draws:
+//   * ScatterPlot — energy/area design spaces (Figs. 4-7): multiple series
+//     with distinct colors and marker shapes, filled vs hollow markers
+//     (Pareto vs dominated, as in the paper), axis titles, tick labels,
+//     a legend, and optional per-point text labels.
+//   * BarChart — grouped bars (Fig. 3): one group per hardware
+//     configuration, one colored bar per rounding variant.
+//
+// Coordinates are data-space; the plot maps them into a fixed-size canvas
+// with margins. Output is deterministic (no timestamps, stable float
+// formatting) so artifacts diff cleanly between runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vsq {
+
+// Marker glyphs, mirroring the paper's band encoding in Figures 4-6.
+enum class Marker : std::uint8_t { kCircle, kSquare, kDiamond, kTriangle, kCross };
+
+struct ScatterPoint {
+  double x = 0.0;
+  double y = 0.0;
+  bool filled = true;    // filled = Pareto-optimal in the figure benches
+  std::string label;     // optional text drawn next to the marker
+};
+
+struct ScatterSeries {
+  std::string name;          // legend entry
+  std::string color;         // any SVG color, e.g. "#1f77b4"
+  Marker marker = Marker::kCircle;
+  std::vector<ScatterPoint> points;
+};
+
+// Shared axis/frame options.
+struct PlotOptions {
+  int width = 860;
+  int height = 560;
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  // Axis ranges; when min == max the range is derived from the data with
+  // 5% padding.
+  double x_min = 0.0, x_max = 0.0;
+  double y_min = 0.0, y_max = 0.0;
+  int x_ticks = 6;
+  int y_ticks = 6;
+  bool grid = true;
+  bool point_labels = false;  // draw ScatterPoint::label strings
+};
+
+class ScatterPlot {
+ public:
+  explicit ScatterPlot(PlotOptions options);
+
+  ScatterSeries& add_series(std::string name, std::string color,
+                            Marker marker = Marker::kCircle);
+
+  // Renders the full SVG document.
+  std::string render() const;
+  // Renders and writes to `path`; returns false on I/O failure.
+  bool write(const std::string& path) const;
+
+  std::size_t series_count() const { return series_.size(); }
+
+ private:
+  PlotOptions opt_;
+  std::vector<ScatterSeries> series_;
+};
+
+struct BarGroup {
+  std::string label;           // x-axis group label (e.g. "4/4/4/4")
+  std::vector<double> values;  // one value per series, NaN = missing bar
+};
+
+class BarChart {
+ public:
+  explicit BarChart(PlotOptions options);
+
+  // Series are the per-group bar colors, in value order.
+  void set_series(std::vector<std::string> names, std::vector<std::string> colors);
+  void add_group(std::string label, std::vector<double> values);
+
+  std::string render() const;
+  bool write(const std::string& path) const;
+
+  std::size_t group_count() const { return groups_.size(); }
+
+ private:
+  PlotOptions opt_;
+  std::vector<std::string> series_names_;
+  std::vector<std::string> series_colors_;
+  std::vector<BarGroup> groups_;
+};
+
+namespace svg {
+
+// Stable short float formatting used throughout ("12.5", "0.062", "3").
+std::string fmt(double v);
+// Escape <, >, & and quotes for text nodes / attribute values.
+std::string escape(const std::string& s);
+// "Nice" tick step covering span with at most `max_ticks` intervals
+// (1/2/5 × 10^k).
+double nice_step(double span, int max_ticks);
+// Marker path/element at (cx, cy) with radius r.
+std::string marker_element(Marker m, double cx, double cy, double r,
+                           const std::string& color, bool filled);
+// Default qualitative palette (matplotlib tab10 order).
+const std::vector<std::string>& palette();
+
+}  // namespace svg
+
+}  // namespace vsq

@@ -1,0 +1,31 @@
+// Aligned-text table printer used by every bench binary to render
+// paper-style tables, plus TSV export for artifacts/.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vsq {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  // Formats a double with the given precision; "-" for NaN.
+  static std::string num(double v, int precision = 2);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  // Render with padded columns and a header rule.
+  void print(std::ostream& os) const;
+  // Tab-separated, suitable for artifacts/*.tsv.
+  void write_tsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vsq

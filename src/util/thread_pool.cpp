@@ -1,0 +1,131 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+
+namespace vsq {
+namespace {
+// Set on pool worker threads so nested parallel_for calls run serially
+// instead of blocking a worker on chunks only that same worker could run.
+thread_local bool t_in_pool_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t n_threads) {
+  if (n_threads == 0) {
+    const unsigned hc = std::thread::hardware_concurrency();
+    n_threads = hc > 0 ? hc : 2;
+  }
+  // The calling thread participates in parallel_for, so spawn one fewer.
+  const std::size_t workers = n_threads > 1 ? n_threads - 1 : 0;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] {
+      t_in_pool_worker = true;
+      for (;;) {
+        std::function<void()> task;
+        {
+          std::unique_lock lock(mu_);
+          cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+          if (stop_ && tasks_.empty()) return;
+          task = std::move(tasks_.front());
+          tasks_.pop();
+        }
+        task();  // tasks are noexcept wrappers (see parallel_for)
+      }
+    });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mu_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (end <= begin) return;
+  // Nested call from inside a pool worker: run serially. The other workers
+  // are busy with the outer loop, and parking this worker on a latch for
+  // queue entries that only the parked workers could execute deadlocks on
+  // small machines.
+  if (t_in_pool_worker) {
+    fn(begin, end);
+    return;
+  }
+  const std::size_t n = end - begin;
+  const std::size_t n_chunks = std::min<std::size_t>(workers_.size() + 1, n);
+  if (n_chunks <= 1) {
+    fn(begin, end);
+    return;
+  }
+  // Shared-ownership completion latch: workers hold a reference so the
+  // latch outlives the caller's wait even if a worker is still inside
+  // notify when the caller wakes (avoids use-after-free on the mutex/cv).
+  // The first exception thrown by any chunk is captured and rethrown on
+  // the calling thread after every chunk has finished (fn must stay alive
+  // until the last worker returns).
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t remaining;
+    std::exception_ptr error;
+  };
+  auto latch = std::make_shared<Latch>();
+  latch->remaining = n_chunks - 1;
+
+  const std::size_t chunk = (n + n_chunks - 1) / n_chunks;
+  // Chunks 1..n-1 go to the pool; chunk 0 runs on the calling thread.
+  for (std::size_t c = 1; c < n_chunks; ++c) {
+    const std::size_t b = begin + c * chunk;
+    const std::size_t e = std::min(end, b + chunk);
+    submit([latch, &fn, b, e] {
+      try {
+        if (b < e) fn(b, e);
+      } catch (...) {
+        std::lock_guard lock(latch->mu);
+        if (!latch->error) latch->error = std::current_exception();
+      }
+      {
+        std::lock_guard lock(latch->mu);
+        --latch->remaining;
+      }
+      latch->cv.notify_one();
+    });
+  }
+  std::exception_ptr local_error;
+  try {
+    fn(begin, std::min(end, begin + chunk));
+  } catch (...) {
+    local_error = std::current_exception();
+  }
+  {
+    std::unique_lock lock(latch->mu);
+    latch->cv.wait(lock, [&] { return latch->remaining == 0; });
+  }
+  if (local_error) std::rethrow_exception(local_error);
+  if (latch->error) std::rethrow_exception(latch->error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t)>& fn) {
+  ThreadPool::global().parallel_for(begin, end, fn);
+}
+
+}  // namespace vsq

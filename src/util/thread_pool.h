@@ -1,0 +1,49 @@
+// Minimal work-stealing-free thread pool with a parallel_for helper.
+// GEMM, conv and batch evaluation use this to keep both cores busy.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace vsq {
+
+class ThreadPool {
+ public:
+  // n_threads == 0 -> hardware_concurrency().
+  explicit ThreadPool(std::size_t n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Runs fn(begin..end) split into roughly equal contiguous chunks across
+  // the pool plus the calling thread; blocks until all chunks finish.
+  // fn receives (chunk_begin, chunk_end).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+  // Process-wide pool (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  void submit(std::function<void()> task);
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+// Convenience: parallel_for on the global pool.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t)>& fn);
+
+}  // namespace vsq

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quant/calibrator.h"
+#include "quant/scale.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace vsq {
+namespace {
+
+std::vector<float> gaussian_samples(int n, double stddev, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<float>(rng.normal(0.0, stddev));
+  return v;
+}
+
+TEST(Histogram, CollectCountsEverything) {
+  Histogram h(64);
+  const auto v = gaussian_samples(1000, 1.0, 1);
+  h.collect(v);
+  EXPECT_EQ(h.total_count(), 1000u);
+  std::uint64_t sum = 0;
+  for (const auto c : h.counts()) sum += c;
+  EXPECT_EQ(sum, 1000u);
+}
+
+TEST(Histogram, GrowsRangeOnLargerBatch) {
+  Histogram h(64);
+  std::vector<float> small(100, 0.5f);
+  h.collect(small);
+  const double edge_before = h.upper_edge();
+  std::vector<float> big(10, 50.0f);
+  h.collect(big);
+  EXPECT_GT(h.upper_edge(), edge_before);
+  EXPECT_GE(h.upper_edge(), 50.0);
+  EXPECT_EQ(h.total_count(), 110u);
+  EXPECT_DOUBLE_EQ(h.max_value(), 50.0);
+}
+
+TEST(Histogram, RejectsTooFewBins) { EXPECT_THROW(Histogram(4), std::invalid_argument); }
+
+TEST(Calibrate, MaxReturnsExactMax) {
+  Histogram h(128);
+  auto v = gaussian_samples(500, 1.0, 2);
+  v.push_back(17.5f);
+  h.collect(v);
+  EXPECT_DOUBLE_EQ(calibrate_max(h), 17.5);
+}
+
+TEST(Calibrate, PercentileBelowMaxForOutliers) {
+  Histogram h(2048);
+  auto v = gaussian_samples(10000, 1.0, 3);
+  v.push_back(100.0f);  // single extreme outlier
+  h.collect(v);
+  const double p999 = calibrate_percentile(h, 99.9);
+  EXPECT_LT(p999, 10.0);  // ignores the outlier
+  EXPECT_GT(p999, 2.0);   // but covers the bulk
+  // 100% percentile equals the max.
+  EXPECT_NEAR(calibrate_percentile(h, 100.0), 100.0, 1e-9);
+}
+
+TEST(Calibrate, PercentileMonotoneInP) {
+  Histogram h(2048);
+  h.collect(gaussian_samples(20000, 1.0, 4));
+  double prev = 0.0;
+  for (const double p : {90.0, 99.0, 99.9, 99.99, 100.0}) {
+    const double a = calibrate_percentile(h, p);
+    EXPECT_GE(a, prev);
+    prev = a;
+  }
+}
+
+TEST(Calibrate, EntropyWithinDataRange) {
+  Histogram h(1024);
+  h.collect(gaussian_samples(20000, 1.0, 5));
+  for (const int bits : {4, 6, 8}) {
+    const double a = calibrate_entropy(h, QuantFormat{bits, true});
+    EXPECT_GT(a, 0.0);
+    EXPECT_LE(a, h.max_value() + 1e-9);
+  }
+}
+
+TEST(Calibrate, EntropyClipsOutliersAtLowBits) {
+  // With 4 bits and a heavy tail, entropy calibration should clip inside
+  // the full range to spend levels on the bulk.
+  Histogram h(2048);
+  Rng rng(6);
+  std::vector<float> v(30000);
+  for (auto& x : v) x = static_cast<float>(rng.laplace(0.5));
+  h.collect(v);
+  const double a4 = calibrate_entropy(h, QuantFormat{4, true});
+  EXPECT_LT(a4, h.max_value() * 0.9);
+}
+
+TEST(Calibrate, MseBeatsMaxOnLongTailedData) {
+  // Property behind Table 2's MSE column: for outlier-heavy data at low
+  // bits, the MSE-calibrated clip yields lower quantization MSE than max.
+  Rng rng(7);
+  Tensor x(Shape{1, 8192});
+  for (auto& v : x.span()) v = static_cast<float>(rng.laplace(0.5));
+  const QuantFormat f{4, true};
+  Histogram h(2048);
+  h.collect(x.span());
+
+  const auto mse_with_amax = [&](double amax) {
+    ScaleSet s;
+    s.granularity = Granularity::kPerTensor;
+    s.layout.cols = 8192;
+    s.rows = 1;
+    s.scales = {scale_from_amax(static_cast<float>(amax), f)};
+    return mse(x, fake_quantize(x, s, f));
+  };
+  const double mse_max = mse_with_amax(calibrate_max(h));
+  const double mse_mse = mse_with_amax(calibrate_mse(h, f));
+  EXPECT_LT(mse_mse, mse_max);
+}
+
+TEST(Calibrate, MseNearMaxForUniformData) {
+  // Uniform data has no outliers: the optimal clip is near the max.
+  Rng rng(8);
+  std::vector<float> v(20000);
+  for (auto& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  Histogram h(2048);
+  h.collect(v);
+  const double a = calibrate_mse(h, QuantFormat{8, true});
+  EXPECT_GT(a, 0.85);
+}
+
+TEST(Calibrate, DispatchMatchesMethods) {
+  Histogram h(512);
+  h.collect(gaussian_samples(5000, 1.0, 9));
+  const QuantFormat f{8, true};
+  EXPECT_DOUBLE_EQ(calibrate_amax(h, CalibSpec{CalibMethod::kMax, 0}, f), calibrate_max(h));
+  EXPECT_DOUBLE_EQ(calibrate_amax(h, CalibSpec{CalibMethod::kPercentile, 99.9}, f),
+                   calibrate_percentile(h, 99.9));
+  EXPECT_DOUBLE_EQ(calibrate_amax(h, CalibSpec{CalibMethod::kEntropy, 0}, f),
+                   calibrate_entropy(h, f));
+  EXPECT_DOUBLE_EQ(calibrate_amax(h, CalibSpec{CalibMethod::kMse, 0}, f), calibrate_mse(h, f));
+}
+
+TEST(Calibrator, StreamingMatchesOneShot) {
+  const auto v = gaussian_samples(10000, 2.0, 10);
+  Calibrator stream(CalibSpec{CalibMethod::kPercentile, 99.9}, QuantFormat{8, true});
+  // Feed in 10 chunks.
+  for (int i = 0; i < 10; ++i) {
+    stream.observe(std::span<const float>(v.data() + i * 1000, 1000));
+  }
+  Calibrator oneshot(CalibSpec{CalibMethod::kPercentile, 99.9}, QuantFormat{8, true});
+  oneshot.observe(v);
+  EXPECT_NEAR(stream.amax(), oneshot.amax(), oneshot.amax() * 0.05);
+}
+
+TEST(Calibrator, EmptyHistogramGivesZero) {
+  Calibrator c(CalibSpec{}, QuantFormat{8, true});
+  EXPECT_DOUBLE_EQ(c.amax(), 0.0);
+}
+
+}  // namespace
+}  // namespace vsq

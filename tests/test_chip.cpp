@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "hw/chip.h"
+#include "nn/linear.h"
+#include "util/rng.h"
+
+namespace vsq {
+namespace {
+
+TEST(Chip, PeakThroughput) {
+  ChipConfig c;  // 4x4 PEs x 8 units x V=16
+  EXPECT_EQ(c.peak_macs_per_cycle(), 4 * 4 * 8 * 16);
+}
+
+TEST(Chip, PerfectlyTiledGemmReachesFullUtilization) {
+  ChipConfig c;
+  const Chip chip(c);
+  // rows = 4 (pe_rows), outs = 32 (pe_cols*units), cols = 64 (4 vectors).
+  const LayerMapping m = chip.map_gemm("g", GemmDims{4, 64, 32});
+  EXPECT_EQ(m.cycles, 1 * 1 * 4);
+  EXPECT_NEAR(m.utilization, 1.0, 1e-9);
+}
+
+TEST(Chip, EdgeTilesLowerUtilization) {
+  ChipConfig c;
+  const Chip chip(c);
+  // rows = 5 -> two row tiles, second nearly empty.
+  const LayerMapping m = chip.map_gemm("g", GemmDims{5, 64, 32});
+  EXPECT_EQ(m.cycles, 2 * 1 * 4);
+  EXPECT_LT(m.utilization, 0.7);
+}
+
+TEST(Chip, TailVectorsCostCycles) {
+  ChipConfig c;
+  const Chip chip(c);
+  // channel_block = 5 with V=16: each 5-wide block is one (mostly idle)
+  // vector; cols = 45 -> 9 blocks -> 9 vectors instead of ceil(45/16)=3.
+  const LayerMapping blocked = chip.map_gemm("g", GemmDims{4, 45, 32}, /*channel_block=*/5);
+  const LayerMapping flat = chip.map_gemm("g", GemmDims{4, 48, 32}, 0);
+  EXPECT_GT(blocked.cycles, flat.cycles);
+  EXPECT_LT(blocked.utilization, flat.utilization);
+}
+
+TEST(Chip, EnergyScalesWithMacsAndConfig) {
+  ChipConfig c8;  // 8/8/-/-
+  ChipConfig c4;
+  c4.mac.wt_bits = 4;
+  c4.mac.act_bits = 4;
+  const Chip chip8(c8), chip4(c4);
+  const GemmDims d{16, 128, 64};
+  const LayerMapping m8 = chip8.map_gemm("g", d);
+  const LayerMapping m4 = chip4.map_gemm("g", d);
+  EXPECT_GT(m8.energy, m4.energy);
+  EXPECT_NEAR(m8.energy, static_cast<double>(d.macs()), d.macs() * 1e-6);  // baseline = 1.0/op
+}
+
+TEST(Chip, MapModelAggregates) {
+  Rng rng(3);
+  Linear a("a", 64, 32, rng), b("b", 32, 16, rng);
+  Tensor x(Shape{8, 64});
+  for (auto& v : x.span()) v = static_cast<float>(rng.normal());
+  const Tensor mid = a.forward(x, false);
+  b.forward(mid, false);
+
+  ChipConfig c;
+  const Chip chip(c);
+  const ChipReport r = chip.map_model({&a, &b});
+  ASSERT_EQ(r.layers.size(), 2u);
+  EXPECT_EQ(r.total_macs, 8 * 64 * 32 + 8 * 32 * 16);
+  EXPECT_GT(r.weighted_energy_per_op, 0.0);
+  EXPECT_GT(r.mean_utilization, 0.0);
+  EXPECT_LE(r.mean_utilization, 1.0);
+}
+
+TEST(Chip, UnrunLayerThrows) {
+  Rng rng(4);
+  Linear l("l", 8, 8, rng);
+  ChipConfig c;
+  const Chip chip(c);
+  EXPECT_THROW(chip.map_model({&l}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vsq

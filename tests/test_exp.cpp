@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "exp/experiment_context.h"
+#include "exp/ptq.h"
+#include "models/resnetv.h"
+#include "util/rng.h"
+
+namespace vsq {
+namespace {
+
+TEST(Specs, WeightCoarseDefaults) {
+  const QuantSpec s = specs::weight_coarse(4);
+  EXPECT_TRUE(s.enabled);
+  EXPECT_EQ(s.fmt.bits, 4);
+  EXPECT_TRUE(s.fmt.is_signed);
+  EXPECT_EQ(s.granularity, Granularity::kPerRow);
+}
+
+TEST(Specs, ActPvIsDynamic) {
+  const QuantSpec s = specs::act_pv(8, true, ScaleDtype::kTwoLevelInt, 10);
+  EXPECT_TRUE(s.dynamic);
+  EXPECT_FALSE(s.fmt.is_signed);
+  EXPECT_EQ(s.scale_fmt.bits, 10);
+  EXPECT_EQ(s.granularity, Granularity::kPerVector);
+}
+
+TEST(Specs, AccuracyKeyDistinguishesConfigs) {
+  const QuantSpec w4 = specs::weight_pv(4, ScaleDtype::kTwoLevelInt, 4);
+  const QuantSpec w6 = specs::weight_pv(4, ScaleDtype::kTwoLevelInt, 6);
+  const QuantSpec a = specs::act_pv(8, true, ScaleDtype::kTwoLevelInt, 8);
+  EXPECT_NE(accuracy_key("m", w4, a), accuracy_key("m", w6, a));
+  EXPECT_EQ(accuracy_key("m", w4, a), accuracy_key("m", w4, a));
+  EXPECT_NE(accuracy_key("m1", w4, a), accuracy_key("m2", w4, a));
+}
+
+TEST(Specs, KeyEncodesCalibration) {
+  QuantSpec max_calib = specs::act_coarse(8, true);
+  QuantSpec entropy = specs::act_coarse(8, true, CalibSpec{CalibMethod::kEntropy, 0});
+  QuantSpec pct = specs::act_coarse(8, true, CalibSpec{CalibMethod::kPercentile, 99.9});
+  EXPECT_NE(max_calib.str(), entropy.str());
+  EXPECT_NE(entropy.str(), pct.str());
+  EXPECT_NE(pct.str(), specs::act_coarse(8, true, CalibSpec{CalibMethod::kPercentile, 99.99}).str());
+}
+
+TEST(ApplyQuantSpecs, FirstLayerActsForcedSigned) {
+  ResNetVConfig cfg;
+  cfg.in_h = 8;
+  cfg.in_w = 8;
+  cfg.widths = {8};
+  cfg.blocks_per_stage = 1;
+  cfg.classes = 2;
+  ResNetV model(cfg);
+  auto gemms = model.gemms();
+  apply_quant_specs(gemms, specs::weight_coarse(8), specs::act_coarse(8, /*is_unsigned=*/true));
+  EXPECT_TRUE(gemms.front()->act_spec().fmt.is_signed) << "stem sees raw (signed) inputs";
+  EXPECT_FALSE(gemms.back()->act_spec().fmt.is_signed) << "later layers keep unsigned";
+}
+
+TEST(ApplyQuantSpecs, ModeTransitions) {
+  ResNetVConfig cfg;
+  cfg.in_h = 8;
+  cfg.in_w = 8;
+  cfg.widths = {8};
+  cfg.blocks_per_stage = 1;
+  cfg.classes = 2;
+  ResNetV model(cfg);
+  auto gemms = model.gemms();
+  apply_quant_specs(gemms, specs::weight_coarse(8),
+                    specs::act_pv(8, true, ScaleDtype::kFp32));
+  set_mode_all(gemms, QuantMode::kCalibrate);
+  for (auto* g : gemms) EXPECT_EQ(g->quant_mode(), QuantMode::kCalibrate);
+  // Dynamic per-vector acts need no observed batches to finalize.
+  finalize_calibration(gemms);
+  set_mode_all(gemms, QuantMode::kQuantEval);
+  Rng rng(1);
+  Tensor x(Shape{2, 8, 8, 3});
+  for (auto& v : x.span()) v = static_cast<float>(rng.normal());
+  EXPECT_NO_THROW(model.forward(x, false));
+  set_mode_all(gemms, QuantMode::kOff);
+}
+
+TEST(ExperimentContext, ArtifactsDirRespectsEnv) {
+  setenv("VSQ_ARTIFACTS", "/tmp/vsq_test_artifacts", 1);
+  EXPECT_EQ(artifacts_dir(), "/tmp/vsq_test_artifacts");
+  unsetenv("VSQ_ARTIFACTS");
+}
+
+}  // namespace
+}  // namespace vsq

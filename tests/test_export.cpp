@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "exp/experiment_context.h"
+#include "nn/linear.h"
+#include "quant/export.h"
+#include "quant/learned_scale.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace vsq {
+namespace {
+
+Tensor random_tensor(Shape s, Rng& rng, double scale = 1.0) {
+  Tensor t(s);
+  for (auto& v : t.span()) v = static_cast<float>(rng.normal(0.0, scale));
+  return t;
+}
+
+class ExportFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rng_ = std::make_unique<Rng>(5);
+    layer_ = std::make_unique<Linear>("fc1", 64, 16, *rng_);
+    x_ = random_tensor(Shape{8, 64}, *rng_);
+    layer_->set_quant(specs::weight_pv(4, ScaleDtype::kTwoLevelInt, 6),
+                      specs::act_pv(8, false, ScaleDtype::kTwoLevelInt, 8));
+    layer_->set_quant_mode(QuantMode::kCalibrate);
+    layer_->forward(x_, false);
+    layer_->calibrate_finalize();
+    layer_->set_quant_mode(QuantMode::kQuantEval);
+  }
+
+  std::unique_ptr<Rng> rng_;
+  std::unique_ptr<Linear> layer_;
+  Tensor x_;
+};
+
+TEST_F(ExportFixture, PackagedLayerMatchesQuantEvalForward) {
+  const Tensor sw = layer_->forward(x_, false);
+
+  const QuantizedLayerPackage pkg =
+      export_gemm(*layer_, layer_->bias().value.to_vector());
+  const Tensor hw = run_packaged_layer(pkg, x_);
+  EXPECT_LT(max_abs_diff(sw, hw), 2e-4f * (1.0f + amax_per_tensor(sw)));
+}
+
+TEST_F(ExportFixture, PackageSurvivesSaveLoad) {
+  const std::string path = std::filesystem::temp_directory_path() / "vsq_test_pkg.vsqa";
+  QuantizedModelPackage pkg;
+  pkg.layers["fc1"] = export_gemm(*layer_, layer_->bias().value.to_vector());
+  pkg.save(path);
+
+  const QuantizedModelPackage loaded = QuantizedModelPackage::load(path);
+  ASSERT_EQ(loaded.layers.size(), 1u);
+  const Tensor a = run_packaged_layer(pkg.layers.at("fc1"), x_);
+  const Tensor b = run_packaged_layer(loaded.layers.at("fc1"), x_);
+  EXPECT_LT(max_abs_diff(a, b), 1e-6f);
+  std::remove(path.c_str());
+}
+
+TEST_F(ExportFixture, CoarseBaselinePackageRoundTrips) {
+  Linear poc("poc", 32, 8, *rng_);
+  const Tensor x = random_tensor(Shape{4, 32}, *rng_);
+  poc.set_quant(specs::weight_coarse(8), specs::act_coarse(8, false));
+  poc.set_quant_mode(QuantMode::kCalibrate);
+  poc.forward(x, false);
+  poc.calibrate_finalize();
+  poc.set_quant_mode(QuantMode::kQuantEval);
+
+  const std::string path = std::filesystem::temp_directory_path() / "vsq_test_pkg2.vsqa";
+  QuantizedModelPackage pkg;
+  pkg.layers["poc"] = export_gemm(poc, poc.bias().value.to_vector());
+  pkg.save(path);
+  const QuantizedModelPackage loaded = QuantizedModelPackage::load(path);
+  const Tensor ref = poc.forward(x, false);
+  const Tensor out = run_packaged_layer(loaded.layers.at("poc"), x);
+  EXPECT_LT(max_abs_diff(ref, out), 2e-4f * (1.0f + amax_per_tensor(ref)));
+  std::remove(path.c_str());
+}
+
+TEST(ExportErrors, RejectsUnquantizedLayer) {
+  Rng rng(6);
+  Linear l("l", 8, 4, rng);
+  EXPECT_THROW(export_gemm(l, {}), std::invalid_argument);
+}
+
+// ---- Learned per-vector scales ----
+
+TEST(LearnedScale, InitializesAtMaxCalibration) {
+  Rng rng(7);
+  const Tensor w = random_tensor(Shape{8, 32}, rng);
+  const QuantFormat fmt{4, true};
+  const VectorLayout layout{32, 8, 0};
+  LearnedScaleQuantizer lsq(w, fmt, layout);
+  const ScaleSet ref = compute_scales(w, Granularity::kPerVector, layout, fmt);
+  for (std::size_t i = 0; i < ref.scales.size(); ++i) {
+    EXPECT_NEAR(lsq.scales().scales[i], ref.scales[i], ref.scales[i] * 1e-6 + 1e-9);
+  }
+}
+
+TEST(LearnedScale, FitReducesReconstructionError) {
+  Rng rng(8);
+  Tensor w(Shape{16, 64});
+  for (auto& v : w.span()) v = static_cast<float>(rng.laplace(0.5));
+  const QuantFormat fmt{3, true};
+  const VectorLayout layout{64, 16, 0};
+  LearnedScaleQuantizer lsq(w, fmt, layout);
+  const double before = mse(w, lsq.forward(w));
+  const double after = lsq.fit_reconstruction(w, 200, 5e-5f);
+  EXPECT_LT(after, before);
+}
+
+TEST(LearnedScale, GradientMatchesFiniteDifference) {
+  // LSQ scale gradient vs numeric differentiation of mean squared error.
+  Rng rng(9);
+  const Tensor w = random_tensor(Shape{2, 8}, rng);
+  const QuantFormat fmt{4, true};
+  const VectorLayout layout{8, 4, 0};
+  LearnedScaleQuantizer lsq(w, fmt, layout);
+
+  const auto loss = [&](const LearnedScaleQuantizer& q) {
+    return mse(w, q.forward(w));
+  };
+  const Tensor wq = lsq.forward(w);
+  Tensor go(w.shape());
+  const auto n = static_cast<float>(w.numel());
+  for (std::int64_t i = 0; i < w.numel(); ++i) go[i] = 2.0f * (wq[i] - w[i]) / n;
+  const auto grads = lsq.backward(w, go);
+
+  // Numeric: perturb each scale.
+  for (std::size_t si = 0; si < lsq.scales().scales.size(); ++si) {
+    LearnedScaleQuantizer plus = lsq, minus = lsq;
+    std::vector<float> delta(lsq.scales().scales.size(), 0.0f);
+    const float eps = 1e-4f;
+    delta[si] = -eps;  // step() subtracts lr*grad; use it to nudge scales
+    plus.step(delta, 1.0f);
+    delta[si] = eps;
+    minus.step(delta, 1.0f);
+    const double num = (loss(plus) - loss(minus)) / (2 * eps);
+    EXPECT_NEAR(grads.scale_grad[si], num, 5e-2 * (1.0 + std::abs(num))) << "scale " << si;
+  }
+}
+
+TEST(LearnedScale, StepKeepsScalesPositive) {
+  Rng rng(10);
+  const Tensor w = random_tensor(Shape{2, 8}, rng);
+  LearnedScaleQuantizer lsq(w, QuantFormat{4, true}, VectorLayout{8, 4, 0});
+  std::vector<float> huge(lsq.scales().scales.size(), 1e9f);
+  lsq.step(huge, 1.0f);
+  for (const float s : lsq.scales().scales) EXPECT_GT(s, 0.0f);
+}
+
+}  // namespace
+}  // namespace vsq

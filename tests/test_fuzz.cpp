@@ -1,0 +1,300 @@
+// Randomized cross-path consistency checks ("fuzz" tests, deterministic
+// given the seeds). The repo maintains two implementations of VS-Quant
+// arithmetic — the simulated-quantization path used for accuracy
+// experiments and the bit-accurate integer path used for hardware studies
+// — plus invariants (integer ranges, accumulator budgets) that must hold
+// for EVERY shape/bitwidth combination, not just the hand-picked ones in
+// the unit tests. Each test sweeps dozens of random configurations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hw/pe_simulator.h"
+#include "quant/quantized_tensor.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace vsq {
+namespace {
+
+Tensor random_tensor(Shape s, Rng& rng, double scale = 1.0) {
+  Tensor t(s);
+  for (auto& v : t.span()) v = static_cast<float>(rng.normal(0.0, scale));
+  return t;
+}
+
+// Inclusive integer range on top of Rng's uniform_u64.
+std::int64_t uniform_int(Rng& rng, std::int64_t lo, std::int64_t hi) {
+  return lo + static_cast<std::int64_t>(rng.uniform_u64(static_cast<std::uint64_t>(hi - lo + 1)));
+}
+
+struct FuzzCase {
+  std::int64_t rows, cols, outs, block;
+  int wbits, abits, ws, as, v;
+  bool act_unsigned;
+};
+
+FuzzCase random_case(Rng& rng) {
+  FuzzCase c;
+  c.rows = uniform_int(rng, 1, 9);
+  c.outs = uniform_int(rng, 1, 9);
+  // Reduction length: sometimes a multiple of a channel block, sometimes
+  // prime-ish so tail vectors appear.
+  const std::int64_t blocks = uniform_int(rng, 1, 4);
+  const std::int64_t blen = uniform_int(rng, 3, 21);
+  c.cols = blocks * blen;
+  c.block = rng.bernoulli(0.5) ? blen : 0;
+  const int bit_choices[] = {3, 4, 6, 8};
+  c.wbits = bit_choices[uniform_int(rng, 0, 3)];
+  c.abits = bit_choices[uniform_int(rng, 0, 3)];
+  const int scale_choices[] = {3, 4, 6, 8, 10};
+  c.ws = rng.bernoulli(0.25) ? -1 : scale_choices[uniform_int(rng, 0, 4)];
+  c.as = rng.bernoulli(0.25) ? -1 : scale_choices[uniform_int(rng, 0, 4)];
+  const int v_choices[] = {4, 8, 16, 32};
+  c.v = v_choices[uniform_int(rng, 0, 3)];
+  c.act_unsigned = rng.bernoulli(0.5);
+  return c;
+}
+
+MacConfig to_mac(const FuzzCase& c) {
+  MacConfig m;
+  m.wt_bits = c.wbits;
+  m.act_bits = c.abits;
+  m.wt_scale_bits = c.ws;
+  m.act_scale_bits = c.as;
+  m.vector_size = c.v;
+  m.act_unsigned = c.act_unsigned;
+  return m;
+}
+
+// The PE's integer datapath must match the simulated-quantization
+// reference at full-precision scale products for ANY configuration.
+TEST(Fuzz, PeMatchesReferenceAcrossRandomConfigs) {
+  Rng rng(2024);
+  for (int iter = 0; iter < 60; ++iter) {
+    const FuzzCase c = random_case(rng);
+    const MacConfig mac = to_mac(c);
+    const PeSimulator pe(mac);
+
+    Tensor w = random_tensor(Shape{c.outs, c.cols}, rng, 0.5);
+    Tensor a = random_tensor(Shape{c.rows, c.cols}, rng, 0.8);
+    if (c.act_unsigned) {
+      for (auto& v : a.span()) v = std::abs(v);  // post-ReLU regime
+    }
+    const float amax = amax_per_tensor(a);
+
+    const PeRunResult hw = pe.run(a, w, amax, c.block);
+    const Tensor ref = pe.reference(a, w, amax, c.block);
+    const float tol = 2e-4f * (1.0f + amax_per_tensor(ref));
+    EXPECT_LT(max_abs_diff(hw.output, ref), tol)
+        << "config " << mac.str() << " V=" << c.v << " rows=" << c.rows << " cols=" << c.cols
+        << " outs=" << c.outs << " block=" << c.block << " iter=" << iter;
+  }
+}
+
+// Integer weight operands: every element within the format's range, every
+// per-vector scale within M bits, and the dequantized matrix within one
+// effective-scale ULP of the original wherever no clipping can occur.
+TEST(Fuzz, QuantizedWeightInvariants) {
+  Rng rng(4048);
+  for (int iter = 0; iter < 60; ++iter) {
+    const FuzzCase c = random_case(rng);
+    QuantSpec spec;
+    spec.enabled = true;
+    spec.fmt = QuantFormat{c.wbits, true};
+    spec.vector_size = c.v;
+    spec.channel_block = c.block;
+    if (c.ws > 0) {
+      spec.granularity = Granularity::kPerVector;
+      spec.scale_dtype = ScaleDtype::kTwoLevelInt;
+      spec.scale_fmt = QuantFormat{c.ws, false};
+    } else {
+      spec.granularity = Granularity::kPerRow;
+    }
+
+    const Tensor w = random_tensor(Shape{c.outs, c.cols}, rng, 0.5);
+    const QuantizedMatrix qm = quantize_weights_int(w, spec);
+
+    ASSERT_EQ(static_cast<std::int64_t>(qm.q.size()), c.outs * c.cols);
+    for (const std::int16_t q : qm.q) {
+      EXPECT_GE(q, qm.fmt.qmin());
+      EXPECT_LE(q, qm.fmt.qmax());
+    }
+    if (qm.two_level) {
+      const std::uint16_t sq_max = static_cast<std::uint16_t>((1u << c.ws) - 1);
+      for (const std::uint16_t sq : qm.two_level->sq) EXPECT_LE(sq, sq_max);
+    }
+    // Dequantize and bound the error. Per Eq. 7, integers are quantized
+    // with the fp per-vector scale s_fp (7c) but dequantized with the
+    // quantized scale sq*gamma (7i), so the bound has two terms:
+    //   rounding of the value:   0.5 * s_fp
+    //   quantization of the scale: |xq| * |s_fp - sq*gamma| <= qmax * gamma/2
+    // (The second term also covers sq rounding to 0, which flushes the
+    // whole vector — legal when the vector's range is < gamma/2.)
+    const double qmax = static_cast<double>(qm.fmt.qmax());
+    for (std::int64_t r = 0; r < c.outs; ++r) {
+      for (std::int64_t col = 0; col < c.cols; ++col) {
+        double s_used, bound;
+        if (qm.two_level) {
+          const std::int64_t vec = qm.layout.vector_of_col(col);
+          const auto [c0, c1] = qm.layout.col_range(vec);
+          double vec_amax = 0;
+          for (std::int64_t cc = c0; cc < c1; ++cc) {
+            vec_amax = std::max(vec_amax, std::abs(static_cast<double>(w.at2(r, cc))));
+          }
+          const double s_fp = vec_amax / qmax;  // Eq. 7b
+          const double gamma = qm.two_level->gamma_of_row(r);
+          s_used = qm.two_level->effective_scale(r, vec);
+          bound = 0.5 * s_fp + 0.5 * gamma * qmax;
+        } else {
+          s_used = qm.outer_scale(r);
+          bound = 0.5 * s_used;
+        }
+        const double deq = static_cast<double>(qm.at(r, col)) * s_used;
+        EXPECT_LE(std::abs(deq - w.at2(r, col)), bound + 1e-6)
+            << "iter=" << iter << " r=" << r << " c=" << col;
+      }
+    }
+  }
+}
+
+// The widest partial sum observed by the datapath must fit the paper's
+// accumulator-width formula even for adversarial all-extreme operands.
+TEST(Fuzz, AccumulatorBudgetHoldsForExtremeOperands) {
+  Rng rng(777);
+  for (int iter = 0; iter < 30; ++iter) {
+    FuzzCase c = random_case(rng);
+    // Force the true VS-Quant path (scales on both operands).
+    if (c.ws <= 0) c.ws = 4;
+    if (c.as <= 0) c.as = 4;
+    const MacConfig mac = to_mac(c);
+    const PeSimulator pe(mac);
+
+    // All elements at the maximum magnitude: worst-case dot products and
+    // worst-case integer scales simultaneously.
+    Tensor w(Shape{c.outs, c.cols}), a(Shape{c.rows, c.cols});
+    for (auto& v : w.span()) v = rng.bernoulli(0.5) ? 1.0f : -1.0f;
+    for (auto& v : a.span()) v = c.act_unsigned ? 1.0f : (rng.bernoulli(0.5) ? 1.0f : -1.0f);
+
+    const PeRunResult hw = pe.run(a, w, amax_per_tensor(a), c.block);
+    // accumulator_bits() sizes ONE vector-MAC output (2N + log2 V + 2M,
+    // the paper's formula). The accumulation collector then sums one such
+    // value per vector of the reduction, so its budget gains log2(#vectors)
+    // ("accumulation collectors are designed with appropriate widths").
+    const VectorLayout layout{c.cols, c.v, c.block};
+    const double budget = std::pow(2.0, mac.accumulator_bits() - 1) *
+                          static_cast<double>(layout.vectors_per_row());
+    EXPECT_LE(static_cast<double>(hw.stats.max_abs_psum), budget)
+        << mac.str() << " V=" << c.v << " iter=" << iter;
+  }
+}
+
+// With a single vector per row (cols <= V), the collector holds exactly one
+// vector-MAC output, so the paper's 2N + log2 V + 2M width must bound it
+// directly — the tightest check of the Sec. 5 width arithmetic.
+TEST(Fuzz, SingleVectorPsumFitsMacOutputWidth) {
+  Rng rng(778);
+  for (int iter = 0; iter < 30; ++iter) {
+    FuzzCase c = random_case(rng);
+    if (c.ws <= 0) c.ws = 6;
+    if (c.as <= 0) c.as = 6;
+    c.cols = uniform_int(rng, 1, c.v);  // exactly one (possibly short) vector
+    c.block = 0;
+    const MacConfig mac = to_mac(c);
+    const PeSimulator pe(mac);
+
+    Tensor w(Shape{c.outs, c.cols}), a(Shape{c.rows, c.cols});
+    for (auto& v : w.span()) v = rng.bernoulli(0.5) ? 1.0f : -1.0f;
+    for (auto& v : a.span()) v = c.act_unsigned ? 1.0f : (rng.bernoulli(0.5) ? 1.0f : -1.0f);
+
+    const PeRunResult hw = pe.run(a, w, amax_per_tensor(a));
+    EXPECT_LE(static_cast<double>(hw.stats.max_abs_psum),
+              std::pow(2.0, mac.accumulator_bits() - 1))
+        << mac.str() << " V=" << c.v << " cols=" << c.cols << " iter=" << iter;
+  }
+}
+
+// Scale-product rounding must never *increase* the datapath's deviation
+// from the reference when given more bits.
+TEST(Fuzz, RoundingDeviationMonotoneInProductBits) {
+  Rng rng(991);
+  for (int iter = 0; iter < 20; ++iter) {
+    FuzzCase c = random_case(rng);
+    c.ws = 6;
+    c.as = 6;
+    MacConfig mac = to_mac(c);
+    const Tensor w = random_tensor(Shape{c.outs, c.cols}, rng, 0.5);
+    Tensor a = random_tensor(Shape{c.rows, c.cols}, rng, 0.8);
+    if (c.act_unsigned) {
+      for (auto& v : a.span()) v = std::abs(v);
+    }
+    const float amax = amax_per_tensor(a);
+
+    mac.scale_product_bits = -1;
+    const Tensor ref = PeSimulator(mac).reference(a, w, amax, c.block);
+    double prev_err = 1e30;
+    for (const int bits : {2, 4, 6, 9, 12}) {
+      mac.scale_product_bits = bits;
+      const PeRunResult hw = PeSimulator(mac).run(a, w, amax, c.block);
+      double err = 0;
+      for (std::int64_t i = 0; i < ref.numel(); ++i) {
+        err += std::abs(static_cast<double>(hw.output.data()[i]) - ref.data()[i]);
+      }
+      EXPECT_LE(err, prev_err * 1.15 + 1e-6)  // slack for rounding luck
+          << "bits=" << bits << " iter=" << iter;
+      prev_err = err;
+    }
+  }
+}
+
+// Degenerate shapes must be handled exactly, not crash: single rows,
+// single columns, vector size larger than the reduction length.
+TEST(Fuzz, DegenerateShapes) {
+  Rng rng(55);
+  for (const auto& [rows, cols, outs, v] :
+       std::vector<std::tuple<std::int64_t, std::int64_t, std::int64_t, int>>{
+           {1, 1, 1, 16}, {1, 3, 1, 16}, {2, 5, 3, 8}, {1, 4, 2, 32}, {3, 2, 2, 4}}) {
+    MacConfig mac;
+    mac.wt_bits = 4;
+    mac.act_bits = 4;
+    mac.wt_scale_bits = 4;
+    mac.act_scale_bits = 4;
+    mac.vector_size = v;
+    mac.act_unsigned = false;
+    const PeSimulator pe(mac);
+    const Tensor w = random_tensor(Shape{outs, cols}, rng);
+    const Tensor a = random_tensor(Shape{rows, cols}, rng);
+    const float amax = amax_per_tensor(a);
+    const PeRunResult hw = pe.run(a, w, amax);
+    const Tensor ref = pe.reference(a, w, amax);
+    EXPECT_LT(max_abs_diff(hw.output, ref), 2e-4f * (1.0f + amax_per_tensor(ref)))
+        << rows << "x" << cols << "x" << outs << " V=" << v;
+  }
+}
+
+// Activation quantization with an all-zero tensor (dead layer) must yield
+// all-zero integers and finite scales on both paths.
+TEST(Fuzz, ZeroActivationsAreRepresentable) {
+  for (const bool per_vector : {false, true}) {
+    QuantSpec spec;
+    spec.enabled = true;
+    spec.fmt = QuantFormat{4, false};
+    spec.vector_size = 16;
+    if (per_vector) {
+      spec.granularity = Granularity::kPerVector;
+      spec.scale_dtype = ScaleDtype::kTwoLevelInt;
+      spec.scale_fmt = QuantFormat{4, false};
+      spec.dynamic = true;
+    } else {
+      spec.granularity = Granularity::kPerTensor;
+    }
+    const Tensor zero(Shape{4, 32});
+    const QuantizedMatrix qm = quantize_activations_int(zero, spec, /*static_amax=*/0.0f,
+                                                        /*gamma=*/0.0f);
+    for (const std::int16_t q : qm.q) EXPECT_EQ(q, 0);
+    for (std::int64_t r = 0; r < 4; ++r) EXPECT_TRUE(std::isfinite(qm.outer_scale(r)));
+  }
+}
+
+}  // namespace
+}  // namespace vsq

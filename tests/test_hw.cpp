@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "hw/design_space.h"
+#include "hw/pe_simulator.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace vsq {
+namespace {
+
+Tensor random_matrix(std::int64_t r, std::int64_t c, Rng& rng, double scale = 1.0) {
+  Tensor t(Shape{r, c});
+  for (auto& v : t.span()) v = static_cast<float>(rng.normal(0.0, scale));
+  return t;
+}
+
+MacConfig make_config(int w, int a, int ws, int as, int spb = -1) {
+  MacConfig c;
+  c.wt_bits = w;
+  c.act_bits = a;
+  c.wt_scale_bits = ws;
+  c.act_scale_bits = as;
+  c.scale_product_bits = spb;
+  c.act_unsigned = false;
+  return c;
+}
+
+TEST(MacConfig, PaperNotation) {
+  EXPECT_EQ(make_config(4, 4, 4, 4).str(), "4/4/4/4");
+  EXPECT_EQ(make_config(8, 8, -1, -1).str(), "8/8/-/-");
+  EXPECT_EQ(make_config(6, 8, 6, -1).str(), "6/8/6/-");
+  EXPECT_EQ(make_config(6, 3, -1, 4).str(), "6/3/-/4");
+}
+
+TEST(MacConfig, GranularityLabels) {
+  EXPECT_EQ(make_config(4, 4, 4, 4).granularity_label(), "PVAW");
+  EXPECT_EQ(make_config(4, 4, 4, -1).granularity_label(), "PVWO");
+  EXPECT_EQ(make_config(4, 4, -1, 4).granularity_label(), "PVAO");
+  EXPECT_EQ(make_config(4, 4, -1, -1).granularity_label(), "POC");
+}
+
+TEST(MacConfig, AccumulatorWidthFormula) {
+  // 2N + log2 V + 2M (paper Sec. 5).
+  const MacConfig c = make_config(4, 4, 4, 4);
+  EXPECT_EQ(c.accumulator_bits(), 4 + 4 + 4 + 8);
+  const MacConfig r = make_config(4, 4, 4, 4, 6);  // rounded product
+  EXPECT_EQ(r.accumulator_bits(), 4 + 4 + 4 + 6);
+  const MacConfig poc = make_config(8, 8, -1, -1);
+  EXPECT_EQ(poc.accumulator_bits(), 8 + 8 + 4);
+}
+
+TEST(MacConfig, SpecsMatchGranularity) {
+  const MacConfig pv = make_config(4, 8, 6, 10);
+  EXPECT_EQ(pv.weight_spec().granularity, Granularity::kPerVector);
+  EXPECT_EQ(pv.weight_spec().scale_fmt.bits, 6);
+  EXPECT_TRUE(pv.act_spec().dynamic);
+  const MacConfig poc = make_config(8, 8, -1, -1);
+  EXPECT_EQ(poc.weight_spec().granularity, Granularity::kPerRow);
+  EXPECT_EQ(poc.act_spec().granularity, Granularity::kPerTensor);
+}
+
+// ---- Energy model ----
+
+TEST(EnergyModel, BaselineIsOne) {
+  EnergyModel em;
+  EXPECT_NEAR(em.energy_per_op(MacConfig{}), 1.0, 1e-9);
+}
+
+TEST(EnergyModel, FourBitRoughlyHalvesEnergy) {
+  EnergyModel em;
+  const double e44 = em.energy_per_op(make_config(4, 4, -1, -1));
+  EXPECT_GT(e44, 0.35);
+  EXPECT_LT(e44, 0.60);
+}
+
+TEST(EnergyModel, VsQuantAddsOverheadAtFullProduct) {
+  EnergyModel em;
+  const double poc = em.energy_per_op(make_config(4, 4, -1, -1));
+  const double pvaw = em.energy_per_op(make_config(4, 4, 4, 4));
+  EXPECT_GT(pvaw, poc);
+  EXPECT_LT(pvaw, poc * 1.5);  // "modest" overhead (Fig. 3)
+}
+
+TEST(EnergyModel, RoundingReducesVsQuantEnergy) {
+  EnergyModel em;
+  const double full = em.energy_per_op(make_config(4, 4, 4, 4, -1));
+  const double p6 = em.energy_per_op(make_config(4, 4, 4, 4, 6));
+  const double p4 = em.energy_per_op(make_config(4, 4, 4, 4, 4));
+  EXPECT_LT(p6, full);
+  EXPECT_LT(p4, p6);
+}
+
+TEST(EnergyModel, GatingReducesEnergy) {
+  EnergyModel em;
+  const MacConfig c = make_config(4, 4, 4, 4, 4);
+  EXPECT_LT(em.energy_per_op(c, 0.3), em.energy_per_op(c, 0.0));
+}
+
+TEST(EnergyModel, RoundingPlusGatingBeatsPerChannel) {
+  // Fig. 3's punchline: 4-bit VS-Quant with product rounding and data
+  // gating drops below the 4/4/-/- per-channel configuration.
+  EnergyModel em;
+  const double poc = em.energy_per_op(make_config(4, 4, -1, -1));
+  const double vs_gated = em.energy_per_op(make_config(4, 4, 4, 4, 4), 0.25);
+  EXPECT_LT(vs_gated, poc);
+}
+
+TEST(EnergyModel, MonotoneInBits) {
+  EnergyModel em;
+  double prev = 0;
+  for (const int bits : {3, 4, 6, 8}) {
+    const double e = em.energy_per_op(make_config(bits, bits, -1, -1));
+    EXPECT_GT(e, prev);
+    prev = e;
+  }
+}
+
+// ---- Area model ----
+
+TEST(AreaModel, BaselineIsOne) {
+  AreaModel am;
+  EXPECT_NEAR(am.area(MacConfig{}), 1.0, 1e-9);
+  EXPECT_NEAR(am.perf_per_area(MacConfig{}), 1.0, 1e-9);
+}
+
+TEST(AreaModel, HeadlineSavingsInRange) {
+  AreaModel am;
+  // Abstract: 4/4 VS-Quant ~37% area saving; 4-bit-weight BERT config ~26%.
+  const double a4444 = am.area(make_config(4, 4, 4, 4));
+  EXPECT_GT(1.0 - a4444, 0.25);
+  EXPECT_LT(1.0 - a4444, 0.45);
+  const double bert = am.area(make_config(4, 8, 6, 10));
+  EXPECT_GT(1.0 - bert, 0.15);
+  EXPECT_LT(1.0 - bert, 0.35);
+}
+
+TEST(AreaModel, VsQuantCostsAreaOverPocSameBits) {
+  AreaModel am;
+  EXPECT_GT(am.area(make_config(4, 4, 4, 4)), am.area(make_config(4, 4, -1, -1)));
+}
+
+TEST(AreaModel, PaperNamedPoint4641) {
+  // Sec. 6: 4/6/4/- achieves ~36% smaller area than the 8/8/-/- baseline.
+  AreaModel am;
+  const double saving = 1.0 - am.area(make_config(4, 6, 4, -1));
+  EXPECT_GT(saving, 0.25);
+  EXPECT_LT(saving, 0.45);
+}
+
+// ---- PE simulator bit-exactness ----
+
+using PeCase = std::tuple<int, int, int, int>;
+
+class PeExact : public ::testing::TestWithParam<PeCase> {};
+
+TEST_P(PeExact, MatchesSimulatedQuantizationAtFullProduct) {
+  const auto [w, a, ws, as] = GetParam();
+  Rng rng(w * 1000 + a * 100 + ws * 10 + std::max(as, 0));
+  const Tensor wm = random_matrix(12, 64, rng);
+  const Tensor am = random_matrix(7, 64, rng);
+  const float amax = amax_per_tensor(am);
+
+  const PeSimulator pe(make_config(w, a, ws, as));
+  const PeRunResult hw = pe.run(am, wm, amax);
+  const Tensor ref = pe.reference(am, wm, amax);
+  EXPECT_LT(max_abs_diff(hw.output, ref), 2e-4f * (1.0f + amax_per_tensor(ref)))
+      << pe.config().str();
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, PeExact,
+                         ::testing::Values(PeCase{8, 8, -1, -1}, PeCase{4, 4, 4, 4},
+                                           PeCase{4, 8, 6, 10}, PeCase{6, 6, 6, -1},
+                                           PeCase{6, 8, -1, 10}, PeCase{3, 8, 4, 8}));
+
+TEST(PeSimulator, RoundingDeviatesBoundedly) {
+  Rng rng(50);
+  const Tensor wm = random_matrix(8, 64, rng);
+  const Tensor am = random_matrix(8, 64, rng);
+  const float amax = amax_per_tensor(am);
+  const PeSimulator full(make_config(4, 4, 6, 6, -1));
+  const PeSimulator rounded(make_config(4, 4, 6, 6, 4));
+  const Tensor yf = full.run(am, wm, amax).output;
+  const Tensor yr = rounded.run(am, wm, amax).output;
+  EXPECT_GT(sqnr_db(yf, yr), 6.0);
+  EXPECT_LT(max_abs_diff(yf, yr), amax_per_tensor(yf));
+}
+
+TEST(PeSimulator, GatingGrowsWithAggressiveRounding) {
+  Rng rng(51);
+  Tensor am(Shape{16, 64});
+  for (auto& v : am.span()) v = static_cast<float>(rng.laplace(0.3));
+  const Tensor wm = random_matrix(8, 64, rng);
+  const float amax = amax_per_tensor(am);
+  const auto frac = [&](int spb) {
+    const PeSimulator pe(make_config(4, 4, 6, 6, spb));
+    return pe.run(am, wm, amax).stats.gateable_fraction();
+  };
+  EXPECT_GE(frac(3), frac(6));
+  EXPECT_GE(frac(6), frac(-1));
+}
+
+TEST(PeSimulator, ConvChannelBlockSupported) {
+  Rng rng(52);
+  // Unrolled conv row: 9 blocks of C=6 channels.
+  const Tensor wm = random_matrix(4, 54, rng);
+  const Tensor am = random_matrix(4, 54, rng);
+  const PeSimulator pe(make_config(4, 4, 4, 4));
+  const PeRunResult hw = pe.run(am, wm, amax_per_tensor(am), /*channel_block=*/6);
+  const Tensor ref = pe.reference(am, wm, amax_per_tensor(am), 6);
+  EXPECT_LT(max_abs_diff(hw.output, ref), 2e-4f * (1.0f + amax_per_tensor(ref)));
+}
+
+// ---- Design space ----
+
+TEST(DesignSpace, ConfigsCoverAllGranularities) {
+  for (const ModelKind kind : {ModelKind::kResNet, ModelKind::kBertBase}) {
+    const auto cs = design_space_configs(kind);
+    bool poc = false, pvaw = false, pvwo = false, pvao = false;
+    for (const auto& c : cs) {
+      const std::string g = c.granularity_label();
+      poc |= g == "POC";
+      pvaw |= g == "PVAW";
+      pvwo |= g == "PVWO";
+      pvao |= g == "PVAO";
+    }
+    EXPECT_TRUE(poc && pvaw && pvwo && pvao);
+  }
+}
+
+TEST(DesignSpace, ParetoFrontIsNonDominated) {
+  EnergyModel em;
+  AreaModel am;
+  const auto pts = evaluate_design_points(design_space_configs(ModelKind::kResNet), em, am);
+  const auto front = pareto_front(pts);
+  ASSERT_FALSE(front.empty());
+  ASSERT_LE(front.size(), pts.size());
+  for (const auto& f : front) {
+    for (const auto& p : pts) {
+      EXPECT_FALSE(p.energy < f.energy && p.perf_per_area > f.perf_per_area)
+          << p.label() << " dominates " << f.label();
+    }
+  }
+}
+
+TEST(DesignSpace, LowerPrecisionOnParetoFront) {
+  // Some 4-bit configuration must be Pareto-optimal (cheaper than 8/8).
+  EnergyModel em;
+  AreaModel am;
+  const auto pts = evaluate_design_points(design_space_configs(ModelKind::kResNet), em, am);
+  const auto front = pareto_front(pts);
+  bool has_low_bit = false;
+  for (const auto& f : front) has_low_bit |= (f.mac.wt_bits <= 4);
+  EXPECT_TRUE(has_low_bit);
+}
+
+}  // namespace
+}  // namespace vsq

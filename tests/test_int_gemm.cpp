@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "quant/int_gemm.h"
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace vsq {
+namespace {
+
+Tensor random_matrix(std::int64_t r, std::int64_t c, Rng& rng, double scale = 1.0) {
+  Tensor t(Shape{r, c});
+  for (auto& v : t.span()) v = static_cast<float>(rng.normal(0.0, scale));
+  return t;
+}
+
+QuantSpec pvaw_weight_spec(int bits, int scale_bits) {
+  QuantSpec s;
+  s.enabled = true;
+  s.fmt = QuantFormat{bits, true};
+  s.granularity = Granularity::kPerVector;
+  s.scale_dtype = ScaleDtype::kTwoLevelInt;
+  s.scale_fmt = QuantFormat{scale_bits, false};
+  return s;
+}
+
+QuantSpec pvaw_act_spec(int bits, int scale_bits) {
+  QuantSpec s = pvaw_weight_spec(bits, scale_bits);
+  s.dynamic = true;
+  return s;
+}
+
+QuantSpec coarse_weight_spec(int bits) {
+  QuantSpec s;
+  s.enabled = true;
+  s.fmt = QuantFormat{bits, true};
+  s.granularity = Granularity::kPerRow;
+  return s;
+}
+
+QuantSpec coarse_act_spec(int bits) {
+  QuantSpec s;
+  s.enabled = true;
+  s.fmt = QuantFormat{bits, true};
+  s.granularity = Granularity::kPerTensor;
+  return s;
+}
+
+// Double-precision reference computed from the integer operands' effective
+// scales — what the integer datapath must reproduce exactly at full
+// scale-product precision.
+Tensor fake_quant_reference(const QuantizedMatrix& act, const QuantizedMatrix& wgt) {
+  const std::int64_t rows = act.rows, k = wgt.rows, cols = act.cols();
+  const std::int64_t vpr = act.layout.vectors_per_row();
+  Tensor out(Shape{rows, k});
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t j = 0; j < k; ++j) {
+      double acc = 0;
+      for (std::int64_t v = 0; v < vpr; ++v) {
+        const auto [c0, c1] = act.layout.col_range(v);
+        double dp = 0;
+        for (std::int64_t c = c0; c < c1; ++c) {
+          dp += static_cast<double>(act.at(r, c)) * wgt.at(j, c);
+        }
+        acc += dp * act.int_scale(r, v) * wgt.int_scale(j, v);
+      }
+      out.at2(r, j) =
+          static_cast<float>(acc * wgt.outer_scale(j) * act.outer_scale(r));
+    }
+  }
+  return out;
+}
+
+TEST(RoundScaleProduct, KeepsMsbsRoundHalfUp) {
+  // full 8 bits -> keep 4: shift = 4, half = 8.
+  EXPECT_EQ(round_scale_product(0, 8, 4), 0u);
+  EXPECT_EQ(round_scale_product(7, 8, 4), 0u);    // < half -> 0 (gateable)
+  EXPECT_EQ(round_scale_product(8, 8, 4), 16u);   // half rounds up
+  EXPECT_EQ(round_scale_product(100, 8, 4), 96u);
+  EXPECT_EQ(round_scale_product(255, 8, 4), 256u);  // may carry upward
+}
+
+TEST(RoundScaleProduct, FullWidthPassthrough) {
+  EXPECT_EQ(round_scale_product(123, 8, -1), 123u);
+  EXPECT_EQ(round_scale_product(123, 8, 8), 123u);
+  EXPECT_EQ(round_scale_product(123, 8, 12), 123u);
+}
+
+class RoundingError : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundingError, BoundedByHalfUlpOfKeptBits) {
+  const int keep = GetParam();
+  const int full = 12;
+  for (std::uint32_t p = 0; p < (1u << full); p += 7) {
+    const std::uint32_t r = round_scale_product(p, full, keep);
+    EXPECT_LE(std::abs(static_cast<std::int64_t>(r) - static_cast<std::int64_t>(p)),
+              std::int64_t{1} << (full - keep - 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KeepBits, RoundingError, ::testing::Values(2, 4, 6, 8, 10));
+
+// ---- Bit-exactness of int_gemm vs the scale-domain reference ----
+
+using GemmCase = std::tuple<int, int, int, int>;  // wt_bits, act_bits, ws, as
+
+class IntGemmExact : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(IntGemmExact, MatchesReferenceAtFullProduct) {
+  const auto [wb, ab, ws, as] = GetParam();
+  Rng rng(wb * 1000 + ab * 100 + ws * 10 + as);
+  const Tensor w = random_matrix(12, 64, rng);
+  const Tensor a = random_matrix(9, 64, rng);
+
+  const QuantizedMatrix wq = quantize_weights_int(w, pvaw_weight_spec(wb, ws));
+  const float amax = amax_per_tensor(a);
+  const float gamma = scale_from_amax(amax, QuantFormat{ab, true}) /
+                      static_cast<float>(QuantFormat{as, false}.qmax());
+  const QuantizedMatrix aq = quantize_activations_int(a, pvaw_act_spec(ab, as), amax, gamma);
+
+  IntGemmStats stats;
+  const Tensor y = int_gemm(aq, wq, /*scale_product_bits=*/-1, &stats);
+  const Tensor ref = fake_quant_reference(aq, wq);
+  EXPECT_LT(max_abs_diff(y, ref), 1e-4f * (1.0f + amax_per_tensor(ref)));
+  EXPECT_GT(stats.vector_ops, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, IntGemmExact,
+                         ::testing::Values(GemmCase{4, 4, 4, 4}, GemmCase{4, 8, 6, 10},
+                                           GemmCase{6, 6, 4, 6}, GemmCase{8, 8, 6, 6},
+                                           GemmCase{3, 8, 4, 8}));
+
+TEST(IntGemm, CoarseOperandsMatchPlainIntMath) {
+  // Per-channel weights + per-tensor activations: the baseline datapath.
+  Rng rng(7);
+  const Tensor w = random_matrix(8, 32, rng);
+  const Tensor a = random_matrix(5, 32, rng);
+  const QuantizedMatrix wq = quantize_weights_int(w, coarse_weight_spec(8));
+  const QuantizedMatrix aq =
+      quantize_activations_int(a, coarse_act_spec(8), amax_per_tensor(a), 0.0f);
+  const Tensor y = int_gemm(aq, wq, -1, nullptr);
+  const Tensor ref = fake_quant_reference(aq, wq);
+  EXPECT_LT(max_abs_diff(y, ref), 1e-5f);
+}
+
+TEST(IntGemm, MixedPerVectorWeightsCoarseActs) {
+  // PVWO: integer scales on weights only (the paper's x/x/ws/- configs).
+  Rng rng(8);
+  const Tensor w = random_matrix(8, 48, rng);
+  const Tensor a = random_matrix(4, 48, rng);
+  const QuantizedMatrix wq = quantize_weights_int(w, pvaw_weight_spec(4, 6));
+  const QuantizedMatrix aq =
+      quantize_activations_int(a, coarse_act_spec(8), amax_per_tensor(a), 0.0f);
+  const Tensor y = int_gemm(aq, wq, -1, nullptr);
+  const Tensor ref = fake_quant_reference(aq, wq);
+  EXPECT_LT(max_abs_diff(y, ref), 1e-4f);
+}
+
+TEST(IntGemm, ScaleProductRoundingBoundedDeviation) {
+  Rng rng(9);
+  const Tensor w = random_matrix(8, 64, rng);
+  const Tensor a = random_matrix(8, 64, rng);
+  const QuantizedMatrix wq = quantize_weights_int(w, pvaw_weight_spec(4, 6));
+  const float amax = amax_per_tensor(a);
+  const float gamma = scale_from_amax(amax, QuantFormat{4, true}) /
+                      static_cast<float>(QuantFormat{6, false}.qmax());
+  const QuantizedMatrix aq = quantize_activations_int(a, pvaw_act_spec(4, 6), amax, gamma);
+
+  const Tensor full = int_gemm(aq, wq, -1, nullptr);
+  double prev_err = 0.0;
+  for (const int p : {10, 8, 6, 4}) {
+    const Tensor rounded = int_gemm(aq, wq, p, nullptr);
+    const double err = mse(full, rounded);
+    EXPECT_GE(err + 1e-12, prev_err * 0.25) << "p=" << p;  // error grows as p shrinks
+    prev_err = err;
+  }
+  // Even at 4 bits the result stays correlated with the full product.
+  EXPECT_GT(sqnr_db(full, int_gemm(aq, wq, 4, nullptr)), 8.0);
+}
+
+TEST(IntGemm, GatingStatsIncreaseWithRounding) {
+  Rng rng(10);
+  // Long-tailed activations -> many small vector scale products.
+  Tensor a(Shape{16, 64});
+  for (auto& v : a.span()) v = static_cast<float>(rng.laplace(0.3));
+  const Tensor w = random_matrix(8, 64, rng);
+  const QuantizedMatrix wq = quantize_weights_int(w, pvaw_weight_spec(4, 6));
+  const float amax = amax_per_tensor(a);
+  const float gamma = scale_from_amax(amax, QuantFormat{4, true}) /
+                      static_cast<float>(QuantFormat{6, false}.qmax());
+  const QuantizedMatrix aq = quantize_activations_int(a, pvaw_act_spec(4, 6), amax, gamma);
+
+  IntGemmStats full_stats, rounded_stats;
+  int_gemm(aq, wq, -1, &full_stats);
+  int_gemm(aq, wq, 3, &rounded_stats);
+  EXPECT_GE(rounded_stats.zero_scale_products, full_stats.zero_scale_products);
+  EXPECT_GE(rounded_stats.gateable_fraction(), full_stats.gateable_fraction());
+}
+
+TEST(IntGemm, AccumulatorWidthRespectsPaperFormula) {
+  // 2N + log2(V) + 2M bits must bound the largest partial sum per vector.
+  Rng rng(11);
+  const int N = 8, M = 6, V = 16;
+  const Tensor w = random_matrix(4, 64, rng, 3.0);
+  const Tensor a = random_matrix(4, 64, rng, 3.0);
+  QuantSpec wspec = pvaw_weight_spec(N, M);
+  wspec.vector_size = V;
+  QuantSpec aspec = pvaw_act_spec(N, M);
+  aspec.vector_size = V;
+  const QuantizedMatrix wq = quantize_weights_int(w, wspec);
+  const float amax = amax_per_tensor(a);
+  const float gamma =
+      scale_from_amax(amax, QuantFormat{N, true}) / static_cast<float>(QuantFormat{M, false}.qmax());
+  const QuantizedMatrix aq = quantize_activations_int(a, aspec, amax, gamma);
+  IntGemmStats stats;
+  int_gemm(aq, wq, -1, &stats);
+  // Total accumulation over ceil(64/16)=4 vectors adds 2 more bits.
+  const int bound_bits = 2 * N + 4 + 2 * M + 2;
+  EXPECT_LT(stats.max_abs_psum, std::int64_t{1} << bound_bits);
+}
+
+TEST(IntGemm, RejectsMismatchedLayouts) {
+  Rng rng(12);
+  const Tensor w = random_matrix(4, 32, rng);
+  const Tensor a = random_matrix(4, 64, rng);
+  const QuantizedMatrix wq = quantize_weights_int(w, coarse_weight_spec(8));
+  const QuantizedMatrix aq =
+      quantize_activations_int(a, coarse_act_spec(8), amax_per_tensor(a), 0.0f);
+  EXPECT_THROW(int_gemm(aq, wq, -1, nullptr), std::invalid_argument);
+}
+
+TEST(QuantizedMatrix, IntScaleDefaultsToOneForCoarse) {
+  Rng rng(13);
+  const Tensor w = random_matrix(4, 16, rng);
+  const QuantizedMatrix wq = quantize_weights_int(w, coarse_weight_spec(8));
+  EXPECT_EQ(wq.int_scale(0, 0), 1u);
+  EXPECT_FALSE(wq.is_per_vector());
+}
+
+TEST(QuantizedMatrix, RejectsSingleLevelFpScalesOnHardwarePath) {
+  Rng rng(14);
+  const Tensor w = random_matrix(4, 16, rng);
+  QuantSpec s = pvaw_weight_spec(4, 6);
+  s.scale_dtype = ScaleDtype::kFp32;
+  EXPECT_THROW(quantize_weights_int(w, s), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vsq

@@ -1,0 +1,205 @@
+// Tests for the integer deployment runner (IntegerExecutionGuard): a whole
+// model executing through the bit-accurate integer datapath must match the
+// fake-quant (simulated) execution the accuracy experiments use — the
+// software/hardware contract of the paper's Sec. 5 — plus guard lifecycle,
+// error handling, and stats accumulation.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "exp/ptq.h"
+#include "models/resnetv.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "quant/export.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace vsq {
+namespace {
+
+Tensor random_tensor(Shape s, Rng& rng, double scale = 1.0) {
+  Tensor t(s);
+  for (auto& v : t.span()) v = static_cast<float>(rng.normal(0.0, scale));
+  return t;
+}
+
+// Calibrate a set of layers at a spec pair using `run` to push data through.
+template <typename Fn>
+void calibrate(std::vector<QuantizableGemm*> gemms, const QuantSpec& w, const QuantSpec& a,
+               Fn&& run) {
+  apply_quant_specs(gemms, w, a);
+  set_mode_all(gemms, QuantMode::kCalibrate);
+  run();
+  finalize_calibration(gemms);
+  set_mode_all(gemms, QuantMode::kQuantEval);
+}
+
+QuantizedModelPackage export_all(const std::vector<QuantizableGemm*>& gemms) {
+  QuantizedModelPackage pkg;
+  for (QuantizableGemm* g : gemms) pkg.layers[g->gemm_name()] = export_gemm(*g, {});
+  return pkg;
+}
+
+TEST(IntegerExecutionGuard, SingleLayerMatchesFakeQuant) {
+  Rng rng(11);
+  Linear layer("fc", 48, 12, rng, /*has_bias=*/true);
+  const Tensor x = random_tensor(Shape{6, 48}, rng);
+  calibrate({&layer}, specs::weight_pv(4, ScaleDtype::kTwoLevelInt, 6),
+            specs::act_pv(8, false, ScaleDtype::kTwoLevelInt, 8),
+            [&] { layer.forward(x, false); });
+
+  const Tensor fake = layer.forward(x, false);
+  const QuantizedModelPackage pkg = export_all({&layer});
+  Tensor hw;
+  {
+    IntegerExecutionGuard guard({&layer}, pkg);
+    hw = layer.forward(x, false);
+    EXPECT_GT(guard.stats().vector_ops, 0u);
+  }
+  // The layer adds its fp bias on both paths; difference is fp rounding only.
+  EXPECT_LT(max_abs_diff(fake, hw), 2e-4f * (1.0f + amax_per_tensor(fake)));
+}
+
+TEST(IntegerExecutionGuard, UninstallsOnDestruction) {
+  Rng rng(12);
+  Linear layer("fc", 32, 8, rng);
+  const Tensor x = random_tensor(Shape{4, 32}, rng);
+  calibrate({&layer}, specs::weight_pv(4, ScaleDtype::kTwoLevelInt, 6),
+            specs::act_pv(8, false, ScaleDtype::kTwoLevelInt, 8),
+            [&] { layer.forward(x, false); });
+  const QuantizedModelPackage pkg = export_all({&layer});
+
+  const Tensor before = layer.forward(x, false);
+  { IntegerExecutionGuard guard({&layer}, pkg); }
+  const Tensor after = layer.forward(x, false);
+  // Same mode (kQuantEval), so identical outputs bit-for-bit.
+  EXPECT_EQ(max_abs_diff(before, after), 0.0f);
+}
+
+TEST(IntegerExecutionGuard, MissingLayerThrowsAndInstallsNothing) {
+  Rng rng(13);
+  Linear a("a", 16, 4, rng), b("b", 4, 2, rng);
+  const Tensor x = random_tensor(Shape{2, 16}, rng);
+  calibrate({&a, &b}, specs::weight_pv(4, ScaleDtype::kTwoLevelInt, 6),
+            specs::act_pv(8, false, ScaleDtype::kTwoLevelInt, 8), [&] { b.forward(a.forward(x, false), false); });
+  QuantizedModelPackage pkg = export_all({&a});  // b intentionally absent
+
+  EXPECT_THROW(IntegerExecutionGuard({&a, &b}, pkg), std::invalid_argument);
+  // `a` must not be left with a dangling override from the failed install.
+  const Tensor y = a.forward(x, false);
+  EXPECT_EQ(y.shape(), (Shape{2, 4}));
+}
+
+TEST(IntegerExecutionGuard, TrainingForwardThrowsWhileInstalled) {
+  Rng rng(14);
+  Linear layer("fc", 16, 4, rng);
+  const Tensor x = random_tensor(Shape{2, 16}, rng);
+  calibrate({&layer}, specs::weight_pv(4, ScaleDtype::kTwoLevelInt, 6),
+            specs::act_pv(8, false, ScaleDtype::kTwoLevelInt, 8),
+            [&] { layer.forward(x, false); });
+  const QuantizedModelPackage pkg = export_all({&layer});
+  IntegerExecutionGuard guard({&layer}, pkg);
+  EXPECT_THROW(layer.forward(x, /*train=*/true), std::logic_error);
+}
+
+TEST(IntegerExecutionGuard, StatsAccumulateAcrossLayersAndBatches) {
+  Rng rng(15);
+  Linear l1("l1", 32, 32, rng), l2("l2", 32, 8, rng);
+  const Tensor x = random_tensor(Shape{4, 32}, rng);
+  calibrate({&l1, &l2}, specs::weight_pv(4, ScaleDtype::kTwoLevelInt, 6),
+            specs::act_pv(8, false, ScaleDtype::kTwoLevelInt, 8),
+            [&] { l2.forward(l1.forward(x, false), false); });
+  const QuantizedModelPackage pkg = export_all({&l1, &l2});
+
+  IntegerExecutionGuard guard({&l1, &l2}, pkg);
+  l2.forward(l1.forward(x, false), false);
+  const std::uint64_t after_one = guard.stats().vector_ops;
+  l2.forward(l1.forward(x, false), false);
+  EXPECT_EQ(guard.stats().vector_ops, 2 * after_one);
+  // 4 rows x (32/16=2 vectors x 32 outs + 2 vectors x 8 outs).
+  EXPECT_EQ(after_one, 4u * (2u * 32u + 2u * 8u));
+}
+
+// Whole-model parity: a small trained CNN, quantized, exported, and run
+// end-to-end through the integer datapath must reproduce the fake-quant
+// logits (and therefore the same accuracy).
+TEST(IntegerExecutionGuard, TinyCnnEndToEndParity) {
+  ImageDatasetConfig dc;
+  dc.count = 96;
+  dc.height = 8;
+  dc.width = 8;
+  dc.classes = 4;
+  dc.pixel_noise = 0.3;
+  dc.seed = 77;
+  const ImageDataset data = make_image_dataset(dc);
+
+  ResNetVConfig mc;
+  mc.in_h = 8;
+  mc.in_w = 8;
+  mc.widths = {8, 16};
+  mc.blocks_per_stage = 1;
+  mc.classes = 4;
+  ResNetV model(mc);
+  Sgd opt(model.params(), 0.05f, 0.9f, 0.0f);
+  for (int step = 0; step < 8; ++step) {
+    opt.zero_grad();
+    const Tensor logits = model.forward(data.batch_images(0, 64), true);
+    model.backward(cross_entropy(logits, data.batch_labels(0, 64)).grad);
+    opt.step();
+  }
+  model.fold_batchnorm();
+
+  auto gemms = model.gemms();
+  calibrate(gemms, specs::weight_pv(4, ScaleDtype::kTwoLevelInt, 6),
+            specs::act_pv(8, true, ScaleDtype::kTwoLevelInt, 8),
+            [&] { model.forward(data.batch_images(0, 64), false); });
+
+  const Tensor eval_batch = data.batch_images(64, 96);
+  const Tensor fake = model.forward(eval_batch, false);
+
+  QuantizedModelPackage pkg;
+  for (QuantizableGemm* g : gemms) pkg.layers[g->gemm_name()] = export_gemm(*g, {});
+  Tensor hw;
+  {
+    IntegerExecutionGuard guard(gemms, pkg);
+    hw = model.forward(eval_batch, false);
+    EXPECT_GT(guard.stats().vector_ops, 0u);
+  }
+  // Biases live in the layers (exported empty), so the only divergence is
+  // the order of float multiplies; logits agree tightly and argmax exactly.
+  EXPECT_LT(max_abs_diff(fake, hw), 5e-3f * (1.0f + amax_per_tensor(fake)));
+  EXPECT_EQ(top1_accuracy(fake, data.batch_labels(64, 96)),
+            top1_accuracy(hw, data.batch_labels(64, 96)));
+}
+
+// The package round-trips to disk and the loaded package drives the same
+// integer execution.
+TEST(IntegerExecutionGuard, LoadedPackageMatchesInMemory) {
+  Rng rng(16);
+  Linear layer("fc", 32, 8, rng);
+  const Tensor x = random_tensor(Shape{4, 32}, rng);
+  calibrate({&layer}, specs::weight_pv(4, ScaleDtype::kTwoLevelInt, 6),
+            specs::act_pv(8, false, ScaleDtype::kTwoLevelInt, 8),
+            [&] { layer.forward(x, false); });
+  const QuantizedModelPackage pkg = export_all({&layer});
+  const std::string path = std::filesystem::temp_directory_path() / "vsq_int_runner_pkg.vsqa";
+  pkg.save(path);
+  const QuantizedModelPackage loaded = QuantizedModelPackage::load(path);
+
+  Tensor a, b;
+  {
+    IntegerExecutionGuard guard({&layer}, pkg);
+    a = layer.forward(x, false);
+  }
+  {
+    IntegerExecutionGuard guard({&layer}, loaded);
+    b = layer.forward(x, false);
+  }
+  EXPECT_LT(max_abs_diff(a, b), 1e-6f);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace vsq

@@ -1,0 +1,150 @@
+// Tests for hw/memory_model: the Sec. 4.4 closed-form overhead (M/(V*N)),
+// exact storage accounting with vector layouts and channel blocks, and
+// model-level traffic aggregation/ratios.
+#include <gtest/gtest.h>
+
+#include "hw/memory_model.h"
+#include "models/resnetv.h"
+#include "nn/linear.h"
+#include "util/rng.h"
+
+namespace vsq {
+namespace {
+
+TEST(ScaleOverhead, PaperExample) {
+  // N = M = 4, V = 16 -> 6.25% overhead, effective bitwidth 4.25 (Sec. 4.4).
+  EXPECT_DOUBLE_EQ(scale_overhead_fraction(4, 4, 16), 0.0625);
+  EXPECT_DOUBLE_EQ(effective_bitwidth(4, 4, 16), 4.25);
+}
+
+TEST(ScaleOverhead, ScalesWithParameters) {
+  // Overhead doubles when M doubles, halves when V or N double.
+  EXPECT_DOUBLE_EQ(scale_overhead_fraction(4, 8, 16), 0.125);
+  EXPECT_DOUBLE_EQ(scale_overhead_fraction(4, 4, 32), 0.03125);
+  EXPECT_DOUBLE_EQ(scale_overhead_fraction(8, 4, 16), 0.03125);
+}
+
+TEST(ScaleOverhead, DegenerateInputsGiveZero) {
+  EXPECT_DOUBLE_EQ(scale_overhead_fraction(0, 4, 16), 0.0);
+  EXPECT_DOUBLE_EQ(scale_overhead_fraction(4, -1, 16), 0.0);
+  EXPECT_DOUBLE_EQ(scale_overhead_fraction(4, 4, 0), 0.0);
+  EXPECT_DOUBLE_EQ(effective_bitwidth(4, -1, 16), 4.0);
+}
+
+MacConfig vs_config(int w, int a, int ws, int as, int v = 16) {
+  MacConfig c;
+  c.wt_bits = w;
+  c.act_bits = a;
+  c.wt_scale_bits = ws;
+  c.act_scale_bits = as;
+  c.vector_size = v;
+  return c;
+}
+
+TEST(MemoryModel, WeightStorageExactCounts) {
+  // 8 output channels x 64 reduction, V=16 -> 4 vectors/row.
+  const MacConfig cfg = vs_config(4, 8, 4, -1);
+  MemoryModel mm(cfg);
+  GemmDims dims{/*rows=*/32, /*cols=*/64, /*outs=*/8};
+  const StorageCost w = mm.weight_storage(dims);
+  EXPECT_EQ(w.elements, 8 * 64);
+  EXPECT_EQ(w.value_bits, 8 * 64 * 4);
+  EXPECT_EQ(w.scale_bits, 8 * 4 * 4);      // rows * vectors * M
+  EXPECT_EQ(w.coarse_bits, 8 * 16);        // per-channel fp16 gamma
+  EXPECT_DOUBLE_EQ(w.overhead_fraction(),
+                   static_cast<double>(8 * 4 * 4 + 8 * 16) / (8 * 64 * 4));
+}
+
+TEST(MemoryModel, ActStorageUsesPerTensorCoarse) {
+  const MacConfig cfg = vs_config(4, 4, 4, 4);
+  MemoryModel mm(cfg);
+  GemmDims dims{32, 64, 8};
+  const StorageCost a = mm.act_storage(dims);
+  EXPECT_EQ(a.value_bits, 32 * 64 * 4);
+  EXPECT_EQ(a.scale_bits, 32 * 4 * 4);
+  EXPECT_EQ(a.coarse_bits, 16);  // single per-tensor fp16 scale
+}
+
+TEST(MemoryModel, CoarseOnlyConfigHasNoVectorScales) {
+  const MacConfig cfg = vs_config(8, 8, -1, -1);
+  MemoryModel mm(cfg);
+  GemmDims dims{32, 64, 8};
+  EXPECT_EQ(mm.weight_storage(dims).scale_bits, 0);
+  EXPECT_EQ(mm.act_storage(dims).scale_bits, 0);
+  EXPECT_GT(mm.weight_storage(dims).coarse_bits, 0);
+}
+
+TEST(MemoryModel, EffectiveBitsMatchClosedFormForLargeTensors) {
+  // For a large matrix the exact effective bits/element approaches the
+  // closed form N*(1 + M/(V*N)) (coarse scales amortize to nothing).
+  const MacConfig cfg = vs_config(4, 4, 4, 4);
+  MemoryModel mm(cfg);
+  GemmDims dims{4096, 4096, 512};
+  const double exact = mm.weight_storage(dims).effective_bits_per_element();
+  EXPECT_NEAR(exact, effective_bitwidth(4, 4, 16), 0.01);
+}
+
+TEST(MemoryModel, TailVectorsCountedViaLayout) {
+  // cols = 40, V = 16 -> 3 vectors per row (16, 16, 8-tail).
+  const MacConfig cfg = vs_config(4, 4, 6, -1);
+  MemoryModel mm(cfg);
+  GemmDims dims{1, 40, 2};
+  EXPECT_EQ(mm.weight_storage(dims).scale_bits, 2 * 3 * 6);
+}
+
+TEST(MemoryModel, ChannelBlocksResetVectorBoundaries) {
+  // cols = 36 as 4 blocks of 9 channels (conv R*S=4, C=9), V=4:
+  // ceil(9/4)=3 vectors per block -> 12 per row, vs ceil(36/4)=9 unblocked.
+  const MacConfig cfg = vs_config(4, 4, 4, -1, /*v=*/4);
+  MemoryModel mm(cfg);
+  GemmDims dims{1, 36, 1};
+  EXPECT_EQ(mm.weight_storage(dims, /*channel_block=*/9).scale_bits, 12 * 4);
+  EXPECT_EQ(mm.weight_storage(dims, /*channel_block=*/0).scale_bits, 9 * 4);
+}
+
+TEST(MemoryModel, QuantizedTrafficBeatsBaselineDespiteScales) {
+  // 4/4/4/4 with V=16 must still use far less bandwidth than 8/8/-/-:
+  // the 6.25% scale overhead cannot eat the 2x payload saving.
+  Rng rng(3);
+  Linear l1("l1", 64, 32, rng), l2("l2", 32, 16, rng);
+  Tensor x(Shape{8, 64});
+  for (auto& v : x.span()) v = static_cast<float>(rng.normal());
+  l2.forward(l1.forward(x, false), false);
+  std::vector<QuantizableGemm*> gemms{&l1, &l2};
+
+  const ModelTraffic base = MemoryModel(vs_config(8, 8, -1, -1)).traffic(gemms);
+  const ModelTraffic vsq = MemoryModel(vs_config(4, 4, 4, 4)).traffic(gemms);
+  EXPECT_EQ(base.layers.size(), 2u);
+  EXPECT_LT(vsq.ratio_vs(base), 0.56);  // ~0.53 expected
+  EXPECT_GT(vsq.ratio_vs(base), 0.50);  // but not below the payload floor
+  EXPECT_DOUBLE_EQ(base.ratio_vs(base), 1.0);
+}
+
+TEST(MemoryModel, TrafficOnRealModelAccumulates) {
+  ResNetVConfig mc;
+  mc.in_h = 8;
+  mc.in_w = 8;
+  mc.widths = {8, 16};
+  mc.blocks_per_stage = 1;
+  mc.classes = 4;
+  ResNetV model(mc);
+  Rng rng(7);
+  Tensor x(Shape{2, 8, 8, 3});
+  for (auto& v : x.span()) v = static_cast<float>(rng.normal());
+  model.forward(x, false);
+
+  MemoryModel mm(vs_config(4, 8, 4, 4));
+  const ModelTraffic t = mm.traffic(model.gemms());
+  EXPECT_EQ(t.layers.size(), model.gemms().size());
+  std::int64_t w = 0, a = 0;
+  for (const LayerTraffic& lt : t.layers) {
+    w += lt.weights.total_bits();
+    a += lt.acts.total_bits();
+    EXPECT_GT(lt.total_bits(), 0);
+  }
+  EXPECT_EQ(w, t.weight_bits);
+  EXPECT_EQ(a, t.act_bits);
+}
+
+}  // namespace
+}  // namespace vsq

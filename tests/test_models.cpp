@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "models/resnetv.h"
+#include "models/zoo.h"
+#include "models/transformer.h"
+#include "nn/loss.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace vsq {
+namespace {
+
+Tensor random_tensor(Shape s, Rng& rng, double scale = 1.0) {
+  Tensor t(s);
+  for (auto& v : t.span()) v = static_cast<float>(rng.normal(0.0, scale));
+  return t;
+}
+
+ResNetVConfig tiny_resnet_config() {
+  ResNetVConfig c;
+  c.in_h = 8;
+  c.in_w = 8;
+  c.widths = {8, 16};
+  c.blocks_per_stage = 1;
+  c.classes = 4;
+  return c;
+}
+
+TEST(ResNetV, ForwardShape) {
+  ResNetV model(tiny_resnet_config());
+  Rng rng(1);
+  const Tensor y = model.forward(random_tensor(Shape{3, 8, 8, 3}, rng), false);
+  EXPECT_EQ(y.shape(), (Shape{3, 4}));
+}
+
+TEST(ResNetV, GemmCount) {
+  ResNetV model(tiny_resnet_config());
+  // stem + stage0 block (2 convs) + stage1 block (2 convs + 1x1 shortcut) + fc
+  EXPECT_EQ(model.gemms().size(), 1u + 2u + 3u + 1u);
+}
+
+TEST(ResNetV, BackwardProducesFiniteGrads) {
+  ResNetV model(tiny_resnet_config());
+  Rng rng(2);
+  const Tensor x = random_tensor(Shape{4, 8, 8, 3}, rng);
+  const Tensor logits = model.forward(x, true);
+  const LossResult loss = cross_entropy(logits, {0, 1, 2, 3});
+  for (Param* p : model.params()) p->zero_grad();
+  model.backward(loss.grad);
+  double total = 0;
+  for (Param* p : model.params()) {
+    for (const float g : p->grad.span()) {
+      ASSERT_TRUE(std::isfinite(g));
+      total += std::abs(g);
+    }
+  }
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(ResNetV, SaveLoadRoundTrip) {
+  const std::string path = std::filesystem::temp_directory_path() / "vsq_test_resnet.vsqa";
+  ResNetV a(tiny_resnet_config());
+  Rng rng(3);
+  const Tensor x = random_tensor(Shape{2, 8, 8, 3}, rng);
+  // Run a training forward so BN running stats are non-trivial.
+  a.forward(x, true);
+  a.save(path);
+
+  ResNetV b(tiny_resnet_config());
+  b.load(path);
+  const Tensor ya = a.forward(x, false);
+  const Tensor yb = b.forward(x, false);
+  EXPECT_LT(max_abs_diff(ya, yb), 1e-6f);
+  std::remove(path.c_str());
+}
+
+TEST(ResNetV, BatchNormFoldingPreservesInference) {
+  ResNetV model(tiny_resnet_config());
+  Rng rng(4);
+  // Push a few training batches so running stats move away from init.
+  for (int i = 0; i < 3; ++i) model.forward(random_tensor(Shape{8, 8, 8, 3}, rng), true);
+  const Tensor x = random_tensor(Shape{4, 8, 8, 3}, rng);
+  const Tensor before = model.forward(x, false);
+  model.fold_batchnorm();
+  const Tensor after = model.forward(x, false);
+  EXPECT_LT(max_abs_diff(before, after), 1e-3f);
+  EXPECT_TRUE(model.batchnorm_folded());
+}
+
+TEST(ResNetV, FoldingIsIdempotent) {
+  ResNetV model(tiny_resnet_config());
+  Rng rng(5);
+  model.forward(random_tensor(Shape{4, 8, 8, 3}, rng), true);
+  model.fold_batchnorm();
+  const Tensor x = random_tensor(Shape{2, 8, 8, 3}, rng);
+  const Tensor y1 = model.forward(x, false);
+  model.fold_batchnorm();  // second fold must be a no-op
+  const Tensor y2 = model.forward(x, false);
+  EXPECT_LT(max_abs_diff(y1, y2), 1e-7f);
+}
+
+TransformerConfig tiny_transformer_config() {
+  TransformerConfig c;
+  c.vocab = 16;
+  c.max_len = 8;
+  c.dim = 16;
+  c.heads = 2;
+  c.layers = 2;
+  return c;
+}
+
+TEST(Transformer, ForwardShape) {
+  TransformerEncoder model(tiny_transformer_config());
+  const Tensor tokens = Tensor::from_vector(Shape{2, 6}, {1, 2, 3, 4, 5, 6, 7, 8, 9, 1, 2, 3});
+  const Tensor y = model.forward(tokens, false);
+  EXPECT_EQ(y.shape(), (Shape{2, 6, 2}));
+}
+
+TEST(Transformer, GemmCount) {
+  TransformerEncoder model(tiny_transformer_config());
+  // 2 layers x (4 attention + 2 ffn) + span head
+  EXPECT_EQ(model.gemms().size(), 2u * 6u + 1u);
+}
+
+TEST(Transformer, BackwardProducesFiniteGrads) {
+  TransformerEncoder model(tiny_transformer_config());
+  const Tensor tokens = Tensor::from_vector(Shape{1, 6}, {1, 2, 3, 4, 5, 6});
+  const Tensor logits = model.forward(tokens, true);
+  SpanLabels labels;
+  labels.start = {2};
+  labels.end = {4};
+  const LossResult loss = span_cross_entropy(logits, labels);
+  for (Param* p : model.params()) p->zero_grad();
+  model.backward(loss.grad);
+  double total = 0;
+  for (Param* p : model.params()) {
+    for (const float g : p->grad.span()) {
+      ASSERT_TRUE(std::isfinite(g));
+      total += std::abs(g);
+    }
+  }
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(Transformer, SaveLoadRoundTrip) {
+  const std::string path = std::filesystem::temp_directory_path() / "vsq_test_tf.vsqa";
+  TransformerEncoder a(tiny_transformer_config());
+  a.save(path);
+  TransformerEncoder b(tiny_transformer_config());
+  const Tensor tokens = Tensor::from_vector(Shape{1, 4}, {3, 1, 4, 1});
+  b.load(path);
+  EXPECT_LT(max_abs_diff(a.forward(tokens, false), b.forward(tokens, false)), 1e-6f);
+  std::remove(path.c_str());
+}
+
+TEST(Transformer, PresetsMatchPaperOrdering) {
+  // "large" must be strictly bigger than "base" (Fig. 7's premise).
+  const TransformerConfig base = bert_base_config(), large = bert_large_config();
+  EXPECT_GT(large.dim, base.dim);
+  EXPECT_GT(large.layers, base.layers);
+}
+
+// ModelZoo fingerprinting: checkpoints and the accuracy cache trained by an
+// incompatible code revision must be wiped, never silently loaded.
+TEST(ModelZoo, FingerprintInvalidatesStaleArtifacts) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "vsq_zoo_fp_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const auto touch = [&](const char* name) {
+    std::ofstream(dir / name) << "stale";
+  };
+  touch("resnetv.vsqa");
+  touch("accuracy_cache.tsv");
+  std::ofstream(dir / "zoo_fingerprint.txt") << "some-old-fingerprint\n";
+
+  {
+    ModelZoo zoo(dir.string());  // fingerprint mismatch -> wipe
+  }
+  EXPECT_FALSE(fs::exists(dir / "resnetv.vsqa"));
+  EXPECT_FALSE(fs::exists(dir / "accuracy_cache.tsv"));
+  EXPECT_TRUE(fs::exists(dir / "zoo_fingerprint.txt"));
+
+  // With the fingerprint now current, artifacts survive reconstruction.
+  touch("resnetv.vsqa");
+  {
+    ModelZoo zoo(dir.string());
+  }
+  EXPECT_TRUE(fs::exists(dir / "resnetv.vsqa"));
+  fs::remove_all(dir);
+}
+
+TEST(ModelZoo, FreshDirectoryGetsFingerprint) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "vsq_zoo_fresh_test";
+  fs::remove_all(dir);
+  {
+    ModelZoo zoo(dir.string());
+  }
+  EXPECT_TRUE(fs::exists(dir / "zoo_fingerprint.txt"));
+  std::ifstream in(dir / "zoo_fingerprint.txt");
+  std::string fp;
+  std::getline(in, fp);
+  EXPECT_NE(fp.find("resnet="), std::string::npos);
+  EXPECT_NE(fp.find("tf="), std::string::npos);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace vsq

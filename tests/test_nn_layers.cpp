@@ -1,0 +1,337 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "nn/activations.h"
+#include "nn/attention.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/embedding.h"
+#include "nn/layernorm.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/pooling.h"
+#include "nn/softmax.h"
+#include "util/rng.h"
+
+namespace vsq {
+namespace {
+
+Tensor random_tensor(Shape s, Rng& rng, double scale = 1.0) {
+  Tensor t(s);
+  for (auto& v : t.span()) v = static_cast<float>(rng.normal(0.0, scale));
+  return t;
+}
+
+// Numerical gradient check: loss = <forward(x), G> for a fixed random G.
+// Verifies backward(G) against central differences on inputs, and the
+// accumulated parameter gradients against central differences on params.
+void check_gradients(Layer& layer, Tensor x, std::uint64_t seed, double tol = 2e-2,
+                     double eps = 1e-3) {
+  Rng rng(seed);
+  Tensor y = layer.forward(x, /*train=*/true);
+  const Tensor g = random_tensor(y.shape(), rng);
+
+  for (Param* p : layer.params()) p->zero_grad();
+  const Tensor gx = layer.backward(g);
+
+  const auto loss_at = [&](const Tensor& xin) {
+    const Tensor out = layer.forward(xin, /*train=*/true);
+    double l = 0;
+    for (std::int64_t i = 0; i < out.numel(); ++i) l += static_cast<double>(out[i]) * g[i];
+    return l;
+  };
+
+  // Input gradients (subsample for speed).
+  if (!gx.empty()) {
+    const std::int64_t stride = std::max<std::int64_t>(1, x.numel() / 24);
+    for (std::int64_t i = 0; i < x.numel(); i += stride) {
+      Tensor xp = x.clone(), xm = x.clone();
+      xp[i] += static_cast<float>(eps);
+      xm[i] -= static_cast<float>(eps);
+      const double num = (loss_at(xp) - loss_at(xm)) / (2 * eps);
+      EXPECT_NEAR(gx[i], num, tol * (1.0 + std::abs(num))) << "input grad at " << i;
+    }
+  }
+
+  // Parameter gradients.
+  for (Param* p : layer.params()) {
+    const std::int64_t stride = std::max<std::int64_t>(1, p->value.numel() / 12);
+    for (std::int64_t i = 0; i < p->value.numel(); i += stride) {
+      const float orig = p->value[i];
+      p->value[i] = orig + static_cast<float>(eps);
+      const double lp = loss_at(x);
+      p->value[i] = orig - static_cast<float>(eps);
+      const double lm = loss_at(x);
+      p->value[i] = orig;
+      const double num = (lp - lm) / (2 * eps);
+      EXPECT_NEAR(p->grad[i], num, tol * (1.0 + std::abs(num)))
+          << p->name << " grad at " << i;
+    }
+  }
+}
+
+TEST(Linear, ForwardMatchesHandComputation) {
+  Rng rng(1);
+  Linear l("l", 2, 3, rng);
+  l.weight().value = Tensor::from_vector(Shape{3, 2}, {1, 2, 3, 4, 5, 6});
+  l.bias().value = Tensor::from_vector(Shape{3}, {0.5f, -0.5f, 0.0f});
+  const Tensor x = Tensor::from_vector(Shape{1, 2}, {1, -1});
+  const Tensor y = l.forward(x, false);
+  EXPECT_FLOAT_EQ(y.at2(0, 0), 1 - 2 + 0.5f);
+  EXPECT_FLOAT_EQ(y.at2(0, 1), 3 - 4 - 0.5f);
+  EXPECT_FLOAT_EQ(y.at2(0, 2), 5 - 6);
+}
+
+TEST(Linear, GradCheck) {
+  Rng rng(2);
+  Linear l("l", 5, 4, rng);
+  check_gradients(l, random_tensor(Shape{3, 5}, rng), 20);
+}
+
+TEST(Linear, Rank3InputKeepsLeadingAxes) {
+  Rng rng(3);
+  Linear l("l", 6, 2, rng);
+  const Tensor y = l.forward(random_tensor(Shape{2, 7, 6}, rng), false);
+  EXPECT_EQ(y.shape(), (Shape{2, 7, 2}));
+}
+
+TEST(Conv2d, GradCheck) {
+  Rng rng(4);
+  Conv2d c("c", 3, 4, 3, 1, 1, rng);
+  check_gradients(c, random_tensor(Shape{2, 5, 5, 3}, rng), 21);
+}
+
+TEST(Conv2d, StridedGradCheck) {
+  Rng rng(5);
+  Conv2d c("c", 2, 3, 3, 2, 1, rng);
+  check_gradients(c, random_tensor(Shape{1, 6, 6, 2}, rng), 22);
+}
+
+TEST(Conv2d, OutputShape) {
+  Rng rng(6);
+  Conv2d c("c", 3, 8, 3, 2, 1, rng);
+  const Tensor y = c.forward(random_tensor(Shape{2, 8, 8, 3}, rng), false);
+  EXPECT_EQ(y.shape(), (Shape{2, 4, 4, 8}));
+}
+
+TEST(Conv2d, FoldAffineMatchesBnInference) {
+  // conv -> BN (inference stats) must equal folded conv.
+  Rng rng(7);
+  Conv2d c("c", 2, 3, 3, 1, 1, rng);
+  BatchNorm2d bn("bn", 3);
+  // Give BN non-trivial inference statistics.
+  Rng r2(8);
+  for (std::int64_t i = 0; i < 3; ++i) {
+    bn.running_mean()[i] = static_cast<float>(r2.normal(0.0, 0.5));
+    bn.running_var()[i] = static_cast<float>(r2.uniform(0.5, 2.0));
+    bn.gamma().value[i] = static_cast<float>(r2.uniform(0.5, 1.5));
+    bn.beta().value[i] = static_cast<float>(r2.normal(0.0, 0.3));
+  }
+  const Tensor x = random_tensor(Shape{2, 4, 4, 2}, rng);
+  const Tensor ref = bn.forward(c.forward(x, false), false);
+
+  std::vector<float> mul, add;
+  bn.inference_affine(mul, add);
+  c.fold_affine(mul, add);
+  const Tensor folded = c.forward(x, false);
+  for (std::int64_t i = 0; i < ref.numel(); ++i) EXPECT_NEAR(folded[i], ref[i], 1e-4f);
+}
+
+TEST(ReLU, GradCheck) {
+  Rng rng(9);
+  ReLU r;
+  check_gradients(r, random_tensor(Shape{4, 6}, rng), 23);
+}
+
+TEST(GELU, GradCheck) {
+  Rng rng(10);
+  GELU g;
+  check_gradients(g, random_tensor(Shape{4, 6}, rng), 24);
+}
+
+TEST(GELU, KnownValues) {
+  EXPECT_NEAR(gelu_value(0.0f), 0.0f, 1e-6);
+  EXPECT_NEAR(gelu_value(10.0f), 10.0f, 1e-3);
+  EXPECT_NEAR(gelu_value(-10.0f), 0.0f, 1e-3);
+}
+
+TEST(BatchNorm2d, NormalizesBatch) {
+  Rng rng(11);
+  BatchNorm2d bn("bn", 4);
+  const Tensor x = random_tensor(Shape{4, 3, 3, 4}, rng, 3.0);
+  const Tensor y = bn.forward(x, /*train=*/true);
+  // Per-channel mean ~0, var ~1 after normalization.
+  for (std::int64_t c = 0; c < 4; ++c) {
+    double mean = 0, var = 0;
+    const std::int64_t n = y.numel() / 4;
+    for (std::int64_t i = 0; i < n; ++i) mean += y[i * 4 + c];
+    mean /= static_cast<double>(n);
+    for (std::int64_t i = 0; i < n; ++i) {
+      const double d = y[i * 4 + c] - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(n);
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm2d, GradCheck) {
+  Rng rng(12);
+  BatchNorm2d bn("bn", 3);
+  check_gradients(bn, random_tensor(Shape{2, 3, 3, 3}, rng), 25, 3e-2);
+}
+
+TEST(LayerNorm, GradCheck) {
+  Rng rng(13);
+  LayerNorm ln("ln", 8);
+  check_gradients(ln, random_tensor(Shape{5, 8}, rng), 26, 3e-2);
+}
+
+TEST(LayerNorm, NormalizesRows) {
+  Rng rng(14);
+  LayerNorm ln("ln", 16);
+  const Tensor y = ln.forward(random_tensor(Shape{3, 16}, rng, 5.0), false);
+  for (std::int64_t r = 0; r < 3; ++r) {
+    double mean = 0;
+    for (std::int64_t c = 0; c < 16; ++c) mean += y.at2(r, c);
+    EXPECT_NEAR(mean / 16, 0.0, 1e-4);
+  }
+}
+
+TEST(GlobalAvgPool, ForwardAndGradCheck) {
+  Rng rng(15);
+  GlobalAvgPool gap;
+  Tensor x(Shape{1, 2, 2, 1});
+  x[0] = 1;
+  x[1] = 2;
+  x[2] = 3;
+  x[3] = 6;
+  EXPECT_FLOAT_EQ(gap.forward(x, false).at2(0, 0), 3.0f);
+  check_gradients(gap, random_tensor(Shape{2, 3, 3, 4}, rng), 27);
+}
+
+TEST(MaxPool2x2, ForwardAndGradCheck) {
+  Rng rng(16);
+  MaxPool2x2 mp;
+  const Tensor y = mp.forward(random_tensor(Shape{1, 4, 4, 2}, rng), false);
+  EXPECT_EQ(y.shape(), (Shape{1, 2, 2, 2}));
+  check_gradients(mp, random_tensor(Shape{1, 4, 4, 2}, rng), 28);
+}
+
+TEST(Softmax, RowsSumToOne) {
+  Rng rng(17);
+  const Tensor p = softmax_last_axis(random_tensor(Shape{5, 7}, rng, 3.0));
+  for (std::int64_t r = 0; r < 5; ++r) {
+    double sum = 0;
+    for (std::int64_t c = 0; c < 7; ++c) sum += p.at2(r, c);
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(Softmax, StableForLargeLogits) {
+  const Tensor x = Tensor::from_vector(Shape{1, 2}, {1000.0f, 999.0f});
+  const Tensor p = softmax_last_axis(x);
+  EXPECT_NEAR(p.at2(0, 0), 1.0 / (1.0 + std::exp(-1.0)), 1e-5);
+}
+
+TEST(Embedding, LookupAndScatterGrad) {
+  Rng rng(18);
+  Embedding e("e", 10, 8, 4, rng);
+  const Tensor ids = Tensor::from_vector(Shape{1, 3}, {2, 7, 2});
+  const Tensor y = e.forward(ids, true);
+  EXPECT_EQ(y.shape(), (Shape{1, 3, 4}));
+  // token 2 appears twice -> its grad row accumulates both positions.
+  Tensor g(y.shape());
+  g.fill(1.0f);
+  e.backward(g);
+  EXPECT_FLOAT_EQ(e.token_table().grad.at2(2, 0), 2.0f);
+  EXPECT_FLOAT_EQ(e.token_table().grad.at2(7, 0), 1.0f);
+  EXPECT_FLOAT_EQ(e.token_table().grad.at2(0, 0), 0.0f);
+}
+
+TEST(Embedding, RejectsOutOfRangeToken) {
+  Rng rng(19);
+  Embedding e("e", 4, 4, 2, rng);
+  const Tensor ids = Tensor::from_vector(Shape{1, 1}, {9});
+  EXPECT_THROW(e.forward(ids, false), std::out_of_range);
+}
+
+TEST(Attention, GradCheck) {
+  Rng rng(20);
+  MultiHeadSelfAttention a("a", 8, 2, rng);
+  check_gradients(a, random_tensor(Shape{2, 4, 8}, rng, 0.5), 29, 4e-2);
+}
+
+TEST(Attention, OutputShapeAndGemmCount) {
+  Rng rng(21);
+  MultiHeadSelfAttention a("a", 16, 4, rng);
+  const Tensor y = a.forward(random_tensor(Shape{2, 5, 16}, rng), false);
+  EXPECT_EQ(y.shape(), (Shape{2, 5, 16}));
+  EXPECT_EQ(a.gemms().size(), 4u);
+}
+
+TEST(Loss, CrossEntropyGradChecks) {
+  Rng rng(22);
+  const Tensor logits = random_tensor(Shape{4, 5}, rng);
+  const std::vector<int> labels{0, 2, 4, 1};
+  const LossResult res = cross_entropy(logits, labels);
+  const double eps = 1e-3;
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    Tensor lp = logits.clone(), lm = logits.clone();
+    lp[i] += static_cast<float>(eps);
+    lm[i] -= static_cast<float>(eps);
+    const double num =
+        (cross_entropy(lp, labels).loss - cross_entropy(lm, labels).loss) / (2 * eps);
+    EXPECT_NEAR(res.grad[i], num, 1e-3);
+  }
+}
+
+TEST(Loss, Top1Accuracy) {
+  const Tensor logits = Tensor::from_vector(Shape{2, 3}, {1, 5, 0, 9, 1, 2});
+  EXPECT_DOUBLE_EQ(top1_accuracy(logits, {1, 0}), 100.0);
+  EXPECT_DOUBLE_EQ(top1_accuracy(logits, {0, 0}), 50.0);
+}
+
+TEST(Loss, SpanF1PerfectAndDisjoint) {
+  // T=6; make start/end logits argmax at (2,3).
+  Tensor logits(Shape{1, 6, 2});
+  logits.at3(0, 2, 0) = 5.0f;
+  logits.at3(0, 3, 1) = 5.0f;
+  SpanLabels gold;
+  gold.start = {2};
+  gold.end = {3};
+  EXPECT_DOUBLE_EQ(span_f1(logits, gold), 100.0);
+  SpanLabels wrong;
+  wrong.start = {5};
+  wrong.end = {5};
+  EXPECT_DOUBLE_EQ(span_f1(logits, wrong), 0.0);
+}
+
+TEST(Loss, SpanF1PartialOverlap) {
+  // Predicted [1,2], gold [2,3]: overlap 1, prec 1/2, rec 1/2 -> F1 50%.
+  Tensor logits(Shape{1, 6, 2});
+  logits.at3(0, 1, 0) = 5.0f;
+  logits.at3(0, 2, 1) = 5.0f;
+  SpanLabels gold;
+  gold.start = {2};
+  gold.end = {3};
+  EXPECT_NEAR(span_f1(logits, gold), 50.0, 1e-9);
+}
+
+TEST(Loss, SpanCrossEntropyGradShape) {
+  Rng rng(23);
+  const Tensor logits = random_tensor(Shape{3, 8, 2}, rng);
+  SpanLabels labels;
+  labels.start = {1, 2, 3};
+  labels.end = {2, 4, 5};
+  const LossResult res = span_cross_entropy(logits, labels);
+  EXPECT_EQ(res.grad.shape(), logits.shape());
+  EXPECT_GT(res.loss, 0.0);
+}
+
+}  // namespace
+}  // namespace vsq

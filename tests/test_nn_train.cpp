@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "nn/activations.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "util/rng.h"
+
+namespace vsq {
+namespace {
+
+// A 2-layer MLP on a simple 2-class problem (sign of a linear projection
+// with margin): both optimizers should fit it quickly.
+struct TinyMlp {
+  Linear l1, l2;
+  ReLU relu;
+
+  explicit TinyMlp(Rng& rng) : l1("l1", 2, 16, rng), l2("l2", 16, 2, rng) {}
+
+  Tensor forward(const Tensor& x, bool train) {
+    return l2.forward(relu.forward(l1.forward(x, train), train), train);
+  }
+  void backward(const Tensor& g) { l1.backward(relu.backward(l2.backward(g))); }
+  std::vector<Param*> params() {
+    auto ps = l1.params();
+    for (Param* p : l2.params()) ps.push_back(p);
+    return ps;
+  }
+};
+
+void make_problem(Rng& rng, std::int64_t n, Tensor& x, std::vector<int>& y) {
+  x = Tensor(Shape{n, 2});
+  y.resize(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double a = rng.normal(), b = rng.normal();
+    x.at2(i, 0) = static_cast<float>(a);
+    x.at2(i, 1) = static_cast<float>(b);
+    y[static_cast<std::size_t>(i)] = (a + 0.5 * b > 0) ? 1 : 0;
+  }
+}
+
+template <typename Opt>
+double train_mlp(Opt& opt, TinyMlp& mlp, const Tensor& x, const std::vector<int>& y, int steps) {
+  double last_loss = 0;
+  for (int s = 0; s < steps; ++s) {
+    opt.zero_grad();
+    const Tensor logits = mlp.forward(x, true);
+    const LossResult res = cross_entropy(logits, y);
+    mlp.backward(res.grad);
+    opt.step();
+    last_loss = res.loss;
+  }
+  return last_loss;
+}
+
+TEST(Training, SgdFitsLinearProblem) {
+  Rng rng(1);
+  TinyMlp mlp(rng);
+  Tensor x;
+  std::vector<int> y;
+  make_problem(rng, 256, x, y);
+  Sgd opt(mlp.params(), 0.1f, 0.9f, 0.0f);
+  const double initial = cross_entropy(mlp.forward(x, false), y).loss;
+  const double final_loss = train_mlp(opt, mlp, x, y, 120);
+  EXPECT_LT(final_loss, initial * 0.3);
+  EXPECT_GT(top1_accuracy(mlp.forward(x, false), y), 95.0);
+}
+
+TEST(Training, AdamFitsLinearProblem) {
+  Rng rng(2);
+  TinyMlp mlp(rng);
+  Tensor x;
+  std::vector<int> y;
+  make_problem(rng, 256, x, y);
+  Adam opt(mlp.params(), 0.01f);
+  const double final_loss = train_mlp(opt, mlp, x, y, 120);
+  EXPECT_LT(final_loss, 0.2);
+}
+
+TEST(Training, ZeroGradClearsGradients) {
+  Rng rng(3);
+  TinyMlp mlp(rng);
+  Tensor x;
+  std::vector<int> y;
+  make_problem(rng, 16, x, y);
+  Sgd opt(mlp.params(), 0.1f);
+  const Tensor logits = mlp.forward(x, true);
+  mlp.backward(cross_entropy(logits, y).grad);
+  opt.zero_grad();
+  for (Param* p : mlp.params()) {
+    for (std::int64_t i = 0; i < p->grad.numel(); ++i) EXPECT_EQ(p->grad[i], 0.0f);
+  }
+}
+
+TEST(Training, WeightDecayShrinksWeights) {
+  Rng rng(4);
+  Linear l("l", 4, 4, rng);
+  // Zero gradient + weight decay -> pure shrinkage.
+  Sgd opt(l.params(), 0.1f, 0.0f, 0.1f);
+  const float before = std::abs(l.weight().value[0]);
+  opt.zero_grad();
+  opt.step();
+  EXPECT_LT(std::abs(l.weight().value[0]), before);
+}
+
+TEST(Training, SgdMomentumAcceleratesOnConstantGrad) {
+  Rng rng(5);
+  Linear l("l", 1, 1, rng, /*has_bias=*/false);
+  l.weight().value[0] = 0.0f;
+  Sgd opt(l.params(), 0.1f, 0.9f, 0.0f);
+  // Apply the same gradient twice; the second step must be larger.
+  l.weight().grad[0] = 1.0f;
+  opt.step();
+  const float step1 = -l.weight().value[0];
+  l.weight().grad[0] = 1.0f;
+  const float before = l.weight().value[0];
+  opt.step();
+  const float step2 = before - l.weight().value[0];
+  EXPECT_GT(step2, step1 * 1.5f);
+}
+
+}  // namespace
+}  // namespace vsq

@@ -1,0 +1,156 @@
+// Tests for the outlier-channel-splitting baseline (quant/ocs):
+// function preservation, error reduction on planted outliers, degenerate
+// budgets, expansion accounting, and the model-level execution guard.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/linear.h"
+#include "quant/ocs.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace vsq {
+namespace {
+
+Tensor random_tensor(Shape s, Rng& rng, double scale = 1.0) {
+  Tensor t(s);
+  for (auto& v : t.span()) v = static_cast<float>(rng.normal(0.0, scale));
+  return t;
+}
+
+// A weight matrix with a few huge outliers — the regime OCS targets.
+Tensor outlier_matrix(Rng& rng, std::int64_t rows = 16, std::int64_t cols = 64) {
+  Tensor w = random_tensor(Shape{rows, cols}, rng, 0.1);
+  w.at2(3, 7) = 4.0f;
+  w.at2(9, 7) = -3.5f;
+  w.at2(12, 33) = 5.0f;
+  return w;
+}
+
+TEST(Ocs, ZeroBudgetEqualsPerChannel) {
+  Rng rng(21);
+  const Tensor w = outlier_matrix(rng);
+  const QuantFormat fmt{4, true};
+  const OcsResult ocs = ocs_fake_quantize(w, fmt, 0.0);
+  EXPECT_EQ(ocs.splits, 0);
+  EXPECT_DOUBLE_EQ(ocs.expansion(), 1.0);
+
+  const VectorLayout layout{w.shape()[1], 16, 0};
+  const ScaleSet s = compute_scales(w, Granularity::kPerRow, layout, fmt);
+  const Tensor plain = fake_quantize(w, s, fmt);
+  EXPECT_LT(max_abs_diff(ocs.fake, plain), 1e-7f);
+}
+
+TEST(Ocs, SplitBudgetIsRespected) {
+  Rng rng(22);
+  const Tensor w = outlier_matrix(rng);
+  const OcsResult ocs = ocs_fake_quantize(w, QuantFormat{4, true}, 0.05);
+  // ceil(0.05 * 64) = 4 splits -> 68 expanded columns.
+  EXPECT_EQ(ocs.splits, 4);
+  EXPECT_EQ(ocs.expanded_cols, 68);
+  EXPECT_NEAR(ocs.expansion(), 68.0 / 64.0, 1e-12);
+}
+
+TEST(Ocs, ReducesErrorOnOutlierMatrix) {
+  Rng rng(23);
+  const Tensor w = outlier_matrix(rng);
+  const QuantFormat fmt{4, true};
+  const Tensor plain = ocs_fake_quantize(w, fmt, 0.0).fake;
+  const Tensor some = ocs_fake_quantize(w, fmt, 0.05).fake;
+  const Tensor more = ocs_fake_quantize(w, fmt, 0.10).fake;
+  // A small split budget helps modestly: with a 40:1 outlier-to-inlier
+  // ratio, inliers still flush to zero at 4 bits after halving the outlier
+  // once — the coarse-scaling failure mode the paper targets (Sec. 4).
+  EXPECT_GT(sqnr_db(w, some), sqnr_db(w, plain) + 1.0);
+  // A larger budget (outliers halved 2-3x) recovers several dB.
+  EXPECT_GT(sqnr_db(w, more), sqnr_db(w, plain) + 4.0);
+}
+
+TEST(Ocs, HighPrecisionNearlyLossless) {
+  Rng rng(24);
+  const Tensor w = outlier_matrix(rng);
+  const OcsResult ocs = ocs_fake_quantize(w, QuantFormat{8, true}, 0.05);
+  EXPECT_GT(sqnr_db(w, ocs.fake), 30.0);
+}
+
+TEST(Ocs, OutlierFreeMatrixGainsLittle) {
+  // Without outliers, splitting buys almost nothing — OCS's known limit
+  // (and the reason per-vector scaling wins on well-behaved tensors too).
+  Rng rng(25);
+  const Tensor w = random_tensor(Shape{16, 64}, rng, 0.5);
+  const QuantFormat fmt{4, true};
+  const double plain = sqnr_db(w, ocs_fake_quantize(w, fmt, 0.0).fake);
+  const double split = sqnr_db(w, ocs_fake_quantize(w, fmt, 0.05).fake);
+  EXPECT_LT(split - plain, 3.0);
+}
+
+TEST(Ocs, RepeatedSplitsHalveTheSameColumn) {
+  // One dominant column: every split should keep chasing it, so the
+  // collapsed result converges to that column's values being representable.
+  Rng rng(26);
+  Tensor w = random_tensor(Shape{4, 8}, rng, 0.05);
+  for (std::int64_t r = 0; r < 4; ++r) w.at2(r, 2) = 2.0f;
+  const QuantFormat fmt{4, true};
+  const OcsResult ocs = ocs_fake_quantize(w, fmt, 0.5);  // 4 splits on 8 cols
+  EXPECT_EQ(ocs.splits, 4);
+  // Reconstruction of the dominant column must be near-exact (halves add).
+  for (std::int64_t r = 0; r < 4; ++r) EXPECT_NEAR(ocs.fake.at2(r, 2), 2.0f, 0.15f);
+}
+
+TEST(Ocs, RejectsNonMatrix) {
+  EXPECT_THROW(ocs_fake_quantize(Tensor(Shape{2, 2, 2}), QuantFormat{4, true}, 0.1),
+               std::invalid_argument);
+}
+
+TEST(OcsExecutionGuard, WeightOnlyMatchesDirectGemm) {
+  Rng rng(27);
+  Linear layer("fc", 32, 8, rng, /*has_bias=*/false);
+  const Tensor x = random_tensor(Shape{4, 32}, rng);
+  const QuantFormat fmt{4, true};
+  const OcsResult direct = ocs_fake_quantize(layer.weight_matrix(), fmt, 0.05);
+
+  Tensor guarded;
+  {
+    OcsExecutionGuard guard({&layer}, fmt, 0.05);
+    guarded = layer.forward(x, false);
+  }
+  // y must equal x @ ocs_fake^T exactly (weights only, fp32 activations).
+  Tensor expect(Shape{4, 8});
+  for (std::int64_t r = 0; r < 4; ++r) {
+    for (std::int64_t o = 0; o < 8; ++o) {
+      float acc = 0;
+      for (std::int64_t c = 0; c < 32; ++c) acc += x.at2(r, c) * direct.fake.at2(o, c);
+      expect.at2(r, o) = acc;
+    }
+  }
+  EXPECT_LT(max_abs_diff(guarded, expect), 1e-4f);
+}
+
+TEST(OcsExecutionGuard, RestoresLayerOnDestruction) {
+  Rng rng(28);
+  Linear layer("fc", 16, 4, rng);
+  const Tensor x = random_tensor(Shape{2, 16}, rng);
+  const Tensor before = layer.forward(x, false);
+  {
+    OcsExecutionGuard guard({&layer}, QuantFormat{3, true}, 0.1);
+    const Tensor during = layer.forward(x, false);
+    EXPECT_GT(max_abs_diff(before, during), 0.0f);  // 3-bit OCS changes output
+  }
+  EXPECT_EQ(max_abs_diff(before, layer.forward(x, false)), 0.0f);
+}
+
+TEST(OcsExecutionGuard, MeanExpansionWeightedByOps) {
+  Rng rng(29);
+  Linear small("s", 16, 4, rng), big("b", 64, 32, rng);
+  const Tensor xs = random_tensor(Shape{2, 16}, rng), xb = random_tensor(Shape{2, 64}, rng);
+  small.forward(xs, false);
+  big.forward(xb, false);
+  OcsExecutionGuard guard({&small, &big}, QuantFormat{4, true}, 0.05);
+  const double m = guard.mean_expansion();
+  EXPECT_GT(m, 1.0);
+  EXPECT_LT(m, 1.12);  // ~5% plus ceil() rounding
+}
+
+}  // namespace
+}  // namespace vsq

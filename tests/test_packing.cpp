@@ -1,0 +1,119 @@
+// Tests for quant/packing: exact round-trips at every supported bitwidth,
+// density (the memory model's bit counts made physical), range checking,
+// and consistency with a quantized operand's storage-cost prediction.
+#include <gtest/gtest.h>
+
+#include "hw/memory_model.h"
+#include "quant/packing.h"
+#include "quant/quantized_tensor.h"
+#include "util/rng.h"
+
+namespace vsq {
+namespace {
+
+class PackRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(PackRoundTrip, SignedValuesSurviveExactly) {
+  const int bits = GetParam();
+  const QuantFormat fmt{bits, true};
+  Rng rng(bits);
+  std::vector<std::int16_t> values(999);
+  for (auto& v : values) {
+    v = static_cast<std::int16_t>(
+        fmt.qmin() + static_cast<std::int64_t>(rng.uniform_u64(
+                         static_cast<std::uint64_t>(fmt.qmax() - fmt.qmin() + 1))));
+  }
+  const PackedBuffer packed = pack_values(values, fmt);
+  EXPECT_EQ(unpack_values(packed), values);
+}
+
+TEST_P(PackRoundTrip, UnsignedScalesSurviveExactly) {
+  const int bits = GetParam();
+  const QuantFormat fmt{bits, false};
+  Rng rng(bits + 100);
+  std::vector<std::uint16_t> scales(777);
+  for (auto& s : scales) {
+    s = static_cast<std::uint16_t>(rng.uniform_u64(static_cast<std::uint64_t>(fmt.qmax() + 1)));
+  }
+  const PackedBuffer packed = pack_scales(scales, fmt);
+  EXPECT_EQ(unpack_scales(packed), scales);
+}
+
+TEST_P(PackRoundTrip, DensityIsExactlyNBitsPlusFinalPadding) {
+  const int bits = GetParam();
+  const QuantFormat fmt{bits, true};
+  const std::vector<std::int16_t> values(1000, 1);
+  const PackedBuffer packed = pack_values(values, fmt);
+  EXPECT_EQ(packed.payload_bits(), 1000 * bits);
+  EXPECT_EQ(static_cast<std::int64_t>(packed.bytes.size()), (1000 * bits + 7) / 8);
+  EXPECT_LT(packed.bits_per_element(), bits + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, PackRoundTrip, ::testing::Values(3, 4, 6, 8, 10));
+
+TEST(Packing, ExtremesOfEveryFormat) {
+  for (const int bits : {3, 4, 6, 8, 10}) {
+    const QuantFormat fmt{bits, true};
+    const std::vector<std::int16_t> values{
+        static_cast<std::int16_t>(fmt.qmin()), 0, static_cast<std::int16_t>(fmt.qmax()), -1, 1};
+    EXPECT_EQ(unpack_values(pack_values(values, fmt)), values) << "bits=" << bits;
+  }
+}
+
+TEST(Packing, RejectsOutOfRangeValue) {
+  const QuantFormat int4{4, true};
+  EXPECT_THROW(pack_values({8}, int4), std::out_of_range);    // qmax = 7
+  EXPECT_THROW(pack_values({-8}, int4), std::out_of_range);   // qmin = -7 (symmetric)
+  EXPECT_NO_THROW(pack_values({7}, int4));
+}
+
+TEST(Packing, RejectsOutOfRangeScale) {
+  const QuantFormat u4{4, false};
+  EXPECT_THROW(pack_scales({16}, u4), std::out_of_range);  // qmax = 15
+  EXPECT_NO_THROW(pack_scales({15}, u4));
+}
+
+TEST(Packing, RejectsSignedScaleFormat) {
+  EXPECT_THROW(pack_scales({1}, QuantFormat{4, true}), std::invalid_argument);
+}
+
+TEST(Packing, EmptyInputsYieldEmptyBuffers) {
+  const PackedBuffer p = pack_values({}, QuantFormat{4, true});
+  EXPECT_EQ(p.count, 0);
+  EXPECT_TRUE(p.bytes.empty());
+  EXPECT_TRUE(unpack_values(p).empty());
+  EXPECT_DOUBLE_EQ(p.bits_per_element(), 0.0);
+}
+
+// Pack a real quantized operand and check the physical size matches the
+// memory model's value_bits/scale_bits accounting exactly.
+TEST(Packing, MatchesMemoryModelAccounting) {
+  Rng rng(42);
+  Tensor w(Shape{8, 64});
+  for (auto& v : w.span()) v = static_cast<float>(rng.normal(0.0, 0.5));
+
+  QuantSpec spec;
+  spec.enabled = true;
+  spec.fmt = QuantFormat{4, true};
+  spec.granularity = Granularity::kPerVector;
+  spec.vector_size = 16;
+  spec.scale_dtype = ScaleDtype::kTwoLevelInt;
+  spec.scale_fmt = QuantFormat{4, false};
+  const QuantizedMatrix qm = quantize_weights_int(w, spec);
+
+  const PackedBuffer pv = pack_values(qm.q, qm.fmt);
+  ASSERT_TRUE(qm.two_level.has_value());
+  const PackedBuffer ps = pack_scales(qm.two_level->sq, spec.scale_fmt);
+
+  MacConfig mac;
+  mac.wt_bits = 4;
+  mac.act_bits = 8;
+  mac.wt_scale_bits = 4;
+  mac.vector_size = 16;
+  const StorageCost cost = MemoryModel(mac).weight_storage(GemmDims{1, 64, 8});
+  EXPECT_EQ(pv.payload_bits(), cost.value_bits);
+  EXPECT_EQ(ps.payload_bits(), cost.scale_bits);
+}
+
+}  // namespace
+}  // namespace vsq

@@ -1,0 +1,204 @@
+// Cross-module property tests: invariants that must hold for any input,
+// swept with TEST_P where the property is parametric.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hw/area_model.h"
+#include "hw/energy_model.h"
+#include "hw/pe_simulator.h"
+#include "quant/fake_quant.h"
+#include "quant/int_gemm.h"
+#include "tensor/ops.h"
+#include "util/fp16.h"
+#include "util/rng.h"
+
+namespace vsq {
+namespace {
+
+Tensor random_matrix(std::int64_t r, std::int64_t c, Rng& rng, double scale = 1.0) {
+  Tensor t(Shape{r, c});
+  for (auto& v : t.span()) v = static_cast<float>(rng.normal(0.0, scale));
+  return t;
+}
+
+// ---- Fake quantization is idempotent (a fixed point of itself) ----
+
+struct IdempotenceCase {
+  Granularity granularity;
+  int bits;
+};
+
+class FakeQuantIdempotent : public ::testing::TestWithParam<IdempotenceCase> {};
+
+TEST_P(FakeQuantIdempotent, SecondPassIsIdentity) {
+  const auto [g, bits] = GetParam();
+  Rng rng(bits * 17);
+  const Tensor x = random_matrix(8, 32, rng);
+  const QuantFormat fmt{bits, true};
+  const VectorLayout layout{32, 8, 0};
+  const ScaleSet s = compute_scales(x, g, layout, fmt);
+  const Tensor q1 = fake_quantize(x, s, fmt);
+  const Tensor q2 = fake_quantize(q1, s, fmt);
+  // Exact: q1's values are already on the quantization grid.
+  EXPECT_LT(max_abs_diff(q1, q2), 1e-6f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, FakeQuantIdempotent,
+    ::testing::Values(IdempotenceCase{Granularity::kPerTensor, 4},
+                      IdempotenceCase{Granularity::kPerRow, 4},
+                      IdempotenceCase{Granularity::kPerVector, 4},
+                      IdempotenceCase{Granularity::kPerVector, 8},
+                      IdempotenceCase{Granularity::kPerVector, 3}));
+
+// ---- VectorLayout col_range partitions the row exactly ----
+
+class LayoutPartition : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(LayoutPartition, RangesCoverEveryColumnOnce) {
+  const auto [cols, v, block] = GetParam();
+  const VectorLayout layout{cols, v, block};
+  layout.validate();
+  std::vector<int> covered(static_cast<std::size_t>(cols), 0);
+  for (std::int64_t vec = 0; vec < layout.vectors_per_row(); ++vec) {
+    const auto [c0, c1] = layout.col_range(vec);
+    EXPECT_LT(c0, c1);
+    for (std::int64_t c = c0; c < c1; ++c) {
+      ++covered[static_cast<std::size_t>(c)];
+      EXPECT_EQ(layout.vector_of_col(c), vec);
+    }
+  }
+  for (const int n : covered) EXPECT_EQ(n, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, LayoutPartition,
+                         ::testing::Values(std::tuple{64, 16, 0}, std::tuple{60, 16, 0},
+                                           std::tuple{45, 16, 5}, std::tuple{54, 4, 6},
+                                           std::tuple{1, 16, 0}, std::tuple{27, 16, 3}));
+
+// ---- fp16 rounding preserves ordering ----
+
+TEST(Fp16Property, Monotone) {
+  Rng rng(3);
+  std::vector<float> xs(512);
+  for (auto& v : xs) v = static_cast<float>(rng.normal(0.0, 100.0));
+  std::sort(xs.begin(), xs.end());
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    EXPECT_LE(fp16_round(xs[i - 1]), fp16_round(xs[i]));
+  }
+}
+
+// ---- round_scale_product is idempotent and monotone ----
+
+TEST(RoundScaleProductProperty, IdempotentAndMonotone) {
+  constexpr int full = 10, keep = 5;
+  std::uint32_t prev = 0;
+  for (std::uint32_t p = 0; p < (1u << full); p += 3) {
+    const std::uint32_t r1 = round_scale_product(p, full, keep);
+    EXPECT_EQ(round_scale_product(r1, full, keep), r1) << p;
+    EXPECT_GE(r1, prev);  // monotone in p
+    prev = r1;
+  }
+}
+
+// ---- PE simulator: zeros in, zeros out; scaling activations scales out ----
+
+TEST(PeProperty, ZeroActivationsGiveZeroOutput) {
+  Rng rng(4);
+  const Tensor w = random_matrix(8, 64, rng);
+  Tensor a(Shape{4, 64});
+  MacConfig cfg;
+  cfg.wt_bits = 4;
+  cfg.act_bits = 4;
+  cfg.wt_scale_bits = 4;
+  cfg.act_scale_bits = 4;
+  cfg.act_unsigned = false;
+  const PeSimulator pe(cfg);
+  const Tensor y = pe.run(a, w, 1.0f).output;
+  for (const float v : y.span()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(PeProperty, OutputBoundedByOperandMagnitudes) {
+  Rng rng(5);
+  const Tensor w = random_matrix(8, 64, rng);
+  const Tensor a = random_matrix(4, 64, rng);
+  MacConfig cfg;
+  cfg.act_unsigned = false;
+  const PeSimulator pe(cfg);
+  const Tensor y = pe.run(a, w, amax_per_tensor(a)).output;
+  const float bound = 64.0f * amax_per_tensor(a) * amax_per_tensor(w) * 1.01f;
+  for (const float v : y.span()) EXPECT_LE(std::abs(v), bound);
+}
+
+// ---- Energy/area: scale-product rounding is a no-op for POC configs ----
+
+TEST(HwModelProperty, PocIndependentOfScaleProductBits) {
+  EnergyModel em;
+  AreaModel am;
+  MacConfig poc;  // 8/8/-/-
+  MacConfig poc_rounded = poc;
+  poc_rounded.scale_product_bits = 4;
+  EXPECT_DOUBLE_EQ(em.energy_per_op(poc), em.energy_per_op(poc_rounded));
+  EXPECT_DOUBLE_EQ(am.area(poc), am.area(poc_rounded));
+}
+
+TEST(HwModelProperty, EnergyAndAreaPositive) {
+  EnergyModel em;
+  AreaModel am;
+  for (const int w : {3, 4, 6, 8}) {
+    for (const int ws : {-1, 4, 10}) {
+      MacConfig c;
+      c.wt_bits = w;
+      c.act_bits = w;
+      c.wt_scale_bits = ws;
+      c.act_scale_bits = ws;
+      EXPECT_GT(em.energy_per_op(c), 0.0) << c.str();
+      EXPECT_GT(am.area(c), 0.0) << c.str();
+    }
+  }
+}
+
+// ---- MacConfig notation round-trips ----
+
+class MacNotation : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MacNotation, ParsePrintRoundTrip) {
+  const std::string s = GetParam();
+  EXPECT_EQ(MacConfig::parse(s).str(), s);
+}
+
+INSTANTIATE_TEST_SUITE_P(Notations, MacNotation,
+                         ::testing::Values("4/4/4/4", "8/8/-/-", "6/8/6/-", "6/3/-/4",
+                                           "4/8/6/10", "3/8/4/8"));
+
+TEST(MacNotationErrors, RejectsMalformed) {
+  EXPECT_THROW(MacConfig::parse("4/4/4"), std::invalid_argument);
+  EXPECT_THROW(MacConfig::parse("banana"), std::invalid_argument);
+  EXPECT_THROW(MacConfig::parse("99/4/-/-"), std::invalid_argument);
+}
+
+// ---- Quantization error bound: per-vector error <= per-tensor scale ----
+
+class ErrorBoundSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ErrorBoundSweep, VectorErrorNeverExceedsTensorScaleBound) {
+  // For max calibration, every granularity's pointwise error is bounded by
+  // half the per-tensor scale (the coarsest bound), since finer scales are
+  // always <= the per-tensor scale.
+  const int bits = GetParam();
+  Rng rng(bits * 31);
+  Tensor x(Shape{16, 64});
+  for (auto& v : x.span()) v = static_cast<float>(rng.laplace(0.5));
+  const QuantFormat fmt{bits, true};
+  const VectorLayout layout{64, 16, 0};
+  const float tensor_scale =
+      compute_scales(x, Granularity::kPerTensor, layout, fmt).scales[0];
+  const Tensor q = fake_quantize(x, compute_scales(x, Granularity::kPerVector, layout, fmt), fmt);
+  EXPECT_LE(max_abs_diff(x, q), tensor_scale / 2 + 1e-6f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, ErrorBoundSweep, ::testing::Values(3, 4, 6, 8));
+
+}  // namespace
+}  // namespace vsq

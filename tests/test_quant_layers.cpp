@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "exp/experiment_context.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace vsq {
+namespace {
+
+Tensor random_tensor(Shape s, Rng& rng, double scale = 1.0) {
+  Tensor t(s);
+  for (auto& v : t.span()) v = static_cast<float>(rng.normal(0.0, scale));
+  return t;
+}
+
+void calibrate_with(QuantizableGemm& g, Layer& layer, const Tensor& sample) {
+  g.set_quant_mode(QuantMode::kCalibrate);
+  layer.forward(sample, false);
+  g.calibrate_finalize();
+  g.set_quant_mode(QuantMode::kQuantEval);
+}
+
+TEST(QuantLinear, EightBitCloseToFp32) {
+  Rng rng(1);
+  Linear l("l", 32, 16, rng);
+  const Tensor x = random_tensor(Shape{8, 32}, rng);
+  const Tensor ref = l.forward(x, false);
+
+  l.set_quant(specs::weight_coarse(8), specs::act_coarse(8, /*is_unsigned=*/false));
+  calibrate_with(l, l, x);
+  const Tensor q = l.forward(x, false);
+  EXPECT_GT(sqnr_db(ref, q), 30.0);
+  l.set_quant_mode(QuantMode::kOff);
+  const Tensor off = l.forward(x, false);
+  EXPECT_LT(max_abs_diff(ref, off), 1e-6f);
+}
+
+TEST(QuantLinear, PerVectorBeatsPerChannelAt4Bits) {
+  Rng rng(2);
+  Linear l("l", 64, 32, rng);
+  // Long-tailed weights: coarse scales suffer.
+  for (auto& v : l.weight().value.span()) v = static_cast<float>(rng.laplace(0.3));
+  Tensor x(Shape{16, 64});
+  for (auto& v : x.span()) v = static_cast<float>(rng.laplace(0.4));
+  const Tensor ref = l.forward(x, false);
+
+  l.set_quant(specs::weight_coarse(4), specs::act_coarse(4, false));
+  calibrate_with(l, l, x);
+  const double sqnr_coarse = sqnr_db(ref, l.forward(x, false));
+
+  l.set_quant(specs::weight_pv(4, ScaleDtype::kFp32), specs::act_pv(4, false, ScaleDtype::kFp32));
+  calibrate_with(l, l, x);
+  const double sqnr_pv = sqnr_db(ref, l.forward(x, false));
+  EXPECT_GT(sqnr_pv, sqnr_coarse + 3.0);  // at least ~3 dB better
+}
+
+TEST(QuantLinear, TwoLevelTracksFp32Scales) {
+  Rng rng(3);
+  Linear l("l", 64, 16, rng);
+  const Tensor x = random_tensor(Shape{8, 64}, rng);
+  const Tensor ref = l.forward(x, false);
+
+  l.set_quant(specs::weight_pv(4, ScaleDtype::kFp32), specs::act_pv(4, false, ScaleDtype::kFp32));
+  calibrate_with(l, l, x);
+  const double sqnr_fp = sqnr_db(ref, l.forward(x, false));
+
+  l.set_quant(specs::weight_pv(4, ScaleDtype::kTwoLevelInt, 6),
+              specs::act_pv(4, false, ScaleDtype::kTwoLevelInt, 6));
+  calibrate_with(l, l, x);
+  const double sqnr_tl = sqnr_db(ref, l.forward(x, false));
+  EXPECT_GT(sqnr_tl, sqnr_fp - 3.0);  // within ~3 dB of fp32 scales
+}
+
+TEST(QuantLinear, CalibrationRequiredBeforeEval) {
+  Rng rng(4);
+  Linear l("l", 8, 4, rng);
+  l.set_quant(specs::weight_coarse(8), specs::act_coarse(8, false));  // static act
+  l.set_quant_mode(QuantMode::kQuantEval);
+  EXPECT_THROW(l.forward(random_tensor(Shape{2, 8}, rng), false), std::logic_error);
+}
+
+TEST(QuantLinear, DynamicActsNeedNoCalibration) {
+  Rng rng(5);
+  Linear l("l", 8, 4, rng);
+  l.set_quant(specs::weight_coarse(8), specs::act_pv(8, false, ScaleDtype::kFp32));
+  l.set_quant_mode(QuantMode::kQuantEval);
+  EXPECT_NO_THROW(l.forward(random_tensor(Shape{2, 8}, rng), false));
+}
+
+TEST(QuantLinear, QatBackwardRunsAndProducesGrads) {
+  Rng rng(6);
+  Linear l("l", 16, 8, rng);
+  l.set_quant(specs::weight_pv(4, ScaleDtype::kFp32), specs::act_pv(4, false, ScaleDtype::kFp32));
+  l.set_quant_mode(QuantMode::kQat);
+  const Tensor x = random_tensor(Shape{4, 16}, rng);
+  const Tensor y = l.forward(x, true);
+  for (Param* p : l.params()) p->zero_grad();
+  Tensor g(y.shape());
+  g.fill(1.0f);
+  const Tensor gx = l.backward(g);
+  EXPECT_EQ(gx.shape(), x.shape());
+  float grad_mag = 0;
+  for (const float v : l.weight().grad.span()) grad_mag += std::abs(v);
+  EXPECT_GT(grad_mag, 0.0f);
+}
+
+TEST(QuantLinear, QatSteTracksQuantizedOperands) {
+  // Under QAT the backward must use the *quantized* weights for dX.
+  Rng rng(7);
+  Linear l("l", 8, 4, rng, /*has_bias=*/false);
+  l.set_quant(specs::weight_pv(3, ScaleDtype::kFp32), QuantSpec::disabled());
+  l.set_quant_mode(QuantMode::kQat);
+  const Tensor x = random_tensor(Shape{2, 8}, rng);
+  l.forward(x, true);
+  Tensor g(Shape{2, 4});
+  g.fill(1.0f);
+  const Tensor gx = l.backward(g);
+  // Reference: dX = g * Wq where Wq is the fake-quantized weight matrix.
+  const QuantizedOperand qw = quantize_weights(l.weight().value, l.weight_spec());
+  for (std::int64_t r = 0; r < 2; ++r) {
+    for (std::int64_t c = 0; c < 8; ++c) {
+      float ref = 0;
+      for (std::int64_t o = 0; o < 4; ++o) ref += qw.fake.at2(o, c);
+      EXPECT_NEAR(gx.at2(r, c), ref, 1e-5f);
+    }
+  }
+}
+
+TEST(QuantConv, ChannelBlockKeepsVectorsWithinChannels) {
+  // in_c = 5 (not divisible by V=4): per-vector scales must reset at each
+  // kernel position, giving ceil(5/4)=2 vectors per (kh,kw) cell.
+  Rng rng(8);
+  Conv2d c("c", 5, 4, 3, 1, 1, rng);
+  c.set_quant(specs::weight_pv(4, ScaleDtype::kFp32, 6, /*vector_size=*/4),
+              specs::act_pv(8, false, ScaleDtype::kFp32, 8, 4));
+  EXPECT_EQ(c.weight_spec().channel_block, 5);
+  const VectorLayout l = c.weight_spec().layout(3 * 3 * 5);
+  EXPECT_EQ(l.num_blocks(), 9);
+  EXPECT_EQ(l.vecs_per_block(), 2);
+}
+
+TEST(QuantConv, EightBitCloseToFp32) {
+  Rng rng(9);
+  Conv2d c("c", 4, 8, 3, 1, 1, rng);
+  const Tensor x = random_tensor(Shape{2, 6, 6, 4}, rng);
+  const Tensor ref = c.forward(x, false);
+  c.set_quant(specs::weight_pv(8, ScaleDtype::kTwoLevelInt, 6),
+              specs::act_pv(8, false, ScaleDtype::kTwoLevelInt, 8));
+  calibrate_with(c, c, x);
+  EXPECT_GT(sqnr_db(ref, c.forward(x, false)), 30.0);
+}
+
+TEST(QuantConv, UnsignedActsForPostReluInputs) {
+  Rng rng(10);
+  Conv2d c("c", 4, 4, 3, 1, 1, rng);
+  Tensor x = random_tensor(Shape{1, 4, 4, 4}, rng);
+  for (auto& v : x.span()) v = std::max(v, 0.0f);  // post-ReLU
+  const Tensor ref = c.forward(x, false);
+  // 8-bit weights so the activation quantization error dominates.
+  c.set_quant(specs::weight_pv(8, ScaleDtype::kFp32), specs::act_pv(4, true, ScaleDtype::kFp32));
+  calibrate_with(c, c, x);
+  const double sqnr_u = sqnr_db(ref, c.forward(x, false));
+  c.set_quant(specs::weight_pv(8, ScaleDtype::kFp32), specs::act_pv(4, false, ScaleDtype::kFp32));
+  calibrate_with(c, c, x);
+  const double sqnr_s = sqnr_db(ref, c.forward(x, false));
+  // Unsigned gets twice the levels for non-negative data (~6 dB headroom).
+  EXPECT_GT(sqnr_u, sqnr_s + 2.0);
+}
+
+TEST(ActivationQuantizer, StaticPerVectorRequiresFixedShape) {
+  QuantSpec s = specs::act_pv(8, false, ScaleDtype::kFp32);
+  s.dynamic = false;
+  ActivationQuantizer aq(s);
+  Rng rng(11);
+  const Tensor x = random_tensor(Shape{4, 16}, rng);
+  aq.observe(x);
+  aq.finalize();
+  EXPECT_NO_THROW(aq.apply(x));
+  EXPECT_THROW(aq.apply(random_tensor(Shape{8, 16}, rng)), std::invalid_argument);
+}
+
+TEST(ActivationQuantizer, TwoLevelGammaFromCalibration) {
+  QuantSpec s = specs::act_pv(8, false, ScaleDtype::kTwoLevelInt, 6);
+  ActivationQuantizer aq(s);
+  Rng rng(12);
+  const Tensor x = random_tensor(Shape{16, 32}, rng);
+  aq.observe(x);
+  aq.finalize();
+  const float expected_gamma = scale_from_amax(amax_per_tensor(x), s.fmt) /
+                               static_cast<float>(s.scale_fmt.qmax());
+  EXPECT_NEAR(aq.gamma(), expected_gamma, expected_gamma * 1e-5);
+}
+
+TEST(ActivationQuantizer, DisabledSpecPassesThrough) {
+  ActivationQuantizer aq(QuantSpec::disabled());
+  Rng rng(13);
+  const Tensor x = random_tensor(Shape{2, 4}, rng);
+  const Tensor y = aq.apply(x);
+  EXPECT_LT(max_abs_diff(x, y), 1e-9f);
+}
+
+}  // namespace
+}  // namespace vsq

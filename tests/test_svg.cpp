@@ -1,0 +1,236 @@
+// Tests for the SVG plot writer: formatting helpers, tick-step selection,
+// marker generation, document structure of scatter plots and bar charts,
+// escaping, range handling, and determinism.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/svg.h"
+
+namespace vsq {
+namespace {
+
+int count_occurrences(const std::string& hay, const std::string& needle) {
+  int n = 0;
+  for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(SvgFmt, TrimsTrailingZeros) {
+  EXPECT_EQ(svg::fmt(1.5), "1.5");
+  EXPECT_EQ(svg::fmt(2.0), "2");
+  EXPECT_EQ(svg::fmt(0.25), "0.25");
+  EXPECT_EQ(svg::fmt(-0.0), "0");
+}
+
+TEST(SvgFmt, PrecisionScalesWithMagnitude) {
+  EXPECT_EQ(svg::fmt(1234.4), "1234");
+  EXPECT_EQ(svg::fmt(123.46), "123.5");
+  EXPECT_EQ(svg::fmt(0.1234), "0.1234");
+}
+
+TEST(SvgFmt, NonFiniteBecomesZero) {
+  EXPECT_EQ(svg::fmt(std::nan("")), "0");
+  EXPECT_EQ(svg::fmt(std::numeric_limits<double>::infinity()), "0");
+}
+
+TEST(SvgEscape, EscapesMarkup) {
+  EXPECT_EQ(svg::escape("a<b>&\"c\""), "a&lt;b&gt;&amp;&quot;c&quot;");
+  EXPECT_EQ(svg::escape("plain"), "plain");
+}
+
+TEST(SvgNiceStep, PicksOneTwoFive) {
+  EXPECT_DOUBLE_EQ(svg::nice_step(10.0, 5), 2.0);
+  EXPECT_DOUBLE_EQ(svg::nice_step(1.0, 5), 0.2);
+  EXPECT_DOUBLE_EQ(svg::nice_step(7.0, 5), 2.0);
+  EXPECT_DOUBLE_EQ(svg::nice_step(0.35, 5), 0.1);
+  EXPECT_DOUBLE_EQ(svg::nice_step(100.0, 4), 50.0);
+}
+
+TEST(SvgNiceStep, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(svg::nice_step(0.0, 5), 1.0);
+  EXPECT_DOUBLE_EQ(svg::nice_step(-1.0, 5), 1.0);
+  EXPECT_DOUBLE_EQ(svg::nice_step(1.0, 0), 1.0);
+}
+
+TEST(SvgMarker, EachShapeRenders) {
+  for (Marker m : {Marker::kCircle, Marker::kSquare, Marker::kDiamond, Marker::kTriangle,
+                   Marker::kCross}) {
+    const std::string el = svg::marker_element(m, 10, 20, 5, "#123456", true);
+    EXPECT_NE(el.find("#123456"), std::string::npos);
+    EXPECT_EQ(el.front(), '<');
+    EXPECT_NE(el.find("/>"), std::string::npos);
+  }
+}
+
+TEST(SvgMarker, HollowUsesWhiteFill) {
+  const std::string hollow = svg::marker_element(Marker::kCircle, 0, 0, 4, "#ff0000", false);
+  EXPECT_NE(hollow.find("fill=\"white\""), std::string::npos);
+  const std::string filled = svg::marker_element(Marker::kCircle, 0, 0, 4, "#ff0000", true);
+  EXPECT_NE(filled.find("fill=\"#ff0000\""), std::string::npos);
+}
+
+PlotOptions small_options() {
+  PlotOptions opt;
+  opt.width = 400;
+  opt.height = 300;
+  opt.title = "t";
+  opt.x_label = "x";
+  opt.y_label = "y";
+  return opt;
+}
+
+TEST(ScatterPlot, RendersAllPoints) {
+  ScatterPlot plot(small_options());
+  auto& s1 = plot.add_series("a", "#111111", Marker::kCircle);
+  s1.points = {{1, 2, true, ""}, {2, 3, false, ""}, {3, 1, true, ""}};
+  auto& s2 = plot.add_series("b", "#222222", Marker::kSquare);
+  s2.points = {{0.5, 0.5, true, ""}};
+
+  const std::string doc = plot.render();
+  // 3 circles for series a + 1 legend circle.
+  EXPECT_EQ(count_occurrences(doc, "<circle"), 4);
+  // 1 data square + 1 legend square + background + frame rects.
+  EXPECT_GE(count_occurrences(doc, "<rect"), 3);
+  EXPECT_NE(doc.find("filled = Pareto"), std::string::npos);
+}
+
+TEST(ScatterPlot, DocumentIsWellFormed) {
+  ScatterPlot plot(small_options());
+  auto& s = plot.add_series("series <1>", "#336699", Marker::kDiamond);
+  s.points = {{0, 0, true, "p&q"}};
+  const std::string doc = plot.render();
+  EXPECT_EQ(doc.substr(0, 4), "<svg");
+  EXPECT_NE(doc.find("</svg>"), std::string::npos);
+  EXPECT_EQ(count_occurrences(doc, "<g "), count_occurrences(doc, "</g>"));
+  EXPECT_EQ(count_occurrences(doc, "<text"), count_occurrences(doc, "</text>"));
+  // Series name is escaped in the legend.
+  EXPECT_NE(doc.find("series &lt;1&gt;"), std::string::npos);
+  EXPECT_EQ(doc.find("series <1>"), std::string::npos);
+}
+
+TEST(ScatterPlot, PointLabelsOnlyWhenEnabled) {
+  PlotOptions opt = small_options();
+  opt.point_labels = false;
+  ScatterPlot off(opt);
+  off.add_series("a", "#111", Marker::kCircle).points = {{1, 1, true, "lbl"}};
+  EXPECT_EQ(off.render().find(">lbl<"), std::string::npos);
+
+  opt.point_labels = true;
+  ScatterPlot on(opt);
+  on.add_series("a", "#111", Marker::kCircle).points = {{1, 1, true, "lbl"}};
+  EXPECT_NE(on.render().find(">lbl<"), std::string::npos);
+}
+
+TEST(ScatterPlot, EmptyPlotStillValid) {
+  ScatterPlot plot(small_options());
+  const std::string doc = plot.render();
+  EXPECT_EQ(doc.substr(0, 4), "<svg");
+  EXPECT_NE(doc.find("</svg>"), std::string::npos);
+}
+
+TEST(ScatterPlot, ExplicitRangesRespected) {
+  PlotOptions opt = small_options();
+  opt.x_min = 0;
+  opt.x_max = 10;
+  opt.y_min = 0;
+  opt.y_max = 100;
+  ScatterPlot plot(opt);
+  plot.add_series("a", "#111", Marker::kCircle).points = {{5, 50, true, ""}};
+  const std::string doc = plot.render();
+  // Tick labels from the explicit range must appear.
+  EXPECT_NE(doc.find(">10</text>"), std::string::npos);
+  EXPECT_NE(doc.find(">100</text>"), std::string::npos);
+}
+
+TEST(ScatterPlot, DeterministicOutput) {
+  ScatterPlot a(small_options());
+  a.add_series("s", "#123", Marker::kTriangle).points = {{1.234567, 7.654321, false, ""}};
+  ScatterPlot b(small_options());
+  b.add_series("s", "#123", Marker::kTriangle).points = {{1.234567, 7.654321, false, ""}};
+  EXPECT_EQ(a.render(), b.render());
+}
+
+TEST(ScatterPlot, WriteCreatesFile) {
+  ScatterPlot plot(small_options());
+  plot.add_series("a", "#111", Marker::kCircle).points = {{1, 1, true, ""}};
+  const std::string path = ::testing::TempDir() + "/vsq_scatter_test.svg";
+  ASSERT_TRUE(plot.write(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), plot.render());
+  std::remove(path.c_str());
+}
+
+TEST(ScatterPlot, WriteFailsOnBadPath) {
+  ScatterPlot plot(small_options());
+  EXPECT_FALSE(plot.write("/nonexistent_dir_vsq/x.svg"));
+}
+
+TEST(BarChart, RendersBarPerValue) {
+  BarChart chart(small_options());
+  chart.set_series({"v1", "v2"}, {"#a00", "#0a0"});
+  chart.add_group("g1", {1.0, 2.0});
+  chart.add_group("g2", {3.0, 4.0});
+  const std::string doc = chart.render();
+  // 4 data bars + 2 legend swatches + background + frame.
+  EXPECT_EQ(count_occurrences(doc, "<rect"), 8);
+  EXPECT_NE(doc.find(">g1</text>"), std::string::npos);
+  EXPECT_NE(doc.find(">g2</text>"), std::string::npos);
+}
+
+TEST(BarChart, MissingValuesSkipped) {
+  BarChart chart(small_options());
+  chart.set_series({"v1", "v2"}, {"#a00", "#0a0"});
+  chart.add_group("g", {1.0, std::nan("")});
+  const std::string doc = chart.render();
+  // 1 data bar + 2 legend swatches + background + frame.
+  EXPECT_EQ(count_occurrences(doc, "<rect"), 5);
+}
+
+TEST(BarChart, ValueLabelsPrinted) {
+  BarChart chart(small_options());
+  chart.set_series({"v"}, {"#a00"});
+  chart.add_group("g", {0.62});
+  EXPECT_NE(chart.render().find(">0.62</text>"), std::string::npos);
+}
+
+TEST(BarChart, EmptyChartStillValid) {
+  BarChart chart(small_options());
+  const std::string doc = chart.render();
+  EXPECT_EQ(doc.substr(0, 4), "<svg");
+  EXPECT_NE(doc.find("</svg>"), std::string::npos);
+}
+
+TEST(BarChart, WriteRoundTrips) {
+  BarChart chart(small_options());
+  chart.set_series({"v"}, {"#a00"});
+  chart.add_group("g", {1.0});
+  const std::string path = ::testing::TempDir() + "/vsq_bar_test.svg";
+  ASSERT_TRUE(chart.write(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::remove(path.c_str());
+}
+
+TEST(SvgPalette, StableAndNonEmpty) {
+  const auto& p = svg::palette();
+  ASSERT_GE(p.size(), 8u);
+  EXPECT_EQ(p[0], "#1f77b4");
+  for (const auto& c : p) {
+    EXPECT_EQ(c.front(), '#');
+    EXPECT_EQ(c.size(), 7u);
+  }
+}
+
+}  // namespace
+}  // namespace vsq

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "tensor/gemm.h"
+#include "tensor/im2col.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace vsq {
+namespace {
+
+Tensor random_tensor(Shape s, Rng& rng, double scale = 1.0) {
+  Tensor t(s);
+  for (auto& v : t.span()) v = static_cast<float>(rng.normal(0.0, scale));
+  return t;
+}
+
+TEST(Shape, NumelAndEquality) {
+  const Shape s{2, 3, 4};
+  EXPECT_EQ(s.numel(), 24);
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s, (Shape{2, 3, 4}));
+  EXPECT_NE(s, (Shape{2, 3, 5}));
+  EXPECT_NE(s, (Shape{2, 3}));
+}
+
+TEST(Shape, Offsets) {
+  const Shape s{3, 5};
+  EXPECT_EQ(s.offset2(2, 4), 14);
+  const Shape s4{2, 3, 4, 5};
+  EXPECT_EQ(s4.offset4(1, 2, 3, 4), ((1 * 3 + 2) * 4 + 3) * 5 + 4);
+}
+
+TEST(Shape, RejectsNegativeDims) { EXPECT_THROW(Shape({-1, 2}), std::invalid_argument); }
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t(Shape{4, 4});
+  for (const float v : t.span()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, CloneIsDeep) {
+  Tensor t(Shape{2, 2});
+  t[0] = 1.0f;
+  Tensor c = t.clone();
+  c[0] = 5.0f;
+  EXPECT_EQ(t[0], 1.0f);
+}
+
+TEST(Tensor, CopyIsShallow) {
+  Tensor t(Shape{2});
+  Tensor view = t;
+  view[1] = 9.0f;
+  EXPECT_EQ(t[1], 9.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t = Tensor::from_vector(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.reshape(Shape{3, 2});
+  EXPECT_EQ(r.at2(2, 1), 6.0f);
+  EXPECT_THROW(t.reshape(Shape{4, 2}), std::invalid_argument);
+}
+
+TEST(Ops, AddAndScale) {
+  const Tensor a = Tensor::from_vector(Shape{3}, {1, 2, 3});
+  const Tensor b = Tensor::from_vector(Shape{3}, {10, 20, 30});
+  const Tensor c = add(a, b);
+  EXPECT_EQ(c[2], 33.0f);
+  const Tensor d = scale(a, 2.0f);
+  EXPECT_EQ(d[1], 4.0f);
+}
+
+TEST(Ops, SqnrInfiniteForExact) {
+  const Tensor a = Tensor::from_vector(Shape{2}, {1, 2});
+  EXPECT_TRUE(std::isinf(sqnr_db(a, a)));
+}
+
+TEST(Ops, MseMatchesHand) {
+  const Tensor a = Tensor::from_vector(Shape{2}, {1, 3});
+  const Tensor b = Tensor::from_vector(Shape{2}, {2, 1});
+  EXPECT_DOUBLE_EQ(mse(a, b), (1.0 + 4.0) / 2.0);
+}
+
+// ---- GEMM reference checks, parameterized over sizes ----
+
+using GemmDims = std::tuple<int, int, int>;
+
+class GemmRef : public ::testing::TestWithParam<GemmDims> {};
+
+TEST_P(GemmRef, NtMatchesNaive) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(100 + m * 7 + n * 3 + k);
+  const Tensor a = random_tensor(Shape{m, k}, rng);
+  const Tensor b = random_tensor(Shape{n, k}, rng);
+  Tensor c(Shape{m, n});
+  gemm_nt(a.data(), b.data(), c.data(), m, n, k);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double ref = 0;
+      for (int p = 0; p < k; ++p) ref += static_cast<double>(a.at2(i, p)) * b.at2(j, p);
+      EXPECT_NEAR(c.at2(i, j), ref, 1e-3 * std::max(1.0, std::abs(ref)));
+    }
+  }
+}
+
+TEST_P(GemmRef, NnMatchesNaive) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(200 + m + n + k);
+  const Tensor a = random_tensor(Shape{m, k}, rng);
+  const Tensor b = random_tensor(Shape{k, n}, rng);
+  Tensor c(Shape{m, n});
+  gemm_nn(a.data(), b.data(), c.data(), m, n, k);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double ref = 0;
+      for (int p = 0; p < k; ++p) ref += static_cast<double>(a.at2(i, p)) * b.at2(p, j);
+      EXPECT_NEAR(c.at2(i, j), ref, 1e-3 * std::max(1.0, std::abs(ref)));
+    }
+  }
+}
+
+TEST_P(GemmRef, TnMatchesNaive) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(300 + m + n + k);
+  const Tensor a = random_tensor(Shape{k, m}, rng);
+  const Tensor b = random_tensor(Shape{k, n}, rng);
+  Tensor c(Shape{m, n});
+  gemm_tn(a.data(), b.data(), c.data(), m, n, k);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double ref = 0;
+      for (int p = 0; p < k; ++p) ref += static_cast<double>(a.at2(p, i)) * b.at2(p, j);
+      EXPECT_NEAR(c.at2(i, j), ref, 1e-3 * std::max(1.0, std::abs(ref)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GemmRef,
+                         ::testing::Values(GemmDims{1, 1, 1}, GemmDims{3, 5, 7},
+                                           GemmDims{16, 16, 16}, GemmDims{33, 2, 9},
+                                           GemmDims{65, 67, 31}, GemmDims{128, 10, 64}));
+
+TEST(Gemm, AccumulateAddsToC) {
+  Rng rng(1);
+  const Tensor a = random_tensor(Shape{4, 8}, rng);
+  const Tensor b = random_tensor(Shape{6, 8}, rng);
+  Tensor c1(Shape{4, 6});
+  gemm_nt(a.data(), b.data(), c1.data(), 4, 6, 8);
+  Tensor c2 = c1.clone();
+  gemm_nt(a.data(), b.data(), c2.data(), 4, 6, 8, /*accumulate=*/true);
+  for (std::int64_t i = 0; i < c1.numel(); ++i) EXPECT_NEAR(c2[i], 2 * c1[i], 1e-4);
+}
+
+// ---- im2col ----
+
+TEST(Im2col, IdentityKernelExtractsPixels) {
+  // 1x1 kernel, stride 1: patches are exactly the pixels.
+  Rng rng(2);
+  const Tensor x = random_tensor(Shape{2, 3, 3, 4}, rng);
+  const ConvGeom g{3, 3, 4, 1, 1, 0};
+  const Tensor cols = im2col(x, g);
+  EXPECT_EQ(cols.shape(), (Shape{2 * 9, 4}));
+  for (std::int64_t i = 0; i < cols.numel(); ++i) EXPECT_EQ(cols[i], x[i]);
+}
+
+TEST(Im2col, PaddingIsZero) {
+  Tensor x(Shape{1, 2, 2, 1});
+  x.fill(5.0f);
+  const ConvGeom g{2, 2, 1, 3, 1, 1};
+  const Tensor cols = im2col(x, g);
+  // Top-left output patch: the (0,0) kernel cell reads padding -> 0.
+  EXPECT_EQ(cols.at2(0, 0), 0.0f);
+  // Center cell of that patch reads pixel (0,0) = 5.
+  EXPECT_EQ(cols.at2(0, 4), 5.0f);
+}
+
+TEST(Im2col, StrideReducesOutputs) {
+  Tensor x(Shape{1, 4, 4, 2});
+  const ConvGeom g{4, 4, 2, 3, 2, 1};
+  EXPECT_EQ(g.out_h(), 2);
+  const Tensor cols = im2col(x, g);
+  EXPECT_EQ(cols.shape()[0], 4);
+}
+
+TEST(Im2col, Col2imIsAdjoint) {
+  // <im2col(x), y> == <x, col2im(y)> — the defining adjoint property,
+  // which is exactly what conv backward relies on.
+  Rng rng(3);
+  const ConvGeom g{5, 4, 3, 3, 2, 1};
+  const Tensor x = random_tensor(Shape{2, 5, 4, 3}, rng);
+  const Tensor cols = im2col(x, g);
+  const Tensor y = random_tensor(cols.shape(), rng);
+  const Tensor back = col2im(y, g, 2);
+
+  double lhs = 0, rhs = 0;
+  for (std::int64_t i = 0; i < cols.numel(); ++i) lhs += static_cast<double>(cols[i]) * y[i];
+  for (std::int64_t i = 0; i < x.numel(); ++i) rhs += static_cast<double>(x[i]) * back[i];
+  EXPECT_NEAR(lhs, rhs, 1e-2 * std::max(1.0, std::abs(lhs)));
+}
+
+TEST(Tensor, SliceRowsCopiesRange) {
+  Tensor t = Tensor::from_vector(Shape{4, 3}, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11});
+  const Tensor s = t.slice_rows(1, 3);
+  EXPECT_EQ(s.shape(), (Shape{2, 3}));
+  EXPECT_EQ(s.at2(0, 0), 3.0f);
+  EXPECT_EQ(s.at2(1, 2), 8.0f);
+  // Deep copy: mutating the slice leaves the source untouched.
+  Tensor mutable_slice = t.slice_rows(1, 3);
+  mutable_slice.at2(0, 0) = 99.0f;
+  EXPECT_EQ(t.at2(1, 0), 3.0f);
+}
+
+TEST(Tensor, SliceRowsHigherRankAndEdges) {
+  Rng rng(6);
+  const Tensor x = random_tensor(Shape{5, 2, 3}, rng);
+  const Tensor all = x.slice_rows(0, 5);
+  EXPECT_EQ(max_abs_diff(all, x), 0.0f);
+  const Tensor empty = x.slice_rows(2, 2);
+  EXPECT_EQ(empty.shape()[0], 0);
+  EXPECT_THROW(x.slice_rows(-1, 2), std::invalid_argument);
+  EXPECT_THROW(x.slice_rows(0, 6), std::invalid_argument);
+  EXPECT_THROW(x.slice_rows(3, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vsq

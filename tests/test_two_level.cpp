@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "quant/fake_quant.h"
+#include "quant/two_level.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace vsq {
+namespace {
+
+Tensor random_matrix(std::int64_t r, std::int64_t c, Rng& rng, double scale = 1.0) {
+  Tensor t(Shape{r, c});
+  for (auto& v : t.span()) v = static_cast<float>(rng.normal(0.0, scale));
+  return t;
+}
+
+// ---- Eq. 7e-7h invariants, parameterized over scale bitwidths ----
+
+class TwoLevelProp : public ::testing::TestWithParam<int> {};
+
+TEST_P(TwoLevelProp, SqWithinMBitRange) {
+  const int m = GetParam();
+  Rng rng(m);
+  const Tensor x = random_matrix(8, 64, rng);
+  const QuantFormat f{4, true};
+  const ScaleSet fp = compute_scales(x, Granularity::kPerVector, VectorLayout{64, 16, 0}, f);
+  const TwoLevelScales tl = two_level_from_scales(fp, QuantFormat{m, false}, CoarseAxis::kPerRow);
+  const auto qmax = QuantFormat{m, false}.qmax();
+  for (const auto sq : tl.sq) EXPECT_LE(sq, qmax);
+}
+
+TEST_P(TwoLevelProp, GammaTimesQmaxEqualsSmax) {
+  // Eq. 7f: the row's largest fp scale maps exactly to the top integer level.
+  const int m = GetParam();
+  Rng rng(100 + m);
+  const Tensor x = random_matrix(6, 48, rng);
+  const QuantFormat f{6, true};
+  const ScaleSet fp = compute_scales(x, Granularity::kPerVector, VectorLayout{48, 16, 0}, f);
+  const TwoLevelScales tl = two_level_from_scales(fp, QuantFormat{m, false}, CoarseAxis::kPerRow);
+  const std::int64_t vpr = fp.vectors_per_row();
+  for (std::int64_t r = 0; r < 6; ++r) {
+    float smax = 0.0f;
+    for (std::int64_t v = 0; v < vpr; ++v) {
+      smax = std::max(smax, fp.scales[static_cast<std::size_t>(r * vpr + v)]);
+    }
+    EXPECT_NEAR(tl.gamma_of_row(r) * static_cast<float>(QuantFormat{m, false}.qmax()), smax,
+                smax * 1e-5);
+  }
+}
+
+TEST_P(TwoLevelProp, EffectiveScaleWithinHalfGammaOfFpScale) {
+  // Eq. 7g rounds s/gamma to the nearest integer, so |s2 - s| <= gamma/2.
+  const int m = GetParam();
+  Rng rng(200 + m);
+  const Tensor x = random_matrix(4, 32, rng);
+  const QuantFormat f{4, true};
+  const ScaleSet fp = compute_scales(x, Granularity::kPerVector, VectorLayout{32, 8, 0}, f);
+  const TwoLevelScales tl = two_level_from_scales(fp, QuantFormat{m, false}, CoarseAxis::kPerRow);
+  const std::int64_t vpr = fp.vectors_per_row();
+  for (std::int64_t r = 0; r < 4; ++r) {
+    for (std::int64_t v = 0; v < vpr; ++v) {
+      const float s = fp.scales[static_cast<std::size_t>(r * vpr + v)];
+      EXPECT_LE(std::abs(tl.effective_scale(r, v) - s), tl.gamma_of_row(r) / 2 + 1e-9f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ScaleBits, TwoLevelProp, ::testing::Values(3, 4, 6, 8, 10));
+
+TEST(TwoLevel, MoreScaleBitsLowerError) {
+  // Tables 5-7's trend: accuracy (here, -MSE) improves with scale bits and
+  // approaches the single-level fp32 result.
+  Rng rng(42);
+  Tensor x(Shape{16, 64});
+  for (auto& v : x.span()) v = static_cast<float>(rng.laplace(0.4));
+  const QuantFormat f{4, true};
+  const VectorLayout layout{64, 16, 0};
+  const ScaleSet fp = compute_scales(x, Granularity::kPerVector, layout, f);
+  const double mse_fp = mse(x, fake_quantize(x, fp, f));
+  double prev = 1e30;
+  for (const int m : {3, 4, 6, 10}) {
+    const TwoLevelScales tl = two_level_from_scales(fp, QuantFormat{m, false}, CoarseAxis::kPerRow);
+    const double e = mse(x, fake_quantize(x, tl.to_scale_set(), f));
+    EXPECT_LE(e, prev * 1.02) << "M=" << m;  // allow tiny non-monotonic noise
+    prev = e;
+    EXPECT_GE(e, mse_fp * 0.999) << "two-level cannot beat fp scales";
+  }
+  // 10-bit integer scales should be essentially fp32-quality.
+  EXPECT_NEAR(prev, mse_fp, mse_fp * 0.05);
+}
+
+TEST(TwoLevel, PerTensorCoarseAxisSharedGamma) {
+  Rng rng(43);
+  const Tensor x = random_matrix(4, 32, rng);
+  const QuantFormat f{8, true};
+  const ScaleSet fp = compute_scales(x, Granularity::kPerVector, VectorLayout{32, 16, 0}, f);
+  const TwoLevelScales tl =
+      two_level_from_scales(fp, QuantFormat{6, false}, CoarseAxis::kPerTensor);
+  EXPECT_EQ(tl.gamma.size(), 1u);
+  EXPECT_EQ(tl.gamma_of_row(0), tl.gamma_of_row(3));
+}
+
+TEST(TwoLevel, RejectsNonPerVectorInput) {
+  Rng rng(44);
+  const Tensor x = random_matrix(4, 32, rng);
+  const ScaleSet s = compute_scales(x, Granularity::kPerRow, VectorLayout{32, 16, 0},
+                                    QuantFormat{8, true});
+  EXPECT_THROW(two_level_from_scales(s, QuantFormat{6, false}, CoarseAxis::kPerRow),
+               std::invalid_argument);
+}
+
+TEST(TwoLevel, RejectsSignedScaleFormat) {
+  Rng rng(45);
+  const Tensor x = random_matrix(2, 16, rng);
+  const ScaleSet fp = compute_scales(x, Granularity::kPerVector, VectorLayout{16, 8, 0},
+                                     QuantFormat{8, true});
+  EXPECT_THROW(two_level_from_scales(fp, QuantFormat{6, true}, CoarseAxis::kPerRow),
+               std::invalid_argument);
+}
+
+TEST(TwoLevel, ZeroMatrixAllZeroScales) {
+  Tensor x(Shape{2, 16});
+  const ScaleSet fp = compute_scales(x, Granularity::kPerVector, VectorLayout{16, 8, 0},
+                                     QuantFormat{8, true});
+  const TwoLevelScales tl = two_level_from_scales(fp, QuantFormat{6, false}, CoarseAxis::kPerRow);
+  for (const auto sq : tl.sq) EXPECT_EQ(sq, 0);
+  for (const auto g : tl.gamma) EXPECT_EQ(g, 0.0f);
+}
+
+TEST(TwoLevelChannelFirst, NoExtraClipping) {
+  // The channel-first variant picks sq by ceiling, so every vector's amax
+  // remains representable: |fake_quantize(x)| <= amax holds and the
+  // element error stays within half the effective scale.
+  Rng rng(46);
+  Tensor x(Shape{8, 64});
+  for (auto& v : x.span()) v = static_cast<float>(rng.laplace(0.6));
+  const QuantFormat f{4, true};
+  const QuantFormat sf{4, false};
+  const VectorLayout layout{64, 16, 0};
+  const TwoLevelScales tl = two_level_channel_first(x, f, sf, layout, CoarseAxis::kPerRow);
+  const Tensor xq = fake_quantize(x, tl.to_scale_set(), f);
+  const ScaleSet eff = tl.to_scale_set();
+  for (std::int64_t r = 0; r < 8; ++r) {
+    for (std::int64_t c = 0; c < 64; ++c) {
+      EXPECT_LE(std::abs(xq.at2(r, c) - x.at2(r, c)), eff.at(r, c) / 2 + 1e-6f);
+    }
+  }
+}
+
+TEST(TwoLevelChannelFirst, VectorFirstUsuallyTighter) {
+  // Eq. 7's vector-first factorization targets each vector's scale
+  // directly; channel-first covers ranges conservatively (ceiling), so on
+  // average its error should not be better.
+  Rng rng(47);
+  Tensor x(Shape{16, 64});
+  for (auto& v : x.span()) v = static_cast<float>(rng.laplace(0.4));
+  const QuantFormat f{4, true};
+  const QuantFormat sf{4, false};
+  const VectorLayout layout{64, 16, 0};
+  const ScaleSet fp = compute_scales(x, Granularity::kPerVector, layout, f);
+  const TwoLevelScales vec_first = two_level_from_scales(fp, sf, CoarseAxis::kPerRow);
+  const TwoLevelScales chan_first = two_level_channel_first(x, f, sf, layout, CoarseAxis::kPerRow);
+  const double e_vec = mse(x, fake_quantize(x, vec_first.to_scale_set(), f));
+  const double e_chan = mse(x, fake_quantize(x, chan_first.to_scale_set(), f));
+  EXPECT_LE(e_vec, e_chan * 1.1);
+}
+
+}  // namespace
+}  // namespace vsq

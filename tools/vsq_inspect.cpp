@@ -1,0 +1,58 @@
+// vsq_inspect — print the contents of an exported quantized-model package:
+// per-layer shapes, formats, scale statistics (sq utilization, gamma), and
+// the storage overhead of the per-vector scales (the paper's M/(V*N)
+// metric, Sec. 4.4).
+//
+//   vsq_inspect --package=artifacts/resnet_int.vsqa
+#include <iostream>
+#include <map>
+
+#include "quant/export.h"
+#include "util/args.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace vsq;
+  const Args args(argc, argv);
+  const std::string path = args.get_str("package", "artifacts/resnet_int.vsqa");
+
+  const QuantizedModelPackage pkg = QuantizedModelPackage::load(path);
+  std::cout << "package " << path << ": " << pkg.layers.size() << " layers\n\n";
+
+  Table t({"Layer", "Weights", "Fmt", "V", "Scale repr", "sq range", "Overhead %", "amax",
+           "gamma"});
+  double total_weight_bits = 0, total_scale_bits = 0;
+  for (const auto& [name, l] : pkg.layers) {
+    const QuantizedMatrix& w = l.weights;
+    std::string scale_repr, sq_range = "-";
+    double overhead = 0;
+    if (w.two_level) {
+      const auto& tl = *w.two_level;
+      scale_repr = "int" + std::to_string(tl.scale_fmt.bits) + " + fp32/" +
+                   (tl.coarse_axis == CoarseAxis::kPerRow ? "chan" : "tensor");
+      std::uint16_t lo = 65535, hi = 0;
+      for (const auto s : tl.sq) {
+        lo = std::min(lo, s);
+        hi = std::max(hi, s);
+      }
+      sq_range = std::to_string(lo) + ".." + std::to_string(hi);
+      // Paper Sec. 4.4: M/(V*N) storage overhead of per-vector scales.
+      overhead = 100.0 * tl.scale_fmt.bits /
+                 (static_cast<double>(w.layout.vector_size) * w.fmt.bits);
+      total_scale_bits += static_cast<double>(tl.sq.size()) * tl.scale_fmt.bits;
+    } else {
+      scale_repr = "fp32/" + std::string(w.coarse_scales.size() == 1 ? "tensor" : "chan");
+    }
+    total_weight_bits += static_cast<double>(w.rows) * w.cols() * w.fmt.bits;
+    t.add_row({name, std::to_string(w.rows) + "x" + std::to_string(w.cols()), w.fmt.str(),
+               std::to_string(w.layout.vector_size), scale_repr, sq_range,
+               Table::num(overhead, 2), Table::num(l.act_amax, 4), Table::num(l.act_gamma, 6)});
+  }
+  t.print(std::cout);
+  if (total_scale_bits > 0) {
+    std::cout << "\ntotal weight payload: " << Table::num(total_weight_bits / 8 / 1024, 1)
+              << " KiB; per-vector scales add "
+              << Table::num(100.0 * total_scale_bits / total_weight_bits, 2) << "%\n";
+  }
+  return 0;
+}

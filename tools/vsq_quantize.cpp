@@ -1,0 +1,69 @@
+// vsq_quantize — PTQ-calibrate a model at a hardware configuration given
+// in the paper's W/A/ws/as notation and export the integer deployment
+// package (quant/export.h).
+//
+//   vsq_quantize --model=resnet|bert_base|bert_large --config=4/8/6/10
+//                [--out=artifacts/model_int.vsqa] [--vector=16]
+#include <iostream>
+
+#include "exp/ptq.h"
+#include "hw/mac_config.h"
+#include "quant/export.h"
+#include "util/args.h"
+
+namespace {
+
+using namespace vsq;
+
+// Calibrate all GEMMs of the model, export each as a package layer.
+template <typename Model, typename CalibFn>
+QuantizedModelPackage quantize_model(Model& model, const MacConfig& mac, CalibFn&& calibrate) {
+  auto gemms = model.gemms();
+  apply_quant_specs(gemms, mac.weight_spec(), mac.act_spec());
+  set_mode_all(gemms, QuantMode::kCalibrate);
+  calibrate();
+  finalize_calibration(gemms);
+  set_mode_all(gemms, QuantMode::kQuantEval);
+
+  QuantizedModelPackage pkg;
+  for (QuantizableGemm* g : gemms) {
+    pkg.layers[g->gemm_name()] = export_gemm(*g, /*bias=*/{});
+  }
+  set_mode_all(gemms, QuantMode::kOff);
+  return pkg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vsq;
+  const Args args(argc, argv);
+  const std::string which = args.get_str("model", "resnet");
+  MacConfig mac = MacConfig::parse(args.get_str("config", "4/8/6/10"));
+  mac.vector_size = args.get_int("vector", 16);
+  mac.act_unsigned = which == "resnet";
+  const std::string out =
+      args.get_str("out", artifacts_dir() + "/" + which + "_int.vsqa");
+
+  ModelZoo zoo(artifacts_dir());
+  QuantizedModelPackage pkg;
+  if (which == "resnet") {
+    auto model = zoo.resnet();
+    pkg = quantize_model(*model, mac, [&] {
+      model->forward(zoo.image_calib().batch_images(0, zoo.image_calib().size()), false);
+    });
+  } else if (which == "bert_base" || which == "bert_large") {
+    auto model = which == "bert_large" ? zoo.bert_large() : zoo.bert_base();
+    mac.act_unsigned = false;
+    pkg = quantize_model(*model, mac, [&] {
+      model->forward(zoo.span_calib().batch_tokens(0, zoo.span_calib().size()), false);
+    });
+  } else {
+    std::cerr << "unknown --model=" << which << "\n";
+    return 1;
+  }
+  pkg.save(out);
+  std::cout << "exported " << pkg.layers.size() << " layers at config " << mac.str() << " ("
+            << mac.granularity_label() << ") -> " << out << "\n";
+  return 0;
+}

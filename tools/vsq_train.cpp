@@ -1,0 +1,45 @@
+// vsq_train — (re)train the stand-in models and cache checkpoints under
+// the artifacts directory.
+//
+//   vsq_train [--model=resnet|bert_base|bert_large|all] [--force]
+//
+// --force deletes the existing checkpoint first so the model retrains.
+#include <cstdio>
+#include <iostream>
+
+#include "exp/experiment_context.h"
+#include "models/zoo.h"
+#include "util/args.h"
+
+int main(int argc, char** argv) {
+  using namespace vsq;
+  const Args args(argc, argv);
+  const std::string which = args.get_str("model", "all");
+  const bool force = args.get_flag("force");
+
+  ModelZoo zoo(artifacts_dir());
+  const auto maybe_remove = [&](const char* ckpt) {
+    if (force) std::remove((zoo.artifacts_dir() + "/" + ckpt).c_str());
+  };
+
+  if (which == "resnet" || which == "all") {
+    maybe_remove("resnetv.vsqa");
+    auto m = zoo.resnet();
+    std::cout << "resnetv: top-1 " << eval_resnet(*m, zoo.image_test()) << "%\n";
+  }
+  if (which == "bert_base" || which == "all") {
+    maybe_remove("bert_base.vsqa");
+    auto m = zoo.bert_base();
+    std::cout << "bert_base: F1 " << eval_transformer(*m, zoo.span_test()) << "\n";
+  }
+  if (which == "bert_large" || which == "all") {
+    maybe_remove("bert_large.vsqa");
+    auto m = zoo.bert_large();
+    std::cout << "bert_large: F1 " << eval_transformer(*m, zoo.span_test()) << "\n";
+  }
+  if (which != "resnet" && which != "bert_base" && which != "bert_large" && which != "all") {
+    std::cerr << "unknown --model=" << which << "\n";
+    return 1;
+  }
+  return 0;
+}
