@@ -26,7 +26,7 @@ std::vector<MacConfig> design_space_configs(ModelKind kind) {
   switch (kind) {
     case ModelKind::kResNet: {
       // POC baselines (Fig. 3/4 blue points).
-      for (const auto [w, a] : {std::pair{4, 4}, {4, 6}, {6, 4}, {6, 6}, {6, 8}, {8, 8}, {6, 3},
+      for (const auto& [w, a] : {std::pair{4, 4}, {4, 6}, {6, 4}, {6, 6}, {6, 8}, {8, 8}, {6, 3},
                                 {8, 6}}) {
         cs.push_back(poc(w, a));
       }
@@ -52,7 +52,7 @@ std::vector<MacConfig> design_space_configs(ModelKind kind) {
     }
     case ModelKind::kBertBase:
     case ModelKind::kBertLarge: {
-      for (const auto [w, a] : {std::pair{6, 8}, {8, 8}, {6, 6}, {8, 6}}) {
+      for (const auto& [w, a] : {std::pair{6, 8}, {8, 8}, {6, 6}, {8, 6}}) {
         MacConfig c = poc(w, a);
         c.act_unsigned = false;  // transformer activations are signed
         cs.push_back(c);

@@ -25,7 +25,7 @@ LearnedScaleQuantizer::Grads LearnedScaleQuantizer::backward(const Tensor& w2d,
   Grads g;
   g.scale_grad.assign(scales_.scales.size(), 0.0f);
   g.input_grad = Tensor(w2d.shape());
-  const std::int64_t rows = scales_.rows, cols = scales_.cols();
+  const std::int64_t rows = scales_.rows;
   const std::int64_t vpr = scales_.vectors_per_row();
   const auto qmin = static_cast<float>(fmt_.qmin());
   const auto qmax = static_cast<float>(fmt_.qmax());

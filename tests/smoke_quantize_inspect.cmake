@@ -1,0 +1,37 @@
+# End-to-end CLI smoke test: vsq_quantize a small model, then vsq_inspect
+# the exported package. Invoked from ctest (see tests/CMakeLists.txt) with
+#   -DVSQ_QUANTIZE=<path> -DVSQ_INSPECT=<path> -DWORK_DIR=<scratch dir>
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(ENV{VSQ_ARTIFACTS} "${WORK_DIR}/artifacts")
+set(PACKAGE "${WORK_DIR}/tiny_int.vsqa")
+
+execute_process(
+  COMMAND "${VSQ_QUANTIZE}" --model=tiny --config=4/8/6/10 --vector=16
+          "--out=${PACKAGE}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out ERROR_VARIABLE out)
+message(STATUS "vsq_quantize output:\n${out}")
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "vsq_quantize failed with exit code ${rc}")
+endif()
+if(NOT EXISTS "${PACKAGE}")
+  message(FATAL_ERROR "vsq_quantize did not write ${PACKAGE}")
+endif()
+
+execute_process(
+  COMMAND "${VSQ_INSPECT}" "--package=${PACKAGE}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out ERROR_VARIABLE out)
+message(STATUS "vsq_inspect output:\n${out}")
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "vsq_inspect failed with exit code ${rc}")
+endif()
+# The tiny model has exactly two GEMMs (fc1, fc2); anchoring on the count
+# catches a regression that exports an empty package.
+if(NOT out MATCHES "2 layers")
+  message(FATAL_ERROR "vsq_inspect did not report the expected 2 layers")
+endif()
+if(NOT out MATCHES "fc1" OR NOT out MATCHES "fc2")
+  message(FATAL_ERROR "vsq_inspect layer table missing fc1/fc2 rows")
+endif()

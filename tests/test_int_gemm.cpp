@@ -52,7 +52,7 @@ QuantSpec coarse_act_spec(int bits) {
 // scales — what the integer datapath must reproduce exactly at full
 // scale-product precision.
 Tensor fake_quant_reference(const QuantizedMatrix& act, const QuantizedMatrix& wgt) {
-  const std::int64_t rows = act.rows, k = wgt.rows, cols = act.cols();
+  const std::int64_t rows = act.rows, k = wgt.rows;
   const std::int64_t vpr = act.layout.vectors_per_row();
   Tensor out(Shape{rows, k});
   for (std::int64_t r = 0; r < rows; ++r) {

@@ -175,7 +175,9 @@ TEST(FakeQuant, SmallerVectorsLowerMse) {
   for (const int v : {1, 4, 16, 64}) {
     const ScaleSet s = compute_scales(x, Granularity::kPerVector, VectorLayout{64, v, 0}, f);
     const double m = mse(x, fake_quantize(x, s, f));
-    if (prev >= 0.0) EXPECT_GE(m, prev) << "V=" << v;
+    if (prev >= 0.0) {
+      EXPECT_GE(m, prev) << "V=" << v;
+    }
     prev = m;
   }
 }

@@ -33,7 +33,9 @@ TEST(Sensitivity, OneLayerConfigurationLeavesOthersOff) {
   }
   EXPECT_TRUE(gemms[target]->weight_spec().enabled);
   for (std::size_t i = 0; i < gemms.size(); ++i) {
-    if (i != target) EXPECT_FALSE(gemms[i]->weight_spec().enabled);
+    if (i != target) {
+      EXPECT_FALSE(gemms[i]->weight_spec().enabled);
+    }
   }
 }
 

@@ -2,18 +2,37 @@
 // in the paper's W/A/ws/as notation and export the integer deployment
 // package (quant/export.h).
 //
-//   vsq_quantize --model=resnet|bert_base|bert_large --config=4/8/6/10
+//   vsq_quantize --model=tiny|resnet|bert_base|bert_large --config=4/8/6/10
 //                [--out=artifacts/model_int.vsqa] [--vector=16]
+//
+// --model=tiny is a randomly-initialized 2-layer MLP that needs no trained
+// checkpoint — it exercises the full calibrate/export path in milliseconds
+// (used by the ctest smoke test).
 #include <iostream>
 
 #include "exp/ptq.h"
 #include "hw/mac_config.h"
+#include "nn/activations.h"
+#include "nn/linear.h"
 #include "quant/export.h"
 #include "util/args.h"
+#include "util/rng.h"
 
 namespace {
 
 using namespace vsq;
+
+// Minimal GEMM-bearing model satisfying the quantize_model() interface.
+struct TinyMlp {
+  Linear fc1, fc2;
+  ReLU relu;
+
+  explicit TinyMlp(Rng& rng) : fc1("fc1", 64, 32, rng), fc2("fc2", 32, 8, rng) {}
+  Tensor forward(const Tensor& x, bool train) {
+    return fc2.forward(relu.forward(fc1.forward(x, train), train), train);
+  }
+  std::vector<QuantizableGemm*> gemms() { return {&fc1, &fc2}; }
+};
 
 // Calibrate all GEMMs of the model, export each as a package layer.
 template <typename Model, typename CalibFn>
@@ -42,17 +61,27 @@ int main(int argc, char** argv) {
   MacConfig mac = MacConfig::parse(args.get_str("config", "4/8/6/10"));
   mac.vector_size = args.get_int("vector", 16);
   mac.act_unsigned = which == "resnet";
-  const std::string out =
-      args.get_str("out", artifacts_dir() + "/" + which + "_int.vsqa");
+  // Resolved lazily so --model=tiny with an explicit --out never touches
+  // the artifacts directory.
+  std::string out = args.get_str("out", "");
 
-  ModelZoo zoo(artifacts_dir());
   QuantizedModelPackage pkg;
-  if (which == "resnet") {
+  if (which == "tiny") {
+    // Deliberately no ModelZoo here: tiny is checkpoint-free, and the zoo
+    // constructor's fingerprint check may evict cached trained models.
+    Rng rng(7);
+    TinyMlp model(rng);
+    Tensor calib(Shape{32, 64});
+    for (auto& v : calib.span()) v = static_cast<float>(rng.normal());
+    pkg = quantize_model(model, mac, [&] { model.forward(calib, false); });
+  } else if (which == "resnet") {
+    ModelZoo zoo(artifacts_dir());
     auto model = zoo.resnet();
     pkg = quantize_model(*model, mac, [&] {
       model->forward(zoo.image_calib().batch_images(0, zoo.image_calib().size()), false);
     });
   } else if (which == "bert_base" || which == "bert_large") {
+    ModelZoo zoo(artifacts_dir());
     auto model = which == "bert_large" ? zoo.bert_large() : zoo.bert_base();
     mac.act_unsigned = false;
     pkg = quantize_model(*model, mac, [&] {
@@ -62,6 +91,7 @@ int main(int argc, char** argv) {
     std::cerr << "unknown --model=" << which << "\n";
     return 1;
   }
+  if (out.empty()) out = artifacts_dir() + "/" + which + "_int.vsqa";
   pkg.save(out);
   std::cout << "exported " << pkg.layers.size() << " layers at config " << mac.str() << " ("
             << mac.granularity_label() << ") -> " << out << "\n";
