@@ -1,10 +1,12 @@
 // google-benchmark microbenchmarks of the library's kernels: GEMM,
 // per-vector fake quantization (single- and two-level), the bit-accurate
-// integer PE datapath, and fp16 scale rounding.
+// integer GEMM and PE datapath, and fp16 scale rounding.
 #include <benchmark/benchmark.h>
 
 #include "hw/pe_simulator.h"
 #include "quant/fake_quant.h"
+#include "quant/int_gemm.h"
+#include "quant/quantized_tensor.h"
 #include "tensor/gemm.h"
 #include "util/fp16.h"
 #include "util/rng.h"
@@ -85,6 +87,39 @@ void BM_PeSimulator(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 64 * 64 * 256);
 }
 BENCHMARK(BM_PeSimulator)->Arg(-1)->Arg(4);
+
+// Bit-accurate integer GEMM (the VS-Quant vector MAC datapath) on a
+// BERT-base-shaped tile: two-level 4-bit operands with 6-bit vector scales.
+void BM_IntGemm(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(11);
+  Tensor w(Shape{n, n}), a(Shape{n, n});
+  for (auto& v : w.span()) v = static_cast<float>(rng.normal());
+  for (auto& v : a.span()) v = static_cast<float>(rng.normal());
+
+  QuantSpec wspec;
+  wspec.enabled = true;
+  wspec.fmt = QuantFormat{4, true};
+  wspec.granularity = Granularity::kPerVector;
+  wspec.vector_size = 16;
+  wspec.scale_dtype = ScaleDtype::kTwoLevelInt;
+  wspec.scale_fmt = QuantFormat{6, false};
+  QuantSpec aspec = wspec;
+  aspec.dynamic = true;
+
+  const QuantizedMatrix wq = quantize_weights_int(w, wspec);
+  const float amax = amax_per_tensor(a);
+  const float gamma = scale_from_amax(amax, aspec.fmt) /
+                      static_cast<float>(aspec.scale_fmt.qmax());
+  const QuantizedMatrix aq = quantize_activations_int(a, aspec, amax, gamma);
+
+  for (auto _ : state) {
+    Tensor y = int_gemm(aq, wq, /*scale_product_bits=*/6, nullptr);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_IntGemm)->Arg(128)->Arg(256);
 
 void BM_Fp16Round(benchmark::State& state) {
   const Tensor x = random_matrix(64, 512, 7);

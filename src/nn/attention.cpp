@@ -3,9 +3,19 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/gemm.h"
 #include "tensor/ops.h"
 
 namespace vsq {
+namespace {
+
+// Scale a contiguous buffer in place (scores / score-gradients by
+// 1/sqrt(dh) once, instead of per inner-loop element).
+void scale_inplace(float* p, std::int64_t n, float s) {
+  for (std::int64_t i = 0; i < n; ++i) p[i] *= s;
+}
+
+}  // namespace
 
 MultiHeadSelfAttention::MultiHeadSelfAttention(std::string name, std::int64_t dim,
                                                std::int64_t heads, Rng& rng)
@@ -29,20 +39,18 @@ Tensor MultiHeadSelfAttention::forward(const Tensor& x, bool train) {
   Tensor k = k_->forward(x, train);
   Tensor v = v_->forward(x, train);
 
-  // scores[b,h,i,j] = q[b,i,h*dh:] . k[b,j,h*dh:] / sqrt(dh)
+  // scores[b,h,i,j] = q[b,i,h*dh:] . k[b,j,h*dh:] / sqrt(dh). Each head is
+  // a [t, dh] sub-matrix of the packed [B*T, D] projection (row stride D),
+  // so the strided GEMM engine computes it without materializing a copy.
   Tensor scores(Shape{b, h, t, t});
   const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(dh));
   for (std::int64_t bi = 0; bi < b; ++bi) {
     for (std::int64_t hi = 0; hi < h; ++hi) {
-      for (std::int64_t i = 0; i < t; ++i) {
-        const float* qi = q.data() + (bi * t + i) * dim_ + hi * dh;
-        for (std::int64_t j = 0; j < t; ++j) {
-          const float* kj = k.data() + (bi * t + j) * dim_ + hi * dh;
-          float s = 0.0f;
-          for (std::int64_t d = 0; d < dh; ++d) s += qi[d] * kj[d];
-          scores.at4(bi, hi, i, j) = s * inv_sqrt;
-        }
-      }
+      const float* qh = q.data() + bi * t * dim_ + hi * dh;
+      const float* kh = k.data() + bi * t * dim_ + hi * dh;
+      float* sh = scores.data() + (bi * h + hi) * t * t;
+      gemm_nt_strided(qh, dim_, kh, dim_, sh, t, t, t, dh);
+      scale_inplace(sh, t * t, inv_sqrt);
     }
   }
   Tensor probs = softmax_last_axis(scores);
@@ -51,15 +59,10 @@ Tensor MultiHeadSelfAttention::forward(const Tensor& x, bool train) {
   Tensor ctx(Shape{b, t, dim_});
   for (std::int64_t bi = 0; bi < b; ++bi) {
     for (std::int64_t hi = 0; hi < h; ++hi) {
-      for (std::int64_t i = 0; i < t; ++i) {
-        float* ci = ctx.data() + (bi * t + i) * dim_ + hi * dh;
-        for (std::int64_t j = 0; j < t; ++j) {
-          const float p = probs.at4(bi, hi, i, j);
-          if (p == 0.0f) continue;
-          const float* vj = v.data() + (bi * t + j) * dim_ + hi * dh;
-          for (std::int64_t d = 0; d < dh; ++d) ci[d] += p * vj[d];
-        }
-      }
+      const float* ph = probs.data() + (bi * h + hi) * t * t;
+      const float* vh = v.data() + bi * t * dim_ + hi * dh;
+      float* ch = ctx.data() + bi * t * dim_ + hi * dh;
+      gemm_nn_strided(ph, t, vh, dim_, ch, dim_, t, dh, t);
     }
   }
   if (train) {
@@ -78,47 +81,37 @@ Tensor MultiHeadSelfAttention::backward(const Tensor& grad_out) {
 
   Tensor gctx = out_->backward(grad_out);  // [B, T, D]
 
-  // Grad wrt probs and v.
+  // Grad wrt probs and v, one strided GEMM pair per head:
+  //   gprobs = gctx_h vt_h^T,  gv_h = probs_h^T gctx_h.
   Tensor gprobs(Shape{b, h, t, t});
   Tensor gv(Shape{b, t, dim_});
   for (std::int64_t bi = 0; bi < b; ++bi) {
     for (std::int64_t hi = 0; hi < h; ++hi) {
-      for (std::int64_t i = 0; i < t; ++i) {
-        const float* gci = gctx.data() + (bi * t + i) * dim_ + hi * dh;
-        for (std::int64_t j = 0; j < t; ++j) {
-          const float* vj = vt_.data() + (bi * t + j) * dim_ + hi * dh;
-          float s = 0.0f;
-          for (std::int64_t d = 0; d < dh; ++d) s += gci[d] * vj[d];
-          gprobs.at4(bi, hi, i, j) = s;
-          const float p = probs_.at4(bi, hi, i, j);
-          if (p == 0.0f) continue;
-          float* gvj = gv.data() + (bi * t + j) * dim_ + hi * dh;
-          for (std::int64_t d = 0; d < dh; ++d) gvj[d] += p * gci[d];
-        }
-      }
+      const float* gch = gctx.data() + bi * t * dim_ + hi * dh;
+      const float* vh = vt_.data() + bi * t * dim_ + hi * dh;
+      const float* ph = probs_.data() + (bi * h + hi) * t * t;
+      float* gph = gprobs.data() + (bi * h + hi) * t * t;
+      float* gvh = gv.data() + bi * t * dim_ + hi * dh;
+      gemm_nt_strided(gch, dim_, vh, dim_, gph, t, t, t, dh);
+      gemm_tn_strided(ph, t, gch, dim_, gvh, dim_, t, dh, t, /*accumulate=*/true);
     }
   }
   Tensor gscores = softmax_backward_last_axis(probs_, gprobs);
 
-  // Grad wrt q and k (scores were scaled by inv_sqrt).
+  // Grad wrt q and k (scores were scaled by inv_sqrt):
+  //   gq_h = gs_h kt_h,  gk_h = gs_h^T qt_h.
+  scale_inplace(gscores.data(), gscores.numel(), inv_sqrt);
   Tensor gq(Shape{b, t, dim_});
   Tensor gk(Shape{b, t, dim_});
   for (std::int64_t bi = 0; bi < b; ++bi) {
     for (std::int64_t hi = 0; hi < h; ++hi) {
-      for (std::int64_t i = 0; i < t; ++i) {
-        float* gqi = gq.data() + (bi * t + i) * dim_ + hi * dh;
-        const float* qi = qt_.data() + (bi * t + i) * dim_ + hi * dh;
-        for (std::int64_t j = 0; j < t; ++j) {
-          const float gs = gscores.at4(bi, hi, i, j) * inv_sqrt;
-          if (gs == 0.0f) continue;
-          const float* kj = kt_.data() + (bi * t + j) * dim_ + hi * dh;
-          float* gkj = gk.data() + (bi * t + j) * dim_ + hi * dh;
-          for (std::int64_t d = 0; d < dh; ++d) {
-            gqi[d] += gs * kj[d];
-            gkj[d] += gs * qi[d];
-          }
-        }
-      }
+      const float* gsh = gscores.data() + (bi * h + hi) * t * t;
+      const float* kh = kt_.data() + bi * t * dim_ + hi * dh;
+      const float* qh = qt_.data() + bi * t * dim_ + hi * dh;
+      float* gqh = gq.data() + bi * t * dim_ + hi * dh;
+      float* gkh = gk.data() + bi * t * dim_ + hi * dh;
+      gemm_nn_strided(gsh, t, kh, dim_, gqh, dim_, t, dh, t);
+      gemm_tn_strided(gsh, t, qh, dim_, gkh, dim_, t, dh, t, /*accumulate=*/true);
     }
   }
 

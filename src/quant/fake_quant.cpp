@@ -39,8 +39,9 @@ QuantizedOperand quantize_weights(const Tensor& w2d, const QuantSpec& spec) {
     std::vector<float> amax;
     if (spec.granularity == Granularity::kPerRow) {
       amax.resize(static_cast<std::size_t>(rows));
+      Histogram h(512);  // one histogram reset per row, not 512 bins per row
       for (std::int64_t r = 0; r < rows; ++r) {
-        Histogram h(512);
+        h.reset();
         h.collect(std::span<const float>(w2d.data() + r * cols, static_cast<std::size_t>(cols)));
         amax[static_cast<std::size_t>(r)] =
             static_cast<float>(calibrate_amax(h, spec.calib, spec.fmt));
@@ -73,6 +74,10 @@ Tensor per_vector_dynamic_impl(const Tensor& x2d, const QuantSpec& spec, SnapFn&
   const auto qmin = static_cast<float>(spec.fmt.qmin());
   const auto qmax = static_cast<float>(spec.fmt.qmax());
 
+  // Grain: a chunk should cover at least ~16k elements so small
+  // activations are quantized inline instead of paying pool dispatch.
+  const auto grain =
+      static_cast<std::size_t>(std::max<std::int64_t>(1, 16384 / std::max<std::int64_t>(1, cols)));
   parallel_for(0, static_cast<std::size_t>(rows), [&](std::size_t rb, std::size_t re) {
     for (std::size_t r = rb; r < re; ++r) {
       const float* row = src + static_cast<std::int64_t>(r) * cols;
@@ -93,7 +98,7 @@ Tensor per_vector_dynamic_impl(const Tensor& x2d, const QuantSpec& spec, SnapFn&
         }
       }
     }
-  });
+  }, grain);
   return out;
 }
 

@@ -11,6 +11,13 @@ Histogram::Histogram(int num_bins) {
   counts_.assign(static_cast<std::size_t>(num_bins), 0);
 }
 
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), std::uint64_t{0});
+  width_ = 0.0;
+  max_value_ = 0.0;
+  total_ = 0;
+}
+
 void Histogram::grow_to(double new_max) {
   // Double the range until new_max fits, merging pairs of bins so counts
   // stay consistent (standard TensorRT-style growth).

@@ -18,6 +18,11 @@ class Histogram {
   // Accumulate |x| for every element.
   void collect(std::span<const float> values);
 
+  // Forget all collected data (bins, range, counts) but keep the bin
+  // storage, so one histogram can be reused across many small collections
+  // (e.g. per-row weight calibration) without reallocating.
+  void reset();
+
   int num_bins() const { return static_cast<int>(counts_.size()); }
   double bin_width() const { return width_; }
   double upper_edge() const { return width_ * num_bins(); }

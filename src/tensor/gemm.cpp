@@ -1,73 +1,60 @@
 #include "tensor/gemm.h"
 
-#include <algorithm>
 #include <cstring>
-#include <vector>
 
-#include "util/thread_pool.h"
+#include "tensor/gemm_kernel.h"
 
 namespace vsq {
 namespace {
 
-// Row-block size for threading: each task computes a contiguous strip of C.
-constexpr std::int64_t kRowStrip = 32;
+// Below this many multiply-adds the packing + dispatch overhead of the
+// blocked engine outweighs the compute; use direct loops instead.
+constexpr std::int64_t kTinyFlops = 32 * 1024;
 
-// gemm_nt inner kernel on one strip of rows [m0, m1). Unrolled over 4
-// columns of B so the compiler keeps 4 accumulators in vector registers.
-void gemm_nt_strip(const float* a, const float* b, float* c, std::int64_t m0, std::int64_t m1,
-                   std::int64_t n, std::int64_t k, bool accumulate) {
-  for (std::int64_t i = m0; i < m1; ++i) {
-    const float* ai = a + i * k;
-    std::int64_t j = 0;
-    for (; j + 4 <= n; j += 4) {
-      const float* b0 = b + (j + 0) * k;
-      const float* b1 = b + (j + 1) * k;
-      const float* b2 = b + (j + 2) * k;
-      const float* b3 = b + (j + 3) * k;
-      float s0 = 0, s1 = 0, s2 = 0, s3 = 0;
-      for (std::int64_t p = 0; p < k; ++p) {
-        const float av = ai[p];
-        s0 += av * b0[p];
-        s1 += av * b1[p];
-        s2 += av * b2[p];
-        s3 += av * b3[p];
-      }
-      float* ci = c + i * n + j;
-      if (accumulate) {
-        ci[0] += s0;
-        ci[1] += s1;
-        ci[2] += s2;
-        ci[3] += s3;
-      } else {
-        ci[0] = s0;
-        ci[1] = s1;
-        ci[2] = s2;
-        ci[3] = s3;
-      }
-    }
-    for (; j < n; ++j) {
-      const float* bj = b + j * k;
+bool tiny(std::int64_t m, std::int64_t n, std::int64_t k) { return m * n * k < kTinyFlops; }
+
+void naive_nt(const float* a, std::int64_t lda, const float* b, std::int64_t ldb, float* c,
+              std::int64_t ldc, std::int64_t m, std::int64_t n, std::int64_t k, bool accumulate) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* ai = a + i * lda;
+    float* ci = c + i * ldc;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* bj = b + j * ldb;
       float s = 0;
       for (std::int64_t p = 0; p < k; ++p) s += ai[p] * bj[p];
       if (accumulate) {
-        c[i * n + j] += s;
+        ci[j] += s;
       } else {
-        c[i * n + j] = s;
+        ci[j] = s;
       }
     }
   }
 }
 
-void gemm_nn_strip(const float* a, const float* b, float* c, std::int64_t m0, std::int64_t m1,
-                   std::int64_t n, std::int64_t k, bool accumulate) {
-  for (std::int64_t i = m0; i < m1; ++i) {
-    float* ci = c + i * n;
+void naive_nn(const float* a, std::int64_t lda, const float* b, std::int64_t ldb, float* c,
+              std::int64_t ldc, std::int64_t m, std::int64_t n, std::int64_t k, bool accumulate) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* ci = c + i * ldc;
     if (!accumulate) std::memset(ci, 0, static_cast<std::size_t>(n) * sizeof(float));
-    const float* ai = a + i * k;
+    const float* ai = a + i * lda;
     for (std::int64_t p = 0; p < k; ++p) {
       const float av = ai[p];
       if (av == 0.0f) continue;
-      const float* bp = b + p * n;
+      const float* bp = b + p * ldb;
+      for (std::int64_t j = 0; j < n; ++j) ci[j] += av * bp[j];
+    }
+  }
+}
+
+void naive_tn(const float* a, std::int64_t lda, const float* b, std::int64_t ldb, float* c,
+              std::int64_t ldc, std::int64_t m, std::int64_t n, std::int64_t k, bool accumulate) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* ci = c + i * ldc;
+    if (!accumulate) std::memset(ci, 0, static_cast<std::size_t>(n) * sizeof(float));
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = a[p * lda + i];
+      if (av == 0.0f) continue;
+      const float* bp = b + p * ldb;
       for (std::int64_t j = 0; j < n; ++j) ci[j] += av * bp[j];
     }
   }
@@ -75,54 +62,51 @@ void gemm_nn_strip(const float* a, const float* b, float* c, std::int64_t m0, st
 
 }  // namespace
 
-void gemm_nt(const float* a, const float* b, float* c, std::int64_t m, std::int64_t n,
-             std::int64_t k, bool accumulate) {
-  if (m <= kRowStrip) {
-    gemm_nt_strip(a, b, c, 0, m, n, k, accumulate);
+void gemm_nt_strided(const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
+                     float* c, std::int64_t ldc, std::int64_t m, std::int64_t n, std::int64_t k,
+                     bool accumulate) {
+  if (tiny(m, n, k)) {
+    naive_nt(a, lda, b, ldb, c, ldc, m, n, k, accumulate);
     return;
   }
-  parallel_for(0, static_cast<std::size_t>((m + kRowStrip - 1) / kRowStrip),
-               [&](std::size_t sb, std::size_t se) {
-                 for (std::size_t s = sb; s < se; ++s) {
-                   const std::int64_t m0 = static_cast<std::int64_t>(s) * kRowStrip;
-                   const std::int64_t m1 = std::min<std::int64_t>(m, m0 + kRowStrip);
-                   gemm_nt_strip(a, b, c, m0, m1, n, k, accumulate);
-                 }
-               });
+  // B[N,K]^T viewed as [K,N]: element (p, j) at b[j*ldb + p].
+  gemm_blocked(GemmMatView{a, lda, 1}, GemmMatView{b, 1, ldb}, c, ldc, m, n, k, accumulate);
+}
+
+void gemm_nn_strided(const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
+                     float* c, std::int64_t ldc, std::int64_t m, std::int64_t n, std::int64_t k,
+                     bool accumulate) {
+  if (tiny(m, n, k)) {
+    naive_nn(a, lda, b, ldb, c, ldc, m, n, k, accumulate);
+    return;
+  }
+  gemm_blocked(GemmMatView{a, lda, 1}, GemmMatView{b, ldb, 1}, c, ldc, m, n, k, accumulate);
+}
+
+void gemm_tn_strided(const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
+                     float* c, std::int64_t ldc, std::int64_t m, std::int64_t n, std::int64_t k,
+                     bool accumulate) {
+  if (tiny(m, n, k)) {
+    naive_tn(a, lda, b, ldb, c, ldc, m, n, k, accumulate);
+    return;
+  }
+  // A[K,M]^T viewed as [M,K]: element (i, p) at a[p*lda + i].
+  gemm_blocked(GemmMatView{a, 1, lda}, GemmMatView{b, ldb, 1}, c, ldc, m, n, k, accumulate);
+}
+
+void gemm_nt(const float* a, const float* b, float* c, std::int64_t m, std::int64_t n,
+             std::int64_t k, bool accumulate) {
+  gemm_nt_strided(a, k, b, k, c, n, m, n, k, accumulate);
 }
 
 void gemm_nn(const float* a, const float* b, float* c, std::int64_t m, std::int64_t n,
              std::int64_t k, bool accumulate) {
-  if (m <= kRowStrip) {
-    gemm_nn_strip(a, b, c, 0, m, n, k, accumulate);
-    return;
-  }
-  parallel_for(0, static_cast<std::size_t>((m + kRowStrip - 1) / kRowStrip),
-               [&](std::size_t sb, std::size_t se) {
-                 for (std::size_t s = sb; s < se; ++s) {
-                   const std::int64_t m0 = static_cast<std::int64_t>(s) * kRowStrip;
-                   const std::int64_t m1 = std::min<std::int64_t>(m, m0 + kRowStrip);
-                   gemm_nn_strip(a, b, c, m0, m1, n, k, accumulate);
-                 }
-               });
+  gemm_nn_strided(a, k, b, n, c, n, m, n, k, accumulate);
 }
 
 void gemm_tn(const float* a, const float* b, float* c, std::int64_t m, std::int64_t n,
              std::int64_t k, bool accumulate) {
-  // C[M,N] = sum_p A[p,M]^T B[p,N]. Parallelize over output rows; each row i
-  // of C gathers column i of A.
-  parallel_for(0, static_cast<std::size_t>(m), [&](std::size_t ib, std::size_t ie) {
-    for (std::size_t i = ib; i < ie; ++i) {
-      float* ci = c + static_cast<std::int64_t>(i) * n;
-      if (!accumulate) std::memset(ci, 0, static_cast<std::size_t>(n) * sizeof(float));
-      for (std::int64_t p = 0; p < k; ++p) {
-        const float av = a[p * m + static_cast<std::int64_t>(i)];
-        if (av == 0.0f) continue;
-        const float* bp = b + p * n;
-        for (std::int64_t j = 0; j < n; ++j) ci[j] += av * bp[j];
-      }
-    }
-  });
+  gemm_tn_strided(a, m, b, n, c, n, m, n, k, accumulate);
 }
 
 }  // namespace vsq

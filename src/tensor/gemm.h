@@ -1,7 +1,12 @@
-// Single-precision GEMM variants used by the NN engine. The hot one is
-// gemm_nt (A[M,K] * B[N,K]^T): both conv-via-im2col and linear layers keep
-// the reduction axis innermost in BOTH operands, which is also the layout
+// Single-precision GEMM variants used by the NN engine, all backed by the
+// blocked & packed kernel in tensor/gemm_kernel.h. The hot one is gemm_nt
+// (A[M,K] * B[N,K]^T): both conv-via-im2col and linear layers keep the
+// reduction axis innermost in BOTH operands, which is also the layout
 // per-vector quantization wants (V consecutive K elements = one vector).
+//
+// The *_strided variants take explicit leading dimensions so sub-matrix
+// views (e.g. one attention head of a [T, heads*dh] buffer) run on the
+// packed engine without materializing a copy.
 #pragma once
 
 #include <cstdint>
@@ -20,5 +25,18 @@ void gemm_nn(const float* a, const float* b, float* c, std::int64_t m, std::int6
 // computations.
 void gemm_tn(const float* a, const float* b, float* c, std::int64_t m, std::int64_t n,
              std::int64_t k, bool accumulate = false);
+
+// Strided forms: operands are row-major with leading dimensions lda/ldb/ldc
+// (>= their natural row length). The plain forms above are these with the
+// natural leading dimensions.
+void gemm_nt_strided(const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
+                     float* c, std::int64_t ldc, std::int64_t m, std::int64_t n, std::int64_t k,
+                     bool accumulate = false);
+void gemm_nn_strided(const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
+                     float* c, std::int64_t ldc, std::int64_t m, std::int64_t n, std::int64_t k,
+                     bool accumulate = false);
+void gemm_tn_strided(const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
+                     float* c, std::int64_t ldc, std::int64_t m, std::int64_t n, std::int64_t k,
+                     bool accumulate = false);
 
 }  // namespace vsq

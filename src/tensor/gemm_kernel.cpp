@@ -1,0 +1,236 @@
+#include "tensor/gemm_kernel.h"
+
+#include <algorithm>
+
+#include "util/scratch.h"
+#include "util/thread_pool.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define VSQ_GEMM_X86 1
+#include <immintrin.h>
+#else
+#define VSQ_GEMM_X86 0
+#endif
+
+namespace vsq {
+namespace {
+
+constexpr int MR = kGemmMR;
+constexpr int NR = kGemmNR;
+
+// Cache blocking. KC x NR B-slivers (16 KiB) sit in L1 alongside the
+// MR x KC A-panel (6 KiB); the MC x KC A-block (~120 KiB) targets L2.
+constexpr std::int64_t KC = 256;
+constexpr std::int64_t MC = 120;  // multiple of MR
+constexpr std::int64_t NC = 2048;
+
+static_assert(MC % MR == 0);
+static_assert(NC % NR == 0);
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) { return (a + b - 1) / b; }
+std::int64_t round_up(std::int64_t a, std::int64_t b) { return ceil_div(a, b) * b; }
+
+// ---- Packing -------------------------------------------------------------
+// A[i0:i0+mc, p0:p0+kc] -> row panels of MR: dst[panel][p*MR + i], short
+// panels zero-padded so the microkernel never branches on tile size.
+void pack_a(const GemmMatView& a, std::int64_t i0, std::int64_t p0, std::int64_t mc,
+            std::int64_t kc, float* dst) {
+  for (std::int64_t ir = 0; ir < mc; ir += MR) {
+    const int mr = static_cast<int>(std::min<std::int64_t>(MR, mc - ir));
+    float* d = dst + (ir / MR) * kc * MR;
+    if (mr < MR) std::fill(d, d + kc * MR, 0.0f);
+    for (int i = 0; i < mr; ++i) {
+      const float* src = a.p + (i0 + ir + i) * a.rs + p0 * a.cs;
+      if (a.cs == 1) {
+        for (std::int64_t p = 0; p < kc; ++p) d[p * MR + i] = src[p];
+      } else {
+        for (std::int64_t p = 0; p < kc; ++p) d[p * MR + i] = src[p * a.cs];
+      }
+    }
+  }
+}
+
+// B[p0:p0+kc, j0:j0+nc] -> column panels of NR: dst[panel][p*NR + j]. Two
+// loop orders so the streaming direction always follows the unit stride.
+void pack_b(const GemmMatView& b, std::int64_t p0, std::int64_t j0, std::int64_t kc,
+            std::int64_t nc, float* dst) {
+  for (std::int64_t jr = 0; jr < nc; jr += NR) {
+    const int nr = static_cast<int>(std::min<std::int64_t>(NR, nc - jr));
+    float* d = dst + (jr / NR) * kc * NR;
+    if (nr < NR) std::fill(d, d + kc * NR, 0.0f);
+    if (b.rs == 1) {  // K contiguous per column (the NT hot path)
+      for (int j = 0; j < nr; ++j) {
+        const float* src = b.p + p0 + (j0 + jr + j) * b.cs;
+        for (std::int64_t p = 0; p < kc; ++p) d[p * NR + j] = src[p];
+      }
+    } else {
+      for (std::int64_t p = 0; p < kc; ++p) {
+        const float* src = b.p + (p0 + p) * b.rs + (j0 + jr) * b.cs;
+        float* dp = d + p * NR;
+        for (int j = 0; j < nr; ++j) dp[j] = src[j * b.cs];
+      }
+    }
+  }
+}
+
+// ---- Microkernels --------------------------------------------------------
+// ab[MR*NR] = A_panel * B_panel over kc. Panels are unit-stride; the
+// accumulator block lives in registers for the whole K loop.
+using MicroFn = void (*)(std::int64_t kc, const float* pa, const float* pb, float* ab);
+
+void micro_generic(std::int64_t kc, const float* pa, const float* pb, float* ab) {
+  float acc[MR * NR] = {};
+  for (std::int64_t p = 0; p < kc; ++p, pa += MR, pb += NR) {
+    for (int i = 0; i < MR; ++i) {
+      const float av = pa[i];
+      for (int j = 0; j < NR; ++j) acc[i * NR + j] += av * pb[j];
+    }
+  }
+  std::copy(acc, acc + MR * NR, ab);
+}
+
+#if VSQ_GEMM_X86
+// 6x16 FMA microkernel: 12 YMM accumulators + 2 B registers + 1 broadcast.
+__attribute__((target("avx2,fma"))) void micro_avx2(std::int64_t kc, const float* pa,
+                                                    const float* pb, float* ab) {
+  __m256 c00 = _mm256_setzero_ps(), c01 = _mm256_setzero_ps();
+  __m256 c10 = _mm256_setzero_ps(), c11 = _mm256_setzero_ps();
+  __m256 c20 = _mm256_setzero_ps(), c21 = _mm256_setzero_ps();
+  __m256 c30 = _mm256_setzero_ps(), c31 = _mm256_setzero_ps();
+  __m256 c40 = _mm256_setzero_ps(), c41 = _mm256_setzero_ps();
+  __m256 c50 = _mm256_setzero_ps(), c51 = _mm256_setzero_ps();
+  for (std::int64_t p = 0; p < kc; ++p, pa += MR, pb += NR) {
+    const __m256 b0 = _mm256_load_ps(pb);
+    const __m256 b1 = _mm256_load_ps(pb + 8);
+    __m256 av;
+    av = _mm256_broadcast_ss(pa + 0);
+    c00 = _mm256_fmadd_ps(av, b0, c00);
+    c01 = _mm256_fmadd_ps(av, b1, c01);
+    av = _mm256_broadcast_ss(pa + 1);
+    c10 = _mm256_fmadd_ps(av, b0, c10);
+    c11 = _mm256_fmadd_ps(av, b1, c11);
+    av = _mm256_broadcast_ss(pa + 2);
+    c20 = _mm256_fmadd_ps(av, b0, c20);
+    c21 = _mm256_fmadd_ps(av, b1, c21);
+    av = _mm256_broadcast_ss(pa + 3);
+    c30 = _mm256_fmadd_ps(av, b0, c30);
+    c31 = _mm256_fmadd_ps(av, b1, c31);
+    av = _mm256_broadcast_ss(pa + 4);
+    c40 = _mm256_fmadd_ps(av, b0, c40);
+    c41 = _mm256_fmadd_ps(av, b1, c41);
+    av = _mm256_broadcast_ss(pa + 5);
+    c50 = _mm256_fmadd_ps(av, b0, c50);
+    c51 = _mm256_fmadd_ps(av, b1, c51);
+  }
+  _mm256_storeu_ps(ab + 0 * NR, c00);
+  _mm256_storeu_ps(ab + 0 * NR + 8, c01);
+  _mm256_storeu_ps(ab + 1 * NR, c10);
+  _mm256_storeu_ps(ab + 1 * NR + 8, c11);
+  _mm256_storeu_ps(ab + 2 * NR, c20);
+  _mm256_storeu_ps(ab + 2 * NR + 8, c21);
+  _mm256_storeu_ps(ab + 3 * NR, c30);
+  _mm256_storeu_ps(ab + 3 * NR + 8, c31);
+  _mm256_storeu_ps(ab + 4 * NR, c40);
+  _mm256_storeu_ps(ab + 4 * NR + 8, c41);
+  _mm256_storeu_ps(ab + 5 * NR, c50);
+  _mm256_storeu_ps(ab + 5 * NR + 8, c51);
+}
+#endif  // VSQ_GEMM_X86
+
+bool cpu_has_avx2_fma() {
+#if VSQ_GEMM_X86
+  __builtin_cpu_init();
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+MicroFn pick_micro() {
+#if VSQ_GEMM_X86
+  if (cpu_has_avx2_fma()) return micro_avx2;
+#endif
+  return micro_generic;
+}
+
+const MicroFn g_micro = pick_micro();
+
+// Scatter the register tile into (strided) C; `add` covers both caller
+// accumulation and K-block accumulation beyond the first panel.
+void merge_tile(const float* ab, float* c, std::int64_t ldc, int mr, int nr, bool add) {
+  for (int i = 0; i < mr; ++i) {
+    float* ci = c + i * ldc;
+    const float* ai = ab + i * NR;
+    if (add) {
+      for (int j = 0; j < nr; ++j) ci[j] += ai[j];
+    } else {
+      for (int j = 0; j < nr; ++j) ci[j] = ai[j];
+    }
+  }
+}
+
+}  // namespace
+
+bool gemm_kernel_uses_avx2() {
+#if VSQ_GEMM_X86
+  return g_micro == micro_avx2;
+#else
+  return false;
+#endif
+}
+
+void gemm_blocked(const GemmMatView& a, const GemmMatView& b, float* c, std::int64_t ldc,
+                  std::int64_t m, std::int64_t n, std::int64_t k, bool accumulate) {
+  if (m <= 0 || n <= 0) return;
+  if (k <= 0) {
+    if (!accumulate) {
+      for (std::int64_t i = 0; i < m; ++i) std::fill(c + i * ldc, c + i * ldc + n, 0.0f);
+    }
+    return;
+  }
+  const MicroFn micro = g_micro;
+  ScratchArena& arena = ScratchArena::thread_local_arena();
+  ScratchRegion region(arena);
+
+  const std::int64_t kc_cap = std::min(k, KC);
+  float* pb = arena.alloc_n<float>(
+      static_cast<std::size_t>(kc_cap * round_up(std::min(n, NC), NR)));
+
+  // Shrink the M block when it would leave pool threads idle.
+  const auto nth = static_cast<std::int64_t>(ThreadPool::global().concurrency());
+  std::int64_t mc = MC;
+  if (ceil_div(m, mc) < nth) mc = std::max<std::int64_t>(MR, round_up(ceil_div(m, nth), MR));
+  const std::int64_t pa_elems = kc_cap * round_up(std::min(mc, m), MR);
+
+  for (std::int64_t jc = 0; jc < n; jc += NC) {
+    const std::int64_t nc = std::min(NC, n - jc);
+    for (std::int64_t pc = 0; pc < k; pc += KC) {
+      const std::int64_t kc = std::min(KC, k - pc);
+      pack_b(b, pc, jc, kc, nc, pb);
+      const bool beta_add = accumulate || pc > 0;
+      const auto n_mblocks = static_cast<std::size_t>(ceil_div(m, mc));
+      parallel_for(0, n_mblocks, [&](std::size_t bb, std::size_t be) {
+        ScratchArena& ta = ScratchArena::thread_local_arena();
+        ScratchRegion tr(ta);
+        float* pa = ta.alloc_n<float>(static_cast<std::size_t>(pa_elems));
+        alignas(64) float ab[MR * NR];
+        for (std::size_t blk = bb; blk < be; ++blk) {
+          const std::int64_t i0 = static_cast<std::int64_t>(blk) * mc;
+          const std::int64_t mcc = std::min(mc, m - i0);
+          pack_a(a, i0, pc, mcc, kc, pa);
+          for (std::int64_t jr = 0; jr < nc; jr += NR) {
+            const int nr = static_cast<int>(std::min<std::int64_t>(NR, nc - jr));
+            const float* pbp = pb + (jr / NR) * kc * NR;
+            for (std::int64_t ir = 0; ir < mcc; ir += MR) {
+              const int mr = static_cast<int>(std::min<std::int64_t>(MR, mcc - ir));
+              micro(kc, pa + (ir / MR) * kc * MR, pbp, ab);
+              merge_tile(ab, c + (i0 + ir) * ldc + jc + jr, ldc, mr, nr, beta_add);
+            }
+          }
+        }
+      });
+    }
+  }
+}
+
+}  // namespace vsq

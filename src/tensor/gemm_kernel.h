@@ -1,0 +1,48 @@
+// Blocked & packed single-precision GEMM engine (the compute core behind
+// tensor/gemm.h). One driver serves every layout the library needs:
+// operands are described as strided views, so NT / NN / TN and per-head
+// attention slices all funnel into the same packed kernels.
+//
+// Structure (BLIS/oneDNN-style three-level blocking):
+//   for jc over N (NC)                      L3-resident B block
+//     for pc over K (KC)                    panel depth
+//       pack B[pc:pc+KC, jc:jc+NC] -> L1-sized column panels of NR
+//       parallel for ic over M (MC)         threads split the M dimension
+//         pack A[ic:ic+MC, pc:pc+KC] -> row panels of MR
+//         for each (MR x NR) tile: register-tiled microkernel
+//
+// The microkernel keeps an MR x NR accumulator block in registers
+// (6 x 16 = 12 YMM on AVX2+FMA, selected at runtime; a portable
+// autovectorized fallback otherwise) and streams both operands from the
+// packed panels with unit stride. Packing buffers come from the calling
+// thread's ScratchArena, so steady-state GEMM performs no allocation.
+#pragma once
+
+#include <cstdint>
+
+namespace vsq {
+
+// A strided matrix view: element (i, j) lives at p[i*rs + j*cs]. Covers
+// plain row-major (rs=ld, cs=1), transposed (rs=1, cs=ld), and embedded
+// sub-matrices such as one attention head of a [T, heads*dh] buffer.
+struct GemmMatView {
+  const float* p = nullptr;
+  std::int64_t rs = 0;
+  std::int64_t cs = 0;
+};
+
+// Register tile of the microkernel; exposed for tests and for callers that
+// want to align panel sizes (MC is always a multiple of kGemmMR).
+inline constexpr int kGemmMR = 6;
+inline constexpr int kGemmNR = 16;
+
+// C[M,N] (+)= A[M,K] * B[K,N] with C row-major under leading dimension
+// ldc >= n. Threaded over M blocks via the global thread pool.
+void gemm_blocked(const GemmMatView& a, const GemmMatView& b, float* c, std::int64_t ldc,
+                  std::int64_t m, std::int64_t n, std::int64_t k, bool accumulate);
+
+// True when the runtime-dispatched microkernel uses AVX2+FMA (for logs /
+// benchmark provenance).
+bool gemm_kernel_uses_avx2();
+
+}  // namespace vsq

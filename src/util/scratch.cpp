@@ -1,0 +1,67 @@
+#include "util/scratch.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace vsq {
+namespace {
+
+constexpr std::size_t kMinBlock = 64 * 1024;
+
+std::size_t aligned_offset(const char* base, std::size_t used, std::size_t align) {
+  const auto p = reinterpret_cast<std::uintptr_t>(base) + used;
+  return used + ((align - (p & (align - 1))) & (align - 1));
+}
+
+}  // namespace
+
+void* ScratchArena::alloc(std::size_t bytes, std::size_t align) {
+  if (bytes == 0) bytes = 1;
+  // Bump within the current block, or advance to an already-held later
+  // block, before growing.
+  for (; cur_ < blocks_.size(); ++cur_) {
+    Block& b = blocks_[cur_];
+    const std::size_t off = aligned_offset(b.data.get(), b.used, align);
+    if (off + bytes <= b.size) {
+      b.used = off + bytes;
+      return b.data.get() + off;
+    }
+    if (b.used == 0) break;  // empty block too small: replace rather than skip
+  }
+  // Grow geometrically relative to the total held so repeated arenas
+  // converge to O(1) blocks. align slack covers a worst-case base offset.
+  std::size_t want = bytes + align;
+  std::size_t total = capacity();
+  Block nb;
+  nb.size = std::max(kMinBlock, std::max(want, total));
+  nb.data = std::make_unique<char[]>(nb.size);
+  if (cur_ < blocks_.size() && blocks_[cur_].used == 0) {
+    blocks_[cur_] = std::move(nb);
+  } else {
+    blocks_.push_back(std::move(nb));
+    cur_ = blocks_.size() - 1;
+  }
+  Block& b = blocks_[cur_];
+  const std::size_t off = aligned_offset(b.data.get(), 0, align);
+  b.used = off + bytes;
+  return b.data.get() + off;
+}
+
+void ScratchArena::rewind(const Mark& m) {
+  for (std::size_t i = m.block + 1; i < blocks_.size(); ++i) blocks_[i].used = 0;
+  if (m.block < blocks_.size()) blocks_[m.block].used = m.used;
+  cur_ = m.block;
+}
+
+std::size_t ScratchArena::capacity() const {
+  std::size_t total = 0;
+  for (const Block& b : blocks_) total += b.size;
+  return total;
+}
+
+ScratchArena& ScratchArena::thread_local_arena() {
+  thread_local ScratchArena arena;
+  return arena;
+}
+
+}  // namespace vsq

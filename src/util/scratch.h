@@ -1,0 +1,72 @@
+// Region-style scratch allocator for kernel workspaces (GEMM packing
+// buffers, per-thread accumulators). Allocation is a pointer bump; memory
+// is recycled across calls instead of hitting malloc on every GEMM.
+//
+// Key property: blocks never move or shrink once allocated, so pointers
+// handed out earlier stay valid across later alloc() calls (unlike a
+// std::vector that reallocates). rewind() bulk-"frees" everything
+// allocated after a mark() without releasing the underlying memory.
+//
+// Typical use (see tensor/gemm_kernel.cpp):
+//   ScratchArena& arena = ScratchArena::thread_local_arena();
+//   ScratchRegion region(arena);              // rewinds on scope exit
+//   float* packed_b = arena.alloc_n<float>(kc * nc);
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace vsq {
+
+class ScratchArena {
+ public:
+  struct Mark {
+    std::size_t block = 0;
+    std::size_t used = 0;
+  };
+
+  // 64-byte aligned by default so packed panels sit on cache-line (and
+  // AVX) boundaries. Never returns nullptr (throws std::bad_alloc).
+  void* alloc(std::size_t bytes, std::size_t align = 64);
+
+  template <typename T>
+  T* alloc_n(std::size_t n) {
+    return static_cast<T*>(alloc(n * sizeof(T)));
+  }
+
+  Mark mark() const { return Mark{cur_, cur_ < blocks_.size() ? blocks_[cur_].used : 0}; }
+  void rewind(const Mark& m);
+
+  // Total bytes held (for tests / introspection).
+  std::size_t capacity() const;
+
+  // Per-thread arena: pool workers and the main thread each get their own,
+  // so concurrent GEMM chunks never contend or share lifetimes.
+  static ScratchArena& thread_local_arena();
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  std::vector<Block> blocks_;
+  std::size_t cur_ = 0;  // index of the block currently being bumped
+};
+
+// RAII rewind-to-mark, exception safe (parallel_for rethrows through it).
+class ScratchRegion {
+ public:
+  explicit ScratchRegion(ScratchArena& arena) : arena_(arena), mark_(arena.mark()) {}
+  ~ScratchRegion() { arena_.rewind(mark_); }
+  ScratchRegion(const ScratchRegion&) = delete;
+  ScratchRegion& operator=(const ScratchRegion&) = delete;
+
+ private:
+  ScratchArena& arena_;
+  ScratchArena::Mark mark_;
+};
+
+}  // namespace vsq

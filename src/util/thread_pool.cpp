@@ -1,13 +1,31 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <exception>
+#include <stdexcept>
 
 namespace vsq {
 namespace {
 // Set on pool worker threads so nested parallel_for calls run serially
 // instead of blocking a worker on chunks only that same worker could run.
 thread_local bool t_in_pool_worker = false;
+
+// Requested global-pool size: SIZE_MAX = unset, 0 = hardware_concurrency.
+std::atomic<std::size_t> g_requested_threads{static_cast<std::size_t>(-1)};
+std::atomic<bool> g_global_created{false};
+
+std::size_t resolve_global_threads() {
+  const std::size_t req = g_requested_threads.load();
+  if (req != static_cast<std::size_t>(-1)) return req;
+  if (const char* env = std::getenv("VSQ_THREADS")) {
+    char* endp = nullptr;
+    const long v = std::strtol(env, &endp, 10);
+    if (endp != env && *endp == '\0' && v >= 0) return static_cast<std::size_t>(v);
+  }
+  return 0;  // hardware_concurrency
+}
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t n_threads) {
@@ -54,7 +72,8 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
-                              const std::function<void(std::size_t, std::size_t)>& fn) {
+                              const std::function<void(std::size_t, std::size_t)>& fn,
+                              std::size_t grain) {
   if (end <= begin) return;
   // Nested call from inside a pool worker: run serially. The other workers
   // are busy with the outer loop, and parking this worker on a latch for
@@ -65,7 +84,11 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     return;
   }
   const std::size_t n = end - begin;
-  const std::size_t n_chunks = std::min<std::size_t>(workers_.size() + 1, n);
+  if (grain == 0) grain = 1;
+  // The grain hint caps how finely the range splits: small/cheap loops run
+  // inline (n <= grain -> one chunk) rather than paying queue + dispatch.
+  const std::size_t max_chunks = (n + grain - 1) / grain;
+  const std::size_t n_chunks = std::min<std::size_t>(workers_.size() + 1, max_chunks);
   if (n_chunks <= 1) {
     fn(begin, end);
     return;
@@ -119,13 +142,27 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  static ThreadPool pool(resolve_global_threads());
+  g_global_created.store(true);
   return pool;
 }
 
+void ThreadPool::set_global_threads(std::size_t n_threads) {
+  if (g_global_created.load()) {
+    const std::size_t have = global().concurrency();
+    const std::size_t want =
+        n_threads == 0 ? std::max(1u, std::thread::hardware_concurrency()) : n_threads;
+    if (have != want) {
+      throw std::logic_error("ThreadPool::set_global_threads: global pool already created");
+    }
+    return;
+  }
+  g_requested_threads.store(n_threads);
+}
+
 void parallel_for(std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t, std::size_t)>& fn) {
-  ThreadPool::global().parallel_for(begin, end, fn);
+                  const std::function<void(std::size_t, std::size_t)>& fn, std::size_t grain) {
+  ThreadPool::global().parallel_for(begin, end, fn, grain);
 }
 
 }  // namespace vsq

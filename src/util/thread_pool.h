@@ -22,15 +22,31 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   std::size_t size() const { return workers_.size(); }
+  // Threads participating in parallel_for (workers + the calling thread).
+  std::size_t concurrency() const { return workers_.size() + 1; }
 
   // Runs fn(begin..end) split into roughly equal contiguous chunks across
   // the pool plus the calling thread; blocks until all chunks finish.
   // fn receives (chunk_begin, chunk_end).
+  //
+  // `grain` is a cost hint: the minimum number of indices per chunk. Loops
+  // whose total size is <= grain run inline on the calling thread with no
+  // queue traffic or std::function dispatch, and larger loops never split
+  // below grain indices per chunk — pass the number of cheap iterations
+  // that amortize one dispatch (~a few microseconds of work).
   void parallel_for(std::size_t begin, std::size_t end,
-                    const std::function<void(std::size_t, std::size_t)>& fn);
+                    const std::function<void(std::size_t, std::size_t)>& fn,
+                    std::size_t grain = 1);
 
-  // Process-wide pool (lazily constructed).
+  // Process-wide pool (lazily constructed). Size precedence: the value set
+  // via set_global_threads(), else the VSQ_THREADS environment variable,
+  // else hardware_concurrency().
   static ThreadPool& global();
+
+  // Fix the global pool's thread count (0 = hardware_concurrency). Must be
+  // called before the first use of global(); throws std::logic_error once
+  // the pool exists with a different size.
+  static void set_global_threads(std::size_t n_threads);
 
  private:
   void submit(std::function<void()> task);
@@ -44,6 +60,7 @@ class ThreadPool {
 
 // Convenience: parallel_for on the global pool.
 void parallel_for(std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t, std::size_t)>& fn);
+                  const std::function<void(std::size_t, std::size_t)>& fn,
+                  std::size_t grain = 1);
 
 }  // namespace vsq

@@ -1,0 +1,412 @@
+// Tests for the blocked & packed GEMM engine (tensor/gemm_kernel.h):
+// randomized comparison against naive references at tail-heavy odd shapes,
+// strided (attention-head style) views, bit-exactness of the packed
+// int_gemm against the pre-refactor reference loop, and the scratch-arena
+// / parallel_for-grain utilities the engine is built on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "quant/int_gemm.h"
+#include "quant/quantized_tensor.h"
+#include "tensor/gemm.h"
+#include "tensor/gemm_kernel.h"
+#include "util/rng.h"
+#include "util/scratch.h"
+#include "util/thread_pool.h"
+
+namespace vsq {
+namespace {
+
+Tensor random_matrix(std::int64_t r, std::int64_t c, Rng& rng) {
+  Tensor t(Shape{r, c});
+  for (auto& v : t.span()) v = static_cast<float>(rng.normal());
+  return t;
+}
+
+// Naive references (independent of the library's fallback loops).
+void ref_nt(const float* a, const float* b, float* c, std::int64_t m, std::int64_t n,
+            std::int64_t k, bool acc) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double s = acc ? c[i * n + j] : 0.0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        s += static_cast<double>(a[i * k + p]) * b[j * k + p];
+      }
+      c[i * n + j] = static_cast<float>(s);
+    }
+  }
+}
+
+void ref_nn(const float* a, const float* b, float* c, std::int64_t m, std::int64_t n,
+            std::int64_t k, bool acc) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double s = acc ? c[i * n + j] : 0.0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        s += static_cast<double>(a[i * k + p]) * b[p * n + j];
+      }
+      c[i * n + j] = static_cast<float>(s);
+    }
+  }
+}
+
+void ref_tn(const float* a, const float* b, float* c, std::int64_t m, std::int64_t n,
+            std::int64_t k, bool acc) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double s = acc ? c[i * n + j] : 0.0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        s += static_cast<double>(a[p * m + i]) * b[p * n + j];
+      }
+      c[i * n + j] = static_cast<float>(s);
+    }
+  }
+}
+
+// fp32 summation order differs between the blocked kernel and the
+// reference; bound the error by k-scaled machine epsilon.
+void expect_close(const Tensor& got, const Tensor& want, std::int64_t k) {
+  ASSERT_EQ(got.numel(), want.numel());
+  const float tol = 1e-5f * static_cast<float>(k + 8);
+  for (std::int64_t i = 0; i < got.numel(); ++i) {
+    const float scale = std::max(1.0f, std::abs(want[i]));
+    ASSERT_NEAR(got[i], want[i], tol * scale) << "element " << i;
+  }
+}
+
+// Odd shapes around the register-tile (6x16), cache-block, and
+// tiny-fallback boundaries: every loop tail in the engine gets exercised.
+const std::int64_t kOddSizes[] = {1, 3, 5, 31, 33, 63, 65};
+
+TEST(GemmBlocked, MatchesNaiveAtOddShapes) {
+  Rng rng(21);
+  for (const std::int64_t m : kOddSizes) {
+    for (const std::int64_t n : kOddSizes) {
+      for (const std::int64_t k : kOddSizes) {
+        // Alternate accumulate to halve runtime while covering both paths
+        // across the shape grid.
+        const bool acc = (m + n + k) % 2 == 0;
+        const Tensor a = random_matrix(m, k, rng);
+        const Tensor bt = random_matrix(n, k, rng);  // for nt
+        const Tensor b = random_matrix(k, n, rng);   // for nn
+        const Tensor at = random_matrix(k, m, rng);  // for tn
+        Tensor c0 = random_matrix(m, n, rng);
+
+        Tensor got = c0.clone(), want = c0.clone();
+        gemm_nt(a.data(), bt.data(), got.data(), m, n, k, acc);
+        ref_nt(a.data(), bt.data(), want.data(), m, n, k, acc);
+        expect_close(got, want, k);
+
+        got = c0.clone(), want = c0.clone();
+        gemm_nn(a.data(), b.data(), got.data(), m, n, k, acc);
+        ref_nn(a.data(), b.data(), want.data(), m, n, k, acc);
+        expect_close(got, want, k);
+
+        got = c0.clone(), want = c0.clone();
+        gemm_tn(at.data(), b.data(), got.data(), m, n, k, acc);
+        ref_tn(at.data(), b.data(), want.data(), m, n, k, acc);
+        expect_close(got, want, k);
+      }
+    }
+  }
+}
+
+TEST(GemmBlocked, AccumulateBothWaysAtTileBoundary) {
+  // 6x16 register tile exactly, plus one past it, with both accumulate
+  // settings explicitly (the grid above alternates them).
+  Rng rng(22);
+  for (const std::int64_t m : {6, 7}) {
+    for (const std::int64_t n : {16, 17}) {
+      const std::int64_t k = 130;  // > KC? no, but > one microkernel strip with tail
+      const Tensor a = random_matrix(m, k, rng);
+      const Tensor bt = random_matrix(n, k, rng);
+      Tensor c0 = random_matrix(m, n, rng);
+      for (const bool acc : {false, true}) {
+        Tensor got = c0.clone(), want = c0.clone();
+        gemm_nt(a.data(), bt.data(), got.data(), m, n, k, acc);
+        ref_nt(a.data(), bt.data(), want.data(), m, n, k, acc);
+        expect_close(got, want, k);
+      }
+    }
+  }
+}
+
+TEST(GemmBlocked, KLargerThanPanelDepth) {
+  // K spanning several KC=256 panels checks the beta/accumulate chaining
+  // between K blocks.
+  Rng rng(23);
+  const std::int64_t m = 37, n = 29, k = 3 * 256 + 17;
+  const Tensor a = random_matrix(m, k, rng);
+  const Tensor bt = random_matrix(n, k, rng);
+  Tensor got(Shape{m, n}), want(Shape{m, n});
+  gemm_nt(a.data(), bt.data(), got.data(), m, n, k);
+  ref_nt(a.data(), bt.data(), want.data(), m, n, k, false);
+  expect_close(got, want, k);
+}
+
+TEST(GemmBlocked, StridedViewsMatchPackedCopies) {
+  // One "attention head": a [t, dh] slice of a [t, D] buffer.
+  Rng rng(24);
+  const std::int64_t t = 40, dim = 96, dh = 32, off = 33;
+  const Tensor q = random_matrix(t, dim, rng);
+  const Tensor kx = random_matrix(t, dim, rng);
+  // Dense copies of the head.
+  Tensor qh(Shape{t, dh}), kh(Shape{t, dh});
+  for (std::int64_t i = 0; i < t; ++i) {
+    for (std::int64_t d = 0; d < dh; ++d) {
+      qh.at2(i, d) = q.at2(i, off + d);
+      kh.at2(i, d) = kx.at2(i, off + d);
+    }
+  }
+  Tensor got(Shape{t, t}), want(Shape{t, t});
+  gemm_nt_strided(q.data() + off, dim, kx.data() + off, dim, got.data(), t, t, t, dh);
+  ref_nt(qh.data(), kh.data(), want.data(), t, t, dh, false);
+  expect_close(got, want, dh);
+
+  // And a strided C: write the head back into a [t, D] buffer.
+  Tensor probs = random_matrix(t, t, rng);
+  Tensor ctx(Shape{t, dim});
+  gemm_nn_strided(probs.data(), t, kx.data() + off, dim, ctx.data() + off, dim, t, dh, t);
+  Tensor ctx_want(Shape{t, dh});
+  ref_nn(probs.data(), kh.data(), ctx_want.data(), t, dh, t, false);
+  for (std::int64_t i = 0; i < t; ++i) {
+    for (std::int64_t d = 0; d < dh; ++d) {
+      const float scale = std::max(1.0f, std::abs(ctx_want.at2(i, d)));
+      ASSERT_NEAR(ctx.at2(i, off + d), ctx_want.at2(i, d), 1e-4f * scale);
+    }
+  }
+  // Untouched columns of the strided C stay zero.
+  for (std::int64_t i = 0; i < t; ++i) {
+    ASSERT_EQ(ctx.at2(i, 0), 0.0f);
+    ASSERT_EQ(ctx.at2(i, dim - 1), 0.0f);
+  }
+}
+
+TEST(GemmBlocked, ZeroKZeroesOrKeepsC) {
+  Rng rng(25);
+  Tensor c0 = random_matrix(5, 7, rng);
+  Tensor c = c0.clone();
+  gemm_nt(nullptr, nullptr, c.data(), 5, 7, 0, /*accumulate=*/true);
+  for (std::int64_t i = 0; i < c.numel(); ++i) EXPECT_EQ(c[i], c0[i]);
+  gemm_nt(nullptr, nullptr, c.data(), 5, 7, 0, /*accumulate=*/false);
+  for (std::int64_t i = 0; i < c.numel(); ++i) EXPECT_EQ(c[i], 0.0f);
+}
+
+// ---- int_gemm bit-exactness vs the pre-refactor reference loop ----------
+
+// Verbatim copy of the seed int_gemm inner loop (serial): the blocked
+// implementation must reproduce its outputs AND stats bit for bit.
+Tensor int_gemm_seed_reference(const QuantizedMatrix& act, const QuantizedMatrix& wgt,
+                               int scale_product_bits, IntGemmStats* stats) {
+  const std::int64_t rows = act.rows, k_out = wgt.rows, cols = act.cols();
+  const VectorLayout& layout = act.layout;
+  const std::int64_t vpr = layout.vectors_per_row();
+  int full_bits = 0;
+  if (act.two_level) full_bits += act.two_level->scale_fmt.bits;
+  if (wgt.two_level) full_bits += wgt.two_level->scale_fmt.bits;
+
+  Tensor out(Shape{rows, k_out});
+  float* dst = out.data();
+  std::uint64_t vec_ops = 0, zero_sp = 0, zero_dp = 0;
+  std::int64_t max_psum = 0;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const std::int16_t* arow = act.q.data() + r * cols;
+    for (std::int64_t k = 0; k < k_out; ++k) {
+      const std::int16_t* wrow = wgt.q.data() + k * cols;
+      std::int64_t acc = 0;
+      for (std::int64_t v = 0; v < vpr; ++v) {
+        const auto [c0, c1] = layout.col_range(v);
+        std::int64_t dp = 0;
+        for (std::int64_t c = c0; c < c1; ++c) {
+          dp += static_cast<std::int64_t>(arow[c]) * wrow[c];
+        }
+        std::uint32_t sp = act.int_scale(r, v) * wgt.int_scale(k, v);
+        sp = round_scale_product(sp, full_bits, scale_product_bits);
+        acc += dp * static_cast<std::int64_t>(sp);
+        ++vec_ops;
+        if (sp == 0) {
+          ++zero_sp;
+        } else if (dp == 0) {
+          ++zero_dp;
+        }
+      }
+      max_psum = std::max(max_psum, std::abs(acc));
+      dst[r * k_out + k] =
+          static_cast<float>(static_cast<double>(acc) *
+                             static_cast<double>(wgt.outer_scale(k)) * act.outer_scale(r));
+    }
+  }
+  if (stats) {
+    stats->vector_ops += vec_ops;
+    stats->zero_scale_products += zero_sp;
+    stats->zero_dot_products += zero_dp;
+    stats->max_abs_psum = std::max(stats->max_abs_psum, max_psum);
+  }
+  return out;
+}
+
+QuantSpec two_level_weight_spec(int bits, int scale_bits, int vector_size) {
+  QuantSpec s;
+  s.enabled = true;
+  s.fmt = QuantFormat{bits, true};
+  s.granularity = Granularity::kPerVector;
+  s.vector_size = vector_size;
+  s.scale_dtype = ScaleDtype::kTwoLevelInt;
+  s.scale_fmt = QuantFormat{scale_bits, false};
+  return s;
+}
+
+void expect_bit_identical(const QuantizedMatrix& aq, const QuantizedMatrix& wq, int spb) {
+  IntGemmStats got_stats, want_stats;
+  const Tensor got = int_gemm(aq, wq, spb, &got_stats);
+  const Tensor want = int_gemm_seed_reference(aq, wq, spb, &want_stats);
+  ASSERT_EQ(got.numel(), want.numel());
+  for (std::int64_t i = 0; i < got.numel(); ++i) {
+    // Bit-level equality, not tolerance: integer addition is associative,
+    // so the blocked kernel must be exact.
+    ASSERT_EQ(got[i], want[i]) << "element " << i;
+  }
+  EXPECT_EQ(got_stats.vector_ops, want_stats.vector_ops);
+  EXPECT_EQ(got_stats.zero_scale_products, want_stats.zero_scale_products);
+  EXPECT_EQ(got_stats.zero_dot_products, want_stats.zero_dot_products);
+  EXPECT_EQ(got_stats.max_abs_psum, want_stats.max_abs_psum);
+}
+
+TEST(IntGemmBlocked, BitIdenticalTwoLevelOperands) {
+  Rng rng(31);
+  // Odd rows/cols and k_out not a multiple of the weight panel width (8):
+  // exercises panel padding and the tail vector (50 = 3*16 + 2).
+  const Tensor w = random_matrix(13, 50, rng);
+  const Tensor a = random_matrix(9, 50, rng);
+  const QuantSpec wspec = two_level_weight_spec(4, 6, 16);
+  QuantSpec aspec = wspec;
+  aspec.dynamic = true;
+  const QuantizedMatrix wq = quantize_weights_int(w, wspec);
+  const float amax = amax_per_tensor(a);
+  const float gamma = scale_from_amax(amax, aspec.fmt) /
+                      static_cast<float>(aspec.scale_fmt.qmax());
+  const QuantizedMatrix aq = quantize_activations_int(a, aspec, amax, gamma);
+  for (const int spb : {-1, 6, 3}) expect_bit_identical(aq, wq, spb);
+}
+
+TEST(IntGemmBlocked, BitIdenticalCoarseOperands) {
+  Rng rng(32);
+  const Tensor w = random_matrix(12, 48, rng);
+  const Tensor a = random_matrix(7, 48, rng);
+  QuantSpec wspec;
+  wspec.enabled = true;
+  wspec.fmt = QuantFormat{8, true};
+  wspec.granularity = Granularity::kPerRow;
+  QuantSpec aspec;
+  aspec.enabled = true;
+  aspec.fmt = QuantFormat{8, true};
+  aspec.granularity = Granularity::kPerTensor;
+  const QuantizedMatrix wq = quantize_weights_int(w, wspec);
+  const QuantizedMatrix aq =
+      quantize_activations_int(a, aspec, amax_per_tensor(a), 0.0f);
+  expect_bit_identical(aq, wq, -1);
+}
+
+TEST(IntGemmBlocked, BitIdenticalWideOperandsAndTinyPanels) {
+  Rng rng(33);
+  // 10-bit operands, V=64: still int32-safe, plus k_out < panel width.
+  const Tensor w = random_matrix(3, 64, rng);
+  const Tensor a = random_matrix(2, 64, rng);
+  const QuantSpec wspec = two_level_weight_spec(10, 6, 64);
+  QuantSpec aspec = wspec;
+  aspec.dynamic = true;
+  const QuantizedMatrix wq = quantize_weights_int(w, wspec);
+  const float amax = amax_per_tensor(a);
+  const float gamma = scale_from_amax(amax, aspec.fmt) /
+                      static_cast<float>(aspec.scale_fmt.qmax());
+  const QuantizedMatrix aq = quantize_activations_int(a, aspec, amax, gamma);
+  for (const int spb : {-1, 8}) expect_bit_identical(aq, wq, spb);
+}
+
+TEST(IntGemmBlocked, BitIdenticalInt64FallbackPath) {
+  // Force the int64 wide fallback: 10-bit operands with one whole-row
+  // vector of 8704 elements gives 511*511*8704 > INT32_MAX, so the packed
+  // int32 kernel is rejected by the exactness guard. Outputs and stats of
+  // the fallback must still match the reference loop bit for bit
+  // (including the stats merge back into the caller's IntGemmStats).
+  Rng rng(34);
+  const std::int64_t cols = 8704;
+  const Tensor w = random_matrix(3, cols, rng);
+  const Tensor a = random_matrix(2, cols, rng);
+  QuantSpec wspec;
+  wspec.enabled = true;
+  wspec.fmt = QuantFormat{10, true};
+  wspec.granularity = Granularity::kPerRow;
+  wspec.vector_size = static_cast<int>(cols);
+  QuantSpec aspec;
+  aspec.enabled = true;
+  aspec.fmt = QuantFormat{10, true};
+  aspec.granularity = Granularity::kPerTensor;
+  aspec.vector_size = static_cast<int>(cols);
+  const QuantizedMatrix wq = quantize_weights_int(w, wspec);
+  const QuantizedMatrix aq =
+      quantize_activations_int(a, aspec, amax_per_tensor(a), 0.0f);
+  expect_bit_identical(aq, wq, -1);
+}
+
+// ---- Engine plumbing ----------------------------------------------------
+
+TEST(ScratchArena, PointersStableAcrossGrowth) {
+  ScratchArena arena;
+  const auto mark = arena.mark();
+  char* first = static_cast<char*>(arena.alloc(1000));
+  first[0] = 42;
+  // Force growth well past the first block; the first pointer must survive.
+  for (int i = 0; i < 64; ++i) {
+    char* p = static_cast<char*>(arena.alloc(1 << 16));
+    p[0] = static_cast<char>(i);
+  }
+  EXPECT_EQ(first[0], 42);
+  const std::size_t cap = arena.capacity();
+  arena.rewind(mark);
+  // Rewind recycles, never frees.
+  EXPECT_EQ(arena.capacity(), cap);
+  // Reuse after rewind hands back the same memory (block 0 start).
+  char* again = static_cast<char*>(arena.alloc(8));
+  EXPECT_EQ(again, first);
+}
+
+TEST(ScratchArena, AllocIsAligned) {
+  ScratchArena arena;
+  for (const std::size_t sz : {1u, 7u, 64u, 100u}) {
+    const auto p = reinterpret_cast<std::uintptr_t>(arena.alloc(sz));
+    EXPECT_EQ(p % 64, 0u);
+  }
+}
+
+TEST(ParallelForGrain, CoversRangeExactlyOnce) {
+  for (const std::size_t grain : {1u, 7u, 100u, 10000u}) {
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits) h.store(0);
+    parallel_for(
+        3, 257,
+        [&](std::size_t b, std::size_t e) {
+          ASSERT_LE(b, e);
+          for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+        },
+        grain);
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), i >= 3 && i < 257 ? 1 : 0) << i;
+    }
+  }
+}
+
+TEST(ThreadPoolEnv, SetGlobalThreadsAfterCreationIsChecked) {
+  // The pool exists by now (the GEMM tests above used it): re-pinning to
+  // the current size is a no-op, a different size throws.
+  const std::size_t have = ThreadPool::global().concurrency();
+  EXPECT_NO_THROW(ThreadPool::set_global_threads(have));
+  EXPECT_THROW(ThreadPool::set_global_threads(have + 1), std::logic_error);
+}
+
+}  // namespace
+}  // namespace vsq

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Compare a google-benchmark JSON run against a committed baseline.
+
+Flags throughput regressions beyond a threshold so kernel speedups cannot
+silently rot. Benchmarks are matched by name and compared on
+items_per_second (falling back to inverse real_time when a benchmark does
+not report throughput).
+
+Usage:
+  compare_bench.py BASELINE.json CURRENT.json [--max-regress=0.15]
+  compare_bench.py BASELINE.json CURRENT.json --update
+
+Exit status: 0 when no benchmark regressed more than --max-regress
+(default 15%), 1 otherwise. --update rewrites BASELINE.json with CURRENT's
+results instead of comparing (use after an intentional perf change, on the
+machine that owns the baseline).
+"""
+
+import argparse
+import json
+import shutil
+import sys
+
+
+def load_results(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b["name"]
+        if "items_per_second" in b:
+            out[name] = float(b["items_per_second"])
+        elif b.get("real_time", 0) > 0:
+            out[name] = 1.0 / float(b["real_time"])
+    return out
+
+
+def human(x):
+    for unit, scale in (("G", 1e9), ("M", 1e6), ("k", 1e3)):
+        if x >= scale:
+            return f"{x / scale:.2f}{unit}/s"
+    return f"{x:.2f}/s"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--max-regress", type=float, default=0.15,
+                    help="allowed fractional throughput drop (default 0.15)")
+    ap.add_argument("--update", action="store_true",
+                    help="replace the baseline file with the current results")
+    args = ap.parse_args()
+
+    if args.update:
+        shutil.copyfile(args.current, args.baseline)
+        print(f"baseline {args.baseline} updated from {args.current}")
+        return 0
+
+    base = load_results(args.baseline)
+    cur = load_results(args.current)
+
+    regressions = []
+    width = max((len(n) for n in base), default=10)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  ratio")
+    for name in sorted(base):
+        if name not in cur:
+            print(f"{name:<{width}}  {human(base[name]):>12}  {'MISSING':>12}  -")
+            regressions.append((name, "missing from current run"))
+            continue
+        ratio = cur[name] / base[name] if base[name] > 0 else float("inf")
+        mark = ""
+        if ratio < 1.0 - args.max_regress:
+            mark = "  << REGRESSION"
+            regressions.append((name, f"{(1.0 - ratio) * 100:.1f}% slower"))
+        print(f"{name:<{width}}  {human(base[name]):>12}  {human(cur[name]):>12}  "
+              f"{ratio:5.2f}x{mark}")
+    for name in sorted(set(cur) - set(base)):
+        print(f"{name:<{width}}  {'(new)':>12}  {human(cur[name]):>12}  -")
+
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed more than "
+              f"{args.max_regress * 100:.0f}%:", file=sys.stderr)
+        for name, why in regressions:
+            print(f"  {name}: {why}", file=sys.stderr)
+        return 1
+    print(f"\nno regression beyond {args.max_regress * 100:.0f}% "
+          f"({len(base)} benchmarks compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,7 +3,11 @@
 // package (quant/export.h).
 //
 //   vsq_quantize --model=tiny|resnet|bert_base|bert_large --config=4/8/6/10
-//                [--out=artifacts/model_int.vsqa] [--vector=16]
+//                [--out=artifacts/model_int.vsqa] [--vector=16] [--threads=N]
+//
+// --threads=N pins the global thread pool (0 = hardware concurrency; the
+// VSQ_THREADS environment variable is the fallback) so benchmark runs are
+// reproducible on shared machines.
 //
 // --model=tiny is a randomly-initialized 2-layer MLP that needs no trained
 // checkpoint — it exercises the full calibrate/export path in milliseconds
@@ -17,6 +21,7 @@
 #include "quant/export.h"
 #include "util/args.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -57,6 +62,16 @@ QuantizedModelPackage quantize_model(Model& model, const MacConfig& mac, CalibFn
 int main(int argc, char** argv) {
   using namespace vsq;
   const Args args(argc, argv);
+  // Pin the pool only when --threads was actually passed, so the
+  // VSQ_THREADS environment fallback keeps working otherwise.
+  if (!args.get_str("threads", "").empty()) {
+    const int threads = args.get_int("threads", 0);
+    if (threads < 0) {
+      std::cerr << "--threads must be >= 0 (0 = hardware concurrency)\n";
+      return 1;
+    }
+    ThreadPool::set_global_threads(static_cast<std::size_t>(threads));
+  }
   const std::string which = args.get_str("model", "resnet");
   MacConfig mac = MacConfig::parse(args.get_str("config", "4/8/6/10"));
   mac.vector_size = args.get_int("vector", 16);

@@ -1,19 +1,33 @@
 // vsq_train — (re)train the stand-in models and cache checkpoints under
 // the artifacts directory.
 //
-//   vsq_train [--model=resnet|bert_base|bert_large|all] [--force]
+//   vsq_train [--model=resnet|bert_base|bert_large|all] [--force] [--threads=N]
 //
 // --force deletes the existing checkpoint first so the model retrains.
+// --threads=N pins the global thread pool (0 = hardware concurrency; the
+// VSQ_THREADS environment variable is the fallback) for reproducible runs
+// on shared machines.
 #include <cstdio>
 #include <iostream>
 
 #include "exp/experiment_context.h"
 #include "models/zoo.h"
 #include "util/args.h"
+#include "util/thread_pool.h"
 
 int main(int argc, char** argv) {
   using namespace vsq;
   const Args args(argc, argv);
+  // Pin the pool only when --threads was actually passed, so the
+  // VSQ_THREADS environment fallback keeps working otherwise.
+  if (!args.get_str("threads", "").empty()) {
+    const int threads = args.get_int("threads", 0);
+    if (threads < 0) {
+      std::cerr << "--threads must be >= 0 (0 = hardware concurrency)\n";
+      return 1;
+    }
+    ThreadPool::set_global_threads(static_cast<std::size_t>(threads));
+  }
   const std::string which = args.get_str("model", "all");
   const bool force = args.get_flag("force");
 
