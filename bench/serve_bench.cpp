@@ -1,0 +1,72 @@
+// google-benchmark entries for the serving engine, gated in CI against
+// bench/BENCH_serve.json (tools/compare_bench.py): the batched integer
+// forward pass at several batch sizes (items = rows) and the full
+// InferenceSession round trip (items = requests). Demonstrates the
+// amortization batching buys — per-request cost drops as the per-call
+// weight packing and buffer setup spread over more rows.
+#include <benchmark/benchmark.h>
+
+#include <future>
+#include <vector>
+
+#include "exp/ptq.h"
+#include "hw/mac_config.h"
+#include "models/zoo.h"
+#include "serve/session.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace vsq;
+
+QuantizedModelPackage tiny_package() {
+  return tiny_mlp_package(MacConfig::parse("4/8/6/10"));
+}
+
+Tensor random_rows(std::int64_t rows, std::int64_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(Shape{rows, cols});
+  for (auto& v : t.span()) v = static_cast<float>(rng.normal());
+  return t;
+}
+
+// Batched integer forward pass, no queueing: the kernel cost the batcher
+// amortizes. Throughput is rows/s — compare across batch sizes.
+void BM_RunnerForward(benchmark::State& state) {
+  static const QuantizedModelPackage pkg = tiny_package();
+  const QuantizedModelRunner runner(pkg);
+  const std::int64_t rows = state.range(0);
+  const Tensor x = random_rows(rows, runner.in_features(), 42);
+  for (auto _ : state) {
+    Tensor y = runner.forward(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_RunnerForward)->Arg(1)->Arg(8)->Arg(16)->Arg(64);
+
+// Full engine round trip: submit a window of requests, wait for all.
+// Arg = max_batch. items = requests completed per second.
+void BM_ServeEngine(benchmark::State& state) {
+  static const QuantizedModelPackage pkg = tiny_package();
+  ServeConfig cfg;
+  cfg.max_batch = static_cast<int>(state.range(0));
+  InferenceSession session(pkg, cfg);
+  constexpr int kWindow = 64;  // in-flight requests, as 8 busy clients would hold
+  std::vector<Tensor> inputs;
+  for (int i = 0; i < kWindow; ++i) {
+    inputs.push_back(random_rows(1, session.runner().in_features(),
+                                 1000 + static_cast<std::uint64_t>(i)));
+  }
+  std::vector<std::future<Tensor>> pending(kWindow);
+  for (auto _ : state) {
+    for (int i = 0; i < kWindow; ++i) pending[static_cast<std::size_t>(i)] =
+        session.submit(inputs[static_cast<std::size_t>(i)]);
+    for (auto& f : pending) f.get();
+  }
+  state.SetItemsProcessed(state.iterations() * kWindow);
+}
+// Wall time, not CPU time: the work happens on the batcher worker thread.
+BENCHMARK(BM_ServeEngine)->Arg(1)->Arg(16)->UseRealTime();
+
+}  // namespace

@@ -1,5 +1,6 @@
 #include "exp/ptq.h"
 
+#include "hw/mac_config.h"
 #include "util/logging.h"
 
 namespace vsq {
@@ -62,6 +63,35 @@ double PtqRunner::eval_resnet_quantized(const QuantSpec& w, const QuantSpec& a) 
   const double acc = eval_resnet(*resnet_, zoo_.image_test());
   set_mode_all(gemms, QuantMode::kOff);
   return acc;
+}
+
+QuantizedModelPackage calibrate_and_export(const std::vector<QuantizableGemm*>& gemms,
+                                           const QuantSpec& weight_spec,
+                                           const QuantSpec& act_spec,
+                                           const std::function<void()>& calibrate) {
+  apply_quant_specs(gemms, weight_spec, act_spec);
+  set_mode_all(gemms, QuantMode::kCalibrate);
+  calibrate();
+  finalize_calibration(gemms);
+  set_mode_all(gemms, QuantMode::kQuantEval);
+  QuantizedModelPackage pkg;
+  for (QuantizableGemm* g : gemms) {
+    pkg.layers[g->gemm_name()] = export_gemm(*g, /*bias=*/{});
+  }
+  set_mode_all(gemms, QuantMode::kOff);
+  return pkg;
+}
+
+QuantizedModelPackage tiny_mlp_package(const MacConfig& mac) {
+  Rng rng(7);
+  TinyMlp model(rng);
+  Tensor calib(Shape{32, TinyMlp::kIn});
+  for (auto& v : calib.span()) v = static_cast<float>(rng.normal());
+  QuantizedModelPackage pkg =
+      calibrate_and_export(model.gemms(), mac.weight_spec(), mac.act_spec(),
+                           [&] { model.forward(calib, false); });
+  pkg.program = TinyMlp::program();
+  return pkg;
 }
 
 double PtqRunner::eval_bert_quantized(bool large, const QuantSpec& w, const QuantSpec& a) {

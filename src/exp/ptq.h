@@ -8,10 +8,12 @@
 // strings, so table benches and design-space figures share evaluations.
 #pragma once
 
+#include <functional>
 #include <memory>
 
 #include "exp/experiment_context.h"
 #include "models/zoo.h"
+#include "quant/export.h"
 #include "util/result_cache.h"
 
 namespace vsq {
@@ -43,5 +45,25 @@ void apply_quant_specs(const std::vector<QuantizableGemm*>& gemms, const QuantSp
 // Switch all GEMMs to a mode; finalize calibration when leaving kCalibrate.
 void set_mode_all(const std::vector<QuantizableGemm*>& gemms, QuantMode mode);
 void finalize_calibration(const std::vector<QuantizableGemm*>& gemms);
+
+// Full PTQ-to-deployment flow shared by vsq_quantize, the serving tests
+// and serve_bench: configure specs on every GEMM, run `calibrate` (which
+// must stream calibration batches through the model's fp32 forward),
+// finalize, and export each GEMM as a package layer. GEMMs are left in
+// kOff mode. The returned package has an empty forward program — callers
+// that want QuantizedModelRunner execution fill pkg.program.
+QuantizedModelPackage calibrate_and_export(const std::vector<QuantizableGemm*>& gemms,
+                                           const QuantSpec& weight_spec,
+                                           const QuantSpec& act_spec,
+                                           const std::function<void()>& calibrate);
+
+struct MacConfig;
+
+// The deterministic TinyMlp deployment package (seed 7, 32-row normal
+// calibration batch, forward program attached). vsq_quantize
+// --model=tiny, the serving tests/bench and the golden-archive contract
+// all build EXACTLY this — keep them on this one definition so they can
+// never drift apart.
+QuantizedModelPackage tiny_mlp_package(const MacConfig& mac);
 
 }  // namespace vsq

@@ -4,10 +4,13 @@
 #include <fstream>
 #include <sstream>
 
+#include "quant/export.h"
 #include "util/logging.h"
 #include "util/result_cache.h"
 
 namespace vsq {
+
+std::vector<ForwardStep> TinyMlp::program() { return {{"fc1", true}, {"fc2", false}}; }
 namespace {
 
 ImageDatasetConfig image_config(std::int64_t count, std::uint64_t seed) {

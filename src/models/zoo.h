@@ -8,8 +8,33 @@
 #include <string>
 
 #include "models/train.h"
+#include "nn/activations.h"
+#include "nn/linear.h"
 
 namespace vsq {
+
+// Checkpoint-free 2-layer MLP (in -> hidden -> out, ReLU between). Needs
+// no trained weights, so it exercises the calibrate/export/serve path in
+// milliseconds — vsq_quantize --model=tiny, the serving tests, the golden
+// archive and serve_bench all build this exact model.
+struct TinyMlp {
+  static constexpr std::int64_t kIn = 256, kHidden = 128, kOut = 32;
+
+  Linear fc1, fc2;
+  ReLU relu;
+
+  explicit TinyMlp(Rng& rng, std::int64_t in = kIn, std::int64_t hidden = kHidden,
+                   std::int64_t out = kOut)
+      : fc1("fc1", in, hidden, rng), fc2("fc2", hidden, out, rng) {}
+
+  Tensor forward(const Tensor& x, bool train) {
+    return fc2.forward(relu.forward(fc1.forward(x, train), train), train);
+  }
+  std::vector<QuantizableGemm*> gemms() { return {&fc1, &fc2}; }
+
+  // The forward program matching forward(), for QuantizedModelRunner.
+  static std::vector<struct ForwardStep> program();
+};
 
 class ModelZoo {
  public:

@@ -1,6 +1,8 @@
 #include "quant/export.h"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "quant/int_gemm.h"
 
@@ -9,6 +11,10 @@ namespace {
 
 // Archive key helpers: each layer stores several named blobs.
 std::string key(const std::string& layer, const char* what) { return layer + "/" + what; }
+
+// Forward-program entries: "__program__/<index>/<layer>", data = {relu}.
+// The "__" prefix cannot collide with layer names ("/meta" suffix keys).
+constexpr const char* kProgramPrefix = "__program__/";
 
 std::vector<float> to_float(const std::vector<std::int16_t>& v) {
   return {v.begin(), v.end()};
@@ -87,13 +93,30 @@ void QuantizedModelPackage::save(const std::string& path) const {
       a.put(key(name, "bias"), {static_cast<std::int64_t>(l.bias.size())}, l.bias);
     }
   }
+  for (std::size_t i = 0; i < program.size(); ++i) {
+    a.put(kProgramPrefix + std::to_string(i) + "/" + program[i].layer, {1},
+          {program[i].relu ? 1.0f : 0.0f});
+  }
   a.save(path);
 }
 
 QuantizedModelPackage QuantizedModelPackage::load(const std::string& path) {
   const Archive a = Archive::load(path);
   QuantizedModelPackage pkg;
+  std::vector<std::pair<std::size_t, ForwardStep>> prog;
   for (const std::string& entry : a.names()) {
+    if (entry.rfind(kProgramPrefix, 0) == 0) {
+      const std::string rest = entry.substr(std::string(kProgramPrefix).size());
+      const auto sep = rest.find('/');
+      if (sep == std::string::npos) {
+        throw std::runtime_error("QuantizedModelPackage: malformed program entry " + entry);
+      }
+      ForwardStep step;
+      step.layer = rest.substr(sep + 1);
+      step.relu = a.get(entry).data.at(0) != 0.0f;
+      prog.emplace_back(std::stoul(rest.substr(0, sep)), std::move(step));
+      continue;
+    }
     const auto slash = entry.rfind("/meta");
     if (slash == std::string::npos || slash + 5 != entry.size()) continue;
     const std::string name = entry.substr(0, slash);
@@ -146,7 +169,61 @@ QuantizedModelPackage QuantizedModelPackage::load(const std::string& path) {
 
     pkg.layers[name] = std::move(l);
   }
+  std::sort(prog.begin(), prog.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+  for (auto& [idx, step] : prog) pkg.program.push_back(std::move(step));
   return pkg;
+}
+
+QuantizedModelRunner::QuantizedModelRunner(const QuantizedModelPackage& pkg,
+                                           int scale_product_bits)
+    : pkg_(&pkg),
+      program_(pkg.program.empty() ? mlp_program(pkg) : pkg.program),
+      scale_product_bits_(scale_product_bits) {
+  if (program_.empty()) {
+    throw std::invalid_argument("QuantizedModelRunner: package has no layers");
+  }
+  steps_.reserve(program_.size());
+  std::int64_t cols = -1;
+  for (const ForwardStep& step : program_) {
+    const auto it = pkg.layers.find(step.layer);
+    if (it == pkg.layers.end()) {
+      throw std::invalid_argument("QuantizedModelRunner: program names missing layer " +
+                                  step.layer);
+    }
+    const QuantizedMatrix& w = it->second.weights;
+    if (cols >= 0 && w.cols() != cols) {
+      throw std::invalid_argument("QuantizedModelRunner: layer " + step.layer + " expects " +
+                                  std::to_string(w.cols()) + " inputs, previous layer produces " +
+                                  std::to_string(cols));
+    }
+    cols = w.rows;  // this layer's outputs feed the next layer
+    steps_.push_back(&it->second);
+  }
+  in_features_ = steps_.front()->weights.cols();
+  out_features_ = steps_.back()->weights.rows;
+}
+
+std::vector<ForwardStep> QuantizedModelRunner::mlp_program(const QuantizedModelPackage& pkg) {
+  std::vector<ForwardStep> program;
+  for (const auto& [name, l] : pkg.layers) program.push_back({name, true});
+  if (!program.empty()) program.back().relu = false;
+  return program;
+}
+
+Tensor QuantizedModelRunner::forward(const Tensor& x, IntGemmStats* stats) const {
+  if (x.shape().rank() != 2 || x.shape()[1] != in_features_) {
+    throw std::invalid_argument("QuantizedModelRunner: input must be [rows, " +
+                                std::to_string(in_features_) + "]");
+  }
+  Tensor h = x;
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    h = run_packaged_layer(*steps_[i], h, scale_product_bits_, stats);
+    if (program_[i].relu) {
+      for (auto& v : h.span()) v = v > 0.0f ? v : 0.0f;
+    }
+  }
+  return h;
 }
 
 IntegerExecutionGuard::IntegerExecutionGuard(std::vector<QuantizableGemm*> gemms,

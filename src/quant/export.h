@@ -9,6 +9,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "nn/layer.h"
 #include "quant/int_gemm.h"
@@ -27,8 +28,19 @@ struct QuantizedLayerPackage {
   std::vector<float> bias;   // fp bias applied after de-scaling
 };
 
+// One step of a packaged model's forward pass: run `layer`, then apply
+// ReLU when `relu` is set (the only activation MLP-style exported graphs
+// need; GEMM layers themselves are always packaged).
+struct ForwardStep {
+  std::string layer;
+  bool relu = false;
+};
+
 struct QuantizedModelPackage {
   std::map<std::string, QuantizedLayerPackage> layers;
+  // Execution order for QuantizedModelRunner. Optional (older archives
+  // have none): persisted through save()/load() when non-empty.
+  std::vector<ForwardStep> program;
 
   void save(const std::string& path) const;
   static QuantizedModelPackage load(const std::string& path);
@@ -42,6 +54,38 @@ QuantizedLayerPackage export_gemm(const QuantizableGemm& gemm, const std::vector
 // datapath. scale_product_bits as in int_gemm.
 Tensor run_packaged_layer(const QuantizedLayerPackage& layer, const Tensor& x2d,
                           int scale_product_bits = -1, IntGemmStats* stats = nullptr);
+
+// Standalone integer-datapath model executor: runs a package's forward
+// program (layer chain + ReLUs) entirely through int_gemm, no fp32 model
+// object required. This is what the serving engine (src/serve/) executes
+// per batch. Output rows depend only on their own input row, so results
+// are bit-identical for any batch composition and any thread count.
+class QuantizedModelRunner {
+ public:
+  // Uses pkg.program when non-empty, else mlp_program(pkg). The package
+  // must outlive the runner. Throws std::invalid_argument when a program
+  // step names a missing layer or consecutive layers' shapes don't chain.
+  explicit QuantizedModelRunner(const QuantizedModelPackage& pkg, int scale_product_bits = -1);
+
+  // Default program when a package carries none: layers in lexicographic
+  // name order, ReLU between all but the last.
+  static std::vector<ForwardStep> mlp_program(const QuantizedModelPackage& pkg);
+
+  // x: [rows, in_features]. Returns [rows, out_features]. Thread-safe for
+  // concurrent calls (stats accumulation excepted: pass distinct `stats`).
+  Tensor forward(const Tensor& x, IntGemmStats* stats = nullptr) const;
+
+  std::int64_t in_features() const { return in_features_; }
+  std::int64_t out_features() const { return out_features_; }
+  const std::vector<ForwardStep>& program() const { return program_; }
+
+ private:
+  const QuantizedModelPackage* pkg_;
+  std::vector<ForwardStep> program_;
+  std::vector<const QuantizedLayerPackage*> steps_;  // resolved, in order
+  int scale_product_bits_;
+  std::int64_t in_features_ = 0, out_features_ = 0;
+};
 
 // RAII deployment runner: installs a GEMM override on every listed layer so
 // the model's own forward() executes each GEMM through the bit-accurate

@@ -37,32 +37,53 @@ QuantizedMatrix quantize_activations_int(const Tensor& x2d, const QuantSpec& spe
   out.fmt = spec.fmt;
   out.layout = spec.layout(x2d.shape()[1]);
 
+  if (spec.fmt.bits > 10) {
+    throw std::invalid_argument("quantize_activations_int: bits > 10 does not fit int16");
+  }
   if (spec.granularity == Granularity::kPerVector) {
     if (spec.scale_dtype != ScaleDtype::kTwoLevelInt) {
       throw std::invalid_argument(
           "quantize_activations_int: hardware path requires two-level integer scales");
     }
     // Dynamic per-vector: runtime vector max -> sq = round(s/gamma) (Eq. 7g),
-    // exactly the PPU's calibrate-and-quantize pipeline.
+    // exactly the PPU's calibrate-and-quantize pipeline. Fused single pass
+    // per vector (amax -> sq -> integer elements): arithmetic is
+    // element-for-element identical to amax_per_vector + to_scale_set +
+    // quantize_to_int, without the per-element scale lookups and the
+    // intermediate scale-set allocations — this is the per-request hot
+    // path of the serving engine.
     TwoLevelScales tl;
     tl.scale_fmt = spec.scale_fmt;
     tl.coarse_axis = CoarseAxis::kPerTensor;
     tl.layout = out.layout;
     tl.rows = out.rows;
     tl.gamma = {gamma};
-    const std::vector<float> vec_amax = amax_per_vector(x2d, out.layout);
-    tl.sq.resize(vec_amax.size());
+    const std::int64_t rows = out.rows, cols = out.layout.cols;
+    const std::int64_t vpr = out.layout.vectors_per_row();
+    tl.sq.assign(static_cast<std::size_t>(rows * vpr), 0);
+    out.q.assign(static_cast<std::size_t>(rows * cols), 0);
     const auto scale_qmax = static_cast<float>(spec.scale_fmt.qmax());
-    for (std::size_t i = 0; i < vec_amax.size(); ++i) {
-      if (gamma <= 0.0f) {
-        tl.sq[i] = 0;
-        continue;
+    const float* src = x2d.data();
+    for (std::int64_t r = 0; r < rows; ++r) {
+      const float* xrow = src + r * cols;
+      std::int16_t* qrow = out.q.data() + r * cols;
+      for (std::int64_t v = 0; v < vpr; ++v) {
+        const auto [c0, c1] = out.layout.col_range(v);
+        float amax = 0.0f;
+        for (std::int64_t c = c0; c < c1; ++c) amax = std::max(amax, std::abs(xrow[c]));
+        std::uint16_t sq = 0;
+        if (gamma > 0.0f) {
+          const float s = scale_from_amax(amax, spec.fmt);
+          sq = static_cast<std::uint16_t>(
+              std::clamp(std::nearbyintf(s / gamma), 0.0f, scale_qmax));
+        }
+        tl.sq[static_cast<std::size_t>(r * vpr + v)] = sq;
+        const float eff = static_cast<float>(sq) * gamma;  // Eq. 7h
+        for (std::int64_t c = c0; c < c1; ++c) {
+          qrow[c] = static_cast<std::int16_t>(quantize_value(xrow[c], eff, spec.fmt));
+        }
       }
-      const float s = scale_from_amax(vec_amax[i], spec.fmt);
-      tl.sq[i] = static_cast<std::uint16_t>(
-          std::clamp(std::nearbyintf(s / gamma), 0.0f, scale_qmax));
     }
-    out.q = quantize_to_int(x2d, tl.to_scale_set(), spec.fmt);
     out.two_level = std::move(tl);
   } else {
     const float amax = spec.dynamic ? amax_per_tensor(x2d) : static_amax;

@@ -1,0 +1,97 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace vsq {
+
+DynamicBatcher::DynamicBatcher(RequestQueue& queue, BatchFn fn, std::int64_t in_features,
+                               BatcherConfig cfg, ServeStats& stats, ResultHook on_result)
+    : queue_(queue),
+      fn_(std::move(fn)),
+      in_features_(in_features),
+      cfg_(cfg),
+      stats_(stats),
+      on_result_(std::move(on_result)) {
+  if (cfg_.max_batch < 1) cfg_.max_batch = 1;
+  if (cfg_.max_wait_us < 0) cfg_.max_wait_us = 0;
+  worker_ = std::thread([this] { run(); });
+  if (cfg_.warmup) {
+    // Block until the worker's warmup forward finished: the session is
+    // fully preallocated (worker arena, output buffers) when construction
+    // returns, so the first real request sees steady-state latency.
+    std::unique_lock lock(warm_mu_);
+    warm_cv_.wait(lock, [this] { return warmed_; });
+  }
+}
+
+DynamicBatcher::~DynamicBatcher() { stop(); }
+
+void DynamicBatcher::stop() {
+  queue_.close();
+  if (worker_.joinable()) worker_.join();
+}
+
+void DynamicBatcher::run() {
+  if (cfg_.warmup) {
+    // Touch every allocation the steady state needs (packing buffers in
+    // this thread's ScratchArena, the output tensor) before the first
+    // real request, so no request pays first-call malloc latency.
+    try {
+      fn_(Tensor(Shape{cfg_.max_batch, in_features_}));
+    } catch (...) {
+      // Warmup failures surface on the first real request instead.
+    }
+    {
+      std::lock_guard lock(warm_mu_);
+      warmed_ = true;
+    }
+    warm_cv_.notify_all();
+  }
+  for (;;) {
+    std::vector<Request> batch =
+        queue_.pop_batch(static_cast<std::size_t>(cfg_.max_batch),
+                         std::chrono::microseconds(cfg_.max_wait_us));
+    if (batch.empty()) return;  // queue closed and drained
+
+    const auto rows = static_cast<std::int64_t>(batch.size());
+    Tensor x(Shape{rows, in_features_});
+    for (std::int64_t r = 0; r < rows; ++r) {
+      std::memcpy(x.data() + r * in_features_, batch[static_cast<std::size_t>(r)].input.data(),
+                  static_cast<std::size_t>(in_features_) * sizeof(float));
+    }
+
+    Tensor y;
+    try {
+      y = fn_(x);
+    } catch (...) {
+      const auto err = std::current_exception();
+      stats_.record_batch(batch.size());
+      for (Request& r : batch) r.promise.set_exception(err);
+      continue;
+    }
+
+    // All stats recording happens before any promise resolves: a client
+    // that wakes up and snapshots immediately still sees its own batch.
+    const std::int64_t out = y.shape()[1];
+    const auto done = std::chrono::steady_clock::now();
+    stats_.record_batch(batch.size());
+    for (Request& req : batch) {
+      stats_.record_request(
+          std::chrono::duration<double, std::micro>(done - req.enqueue_time).count());
+    }
+    for (std::int64_t r = 0; r < rows; ++r) {
+      Request& req = batch[static_cast<std::size_t>(r)];
+      Tensor row = y.view_rows(r, r + 1);  // zero-copy [1, out] view
+      if (on_result_ && !req.cache_key.empty()) {
+        on_result_(req.cache_key,
+                   std::span<const float>(req.input.data(),
+                                          static_cast<std::size_t>(in_features_)),
+                   std::span<const float>(row.data(), static_cast<std::size_t>(out)));
+      }
+      req.promise.set_value(std::move(row));
+    }
+  }
+}
+
+}  // namespace vsq

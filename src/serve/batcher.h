@@ -1,0 +1,68 @@
+// Dynamic batcher: a single worker thread that drains the RequestQueue in
+// coalesced batches, stacks the rows into one [B, D] activation matrix,
+// runs the session's batched integer forward pass, and scatters the
+// output rows back to each request's promise. One batched int_gemm packs
+// the layer weights once per batch instead of once per request — the
+// entire serving speedup comes from this amortization.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+
+#include "serve/request_queue.h"
+#include "serve/serve_stats.h"
+
+namespace vsq {
+
+struct BatcherConfig {
+  int max_batch = 16;      // rows per forward pass
+  int max_wait_us = 0;     // linger for stragglers once a batch opens
+  bool warmup = true;      // run one max_batch forward before serving so
+                           // the worker's ScratchArena is preallocated
+};
+
+class DynamicBatcher {
+ public:
+  // Runs the full model on a [B, in] matrix, returns [B, out].
+  using BatchFn = std::function<Tensor(const Tensor& batch)>;
+  // Called on the worker thread for each request carrying a cache_key,
+  // with that request's input and output rows.
+  using ResultHook = std::function<void(const std::string& key, std::span<const float> input,
+                                        std::span<const float> output)>;
+
+  // Starts the worker immediately; with cfg.warmup set, blocks until the
+  // worker's warmup forward pass completed so the first real request sees
+  // steady-state latency. `queue`, `stats`, and the callbacks must
+  // outlive the batcher. in_features is needed to assemble batches (and
+  // to build the warmup input).
+  DynamicBatcher(RequestQueue& queue, BatchFn fn, std::int64_t in_features, BatcherConfig cfg,
+                 ServeStats& stats, ResultHook on_result = {});
+  ~DynamicBatcher();  // closes the queue and joins (drains pending work)
+
+  DynamicBatcher(const DynamicBatcher&) = delete;
+  DynamicBatcher& operator=(const DynamicBatcher&) = delete;
+
+  // Close the queue and join the worker after it drains. Idempotent.
+  void stop();
+
+ private:
+  void run();
+
+  RequestQueue& queue_;
+  BatchFn fn_;
+  std::int64_t in_features_;
+  BatcherConfig cfg_;
+  ServeStats& stats_;
+  ResultHook on_result_;
+  std::mutex warm_mu_;
+  std::condition_variable warm_cv_;
+  bool warmed_ = false;
+  std::thread worker_;
+};
+
+}  // namespace vsq

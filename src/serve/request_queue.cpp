@@ -1,0 +1,75 @@
+#include "serve/request_queue.h"
+
+namespace vsq {
+
+RequestQueue::RequestQueue(std::size_t max_depth) : max_depth_(max_depth) {}
+
+bool RequestQueue::push(Request r) {
+  {
+    std::unique_lock lock(mu_);
+    cv_push_.wait(lock, [&] { return closed_ || max_depth_ == 0 || q_.size() < max_depth_; });
+    if (closed_) return false;
+    q_.push_back(std::move(r));
+  }
+  cv_pop_.notify_one();
+  return true;
+}
+
+std::vector<Request> RequestQueue::pop_batch(std::size_t max_batch,
+                                             std::chrono::microseconds max_wait) {
+  if (max_batch == 0) max_batch = 1;
+  std::vector<Request> batch;
+  std::unique_lock lock(mu_);
+  cv_pop_.wait(lock, [&] { return closed_ || !q_.empty(); });
+  if (q_.empty()) return batch;  // closed and drained
+
+  // The batch opens with the first available request; linger up to
+  // max_wait for stragglers that can ride the same forward pass. The wait
+  // is adaptive: it proceeds in small quanta and stops as soon as a
+  // quantum passes with no new arrivals — when every in-flight client is
+  // already queued (closed-loop traffic with fewer clients than
+  // max_batch), waiting longer cannot grow the batch, it only adds
+  // latency to requests already captured.
+  if (q_.size() < max_batch && max_wait.count() > 0) {
+    const auto quantum = std::max<std::chrono::microseconds>(
+        std::chrono::microseconds(10), max_wait / 8);
+    const auto deadline = std::chrono::steady_clock::now() + max_wait;
+    while (!closed_ && q_.size() < max_batch) {
+      const std::size_t before = q_.size();
+      const auto until = std::min(deadline, std::chrono::steady_clock::now() + quantum);
+      cv_pop_.wait_until(lock, until, [&] { return closed_ || q_.size() >= max_batch; });
+      if (q_.size() == before) break;  // stalled: nobody else is coming
+      if (std::chrono::steady_clock::now() >= deadline) break;
+    }
+  }
+  const std::size_t take = std::min(max_batch, q_.size());
+  batch.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    batch.push_back(std::move(q_.front()));
+    q_.pop_front();
+  }
+  lock.unlock();
+  cv_push_.notify_all();
+  return batch;
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+  }
+  cv_pop_.notify_all();
+  cv_push_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard lock(mu_);
+  return closed_;
+}
+
+std::size_t RequestQueue::depth() const {
+  std::lock_guard lock(mu_);
+  return q_.size();
+}
+
+}  // namespace vsq

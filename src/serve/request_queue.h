@@ -1,0 +1,61 @@
+// Lock-guarded MPSC request queue feeding the dynamic batcher. Client
+// threads push single-sample requests; the batcher worker pops coalesced
+// batches: pop_batch() blocks for the first request, then keeps the batch
+// open up to `max_wait` for more requests to arrive (or until `max_batch`
+// accumulate), trading a bounded latency hit for batched GEMM efficiency.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace vsq {
+
+// One in-flight inference request: a single input row and the promise its
+// output row is delivered through.
+struct Request {
+  std::uint64_t id = 0;
+  Tensor input;  // [1, in_features]
+  std::promise<Tensor> promise;
+  std::chrono::steady_clock::time_point enqueue_time;
+  std::string cache_key;  // non-empty -> result goes into the session cache
+};
+
+class RequestQueue {
+ public:
+  // max_depth bounds outstanding requests (push blocks when full);
+  // 0 = unbounded.
+  explicit RequestQueue(std::size_t max_depth = 0);
+
+  // False when the queue is closed (the request is returned unfulfilled in
+  // that case — the caller owns the promise again).
+  bool push(Request r);
+
+  // Pops up to max_batch requests. Blocks until at least one request is
+  // available, then waits at most `max_wait` (from the moment the batch
+  // opened) for it to fill. Returns an empty vector only when the queue is
+  // closed and fully drained.
+  std::vector<Request> pop_batch(std::size_t max_batch, std::chrono::microseconds max_wait);
+
+  // Close: pushes fail from now on; pop_batch drains what remains.
+  void close();
+  bool closed() const;
+  std::size_t depth() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_pop_;   // batcher waits for requests
+  std::condition_variable cv_push_;  // producers wait for space
+  std::deque<Request> q_;
+  std::size_t max_depth_;
+  bool closed_ = false;
+};
+
+}  // namespace vsq

@@ -1,0 +1,107 @@
+#include "serve/serve_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+
+#include "util/table.h"
+
+namespace vsq {
+
+double percentile_us(std::vector<double> sample, double p) {
+  if (sample.empty()) return 0.0;
+  std::sort(sample.begin(), sample.end());
+  p = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank: smallest value with at least ceil(p/100 * n) values <= it.
+  const auto n = static_cast<double>(sample.size());
+  const auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+  return sample[rank == 0 ? 0 : rank - 1];
+}
+
+void ServeStats::mark_start() {
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard lock(mu_);
+  if (!started_) {
+    first_ = now;
+    last_ = now;
+    started_ = true;
+  }
+}
+
+void ServeStats::record_request(double latency_us, bool cache_hit) {
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard lock(mu_);
+  latencies_us_.push_back(latency_us);
+  if (cache_hit) ++cache_hits_;
+  last_ = now;
+}
+
+void ServeStats::record_batch(std::size_t batch_size) {
+  std::lock_guard lock(mu_);
+  if (batch_hist_.size() <= batch_size) batch_hist_.resize(batch_size + 1, 0);
+  ++batch_hist_[batch_size];
+  ++batches_;
+}
+
+ServeStatsSnapshot ServeStats::snapshot() const {
+  std::vector<double> lat;
+  ServeStatsSnapshot s;
+  {
+    std::lock_guard lock(mu_);
+    lat = latencies_us_;
+    s.batch_hist = batch_hist_;
+    s.batches = batches_;
+    s.cache_hits = cache_hits_;
+    if (started_) {
+      s.wall_seconds = std::chrono::duration<double>(last_ - first_).count();
+    }
+  }
+  s.requests = lat.size();
+  if (!lat.empty()) {
+    s.mean_us = std::accumulate(lat.begin(), lat.end(), 0.0) / static_cast<double>(lat.size());
+    s.max_us = *std::max_element(lat.begin(), lat.end());
+    s.p50_us = percentile_us(lat, 50.0);
+    s.p95_us = percentile_us(lat, 95.0);
+    s.p99_us = percentile_us(lat, 99.0);
+  }
+  if (s.wall_seconds > 0.0) {
+    s.throughput_rps = static_cast<double>(s.requests) / s.wall_seconds;
+  }
+  std::uint64_t batched_requests = 0;
+  for (std::size_t b = 0; b < s.batch_hist.size(); ++b) {
+    batched_requests += s.batch_hist[b] * b;
+  }
+  if (s.batches > 0) {
+    s.mean_batch = static_cast<double>(batched_requests) / static_cast<double>(s.batches);
+  }
+  return s;
+}
+
+void ServeStatsSnapshot::print_table(std::ostream& os) const {
+  Table t({"Requests", "Batches", "Mean batch", "Cache hits", "Throughput r/s", "p50 us",
+           "p95 us", "p99 us", "max us"});
+  t.add_row({std::to_string(requests), std::to_string(batches), Table::num(mean_batch, 2),
+             std::to_string(cache_hits), Table::num(throughput_rps, 1), Table::num(p50_us, 1),
+             Table::num(p95_us, 1), Table::num(p99_us, 1), Table::num(max_us, 1)});
+  t.print(os);
+}
+
+std::string ServeStatsSnapshot::json() const {
+  std::ostringstream os;
+  os.precision(6);
+  os << "{\"requests\":" << requests << ",\"batches\":" << batches
+     << ",\"cache_hits\":" << cache_hits << ",\"wall_seconds\":" << wall_seconds
+     << ",\"throughput_rps\":" << throughput_rps << ",\"mean_batch\":" << mean_batch
+     << ",\"latency_us\":{\"p50\":" << p50_us << ",\"p95\":" << p95_us << ",\"p99\":" << p99_us
+     << ",\"mean\":" << mean_us << ",\"max\":" << max_us << "},\"batch_hist\":[";
+  for (std::size_t b = 0; b < batch_hist.size(); ++b) {
+    if (b) os << ',';
+    os << batch_hist[b];
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace vsq

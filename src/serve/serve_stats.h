@@ -1,0 +1,58 @@
+// Serving metrics: per-request latency percentiles, batch-size histogram
+// and throughput. Recording is thread-safe (client threads record cache
+// hits, the batcher worker records batches); snapshot() takes a coherent
+// copy for reporting.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace vsq {
+
+struct ServeStatsSnapshot {
+  std::uint64_t requests = 0;    // completed requests (cache hits included)
+  std::uint64_t batches = 0;     // forward passes executed
+  std::uint64_t cache_hits = 0;  // requests short-circuited by BlobCache
+  double wall_seconds = 0.0;     // first submit -> last completion
+  double throughput_rps = 0.0;   // requests / wall_seconds
+  double p50_us = 0.0, p95_us = 0.0, p99_us = 0.0;
+  double mean_us = 0.0, max_us = 0.0;
+  double mean_batch = 0.0;                // requests per executed batch
+  std::vector<std::uint64_t> batch_hist;  // index = batch size (0 unused)
+
+  // Two-row aligned table (util/Table) for terminal output.
+  void print_table(std::ostream& os) const;
+  // Single-line JSON object, machine-readable (vsq_serve --json-out).
+  std::string json() const;
+};
+
+class ServeStats {
+ public:
+  // Start of the measurement window; called on every submit, only the
+  // first call sets the clock.
+  void mark_start();
+  // A request completed `latency_us` after submission.
+  void record_request(double latency_us, bool cache_hit = false);
+  // A batched forward pass over `batch_size` requests executed.
+  void record_batch(std::size_t batch_size);
+
+  ServeStatsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> latencies_us_;
+  std::vector<std::uint64_t> batch_hist_;
+  std::uint64_t batches_ = 0, cache_hits_ = 0;
+  bool started_ = false;
+  std::chrono::steady_clock::time_point first_, last_;
+};
+
+// Nearest-rank percentile of an unsorted sample (p in [0, 100]); 0 when
+// empty. Exposed for tests.
+double percentile_us(std::vector<double> sample, double p);
+
+}  // namespace vsq

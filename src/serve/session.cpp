@@ -1,0 +1,114 @@
+#include "serve/session.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace vsq {
+
+InferenceSession::InferenceSession(QuantizedModelPackage pkg, ServeConfig cfg)
+    : pkg_(std::move(pkg)),
+      cfg_(cfg),
+      runner_(pkg_, cfg.scale_product_bits),
+      cache_(cfg.cache_entries),
+      queue_(cfg.queue_depth) {
+  BatcherConfig bc;
+  bc.max_batch = cfg_.max_batch;
+  bc.max_wait_us = cfg_.max_wait_us;
+  bc.warmup = cfg_.warmup;
+  DynamicBatcher::ResultHook hook;
+  if (cfg_.cache_entries > 0) {
+    // Cache entries store input || output: the key is only a 64-bit hash,
+    // so hits re-verify the input bytes before trusting the stored row —
+    // a collision degrades to a miss, never to a wrong answer.
+    hook = [this](const std::string& key, std::span<const float> input,
+                  std::span<const float> output) {
+      std::vector<float> entry;
+      entry.reserve(input.size() + output.size());
+      entry.insert(entry.end(), input.begin(), input.end());
+      entry.insert(entry.end(), output.begin(), output.end());
+      cache_.put(key, std::move(entry));
+    };
+  }
+  DynamicBatcher::BatchFn batch_fn;
+  if (cfg_.collect_datapath_stats) {
+    batch_fn = [this](const Tensor& batch) {
+      IntGemmStats local;
+      Tensor y = runner_.forward(batch, &local);
+      std::lock_guard lock(gemm_stats_mu_);
+      gemm_stats_.vector_ops += local.vector_ops;
+      gemm_stats_.zero_scale_products += local.zero_scale_products;
+      gemm_stats_.zero_dot_products += local.zero_dot_products;
+      gemm_stats_.max_abs_psum = std::max(gemm_stats_.max_abs_psum, local.max_abs_psum);
+      return y;
+    };
+  } else {
+    batch_fn = [this](const Tensor& batch) { return runner_.forward(batch); };
+  }
+  batcher_ = std::make_unique<DynamicBatcher>(queue_, std::move(batch_fn), runner_.in_features(),
+                                              bc, stats_, std::move(hook));
+}
+
+InferenceSession::~InferenceSession() { shutdown(); }
+
+void InferenceSession::shutdown() {
+  if (batcher_) batcher_->stop();
+}
+
+std::future<Tensor> InferenceSession::submit(const Tensor& input) {
+  const std::int64_t d = runner_.in_features();
+  const Shape& s = input.shape();
+  const bool ok = (s.rank() == 1 && s[0] == d) || (s.rank() == 2 && s[0] == 1 && s[1] == d);
+  if (!ok) {
+    throw std::invalid_argument("InferenceSession::submit: input must be [" +
+                                std::to_string(d) + "] or [1, " + std::to_string(d) + "]");
+  }
+  stats_.mark_start();
+  const auto t0 = std::chrono::steady_clock::now();
+
+  Request req;
+  req.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  req.enqueue_time = t0;
+  if (cfg_.cache_entries > 0) {
+    req.cache_key = blob_key(input.span());
+    if (auto hit = cache_.get(req.cache_key)) {
+      // Entry layout: input || output. Confirm the stored input actually
+      // matches before serving the row (hash collisions become misses).
+      const auto in_n = static_cast<std::size_t>(d);
+      if (hit->size() == in_n + static_cast<std::size_t>(runner_.out_features()) &&
+          std::memcmp(hit->data(), input.data(), in_n * sizeof(float)) == 0) {
+        std::promise<Tensor> p;
+        std::future<Tensor> f = p.get_future();
+        p.set_value(Tensor::from_vector(
+            Shape{1, runner_.out_features()},
+            std::vector<float>(hit->begin() + static_cast<std::ptrdiff_t>(in_n), hit->end())));
+        stats_.record_request(
+            std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t0)
+                .count(),
+            /*cache_hit=*/true);
+        return f;
+      }
+    }
+  }
+
+  // Shallow copy (Tensor shares storage): no per-request allocation. The
+  // caller must not mutate the buffer until the future resolves — the
+  // batcher reads it when the batch assembles.
+  req.input = input;
+
+  std::future<Tensor> f = req.promise.get_future();
+  if (!queue_.push(std::move(req))) {
+    throw std::runtime_error("InferenceSession::submit: session is shut down");
+  }
+  return f;
+}
+
+Tensor InferenceSession::infer(const Tensor& input) { return submit(input).get(); }
+
+IntGemmStats InferenceSession::datapath_stats() const {
+  std::lock_guard lock(gemm_stats_mu_);
+  return gemm_stats_;
+}
+
+}  // namespace vsq

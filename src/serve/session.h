@@ -1,0 +1,87 @@
+// InferenceSession: the serving engine's front door. Owns a loaded
+// QuantizedModelPackage, its QuantizedModelRunner, the request queue, the
+// dynamic batcher worker, the repeated-input result cache and the metrics
+// collector. Client threads submit() single-sample inputs and get futures;
+// the batcher coalesces them into batched integer forward passes. Outputs
+// are bit-identical to sequential single-sample execution (int_gemm rows
+// are independent), so batching is purely a throughput optimization.
+//
+//   InferenceSession session(QuantizedModelPackage::load(path), cfg);
+//   std::future<Tensor> f = session.submit(input_row);
+//   Tensor y = f.get();                 // [1, out_features]
+//   session.stats().print_table(std::cout);
+#pragma once
+
+#include <atomic>
+#include <future>
+#include <memory>
+
+#include "quant/export.h"
+#include "serve/batcher.h"
+#include "serve/request_queue.h"
+#include "serve/serve_stats.h"
+#include "util/result_cache.h"
+
+namespace vsq {
+
+struct ServeConfig {
+  int max_batch = 16;
+  // Extra time a freshly opened batch lingers for stragglers. 0 (the
+  // default) means "take what's queued": under sustained load batches
+  // form naturally while the previous forward pass runs, and waiting only
+  // adds latency. Raise it for sparse open-loop traffic where merging
+  // arrivals is worth a bounded latency hit.
+  int max_wait_us = 0;
+  int scale_product_bits = -1;   // as in int_gemm; -1 = full product
+  std::size_t queue_depth = 0;   // bound on queued requests; 0 = unbounded
+  std::size_t cache_entries = 0; // repeated-input BlobCache size; 0 = off
+  bool warmup = true;
+  // Accumulate IntGemmStats (vector ops, gating) across batches. The
+  // counters cost measurable time per scale product, so serving defaults
+  // to off; enable for datapath analysis (vsq_serve --datapath-stats).
+  bool collect_datapath_stats = false;
+};
+
+class InferenceSession {
+ public:
+  // Takes ownership of the package (the runner points into it). Throws
+  // std::invalid_argument when the package has no runnable program.
+  explicit InferenceSession(QuantizedModelPackage pkg, ServeConfig cfg = {});
+  ~InferenceSession();
+
+  InferenceSession(const InferenceSession&) = delete;
+  InferenceSession& operator=(const InferenceSession&) = delete;
+
+  // input: [in_features] or [1, in_features]. The tensor's storage is
+  // shared (no copy) — do not mutate it before the future resolves. The
+  // future resolves to the [1, out_features] output row. Throws
+  // std::runtime_error after shutdown().
+  std::future<Tensor> submit(const Tensor& input);
+
+  // Blocking convenience: submit + get.
+  Tensor infer(const Tensor& input);
+
+  // Stop accepting requests, drain the queue, join the worker. Idempotent;
+  // the destructor calls it.
+  void shutdown();
+
+  const QuantizedModelRunner& runner() const { return runner_; }
+  const QuantizedModelPackage& package() const { return pkg_; }
+  ServeStatsSnapshot stats() const { return stats_.snapshot(); }
+  // Aggregate integer-datapath stats over every batched forward pass.
+  IntGemmStats datapath_stats() const;
+
+ private:
+  QuantizedModelPackage pkg_;
+  ServeConfig cfg_;
+  QuantizedModelRunner runner_;
+  ServeStats stats_;
+  BlobCache cache_;
+  RequestQueue queue_;
+  mutable std::mutex gemm_stats_mu_;
+  IntGemmStats gemm_stats_;
+  std::atomic<std::uint64_t> next_id_{0};
+  std::unique_ptr<DynamicBatcher> batcher_;  // last member: joins first
+};
+
+}  // namespace vsq

@@ -196,8 +196,10 @@ void gemm_blocked(const GemmMatView& a, const GemmMatView& b, float* c, std::int
   float* pb = arena.alloc_n<float>(
       static_cast<std::size_t>(kc_cap * round_up(std::min(n, NC), NR)));
 
-  // Shrink the M block when it would leave pool threads idle.
-  const auto nth = static_cast<std::int64_t>(ThreadPool::global().concurrency());
+  // Shrink the M block when it would leave pool threads idle. Uses the
+  // scoped current pool so a ThreadPoolScope changes both the dispatch
+  // target (parallel_for below) and the blocking decision consistently.
+  const auto nth = static_cast<std::int64_t>(current_pool().concurrency());
   std::int64_t mc = MC;
   if (ceil_div(m, mc) < nth) mc = std::max<std::int64_t>(MR, round_up(ceil_div(m, nth), MR));
   const std::int64_t pa_elems = kc_cap * round_up(std::min(mc, m), MR);

@@ -45,6 +45,20 @@ Tensor Tensor::slice_rows(std::int64_t i0, std::int64_t i1) const {
   return out;
 }
 
+Tensor Tensor::view_rows(std::int64_t i0, std::int64_t i1) const {
+  if (shape_.rank() < 1 || i0 < 0 || i1 < i0 || i1 > shape_[0]) {
+    throw std::invalid_argument("Tensor::view_rows: bad range");
+  }
+  const std::int64_t row_elems = shape_[0] == 0 ? 0 : numel() / shape_[0];
+  Tensor out;
+  out.shape_ = shape_;
+  out.shape_.set_dim(0, i1 - i0);
+  // Aliasing constructor: out shares this tensor's control block but
+  // points at the row offset, so the buffer outlives every view.
+  out.data_ = std::shared_ptr<float[]>(data_, data_.get() + i0 * row_elems);
+  return out;
+}
+
 void Tensor::fill(float v) { std::fill_n(data(), numel(), v); }
 
 std::vector<float> Tensor::to_vector() const {

@@ -57,6 +57,10 @@ class Tensor {
   Tensor reshape(Shape new_shape) const;
   // Deep copy of rows [i0, i1) along the leading axis (any rank >= 1).
   Tensor slice_rows(std::int64_t i0, std::int64_t i1) const;
+  // Shallow view of rows [i0, i1): shares storage (the view keeps the
+  // whole buffer alive via an aliasing pointer — no copy, no allocation).
+  // Mutations through either tensor alias the other.
+  Tensor view_rows(std::int64_t i0, std::int64_t i1) const;
   void fill(float v);
   void zero() { fill(0.0f); }
 

@@ -1,6 +1,9 @@
 #include "util/args.h"
 
+#include <iostream>
 #include <stdexcept>
+
+#include "util/thread_pool.h"
 
 namespace vsq {
 
@@ -41,6 +44,24 @@ double Args::get_double(const std::string& name, double def) const {
 bool Args::get_flag(const std::string& name) const {
   used_.insert(name);
   return kv_.count(name) > 0;
+}
+
+bool apply_threads_flag(const Args& args) {
+  // Pin the pool only when --threads was actually passed, so the
+  // VSQ_THREADS environment fallback keeps working otherwise.
+  if (args.get_str("threads", "").empty()) return true;
+  int threads = 0;
+  try {
+    threads = args.get_int("threads", 0);
+  } catch (const std::exception&) {
+    threads = -1;
+  }
+  if (threads < 0) {
+    std::cerr << "--threads must be >= 0 (0 = hardware concurrency)\n";
+    return false;
+  }
+  ThreadPool::set_global_threads(static_cast<std::size_t>(threads));
+  return true;
 }
 
 std::set<std::string> Args::unused() const {

@@ -27,4 +27,11 @@ class Args {
   mutable std::set<std::string> used_;
 };
 
+// Shared --threads=N handling for every CLI tool: pins the global thread
+// pool when the flag was passed (0 = hardware concurrency), otherwise
+// leaves the VSQ_THREADS environment fallback in effect. Returns false
+// after printing a diagnostic to stderr when the value is invalid — the
+// caller should exit non-zero.
+bool apply_threads_flag(const Args& args);
+
 }  // namespace vsq

@@ -1,11 +1,19 @@
-// File-backed key->double cache. Accuracy experiments are expensive
-// (model evaluation per quantization config); table benches store their
-// results here so figure benches (design-space plots) reuse them.
+// Result caches. ResultCache: file-backed key->double — accuracy
+// experiments are expensive (model evaluation per quantization config);
+// table benches store their results here so figure benches (design-space
+// plots) reuse them. BlobCache: thread-safe in-memory key->float-blob LRU
+// — the serving engine short-circuits repeated inference inputs with it.
 #pragma once
 
+#include <cstdint>
+#include <list>
 #include <map>
+#include <mutex>
 #include <optional>
+#include <span>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 namespace vsq {
 
@@ -31,6 +39,35 @@ class ResultCache {
 
   std::string path_;
   std::map<std::string, double> entries_;
+};
+
+// Deterministic key for a float blob (FNV-1a 64 over the raw bytes,
+// rendered as hex). Inference inputs hash to BlobCache keys with this.
+std::string blob_key(std::span<const float> data);
+
+// Bounded in-memory key -> float-blob cache with LRU eviction. All
+// operations are thread-safe; get() refreshes recency. capacity == 0
+// disables the cache entirely (get always misses, put is a no-op).
+class BlobCache {
+ public:
+  explicit BlobCache(std::size_t capacity);
+
+  std::optional<std::vector<float>> get(const std::string& key);
+  void put(const std::string& key, std::vector<float> value);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const;
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+
+ private:
+  using Entry = std::pair<std::string, std::vector<float>>;
+
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0, misses_ = 0;
 };
 
 }  // namespace vsq

@@ -47,6 +47,17 @@ void* ScratchArena::alloc(std::size_t bytes, std::size_t align) {
   return b.data.get() + off;
 }
 
+void ScratchArena::reserve(std::size_t bytes) {
+  bytes += 64;  // alignment slack, mirroring alloc()'s worst case
+  for (const Block& b : blocks_) {
+    if (b.size - b.used >= bytes) return;  // an existing block suffices
+  }
+  Block nb;
+  nb.size = std::max(kMinBlock, bytes);
+  nb.data = std::make_unique<char[]>(nb.size);
+  blocks_.push_back(std::move(nb));
+}
+
 void ScratchArena::rewind(const Mark& m) {
   for (std::size_t i = m.block + 1; i < blocks_.size(); ++i) blocks_[i].used = 0;
   if (m.block < blocks_.size()) blocks_[m.block].used = m.used;

@@ -38,6 +38,13 @@ class ScratchArena {
   Mark mark() const { return Mark{cur_, cur_ < blocks_.size() ? blocks_[cur_].used : 0}; }
   void rewind(const Mark& m);
 
+  // Ensure a single free block of at least `bytes` (plus alignment slack)
+  // exists without handing anything out, so a later alloc() up to that
+  // size cannot malloc. The serving engine preallocates by running a
+  // warmup forward instead (which sizes the arena exactly); reserve() is
+  // for callers that know a byte bound up front, and for tests.
+  void reserve(std::size_t bytes);
+
   // Total bytes held (for tests / introspection).
   std::size_t capacity() const;
 

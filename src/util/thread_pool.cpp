@@ -12,6 +12,9 @@ namespace {
 // instead of blocking a worker on chunks only that same worker could run.
 thread_local bool t_in_pool_worker = false;
 
+// Innermost ThreadPoolScope pool for this thread (nullptr = global pool).
+thread_local ThreadPool* t_current_pool = nullptr;
+
 // Requested global-pool size: SIZE_MAX = unset, 0 = hardware_concurrency.
 std::atomic<std::size_t> g_requested_threads{static_cast<std::size_t>(-1)};
 std::atomic<bool> g_global_created{false};
@@ -160,9 +163,19 @@ void ThreadPool::set_global_threads(std::size_t n_threads) {
   g_requested_threads.store(n_threads);
 }
 
+ThreadPool& current_pool() {
+  return t_current_pool ? *t_current_pool : ThreadPool::global();
+}
+
+ThreadPoolScope::ThreadPoolScope(ThreadPool& pool) : prev_(t_current_pool) {
+  t_current_pool = &pool;
+}
+
+ThreadPoolScope::~ThreadPoolScope() { t_current_pool = prev_; }
+
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t, std::size_t)>& fn, std::size_t grain) {
-  ThreadPool::global().parallel_for(begin, end, fn, grain);
+  current_pool().parallel_for(begin, end, fn, grain);
 }
 
 }  // namespace vsq

@@ -58,7 +58,28 @@ class ThreadPool {
   bool stop_ = false;
 };
 
-// Convenience: parallel_for on the global pool.
+// Pool the free parallel_for below dispatches to on this thread: the
+// innermost active ThreadPoolScope's pool, else the global pool. Kernel
+// code (gemm, int_gemm, fake-quant) routes through this so callers can
+// pin a specific pool without re-plumbing every call site.
+ThreadPool& current_pool();
+
+// Thread-local pool override, RAII. While alive on a thread, parallel_for
+// calls made from that thread run on `pool` instead of the global pool —
+// determinism tests compare a 1-thread against an N-thread pool in one
+// process this way (the global pool's size is fixed after first use).
+class ThreadPoolScope {
+ public:
+  explicit ThreadPoolScope(ThreadPool& pool);
+  ~ThreadPoolScope();
+  ThreadPoolScope(const ThreadPoolScope&) = delete;
+  ThreadPoolScope& operator=(const ThreadPoolScope&) = delete;
+
+ private:
+  ThreadPool* prev_;
+};
+
+// Convenience: parallel_for on current_pool().
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t, std::size_t)>& fn,
                   std::size_t grain = 1);

@@ -1,0 +1,36 @@
+# End-to-end serving smoke test: export the tiny model's integer package
+# with vsq_quantize, then drive vsq_serve with concurrent clients. The
+# tool's --check audit (on by default) makes the run fail unless every
+# served output is bit-identical to sequential single-sample inference.
+# Invoked from ctest (see tests/CMakeLists.txt) with
+#   -DVSQ_QUANTIZE=<path> -DVSQ_SERVE=<path> -DWORK_DIR=<scratch dir>
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(ENV{VSQ_ARTIFACTS} "${WORK_DIR}/artifacts")
+set(PACKAGE "${WORK_DIR}/tiny_int.vsqa")
+
+execute_process(
+  COMMAND "${VSQ_QUANTIZE}" --model=tiny --config=4/8/6/10 --vector=16
+          "--out=${PACKAGE}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out ERROR_VARIABLE out)
+message(STATUS "vsq_quantize output:\n${out}")
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "vsq_quantize failed with exit code ${rc}")
+endif()
+
+execute_process(
+  COMMAND "${VSQ_SERVE}" "--package=${PACKAGE}" --clients=4 --requests=64
+          --max-batch=8 --cache=16
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out ERROR_VARIABLE out)
+message(STATUS "vsq_serve output:\n${out}")
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "vsq_serve failed with exit code ${rc}")
+endif()
+if(NOT out MATCHES "64 outputs verified bit-identical to sequential execution")
+  message(FATAL_ERROR "vsq_serve did not report the bit-exactness audit")
+endif()
+if(NOT out MATCHES "\"requests\":64")
+  message(FATAL_ERROR "vsq_serve JSON line missing or wrong request count")
+endif()

@@ -1,0 +1,144 @@
+// Golden-archive regression tests for the deployment package format and
+// the integer datapath. tests/golden/ holds a committed package exported
+// from the deterministic tiny model plus an input/expected-output archive
+// produced by QuantizedModelRunner at commit time. Any drift in the
+// archive encoding, the package save/load round trip, the quantization
+// arithmetic, or int_gemm itself fails these tests loudly instead of
+// silently changing deployed behavior.
+//
+// Regenerate after an INTENTIONAL format/datapath change with:
+//   ./test_golden --gtest_also_run_disabled_tests
+//                 --gtest_filter='*RegenerateGoldenFiles*'
+// (one command line) and commit the rewritten files with the change.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "exp/ptq.h"
+#include "hw/mac_config.h"
+#include "models/zoo.h"
+#include "quant/export.h"
+#include "util/rng.h"
+
+namespace vsq {
+namespace {
+
+std::string golden_dir() { return VSQ_GOLDEN_DIR; }
+std::string golden_package_path() { return golden_dir() + "/tiny_int.vsqa"; }
+std::string golden_io_path() { return golden_dir() + "/tiny_io.vsqa"; }
+
+// The exact package vsq_quantize --model=tiny exports (same seed, same
+// calibration stream, same config — one shared definition in exp/ptq).
+QuantizedModelPackage build_tiny_package() {
+  return tiny_mlp_package(MacConfig::parse("4/8/6/10"));
+}
+
+Tensor golden_input() {
+  // uniform() is pure integer/IEEE arithmetic (no libm), so the input is
+  // reproducible to the bit on every platform and C library.
+  Rng rng(4242);
+  Tensor x(Shape{4, TinyMlp::kIn});
+  for (auto& v : x.span()) v = static_cast<float>(rng.uniform(-2.0, 2.0));
+  return x;
+}
+
+std::vector<char> read_bytes(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  EXPECT_TRUE(f.good()) << "cannot open " << path;
+  return {std::istreambuf_iterator<char>(f), std::istreambuf_iterator<char>()};
+}
+
+TEST(GoldenPackage, SaveLoadRoundTripIsByteIdentical) {
+  const std::string tmp1 = std::filesystem::temp_directory_path() / "vsq_golden_rt1.vsqa";
+  const std::string tmp2 = std::filesystem::temp_directory_path() / "vsq_golden_rt2.vsqa";
+  // load(golden) -> save must reproduce the committed bytes exactly: the
+  // on-disk encoding is part of the deployment contract.
+  const QuantizedModelPackage pkg = QuantizedModelPackage::load(golden_package_path());
+  pkg.save(tmp1);
+  EXPECT_EQ(read_bytes(tmp1), read_bytes(golden_package_path()))
+      << "save(load(golden)) differs from the committed archive - the "
+         "package format drifted";
+  // And the round trip is a fixed point.
+  QuantizedModelPackage::load(tmp1).save(tmp2);
+  EXPECT_EQ(read_bytes(tmp1), read_bytes(tmp2));
+  std::remove(tmp1.c_str());
+  std::remove(tmp2.c_str());
+}
+
+TEST(GoldenPackage, StructureMatchesCommittedExpectations) {
+  const QuantizedModelPackage pkg = QuantizedModelPackage::load(golden_package_path());
+  ASSERT_EQ(pkg.layers.size(), 2u);
+  ASSERT_TRUE(pkg.layers.count("fc1"));
+  ASSERT_TRUE(pkg.layers.count("fc2"));
+  const QuantizedLayerPackage& fc1 = pkg.layers.at("fc1");
+  EXPECT_EQ(fc1.weights.rows, TinyMlp::kHidden);
+  EXPECT_EQ(fc1.weights.cols(), TinyMlp::kIn);
+  EXPECT_EQ(fc1.weights.fmt.bits, 4);
+  EXPECT_TRUE(fc1.weights.fmt.is_signed);
+  EXPECT_EQ(fc1.weights.layout.vector_size, 16);
+  ASSERT_TRUE(fc1.weights.two_level.has_value());
+  EXPECT_EQ(fc1.weights.two_level->scale_fmt.bits, 6);
+  EXPECT_EQ(fc1.act_spec.fmt.bits, 8);
+  EXPECT_EQ(fc1.act_spec.scale_fmt.bits, 10);
+  EXPECT_GT(fc1.act_amax, 0.0f);
+  EXPECT_GT(fc1.act_gamma, 0.0f);
+  const QuantizedLayerPackage& fc2 = pkg.layers.at("fc2");
+  EXPECT_EQ(fc2.weights.rows, TinyMlp::kOut);
+  EXPECT_EQ(fc2.weights.cols(), TinyMlp::kHidden);
+  ASSERT_EQ(pkg.program.size(), 2u);
+  EXPECT_EQ(pkg.program[0].layer, "fc1");
+  EXPECT_TRUE(pkg.program[0].relu);
+  EXPECT_EQ(pkg.program[1].layer, "fc2");
+  EXPECT_FALSE(pkg.program[1].relu);
+}
+
+TEST(GoldenPackage, FreshExportMatchesCommittedArchive) {
+  // Quantizing the deterministic tiny model today must reproduce the
+  // committed package bit-for-bit: calibration, scale factorization and
+  // weight quantization are all deterministic functions of the seed.
+  const std::string tmp = std::filesystem::temp_directory_path() / "vsq_golden_fresh.vsqa";
+  build_tiny_package().save(tmp);
+  EXPECT_EQ(read_bytes(tmp), read_bytes(golden_package_path()))
+      << "fresh tiny export differs from the committed archive - the "
+         "calibration/export pipeline drifted";
+  std::remove(tmp.c_str());
+}
+
+TEST(GoldenPackage, RunnerReproducesCommittedOutputsBitExactly) {
+  const QuantizedModelPackage pkg = QuantizedModelPackage::load(golden_package_path());
+  const QuantizedModelRunner runner(pkg);
+  const Archive io = Archive::load(golden_io_path());
+  const ArchiveEntry& in = io.get("input");
+  const ArchiveEntry& expected = io.get("output");
+  ASSERT_EQ(in.dims.size(), 2u);
+  const Tensor x = Tensor::from_vector(Shape{in.dims[0], in.dims[1]}, in.data);
+  const Tensor y = runner.forward(x);
+  ASSERT_EQ(static_cast<std::size_t>(y.numel()), expected.data.size());
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    ASSERT_EQ(y[i], expected.data[static_cast<std::size_t>(i)])
+        << "integer datapath output drifted at element " << i;
+  }
+}
+
+// Manual regeneration hook (see file header). Disabled so normal runs
+// never rewrite the golden files.
+TEST(GoldenPackage, DISABLED_RegenerateGoldenFiles) {
+  const QuantizedModelPackage pkg = build_tiny_package();
+  pkg.save(golden_package_path());
+  const QuantizedModelRunner runner(pkg);
+  const Tensor x = golden_input();
+  const Tensor y = runner.forward(x);
+  Archive io;
+  io.put("input", {x.shape()[0], x.shape()[1]}, x.to_vector());
+  io.put("output", {y.shape()[0], y.shape()[1]}, y.to_vector());
+  io.save(golden_io_path());
+  std::printf("regenerated %s and %s\n", golden_package_path().c_str(),
+              golden_io_path().c_str());
+}
+
+}  // namespace
+}  // namespace vsq

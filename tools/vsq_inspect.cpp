@@ -1,9 +1,9 @@
 // vsq_inspect — print the contents of an exported quantized-model package:
-// per-layer shapes, formats, scale statistics (sq utilization, gamma), and
-// the storage overhead of the per-vector scales (the paper's M/(V*N)
-// metric, Sec. 4.4).
+// per-layer shapes, formats, scale statistics (sq utilization, gamma), the
+// storage overhead of the per-vector scales (the paper's M/(V*N) metric,
+// Sec. 4.4), and the forward program when the package carries one.
 //
-//   vsq_inspect --package=artifacts/resnet_int.vsqa
+//   vsq_inspect --package=artifacts/resnet_int.vsqa [--threads=N]
 #include <iostream>
 #include <map>
 
@@ -14,10 +14,19 @@
 int main(int argc, char** argv) {
   using namespace vsq;
   const Args args(argc, argv);
+  if (!apply_threads_flag(args)) return 1;
   const std::string path = args.get_str("package", "artifacts/resnet_int.vsqa");
 
   const QuantizedModelPackage pkg = QuantizedModelPackage::load(path);
-  std::cout << "package " << path << ": " << pkg.layers.size() << " layers\n\n";
+  std::cout << "package " << path << ": " << pkg.layers.size() << " layers\n";
+  if (!pkg.program.empty()) {
+    std::cout << "forward program:";
+    for (const ForwardStep& s : pkg.program) {
+      std::cout << " " << s.layer << (s.relu ? "+relu" : "");
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\n";
 
   Table t({"Layer", "Weights", "Fmt", "V", "Scale repr", "sq range", "Overhead %", "amax",
            "gamma"});

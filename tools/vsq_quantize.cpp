@@ -11,67 +11,20 @@
 //
 // --model=tiny is a randomly-initialized 2-layer MLP that needs no trained
 // checkpoint — it exercises the full calibrate/export path in milliseconds
-// (used by the ctest smoke test).
+// (used by the ctest smoke tests and servable by vsq_serve: its package
+// carries the forward program QuantizedModelRunner executes).
 #include <iostream>
 
 #include "exp/ptq.h"
 #include "hw/mac_config.h"
-#include "nn/activations.h"
-#include "nn/linear.h"
 #include "quant/export.h"
 #include "util/args.h"
 #include "util/rng.h"
-#include "util/thread_pool.h"
-
-namespace {
-
-using namespace vsq;
-
-// Minimal GEMM-bearing model satisfying the quantize_model() interface.
-struct TinyMlp {
-  Linear fc1, fc2;
-  ReLU relu;
-
-  explicit TinyMlp(Rng& rng) : fc1("fc1", 64, 32, rng), fc2("fc2", 32, 8, rng) {}
-  Tensor forward(const Tensor& x, bool train) {
-    return fc2.forward(relu.forward(fc1.forward(x, train), train), train);
-  }
-  std::vector<QuantizableGemm*> gemms() { return {&fc1, &fc2}; }
-};
-
-// Calibrate all GEMMs of the model, export each as a package layer.
-template <typename Model, typename CalibFn>
-QuantizedModelPackage quantize_model(Model& model, const MacConfig& mac, CalibFn&& calibrate) {
-  auto gemms = model.gemms();
-  apply_quant_specs(gemms, mac.weight_spec(), mac.act_spec());
-  set_mode_all(gemms, QuantMode::kCalibrate);
-  calibrate();
-  finalize_calibration(gemms);
-  set_mode_all(gemms, QuantMode::kQuantEval);
-
-  QuantizedModelPackage pkg;
-  for (QuantizableGemm* g : gemms) {
-    pkg.layers[g->gemm_name()] = export_gemm(*g, /*bias=*/{});
-  }
-  set_mode_all(gemms, QuantMode::kOff);
-  return pkg;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace vsq;
   const Args args(argc, argv);
-  // Pin the pool only when --threads was actually passed, so the
-  // VSQ_THREADS environment fallback keeps working otherwise.
-  if (!args.get_str("threads", "").empty()) {
-    const int threads = args.get_int("threads", 0);
-    if (threads < 0) {
-      std::cerr << "--threads must be >= 0 (0 = hardware concurrency)\n";
-      return 1;
-    }
-    ThreadPool::set_global_threads(static_cast<std::size_t>(threads));
-  }
+  if (!apply_threads_flag(args)) return 1;
   const std::string which = args.get_str("model", "resnet");
   MacConfig mac = MacConfig::parse(args.get_str("config", "4/8/6/10"));
   mac.vector_size = args.get_int("vector", 16);
@@ -84,22 +37,18 @@ int main(int argc, char** argv) {
   if (which == "tiny") {
     // Deliberately no ModelZoo here: tiny is checkpoint-free, and the zoo
     // constructor's fingerprint check may evict cached trained models.
-    Rng rng(7);
-    TinyMlp model(rng);
-    Tensor calib(Shape{32, 64});
-    for (auto& v : calib.span()) v = static_cast<float>(rng.normal());
-    pkg = quantize_model(model, mac, [&] { model.forward(calib, false); });
+    pkg = tiny_mlp_package(mac);
   } else if (which == "resnet") {
     ModelZoo zoo(artifacts_dir());
     auto model = zoo.resnet();
-    pkg = quantize_model(*model, mac, [&] {
+    pkg = calibrate_and_export(model->gemms(), mac.weight_spec(), mac.act_spec(), [&] {
       model->forward(zoo.image_calib().batch_images(0, zoo.image_calib().size()), false);
     });
   } else if (which == "bert_base" || which == "bert_large") {
     ModelZoo zoo(artifacts_dir());
     auto model = which == "bert_large" ? zoo.bert_large() : zoo.bert_base();
     mac.act_unsigned = false;
-    pkg = quantize_model(*model, mac, [&] {
+    pkg = calibrate_and_export(model->gemms(), mac.weight_spec(), mac.act_spec(), [&] {
       model->forward(zoo.span_calib().batch_tokens(0, zoo.span_calib().size()), false);
     });
   } else {

@@ -13,21 +13,11 @@
 #include "exp/experiment_context.h"
 #include "models/zoo.h"
 #include "util/args.h"
-#include "util/thread_pool.h"
 
 int main(int argc, char** argv) {
   using namespace vsq;
   const Args args(argc, argv);
-  // Pin the pool only when --threads was actually passed, so the
-  // VSQ_THREADS environment fallback keeps working otherwise.
-  if (!args.get_str("threads", "").empty()) {
-    const int threads = args.get_int("threads", 0);
-    if (threads < 0) {
-      std::cerr << "--threads must be >= 0 (0 = hardware concurrency)\n";
-      return 1;
-    }
-    ThreadPool::set_global_threads(static_cast<std::size_t>(threads));
-  }
+  if (!apply_threads_flag(args)) return 1;
   const std::string which = args.get_str("model", "all");
   const bool force = args.get_flag("force");
 
