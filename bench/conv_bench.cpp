@@ -1,0 +1,206 @@
+// Fused vs materialized convolution benchmarks, gated in CI against
+// bench/BENCH_conv.json (tools/compare_bench.py). Three comparisons on the
+// ResNetV block shapes the paper-repro benches execute:
+//
+//  * BM_ConvFused vs BM_ConvIm2colBaseline — the fused tiled-im2col engine
+//    against the materialized path on the same blocked GEMM engine
+//    (im2col Tensor allocation + gemm_nt + per-row bias), i.e. exactly
+//    what Conv2d::forward did after PR 2. items = MACs.
+//  * BM_ConvFused vs BM_ConvSeedBaseline — against the seed conv path
+//    (materialized im2col + the naive triple-loop GEMM + scalar bias),
+//    the repo's original conv implementation.
+//  * BM_IntConvFused vs BM_IntConvMaterialized — the patch-streamed
+//    integer conv datapath against materialize-quantize-int_gemm.
+//
+// The fused benches also report their steady-state scratch-arena bytes as
+// the "workspace_bytes" counter next to the baseline's "cols_bytes": the
+// fused engine's whole working set is a few packed panels regardless of
+// how large the cols matrix would be.
+#include <benchmark/benchmark.h>
+
+#include "quant/int_conv.h"
+#include "quant/quantized_tensor.h"
+#include "tensor/conv_engine.h"
+#include "tensor/gemm.h"
+#include "tensor/im2col.h"
+#include "util/rng.h"
+#include "util/scratch.h"
+
+namespace {
+
+using namespace vsq;
+
+// ResNetV executes 16x16 images through widths {16, 32, 64} with stride-2
+// downsamples between stages; these are the per-stage conv shapes (plus
+// the 3-channel stem) at the batch-64 size the PTQ eval / design-space
+// benches and the serving engine actually push through the model. At this
+// batch the materialized cols matrix is 1.8-9.4 MB per call — the regime
+// the fusion exists for.
+struct BlockShape {
+  std::int64_t n, h, w, c, k_out, kernel, stride, pad;
+};
+
+BlockShape shape_for(std::int64_t idx) {
+  switch (idx) {
+    case 0: return {64, 16, 16, 3, 16, 3, 1, 1};   // stem
+    case 1: return {64, 16, 16, 16, 16, 3, 1, 1};  // stage0 block conv
+    case 2: return {64, 8, 8, 32, 32, 3, 1, 1};    // stage1 block conv
+    default: return {64, 4, 4, 64, 64, 3, 1, 1};   // stage2 block conv
+  }
+}
+
+struct ConvOperands {
+  Tensor x, w, bias;
+  ConvGeom g;
+  std::int64_t macs = 0;
+};
+
+ConvOperands make_operands(const BlockShape& s, std::uint64_t seed) {
+  ConvOperands ops;
+  ops.g = ConvGeom{s.h, s.w, s.c, s.kernel, s.stride, s.pad};
+  Rng rng(seed);
+  ops.x = Tensor(Shape{s.n, s.h, s.w, s.c});
+  ops.w = Tensor(Shape{s.k_out, ops.g.patch_len()});
+  ops.bias = Tensor(Shape{s.k_out});
+  for (auto& v : ops.x.span()) v = static_cast<float>(rng.normal());
+  for (auto& v : ops.w.span()) v = static_cast<float>(rng.normal());
+  for (auto& v : ops.bias.span()) v = static_cast<float>(rng.normal());
+  ops.macs = s.n * ops.g.out_h() * ops.g.out_w() * ops.g.patch_len() * s.k_out;
+  return ops;
+}
+
+void BM_ConvFused(benchmark::State& state) {
+  const BlockShape s = shape_for(state.range(0));
+  const ConvOperands ops = make_operands(s, 1);
+  for (auto _ : state) {
+    Tensor y = conv2d_nhwc(ops.x, ops.g, ops.w, ops.bias.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * ops.macs);
+  state.counters["workspace_bytes"] =
+      static_cast<double>(ScratchArena::thread_local_arena().capacity());
+}
+BENCHMARK(BM_ConvFused)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+// The pre-fusion Conv2d::forward inference path, step for step: allocate
+// the (zero-initialized) cols Tensor, fill it with im2col, run the blocked
+// GEMM, then walk the rows adding bias.
+void BM_ConvIm2colBaseline(benchmark::State& state) {
+  const BlockShape s = shape_for(state.range(0));
+  const ConvOperands ops = make_operands(s, 1);
+  const std::int64_t rows = s.n * ops.g.out_h() * ops.g.out_w();
+  for (auto _ : state) {
+    Tensor cols = im2col(ops.x, ops.g);
+    Tensor y(Shape{rows, s.k_out});
+    gemm_nt(cols.data(), ops.w.data(), y.data(), rows, s.k_out, ops.g.patch_len());
+    float* yd = y.data();
+    const float* bd = ops.bias.data();
+    for (std::int64_t r = 0; r < rows; ++r) {
+      for (std::int64_t k = 0; k < s.k_out; ++k) yd[r * s.k_out + k] += bd[k];
+    }
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * ops.macs);
+  state.counters["cols_bytes"] =
+      static_cast<double>(rows * ops.g.patch_len() * static_cast<std::int64_t>(sizeof(float)));
+}
+BENCHMARK(BM_ConvIm2colBaseline)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+// The seed conv path: materialized im2col into the naive row x column x
+// reduction triple loop (what gemm_nt compiled to before the blocked
+// engine), scalar bias. The original "materialized-im2col baseline" every
+// conv forward in the repo once paid.
+void BM_ConvSeedBaseline(benchmark::State& state) {
+  const BlockShape s = shape_for(state.range(0));
+  const ConvOperands ops = make_operands(s, 1);
+  const std::int64_t rows = s.n * ops.g.out_h() * ops.g.out_w();
+  const std::int64_t plen = ops.g.patch_len();
+  for (auto _ : state) {
+    Tensor cols = im2col(ops.x, ops.g);
+    Tensor y(Shape{rows, s.k_out});
+    const float* a = cols.data();
+    const float* b = ops.w.data();
+    float* c = y.data();
+    for (std::int64_t i = 0; i < rows; ++i) {
+      const float* ai = a + i * plen;
+      float* ci = c + i * s.k_out;
+      for (std::int64_t j = 0; j < s.k_out; ++j) {
+        const float* bj = b + j * plen;
+        float acc = 0;
+        for (std::int64_t p = 0; p < plen; ++p) acc += ai[p] * bj[p];
+        ci[j] = acc;
+      }
+    }
+    const float* bd = ops.bias.data();
+    for (std::int64_t r = 0; r < rows; ++r) {
+      for (std::int64_t k = 0; k < s.k_out; ++k) c[r * s.k_out + k] += bd[k];
+    }
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * ops.macs);
+}
+BENCHMARK(BM_ConvSeedBaseline)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+struct IntConvOperands {
+  Tensor x;
+  QuantizedMatrix wq;
+  QuantSpec aspec;
+  float amax = 0, gamma = 0;
+  ConvGeom g;
+  std::int64_t macs = 0;
+};
+
+IntConvOperands make_int_operands(const BlockShape& s, std::uint64_t seed) {
+  IntConvOperands ops;
+  ops.g = ConvGeom{s.h, s.w, s.c, s.kernel, s.stride, s.pad};
+  Rng rng(seed);
+  ops.x = Tensor(Shape{s.n, s.h, s.w, s.c});
+  Tensor w(Shape{s.k_out, ops.g.patch_len()});
+  for (auto& v : ops.x.span()) v = static_cast<float>(rng.normal());
+  for (auto& v : w.span()) v = static_cast<float>(rng.normal());
+
+  QuantSpec wspec;
+  wspec.enabled = true;
+  wspec.fmt = QuantFormat{4, true};
+  wspec.granularity = Granularity::kPerVector;
+  wspec.vector_size = 16;
+  wspec.channel_block = s.c;
+  wspec.scale_dtype = ScaleDtype::kTwoLevelInt;
+  wspec.scale_fmt = QuantFormat{6, false};
+  ops.aspec = wspec;
+  ops.aspec.fmt = QuantFormat{8, true};
+  ops.aspec.scale_fmt = QuantFormat{10, false};
+  ops.aspec.dynamic = true;
+
+  ops.wq = quantize_weights_int(w, wspec);
+  ops.amax = amax_per_tensor(ops.x.reshape(Shape{s.n * s.h * s.w, s.c}));
+  ops.gamma =
+      scale_from_amax(ops.amax, ops.aspec.fmt) / static_cast<float>(ops.aspec.scale_fmt.qmax());
+  ops.macs = s.n * ops.g.out_h() * ops.g.out_w() * ops.g.patch_len() * s.k_out;
+  return ops;
+}
+
+void BM_IntConvFused(benchmark::State& state) {
+  const IntConvOperands ops = make_int_operands(shape_for(state.range(0)), 2);
+  for (auto _ : state) {
+    Tensor y = int_conv(ops.x, ops.g, ops.wq, ops.aspec, ops.amax, ops.gamma, /*bias=*/{});
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * ops.macs);
+  state.counters["workspace_bytes"] =
+      static_cast<double>(ScratchArena::thread_local_arena().capacity());
+}
+BENCHMARK(BM_IntConvFused)->Arg(1)->Arg(3);
+
+void BM_IntConvMaterialized(benchmark::State& state) {
+  const IntConvOperands ops = make_int_operands(shape_for(state.range(0)), 2);
+  for (auto _ : state) {
+    Tensor y = int_conv_reference(ops.x, ops.g, ops.wq, ops.aspec, ops.amax, ops.gamma,
+                                  /*bias=*/{});
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * ops.macs);
+}
+BENCHMARK(BM_IntConvMaterialized)->Arg(1)->Arg(3);
+
+}  // namespace

@@ -5,8 +5,10 @@
 
 #include "hw/pe_simulator.h"
 #include "quant/fake_quant.h"
+#include "quant/int_conv.h"
 #include "quant/int_gemm.h"
 #include "quant/quantized_tensor.h"
+#include "tensor/conv_engine.h"
 #include "tensor/gemm.h"
 #include "util/fp16.h"
 #include "util/rng.h"
@@ -120,6 +122,63 @@ void BM_IntGemm(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_IntGemm)->Arg(128)->Arg(256);
+
+// Fused tiled-im2col convolution on a ResNetV block shape (16x16 images,
+// K=3, C = out = Arg). items = MACs, comparable to BM_GemmNt.
+void BM_ConvFused(benchmark::State& state) {
+  const std::int64_t c = state.range(0);
+  const ConvGeom g{16, 16, c, 3, 1, 1};
+  const std::int64_t n = 8, k_out = c;
+  Rng rng(21);
+  Tensor x(Shape{n, g.in_h, g.in_w, c}), w(Shape{k_out, g.patch_len()}), bias(Shape{k_out});
+  for (auto& v : x.span()) v = static_cast<float>(rng.normal());
+  for (auto& v : w.span()) v = static_cast<float>(rng.normal());
+  for (auto& v : bias.span()) v = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    Tensor y = conv2d_nhwc(x, g, w, bias.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * g.out_h() * g.out_w() * g.patch_len() *
+                          k_out);
+}
+BENCHMARK(BM_ConvFused)->Arg(16)->Arg(64);
+
+// Tiled integer convolution (patch-streamed quantize + packed panels) at
+// the paper's 4/8/6/10 operating point. items = MACs.
+void BM_IntConv(benchmark::State& state) {
+  const std::int64_t c = state.range(0);
+  const ConvGeom g{16, 16, c, 3, 1, 1};
+  const std::int64_t n = 8, k_out = c;
+  Rng rng(22);
+  Tensor x(Shape{n, g.in_h, g.in_w, c}), w(Shape{k_out, g.patch_len()});
+  for (auto& v : x.span()) v = static_cast<float>(rng.normal());
+  for (auto& v : w.span()) v = static_cast<float>(rng.normal());
+
+  QuantSpec wspec;
+  wspec.enabled = true;
+  wspec.fmt = QuantFormat{4, true};
+  wspec.granularity = Granularity::kPerVector;
+  wspec.vector_size = 16;
+  wspec.channel_block = c;
+  wspec.scale_dtype = ScaleDtype::kTwoLevelInt;
+  wspec.scale_fmt = QuantFormat{6, false};
+  QuantSpec aspec = wspec;
+  aspec.fmt = QuantFormat{8, true};
+  aspec.scale_fmt = QuantFormat{10, false};
+  aspec.dynamic = true;
+
+  const QuantizedMatrix wq = quantize_weights_int(w, wspec);
+  const float amax = amax_per_tensor(x.reshape(Shape{n * g.in_h * g.in_w, c}));
+  const float gamma =
+      scale_from_amax(amax, aspec.fmt) / static_cast<float>(aspec.scale_fmt.qmax());
+  for (auto _ : state) {
+    Tensor y = int_conv(x, g, wq, aspec, amax, gamma, /*bias=*/{});
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * g.out_h() * g.out_w() * g.patch_len() *
+                          k_out);
+}
+BENCHMARK(BM_IntConv)->Arg(16)->Arg(64);
 
 void BM_Fp16Round(benchmark::State& state) {
   const Tensor x = random_matrix(64, 512, 7);

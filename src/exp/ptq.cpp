@@ -1,6 +1,8 @@
 #include "exp/ptq.h"
 
 #include "hw/mac_config.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
 #include "util/logging.h"
 
 namespace vsq {
@@ -76,7 +78,17 @@ QuantizedModelPackage calibrate_and_export(const std::vector<QuantizableGemm*>& 
   set_mode_all(gemms, QuantMode::kQuantEval);
   QuantizedModelPackage pkg;
   for (QuantizableGemm* g : gemms) {
-    pkg.layers[g->gemm_name()] = export_gemm(*g, /*bias=*/{});
+    if (const auto* conv = dynamic_cast<const Conv2d*>(g)) {
+      pkg.layers[g->gemm_name()] = export_conv(*conv);
+    } else {
+      // The layer's fp bias ships with the package (the fp model applies it
+      // after the GEMM; the served datapath must too).
+      std::vector<float> bias;
+      if (auto* lin = dynamic_cast<Linear*>(g); lin && lin->has_bias()) {
+        bias = lin->bias().value.to_vector();
+      }
+      pkg.layers[g->gemm_name()] = export_gemm(*g, bias);
+    }
   }
   set_mode_all(gemms, QuantMode::kOff);
   return pkg;
@@ -91,6 +103,26 @@ QuantizedModelPackage tiny_mlp_package(const MacConfig& mac) {
       calibrate_and_export(model.gemms(), mac.weight_spec(), mac.act_spec(),
                            [&] { model.forward(calib, false); });
   pkg.program = TinyMlp::program();
+  return pkg;
+}
+
+QuantizedModelPackage tiny_conv_package(const MacConfig& mac) {
+  const ResNetVConfig config = tiny_conv_config();
+  ResNetV model(config);
+  model.fold_batchnorm();
+  // uniform() is pure integer/IEEE arithmetic (no libm), so the
+  // calibration stream — and therefore the exported package — is
+  // bit-reproducible on every platform.
+  Rng rng(7);
+  Tensor calib(Shape{16, config.in_h, config.in_w, config.in_c});
+  for (auto& v : calib.span()) v = static_cast<float>(rng.uniform(-2.0, 2.0));
+  QuantizedModelPackage pkg =
+      calibrate_and_export(model.gemms(), mac.weight_spec(), mac.act_spec(),
+                           [&] { model.forward(calib, false); });
+  pkg.program = model.export_program();
+  pkg.in_h = config.in_h;
+  pkg.in_w = config.in_w;
+  pkg.in_c = config.in_c;
   return pkg;
 }
 

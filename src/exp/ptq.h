@@ -49,9 +49,11 @@ void finalize_calibration(const std::vector<QuantizableGemm*>& gemms);
 // Full PTQ-to-deployment flow shared by vsq_quantize, the serving tests
 // and serve_bench: configure specs on every GEMM, run `calibrate` (which
 // must stream calibration batches through the model's fp32 forward),
-// finalize, and export each GEMM as a package layer. GEMMs are left in
-// kOff mode. The returned package has an empty forward program — callers
-// that want QuantizedModelRunner execution fill pkg.program.
+// finalize, and export each GEMM as a package layer — Conv2d layers via
+// export_conv (geometry + folded-BN bias), everything else via
+// export_gemm. GEMMs are left in kOff mode. The returned package has an
+// empty forward program — callers that want QuantizedModelRunner
+// execution fill pkg.program (and the input geometry for CNNs).
 QuantizedModelPackage calibrate_and_export(const std::vector<QuantizableGemm*>& gemms,
                                            const QuantSpec& weight_spec,
                                            const QuantSpec& act_spec,
@@ -65,5 +67,12 @@ struct MacConfig;
 // all build EXACTLY this — keep them on this one definition so they can
 // never drift apart.
 QuantizedModelPackage tiny_mlp_package(const MacConfig& mac);
+
+// The deterministic tiny CNN deployment package (models/zoo.h
+// tiny_conv_config, BatchNorms folded, 16-image uniform calibration batch,
+// ResNetV::export_program + input geometry attached). vsq_quantize
+// --model=tiny_conv, the conv serving smoke test and the tiny_conv golden
+// archive all build EXACTLY this.
+QuantizedModelPackage tiny_conv_package(const MacConfig& mac);
 
 }  // namespace vsq

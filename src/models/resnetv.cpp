@@ -4,6 +4,7 @@
 
 #include <stdexcept>
 
+#include "quant/export.h"
 #include "tensor/ops.h"
 
 namespace vsq {
@@ -75,6 +76,14 @@ void ResidualBlock::fold_batchnorm() {
     shortcut_->fold_affine(mul, add);
     shortcut_bn_->set_identity();
   }
+}
+
+void ResidualBlock::append_program(std::vector<ForwardStep>& program) const {
+  program.push_back(ForwardStep::save());
+  program.push_back(ForwardStep::conv(conv1_->gemm_name(), /*relu=*/true));
+  program.push_back(ForwardStep::conv(conv2_->gemm_name(), /*relu=*/false));
+  if (shortcut_) program.push_back(ForwardStep::conv_saved(shortcut_->gemm_name()));
+  program.push_back(ForwardStep::add_saved(/*relu=*/true));
 }
 
 std::vector<std::pair<std::string, Tensor*>> ResidualBlock::named_tensors() {
@@ -161,6 +170,19 @@ std::vector<QuantizableGemm*> ResNetV::gemms() {
   }
   gs.push_back(fc_.get());
   return gs;
+}
+
+std::vector<ForwardStep> ResNetV::export_program() const {
+  if (!folded_) {
+    throw std::logic_error("ResNetV::export_program: fold BatchNorms first (the program "
+                           "carries no BN op)");
+  }
+  std::vector<ForwardStep> program;
+  program.push_back(ForwardStep::conv("stem", /*relu=*/true));
+  for (const auto& b : blocks_) b->append_program(program);
+  program.push_back(ForwardStep::global_pool());
+  program.push_back(ForwardStep::gemm("fc", /*relu=*/false));
+  return program;
 }
 
 void ResNetV::fold_batchnorm() {

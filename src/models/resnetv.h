@@ -32,6 +32,9 @@ class ResidualBlock : public Layer {
   std::vector<QuantizableGemm*> gemms();
   void fold_batchnorm();
   std::vector<std::pair<std::string, Tensor*>> named_tensors();
+  // Append this block's forward steps (save / conv1+relu / conv2 /
+  // projection shortcut / residual add+relu) to a deployment program.
+  void append_program(std::vector<struct ForwardStep>& program) const;
 
  private:
   std::unique_ptr<Conv2d> conv1_, conv2_, shortcut_;
@@ -64,6 +67,12 @@ class ResNetV {
   // Fold every BatchNorm into its preceding conv (inference/PTQ form).
   void fold_batchnorm();
   bool batchnorm_folded() const { return folded_; }
+
+  // The deployment forward program matching forward() step for step
+  // (conv/relu/residual/pool/fc), for QuantizedModelRunner execution of an
+  // exported package. Requires folded BatchNorms: the program has no BN op
+  // — folding moves the affine into the conv biases.
+  std::vector<struct ForwardStep> export_program() const;
 
   void save(const std::string& path) const;
   void load(const std::string& path);

@@ -11,6 +11,19 @@
 namespace vsq {
 
 std::vector<ForwardStep> TinyMlp::program() { return {{"fc1", true}, {"fc2", false}}; }
+
+ResNetVConfig tiny_conv_config() {
+  ResNetVConfig c;
+  c.in_h = 8;
+  c.in_w = 8;
+  c.in_c = 3;
+  c.widths = {8, 16};
+  c.blocks_per_stage = 1;
+  c.classes = 10;
+  c.seed = 7;
+  return c;
+}
+
 namespace {
 
 ImageDatasetConfig image_config(std::int64_t count, std::uint64_t seed) {

@@ -36,6 +36,14 @@ struct TinyMlp {
   static std::vector<struct ForwardStep> program();
 };
 
+// Checkpoint-free tiny CNN: ResNetV at an 8x8x3 scale (stem, one plain
+// residual block, one downsampling block with a 1x1 projection shortcut,
+// global average pool, fc head). Exercises every conv-serving op —
+// conv/relu/save/residual-add/shortcut/gap/gemm — in milliseconds.
+// vsq_quantize --model=tiny_conv, the conv serving smoke test and the
+// tiny_conv golden archive all build exactly this configuration (seed 7).
+ResNetVConfig tiny_conv_config();
+
 class ModelZoo {
  public:
   // artifacts_dir is created if missing.

@@ -1,9 +1,13 @@
 #include "nn/conv2d.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "nn/init.h"
+#include "tensor/conv_engine.h"
 #include "tensor/gemm.h"
+#include "tensor/ops.h"
+#include "util/thread_pool.h"
 
 namespace vsq {
 
@@ -50,6 +54,14 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
   const std::int64_t rows = batch_ * oh * ow;
   dims_ = GemmDims{rows, plen, out_c_};
 
+  // Unquantized inference: the fused tiled-im2col engine, bias in the GEMM
+  // epilogue, no cols matrix. Quantized / calibrating / training modes
+  // still need the materialized patch matrix (activation statistics, fake
+  // quantization and the backward pass all consume it).
+  if (!train && use_fused_ && !quant_.has_override() && quant_.mode() == QuantMode::kOff) {
+    return conv2d_nhwc(x, geom_, w_.value, has_bias_ ? b_.value.data() : nullptr);
+  }
+
   Tensor cols = im2col(x, geom_);
   Tensor y(Shape{rows, out_c_});
   if (quant_.has_override()) {
@@ -67,13 +79,7 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
     }
     gemm_nt(colsq.data(), wp->data(), y.data(), rows, out_c_, plen);
   }
-  if (has_bias_) {
-    float* yd = y.data();
-    const float* bd = b_.value.data();
-    for (std::int64_t r = 0; r < rows; ++r) {
-      for (std::int64_t k = 0; k < out_c_; ++k) yd[r * out_c_ + k] += bd[k];
-    }
-  }
+  if (has_bias_) add_row_bias(y.data(), rows, out_c_, b_.value.data());
   return y.reshape(Shape{batch_, oh, ow, out_c_});
 }
 
@@ -89,9 +95,20 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   if (has_bias_) {
     float* bg = b_.grad.data();
     const float* gd = g2d.data();
-    for (std::int64_t r = 0; r < rows; ++r) {
-      for (std::int64_t k = 0; k < out_c_; ++k) bg[k] += gd[r * out_c_ + k];
-    }
+    // Column-parallel: each output channel reduces its own rows in row
+    // order, so the sums are bit-identical to the serial loop for any
+    // thread count (no cross-thread partials to combine).
+    parallel_for(
+        0, static_cast<std::size_t>(out_c_),
+        [&](std::size_t kb, std::size_t ke) {
+          for (std::size_t k = kb; k < ke; ++k) {
+            float acc = bg[k];
+            const float* col = gd + k;
+            for (std::int64_t r = 0; r < rows; ++r) acc += col[r * out_c_];
+            bg[k] = acc;
+          }
+        },
+        /*grain=*/static_cast<std::size_t>(std::max<std::int64_t>(1, 16384 / std::max<std::int64_t>(1, rows))));
   }
   // dCols = g W, then scatter back to the input image.
   Tensor gcols(Shape{rows, plen});

@@ -39,9 +39,19 @@ class Conv2d : public Layer, public QuantizableGemm {
 
   Param& weight() { return w_; }  // [K, KH*KW*C], channel-innermost rows
   Param& bias() { return b_; }
+  const Param& bias() const { return b_; }
   std::int64_t in_channels() const { return in_c_; }
   std::int64_t out_channels() const { return out_c_; }
+  std::int64_t kernel() const { return kernel_; }
+  std::int64_t stride() const { return stride_; }
+  std::int64_t pad() const { return pad_; }
+  bool has_bias() const { return has_bias_; }
   void on_weights_updated() { quant_.invalidate_weights(); }
+
+  // Unquantized inference runs the fused tiled-im2col engine
+  // (tensor/conv_engine.h) by default; disable to force the materialized
+  // im2col + GEMM reference path (the bit-exactness oracle in tests).
+  void set_use_fused(bool on) { use_fused_ = on; }
 
   // Fold a per-channel affine (BatchNorm in inference form) into the conv:
   // w[k,:] *= mul[k]; b[k] = b[k]*mul[k] + add[k].
@@ -54,6 +64,7 @@ class Conv2d : public Layer, public QuantizableGemm {
   Param w_;  // [K, KH*KW*C]
   Param b_;  // [K]
   GemmQuantState quant_;
+  bool use_fused_ = true;
   GemmDims dims_{};
   ConvGeom geom_{};        // geometry of the most recent forward
   std::int64_t batch_ = 0;

@@ -37,6 +37,7 @@ class Linear : public Layer, public QuantizableGemm {
 
   Param& weight() { return w_; }
   Param& bias() { return b_; }
+  bool has_bias() const { return has_bias_; }
   // Called by optimizers after a step so cached fake weights refresh.
   void on_weights_updated() { quant_.invalidate_weights(); }
 

@@ -1,10 +1,14 @@
 #include "quant/export.h"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
+#include "nn/conv2d.h"
+#include "quant/int_conv.h"
 #include "quant/int_gemm.h"
+#include "tensor/ops.h"
 
 namespace vsq {
 namespace {
@@ -12,9 +16,57 @@ namespace {
 // Archive key helpers: each layer stores several named blobs.
 std::string key(const std::string& layer, const char* what) { return layer + "/" + what; }
 
-// Forward-program entries: "__program__/<index>/<layer>", data = {relu}.
-// The "__" prefix cannot collide with layer names ("/meta" suffix keys).
+// Forward-program entries: "__program__/<index>/<layer>", data = {relu}
+// for plain GEMM steps (the original encoding, so MLP archives stay
+// byte-stable) or {relu, op} for the conv-era ops.
 constexpr const char* kProgramPrefix = "__program__/";
+
+// Input image geometry of spatial programs: {in_h, in_w, in_c}.
+constexpr const char* kInputGeomKey = "__input__";
+
+ForwardStep::Op op_from_code(int code, const std::string& entry) {
+  using Op = ForwardStep::Op;
+  switch (code) {
+    case 0: return Op::kGemm;
+    case 1: return Op::kConv;
+    case 2: return Op::kConvSaved;
+    case 3: return Op::kSave;
+    case 4: return Op::kAddSaved;
+    case 5: return Op::kGlobalPool;
+    default:
+      throw std::runtime_error("QuantizedModelPackage: unknown program op in " + entry);
+  }
+}
+
+bool op_uses_layer(ForwardStep::Op op) {
+  using Op = ForwardStep::Op;
+  return op == Op::kGemm || op == Op::kConv || op == Op::kConvSaved;
+}
+
+void relu_inplace(Tensor& t) {
+  for (auto& v : t.span()) v = v > 0.0f ? v : 0.0f;
+}
+
+// [N, H, W, C] -> [N, C] mean over the spatial positions of each image.
+// Per-(image, channel) accumulation in a fixed order, so outputs are
+// bit-identical for any batch composition and thread count.
+Tensor global_avg_pool_nhwc(const Tensor& x) {
+  const std::int64_t n = x.shape()[0], h = x.shape()[1], w = x.shape()[2], c = x.shape()[3];
+  Tensor y(Shape{n, c});
+  const float inv = 1.0f / static_cast<float>(h * w);
+  const float* src = x.data();
+  float* dst = y.data();
+  for (std::int64_t img = 0; img < n; ++img) {
+    float* row = dst + img * c;
+    const float* base = src + img * h * w * c;
+    for (std::int64_t p = 0; p < h * w; ++p) {
+      const float* cell = base + p * c;
+      for (std::int64_t ch = 0; ch < c; ++ch) row[ch] += cell[ch];
+    }
+    for (std::int64_t ch = 0; ch < c; ++ch) row[ch] *= inv;
+  }
+  return y;
+}
 
 std::vector<float> to_float(const std::vector<std::int16_t>& v) {
   return {v.begin(), v.end()};
@@ -46,6 +98,16 @@ QuantizedLayerPackage export_gemm(const QuantizableGemm& gemm, const std::vector
   return pkg;
 }
 
+QuantizedLayerPackage export_conv(const Conv2d& conv) {
+  QuantizedLayerPackage pkg = export_gemm(
+      conv, conv.has_bias() ? conv.bias().value.to_vector() : std::vector<float>{});
+  pkg.kind = PackagedLayerKind::kConv;
+  pkg.kernel = conv.kernel();
+  pkg.stride = conv.stride();
+  pkg.pad = conv.pad();
+  return pkg;
+}
+
 Tensor run_packaged_layer(const QuantizedLayerPackage& layer, const Tensor& x2d,
                           int scale_product_bits, IntGemmStats* stats) {
   const QuantizedMatrix acts =
@@ -56,13 +118,24 @@ Tensor run_packaged_layer(const QuantizedLayerPackage& layer, const Tensor& x2d,
     if (static_cast<std::int64_t>(layer.bias.size()) != outs) {
       throw std::invalid_argument("run_packaged_layer: bias size mismatch");
     }
-    for (std::int64_t r = 0; r < rows; ++r) {
-      for (std::int64_t o = 0; o < outs; ++o) {
-        y.at2(r, o) += layer.bias[static_cast<std::size_t>(o)];
-      }
-    }
+    add_row_bias(y.data(), rows, outs, layer.bias.data());
   }
   return y;
+}
+
+Tensor run_packaged_conv_layer(const QuantizedLayerPackage& layer, const Tensor& x4d,
+                               int scale_product_bits, IntGemmStats* stats) {
+  if (layer.kind != PackagedLayerKind::kConv) {
+    throw std::invalid_argument("run_packaged_conv_layer: " + layer.name +
+                                " is not a conv package");
+  }
+  if (x4d.shape().rank() != 4) {
+    throw std::invalid_argument("run_packaged_conv_layer: input must be NHWC");
+  }
+  const ConvGeom g{x4d.shape()[1], x4d.shape()[2], x4d.shape()[3], layer.kernel, layer.stride,
+                   layer.pad};
+  return int_conv(x4d, g, layer.weights, layer.act_spec, layer.act_amax, layer.act_gamma,
+                  layer.bias, scale_product_bits, stats);
 }
 
 void QuantizedModelPackage::save(const std::string& path) const {
@@ -92,10 +165,24 @@ void QuantizedModelPackage::save(const std::string& path) const {
     if (!l.bias.empty()) {
       a.put(key(name, "bias"), {static_cast<std::int64_t>(l.bias.size())}, l.bias);
     }
+    if (l.kind == PackagedLayerKind::kConv) {
+      a.put(key(name, "conv"), {3},
+            {static_cast<float>(l.kernel), static_cast<float>(l.stride),
+             static_cast<float>(l.pad)});
+    }
   }
   for (std::size_t i = 0; i < program.size(); ++i) {
-    a.put(kProgramPrefix + std::to_string(i) + "/" + program[i].layer, {1},
-          {program[i].relu ? 1.0f : 0.0f});
+    const std::string k = kProgramPrefix + std::to_string(i) + "/" + program[i].layer;
+    const float relu = program[i].relu ? 1.0f : 0.0f;
+    if (program[i].op == ForwardStep::Op::kGemm) {
+      a.put(k, {1}, {relu});  // original encoding, keeps MLP archives byte-stable
+    } else {
+      a.put(k, {2}, {relu, static_cast<float>(program[i].op)});
+    }
+  }
+  if (in_h > 0) {
+    a.put(kInputGeomKey, {3},
+          {static_cast<float>(in_h), static_cast<float>(in_w), static_cast<float>(in_c)});
   }
   a.save(path);
 }
@@ -105,6 +192,13 @@ QuantizedModelPackage QuantizedModelPackage::load(const std::string& path) {
   QuantizedModelPackage pkg;
   std::vector<std::pair<std::size_t, ForwardStep>> prog;
   for (const std::string& entry : a.names()) {
+    if (entry == kInputGeomKey) {
+      const auto& geom = a.get(entry).data;
+      pkg.in_h = static_cast<std::int64_t>(geom.at(0));
+      pkg.in_w = static_cast<std::int64_t>(geom.at(1));
+      pkg.in_c = static_cast<std::int64_t>(geom.at(2));
+      continue;
+    }
     if (entry.rfind(kProgramPrefix, 0) == 0) {
       const std::string rest = entry.substr(std::string(kProgramPrefix).size());
       const auto sep = rest.find('/');
@@ -113,7 +207,9 @@ QuantizedModelPackage QuantizedModelPackage::load(const std::string& path) {
       }
       ForwardStep step;
       step.layer = rest.substr(sep + 1);
-      step.relu = a.get(entry).data.at(0) != 0.0f;
+      const auto& data = a.get(entry).data;
+      step.relu = data.at(0) != 0.0f;
+      if (data.size() > 1) step.op = op_from_code(static_cast<int>(data[1]), entry);
       prog.emplace_back(std::stoul(rest.substr(0, sep)), std::move(step));
       continue;
     }
@@ -166,6 +262,13 @@ QuantizedModelPackage QuantizedModelPackage::load(const std::string& path) {
     l.act_amax = meta[10];
     l.act_gamma = meta[11];
     if (a.contains(key(name, "bias"))) l.bias = a.get(key(name, "bias")).data;
+    if (a.contains(key(name, "conv"))) {
+      const auto& geom = a.get(key(name, "conv")).data;
+      l.kind = PackagedLayerKind::kConv;
+      l.kernel = static_cast<std::int64_t>(geom.at(0));
+      l.stride = static_cast<std::int64_t>(geom.at(1));
+      l.pad = static_cast<std::int64_t>(geom.at(2));
+    }
 
     pkg.layers[name] = std::move(l);
   }
@@ -175,33 +278,145 @@ QuantizedModelPackage QuantizedModelPackage::load(const std::string& path) {
   return pkg;
 }
 
+namespace {
+
+// Shape-propagation state of the runner's static validation pass: either a
+// spatial NHWC activation or a flat feature vector.
+struct ActDims {
+  bool spatial = false;
+  std::int64_t h = 0, w = 0, c = 0;  // spatial
+  std::int64_t features = -1;        // flat (-1 = not yet known)
+
+  bool operator==(const ActDims&) const = default;
+};
+
+}  // namespace
+
 QuantizedModelRunner::QuantizedModelRunner(const QuantizedModelPackage& pkg,
                                            int scale_product_bits)
     : pkg_(&pkg),
       program_(pkg.program.empty() ? mlp_program(pkg) : pkg.program),
       scale_product_bits_(scale_product_bits) {
+  using Op = ForwardStep::Op;
   if (program_.empty()) {
     throw std::invalid_argument("QuantizedModelRunner: package has no layers");
   }
-  steps_.reserve(program_.size());
-  std::int64_t cols = -1;
-  for (const ForwardStep& step : program_) {
-    const auto it = pkg.layers.find(step.layer);
-    if (it == pkg.layers.end()) {
-      throw std::invalid_argument("QuantizedModelRunner: program names missing layer " +
-                                  step.layer);
-    }
-    const QuantizedMatrix& w = it->second.weights;
-    if (cols >= 0 && w.cols() != cols) {
-      throw std::invalid_argument("QuantizedModelRunner: layer " + step.layer + " expects " +
-                                  std::to_string(w.cols()) + " inputs, previous layer produces " +
-                                  std::to_string(cols));
-    }
-    cols = w.rows;  // this layer's outputs feed the next layer
-    steps_.push_back(&it->second);
+  const bool any_spatial =
+      std::any_of(program_.begin(), program_.end(), [](const ForwardStep& s) {
+        return s.op == Op::kConv || s.op == Op::kConvSaved || s.op == Op::kGlobalPool;
+      });
+  if (any_spatial && (pkg.in_h <= 0 || pkg.in_w <= 0 || pkg.in_c <= 0)) {
+    throw std::invalid_argument(
+        "QuantizedModelRunner: spatial program but package has no input geometry");
   }
-  in_features_ = steps_.front()->weights.cols();
-  out_features_ = steps_.back()->weights.rows;
+  spatial_ = any_spatial;
+
+  // Static shape propagation: every step's input/output dims are fixed up
+  // front (batch excepted), so forward() never re-validates.
+  ActDims cur;
+  if (spatial_) cur = ActDims{true, pkg.in_h, pkg.in_w, pkg.in_c, -1};
+  std::optional<ActDims> saved;
+  // forward()'s kSave is a shallow copy, and h starts as a view of the
+  // caller's input: a residual add is only safe once a layer op has
+  // produced a fresh h since the last save (true for every generated
+  // program; reject hand-crafted ones that would alias-and-mutate).
+  bool fresh_h = false;
+  steps_.reserve(program_.size());
+  for (const ForwardStep& step : program_) {
+    const QuantizedLayerPackage* layer = nullptr;
+    if (op_uses_layer(step.op)) {
+      const auto it = pkg.layers.find(step.layer);
+      if (it == pkg.layers.end()) {
+        throw std::invalid_argument("QuantizedModelRunner: program names missing layer " +
+                                    step.layer);
+      }
+      layer = &it->second;
+    }
+    steps_.push_back(layer);
+    // ReLU after a step applies to the main-path activation h. Reject it
+    // on ops that write `saved` (or alias h with it): silently relu-ing
+    // the wrong tensor would corrupt outputs with no diagnostic.
+    if (step.relu && (step.op == Op::kSave || step.op == Op::kConvSaved)) {
+      throw std::invalid_argument("QuantizedModelRunner: relu on a saved-slot step");
+    }
+    switch (step.op) {
+      case Op::kGemm: {
+        if (cur.spatial) {
+          throw std::invalid_argument("QuantizedModelRunner: gemm step " + step.layer +
+                                      " on a spatial activation (missing pool?)");
+        }
+        const QuantizedMatrix& w = layer->weights;
+        if (cur.features >= 0 && w.cols() != cur.features) {
+          throw std::invalid_argument("QuantizedModelRunner: layer " + step.layer +
+                                      " expects " + std::to_string(w.cols()) +
+                                      " inputs, previous step produces " +
+                                      std::to_string(cur.features));
+        }
+        if (cur.features < 0) in_features_ = w.cols();
+        cur.features = w.rows;
+        fresh_h = true;
+        break;
+      }
+      case Op::kConv:
+      case Op::kConvSaved: {
+        ActDims* d = &cur;
+        if (step.op == Op::kConvSaved) {
+          if (!saved) {
+            throw std::invalid_argument("QuantizedModelRunner: shortcut conv " + step.layer +
+                                        " with no saved activation");
+          }
+          d = &*saved;
+        }
+        if (!d->spatial) {
+          throw std::invalid_argument("QuantizedModelRunner: conv step " + step.layer +
+                                      " on a flat activation");
+        }
+        if (layer->kind != PackagedLayerKind::kConv) {
+          throw std::invalid_argument("QuantizedModelRunner: " + step.layer +
+                                      " is not a conv package");
+        }
+        if (layer->conv_in_channels() != d->c) {
+          throw std::invalid_argument("QuantizedModelRunner: conv " + step.layer + " expects " +
+                                      std::to_string(layer->conv_in_channels()) +
+                                      " channels, activation has " + std::to_string(d->c));
+        }
+        const ConvGeom g{d->h, d->w, d->c, layer->kernel, layer->stride, layer->pad};
+        if (g.out_h() <= 0 || g.out_w() <= 0) {
+          throw std::invalid_argument("QuantizedModelRunner: conv " + step.layer +
+                                      " produces an empty output");
+        }
+        *d = ActDims{true, g.out_h(), g.out_w(), layer->weights.rows, -1};
+        if (step.op == Op::kConv) fresh_h = true;
+        break;
+      }
+      case Op::kSave:
+        saved = cur;
+        fresh_h = false;
+        break;
+      case Op::kAddSaved:
+        if (!saved || !(*saved == cur)) {
+          throw std::invalid_argument(
+              "QuantizedModelRunner: residual add with mismatched shapes");
+        }
+        if (!fresh_h) {
+          throw std::invalid_argument(
+              "QuantizedModelRunner: residual add would alias the saved activation");
+        }
+        break;
+      case Op::kGlobalPool:
+        if (!cur.spatial) {
+          throw std::invalid_argument("QuantizedModelRunner: pool step on a flat activation");
+        }
+        cur = ActDims{false, 0, 0, 0, cur.c};
+        fresh_h = true;
+        break;
+    }
+  }
+  if (spatial_) in_features_ = pkg.in_h * pkg.in_w * pkg.in_c;
+  if (in_features_ <= 0) {
+    throw std::invalid_argument("QuantizedModelRunner: program has no input layer");
+  }
+  out_features_ = cur.spatial ? cur.h * cur.w * cur.c : cur.features;
 }
 
 std::vector<ForwardStep> QuantizedModelRunner::mlp_program(const QuantizedModelPackage& pkg) {
@@ -212,17 +427,38 @@ std::vector<ForwardStep> QuantizedModelRunner::mlp_program(const QuantizedModelP
 }
 
 Tensor QuantizedModelRunner::forward(const Tensor& x, IntGemmStats* stats) const {
+  using Op = ForwardStep::Op;
   if (x.shape().rank() != 2 || x.shape()[1] != in_features_) {
     throw std::invalid_argument("QuantizedModelRunner: input must be [rows, " +
                                 std::to_string(in_features_) + "]");
   }
-  Tensor h = x;
+  const std::int64_t rows = x.shape()[0];
+  Tensor h = spatial_ ? x.reshape(Shape{rows, pkg_->in_h, pkg_->in_w, pkg_->in_c}) : x;
+  Tensor saved;
   for (std::size_t i = 0; i < steps_.size(); ++i) {
-    h = run_packaged_layer(*steps_[i], h, scale_product_bits_, stats);
-    if (program_[i].relu) {
-      for (auto& v : h.span()) v = v > 0.0f ? v : 0.0f;
+    switch (program_[i].op) {
+      case Op::kGemm:
+        h = run_packaged_layer(*steps_[i], h, scale_product_bits_, stats);
+        break;
+      case Op::kConv:
+        h = run_packaged_conv_layer(*steps_[i], h, scale_product_bits_, stats);
+        break;
+      case Op::kConvSaved:
+        saved = run_packaged_conv_layer(*steps_[i], saved, scale_product_bits_, stats);
+        break;
+      case Op::kSave:
+        saved = h;  // shallow: the next conv produces a fresh h
+        break;
+      case Op::kAddSaved:
+        add_inplace(h, saved);
+        break;
+      case Op::kGlobalPool:
+        h = global_avg_pool_nhwc(h);
+        break;
     }
+    if (program_[i].relu) relu_inplace(h);
   }
+  if (h.shape().rank() != 2) h = h.reshape(Shape{rows, out_features_});
   return h;
 }
 

@@ -18,22 +18,52 @@
 
 namespace vsq {
 
-// One exported GEMM layer.
+class Conv2d;
+
+// What the packaged weights parameterize: a plain GEMM (linear layer) or a
+// convolution whose GEMM reduction axis is the unrolled patch.
+enum class PackagedLayerKind { kGemm, kConv };
+
+// One exported weighted layer.
 struct QuantizedLayerPackage {
   std::string name;
+  PackagedLayerKind kind = PackagedLayerKind::kGemm;
   QuantizedMatrix weights;   // integer weights + scale metadata
   QuantSpec act_spec;        // how the PPU quantizes this layer's input
   float act_amax = 0.0f;     // static per-layer activation amax
   float act_gamma = 0.0f;    // two-level gamma for dynamic per-vector acts
   std::vector<float> bias;   // fp bias applied after de-scaling
+  // Conv geometry (kind == kConv): square kernel, stride, zero padding.
+  std::int64_t kernel = 0, stride = 0, pad = 0;
+  // Input channels of a conv layer (the weight cols are kernel^2 * in_c).
+  std::int64_t conv_in_channels() const {
+    return kernel > 0 ? weights.cols() / (kernel * kernel) : 0;
+  }
 };
 
-// One step of a packaged model's forward pass: run `layer`, then apply
-// ReLU when `relu` is set (the only activation MLP-style exported graphs
-// need; GEMM layers themselves are always packaged).
+// One step of a packaged model's forward pass. MLP-style graphs only use
+// kGemm chains; CNN graphs add convolution, the residual save/add pair
+// (one saved-activation slot, enough for ResNet-style chains) and global
+// average pooling. ReLU applies after the op when `relu` is set.
 struct ForwardStep {
-  std::string layer;
+  enum class Op {
+    kGemm = 0,        // h = layer(h)                 [rows, features]
+    kConv = 1,        // h = conv_layer(h)            [N, H, W, C] NHWC
+    kConvSaved = 2,   // saved = conv_layer(saved)    projection shortcut
+    kSave = 3,        // saved = h
+    kAddSaved = 4,    // h += saved                   residual join
+    kGlobalPool = 5,  // h = mean over H, W:          [N,H,W,C] -> [N, C]
+  };
+  std::string layer;  // layer name for kGemm/kConv/kConvSaved; a token otherwise
   bool relu = false;
+  Op op = Op::kGemm;
+
+  static ForwardStep gemm(std::string l, bool r) { return {std::move(l), r, Op::kGemm}; }
+  static ForwardStep conv(std::string l, bool r) { return {std::move(l), r, Op::kConv}; }
+  static ForwardStep conv_saved(std::string l) { return {std::move(l), false, Op::kConvSaved}; }
+  static ForwardStep save() { return {"save", false, Op::kSave}; }
+  static ForwardStep add_saved(bool r) { return {"add", r, Op::kAddSaved}; }
+  static ForwardStep global_pool() { return {"gap", false, Op::kGlobalPool}; }
 };
 
 struct QuantizedModelPackage {
@@ -41,6 +71,9 @@ struct QuantizedModelPackage {
   // Execution order for QuantizedModelRunner. Optional (older archives
   // have none): persisted through save()/load() when non-empty.
   std::vector<ForwardStep> program;
+  // Input image geometry, required (and persisted) when the program
+  // contains spatial ops; 0 for MLP-style packages.
+  std::int64_t in_h = 0, in_w = 0, in_c = 0;
 
   void save(const std::string& path) const;
   static QuantizedModelPackage load(const std::string& path);
@@ -50,21 +83,38 @@ struct QuantizedModelPackage {
 // finalized activation quantizer). `bias` may be empty.
 QuantizedLayerPackage export_gemm(const QuantizableGemm& gemm, const std::vector<float>& bias);
 
+// Export a calibrated Conv2d: export_gemm plus the conv geometry and the
+// layer's fp bias (BatchNorm folding moves the BN affine there).
+QuantizedLayerPackage export_conv(const Conv2d& conv);
+
 // Run one packaged layer on an activation matrix through the integer
-// datapath. scale_product_bits as in int_gemm.
+// datapath. scale_product_bits as in int_gemm. For conv packages x2d is
+// the *materialized* patch matrix — the reference path; the runner serves
+// convs through run_packaged_conv_layer instead.
 Tensor run_packaged_layer(const QuantizedLayerPackage& layer, const Tensor& x2d,
                           int scale_product_bits = -1, IntGemmStats* stats = nullptr);
 
+// Run one packaged conv layer on an NHWC activation tensor through the
+// tiled integer conv datapath (quant/int_conv.h). Returns [N, OH, OW, K].
+Tensor run_packaged_conv_layer(const QuantizedLayerPackage& layer, const Tensor& x4d,
+                               int scale_product_bits = -1, IntGemmStats* stats = nullptr);
+
 // Standalone integer-datapath model executor: runs a package's forward
-// program (layer chain + ReLUs) entirely through int_gemm, no fp32 model
-// object required. This is what the serving engine (src/serve/) executes
-// per batch. Output rows depend only on their own input row, so results
+// program (layer chain, ReLUs, conv/residual/pool ops) entirely through
+// the integer datapath (int_gemm / int_conv), no fp32 model object
+// required. This is what the serving engine (src/serve/) executes per
+// batch. Output rows depend only on their own input row/image, so results
 // are bit-identical for any batch composition and any thread count.
+//
+// CNN packages execute on flattened inputs: forward() takes [rows, H*W*C]
+// rows (what the dynamic batcher assembles), reshapes to NHWC internally,
+// and flattens the final activation back to 2-D.
 class QuantizedModelRunner {
  public:
   // Uses pkg.program when non-empty, else mlp_program(pkg). The package
   // must outlive the runner. Throws std::invalid_argument when a program
-  // step names a missing layer or consecutive layers' shapes don't chain.
+  // step names a missing layer, consecutive layers' shapes don't chain, or
+  // a spatial program lacks the package input geometry.
   explicit QuantizedModelRunner(const QuantizedModelPackage& pkg, int scale_product_bits = -1);
 
   // Default program when a package carries none: layers in lexicographic
@@ -77,6 +127,7 @@ class QuantizedModelRunner {
 
   std::int64_t in_features() const { return in_features_; }
   std::int64_t out_features() const { return out_features_; }
+  bool spatial() const { return spatial_; }
   const std::vector<ForwardStep>& program() const { return program_; }
 
  private:
@@ -84,6 +135,7 @@ class QuantizedModelRunner {
   std::vector<ForwardStep> program_;
   std::vector<const QuantizedLayerPackage*> steps_;  // resolved, in order
   int scale_product_bits_;
+  bool spatial_ = false;  // program starts on an NHWC image
   std::int64_t in_features_ = 0, out_features_ = 0;
 };
 

@@ -1,0 +1,176 @@
+#include "quant/int_conv.h"
+
+#include <algorithm>
+#include <mutex>
+#include <stdexcept>
+#include <type_traits>
+
+#include "quant/int_kernel.h"
+#include "tensor/ops.h"
+#include "util/scratch.h"
+#include "util/thread_pool.h"
+
+namespace vsq {
+namespace {
+
+void check_conv_operands(const Tensor& x, const ConvGeom& g, const QuantizedMatrix& wgt,
+                         const VectorLayout& act_layout) {
+  if (x.shape().rank() != 4 || x.shape()[1] != g.in_h || x.shape()[2] != g.in_w ||
+      x.shape()[3] != g.in_c) {
+    throw std::invalid_argument("int_conv: input shape does not match geometry");
+  }
+  if (wgt.cols() != g.patch_len()) {
+    throw std::invalid_argument("int_conv: weight reduction dim != patch length");
+  }
+  if (act_layout.vector_size != wgt.layout.vector_size ||
+      act_layout.block_len() != wgt.layout.block_len()) {
+    throw std::invalid_argument("int_conv: operand vector layouts differ");
+  }
+  // Vectors must not straddle kernel positions (Conv2d::set_quant's
+  // channel_block = in_c rule): each C-length channel block of the
+  // unrolled patch row carries its own vectors.
+  if (act_layout.block_len() != g.in_c) {
+    throw std::invalid_argument("int_conv: layout channel block must equal in_c");
+  }
+}
+
+void add_bias_rows(float* dst, std::int64_t rows, std::int64_t k_out,
+                   const std::vector<float>& bias) {
+  if (bias.empty()) return;
+  if (static_cast<std::int64_t>(bias.size()) != k_out) {
+    throw std::invalid_argument("int_conv: bias size mismatch");
+  }
+  add_row_bias(dst, rows, k_out, bias.data());
+}
+
+}  // namespace
+
+Tensor int_conv_reference(const Tensor& x, const ConvGeom& g, const QuantizedMatrix& wgt,
+                          const QuantSpec& act_spec, float act_amax, float act_gamma,
+                          const std::vector<float>& bias, int scale_product_bits,
+                          IntGemmStats* stats) {
+  const VectorLayout act_layout = act_spec.layout(g.patch_len());
+  check_conv_operands(x, g, wgt, act_layout);
+  const std::int64_t n = x.shape()[0], oh = g.out_h(), ow = g.out_w();
+  const Tensor cols = im2col(x, g);
+  const QuantizedMatrix acts = quantize_activations_int(cols, act_spec, act_amax, act_gamma);
+  Tensor y = int_gemm(acts, wgt, scale_product_bits, stats);
+  add_bias_rows(y.data(), n * oh * ow, wgt.rows, bias);
+  return y.reshape(Shape{n, oh, ow, wgt.rows});
+}
+
+Tensor int_conv(const Tensor& x, const ConvGeom& g, const QuantizedMatrix& wgt,
+                const QuantSpec& act_spec, float act_amax, float act_gamma,
+                const std::vector<float>& bias, int scale_product_bits, IntGemmStats* stats) {
+  if (!act_spec.enabled) throw std::invalid_argument("int_conv: activation spec disabled");
+  const std::int64_t plen = g.patch_len();
+  const VectorLayout act_layout = act_spec.layout(plen);
+  check_conv_operands(x, g, wgt, act_layout);
+  if (act_spec.fmt.bits > 10) {
+    throw std::invalid_argument("int_conv: bits > 10 does not fit int16");
+  }
+
+  if (!bias.empty() && static_cast<std::int64_t>(bias.size()) != wgt.rows) {
+    throw std::invalid_argument("int_conv: bias size mismatch");
+  }
+
+  const bool per_vector = act_spec.granularity == Granularity::kPerVector;
+  if (per_vector && act_spec.scale_dtype != ScaleDtype::kTwoLevelInt) {
+    throw std::invalid_argument("int_conv: hardware path requires two-level integer scales");
+  }
+  // Dynamic per-tensor activation amax is a whole-matrix statistic — not
+  // computable from a streamed tile. Exported packages never use it
+  // (coarse activations calibrate statically); route the corner case
+  // through the materialized reference.
+  if (!per_vector && act_spec.dynamic) {
+    return int_conv_reference(x, g, wgt, act_spec, act_amax, act_gamma, bias,
+                              scale_product_bits, stats);
+  }
+
+  // int32-exactness checked before packing: the int64 reference fallback
+  // (which packs inside int_gemm) must not pay for a discarded pack here.
+  if (!detail::int32_dot_exact(act_spec.fmt, wgt.fmt, act_layout)) {
+    return int_conv_reference(x, g, wgt, act_spec, act_amax, act_gamma, bias,
+                              scale_product_bits, stats);
+  }
+
+  const std::int64_t n = x.shape()[0], oh = g.out_h(), ow = g.out_w();
+  const std::int64_t rows = n * oh * ow, k_out = wgt.rows;
+  Tensor out(Shape{n, oh, ow, k_out});
+  if (rows == 0 || k_out == 0) return out;
+
+  ScratchArena& arena = ScratchArena::thread_local_arena();
+  ScratchRegion region(arena);
+  const detail::IntWeightPanels panels(wgt, act_layout, arena);
+
+  int full_bits = 0;
+  if (per_vector) full_bits += act_spec.scale_fmt.bits;
+  if (wgt.two_level) full_bits += wgt.two_level->scale_fmt.bits;
+
+  // Coarse activations: one static scale is both the quantizer and the
+  // outer de-scaling factor, exactly as quantize_activations_int builds
+  // them. Per-vector: the row's outer factor is the calibrated gamma.
+  const float coarse_scale = per_vector ? 0.0f : scale_from_amax(act_amax, act_spec.fmt);
+  const float aout = per_vector ? act_gamma : coarse_scale;
+  const std::int64_t vpr = act_layout.vectors_per_row();
+  float* dst = out.data();
+  const float* src = x.data();
+
+  // Per-chunk stat accumulation merged under a (cold) mutex.
+  std::mutex stats_mu;
+
+  const std::size_t grain = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, 16384 / std::max<std::int64_t>(1, k_out * plen)));
+
+  const auto row_loop = [&]<bool kStats>(std::size_t rb, std::size_t re,
+                                         std::bool_constant<kStats>) {
+    ScratchArena& ta = ScratchArena::thread_local_arena();
+    ScratchRegion tr(ta);
+    // Per-thread tile workspace: one fp patch row, its quantized image and
+    // scales, and the panel dot-product buffer — a few KiB total,
+    // regardless of how large the virtual cols matrix would be.
+    auto* frow = ta.alloc_n<float>(static_cast<std::size_t>(plen));
+    auto* qrow = ta.alloc_n<std::int16_t>(static_cast<std::size_t>(plen));
+    auto* sqrow = ta.alloc_n<std::uint16_t>(static_cast<std::size_t>(vpr));
+    auto* dp = ta.alloc_n<std::int32_t>(static_cast<std::size_t>(vpr * detail::kIntPanelCols));
+    detail::IntRowStats t;
+    for (std::size_t r = rb; r < re; ++r) {
+      const auto ri = static_cast<std::int64_t>(r);
+      im2col_rows(src, g, ri, ri + 1, frow, plen);
+      if (per_vector) {
+        quantize_row_two_level(frow, act_layout, act_spec.fmt, act_spec.scale_fmt, act_gamma,
+                               qrow, sqrow);
+      } else {
+        for (std::int64_t c = 0; c < plen; ++c) {
+          qrow[c] = static_cast<std::int16_t>(quantize_value(frow[c], coarse_scale,
+                                                             act_spec.fmt));
+        }
+      }
+      float* drow = dst + ri * k_out;
+      panels.run_row<kStats>(qrow, per_vector ? sqrow : nullptr, aout, drow, full_bits,
+                             scale_product_bits, dp, t);
+      if (!bias.empty()) {
+        for (std::int64_t k = 0; k < k_out; ++k) drow[k] += bias[static_cast<std::size_t>(k)];
+      }
+    }
+    if constexpr (kStats) {
+      std::lock_guard lock(stats_mu);
+      t.merge_into(*stats);
+    }
+  };
+
+  if (stats) {
+    parallel_for(
+        0, static_cast<std::size_t>(rows),
+        [&](std::size_t rb, std::size_t re) { row_loop(rb, re, std::bool_constant<true>{}); },
+        grain);
+  } else {
+    parallel_for(
+        0, static_cast<std::size_t>(rows),
+        [&](std::size_t rb, std::size_t re) { row_loop(rb, re, std::bool_constant<false>{}); },
+        grain);
+  }
+  return out;
+}
+
+}  // namespace vsq

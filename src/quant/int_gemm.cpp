@@ -3,19 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
-#include <cstring>
+#include <mutex>
 #include <stdexcept>
 #include <type_traits>
 
+#include "quant/int_kernel.h"
 #include "util/scratch.h"
 #include "util/thread_pool.h"
-
-#if defined(__x86_64__) || defined(__i386__)
-#define VSQ_INT_GEMM_X86 1
-#include <immintrin.h>
-#else
-#define VSQ_INT_GEMM_X86 0
-#endif
 
 namespace vsq {
 
@@ -27,119 +21,6 @@ std::uint32_t round_scale_product(std::uint32_t p, int full_bits, int bits) {
 }
 
 namespace {
-
-// Weight rows per packed panel: the microkernel produces PNR dot products
-// per vector at once from a j-contiguous panel, so one pass over the
-// activation row feeds PNR output columns.
-constexpr int PNR = 8;
-
-struct VecRange {
-  std::int32_t c0;
-  std::int32_t len;
-};
-
-// dp[v*PNR + j] = sum_c arow[c0_v + c] * wp[v-th block][c*PNR + j].
-// Accumulation is int32: exact (no wrap) whenever
-//   max|a| * max|w| * V <= INT32_MAX,
-// which holds for every paper configuration (N <= 10 bits, V <= 64); the
-// caller falls back to the int64 reference loop otherwise. The packed
-// panel wp concatenates the vectors of the row in column order, each as
-// len x PNR with output column j contiguous.
-inline void int_panel_body(const std::int16_t* arow, const std::int16_t* wp, const VecRange* vr,
-                           std::int64_t nvec, std::int32_t* dp) {
-  for (std::int64_t v = 0; v < nvec; ++v) {
-    const std::int16_t* ap = arow + vr[v].c0;
-    const std::int32_t len = vr[v].len;
-    std::int32_t acc[PNR] = {};
-    for (std::int32_t c = 0; c < len; ++c) {
-      const std::int32_t av = ap[c];
-      const std::int16_t* wc = wp + static_cast<std::int64_t>(c) * PNR;
-      for (int j = 0; j < PNR; ++j) acc[j] += av * wc[j];
-    }
-    wp += static_cast<std::int64_t>(len) * PNR;
-    std::int32_t* d = dp + v * PNR;
-    for (int j = 0; j < PNR; ++j) d[j] = acc[j];
-  }
-}
-
-void int_panel_generic(const std::int16_t* arow, const std::int16_t* wp, const VecRange* vr,
-                       std::int64_t nvec, std::int32_t* dp) {
-  int_panel_body(arow, wp, vr, nvec, dp);
-}
-
-#if VSQ_INT_GEMM_X86
-// AVX2: 8 int32 lanes = one panel-width of dot products per instruction.
-__attribute__((target("avx2"))) void int_panel_avx2(const std::int16_t* arow,
-                                                    const std::int16_t* wp, const VecRange* vr,
-                                                    std::int64_t nvec, std::int32_t* dp) {
-  for (std::int64_t v = 0; v < nvec; ++v) {
-    const std::int16_t* ap = arow + vr[v].c0;
-    const std::int32_t len = vr[v].len;
-    __m256i acc = _mm256_setzero_si256();
-    for (std::int32_t c = 0; c < len; ++c) {
-      const __m256i av = _mm256_set1_epi32(ap[c]);
-      const __m256i wv = _mm256_cvtepi16_epi32(
-          _mm_load_si128(reinterpret_cast<const __m128i*>(wp + static_cast<std::int64_t>(c) * PNR)));
-      acc = _mm256_add_epi32(acc, _mm256_mullo_epi32(av, wv));
-    }
-    wp += static_cast<std::int64_t>(len) * PNR;
-    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dp + v * PNR), acc);
-  }
-}
-
-// AVX2 madd variant for even vector lengths: the panel interleaves column
-// PAIRS ([pair][j][2] int16), so one _mm256_madd_epi16 performs 16
-// multiplies and the pairwise adds in a single instruction — 2x the MAC
-// rate of the mullo path. Bit-exact: products of (<=10-bit)x(<=10-bit)
-// values and their pairwise sums are exact in int32 (the caller already
-// guarantees the whole V-length dot product fits int32), and integer
-// addition reassociates freely.
-__attribute__((target("avx2"))) void int_panel_avx2_madd(const std::int16_t* arow,
-                                                         const std::int16_t* wp,
-                                                         const VecRange* vr, std::int64_t nvec,
-                                                         std::int32_t* dp) {
-  for (std::int64_t v = 0; v < nvec; ++v) {
-    const std::int16_t* ap = arow + vr[v].c0;
-    const std::int32_t pairs = vr[v].len / 2;
-    __m256i acc = _mm256_setzero_si256();
-    for (std::int32_t p = 0; p < pairs; ++p) {
-      std::int32_t apair;
-      std::memcpy(&apair, ap + 2 * p, sizeof(apair));  // (a[2p], a[2p+1])
-      const __m256i av = _mm256_set1_epi32(apair);
-      const __m256i wv = _mm256_load_si256(
-          reinterpret_cast<const __m256i*>(wp + static_cast<std::int64_t>(p) * 2 * PNR));
-      acc = _mm256_add_epi32(acc, _mm256_madd_epi16(wv, av));
-    }
-    wp += static_cast<std::int64_t>(pairs) * 2 * PNR;
-    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dp + v * PNR), acc);
-  }
-}
-#endif  // VSQ_INT_GEMM_X86
-
-using IntPanelFn = void (*)(const std::int16_t*, const std::int16_t*, const VecRange*,
-                            std::int64_t, std::int32_t*);
-
-IntPanelFn pick_int_panel() {
-#if VSQ_INT_GEMM_X86
-  __builtin_cpu_init();
-  if (__builtin_cpu_supports("avx2")) return int_panel_avx2;
-#endif
-  return int_panel_generic;
-}
-
-const IntPanelFn g_int_panel = pick_int_panel();
-
-// madd variant usable only when every vector length is even (the pair
-// interleave would otherwise read one activation past the row).
-IntPanelFn pick_int_panel_madd() {
-#if VSQ_INT_GEMM_X86
-  __builtin_cpu_init();
-  if (__builtin_cpu_supports("avx2")) return int_panel_avx2_madd;
-#endif
-  return nullptr;
-}
-
-const IntPanelFn g_int_panel_madd = pick_int_panel_madd();
 
 // Reference loop kept for operand widths whose per-vector dot product
 // could exceed int32 (never hit by paper configs, but bit-exactness must
@@ -171,88 +52,19 @@ Tensor int_gemm(const QuantizedMatrix& act, const QuantizedMatrix& wgt, int scal
   if (rows == 0 || k_out == 0) return out;
 
   // int32 per-vector accumulation is exact iff the widest possible dot
-  // product fits (2N + log2 V bits); otherwise take the int64 path.
-  std::int64_t max_len = 0;
-  for (std::int64_t v = 0; v < vpr; ++v) {
-    const auto [c0, c1] = layout.col_range(v);
-    max_len = std::max(max_len, c1 - c0);
-  }
-  const std::int64_t amax_q = std::max(std::abs(act.fmt.qmin()), act.fmt.qmax());
-  const std::int64_t wmax_q = std::max(std::abs(wgt.fmt.qmin()), wgt.fmt.qmax());
-  if (amax_q * wmax_q * std::max<std::int64_t>(max_len, 1) > INT32_MAX) {
-    IntGemmStats wide_stats;
-    int_gemm_wide(act, wgt, scale_product_bits, full_bits, dst, rows, k_out,
-                  stats ? &wide_stats : nullptr);
-    if (stats) {
-      stats->vector_ops += wide_stats.vector_ops;
-      stats->zero_scale_products += wide_stats.zero_scale_products;
-      stats->zero_dot_products += wide_stats.zero_dot_products;
-      stats->max_abs_psum = std::max(stats->max_abs_psum, wide_stats.max_abs_psum);
-    }
+  // product fits (2N + log2 V bits); otherwise take the int64 path
+  // (checked before packing so the fallback never pays for a pack).
+  if (!detail::int32_dot_exact(act.fmt, wgt.fmt, layout)) {
+    int_gemm_wide(act, wgt, scale_product_bits, full_bits, dst, rows, k_out, stats);
     return out;
   }
 
   ScratchArena& arena = ScratchArena::thread_local_arena();
   ScratchRegion region(arena);
+  const detail::IntWeightPanels panels(wgt, layout, arena);
 
-  // Vector column ranges, precomputed once per call.
-  auto* vr = arena.alloc_n<VecRange>(static_cast<std::size_t>(vpr));
-  for (std::int64_t v = 0; v < vpr; ++v) {
-    const auto [c0, c1] = layout.col_range(v);
-    vr[v] = VecRange{static_cast<std::int32_t>(c0), static_cast<std::int32_t>(c1 - c0)};
-  }
-
-  // Pack the weight matrix into PNR-row panels once; every activation row
-  // then streams the panel with unit stride instead of re-striding wgt.q
-  // per output element. Two layouts, chosen with the kernel:
-  //  - plain: [c][j] (j = output column within the panel)
-  //  - madd (even vector lengths only): [pair][j][2], column pairs
-  //    interleaved so _mm256_madd_epi16 consumes them directly
-  // Scales are [v][j]; everything is zero-padded past k_out so the
-  // kernels never branch on panel width.
-  bool all_even = true;
-  for (std::int64_t v = 0; v < vpr; ++v) all_even = all_even && vr[v].len % 2 == 0;
-  const bool use_madd = all_even && g_int_panel_madd != nullptr;
-  const IntPanelFn panel_fn = use_madd ? g_int_panel_madd : g_int_panel;
-
-  const std::int64_t n_panels = (k_out + PNR - 1) / PNR;
-  auto* pw = arena.alloc_n<std::int16_t>(static_cast<std::size_t>(n_panels * cols * PNR));
-  auto* psq = arena.alloc_n<std::uint32_t>(static_cast<std::size_t>(n_panels * vpr * PNR));
-  for (std::int64_t kp = 0; kp < n_panels; ++kp) {
-    const std::int64_t k0 = kp * PNR;
-    const int nr = static_cast<int>(std::min<std::int64_t>(PNR, k_out - k0));
-    std::int16_t* vd = pw + kp * cols * PNR;
-    if (use_madd) {
-      for (std::int64_t v = 0; v < vpr; ++v) {
-        const std::int64_t c0 = vr[v].c0, pairs = vr[v].len / 2;
-        for (std::int64_t p = 0; p < pairs; ++p) {
-          for (int j = 0; j < PNR; ++j) {
-            for (int h = 0; h < 2; ++h) {
-              vd[p * 2 * PNR + j * 2 + h] =
-                  j < nr ? wgt.q[static_cast<std::size_t>((k0 + j) * cols + c0 + 2 * p + h)] : 0;
-            }
-          }
-        }
-        vd += pairs * 2 * PNR;
-      }
-    } else {
-      for (std::int64_t c = 0; c < cols; ++c) {
-        for (int j = 0; j < PNR; ++j) {
-          vd[c * PNR + j] = j < nr ? wgt.q[static_cast<std::size_t>((k0 + j) * cols + c)] : 0;
-        }
-      }
-    }
-    std::uint32_t* sd = psq + kp * vpr * PNR;
-    for (std::int64_t v = 0; v < vpr; ++v) {
-      for (int j = 0; j < PNR; ++j) {
-        sd[v * PNR + j] = j < nr ? wgt.int_scale(k0 + j, v) : 0;
-      }
-    }
-  }
-
-  // Per-thread stat accumulation to avoid contention.
-  std::atomic<std::uint64_t> vec_ops{0}, zero_sp{0}, zero_dp{0};
-  std::atomic<std::int64_t> max_psum{0};
+  // Per-chunk stat accumulation merged under a (cold) mutex.
+  std::mutex stats_mu;
 
   // Grain: keep at least ~16k multiply-adds per chunk so small GEMMs do
   // not pay per-chunk dispatch.
@@ -268,54 +80,19 @@ Tensor int_gemm(const QuantizedMatrix& act, const QuantizedMatrix& wgt, int scal
                                          std::bool_constant<kStats>) {
     ScratchArena& ta = ScratchArena::thread_local_arena();
     ScratchRegion tr(ta);
-    auto* dp = ta.alloc_n<std::int32_t>(static_cast<std::size_t>(vpr * PNR));
-    std::uint64_t t_vec = 0, t_zsp = 0, t_zdp = 0;
-    std::int64_t t_max = 0;
+    auto* dp = ta.alloc_n<std::int32_t>(static_cast<std::size_t>(vpr * detail::kIntPanelCols));
+    detail::IntRowStats t;
     for (std::size_t r = rb; r < re; ++r) {
       const auto ri = static_cast<std::int64_t>(r);
       const std::int16_t* arow = act.q.data() + ri * cols;
       const std::uint16_t* asq =
           act.two_level ? act.two_level->sq.data() + ri * vpr : nullptr;
-      const float aout = act.outer_scale(ri);
-      float* drow = dst + ri * k_out;
-      for (std::int64_t kp = 0; kp < n_panels; ++kp) {
-        const std::int64_t k0 = kp * PNR;
-        const int nr = static_cast<int>(std::min<std::int64_t>(PNR, k_out - k0));
-        panel_fn(arow, pw + kp * cols * PNR, vr, vpr, dp);
-        const std::uint32_t* wsq = psq + kp * vpr * PNR;
-        std::int64_t acc[PNR] = {};
-        for (std::int64_t v = 0; v < vpr; ++v) {
-          const std::uint32_t as_v = asq ? asq[v] : 1;
-          const std::int32_t* dv = dp + v * PNR;
-          for (int j = 0; j < nr; ++j) {
-            const std::uint32_t sp =
-                round_scale_product(as_v * wsq[v * PNR + j], full_bits, scale_product_bits);
-            acc[j] += static_cast<std::int64_t>(dv[j]) * sp;
-            if constexpr (kStats) {
-              ++t_vec;
-              if (sp == 0) {
-                ++t_zsp;
-              } else if (dv[j] == 0) {
-                ++t_zdp;
-              }
-            }
-          }
-        }
-        for (int j = 0; j < nr; ++j) {
-          if constexpr (kStats) t_max = std::max(t_max, std::abs(acc[j]));
-          drow[k0 + j] =
-              static_cast<float>(static_cast<double>(acc[j]) *
-                                 static_cast<double>(wgt.outer_scale(k0 + j)) * aout);
-        }
-      }
+      panels.run_row<kStats>(arow, asq, act.outer_scale(ri), dst + ri * k_out, full_bits,
+                             scale_product_bits, dp, t);
     }
     if constexpr (kStats) {
-      vec_ops.fetch_add(t_vec, std::memory_order_relaxed);
-      zero_sp.fetch_add(t_zsp, std::memory_order_relaxed);
-      zero_dp.fetch_add(t_zdp, std::memory_order_relaxed);
-      std::int64_t prev = max_psum.load(std::memory_order_relaxed);
-      while (prev < t_max && !max_psum.compare_exchange_weak(prev, t_max)) {
-      }
+      std::lock_guard lock(stats_mu);
+      t.merge_into(*stats);
     }
   };
 
@@ -324,10 +101,6 @@ Tensor int_gemm(const QuantizedMatrix& act, const QuantizedMatrix& wgt, int scal
         0, static_cast<std::size_t>(rows),
         [&](std::size_t rb, std::size_t re) { row_loop(rb, re, std::bool_constant<true>{}); },
         grain);
-    stats->vector_ops += vec_ops.load();
-    stats->zero_scale_products += zero_sp.load();
-    stats->zero_dot_products += zero_dp.load();
-    stats->max_abs_psum = std::max(stats->max_abs_psum, max_psum.load());
   } else {
     parallel_for(
         0, static_cast<std::size_t>(rows),

@@ -1,0 +1,153 @@
+// Internal building blocks of the bit-accurate integer datapath, shared by
+// int_gemm (whole-matrix operands) and int_conv (patch rows streamed from
+// the tiled im2col generator): the packed weight panels, the
+// runtime-dispatched panel microkernels, and the per-row
+// accumulate-and-scale loop. Everything here computes EXACTLY the
+// arithmetic of int_gemm's reference loop — callers differ only in where
+// the activation rows come from.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "quant/int_gemm.h"
+#include "quant/quantized_tensor.h"
+#include "util/scratch.h"
+
+namespace vsq::detail {
+
+// Weight rows per packed panel: the panel microkernel produces
+// kIntPanelCols dot products per vector at once from a j-contiguous panel,
+// so one pass over the activation row feeds kIntPanelCols output columns.
+inline constexpr int kIntPanelCols = 8;
+
+struct VecRange {
+  std::int32_t c0;
+  std::int32_t len;
+};
+
+// dp[v*kIntPanelCols + j] = sum_c arow[c0_v + c] * panel[v][c][j].
+using IntPanelFn = void (*)(const std::int16_t* arow, const std::int16_t* wp,
+                            const VecRange* vr, std::int64_t nvec, std::int32_t* dp);
+
+// acc[j] = sum_v round(asq[v] * wsq[v*kIntPanelCols + j]) * dp[v*kIntPanelCols + j]
+// over all vpr vectors of one panel (asq == nullptr -> scale 1, the coarse
+// bypass). This scale-multiply-accumulate is the scalar hot loop of the
+// datapath — one int64 op per (vector, output) pair — so it has an AVX2
+// variant doing 8 outputs per step. Integer addition reassociates freely,
+// so both orders produce identical accumulators.
+using PanelAccFn = void (*)(const std::int32_t* dp, const std::uint32_t* wsq,
+                            const std::uint16_t* asq, std::int64_t vpr, int full_bits,
+                            int scale_product_bits, std::int64_t* acc);
+
+void panel_acc_scalar(const std::int32_t* dp, const std::uint32_t* wsq,
+                      const std::uint16_t* asq, std::int64_t vpr, int full_bits,
+                      int scale_product_bits, std::int64_t* acc);
+
+// nullptr when the CPU lacks AVX2. Valid for scale products below 2^31
+// (full_bits <= 30); run_row falls back to the scalar loop otherwise.
+extern const PanelAccFn g_panel_acc_avx2;
+
+// True when every per-vector dot product of act_fmt x wgt_fmt operands
+// over `layout`'s vectors is exact in int32 (2N + log2 V bits fit). Cheap
+// — callers check it BEFORE packing panels so the int64 fallback path
+// never pays for a discarded pack.
+inline bool int32_dot_exact(const QuantFormat& act_fmt, const QuantFormat& wgt_fmt,
+                            const VectorLayout& layout) {
+  std::int64_t max_len = 0;
+  const std::int64_t vpr = layout.vectors_per_row();
+  for (std::int64_t v = 0; v < vpr; ++v) {
+    const auto [c0, c1] = layout.col_range(v);
+    max_len = std::max(max_len, c1 - c0);
+  }
+  const std::int64_t amax_q = std::max(std::abs(act_fmt.qmin()), act_fmt.qmax());
+  const std::int64_t wmax_q = std::max(std::abs(wgt_fmt.qmin()), wgt_fmt.qmax());
+  return amax_q * wmax_q * std::max<std::int64_t>(max_len, 1) <= INT32_MAX;
+}
+
+// Datapath gating counters accumulated per chunk and merged into
+// IntGemmStats by the caller (keeps the hot loop free of atomics).
+struct IntRowStats {
+  std::uint64_t vec_ops = 0, zero_sp = 0, zero_dp = 0;
+  std::int64_t max_psum = 0;
+
+  void merge_into(IntGemmStats& s) const {
+    s.vector_ops += vec_ops;
+    s.zero_scale_products += zero_sp;
+    s.zero_dot_products += zero_dp;
+    s.max_abs_psum = std::max(s.max_abs_psum, max_psum);
+  }
+};
+
+// The integer weight operand packed for the row loop: kIntPanelCols-column
+// int16 element panels (plain [c][j] layout, or the madd pair-interleaved
+// [pair][j][2] layout when every vector length is even and AVX2 is
+// available) plus [v][j] per-vector scale panels, both zero-padded past
+// k_out. Buffers come from the caller's ScratchArena and stay valid until
+// its region rewinds; pack once, stream many rows.
+class IntWeightPanels {
+ public:
+  IntWeightPanels(const QuantizedMatrix& wgt, const VectorLayout& layout, ScratchArena& arena);
+
+  std::int64_t vpr() const { return vpr_; }
+  std::int64_t k_out() const { return k_out_; }
+
+  // One activation row -> one output row of k_out floats. asq: the row's
+  // per-vector integer scales (nullptr = coarse bypass, scale 1). aout:
+  // the row's outer fp factor. dp: caller scratch of vpr*kIntPanelCols
+  // int32, reused across rows.
+  template <bool kStats>
+  void run_row(const std::int16_t* arow, const std::uint16_t* asq, float aout, float* drow,
+               int full_bits, int scale_product_bits, std::int32_t* dp, IntRowStats& st) const {
+    constexpr int PNR = kIntPanelCols;
+    // Stats off (the serving hot path): SIMD scale-accumulate when
+    // available. Stats on: the scalar loop, which counts per-product
+    // gating. Accumulators are bit-identical either way (exact int64
+    // arithmetic in both, and integer addition reassociates).
+    const PanelAccFn acc_fn = (!kStats && g_panel_acc_avx2 != nullptr && full_bits <= 30)
+                                  ? g_panel_acc_avx2
+                                  : panel_acc_scalar;
+    for (std::int64_t kp = 0; kp < n_panels_; ++kp) {
+      const std::int64_t k0 = kp * PNR;
+      const int nr = static_cast<int>(std::min<std::int64_t>(PNR, k_out_ - k0));
+      panel_fn_(arow, pw_ + kp * cols_ * PNR, vr_, vpr_, dp);
+      const std::uint32_t* wsq = psq_ + kp * vpr_ * PNR;
+      std::int64_t acc[PNR] = {};
+      if constexpr (kStats) {
+        for (std::int64_t v = 0; v < vpr_; ++v) {
+          const std::uint32_t as_v = asq ? asq[v] : 1;
+          const std::int32_t* dv = dp + v * PNR;
+          for (int j = 0; j < nr; ++j) {
+            const std::uint32_t sp =
+                round_scale_product(as_v * wsq[v * PNR + j], full_bits, scale_product_bits);
+            acc[j] += static_cast<std::int64_t>(dv[j]) * sp;
+            ++st.vec_ops;
+            if (sp == 0) {
+              ++st.zero_sp;
+            } else if (dv[j] == 0) {
+              ++st.zero_dp;
+            }
+          }
+        }
+      } else {
+        acc_fn(dp, wsq, asq, vpr_, full_bits, scale_product_bits, acc);
+      }
+      for (int j = 0; j < nr; ++j) {
+        if constexpr (kStats) st.max_psum = std::max(st.max_psum, std::abs(acc[j]));
+        drow[k0 + j] =
+            static_cast<float>(static_cast<double>(acc[j]) *
+                               static_cast<double>(wgt_->outer_scale(k0 + j)) * aout);
+      }
+    }
+  }
+
+ private:
+  const QuantizedMatrix* wgt_;
+  const VecRange* vr_ = nullptr;
+  const std::int16_t* pw_ = nullptr;
+  const std::uint32_t* psq_ = nullptr;
+  std::int64_t n_panels_ = 0, cols_ = 0, k_out_ = 0, vpr_ = 0;
+  IntPanelFn panel_fn_ = nullptr;
+};
+
+}  // namespace vsq::detail

@@ -1,0 +1,127 @@
+#include "tensor/conv_engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "tensor/gemm_kernel.h"
+
+namespace vsq {
+namespace {
+
+// Packs im2col patch tiles straight into the MR-row panel layout the
+// microkernel streams, reading from the NHWC input. Per packed row the
+// reduction range [p0, p0+kc) is walked in channel runs: each (kh, kw)
+// kernel position contributes up to C contiguous input floats (or zeros for
+// padding), written with stride MR into the panel.
+class Im2colAPacker final : public GemmAPacker {
+ public:
+  Im2colAPacker(const float* src, const ConvGeom& g)
+      : src_(src),
+        g_(g),
+        oh_(g.out_h()),
+        ow_(g.out_w()),
+        hw_stride_(g.in_w * g.in_c) {}
+
+  void pack(std::int64_t i0, std::int64_t p0, std::int64_t mc, std::int64_t kc,
+            float* dst) const override {
+    constexpr int MR = kGemmMR;
+    for (std::int64_t ir = 0; ir < mc; ir += MR) {
+      const int mr = static_cast<int>(std::min<std::int64_t>(MR, mc - ir));
+      float* d = dst + (ir / MR) * kc * MR;
+      if (mr < MR) std::fill(d, d + kc * MR, 0.0f);
+      for (int i = 0; i < mr; ++i) pack_row(i0 + ir + i, p0, kc, d + i);
+    }
+  }
+
+ private:
+  // One virtual cols row into a panel column: d[(p - p0) * MR]. The
+  // (kh, kw, c) decomposition of the reduction index advances
+  // incrementally — the divisions run once per row, not once per channel
+  // run, which matters for small C (the stem's C=3 runs).
+  void pack_row(std::int64_t r, std::int64_t p0, std::int64_t kc, float* d) const {
+    constexpr int MR = kGemmMR;
+    const std::int64_t img = r / (oh_ * ow_);
+    const std::int64_t oy = (r / ow_) % oh_;
+    const std::int64_t ox = r % ow_;
+    const float* img_base = src_ + img * g_.in_h * hw_stride_;
+    const std::int64_t cell0 = p0 / g_.in_c;
+    std::int64_t c = p0 - cell0 * g_.in_c;
+    std::int64_t kh = cell0 / g_.kernel, kw = cell0 % g_.kernel;
+    const std::int64_t ix0 = ox * g_.stride - g_.pad;
+    std::int64_t iy = oy * g_.stride - g_.pad + kh;
+    std::int64_t ix = ix0 + kw;
+    std::int64_t p = p0;
+    const std::int64_t p_end = p0 + kc;
+    while (p < p_end) {
+      const std::int64_t run = std::min(p_end - p, g_.in_c - c);
+      float* dp = d + (p - p0) * MR;
+      if (iy < 0 || iy >= g_.in_h || ix < 0 || ix >= g_.in_w) {
+        for (std::int64_t j = 0; j < run; ++j) dp[j * MR] = 0.0f;
+      } else {
+        const float* s = img_base + iy * hw_stride_ + ix * g_.in_c + c;
+        for (std::int64_t j = 0; j < run; ++j) dp[j * MR] = s[j];
+      }
+      p += run;
+      c = 0;
+      ++kw;
+      ++ix;
+      if (kw == g_.kernel) {
+        kw = 0;
+        ix = ix0;
+        ++kh;
+        ++iy;
+      }
+    }
+  }
+
+  const float* src_;
+  ConvGeom g_;
+  std::int64_t oh_, ow_, hw_stride_;
+};
+
+void check_conv_args(const Tensor& x, const ConvGeom& g, const Tensor& w) {
+  if (x.shape().rank() != 4 || x.shape()[1] != g.in_h || x.shape()[2] != g.in_w ||
+      x.shape()[3] != g.in_c) {
+    throw std::invalid_argument("conv2d_nhwc: input shape does not match geometry");
+  }
+  if (w.shape().rank() != 2 || w.shape()[1] != g.patch_len()) {
+    throw std::invalid_argument("conv2d_nhwc: weight must be [K, KH*KW*C]");
+  }
+}
+
+}  // namespace
+
+Tensor conv2d_nhwc(const Tensor& x, const ConvGeom& g, const Tensor& w, const float* bias) {
+  check_conv_args(x, g, w);
+  const std::int64_t n = x.shape()[0], oh = g.out_h(), ow = g.out_w();
+  const std::int64_t rows = n * oh * ow, plen = g.patch_len(), k_out = w.shape()[0];
+  Tensor y(Shape{n, oh, ow, k_out});
+  const GemmEpilogue epi{bias};
+  const GemmMatView wv{w.data(), 1, plen};  // B = W^T: element (p, j) = w[j, p]
+  if (g.kernel == 1 && g.stride == 1 && g.pad == 0) {
+    // im2col is the identity: the input IS the cols matrix; skip the
+    // virtual packer and run the plain strided path (1x1 projection
+    // shortcuts take this).
+    gemm_blocked(GemmMatView{x.data(), plen, 1}, wv, y.data(), k_out, rows, k_out, plen,
+                 /*accumulate=*/false, epi);
+  } else {
+    const Im2colAPacker packer(x.data(), g);
+    gemm_blocked_packa(packer, wv, y.data(), k_out, rows, k_out, plen,
+                       /*accumulate=*/false, epi);
+  }
+  return y;
+}
+
+Tensor conv2d_nhwc_materialized(const Tensor& x, const ConvGeom& g, const Tensor& w,
+                                const float* bias) {
+  check_conv_args(x, g, w);
+  const std::int64_t n = x.shape()[0], oh = g.out_h(), ow = g.out_w();
+  const std::int64_t rows = n * oh * ow, plen = g.patch_len(), k_out = w.shape()[0];
+  const Tensor cols = im2col(x, g);
+  Tensor y(Shape{n, oh, ow, k_out});
+  gemm_blocked(GemmMatView{cols.data(), plen, 1}, GemmMatView{w.data(), 1, plen}, y.data(),
+               k_out, rows, k_out, plen, /*accumulate=*/false, GemmEpilogue{bias});
+  return y;
+}
+
+}  // namespace vsq

@@ -1,0 +1,28 @@
+// Fused tiled-im2col convolution engine. The conv GEMM
+//   y[N*OH*OW, K] = cols(x) * W^T + bias
+// runs directly on the blocked & packed kernel (tensor/gemm_kernel.h): A
+// panels are synthesized MC x KC tile-by-tile from the NHWC input into each
+// worker thread's ScratchArena — the full cols matrix is never materialized
+// — and the bias lands in the GEMM epilogue. Threads split output rows (the
+// driver's M dimension), so results are bit-identical for any thread count
+// and to the materialized im2col + gemm_blocked + bias reference.
+#pragma once
+
+#include "tensor/im2col.h"
+#include "tensor/tensor.h"
+
+namespace vsq {
+
+// x: [N, H, W, C] (NHWC, matching g); w: [K, KH*KW*C] row-major with the
+// reduction axis innermost (Conv2d's weight layout); bias: K values or
+// nullptr. Returns [N, OH, OW, K].
+Tensor conv2d_nhwc(const Tensor& x, const ConvGeom& g, const Tensor& w,
+                   const float* bias = nullptr);
+
+// Reference implementation: materialized im2col fed to the same blocked
+// kernel, bias in the epilogue. Bit-identical to conv2d_nhwc — kept as the
+// oracle for tests and as the memory-cost baseline for benchmarks.
+Tensor conv2d_nhwc_materialized(const Tensor& x, const ConvGeom& g, const Tensor& w,
+                                const float* bias = nullptr);
+
+}  // namespace vsq

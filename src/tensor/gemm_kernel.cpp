@@ -156,18 +156,41 @@ MicroFn pick_micro() {
 const MicroFn g_micro = pick_micro();
 
 // Scatter the register tile into (strided) C; `add` covers both caller
-// accumulation and K-block accumulation beyond the first panel.
-void merge_tile(const float* ab, float* c, std::int64_t ldc, int mr, int nr, bool add) {
+// accumulation and K-block accumulation beyond the first panel. `bias`
+// (indexed by tile column, non-null only while the final K block merges)
+// folds the per-column bias into the store.
+void merge_tile(const float* ab, float* c, std::int64_t ldc, int mr, int nr, bool add,
+                const float* bias) {
   for (int i = 0; i < mr; ++i) {
     float* ci = c + i * ldc;
     const float* ai = ab + i * NR;
-    if (add) {
+    if (bias) {
+      if (add) {
+        for (int j = 0; j < nr; ++j) ci[j] = (ci[j] + ai[j]) + bias[j];
+      } else {
+        for (int j = 0; j < nr; ++j) ci[j] = ai[j] + bias[j];
+      }
+    } else if (add) {
       for (int j = 0; j < nr; ++j) ci[j] += ai[j];
     } else {
       for (int j = 0; j < nr; ++j) ci[j] = ai[j];
     }
   }
 }
+
+// Adapter running the strided pack_a through the GemmAPacker interface, so
+// plain matrix views and virtual (im2col) operands share one driver.
+class StridedAPacker final : public GemmAPacker {
+ public:
+  explicit StridedAPacker(const GemmMatView& a) : a_(a) {}
+  void pack(std::int64_t i0, std::int64_t p0, std::int64_t mc, std::int64_t kc,
+            float* dst) const override {
+    pack_a(a_, i0, p0, mc, kc, dst);
+  }
+
+ private:
+  GemmMatView a_;
+};
 
 }  // namespace
 
@@ -180,11 +203,29 @@ bool gemm_kernel_uses_avx2() {
 }
 
 void gemm_blocked(const GemmMatView& a, const GemmMatView& b, float* c, std::int64_t ldc,
-                  std::int64_t m, std::int64_t n, std::int64_t k, bool accumulate) {
+                  std::int64_t m, std::int64_t n, std::int64_t k, bool accumulate,
+                  const GemmEpilogue& epilogue) {
+  gemm_blocked_packa(StridedAPacker(a), b, c, ldc, m, n, k, accumulate, epilogue);
+}
+
+void gemm_blocked_packa(const GemmAPacker& a, const GemmMatView& b, float* c, std::int64_t ldc,
+                        std::int64_t m, std::int64_t n, std::int64_t k, bool accumulate,
+                        const GemmEpilogue& epilogue) {
   if (m <= 0 || n <= 0) return;
   if (k <= 0) {
-    if (!accumulate) {
-      for (std::int64_t i = 0; i < m; ++i) std::fill(c + i * ldc, c + i * ldc + n, 0.0f);
+    // Empty reduction: C is the bias broadcast (plus C itself when
+    // accumulating) — the epilogue contract holds for every k.
+    for (std::int64_t i = 0; i < m; ++i) {
+      float* ci = c + i * ldc;
+      if (!accumulate) {
+        if (epilogue.bias) {
+          std::copy(epilogue.bias, epilogue.bias + n, ci);
+        } else {
+          std::fill(ci, ci + n, 0.0f);
+        }
+      } else if (epilogue.bias) {
+        for (std::int64_t j = 0; j < n; ++j) ci[j] += epilogue.bias[j];
+      }
     }
     return;
   }
@@ -210,6 +251,9 @@ void gemm_blocked(const GemmMatView& a, const GemmMatView& b, float* c, std::int
       const std::int64_t kc = std::min(KC, k - pc);
       pack_b(b, pc, jc, kc, nc, pb);
       const bool beta_add = accumulate || pc > 0;
+      // Bias folds into the stores of the final K block only, so it is
+      // added exactly once per output element.
+      const float* bias = (pc + kc == k) ? epilogue.bias : nullptr;
       const auto n_mblocks = static_cast<std::size_t>(ceil_div(m, mc));
       parallel_for(0, n_mblocks, [&](std::size_t bb, std::size_t be) {
         ScratchArena& ta = ScratchArena::thread_local_arena();
@@ -219,14 +263,15 @@ void gemm_blocked(const GemmMatView& a, const GemmMatView& b, float* c, std::int
         for (std::size_t blk = bb; blk < be; ++blk) {
           const std::int64_t i0 = static_cast<std::int64_t>(blk) * mc;
           const std::int64_t mcc = std::min(mc, m - i0);
-          pack_a(a, i0, pc, mcc, kc, pa);
+          a.pack(i0, pc, mcc, kc, pa);
           for (std::int64_t jr = 0; jr < nc; jr += NR) {
             const int nr = static_cast<int>(std::min<std::int64_t>(NR, nc - jr));
             const float* pbp = pb + (jr / NR) * kc * NR;
             for (std::int64_t ir = 0; ir < mcc; ir += MR) {
               const int mr = static_cast<int>(std::min<std::int64_t>(MR, mcc - ir));
               micro(kc, pa + (ir / MR) * kc * MR, pbp, ab);
-              merge_tile(ab, c + (i0 + ir) * ldc + jc + jr, ldc, mr, nr, beta_add);
+              merge_tile(ab, c + (i0 + ir) * ldc + jc + jr, ldc, mr, nr, beta_add,
+                         bias ? bias + jc + jr : nullptr);
             }
           }
         }

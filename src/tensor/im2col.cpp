@@ -7,6 +7,32 @@
 
 namespace vsq {
 
+void im2col_rows(const float* input, const ConvGeom& g, std::int64_t r0, std::int64_t r1,
+                 float* dst, std::int64_t ldd) {
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  const std::int64_t hw_stride = g.in_w * g.in_c;
+  for (std::int64_t r = r0; r < r1; ++r) {
+    const std::int64_t img = r / (oh * ow);
+    const std::int64_t oy = (r / ow) % oh;
+    const std::int64_t ox = r % ow;
+    const float* img_base = input + img * g.in_h * hw_stride;
+    float* row = dst + (r - r0) * ldd;
+    for (std::int64_t kh = 0; kh < g.kernel; ++kh) {
+      const std::int64_t iy = oy * g.stride - g.pad + kh;
+      for (std::int64_t kw = 0; kw < g.kernel; ++kw) {
+        const std::int64_t ix = ox * g.stride - g.pad + kw;
+        float* cell = row + (kh * g.kernel + kw) * g.in_c;
+        if (iy < 0 || iy >= g.in_h || ix < 0 || ix >= g.in_w) {
+          std::memset(cell, 0, static_cast<std::size_t>(g.in_c) * sizeof(float));
+        } else {
+          std::memcpy(cell, img_base + iy * hw_stride + ix * g.in_c,
+                      static_cast<std::size_t>(g.in_c) * sizeof(float));
+        }
+      }
+    }
+  }
+}
+
 Tensor im2col(const Tensor& input, const ConvGeom& g) {
   if (input.shape().rank() != 4) throw std::invalid_argument("im2col: input must be NHWC");
   const std::int64_t n = input.shape()[0];
@@ -17,31 +43,10 @@ Tensor im2col(const Tensor& input, const ConvGeom& g) {
   Tensor out(Shape{n * oh * ow, plen});
   const float* src = input.data();
   float* dst = out.data();
-  const std::int64_t hw_stride = g.in_w * g.in_c;
-
-  parallel_for(0, static_cast<std::size_t>(n * oh), [&](std::size_t rb, std::size_t re) {
-    for (std::size_t r = rb; r < re; ++r) {
-      const std::int64_t img = static_cast<std::int64_t>(r) / oh;
-      const std::int64_t oy = static_cast<std::int64_t>(r) % oh;
-      const float* img_base = src + img * g.in_h * hw_stride;
-      for (std::int64_t ox = 0; ox < ow; ++ox) {
-        float* row = dst + ((img * oh + oy) * ow + ox) * plen;
-        for (std::int64_t kh = 0; kh < g.kernel; ++kh) {
-          const std::int64_t iy = oy * g.stride - g.pad + kh;
-          for (std::int64_t kw = 0; kw < g.kernel; ++kw) {
-            const std::int64_t ix = ox * g.stride - g.pad + kw;
-            float* cell = row + (kh * g.kernel + kw) * g.in_c;
-            if (iy < 0 || iy >= g.in_h || ix < 0 || ix >= g.in_w) {
-              std::memset(cell, 0, static_cast<std::size_t>(g.in_c) * sizeof(float));
-            } else {
-              std::memcpy(cell, img_base + iy * hw_stride + ix * g.in_c,
-                          static_cast<std::size_t>(g.in_c) * sizeof(float));
-            }
-          }
-        }
-      }
-    }
-  });
+  parallel_for(0, static_cast<std::size_t>(n * oh * ow), [&](std::size_t rb, std::size_t re) {
+    im2col_rows(src, g, static_cast<std::int64_t>(rb), static_cast<std::int64_t>(re),
+                dst + static_cast<std::int64_t>(rb) * plen, plen);
+  }, /*grain=*/static_cast<std::size_t>(std::max<std::int64_t>(1, 4096 / std::max<std::int64_t>(1, plen))));
   return out;
 }
 

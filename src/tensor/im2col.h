@@ -27,6 +27,14 @@ struct ConvGeom {
 // input:  [N, H, W, C]  ->  output: [N * out_h * out_w, patch_len]
 Tensor im2col(const Tensor& input, const ConvGeom& g);
 
+// Write patch rows [r0, r1) of the virtual cols matrix (row r is output
+// position r of the batched conv, r = (img*out_h + oy)*out_w + ox) into
+// dst, one row every ldd floats (ldd >= patch_len). This is the tile
+// generator of the fused conv engine and the integer conv datapath: both
+// stream patches through it instead of materializing the full matrix.
+void im2col_rows(const float* input, const ConvGeom& g, std::int64_t r0, std::int64_t r1,
+                 float* dst, std::int64_t ldd);
+
 // Scatter-add of patch-row gradients back to an input-shaped tensor.
 // cols: [N * out_h * out_w, patch_len] -> returns [N, H, W, C].
 Tensor col2im(const Tensor& cols, const ConvGeom& g, std::int64_t batch);

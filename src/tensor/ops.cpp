@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/thread_pool.h"
+
 namespace vsq {
 namespace {
 void check_same_shape(const Tensor& a, const Tensor& b, const char* what) {
@@ -26,6 +28,18 @@ void add_inplace(Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "add_inplace");
   const std::int64_t n = a.numel();
   for (std::int64_t i = 0; i < n; ++i) a[i] += b[i];
+}
+
+void add_row_bias(float* dst, std::int64_t rows, std::int64_t cols, const float* bias) {
+  parallel_for(
+      0, static_cast<std::size_t>(rows),
+      [&](std::size_t rb, std::size_t re) {
+        for (std::size_t r = rb; r < re; ++r) {
+          float* row = dst + static_cast<std::int64_t>(r) * cols;
+          for (std::int64_t j = 0; j < cols; ++j) row[j] += bias[j];
+        }
+      },
+      /*grain=*/1024);
 }
 
 Tensor scale(const Tensor& a, float s) {

@@ -11,6 +11,11 @@ namespace vsq {
 Tensor add(const Tensor& a, const Tensor& b);
 // a += b in place.
 void add_inplace(Tensor& a, const Tensor& b);
+// dst[r*cols + j] += bias[j] for every row — the per-row bias broadcast
+// shared by the layer forward paths and the packaged-layer runners.
+// Parallel over rows; element arithmetic is order-independent, so results
+// match the serial loop bit for bit.
+void add_row_bias(float* dst, std::int64_t rows, std::int64_t cols, const float* bias);
 // out = a * scalar.
 Tensor scale(const Tensor& a, float s);
 void scale_inplace(Tensor& a, float s);

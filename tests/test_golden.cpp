@@ -30,11 +30,19 @@ namespace {
 std::string golden_dir() { return VSQ_GOLDEN_DIR; }
 std::string golden_package_path() { return golden_dir() + "/tiny_int.vsqa"; }
 std::string golden_io_path() { return golden_dir() + "/tiny_io.vsqa"; }
+std::string golden_conv_package_path() { return golden_dir() + "/tiny_conv.vsqa"; }
+std::string golden_conv_io_path() { return golden_dir() + "/tiny_conv_io.vsqa"; }
 
 // The exact package vsq_quantize --model=tiny exports (same seed, same
 // calibration stream, same config — one shared definition in exp/ptq).
 QuantizedModelPackage build_tiny_package() {
   return tiny_mlp_package(MacConfig::parse("4/8/6/10"));
+}
+
+// Likewise for --model=tiny_conv: the tiny residual CNN package with conv
+// geometry, the conv/residual/pool forward program and the input shape.
+QuantizedModelPackage build_tiny_conv_package() {
+  return tiny_conv_package(MacConfig::parse("4/8/6/10"));
 }
 
 Tensor golden_input() {
@@ -124,6 +132,92 @@ TEST(GoldenPackage, RunnerReproducesCommittedOutputsBitExactly) {
   }
 }
 
+// ---- Conv package goldens ------------------------------------------------
+// Same contract for the CNN deployment format: conv geometry entries, the
+// op-coded forward program, the input-geometry entry and the tiled integer
+// conv datapath all participate in the byte-stability guarantee.
+
+Tensor golden_conv_input() {
+  Rng rng(2424);
+  Tensor x(Shape{4, 8 * 8 * 3});
+  for (auto& v : x.span()) v = static_cast<float>(rng.uniform(-2.0, 2.0));
+  return x;
+}
+
+TEST(GoldenConvPackage, SaveLoadRoundTripIsByteIdentical) {
+  const std::string tmp1 = std::filesystem::temp_directory_path() / "vsq_golden_conv_rt1.vsqa";
+  const std::string tmp2 = std::filesystem::temp_directory_path() / "vsq_golden_conv_rt2.vsqa";
+  const QuantizedModelPackage pkg = QuantizedModelPackage::load(golden_conv_package_path());
+  pkg.save(tmp1);
+  EXPECT_EQ(read_bytes(tmp1), read_bytes(golden_conv_package_path()))
+      << "save(load(golden)) differs from the committed conv archive - the "
+         "package format drifted";
+  QuantizedModelPackage::load(tmp1).save(tmp2);
+  EXPECT_EQ(read_bytes(tmp1), read_bytes(tmp2));
+  std::remove(tmp1.c_str());
+  std::remove(tmp2.c_str());
+}
+
+TEST(GoldenConvPackage, StructureMatchesCommittedExpectations) {
+  const QuantizedModelPackage pkg = QuantizedModelPackage::load(golden_conv_package_path());
+  // stem + stage0.block0{conv1,conv2} + stage1.block0{conv1,conv2,shortcut} + fc.
+  ASSERT_EQ(pkg.layers.size(), 7u);
+  EXPECT_EQ(pkg.in_h, 8);
+  EXPECT_EQ(pkg.in_w, 8);
+  EXPECT_EQ(pkg.in_c, 3);
+  const QuantizedLayerPackage& stem = pkg.layers.at("stem");
+  EXPECT_EQ(stem.kind, PackagedLayerKind::kConv);
+  EXPECT_EQ(stem.kernel, 3);
+  EXPECT_EQ(stem.stride, 1);
+  EXPECT_EQ(stem.pad, 1);
+  EXPECT_EQ(stem.conv_in_channels(), 3);
+  EXPECT_FALSE(stem.bias.empty());  // BN folding plants the bias
+  const QuantizedLayerPackage& shortcut = pkg.layers.at("stage1.block0.shortcut");
+  EXPECT_EQ(shortcut.kernel, 1);
+  EXPECT_EQ(shortcut.stride, 2);
+  EXPECT_EQ(shortcut.conv_in_channels(), 8);
+  const QuantizedLayerPackage& fc = pkg.layers.at("fc");
+  EXPECT_EQ(fc.kind, PackagedLayerKind::kGemm);
+  EXPECT_EQ(fc.weights.rows, 10);
+  EXPECT_EQ(fc.weights.cols(), 16);
+  // Program: stem + 4-step plain block + 5-step projection block + gap + fc.
+  ASSERT_EQ(pkg.program.size(), 12u);
+  EXPECT_EQ(pkg.program[0].op, ForwardStep::Op::kConv);
+  EXPECT_EQ(pkg.program[0].layer, "stem");
+  EXPECT_TRUE(pkg.program[0].relu);
+  EXPECT_EQ(pkg.program[1].op, ForwardStep::Op::kSave);
+  EXPECT_EQ(pkg.program[8].op, ForwardStep::Op::kConvSaved);
+  EXPECT_EQ(pkg.program[8].layer, "stage1.block0.shortcut");
+  EXPECT_EQ(pkg.program[10].op, ForwardStep::Op::kGlobalPool);
+  EXPECT_EQ(pkg.program[11].op, ForwardStep::Op::kGemm);
+  EXPECT_EQ(pkg.program[11].layer, "fc");
+}
+
+TEST(GoldenConvPackage, FreshExportMatchesCommittedArchive) {
+  const std::string tmp = std::filesystem::temp_directory_path() / "vsq_golden_conv_fresh.vsqa";
+  build_tiny_conv_package().save(tmp);
+  EXPECT_EQ(read_bytes(tmp), read_bytes(golden_conv_package_path()))
+      << "fresh tiny_conv export differs from the committed archive - the "
+         "CNN calibration/export pipeline drifted";
+  std::remove(tmp.c_str());
+}
+
+TEST(GoldenConvPackage, RunnerReproducesCommittedOutputsBitExactly) {
+  const QuantizedModelPackage pkg = QuantizedModelPackage::load(golden_conv_package_path());
+  const QuantizedModelRunner runner(pkg);
+  const Archive io = Archive::load(golden_conv_io_path());
+  const ArchiveEntry& in = io.get("input");
+  const ArchiveEntry& expected = io.get("output");
+  ASSERT_EQ(in.dims.size(), 2u);
+  const Tensor x = Tensor::from_vector(Shape{in.dims[0], in.dims[1]}, in.data);
+  const Tensor y = runner.forward(x);
+  ASSERT_EQ(static_cast<std::size_t>(y.numel()), expected.data.size());
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    ASSERT_EQ(y[i], expected.data[static_cast<std::size_t>(i)])
+        << "integer conv datapath output drifted at element " << i;
+  }
+}
+
 // Manual regeneration hook (see file header). Disabled so normal runs
 // never rewrite the golden files.
 TEST(GoldenPackage, DISABLED_RegenerateGoldenFiles) {
@@ -136,8 +230,19 @@ TEST(GoldenPackage, DISABLED_RegenerateGoldenFiles) {
   io.put("input", {x.shape()[0], x.shape()[1]}, x.to_vector());
   io.put("output", {y.shape()[0], y.shape()[1]}, y.to_vector());
   io.save(golden_io_path());
-  std::printf("regenerated %s and %s\n", golden_package_path().c_str(),
-              golden_io_path().c_str());
+
+  const QuantizedModelPackage conv_pkg = build_tiny_conv_package();
+  conv_pkg.save(golden_conv_package_path());
+  const QuantizedModelRunner conv_runner(conv_pkg);
+  const Tensor cx = golden_conv_input();
+  const Tensor cy = conv_runner.forward(cx);
+  Archive conv_io;
+  conv_io.put("input", {cx.shape()[0], cx.shape()[1]}, cx.to_vector());
+  conv_io.put("output", {cy.shape()[0], cy.shape()[1]}, cy.to_vector());
+  conv_io.save(golden_conv_io_path());
+  std::printf("regenerated %s, %s, %s and %s\n", golden_package_path().c_str(),
+              golden_io_path().c_str(), golden_conv_package_path().c_str(),
+              golden_conv_io_path().c_str());
 }
 
 }  // namespace

@@ -1,7 +1,9 @@
 // vsq_inspect — print the contents of an exported quantized-model package:
-// per-layer shapes, formats, scale statistics (sq utilization, gamma), the
+// per-layer shapes, formats, conv geometry (kernel/stride/pad and patch
+// vectors for conv layers), scale statistics (sq utilization, gamma), the
 // storage overhead of the per-vector scales (the paper's M/(V*N) metric,
-// Sec. 4.4), and the forward program when the package carries one.
+// Sec. 4.4), and the forward program (with conv/residual/pool ops) when
+// the package carries one.
 //
 //   vsq_inspect --package=artifacts/resnet_int.vsqa [--threads=N]
 #include <iostream>
@@ -18,23 +20,45 @@ int main(int argc, char** argv) {
   const std::string path = args.get_str("package", "artifacts/resnet_int.vsqa");
 
   const QuantizedModelPackage pkg = QuantizedModelPackage::load(path);
-  std::cout << "package " << path << ": " << pkg.layers.size() << " layers\n";
+  std::cout << "package " << path << ": " << pkg.layers.size() << " layers";
+  if (pkg.in_h > 0) {
+    std::cout << ", input " << pkg.in_h << "x" << pkg.in_w << "x" << pkg.in_c << " NHWC";
+  }
+  std::cout << "\n";
   if (!pkg.program.empty()) {
     std::cout << "forward program:";
     for (const ForwardStep& s : pkg.program) {
-      std::cout << " " << s.layer << (s.relu ? "+relu" : "");
+      using Op = ForwardStep::Op;
+      switch (s.op) {
+        case Op::kGemm: std::cout << " " << s.layer; break;
+        case Op::kConv: std::cout << " conv(" << s.layer << ")"; break;
+        case Op::kConvSaved: std::cout << " shortcut(" << s.layer << ")"; break;
+        case Op::kSave: std::cout << " save"; break;
+        case Op::kAddSaved: std::cout << " +residual"; break;
+        case Op::kGlobalPool: std::cout << " gap"; break;
+      }
+      if (s.relu) std::cout << "+relu";
     }
     std::cout << "\n";
   }
   std::cout << "\n";
 
-  Table t({"Layer", "Weights", "Fmt", "V", "Scale repr", "sq range", "Overhead %", "amax",
-           "gamma"});
+  Table t({"Layer", "Kind", "Weights", "Fmt", "V", "Scale repr", "sq range", "Overhead %",
+           "amax", "gamma"});
   double total_weight_bits = 0, total_scale_bits = 0;
   for (const auto& [name, l] : pkg.layers) {
     const QuantizedMatrix& w = l.weights;
     std::string scale_repr, sq_range = "-";
     double overhead = 0;
+    // Conv layers: kernel/stride/pad plus the patch-vector geometry (how
+    // many V-element vectors tile one unrolled patch row).
+    std::string kind = "gemm";
+    if (l.kind == PackagedLayerKind::kConv) {
+      kind = std::to_string(l.kernel) + "x" + std::to_string(l.kernel) + " s" +
+             std::to_string(l.stride) + " p" + std::to_string(l.pad) + " c" +
+             std::to_string(l.conv_in_channels()) + " (" +
+             std::to_string(w.layout.vectors_per_row()) + " vec/patch)";
+    }
     if (w.two_level) {
       const auto& tl = *w.two_level;
       scale_repr = "int" + std::to_string(tl.scale_fmt.bits) + " + fp32/" +
@@ -53,8 +77,8 @@ int main(int argc, char** argv) {
       scale_repr = "fp32/" + std::string(w.coarse_scales.size() == 1 ? "tensor" : "chan");
     }
     total_weight_bits += static_cast<double>(w.rows) * w.cols() * w.fmt.bits;
-    t.add_row({name, std::to_string(w.rows) + "x" + std::to_string(w.cols()), w.fmt.str(),
-               std::to_string(w.layout.vector_size), scale_repr, sq_range,
+    t.add_row({name, kind, std::to_string(w.rows) + "x" + std::to_string(w.cols()),
+               w.fmt.str(), std::to_string(w.layout.vector_size), scale_repr, sq_range,
                Table::num(overhead, 2), Table::num(l.act_amax, 4), Table::num(l.act_gamma, 6)});
   }
   t.print(std::cout);

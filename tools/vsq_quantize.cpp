@@ -2,17 +2,22 @@
 // in the paper's W/A/ws/as notation and export the integer deployment
 // package (quant/export.h).
 //
-//   vsq_quantize --model=tiny|resnet|bert_base|bert_large --config=4/8/6/10
+//   vsq_quantize --model=tiny|tiny_conv|resnet|bert_base|bert_large
+//                --config=4/8/6/10
 //                [--out=artifacts/model_int.vsqa] [--vector=16] [--threads=N]
 //
 // --threads=N pins the global thread pool (0 = hardware concurrency; the
 // VSQ_THREADS environment variable is the fallback) so benchmark runs are
 // reproducible on shared machines.
 //
-// --model=tiny is a randomly-initialized 2-layer MLP that needs no trained
-// checkpoint — it exercises the full calibrate/export path in milliseconds
-// (used by the ctest smoke tests and servable by vsq_serve: its package
-// carries the forward program QuantizedModelRunner executes).
+// --model=tiny is a randomly-initialized 2-layer MLP and --model=tiny_conv
+// a randomly-initialized tiny residual CNN; neither needs a trained
+// checkpoint — they exercise the full calibrate/export path in
+// milliseconds (used by the ctest smoke tests and servable by vsq_serve:
+// their packages carry the forward program QuantizedModelRunner executes,
+// tiny_conv's with conv/residual/pool ops and the input geometry).
+// --model=resnet also attaches the CNN forward program, so the trained
+// ResNetV package serves end-to-end.
 #include <iostream>
 
 #include "exp/ptq.h"
@@ -28,7 +33,7 @@ int main(int argc, char** argv) {
   const std::string which = args.get_str("model", "resnet");
   MacConfig mac = MacConfig::parse(args.get_str("config", "4/8/6/10"));
   mac.vector_size = args.get_int("vector", 16);
-  mac.act_unsigned = which == "resnet";
+  mac.act_unsigned = which == "resnet" || which == "tiny_conv";
   // Resolved lazily so --model=tiny with an explicit --out never touches
   // the artifacts directory.
   std::string out = args.get_str("out", "");
@@ -38,12 +43,21 @@ int main(int argc, char** argv) {
     // Deliberately no ModelZoo here: tiny is checkpoint-free, and the zoo
     // constructor's fingerprint check may evict cached trained models.
     pkg = tiny_mlp_package(mac);
+  } else if (which == "tiny_conv") {
+    // Checkpoint-free like tiny, but a residual CNN: the package carries
+    // conv geometry, the conv/residual/pool forward program and the input
+    // image shape.
+    pkg = tiny_conv_package(mac);
   } else if (which == "resnet") {
     ModelZoo zoo(artifacts_dir());
     auto model = zoo.resnet();
     pkg = calibrate_and_export(model->gemms(), mac.weight_spec(), mac.act_spec(), [&] {
       model->forward(zoo.image_calib().batch_images(0, zoo.image_calib().size()), false);
     });
+    pkg.program = model->export_program();
+    pkg.in_h = model->config().in_h;
+    pkg.in_w = model->config().in_w;
+    pkg.in_c = model->config().in_c;
   } else if (which == "bert_base" || which == "bert_large") {
     ModelZoo zoo(artifacts_dir());
     auto model = which == "bert_large" ? zoo.bert_large() : zoo.bert_base();
