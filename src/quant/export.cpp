@@ -1,6 +1,8 @@
 #include "quant/export.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <optional>
 #include <stdexcept>
 #include <utility>
@@ -8,6 +10,7 @@
 #include "nn/conv2d.h"
 #include "quant/int_conv.h"
 #include "quant/int_gemm.h"
+#include "quant/int_kernel.h"
 #include "tensor/ops.h"
 
 namespace vsq {
@@ -76,6 +79,48 @@ std::vector<float> to_float_u16(const std::vector<std::uint16_t>& v) {
   return {v.begin(), v.end()};
 }
 
+// Integer metadata travels through the archive as float. A corrupted
+// archive (truncation is caught earlier, but a bit flip is not) can turn
+// any of those floats into NaN or a huge value, and casting such a float
+// to an integer type is undefined behavior — so every conversion below is
+// range-checked (NaN fails the comparison) and throws the same clean
+// std::runtime_error the archive layer uses.
+std::int64_t checked_i64(float v, std::int64_t lo, std::int64_t hi, const std::string& what) {
+  if (!(v >= static_cast<float>(lo) && v <= static_cast<float>(hi))) {
+    throw std::runtime_error("QuantizedModelPackage: " + what + " out of range");
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+int checked_bits(float v, const std::string& what) {
+  // int16 element storage and the format's shift arithmetic cap usable
+  // widths well below 16; anything outside is corruption, not a config.
+  return static_cast<int>(checked_i64(v, 1, 15, what));
+}
+
+int checked_scale_bits(float v, const std::string& what) {
+  // Unsigned scale widths go one wider than element widths: sq is stored
+  // as uint16 and MacConfig accepts up to 16-bit scales (a 16+16-bit
+  // scale product still fits the uint32 multiplier).
+  return static_cast<int>(checked_i64(v, 1, 16, what));
+}
+
+void check_size(std::size_t got, std::uint64_t want, const std::string& what) {
+  if (got != want) {
+    throw std::runtime_error("QuantizedModelPackage: " + what + " has inconsistent size");
+  }
+}
+
+// Required sub-entry lookup during load: a corrupted archive can lose any
+// entry (a flipped name byte is enough), and that must surface as the
+// runtime_error corruption class, not Archive::get's out_of_range.
+const ArchiveEntry& need(const Archive& a, const std::string& k) {
+  if (!a.contains(k)) {
+    throw std::runtime_error("QuantizedModelPackage: missing entry " + k);
+  }
+  return a.get(k);
+}
+
 }  // namespace
 
 QuantizedLayerPackage export_gemm(const QuantizableGemm& gemm, const std::vector<float>& bias) {
@@ -109,10 +154,11 @@ QuantizedLayerPackage export_conv(const Conv2d& conv) {
 }
 
 Tensor run_packaged_layer(const QuantizedLayerPackage& layer, const Tensor& x2d,
-                          int scale_product_bits, IntGemmStats* stats) {
+                          int scale_product_bits, IntGemmStats* stats,
+                          const detail::IntWeightPanels* prepacked) {
   const QuantizedMatrix acts =
       quantize_activations_int(x2d, layer.act_spec, layer.act_amax, layer.act_gamma);
-  Tensor y = int_gemm(acts, layer.weights, scale_product_bits, stats);
+  Tensor y = int_gemm(acts, layer.weights, scale_product_bits, stats, prepacked);
   if (!layer.bias.empty()) {
     const std::int64_t rows = y.shape()[0], outs = y.shape()[1];
     if (static_cast<std::int64_t>(layer.bias.size()) != outs) {
@@ -124,7 +170,8 @@ Tensor run_packaged_layer(const QuantizedLayerPackage& layer, const Tensor& x2d,
 }
 
 Tensor run_packaged_conv_layer(const QuantizedLayerPackage& layer, const Tensor& x4d,
-                               int scale_product_bits, IntGemmStats* stats) {
+                               int scale_product_bits, IntGemmStats* stats,
+                               const detail::IntWeightPanels* prepacked) {
   if (layer.kind != PackagedLayerKind::kConv) {
     throw std::invalid_argument("run_packaged_conv_layer: " + layer.name +
                                 " is not a conv package");
@@ -135,7 +182,29 @@ Tensor run_packaged_conv_layer(const QuantizedLayerPackage& layer, const Tensor&
   const ConvGeom g{x4d.shape()[1], x4d.shape()[2], x4d.shape()[3], layer.kernel, layer.stride,
                    layer.pad};
   return int_conv(x4d, g, layer.weights, layer.act_spec, layer.act_amax, layer.act_gamma,
-                  layer.bias, scale_product_bits, stats);
+                  layer.bias, scale_product_bits, stats, prepacked);
+}
+
+PackedWeightCache::PackedWeightCache(const QuantizedModelPackage& pkg) {
+  for (const auto& [name, l] : pkg.layers) {
+    // Panels are packed with the ACT operand's layout, exactly as
+    // int_gemm/int_conv would per call (packaged layers copy the weight
+    // vector geometry onto act_spec, so the two agree by construction).
+    const VectorLayout layout = l.act_spec.layout(l.weights.cols());
+    // Only the int32-exact packed row loop consumes panels; operands wide
+    // enough to need the int64 reference loop never pack, so caching for
+    // them would be wasted memory.
+    if (!detail::int32_dot_exact(l.act_spec.fmt, l.weights.fmt, layout)) continue;
+    panels_.emplace(name,
+                    std::make_unique<const detail::IntWeightPanels>(l.weights, layout));
+  }
+}
+
+PackedWeightCache::~PackedWeightCache() = default;
+
+const detail::IntWeightPanels* PackedWeightCache::find(const std::string& layer) const {
+  const auto it = panels_.find(layer);
+  return it == panels_.end() ? nullptr : it->second.get();
 }
 
 void QuantizedModelPackage::save(const std::string& path) const {
@@ -194,9 +263,10 @@ QuantizedModelPackage QuantizedModelPackage::load(const std::string& path) {
   for (const std::string& entry : a.names()) {
     if (entry == kInputGeomKey) {
       const auto& geom = a.get(entry).data;
-      pkg.in_h = static_cast<std::int64_t>(geom.at(0));
-      pkg.in_w = static_cast<std::int64_t>(geom.at(1));
-      pkg.in_c = static_cast<std::int64_t>(geom.at(2));
+      check_size(geom.size(), 3, "input geometry");
+      pkg.in_h = checked_i64(geom[0], 0, 1 << 20, "input height");
+      pkg.in_w = checked_i64(geom[1], 0, 1 << 20, "input width");
+      pkg.in_c = checked_i64(geom[2], 0, 1 << 20, "input channels");
       continue;
     }
     if (entry.rfind(kProgramPrefix, 0) == 0) {
@@ -208,66 +278,134 @@ QuantizedModelPackage QuantizedModelPackage::load(const std::string& path) {
       ForwardStep step;
       step.layer = rest.substr(sep + 1);
       const auto& data = a.get(entry).data;
-      step.relu = data.at(0) != 0.0f;
-      if (data.size() > 1) step.op = op_from_code(static_cast<int>(data[1]), entry);
-      prog.emplace_back(std::stoul(rest.substr(0, sep)), std::move(step));
+      if (data.empty()) {
+        throw std::runtime_error("QuantizedModelPackage: empty program entry " + entry);
+      }
+      step.relu = data[0] != 0.0f;
+      if (data.size() > 1) {
+        step.op = op_from_code(
+            static_cast<int>(checked_i64(data[1], 0, 64, "program op of " + entry)), entry);
+      }
+      std::size_t idx = 0;
+      try {
+        idx = std::stoul(rest.substr(0, sep));
+      } catch (const std::exception&) {
+        throw std::runtime_error("QuantizedModelPackage: malformed program index in " + entry);
+      }
+      prog.emplace_back(idx, std::move(step));
       continue;
     }
     const auto slash = entry.rfind("/meta");
     if (slash == std::string::npos || slash + 5 != entry.size()) continue;
     const std::string name = entry.substr(0, slash);
 
+    // Everything read below is validated (ranges, cross-entry size
+    // consistency) before it parameterizes the integer datapath: the
+    // kernels index q/sq/gamma with arithmetic derived from this metadata
+    // and must never see a corrupted combination.
     const auto& meta = a.get(entry).data;
+    check_size(meta.size(), 12, "meta entry for " + name);
     QuantizedLayerPackage l;
     l.name = name;
     QuantizedMatrix& w = l.weights;
-    w.rows = static_cast<std::int64_t>(meta[0]);
-    w.layout.cols = static_cast<std::int64_t>(meta[1]);
-    w.fmt = QuantFormat{static_cast<int>(meta[2]), meta[3] != 0.0f};
-    w.layout.vector_size = static_cast<int>(meta[4]);
-    w.layout.block = static_cast<std::int64_t>(meta[5]);
+    w.rows = checked_i64(meta[0], 1, 1 << 24, "weight rows of " + name);
+    w.layout.cols = checked_i64(meta[1], 1, 1 << 24, "weight cols of " + name);
+    w.fmt = QuantFormat{checked_bits(meta[2], "weight bits of " + name), meta[3] != 0.0f};
+    w.layout.vector_size =
+        static_cast<int>(checked_i64(meta[4], 1, 1 << 20, "vector size of " + name));
+    w.layout.block = checked_i64(meta[5], 0, 1 << 24, "channel block of " + name);
+    // Block must divide cols (VectorLayout::validate's rule) — but report
+    // it as the runtime_error corruption class like every check here, not
+    // validate()'s invalid_argument, which callers read as API misuse.
+    if (w.layout.block > 0 && w.layout.cols % w.layout.block != 0) {
+      throw std::runtime_error("QuantizedModelPackage: channel block of " + name +
+                               " does not divide cols");
+    }
+    const auto vpr = static_cast<std::uint64_t>(w.layout.vectors_per_row());
 
-    const auto& q = a.get(key(name, "q")).data;
+    const auto& q = need(a, key(name, "q")).data;
+    check_size(q.size(), static_cast<std::uint64_t>(w.rows) *
+                             static_cast<std::uint64_t>(w.layout.cols),
+               "weight data of " + name);
     w.q.assign(q.size(), 0);
-    for (std::size_t i = 0; i < q.size(); ++i) w.q[i] = static_cast<std::int16_t>(q[i]);
+    // Bound elements by the DECLARED format, not the int16 storage: the
+    // packed kernels derive their int32-exactness guarantee from
+    // fmt.qmax(), so an element outside the format is corruption that
+    // would void that premise.
+    const std::string q_what = "weight element of " + name;
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      w.q[i] = static_cast<std::int16_t>(checked_i64(q[i], w.fmt.qmin(), w.fmt.qmax(), q_what));
+    }
 
     if (a.contains(key(name, "sq"))) {
       TwoLevelScales tl;
-      tl.scale_fmt = QuantFormat{static_cast<int>(a.get(key(name, "scale_bits")).data[0]), false};
+      const auto& sb = need(a, key(name, "scale_bits")).data;
+      check_size(sb.size(), 1, "scale_bits entry of " + name);
+      tl.scale_fmt =
+          QuantFormat{checked_scale_bits(sb[0], "weight scale bits of " + name), false};
       tl.coarse_axis = CoarseAxis::kPerRow;
       tl.layout = w.layout;
       tl.rows = w.rows;
-      const auto& sq = a.get(key(name, "sq")).data;
+      const auto& sq = need(a, key(name, "sq")).data;
+      check_size(sq.size(), static_cast<std::uint64_t>(w.rows) * vpr,
+                 "weight scales of " + name);
       tl.sq.assign(sq.size(), 0);
-      for (std::size_t i = 0; i < sq.size(); ++i) tl.sq[i] = static_cast<std::uint16_t>(sq[i]);
-      tl.gamma = a.get(key(name, "gamma")).data;
+      const std::string sq_what = "weight scale of " + name;
+      for (std::size_t i = 0; i < sq.size(); ++i) {
+        tl.sq[i] =
+            static_cast<std::uint16_t>(checked_i64(sq[i], 0, tl.scale_fmt.qmax(), sq_what));
+      }
+      tl.gamma = need(a, key(name, "gamma")).data;
+      if (tl.gamma.size() != static_cast<std::size_t>(w.rows) && tl.gamma.size() != 1) {
+        throw std::runtime_error("QuantizedModelPackage: gamma of " + name +
+                                 " has inconsistent size");
+      }
       if (tl.gamma.size() == 1) tl.coarse_axis = CoarseAxis::kPerTensor;
       w.two_level = std::move(tl);
     } else {
-      w.coarse_scales = a.get(key(name, "coarse")).data;
+      w.coarse_scales = need(a, key(name, "coarse")).data;
+      if (w.coarse_scales.size() != static_cast<std::size_t>(w.rows) &&
+          w.coarse_scales.size() != 1) {
+        throw std::runtime_error("QuantizedModelPackage: coarse scales of " + name +
+                                 " have inconsistent size");
+      }
     }
 
     l.act_spec.enabled = true;
-    l.act_spec.fmt = QuantFormat{static_cast<int>(meta[6]), meta[7] != 0.0f};
+    // Activations are quantized at inference time, and that path
+    // (quantize_activations_int / int_conv) rejects widths above 10 — so
+    // a wider value here is corruption and must fail at LOAD, not on the
+    // first request. (Weight widths may go to 15: they ship prequantized
+    // and wide operands route through the int64 reference loop.)
+    l.act_spec.fmt = QuantFormat{
+        static_cast<int>(checked_i64(meta[6], 1, 10, "act bits of " + name)), meta[7] != 0.0f};
     l.act_spec.vector_size = w.layout.vector_size;
     l.act_spec.channel_block = w.layout.block;
     if (meta[8] != 0.0f) {
       l.act_spec.granularity = Granularity::kPerVector;
       l.act_spec.scale_dtype = ScaleDtype::kTwoLevelInt;
-      l.act_spec.scale_fmt = QuantFormat{static_cast<int>(meta[9]), false};
+      l.act_spec.scale_fmt =
+          QuantFormat{checked_scale_bits(meta[9], "act scale bits of " + name), false};
       l.act_spec.dynamic = true;
     } else {
       l.act_spec.granularity = Granularity::kPerTensor;
     }
     l.act_amax = meta[10];
     l.act_gamma = meta[11];
-    if (a.contains(key(name, "bias"))) l.bias = a.get(key(name, "bias")).data;
+    if (!std::isfinite(l.act_amax) || !std::isfinite(l.act_gamma)) {
+      throw std::runtime_error("QuantizedModelPackage: non-finite act calibration of " + name);
+    }
+    if (a.contains(key(name, "bias"))) {
+      l.bias = a.get(key(name, "bias")).data;
+      check_size(l.bias.size(), static_cast<std::uint64_t>(w.rows), "bias of " + name);
+    }
     if (a.contains(key(name, "conv"))) {
       const auto& geom = a.get(key(name, "conv")).data;
+      check_size(geom.size(), 3, "conv geometry of " + name);
       l.kind = PackagedLayerKind::kConv;
-      l.kernel = static_cast<std::int64_t>(geom.at(0));
-      l.stride = static_cast<std::int64_t>(geom.at(1));
-      l.pad = static_cast<std::int64_t>(geom.at(2));
+      l.kernel = checked_i64(geom[0], 1, 1 << 12, "conv kernel of " + name);
+      l.stride = checked_i64(geom[1], 1, 1 << 12, "conv stride of " + name);
+      l.pad = checked_i64(geom[2], 0, 1 << 12, "conv pad of " + name);
     }
 
     pkg.layers[name] = std::move(l);
@@ -417,7 +555,17 @@ QuantizedModelRunner::QuantizedModelRunner(const QuantizedModelPackage& pkg,
     throw std::invalid_argument("QuantizedModelRunner: program has no input layer");
   }
   out_features_ = cur.spatial ? cur.h * cur.w * cur.c : cur.features;
+
+  // Pack every layer's weight panels once, after validation passed: the
+  // per-request path then streams prepacked panels and never repacks.
+  packed_ = PackedWeightCache(pkg);
+  step_panels_.reserve(steps_.size());
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    step_panels_.push_back(steps_[i] ? packed_.find(program_[i].layer) : nullptr);
+  }
 }
+
+QuantizedModelRunner::~QuantizedModelRunner() = default;
 
 std::vector<ForwardStep> QuantizedModelRunner::mlp_program(const QuantizedModelPackage& pkg) {
   std::vector<ForwardStep> program;
@@ -438,13 +586,14 @@ Tensor QuantizedModelRunner::forward(const Tensor& x, IntGemmStats* stats) const
   for (std::size_t i = 0; i < steps_.size(); ++i) {
     switch (program_[i].op) {
       case Op::kGemm:
-        h = run_packaged_layer(*steps_[i], h, scale_product_bits_, stats);
+        h = run_packaged_layer(*steps_[i], h, scale_product_bits_, stats, step_panels_[i]);
         break;
       case Op::kConv:
-        h = run_packaged_conv_layer(*steps_[i], h, scale_product_bits_, stats);
+        h = run_packaged_conv_layer(*steps_[i], h, scale_product_bits_, stats, step_panels_[i]);
         break;
       case Op::kConvSaved:
-        saved = run_packaged_conv_layer(*steps_[i], saved, scale_product_bits_, stats);
+        saved = run_packaged_conv_layer(*steps_[i], saved, scale_product_bits_, stats,
+                                        step_panels_[i]);
         break;
       case Op::kSave:
         saved = h;  // shallow: the next conv produces a fresh h

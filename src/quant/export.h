@@ -8,6 +8,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -87,17 +88,52 @@ QuantizedLayerPackage export_gemm(const QuantizableGemm& gemm, const std::vector
 // layer's fp bias (BatchNorm folding moves the BN affine there).
 QuantizedLayerPackage export_conv(const Conv2d& conv);
 
+// Weight panels packed once per model load instead of once per int_gemm /
+// int_conv call. The construction walks every layer of the package and
+// prepacks the ones the int32-exact packed row loop will actually consume
+// (everything the paper's configs produce); layers that would route
+// through the int64 reference fallback get no entry and keep their
+// per-call behavior. Entries point into the package's QuantizedMatrix
+// objects, so the package must outlive the cache — QuantizedModelRunner
+// owns one and satisfies that by construction. Before this cache existed,
+// every serving request re-packed every layer's panels; at batch 1 the
+// pack writes about as many elements as the GEMM multiplies, so hoisting
+// it sped the batch-1 forward ~4x on the committed baselines
+// (BENCH_serve.json). Steady-state serving now performs zero packs
+// (asserted by tests/test_serve.cpp via IntGemmStats::panels_packed).
+class PackedWeightCache {
+ public:
+  PackedWeightCache() = default;
+  explicit PackedWeightCache(const QuantizedModelPackage& pkg);
+  ~PackedWeightCache();
+
+  PackedWeightCache(PackedWeightCache&&) noexcept = default;
+  PackedWeightCache& operator=(PackedWeightCache&&) noexcept = default;
+
+  // nullptr when the layer has no prepacked panels (unknown name, or the
+  // layer routes through the reference fallback).
+  const detail::IntWeightPanels* find(const std::string& layer) const;
+  std::size_t size() const { return panels_.size(); }
+
+ private:
+  std::map<std::string, std::unique_ptr<const detail::IntWeightPanels>> panels_;
+};
+
 // Run one packaged layer on an activation matrix through the integer
 // datapath. scale_product_bits as in int_gemm. For conv packages x2d is
 // the *materialized* patch matrix — the reference path; the runner serves
-// convs through run_packaged_conv_layer instead.
+// convs through run_packaged_conv_layer instead. `prepacked` as in
+// int_gemm: panels previously packed from this layer's weights
+// (PackedWeightCache::find) skip the per-call pack.
 Tensor run_packaged_layer(const QuantizedLayerPackage& layer, const Tensor& x2d,
-                          int scale_product_bits = -1, IntGemmStats* stats = nullptr);
+                          int scale_product_bits = -1, IntGemmStats* stats = nullptr,
+                          const detail::IntWeightPanels* prepacked = nullptr);
 
 // Run one packaged conv layer on an NHWC activation tensor through the
 // tiled integer conv datapath (quant/int_conv.h). Returns [N, OH, OW, K].
 Tensor run_packaged_conv_layer(const QuantizedLayerPackage& layer, const Tensor& x4d,
-                               int scale_product_bits = -1, IntGemmStats* stats = nullptr);
+                               int scale_product_bits = -1, IntGemmStats* stats = nullptr,
+                               const detail::IntWeightPanels* prepacked = nullptr);
 
 // Standalone integer-datapath model executor: runs a package's forward
 // program (layer chain, ReLUs, conv/residual/pool ops) entirely through
@@ -114,8 +150,14 @@ class QuantizedModelRunner {
   // Uses pkg.program when non-empty, else mlp_program(pkg). The package
   // must outlive the runner. Throws std::invalid_argument when a program
   // step names a missing layer, consecutive layers' shapes don't chain, or
-  // a spatial program lacks the package input geometry.
+  // a spatial program lacks the package input geometry. Construction also
+  // packs every layer's integer weight panels (PackedWeightCache), so
+  // forward() never repacks.
   explicit QuantizedModelRunner(const QuantizedModelPackage& pkg, int scale_product_bits = -1);
+  ~QuantizedModelRunner();
+
+  QuantizedModelRunner(QuantizedModelRunner&&) noexcept = default;
+  QuantizedModelRunner& operator=(QuantizedModelRunner&&) noexcept = default;
 
   // Default program when a package carries none: layers in lexicographic
   // name order, ReLU between all but the last.
@@ -129,11 +171,14 @@ class QuantizedModelRunner {
   std::int64_t out_features() const { return out_features_; }
   bool spatial() const { return spatial_; }
   const std::vector<ForwardStep>& program() const { return program_; }
+  const PackedWeightCache& packed_weights() const { return packed_; }
 
  private:
   const QuantizedModelPackage* pkg_;
   std::vector<ForwardStep> program_;
   std::vector<const QuantizedLayerPackage*> steps_;  // resolved, in order
+  std::vector<const detail::IntWeightPanels*> step_panels_;  // parallel to steps_
+  PackedWeightCache packed_;
   int scale_product_bits_;
   bool spatial_ = false;  // program starts on an NHWC image
   std::int64_t in_features_ = 0, out_features_ = 0;

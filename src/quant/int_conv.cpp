@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <type_traits>
 
@@ -48,20 +49,21 @@ void add_bias_rows(float* dst, std::int64_t rows, std::int64_t k_out,
 Tensor int_conv_reference(const Tensor& x, const ConvGeom& g, const QuantizedMatrix& wgt,
                           const QuantSpec& act_spec, float act_amax, float act_gamma,
                           const std::vector<float>& bias, int scale_product_bits,
-                          IntGemmStats* stats) {
+                          IntGemmStats* stats, const detail::IntWeightPanels* prepacked) {
   const VectorLayout act_layout = act_spec.layout(g.patch_len());
   check_conv_operands(x, g, wgt, act_layout);
   const std::int64_t n = x.shape()[0], oh = g.out_h(), ow = g.out_w();
   const Tensor cols = im2col(x, g);
   const QuantizedMatrix acts = quantize_activations_int(cols, act_spec, act_amax, act_gamma);
-  Tensor y = int_gemm(acts, wgt, scale_product_bits, stats);
+  Tensor y = int_gemm(acts, wgt, scale_product_bits, stats, prepacked);
   add_bias_rows(y.data(), n * oh * ow, wgt.rows, bias);
   return y.reshape(Shape{n, oh, ow, wgt.rows});
 }
 
 Tensor int_conv(const Tensor& x, const ConvGeom& g, const QuantizedMatrix& wgt,
                 const QuantSpec& act_spec, float act_amax, float act_gamma,
-                const std::vector<float>& bias, int scale_product_bits, IntGemmStats* stats) {
+                const std::vector<float>& bias, int scale_product_bits, IntGemmStats* stats,
+                const detail::IntWeightPanels* prepacked) {
   if (!act_spec.enabled) throw std::invalid_argument("int_conv: activation spec disabled");
   const std::int64_t plen = g.patch_len();
   const VectorLayout act_layout = act_spec.layout(plen);
@@ -84,14 +86,14 @@ Tensor int_conv(const Tensor& x, const ConvGeom& g, const QuantizedMatrix& wgt,
   // through the materialized reference.
   if (!per_vector && act_spec.dynamic) {
     return int_conv_reference(x, g, wgt, act_spec, act_amax, act_gamma, bias,
-                              scale_product_bits, stats);
+                              scale_product_bits, stats, prepacked);
   }
 
   // int32-exactness checked before packing: the int64 reference fallback
   // (which packs inside int_gemm) must not pay for a discarded pack here.
   if (!detail::int32_dot_exact(act_spec.fmt, wgt.fmt, act_layout)) {
     return int_conv_reference(x, g, wgt, act_spec, act_amax, act_gamma, bias,
-                              scale_product_bits, stats);
+                              scale_product_bits, stats, prepacked);
   }
 
   const std::int64_t n = x.shape()[0], oh = g.out_h(), ow = g.out_w();
@@ -101,7 +103,15 @@ Tensor int_conv(const Tensor& x, const ConvGeom& g, const QuantizedMatrix& wgt,
 
   ScratchArena& arena = ScratchArena::thread_local_arena();
   ScratchRegion region(arena);
-  const detail::IntWeightPanels panels(wgt, act_layout, arena);
+  std::optional<detail::IntWeightPanels> local_panels;
+  if (prepacked != nullptr && !prepacked->matches(wgt, act_layout)) {
+    throw std::invalid_argument("int_conv: prepacked panels do not match the operands");
+  }
+  if (prepacked == nullptr) {
+    local_panels.emplace(wgt, act_layout, arena);
+    if (stats) ++stats->panels_packed;
+  }
+  const detail::IntWeightPanels& panels = prepacked ? *prepacked : *local_panels;
 
   int full_bits = 0;
   if (per_vector) full_bits += act_spec.scale_fmt.bits;

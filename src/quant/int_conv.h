@@ -31,10 +31,16 @@ namespace vsq {
 // Returns [N, OH, OW, K]. Falls back to the materialized reference when
 // the operand widths exceed int32-exact accumulation or the activation
 // quantization is not row-local (dynamic per-tensor amax).
+//
+// `prepacked` as in int_gemm: a weight-panel set built from `wgt` with the
+// patch-row activation layout skips the per-call pack (both on the tiled
+// path and inside the materialized reference's int_gemm). Bit-identical
+// either way.
 Tensor int_conv(const Tensor& x, const ConvGeom& g, const QuantizedMatrix& wgt,
                 const QuantSpec& act_spec, float act_amax, float act_gamma,
                 const std::vector<float>& bias, int scale_product_bits = -1,
-                IntGemmStats* stats = nullptr);
+                IntGemmStats* stats = nullptr,
+                const detail::IntWeightPanels* prepacked = nullptr);
 
 // Reference oracle: materialized im2col -> quantize_activations_int ->
 // int_gemm -> bias. Also the memory baseline the conv benches compare
@@ -42,6 +48,7 @@ Tensor int_conv(const Tensor& x, const ConvGeom& g, const QuantizedMatrix& wgt,
 Tensor int_conv_reference(const Tensor& x, const ConvGeom& g, const QuantizedMatrix& wgt,
                           const QuantSpec& act_spec, float act_amax, float act_gamma,
                           const std::vector<float>& bias, int scale_product_bits = -1,
-                          IntGemmStats* stats = nullptr);
+                          IntGemmStats* stats = nullptr,
+                          const detail::IntWeightPanels* prepacked = nullptr);
 
 }  // namespace vsq

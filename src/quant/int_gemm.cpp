@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdlib>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <type_traits>
 
@@ -32,7 +33,7 @@ void int_gemm_wide(const QuantizedMatrix& act, const QuantizedMatrix& wgt,
 }  // namespace
 
 Tensor int_gemm(const QuantizedMatrix& act, const QuantizedMatrix& wgt, int scale_product_bits,
-                IntGemmStats* stats) {
+                IntGemmStats* stats, const detail::IntWeightPanels* prepacked) {
   if (act.cols() != wgt.cols()) throw std::invalid_argument("int_gemm: reduction dims differ");
   if (act.layout.vector_size != wgt.layout.vector_size ||
       act.layout.block_len() != wgt.layout.block_len()) {
@@ -59,9 +60,23 @@ Tensor int_gemm(const QuantizedMatrix& act, const QuantizedMatrix& wgt, int scal
     return out;
   }
 
+  // Prepacked panels (PackedWeightCache) skip the per-call pack; otherwise
+  // pack into this call's arena region as before. A prepacked set must
+  // have been built from this exact wgt operand (the panels keep scale
+  // pointers into it) under act's vector geometry — the boundary fields,
+  // not just the vector count, or two layouts with equal vpr but shifted
+  // vector edges would slip through and produce silently wrong scales.
   ScratchArena& arena = ScratchArena::thread_local_arena();
   ScratchRegion region(arena);
-  const detail::IntWeightPanels panels(wgt, layout, arena);
+  std::optional<detail::IntWeightPanels> local_panels;
+  if (prepacked != nullptr && !prepacked->matches(wgt, layout)) {
+    throw std::invalid_argument("int_gemm: prepacked panels do not match the operands");
+  }
+  if (prepacked == nullptr) {
+    local_panels.emplace(wgt, layout, arena);
+    if (stats) ++stats->panels_packed;
+  }
+  const detail::IntWeightPanels& panels = prepacked ? *prepacked : *local_panels;
 
   // Per-chunk stat accumulation merged under a (cold) mutex.
   std::mutex stats_mu;

@@ -23,10 +23,16 @@
 
 namespace vsq {
 
+namespace detail {
+class IntWeightPanels;
+}  // namespace detail
+
 struct IntGemmStats {
   std::uint64_t vector_ops = 0;          // V-wide dot products issued
   std::uint64_t zero_scale_products = 0; // rounded sw*sa == 0 (gateable)
   std::uint64_t zero_dot_products = 0;   // dp == 0 (gateable)
+  std::uint64_t panels_packed = 0;       // per-call weight-panel packs (0 when
+                                         // the caller supplied a prepacked set)
   std::int64_t max_abs_psum = 0;         // widest partial sum observed
 
   double gateable_fraction() const {
@@ -44,7 +50,18 @@ std::uint32_t round_scale_product(std::uint32_t p, int full_bits, int bits);
 // act: [rows, L] quantized activations; wgt: [K, L] quantized weights.
 // Returns float [rows, K]. scale_product_bits < 0 keeps the full product.
 // Stats are accumulated into *stats when non-null.
+//
+// `prepacked` (optional) is a weight-panel set previously built from this
+// exact `wgt` object with the act operand's vector layout (see
+// PackedWeightCache in quant/export.h; identity and layout geometry are
+// verified, a mismatch throws): when supplied, the per-call pack is
+// skipped entirely — at batch 1 the pack rivals the GEMM itself, so this
+// is most of what made serving ~4x faster at small batches.
+// The operand widths must still admit int32-exact accumulation; when they
+// don't, the int64 reference loop runs and `prepacked` is ignored.
+// Outputs are bit-identical with and without a prepacked set.
 Tensor int_gemm(const QuantizedMatrix& act, const QuantizedMatrix& wgt, int scale_product_bits,
-                IntGemmStats* stats = nullptr);
+                IntGemmStats* stats = nullptr,
+                const detail::IntWeightPanels* prepacked = nullptr);
 
 }  // namespace vsq

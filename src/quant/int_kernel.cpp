@@ -1,5 +1,6 @@
 #include "quant/int_kernel.h"
 
+#include <atomic>
 #include <cstring>
 
 #if defined(__x86_64__) || defined(__i386__)
@@ -175,9 +176,32 @@ void panel_acc_scalar(const std::int32_t* dp, const std::uint32_t* wsq,
 
 const PanelAccFn g_panel_acc_avx2 = pick_panel_acc_avx2();
 
+namespace {
+std::atomic<std::uint64_t> g_panels_packed{0};
+}  // namespace
+
+std::uint64_t panels_packed_total() { return g_panels_packed.load(std::memory_order_relaxed); }
+
 IntWeightPanels::IntWeightPanels(const QuantizedMatrix& wgt, const VectorLayout& layout,
                                  ScratchArena& arena)
     : wgt_(&wgt), cols_(layout.cols), k_out_(wgt.rows), vpr_(layout.vectors_per_row()) {
+  pack(wgt, layout, arena);
+}
+
+IntWeightPanels::IntWeightPanels(const QuantizedMatrix& wgt, const VectorLayout& layout)
+    : wgt_(&wgt),
+      cols_(layout.cols),
+      k_out_(wgt.rows),
+      vpr_(layout.vectors_per_row()),
+      own_(std::make_unique<ScratchArena>()) {
+  pack(wgt, layout, *own_);
+}
+
+void IntWeightPanels::pack(const QuantizedMatrix& wgt, const VectorLayout& layout,
+                           ScratchArena& arena) {
+  g_panels_packed.fetch_add(1, std::memory_order_relaxed);
+  vector_size_ = layout.vector_size;
+  block_len_ = layout.block_len();
   // Vector column ranges, precomputed once per call.
   auto* vr = arena.alloc_n<VecRange>(static_cast<std::size_t>(vpr_));
   bool all_even = true;

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 
 #include "quant/int_gemm.h"
 #include "quant/quantized_tensor.h"
@@ -89,8 +90,33 @@ class IntWeightPanels {
  public:
   IntWeightPanels(const QuantizedMatrix& wgt, const VectorLayout& layout, ScratchArena& arena);
 
+  // Owning variant: panels live in a private arena instead of the caller's,
+  // so the pack survives the call that built it. This is what
+  // PackedWeightCache (quant/export.h) stores per layer — pack once at model
+  // load, stream rows for the lifetime of the deployment.
+  IntWeightPanels(const QuantizedMatrix& wgt, const VectorLayout& layout);
+
   std::int64_t vpr() const { return vpr_; }
   std::int64_t k_out() const { return k_out_; }
+  std::int64_t cols() const { return cols_; }
+  // Identity of the pack, for callers accepting prepacked panels: the
+  // exact weight operand (panels keep per-column scale pointers into it)
+  // and the vector geometry it was packed under. (cols, vector_size,
+  // block_len) fully determine a VectorLayout's boundaries, so comparing
+  // them — not just the vector COUNT — rejects same-vpr layouts whose
+  // boundaries differ.
+  const QuantizedMatrix* source() const { return wgt_; }
+  int vector_size() const { return vector_size_; }
+  std::int64_t block_len() const { return block_len_; }
+
+  // True when this pack may stand in for a per-call pack of `wgt` under
+  // `layout` — the single validation every prepacked-accepting entry point
+  // (int_gemm, int_conv) uses, so the identity contract cannot drift
+  // between them.
+  bool matches(const QuantizedMatrix& wgt, const VectorLayout& layout) const {
+    return wgt_ == &wgt && cols_ == layout.cols && vector_size_ == layout.vector_size &&
+           block_len_ == layout.block_len();
+  }
 
   // One activation row -> one output row of k_out floats. asq: the row's
   // per-vector integer scales (nullptr = coarse bypass, scale 1). aout:
@@ -142,12 +168,25 @@ class IntWeightPanels {
   }
 
  private:
+  void pack(const QuantizedMatrix& wgt, const VectorLayout& layout, ScratchArena& arena);
+
   const QuantizedMatrix* wgt_;
   const VecRange* vr_ = nullptr;
   const std::int16_t* pw_ = nullptr;
   const std::uint32_t* psq_ = nullptr;
   std::int64_t n_panels_ = 0, cols_ = 0, k_out_ = 0, vpr_ = 0;
+  int vector_size_ = 0;
+  std::int64_t block_len_ = 0;
   IntPanelFn panel_fn_ = nullptr;
+  // Set only by the owning constructor. Arena blocks never move, so the
+  // pointers above stay valid when the IntWeightPanels itself is moved.
+  std::unique_ptr<ScratchArena> own_;
 };
+
+// Process-wide count of IntWeightPanels constructions (relaxed atomic).
+// The serving tests assert that steady-state traffic leaves this flat:
+// with PackedWeightCache every pack happens at model-load time, never on
+// the per-request path.
+std::uint64_t panels_packed_total();
 
 }  // namespace vsq::detail

@@ -1,9 +1,11 @@
 // Dynamic batcher: a single worker thread that drains the RequestQueue in
 // coalesced batches, stacks the rows into one [B, D] activation matrix,
 // runs the session's batched integer forward pass, and scatters the
-// output rows back to each request's promise. One batched int_gemm packs
-// the layer weights once per batch instead of once per request — the
-// entire serving speedup comes from this amortization.
+// output rows back to each request's promise. One batched forward
+// amortizes activation staging, output allocation and per-call
+// bookkeeping across its rows (layer weights are prepacked once at model
+// load by PackedWeightCache, so they cost nothing per batch OR per
+// request).
 #pragma once
 
 #include <condition_variable>

@@ -1,0 +1,292 @@
+#include "serve/registry.h"
+
+#include <algorithm>
+#include <optional>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "util/table.h"
+
+namespace vsq {
+namespace {
+
+// Merge two serving windows of the same model (before/after a hot reload).
+// Counts, histograms and wall time are additive; latency percentiles are
+// NOT recoverable from two summaries, so the quantile fields are taken
+// from the largest SINGLE window seen so far — tracked explicitly in
+// percentile_window, since after the first merge `requests` becomes a
+// multi-window total and comparing against it would prefer stale small
+// windows (max_us and a request-weighted mean are exact).
+ServeStatsSnapshot merge_snapshots(ServeStatsSnapshot a, const ServeStatsSnapshot& b) {
+  if (b.percentile_window > a.percentile_window) {
+    a.p50_us = b.p50_us;
+    a.p95_us = b.p95_us;
+    a.p99_us = b.p99_us;
+    a.percentile_window = b.percentile_window;
+  }
+  const auto total = a.requests + b.requests;
+  if (total > 0) {
+    a.mean_us = (a.mean_us * static_cast<double>(a.requests) +
+                 b.mean_us * static_cast<double>(b.requests)) /
+                static_cast<double>(total);
+  }
+  a.max_us = std::max(a.max_us, b.max_us);
+  a.requests = total;
+  a.batches += b.batches;
+  a.cache_hits += b.cache_hits;
+  // The merged wall clock is the SPAN from the earliest window start to
+  // the latest window end. That is the same semantic a single window
+  // already uses (first submit -> last completion, idle gaps included),
+  // it is exact under any overlap pattern — summing walls would double-
+  // count windows that run concurrently (an unloaded session draining
+  // while its hot-reload replacement serves), and summing-minus-pairwise-
+  // overlap miscounts a window landing in a gap of the merged union.
+  if (b.window_end_s > 0.0) {
+    if (a.window_end_s > 0.0) {
+      a.window_start_s = std::min(a.window_start_s, b.window_start_s);
+      a.window_end_s = std::max(a.window_end_s, b.window_end_s);
+    } else {
+      a.window_start_s = b.window_start_s;
+      a.window_end_s = b.window_end_s;
+    }
+    a.wall_seconds = a.window_end_s - a.window_start_s;
+  }
+  a.throughput_rps =
+      a.wall_seconds > 0.0 ? static_cast<double>(a.requests) / a.wall_seconds : 0.0;
+  if (a.batch_hist.size() < b.batch_hist.size()) a.batch_hist.resize(b.batch_hist.size(), 0);
+  for (std::size_t i = 0; i < b.batch_hist.size(); ++i) a.batch_hist[i] += b.batch_hist[i];
+  a.mean_batch = mean_batch_from_hist(a.batch_hist, a.batches);
+  return a;
+}
+
+}  // namespace
+
+ModelRegistry::ModelRegistry(ServeConfig default_cfg) : default_cfg_(default_cfg) {}
+
+ModelRegistry::~ModelRegistry() {
+  // Destroy outside the lock: session destructors join their batcher
+  // threads, which may still be resolving promises client threads wait on.
+  std::map<std::string, std::shared_ptr<InferenceSession>> doomed;
+  {
+    std::unique_lock lock(mu_);
+    doomed.swap(sessions_);
+  }
+  for (auto& [name, s] : doomed) s->shutdown();
+}
+
+void ModelRegistry::load(const std::string& name, QuantizedModelPackage pkg) {
+  load(name, std::move(pkg), default_cfg_);
+}
+
+void ModelRegistry::load(const std::string& name, QuantizedModelPackage pkg,
+                         const ServeConfig& cfg) {
+  // Construct before taking the map lock: session construction runs the
+  // warmup forward pass (milliseconds), and loading one model must not
+  // stall routing for the models already serving. The name reservation is
+  // checked twice — optimistically first so a duplicate fails before the
+  // expensive construction, then authoritatively at insert.
+  if (contains(name)) {
+    throw std::invalid_argument("ModelRegistry: model already serving: " + name);
+  }
+  auto session = std::make_shared<InferenceSession>(std::move(pkg), cfg);
+  bool inserted = false;
+  {
+    std::unique_lock lock(mu_);
+    // Insert a copy of the handle: on a lost race nothing is moved-from,
+    // and the loser session is torn down (batcher stop + join) AFTER the
+    // lock is released — destroying it inside the map under mu_ would
+    // stall routing for every other model for the join's duration.
+    inserted = sessions_.try_emplace(name, session).second;
+  }
+  if (!inserted) {
+    session->shutdown();
+    throw std::invalid_argument("ModelRegistry: model already serving: " + name);
+  }
+}
+
+void ModelRegistry::load_file(const std::string& name, const std::string& path) {
+  load_file(name, path, default_cfg_);
+}
+
+void ModelRegistry::load_file(const std::string& name, const std::string& path,
+                              const ServeConfig& cfg) {
+  load(name, QuantizedModelPackage::load(path), cfg);
+}
+
+bool ModelRegistry::unload(const std::string& name) {
+  std::shared_ptr<InferenceSession> victim;
+  {
+    std::unique_lock lock(mu_);
+    const auto it = sessions_.find(name);
+    if (it == sessions_.end()) return false;
+    victim = std::move(it->second);
+    sessions_.erase(it);
+    // Park the session in draining_ for the duration of the drain, so a
+    // concurrent stats()/stats_all() never sees the model vanish (the
+    // drain can take as long as the queued work) — only routing stops.
+    draining_[name].push_back(victim);
+  }
+  // Drain outside the lock: shutdown() blocks until the queue is empty and
+  // the batcher joined, and routing to other models must continue
+  // meanwhile. Clients that pinned the session via session() can still
+  // read stats; their next submit throws.
+  victim->shutdown();
+  // Retire the final snapshot so stats stay cumulative across hot reloads
+  // of the same name. The session is drained and frozen after shutdown(),
+  // so the snapshot (which copies and sorts the full latency history) is
+  // taken BEFORE the lock — only the draining_ -> retired_ publication
+  // needs it, and that move is atomic from a reader's point of view.
+  const ServeStatsSnapshot last = victim->stats();
+  {
+    std::unique_lock lock(mu_);
+    auto& parked = draining_[name];
+    parked.erase(std::remove(parked.begin(), parked.end(), victim), parked.end());
+    if (parked.empty()) draining_.erase(name);
+    const auto it = retired_.find(name);
+    if (it == retired_.end()) {
+      retired_.emplace(name, last);
+    } else {
+      it->second = merge_snapshots(it->second, last);
+    }
+  }
+  return true;
+}
+
+bool ModelRegistry::contains(const std::string& name) const {
+  std::shared_lock lock(mu_);
+  return sessions_.count(name) > 0;
+}
+
+std::size_t ModelRegistry::size() const {
+  std::shared_lock lock(mu_);
+  return sessions_.size();
+}
+
+std::vector<std::string> ModelRegistry::models() const {
+  std::shared_lock lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(sessions_.size());
+  for (const auto& [name, _] : sessions_) out.push_back(name);
+  return out;
+}
+
+std::shared_ptr<InferenceSession> ModelRegistry::find(const std::string& name) const {
+  std::shared_lock lock(mu_);
+  const auto it = sessions_.find(name);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<InferenceSession> ModelRegistry::session(const std::string& name) const {
+  return find(name);
+}
+
+std::future<Tensor> ModelRegistry::submit(const std::string& name, const Tensor& input) {
+  const auto s = find(name);
+  if (!s) throw std::out_of_range("ModelRegistry: model not loaded: " + name);
+  return s->submit(input);
+}
+
+Tensor ModelRegistry::infer(const std::string& name, const Tensor& input) {
+  return submit(name, input).get();
+}
+
+ServeStatsSnapshot ModelRegistry::stats(const std::string& name) const {
+  // Pin live + draining sessions and copy the retired snapshot under ONE
+  // lock acquisition: pinning first and reading retired_ later would let
+  // a concurrent unload() retire the very window we pinned, double-
+  // counting it in the merge. A retirement that happens after we release
+  // the lock is harmless — it is not in our retired copy, and the pinned
+  // session's own stats() carries that whole window.
+  std::shared_ptr<InferenceSession> s;
+  std::vector<std::shared_ptr<InferenceSession>> draining;
+  std::optional<ServeStatsSnapshot> merged;
+  {
+    std::shared_lock lock(mu_);
+    if (const auto it = sessions_.find(name); it != sessions_.end()) s = it->second;
+    if (const auto it = draining_.find(name); it != draining_.end()) draining = it->second;
+    if (const auto it = retired_.find(name); it != retired_.end()) merged = it->second;
+  }
+  if (!s && !merged && draining.empty()) {
+    throw std::out_of_range("ModelRegistry: model never served: " + name);
+  }
+  for (const auto& d : draining) {
+    const ServeStatsSnapshot snap = d->stats();
+    merged = merged ? merge_snapshots(*merged, snap) : snap;
+  }
+  if (s) {
+    const ServeStatsSnapshot live = s->stats();
+    merged = merged ? merge_snapshots(*merged, live) : live;
+  }
+  return *merged;
+}
+
+std::vector<RegistryModelStats> ModelRegistry::stats_all() const {
+  // Snapshot the session sets + retired map under the lock, read live
+  // stats outside it (each session's snapshot takes its own stats mutex).
+  std::vector<std::pair<std::string, std::shared_ptr<InferenceSession>>> pinned;
+  std::map<std::string, std::vector<std::shared_ptr<InferenceSession>>> draining;
+  std::map<std::string, ServeStatsSnapshot> acc;
+  {
+    std::shared_lock lock(mu_);
+    pinned.reserve(sessions_.size());
+    for (const auto& [name, s] : sessions_) pinned.emplace_back(name, s);
+    draining = draining_;
+    acc = retired_;
+  }
+  // Fold mid-drain windows in first, then the live ones on top.
+  for (const auto& [name, parked] : draining) {
+    for (const auto& d : parked) {
+      const ServeStatsSnapshot snap = d->stats();
+      const auto it = acc.find(name);
+      if (it == acc.end()) {
+        acc.emplace(name, snap);
+      } else {
+        it->second = merge_snapshots(it->second, snap);
+      }
+    }
+  }
+  std::vector<RegistryModelStats> out;
+  out.reserve(pinned.size() + acc.size());
+  for (const auto& [name, s] : pinned) {
+    ServeStatsSnapshot snap = s->stats();
+    if (const auto it = acc.find(name); it != acc.end()) {
+      snap = merge_snapshots(it->second, snap);
+      acc.erase(it);
+    }
+    out.push_back(RegistryModelStats{name, std::move(snap), s->datapath_stats()});
+  }
+  // Names that served earlier but are currently unloaded still report.
+  for (const auto& [name, snap] : acc) {
+    out.push_back(RegistryModelStats{name, snap, IntGemmStats{}});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RegistryModelStats& x, const RegistryModelStats& y) {
+              return x.name < y.name;
+            });
+  return out;
+}
+
+void ModelRegistry::print_stats(std::ostream& os) const {
+  const std::vector<RegistryModelStats> all = stats_all();
+  Table t({"Model", "Requests", "Batches", "Mean batch", "Cache hits", "Throughput r/s",
+           "p50 us", "p95 us", "p99 us"});
+  std::uint64_t requests = 0, batches = 0, hits = 0;
+  double rps = 0.0;
+  for (const RegistryModelStats& m : all) {
+    const ServeStatsSnapshot& s = m.serve;
+    t.add_row({m.name, std::to_string(s.requests), std::to_string(s.batches),
+               Table::num(s.mean_batch, 2), std::to_string(s.cache_hits),
+               Table::num(s.throughput_rps, 1), Table::num(s.p50_us, 1),
+               Table::num(s.p95_us, 1), Table::num(s.p99_us, 1)});
+    requests += s.requests;
+    batches += s.batches;
+    hits += s.cache_hits;
+    rps += s.throughput_rps;
+  }
+  t.add_row({"TOTAL", std::to_string(requests), std::to_string(batches), "-",
+             std::to_string(hits), Table::num(rps, 1), "-", "-", "-"});
+  t.print(os);
+}
+
+}  // namespace vsq

@@ -13,11 +13,16 @@ namespace vsq {
 double percentile_us(std::vector<double> sample, double p) {
   if (sample.empty()) return 0.0;
   std::sort(sample.begin(), sample.end());
-  p = std::clamp(p, 0.0, 100.0);
-  // Nearest-rank: smallest value with at least ceil(p/100 * n) values <= it.
-  const auto n = static_cast<double>(sample.size());
-  const auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
-  return sample[rank == 0 ? 0 : rank - 1];
+  if (!(p > 0.0)) return sample.front();  // also catches NaN
+  if (p >= 100.0) return sample.back();
+  // Interpolated rank over n-1 gaps: r = p/100 * (n-1), blend the two
+  // bracketing order statistics. Exact order statistics fall out when r is
+  // integral, n == 1 answers every p with the single sample.
+  const double r = p / 100.0 * static_cast<double>(sample.size() - 1);
+  const auto lo = static_cast<std::size_t>(r);
+  const double frac = r - static_cast<double>(lo);
+  if (lo + 1 >= sample.size()) return sample.back();
+  return sample[lo] + frac * (sample[lo + 1] - sample[lo]);
 }
 
 void ServeStats::mark_start() {
@@ -56,9 +61,13 @@ ServeStatsSnapshot ServeStats::snapshot() const {
     s.cache_hits = cache_hits_;
     if (started_) {
       s.wall_seconds = std::chrono::duration<double>(last_ - first_).count();
+      s.window_start_s =
+          std::chrono::duration<double>(first_.time_since_epoch()).count();
+      s.window_end_s = std::chrono::duration<double>(last_.time_since_epoch()).count();
     }
   }
   s.requests = lat.size();
+  s.percentile_window = s.requests;
   if (!lat.empty()) {
     s.mean_us = std::accumulate(lat.begin(), lat.end(), 0.0) / static_cast<double>(lat.size());
     s.max_us = *std::max_element(lat.begin(), lat.end());
@@ -69,14 +78,15 @@ ServeStatsSnapshot ServeStats::snapshot() const {
   if (s.wall_seconds > 0.0) {
     s.throughput_rps = static_cast<double>(s.requests) / s.wall_seconds;
   }
-  std::uint64_t batched_requests = 0;
-  for (std::size_t b = 0; b < s.batch_hist.size(); ++b) {
-    batched_requests += s.batch_hist[b] * b;
-  }
-  if (s.batches > 0) {
-    s.mean_batch = static_cast<double>(batched_requests) / static_cast<double>(s.batches);
-  }
+  s.mean_batch = mean_batch_from_hist(s.batch_hist, s.batches);
   return s;
+}
+
+double mean_batch_from_hist(const std::vector<std::uint64_t>& hist, std::uint64_t batches) {
+  if (batches == 0) return 0.0;
+  std::uint64_t batched_requests = 0;
+  for (std::size_t b = 0; b < hist.size(); ++b) batched_requests += hist[b] * b;
+  return static_cast<double>(batched_requests) / static_cast<double>(batches);
 }
 
 void ServeStatsSnapshot::print_table(std::ostream& os) const {
@@ -95,7 +105,8 @@ std::string ServeStatsSnapshot::json() const {
      << ",\"cache_hits\":" << cache_hits << ",\"wall_seconds\":" << wall_seconds
      << ",\"throughput_rps\":" << throughput_rps << ",\"mean_batch\":" << mean_batch
      << ",\"latency_us\":{\"p50\":" << p50_us << ",\"p95\":" << p95_us << ",\"p99\":" << p99_us
-     << ",\"mean\":" << mean_us << ",\"max\":" << max_us << "},\"batch_hist\":[";
+     << ",\"mean\":" << mean_us << ",\"max\":" << max_us
+     << ",\"percentile_window\":" << percentile_window << "},\"batch_hist\":[";
   for (std::size_t b = 0; b < batch_hist.size(); ++b) {
     if (b) os << ',';
     os << batch_hist[b];

@@ -23,6 +23,20 @@ struct ServeStatsSnapshot {
   double mean_us = 0.0, max_us = 0.0;
   double mean_batch = 0.0;                // requests per executed batch
   std::vector<std::uint64_t> batch_hist;  // index = batch size (0 unused)
+  // Requests in the single serving window the latency percentiles were
+  // computed over — equal to `requests` for a plain snapshot. When
+  // ModelRegistry merges windows across hot reloads it keeps the
+  // percentiles of the largest single window and records that window's
+  // size here (quantiles cannot be merged from summaries).
+  std::uint64_t percentile_window = 0;
+  // Window bounds in steady-clock seconds (process-relative; 0/0 when no
+  // request was ever recorded). ModelRegistry's cross-reload merge sets
+  // the merged wall clock to the span over all windows (earliest start to
+  // latest end — the same first-submit-to-last-completion semantic a
+  // single window uses), so throughput_rps never divides by
+  // double-counted time when windows overlap (an old session draining
+  // while its replacement serves).
+  double window_start_s = 0.0, window_end_s = 0.0;
 
   // Two-row aligned table (util/Table) for terminal output.
   void print_table(std::ostream& os) const;
@@ -51,8 +65,20 @@ class ServeStats {
   std::chrono::steady_clock::time_point first_, last_;
 };
 
-// Nearest-rank percentile of an unsorted sample (p in [0, 100]); 0 when
-// empty. Exposed for tests.
+// Percentile of an unsorted sample, p in [0, 100] (clamped). Linear
+// interpolation between closest order statistics (the numpy/Excel
+// "linear" definition), so low-count samples degrade gracefully: the old
+// nearest-rank rule snapped every p above 100*(n-1)/n straight to the
+// maximum, which made the reported p99 just "max" (and p50 of two samples
+// the larger one) until ~100 requests had completed. Now p50 of {a, b} is
+// their midpoint, a single sample answers every p with itself, and an
+// empty sample returns 0. p99 still converges to the tail as n grows —
+// just without pretending an n-sample run resolved a quantile it cannot.
 double percentile_us(std::vector<double> sample, double p);
+
+// Mean requests per executed batch, derived from the batch-size histogram
+// (index = batch size). Shared by ServeStats::snapshot and the registry's
+// cross-reload snapshot merge so the definition cannot drift.
+double mean_batch_from_hist(const std::vector<std::uint64_t>& hist, std::uint64_t batches);
 
 }  // namespace vsq

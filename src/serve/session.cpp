@@ -40,6 +40,7 @@ InferenceSession::InferenceSession(QuantizedModelPackage pkg, ServeConfig cfg)
       gemm_stats_.vector_ops += local.vector_ops;
       gemm_stats_.zero_scale_products += local.zero_scale_products;
       gemm_stats_.zero_dot_products += local.zero_dot_products;
+      gemm_stats_.panels_packed += local.panels_packed;
       gemm_stats_.max_abs_psum = std::max(gemm_stats_.max_abs_psum, local.max_abs_psum);
       return y;
     };

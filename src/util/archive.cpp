@@ -67,8 +67,18 @@ void Archive::save(const std::string& path) const {
 }
 
 Archive Archive::load(const std::string& path) {
-  std::ifstream f(path, std::ios::binary);
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
   if (!f) throw std::runtime_error("Archive::load: cannot open " + path);
+  // Every length field read from the file is validated against the bytes
+  // actually remaining BEFORE it sizes an allocation or a loop: a
+  // truncated or bit-flipped archive must fail with a clean exception, not
+  // a multi-gigabyte allocation, an overflowing size product or a wild
+  // read (fuzzed in tests/test_export.cpp).
+  const auto file_size = static_cast<std::uint64_t>(f.tellg());
+  f.seekg(0);
+  const auto remaining = [&]() {
+    return file_size - static_cast<std::uint64_t>(f.tellg());
+  };
   char magic[4];
   f.read(magic, 4);
   if (!f || std::memcmp(magic, kMagic, 4) != 0) {
@@ -77,17 +87,35 @@ Archive Archive::load(const std::string& path) {
   const auto version = read_pod<std::uint32_t>(f);
   if (version != kVersion) throw std::runtime_error("Archive::load: unsupported version");
   const auto count = read_pod<std::uint64_t>(f);
+  // Smallest possible entry: u32 name_len + u64 ndim (empty name, 0 dims).
+  if (count > remaining() / 12) {
+    throw std::runtime_error("Archive::load: entry count exceeds file size in " + path);
+  }
   Archive a;
   for (std::uint64_t i = 0; i < count; ++i) {
     const auto name_len = read_pod<std::uint32_t>(f);
+    if (name_len > remaining()) {
+      throw std::runtime_error("Archive::load: entry name exceeds file size in " + path);
+    }
     std::string name(name_len, '\0');
     f.read(name.data(), name_len);
     const auto ndim = read_pod<std::uint64_t>(f);
+    if (ndim > remaining() / sizeof(std::int64_t)) {
+      throw std::runtime_error("Archive::load: dim count exceeds file size in " + path);
+    }
     std::vector<std::int64_t> dims(ndim);
-    std::size_t n = 1;
+    std::uint64_t n = 1;
+    const std::uint64_t max_elems = file_size / sizeof(float);
     for (auto& d : dims) {
       d = read_pod<std::int64_t>(f);
-      n *= static_cast<std::size_t>(d);
+      if (d < 0) throw std::runtime_error("Archive::load: negative dimension in " + path);
+      if (d != 0 && n > max_elems / static_cast<std::uint64_t>(d)) {
+        throw std::runtime_error("Archive::load: entry size exceeds file size in " + path);
+      }
+      n *= static_cast<std::uint64_t>(d);
+    }
+    if (n > remaining() / sizeof(float)) {
+      throw std::runtime_error("Archive::load: truncated data in " + path);
     }
     std::vector<float> data(n);
     f.read(reinterpret_cast<char*>(data.data()), static_cast<std::streamsize>(n * sizeof(float)));

@@ -1,0 +1,53 @@
+# Multi-model soak smoke test: export the tiny MLP and tiny CNN integer
+# packages with vsq_quantize, then drive vsq_soak over a 2-model registry
+# loaded from those archives — concurrent clients, random burst sizes, and
+# deterministic count-triggered hot unload/reload cycles mid-run. The
+# tool's differential audit (on by default) fails the run unless every
+# served response is bit-identical to a fresh sequential single-sample
+# reference runner. Invoked from ctest (see tests/CMakeLists.txt) with
+#   -DVSQ_QUANTIZE=<path> -DVSQ_SOAK=<path> -DWORK_DIR=<scratch dir>
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(ENV{VSQ_ARTIFACTS} "${WORK_DIR}/artifacts")
+set(MLP_PACKAGE "${WORK_DIR}/tiny_int.vsqa")
+set(CONV_PACKAGE "${WORK_DIR}/tiny_conv_int.vsqa")
+
+execute_process(
+  COMMAND "${VSQ_QUANTIZE}" --model=tiny --config=4/8/6/10 --vector=16
+          "--out=${MLP_PACKAGE}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out ERROR_VARIABLE out)
+message(STATUS "vsq_quantize (tiny) output:\n${out}")
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "vsq_quantize --model=tiny failed with exit code ${rc}")
+endif()
+
+execute_process(
+  COMMAND "${VSQ_QUANTIZE}" --model=tiny_conv --config=4/8/6/10 --vector=16
+          "--out=${CONV_PACKAGE}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out ERROR_VARIABLE out)
+message(STATUS "vsq_quantize (tiny_conv) output:\n${out}")
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "vsq_quantize --model=tiny_conv failed with exit code ${rc}")
+endif()
+
+execute_process(
+  COMMAND "${VSQ_SOAK}"
+          "--packages=mlp=${MLP_PACKAGE},cnn=${CONV_PACKAGE}"
+          --clients=4 --requests=160 --burst-max=4 --reload-every=40 --seed=3
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out ERROR_VARIABLE out)
+message(STATUS "vsq_soak output:\n${out}")
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "vsq_soak failed with exit code ${rc}")
+endif()
+if(NOT out MATCHES "responses verified bit-identical to sequential execution")
+  message(FATAL_ERROR "vsq_soak did not report the differential audit")
+endif()
+if(NOT out MATCHES "hot reloads")
+  message(FATAL_ERROR "vsq_soak did not report hot reload cycles")
+endif()
+if(out MATCHES " 0 hot reloads")
+  message(FATAL_ERROR "vsq_soak performed no hot reloads (chaos trigger broken)")
+endif()

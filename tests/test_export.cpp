@@ -2,11 +2,14 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <vector>
 
 #include "exp/experiment_context.h"
 #include "nn/linear.h"
 #include "quant/export.h"
 #include "quant/learned_scale.h"
+#include "serve/registry.h"
 #include "tensor/ops.h"
 #include "util/rng.h"
 
@@ -85,6 +88,164 @@ TEST(ExportErrors, RejectsUnquantizedLayer) {
   Rng rng(6);
   Linear l("l", 8, 4, rng);
   EXPECT_THROW(export_gemm(l, {}), std::invalid_argument);
+}
+
+TEST(ExportRoundTrip, SixteenBitScalePackageSurvivesLoad) {
+  // The widest legal scale format: 16-bit integer per-vector scales (sq is
+  // uint16, MacConfig accepts up to 16). The load-side validation must not
+  // confuse it with the (narrower) element-width bound.
+  Rng rng(77);
+  Linear layer("fc1", 32, 8, rng);
+  layer.set_quant(specs::weight_pv(8, ScaleDtype::kTwoLevelInt, 16),
+                  specs::act_pv(8, false, ScaleDtype::kTwoLevelInt, 16));
+  layer.set_quant_mode(QuantMode::kCalibrate);
+  const Tensor x = random_tensor(Shape{4, 32}, rng);
+  layer.forward(x, false);
+  layer.calibrate_finalize();
+  layer.set_quant_mode(QuantMode::kQuantEval);
+  QuantizedModelPackage pkg;
+  pkg.layers["fc1"] = export_gemm(layer, layer.bias().value.to_vector());
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "vsq_test_pkg16.vsqa").string();
+  pkg.save(path);
+  const QuantizedModelPackage loaded = QuantizedModelPackage::load(path);  // must not throw
+  const Tensor a = run_packaged_layer(pkg.layers.at("fc1"), x);
+  const Tensor b = run_packaged_layer(loaded.layers.at("fc1"), x);
+  EXPECT_LT(max_abs_diff(a, b), 1e-6f);
+  std::remove(path.c_str());
+}
+
+// ---- Archive robustness: corrupt .vsqa inputs must fail cleanly ----
+//
+// Truncated, bit-flipped and wrong-magic archives go through every load
+// surface — Archive::load, QuantizedModelPackage::load, and the
+// multi-model registry's load_file path — and must either load (a flip
+// that only touched payload floats) or throw an ordinary exception. No
+// crash, no giant allocation, no UB: the sanitizer CI job runs this suite
+// under ASan/UBSan.
+
+// A small but fully featured package (per-vector weights, two-level
+// scales, bias, forward program) written to a temp file; returns its path.
+std::string write_fuzz_package(const std::string& tag) {
+  Rng rng(55);
+  Linear layer("fc1", 24, 6, rng);
+  layer.set_quant(specs::weight_pv(4, ScaleDtype::kTwoLevelInt, 6),
+                  specs::act_pv(8, false, ScaleDtype::kTwoLevelInt, 8));
+  layer.set_quant_mode(QuantMode::kCalibrate);
+  layer.forward(random_tensor(Shape{4, 24}, rng), false);
+  layer.calibrate_finalize();
+  layer.set_quant_mode(QuantMode::kQuantEval);
+  QuantizedModelPackage pkg;
+  pkg.layers["fc1"] = export_gemm(layer, layer.bias().value.to_vector());
+  pkg.program = {{"fc1", false}};
+  const std::string path =
+      (std::filesystem::temp_directory_path() / ("vsq_fuzz_" + tag + ".vsqa")).string();
+  pkg.save(path);
+  return path;
+}
+
+std::vector<char> read_bytes(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(f), std::istreambuf_iterator<char>()};
+}
+
+void write_bytes(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// Attempt every load surface on a (possibly corrupt) file. Success is
+// allowed; anything thrown must be a std::exception. Returns true when the
+// package load surfaces succeeded.
+bool load_all_surfaces(const std::string& path, bool through_registry) {
+  try {
+    (void)Archive::load(path);
+  } catch (const std::exception&) {
+    return false;  // archive layer rejected it; package layers see nothing
+  }
+  bool pkg_ok = true;
+  try {
+    (void)QuantizedModelPackage::load(path);
+  } catch (const std::exception&) {
+    pkg_ok = false;
+  }
+  if (through_registry) {
+    ServeConfig cfg;
+    cfg.warmup = false;  // keep per-attempt cost tiny
+    cfg.max_batch = 1;
+    ModelRegistry reg(cfg);
+    try {
+      reg.load_file("fuzz", path);
+      reg.unload("fuzz");
+    } catch (const std::exception&) {
+      // Parse or runner validation rejected it — the clean outcome.
+    }
+  }
+  return pkg_ok;
+}
+
+TEST(ArchiveFuzz, WrongMagicFailsCleanly) {
+  const std::string path = write_fuzz_package("magic");
+  std::vector<char> bytes = read_bytes(path);
+  ASSERT_GE(bytes.size(), 4u);
+  bytes[0] = 'X';
+  bytes[1] = 'Y';
+  write_bytes(path, bytes);
+  EXPECT_THROW((void)Archive::load(path), std::runtime_error);
+  EXPECT_THROW((void)QuantizedModelPackage::load(path), std::runtime_error);
+  ModelRegistry reg;
+  EXPECT_THROW(reg.load_file("m", path), std::runtime_error);
+  EXPECT_FALSE(reg.contains("m"));
+  std::remove(path.c_str());
+}
+
+TEST(ArchiveFuzz, TruncationsFailCleanly) {
+  const std::string path = write_fuzz_package("trunc");
+  const std::vector<char> bytes = read_bytes(path);
+  ASSERT_GT(bytes.size(), 64u);
+  std::vector<std::size_t> cuts{0, 1, 3, 4, 7, 8, 11, 12, 15, 16, 20, 40, 64};
+  for (std::size_t frac = 1; frac < 8; ++frac) cuts.push_back(bytes.size() * frac / 8);
+  cuts.push_back(bytes.size() - 1);
+  for (const std::size_t cut : cuts) {
+    write_bytes(path, {bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(cut)});
+    EXPECT_THROW((void)Archive::load(path), std::runtime_error) << "cut=" << cut;
+    EXPECT_THROW((void)QuantizedModelPackage::load(path), std::runtime_error) << "cut=" << cut;
+  }
+  // The registry path on a representative truncation.
+  write_bytes(path, {bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(bytes.size() / 2)});
+  ModelRegistry reg;
+  EXPECT_THROW(reg.load_file("m", path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(ArchiveFuzz, BitFlipsNeverCrash) {
+  const std::string path = write_fuzz_package("flip");
+  const std::vector<char> bytes = read_bytes(path);
+  std::size_t loaded = 0, rejected = 0;
+  // Dense sweep over the header + structural region, sparse over the
+  // payload: every byte of the first 96, then every 7th byte after, with
+  // a rotating bit position. Deterministic, so a failure reproduces.
+  std::vector<std::size_t> positions;
+  for (std::size_t i = 0; i < std::min<std::size_t>(96, bytes.size()); ++i) positions.push_back(i);
+  for (std::size_t i = 96; i < bytes.size(); i += 7) positions.push_back(i);
+  for (std::size_t n = 0; n < positions.size(); ++n) {
+    const std::size_t pos = positions[n];
+    std::vector<char> corrupt = bytes;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ (1 << (n % 8)));
+    write_bytes(path, corrupt);
+    // The registry spin-up is heavier than a parse; exercise it on a
+    // deterministic subsample.
+    if (load_all_surfaces(path, /*through_registry=*/n % 16 == 0)) {
+      ++loaded;
+    } else {
+      ++rejected;
+    }
+  }
+  // The sweep must have exercised both outcomes: flips in payload floats
+  // load fine, flips in structural fields get rejected.
+  EXPECT_GT(loaded, 0u);
+  EXPECT_GT(rejected, 0u);
+  std::remove(path.c_str());
 }
 
 // ---- Learned per-vector scales ----

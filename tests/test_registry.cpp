@@ -1,0 +1,286 @@
+// ModelRegistry tests: multi-model routing correctness (every response
+// bit-identical to a per-model sequential reference), hot load/unload
+// semantics (drain guarantees, clean rejection races), per-model and
+// cumulative-across-reload stats aggregation, and the registry archive
+// load path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <future>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/ptq.h"
+#include "hw/mac_config.h"
+#include "models/zoo.h"
+#include "serve/registry.h"
+
+namespace vsq {
+namespace {
+
+QuantizedModelPackage tiny_package() { return tiny_mlp_package(MacConfig::parse("4/8/6/10")); }
+
+QuantizedModelPackage tiny8_package() { return tiny_mlp_package(MacConfig::parse("8/8/6/6")); }
+
+QuantizedModelPackage conv_package() {
+  MacConfig mac = MacConfig::parse("4/8/6/10");
+  mac.act_unsigned = true;
+  return tiny_conv_package(mac);
+}
+
+Tensor random_row(std::int64_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(Shape{1, cols});
+  for (auto& v : t.span()) v = static_cast<float>(rng.normal());
+  return t;
+}
+
+void expect_bitwise_equal(const Tensor& a, const Tensor& b) {
+  ASSERT_EQ(a.numel(), b.numel());
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << "element " << i;
+  }
+}
+
+TEST(ModelRegistry, RoutesByNameBitExact) {
+  QuantizedModelPackage mlp = tiny_package();
+  QuantizedModelPackage cnn = conv_package();
+  const QuantizedModelRunner mlp_ref(mlp);
+  const QuantizedModelRunner cnn_ref(cnn);
+
+  ModelRegistry reg;
+  reg.load("mlp", tiny_package());
+  reg.load("cnn", conv_package());
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_EQ(reg.models(), (std::vector<std::string>{"cnn", "mlp"}));
+
+  for (int i = 0; i < 8; ++i) {
+    const Tensor xm = random_row(mlp_ref.in_features(), 100 + static_cast<std::uint64_t>(i));
+    const Tensor xc = random_row(cnn_ref.in_features(), 200 + static_cast<std::uint64_t>(i));
+    expect_bitwise_equal(mlp_ref.forward(xm), reg.infer("mlp", xm));
+    expect_bitwise_equal(cnn_ref.forward(xc), reg.infer("cnn", xc));
+  }
+  EXPECT_EQ(reg.stats("mlp").requests, 8u);
+  EXPECT_EQ(reg.stats("cnn").requests, 8u);
+}
+
+TEST(ModelRegistry, UnknownModelAndDuplicateLoad) {
+  ModelRegistry reg;
+  reg.load("a", tiny_package());
+  EXPECT_THROW(reg.submit("b", Tensor(Shape{1, TinyMlp::kIn})), std::out_of_range);
+  EXPECT_THROW(reg.stats("b"), std::out_of_range);
+  EXPECT_THROW(reg.load("a", tiny_package()), std::invalid_argument);
+  EXPECT_FALSE(reg.contains("b"));
+  EXPECT_TRUE(reg.contains("a"));
+}
+
+TEST(ModelRegistry, UnloadDrainsInFlightRequests) {
+  ServeConfig cfg;
+  cfg.max_batch = 4;
+  ModelRegistry reg(cfg);
+  reg.load("m", tiny_package());
+  const Tensor input = random_row(TinyMlp::kIn, 9);
+  std::vector<std::future<Tensor>> pending;
+  for (int i = 0; i < 32; ++i) pending.push_back(reg.submit("m", input));
+  ASSERT_TRUE(reg.unload("m"));
+  EXPECT_FALSE(reg.contains("m"));
+  EXPECT_FALSE(reg.unload("m"));  // second unload: no-op
+  for (auto& f : pending) {
+    const Tensor y = f.get();  // accepted before the drain -> must resolve
+    EXPECT_EQ(y.shape()[1], TinyMlp::kOut);
+  }
+}
+
+TEST(ModelRegistry, HotReloadReusesNameAndAccumulatesStats) {
+  ModelRegistry reg;
+  reg.load("m", tiny_package());
+  const Tensor input = random_row(TinyMlp::kIn, 10);
+  const Tensor before = reg.infer("m", input);
+  ASSERT_TRUE(reg.unload("m"));
+  // Stats survive the unload (model currently not routed).
+  EXPECT_EQ(reg.stats("m").requests, 1u);
+  reg.load("m", tiny_package());
+  const Tensor after = reg.infer("m", input);
+  // Same deterministic package rebuilt -> same bits.
+  expect_bitwise_equal(before, after);
+  // Cumulative across the reload: both windows count.
+  EXPECT_EQ(reg.stats("m").requests, 2u);
+  const std::vector<RegistryModelStats> all = reg.stats_all();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].name, "m");
+  EXPECT_EQ(all[0].serve.requests, 2u);
+}
+
+TEST(ModelRegistry, StatsStayVisibleWhileDraining) {
+  ServeConfig cfg;
+  cfg.max_batch = 1;
+  ModelRegistry reg(cfg);
+  reg.load("m", tiny_package());
+  const Tensor input = random_row(TinyMlp::kIn, 14);
+  std::vector<std::future<Tensor>> pending;
+  for (int i = 0; i < 48; ++i) pending.push_back(reg.submit("m", input));
+  std::thread unloader([&] { reg.unload("m"); });
+  // While the unload drains (and after it retires the window), the model
+  // must never vanish from stats: no out_of_range, no dropped row.
+  for (int i = 0; i < 200; ++i) {
+    (void)reg.stats("m");
+    bool found = false;
+    for (const RegistryModelStats& m : reg.stats_all()) found = found || m.name == "m";
+    EXPECT_TRUE(found) << "iteration " << i;
+    std::this_thread::yield();
+  }
+  unloader.join();
+  for (auto& f : pending) (void)f.get();
+  EXPECT_EQ(reg.stats("m").requests, 48u);
+}
+
+TEST(ModelRegistry, MergedPercentilesComeFromLargestSingleWindow) {
+  ModelRegistry reg;
+  const Tensor input = random_row(TinyMlp::kIn, 15);
+  const auto serve_window = [&](int n) {
+    reg.load("m", tiny_package());
+    for (int i = 0; i < n; ++i) (void)reg.infer("m", input);
+    ASSERT_TRUE(reg.unload("m"));
+  };
+  // Three windows across two hot reloads: 10, 10, then 15 requests. The
+  // accumulated total after two windows (20) must not outvote the larger
+  // third window when picking which percentiles to report.
+  serve_window(10);
+  serve_window(10);
+  serve_window(15);
+  const ServeStatsSnapshot s = reg.stats("m");
+  EXPECT_EQ(s.requests, 35u);
+  EXPECT_EQ(s.percentile_window, 15u);
+}
+
+TEST(ModelRegistry, PinnedSessionSubmitThrowsAfterUnload) {
+  ModelRegistry reg;
+  reg.load("m", tiny_package());
+  const std::shared_ptr<InferenceSession> pinned = reg.session("m");
+  ASSERT_NE(pinned, nullptr);
+  ASSERT_TRUE(reg.unload("m"));
+  // The pinned session outlives the unload but its queue is closed.
+  EXPECT_THROW(pinned->submit(random_row(TinyMlp::kIn, 11)), std::runtime_error);
+  EXPECT_EQ(reg.session("m"), nullptr);
+}
+
+TEST(ModelRegistry, ConcurrentMixedTrafficBitExact) {
+  QuantizedModelPackage a = tiny_package();
+  QuantizedModelPackage b = tiny8_package();
+  const QuantizedModelRunner ref_a(a);
+  const QuantizedModelRunner ref_b(b);
+
+  ModelRegistry reg;
+  reg.load("a", tiny_package());
+  reg.load("b", tiny8_package());
+
+  constexpr int kClients = 6, kPerClient = 24;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(300 + static_cast<std::uint64_t>(c));
+      for (int i = 0; i < kPerClient; ++i) {
+        const bool use_a = rng.bernoulli(0.5);
+        const Tensor x = random_row(
+            TinyMlp::kIn, 1000 + static_cast<std::uint64_t>(c * kPerClient + i));
+        const Tensor got = reg.infer(use_a ? "a" : "b", x);
+        const Tensor want = use_a ? ref_a.forward(x) : ref_b.forward(x);
+        for (std::int64_t j = 0; j < want.numel(); ++j) {
+          if (got[j] != want[j]) {
+            failures.fetch_add(1);
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  std::uint64_t total = 0;
+  for (const RegistryModelStats& m : reg.stats_all()) total += m.serve.requests;
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kClients * kPerClient));
+}
+
+TEST(ModelRegistry, ConcurrentReloadNeverCorruptsResponses) {
+  QuantizedModelPackage pkg = tiny_package();
+  const QuantizedModelRunner ref(pkg);
+
+  ModelRegistry reg;
+  reg.load("m", tiny_package());
+  std::atomic<bool> stop{false};
+  std::atomic<int> wrong{0};
+  std::atomic<int> served{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(400 + static_cast<std::uint64_t>(c));
+      while (!stop.load(std::memory_order_relaxed)) {
+        const Tensor x = random_row(TinyMlp::kIn, rng.next_u64());
+        Tensor got;
+        try {
+          got = reg.infer("m", x);
+        } catch (const std::exception&) {
+          continue;  // mid-reload: clean rejection is the contract
+        }
+        const Tensor want = ref.forward(x);
+        for (std::int64_t j = 0; j < want.numel(); ++j) {
+          if (got[j] != want[j]) {
+            wrong.fetch_add(1);
+            break;
+          }
+        }
+        served.fetch_add(1);
+      }
+    });
+  }
+  for (int r = 0; r < 6; ++r) {
+    reg.unload("m");
+    reg.load("m", tiny_package());
+  }
+  // Let traffic flow against the final incarnation before stopping.
+  while (served.load() < 16) std::this_thread::yield();
+  stop.store(true);
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_GT(served.load(), 0);
+}
+
+TEST(ModelRegistry, LoadFileRoundTripAndErrors) {
+  const std::string dir = std::filesystem::temp_directory_path().string();
+  const std::string path = dir + "/vsq_registry_pkg.vsqa";
+  QuantizedModelPackage pkg = tiny_package();
+  pkg.save(path);
+  const QuantizedModelRunner ref(pkg);
+
+  ModelRegistry reg;
+  reg.load_file("disk", path);
+  const Tensor x = random_row(TinyMlp::kIn, 12);
+  expect_bitwise_equal(ref.forward(x), reg.infer("disk", x));
+
+  // Missing file: clean throw, registry untouched.
+  EXPECT_THROW(reg.load_file("nope", dir + "/does_not_exist.vsqa"), std::runtime_error);
+  EXPECT_FALSE(reg.contains("nope"));
+  EXPECT_TRUE(reg.contains("disk"));
+  std::remove(path.c_str());
+}
+
+TEST(ModelRegistry, PrintStatsListsEveryModelAndTotal) {
+  ModelRegistry reg;
+  reg.load("x", tiny_package());
+  reg.load("y", tiny8_package());
+  (void)reg.infer("x", random_row(TinyMlp::kIn, 13));
+  std::ostringstream os;
+  reg.print_stats(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("x"), std::string::npos);
+  EXPECT_NE(out.find("y"), std::string::npos);
+  EXPECT_NE(out.find("TOTAL"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vsq

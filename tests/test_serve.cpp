@@ -14,6 +14,7 @@
 #include "exp/ptq.h"
 #include "hw/mac_config.h"
 #include "models/zoo.h"
+#include "quant/int_kernel.h"
 #include "serve/session.h"
 #include "util/thread_pool.h"
 
@@ -189,6 +190,96 @@ TEST(InferenceSession, DatapathStatsAccumulateWhenEnabled) {
   EXPECT_GT(session.datapath_stats().vector_ops, 0u);
 }
 
+// ---- Weight-panel cache: pack at load, never per request ----
+
+TEST(PanelCache, SteadyStateServingRepacksZeroPanels) {
+  // Locks in the PackedWeightCache win: before it, every request re-packed
+  // every layer's IntWeightPanels (most of the batch-1 forward's cost).
+  // Session construction (runner + warmup) may pack; serving traffic must
+  // not.
+  ServeConfig cfg;
+  cfg.collect_datapath_stats = true;
+  InferenceSession session(tiny_package(), cfg);  // warmup on by default
+  const std::uint64_t packed_after_load = detail::panels_packed_total();
+  for (int i = 0; i < 32; ++i) {
+    (void)session.infer(random_rows(1, TinyMlp::kIn, 600 + static_cast<std::uint64_t>(i)));
+  }
+  // Per-call packs observed by the datapath stats: exactly zero...
+  EXPECT_EQ(session.datapath_stats().panels_packed, 0u);
+  // ...and the process-wide pack counter did not move either.
+  EXPECT_EQ(detail::panels_packed_total(), packed_after_load);
+}
+
+TEST(PanelCache, PerCallPathCountsPacksPrepackedDoesNot) {
+  QuantizedModelPackage pkg = tiny_package();
+  const QuantizedLayerPackage& fc1 = pkg.layers.at("fc1");
+  IntGemmStats per_call;
+  (void)run_packaged_layer(fc1, random_rows(2, fc1.weights.cols(), 601), -1, &per_call);
+  EXPECT_EQ(per_call.panels_packed, 1u);
+
+  const QuantizedModelRunner runner(pkg);  // packs both layers at load
+  IntGemmStats cached;
+  (void)runner.forward(random_rows(2, TinyMlp::kIn, 602), &cached);
+  EXPECT_EQ(cached.panels_packed, 0u);
+  EXPECT_GT(cached.vector_ops, 0u);
+}
+
+TEST(PanelCache, PrepackedBitIdenticalToPerCallPack) {
+  QuantizedModelPackage pkg = tiny_package();
+  const QuantizedModelRunner runner(pkg);  // prepacked execution
+  const Tensor x = random_rows(4, TinyMlp::kIn, 603);
+  // The same program chained by hand through the per-call-pack path.
+  Tensor h = run_packaged_layer(pkg.layers.at("fc1"), x);
+  for (auto& v : h.span()) v = v > 0.0f ? v : 0.0f;
+  h = run_packaged_layer(pkg.layers.at("fc2"), h);
+  expect_bitwise_equal(h, runner.forward(x));
+}
+
+TEST(PanelCache, ConvPrepackedBitIdenticalToPerCallPack) {
+  MacConfig mac = MacConfig::parse("4/8/6/10");
+  mac.act_unsigned = true;
+  QuantizedModelPackage pkg = tiny_conv_package(mac);
+  Rng rng(604);
+  int convs = 0;
+  for (const auto& [name, l] : pkg.layers) {
+    if (l.kind != PackagedLayerKind::kConv) continue;
+    ++convs;
+    Tensor x(Shape{2, 8, 8, l.conv_in_channels()});
+    for (auto& v : x.span()) v = static_cast<float>(rng.uniform(-1.5, 1.5));
+    const Tensor per_call = run_packaged_conv_layer(l, x);
+    const detail::IntWeightPanels panels(l.weights, l.act_spec.layout(l.weights.cols()));
+    const Tensor prepacked = run_packaged_conv_layer(l, x, -1, nullptr, &panels);
+    expect_bitwise_equal(per_call, prepacked);
+  }
+  EXPECT_GT(convs, 0);
+}
+
+TEST(PanelCache, MismatchedPrepackedPanelsRejected) {
+  QuantizedModelPackage pkg = tiny_package();
+  const QuantizedLayerPackage& fc1 = pkg.layers.at("fc1");
+  const QuantizedLayerPackage& fc2 = pkg.layers.at("fc2");
+  const Tensor x = random_rows(2, fc1.weights.cols(), 605);
+  // Panels packed from another layer's weights: wrong source -> throw,
+  // never silent garbage.
+  const detail::IntWeightPanels wrong(fc2.weights, fc2.act_spec.layout(fc2.weights.cols()));
+  EXPECT_THROW((void)run_packaged_layer(fc1, x, -1, nullptr, &wrong), std::invalid_argument);
+  // Same weights but packed under different vector boundaries (the vpr may
+  // even coincide): geometry mismatch -> throw.
+  VectorLayout shifted = fc1.act_spec.layout(fc1.weights.cols());
+  shifted.vector_size *= 2;
+  const detail::IntWeightPanels wrong_geom(fc1.weights, shifted);
+  EXPECT_THROW((void)run_packaged_layer(fc1, x, -1, nullptr, &wrong_geom),
+               std::invalid_argument);
+  // A value-identical copy of the weights is still the wrong object: the
+  // panels carry pointers into their source operand, so identity is the
+  // contract.
+  QuantizedLayerPackage copy = fc1;
+  const detail::IntWeightPanels from_copy(copy.weights,
+                                          copy.act_spec.layout(copy.weights.cols()));
+  EXPECT_THROW((void)run_packaged_layer(fc1, x, -1, nullptr, &from_copy),
+               std::invalid_argument);
+}
+
 // ---- Determinism across thread counts ----
 
 TEST(Determinism, RunnerBitIdenticalAcrossThreadCounts) {
@@ -230,15 +321,51 @@ TEST(Determinism, RunnerBitIdenticalAcrossThreadCounts) {
 
 // ---- Stats math ----
 
-TEST(ServeStatsMath, NearestRankPercentiles) {
+TEST(ServeStatsMath, InterpolatedPercentiles) {
   std::vector<double> sample;
-  for (int i = 100; i >= 1; --i) sample.push_back(i);  // 1..100, shuffled order
-  EXPECT_DOUBLE_EQ(percentile_us(sample, 50.0), 50.0);
-  EXPECT_DOUBLE_EQ(percentile_us(sample, 95.0), 95.0);
-  EXPECT_DOUBLE_EQ(percentile_us(sample, 99.0), 99.0);
+  for (int i = 100; i >= 1; --i) sample.push_back(i);  // 1..100, reversed order
+  // Linear interpolation over the n-1 gaps (numpy's default): exact order
+  // statistics at the grid points, blends in between.
+  EXPECT_DOUBLE_EQ(percentile_us(sample, 50.0), 50.5);
+  EXPECT_NEAR(percentile_us(sample, 95.0), 95.05, 1e-9);
+  EXPECT_NEAR(percentile_us(sample, 99.0), 99.01, 1e-9);
   EXPECT_DOUBLE_EQ(percentile_us(sample, 100.0), 100.0);
   EXPECT_DOUBLE_EQ(percentile_us(sample, 0.0), 1.0);
   EXPECT_DOUBLE_EQ(percentile_us({}, 50.0), 0.0);
+}
+
+TEST(ServeStatsMath, LowCountPercentileEdgeCases) {
+  // The old nearest-rank rule snapped every p > 100*(n-1)/n to the max, so
+  // a 5-sample run reported p50 == median but p99 == max exactly — a
+  // number that looked like a resolved tail quantile and wasn't. The
+  // interpolated definition degrades gracefully instead.
+  // Empty: 0 for every p.
+  EXPECT_DOUBLE_EQ(percentile_us({}, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile_us({}, 99.0), 0.0);
+  // One sample answers every p with itself.
+  EXPECT_DOUBLE_EQ(percentile_us({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile_us({7.0}, 50.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile_us({7.0}, 99.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile_us({7.0}, 100.0), 7.0);
+  // Two samples: p50 is the midpoint (was: the larger sample), p99 sits
+  // just below the max instead of on it.
+  EXPECT_DOUBLE_EQ(percentile_us({10.0, 20.0}, 50.0), 15.0);
+  EXPECT_NEAR(percentile_us({10.0, 20.0}, 99.0), 19.9, 1e-9);
+  EXPECT_DOUBLE_EQ(percentile_us({10.0, 20.0}, 100.0), 20.0);
+  // Out-of-range p clamps instead of indexing out of bounds.
+  EXPECT_DOUBLE_EQ(percentile_us({10.0, 20.0}, -5.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile_us({10.0, 20.0}, 250.0), 20.0);
+  // Monotonic in p on a small sample.
+  const std::vector<double> five{3.0, 1.0, 5.0, 2.0, 4.0};
+  double prev = 0.0;
+  for (const double p : {0.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0}) {
+    const double q = percentile_us(five, p);
+    EXPECT_GE(q, prev) << "p=" << p;
+    EXPECT_LE(q, 5.0) << "p=" << p;
+    prev = q;
+  }
+  // p99 of 5 samples no longer equals the max.
+  EXPECT_LT(percentile_us(five, 99.0), 5.0);
 }
 
 TEST(ServeStatsMath, SnapshotAggregates) {
@@ -310,22 +437,64 @@ double closed_loop_rps(const QuantizedModelPackage& pkg, int max_batch) {
   return session.stats().throughput_rps;
 }
 
-TEST(ServeThroughput, BatchingAtLeastDoublesThroughput) {
-  const QuantizedModelPackage pkg = tiny_package();
-  // Perf assertions on shared machines are noisy; the claim is systematic
-  // (batch-16 amortizes per-call weight packing and buffer setup ~8x), so
-  // one clean paired measurement proves it. Retry up to 6 paired attempts
-  // and keep the best same-attempt ratio before declaring failure.
+TEST(ServeThroughput, PanelCacheSpeedsUpBatchOneForward) {
+  // The PackedWeightCache win, as a paired in-process comparison: batch-1
+  // inference through the prepacked runner vs the identical program
+  // executed with per-call weight packing — what every request paid
+  // before the cache existed. At batch 1 the fc1 pack writes about as
+  // many elements as the GEMM multiplies, so the cached path must win by
+  // a clear margin. (The historical ">= 2x from batching" gate lived
+  // here; that gap WAS the per-call pack amortizing, and with packs
+  // hoisted to load time the per-row cost is nearly batch-independent —
+  // the closed-loop test below keeps batching honest instead.)
+  QuantizedModelPackage pkg = tiny_package();
+  const QuantizedModelRunner runner(pkg);
+  const QuantizedLayerPackage& fc1 = pkg.layers.at("fc1");
+  const QuantizedLayerPackage& fc2 = pkg.layers.at("fc2");
+  const Tensor one = random_rows(1, TinyMlp::kIn, 777);
+  const auto per_call_forward = [&] {
+    Tensor h = run_packaged_layer(fc1, one);
+    for (auto& v : h.span()) v = v > 0.0f ? v : 0.0f;
+    return run_packaged_layer(fc2, h);
+  };
+  (void)runner.forward(one);  // warm both paths outside the timed region
+  (void)per_call_forward();
   double best_ratio = 0.0;
   std::string attempts;
-  for (int attempt = 0; attempt < 6 && best_ratio < 2.0; ++attempt) {
+  for (int attempt = 0; attempt < 6 && best_ratio < 1.15; ++attempt) {
+    constexpr int kReps = 300;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < kReps; ++r) (void)per_call_forward();
+    const auto t1 = std::chrono::steady_clock::now();
+    for (int r = 0; r < kReps; ++r) (void)runner.forward(one);
+    const auto t2 = std::chrono::steady_clock::now();
+    const double per_call = std::chrono::duration<double>(t1 - t0).count();
+    const double prepacked = std::chrono::duration<double>(t2 - t1).count();
+    if (prepacked > 0) best_ratio = std::max(best_ratio, per_call / prepacked);
+    attempts += " [" + std::to_string(per_call) + "s vs " + std::to_string(prepacked) + "s]";
+  }
+  EXPECT_GE(best_ratio, 1.15) << "prepacked batch-1 forward not faster than per-call packing; "
+                              << "per-call vs prepacked wall time per attempt:" << attempts;
+}
+
+TEST(ServeThroughput, BatchingDoesNotRegressClosedLoop) {
+  // Closed-loop 8-client serving. Before the PackedWeightCache (PR 5)
+  // batch-1 paid a full weight repack per request, so batch-16 cleared 2x
+  // here; packs now happen once at load for every batch size, batch-1
+  // serving got ~2x faster, and what remains of the gap on a 1-core
+  // container is mostly scheduler noise. The surviving systematic claim:
+  // enabling batching must not materially hurt closed-loop throughput.
+  const QuantizedModelPackage pkg = tiny_package();
+  double best_ratio = 0.0;
+  std::string attempts;
+  for (int attempt = 0; attempt < 6 && best_ratio < 0.75; ++attempt) {
     const double rps1 = closed_loop_rps(pkg, /*max_batch=*/1);
     const double rps16 = closed_loop_rps(pkg, /*max_batch=*/16);
     if (rps1 > 0) best_ratio = std::max(best_ratio, rps16 / rps1);
     attempts += " [" + std::to_string(rps1) + " vs " + std::to_string(rps16) + "]";
   }
-  EXPECT_GE(best_ratio, 2.0) << "batched serving failed to double throughput; "
-                             << "rps(max_batch=1) vs rps(max_batch=16) per attempt:" << attempts;
+  EXPECT_GE(best_ratio, 0.75) << "batched serving regressed closed-loop throughput; "
+                              << "rps(max_batch=1) vs rps(max_batch=16) per attempt:" << attempts;
 }
 
 }  // namespace

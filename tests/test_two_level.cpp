@@ -1,6 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <tuple>
+
 #include "quant/fake_quant.h"
+#include "quant/int_gemm.h"
+#include "quant/int_kernel.h"
+#include "quant/quantized_tensor.h"
 #include "quant/two_level.h"
 #include "tensor/ops.h"
 #include "util/rng.h"
@@ -146,6 +151,142 @@ TEST(TwoLevelChannelFirst, NoExtraClipping) {
     }
   }
 }
+
+// ---- Properties at odd vector lengths, across every supported width ----
+//
+// The paper's configs use V=16/32 and even reduction dims; these
+// parameterized properties pin down the corners that the packed integer
+// datapath must also get right: odd V, a column count V does not divide
+// (so every row ends in a short tail vector), every element width the
+// int16 operand storage supports, and several scale widths. Each case is
+// cross-checked three ways: the production int_gemm (which packs per
+// call), the prepacked-panel path (PackedWeightCache's entry point), and
+// a from-scratch int64 reference loop mirroring the seed arithmetic —
+// all three must agree bit-for-bit.
+
+constexpr std::int64_t kOddCols = 29;  // prime: never divisible by any V
+
+QuantSpec odd_weight_spec(int bits, int scale_bits, int v) {
+  QuantSpec s;
+  s.enabled = true;
+  s.fmt = QuantFormat{bits, true};
+  s.granularity = Granularity::kPerVector;
+  s.vector_size = v;
+  s.scale_dtype = ScaleDtype::kTwoLevelInt;
+  s.scale_fmt = QuantFormat{scale_bits, false};
+  return s;
+}
+
+QuantSpec odd_act_spec(int bits, int scale_bits, int v) {
+  QuantSpec s = odd_weight_spec(bits, scale_bits, v);
+  s.dynamic = true;
+  return s;
+}
+
+// The seed's bit-exact arithmetic, written down independently: int64 dot
+// products and accumulators, the same MSB-keeping scale-product rounding,
+// double de-scaling. What every datapath variant must reproduce exactly.
+Tensor int_gemm_seed_reference(const QuantizedMatrix& act, const QuantizedMatrix& wgt,
+                               int scale_product_bits) {
+  int full_bits = 0;
+  if (act.two_level) full_bits += act.two_level->scale_fmt.bits;
+  if (wgt.two_level) full_bits += wgt.two_level->scale_fmt.bits;
+  const std::int64_t rows = act.rows, k_out = wgt.rows;
+  const std::int64_t vpr = act.layout.vectors_per_row();
+  Tensor out(Shape{rows, k_out});
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t k = 0; k < k_out; ++k) {
+      std::int64_t acc = 0;
+      for (std::int64_t v = 0; v < vpr; ++v) {
+        const auto [c0, c1] = act.layout.col_range(v);
+        std::int64_t dp = 0;
+        for (std::int64_t c = c0; c < c1; ++c) {
+          dp += static_cast<std::int64_t>(act.at(r, c)) * wgt.at(k, c);
+        }
+        const std::uint32_t sp = round_scale_product(
+            act.int_scale(r, v) * wgt.int_scale(k, v), full_bits, scale_product_bits);
+        acc += dp * static_cast<std::int64_t>(sp);
+      }
+      out.at2(r, k) = static_cast<float>(static_cast<double>(acc) *
+                                         static_cast<double>(wgt.outer_scale(k)) *
+                                         act.outer_scale(r));
+    }
+  }
+  return out;
+}
+
+// (element bits, vector size) — bits spans the full int16-backed range,
+// V is odd so the tail-vector and odd-length kernels are exercised.
+class TwoLevelOddVec : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TwoLevelOddVec, RefactorRoundTripIsStable) {
+  // Factoring the effective scales (sq * gamma) a second time must
+  // reproduce the factorization exactly: Eq. 7f maps each row's max scale
+  // to the top integer level, so gamma and every sq are fixed points.
+  const auto [bits, v] = GetParam();
+  for (const int m : {3, 6, 10}) {
+    Rng rng(static_cast<std::uint64_t>(bits * 1000 + v * 100 + m));
+    Tensor x(Shape{6, kOddCols});
+    for (auto& val : x.span()) val = static_cast<float>(rng.normal());
+    const QuantFormat fmt{bits, true};
+    const VectorLayout layout{kOddCols, v, 0};
+    const ScaleSet fp = compute_scales(x, Granularity::kPerVector, layout, fmt);
+    const TwoLevelScales tl =
+        two_level_from_scales(fp, QuantFormat{m, false}, CoarseAxis::kPerRow);
+    const TwoLevelScales tl2 =
+        two_level_from_scales(tl.to_scale_set(), QuantFormat{m, false}, CoarseAxis::kPerRow);
+    ASSERT_EQ(tl2.sq.size(), tl.sq.size());
+    for (std::size_t i = 0; i < tl.sq.size(); ++i) {
+      EXPECT_EQ(tl2.sq[i], tl.sq[i]) << "sq " << i << " M=" << m;
+    }
+    ASSERT_EQ(tl2.gamma.size(), tl.gamma.size());
+    for (std::size_t i = 0; i < tl.gamma.size(); ++i) {
+      EXPECT_FLOAT_EQ(tl2.gamma[i], tl.gamma[i]) << "gamma " << i << " M=" << m;
+    }
+    // And the effective scales are preserved end to end (Eq. 7h fixed
+    // point; gamma re-derivation may round its last bit, hence FLOAT_EQ).
+    const ScaleSet eff = tl.to_scale_set(), eff2 = tl2.to_scale_set();
+    for (std::size_t i = 0; i < eff.scales.size(); ++i) {
+      EXPECT_FLOAT_EQ(eff2.scales[i], eff.scales[i]) << "effective scale " << i << " M=" << m;
+    }
+  }
+}
+
+TEST_P(TwoLevelOddVec, PrepackedGemmBitExactVsSeedReferenceLoop) {
+  const auto [bits, v] = GetParam();
+  for (const int m : {3, 6, 10}) {
+    // Both the full scale product and an aggressively rounded one.
+    for (const int sp_bits : {-1, m}) {
+      Rng rng(static_cast<std::uint64_t>(bits * 10000 + v * 1000 + m * 10 + (sp_bits > 0)));
+      Tensor w(Shape{7, kOddCols}), a(Shape{5, kOddCols});
+      for (auto& val : w.span()) val = static_cast<float>(rng.normal());
+      for (auto& val : a.span()) val = static_cast<float>(rng.laplace(0.5));
+      const QuantizedMatrix wq = quantize_weights_int(w, odd_weight_spec(bits, m, v));
+      const float amax = amax_per_tensor(a);
+      const float gamma = scale_from_amax(amax, QuantFormat{bits, true}) /
+                          static_cast<float>(QuantFormat{m, false}.qmax());
+      const QuantizedMatrix aq =
+          quantize_activations_int(a, odd_act_spec(bits, m, v), amax, gamma);
+
+      const Tensor y_percall = int_gemm(aq, wq, sp_bits, nullptr);
+      const detail::IntWeightPanels panels(wq, aq.layout);  // owning pack
+      const Tensor y_prepacked = int_gemm(aq, wq, sp_bits, nullptr, &panels);
+      const Tensor y_seed = int_gemm_seed_reference(aq, wq, sp_bits);
+      ASSERT_EQ(y_percall.numel(), y_seed.numel());
+      for (std::int64_t i = 0; i < y_seed.numel(); ++i) {
+        ASSERT_EQ(y_percall[i], y_seed[i])
+            << "per-call vs seed at " << i << " M=" << m << " sp=" << sp_bits;
+        ASSERT_EQ(y_prepacked[i], y_seed[i])
+            << "prepacked vs seed at " << i << " M=" << m << " sp=" << sp_bits;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BitsTimesOddV, TwoLevelOddVec,
+    ::testing::Combine(::testing::Values(3, 4, 5, 6, 7, 8, 9, 10),
+                       ::testing::Values(3, 5, 7)));
 
 TEST(TwoLevelChannelFirst, VectorFirstUsuallyTighter) {
   // Eq. 7's vector-first factorization targets each vector's scale

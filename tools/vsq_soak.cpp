@@ -1,0 +1,368 @@
+// vsq_soak — randomized multi-model soak driver for the ModelRegistry
+// (src/serve/registry.h), with a differential audit: every served response
+// is compared bit-for-bit against a fresh sequential single-sample
+// reference runner built independently of the serving stack. K client
+// threads hammer the registry with interleaved traffic across every
+// loaded model (MLP and CNN programs), submit random-size request bursts
+// to vary batch pressure, and a chaos thread hot-unloads and reloads
+// models mid-run — the audit must stay clean through all of it. This is
+// the standing concurrency oracle for the serving engine: any batching,
+// routing, caching or drain bug that alters even one output bit fails the
+// run.
+//
+//   vsq_soak [--builtin=tiny,tiny8,tiny_conv,resnet]   in-process models
+//            [--packages=name=path,name2=path]         .vsqa archives
+//            [--clients=8] [--requests=1024]           total, all clients
+//            [--burst-max=4]      requests submitted per client iteration
+//            [--unique=24]        distinct inputs per model
+//            [--reload-every=64]  hot-unload+reload one model (round robin)
+//                                 each time this many requests have been
+//                                 claimed (0 = off). Count-triggered, so
+//                                 even a short run exercises load/unload
+//                                 against live traffic deterministically.
+//            [--max-batch=16] [--max-wait-us=0] [--cache=0]
+//            [--scale-bits=-1] [--seed=1] [--threads=N]
+//            [--no-check]         skip the differential audit
+//
+// Exit status: 0 clean, 1 on any bit mismatch (or a model that failed to
+// build/load), so CI can gate on it — ctest soak_smoke runs a short
+// deterministic-seed pass over a 2-model registry, and the slow-labeled
+// soak_long the full builtin mix.
+#include <atomic>
+#include <exception>
+#include <functional>
+#include <future>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/ptq.h"
+#include "hw/mac_config.h"
+#include "models/resnetv.h"
+#include "models/zoo.h"
+#include "serve/registry.h"
+#include "util/args.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace vsq;
+
+// One model the soak serves: how to (re)build its package — called once
+// for the reference copy, once for the initial load, and again on every
+// chaos reload — plus the audit state derived from the reference copy.
+struct SoakModel {
+  std::string name;
+  std::function<QuantizedModelPackage()> build;
+
+  QuantizedModelPackage ref_pkg;                   // independent copy
+  std::unique_ptr<QuantizedModelRunner> ref;       // sequential oracle
+  std::vector<Tensor> inputs;                      // [1, in] pool
+  std::vector<Tensor> expected;                    // ref outputs, per input
+};
+
+QuantizedModelPackage build_builtin(const std::string& which) {
+  if (which == "tiny") {
+    return tiny_mlp_package(MacConfig::parse("4/8/6/10"));
+  }
+  if (which == "tiny8") {
+    // Same MLP graph at a wider integer configuration: exercises a second
+    // set of operand widths (and scale formats) through the same registry.
+    return tiny_mlp_package(MacConfig::parse("8/8/6/6"));
+  }
+  MacConfig mac = MacConfig::parse("4/8/6/10");
+  mac.act_unsigned = true;  // post-ReLU activations, as vsq_quantize does
+  if (which == "tiny_conv") {
+    return tiny_conv_package(mac);
+  }
+  if (which == "resnet") {
+    // Untrained ResNetV at the default 16x16 scale: the full residual CNN
+    // topology (stem, plain + projection-shortcut blocks, pool, fc head)
+    // without needing a trained checkpoint. Deterministic seeds make every
+    // rebuild bit-identical, which the differential audit relies on.
+    ResNetVConfig config;
+    config.blocks_per_stage = 1;
+    config.seed = 11;
+    ResNetV model(config);
+    model.fold_batchnorm();
+    Rng rng(11);
+    Tensor calib(Shape{8, config.in_h, config.in_w, config.in_c});
+    for (auto& v : calib.span()) v = static_cast<float>(rng.uniform(-2.0, 2.0));
+    QuantizedModelPackage pkg =
+        calibrate_and_export(model.gemms(), mac.weight_spec(), mac.act_spec(),
+                             [&] { model.forward(calib, false); });
+    pkg.program = model.export_program();
+    pkg.in_h = config.in_h;
+    pkg.in_w = config.in_w;
+    pkg.in_c = config.in_c;
+    return pkg;
+  }
+  throw std::invalid_argument("vsq_soak: unknown builtin model " + which);
+}
+
+std::vector<std::string> split_list(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t end = s.find(sep, start);
+    if (end == std::string::npos) {
+      if (start < s.size()) out.push_back(s.substr(start));
+      break;
+    }
+    if (end > start) out.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vsq;
+  const Args args(argc, argv);
+  if (!apply_threads_flag(args)) return 2;
+  const std::string packages = args.get_str("packages", "");
+  const std::string builtin =
+      args.get_str("builtin", packages.empty() ? "tiny,tiny8,tiny_conv,resnet" : "");
+  const int clients = std::max(1, args.get_int("clients", 8));
+  const auto total_requests = static_cast<std::uint64_t>(std::max(1, args.get_int("requests", 1024)));
+  const int burst_max = std::max(1, args.get_int("burst-max", 4));
+  const int unique = std::max(1, args.get_int("unique", 24));
+  const auto reload_every =
+      static_cast<std::uint64_t>(std::max(0, args.get_int("reload-every", 64)));
+  const bool check = !args.get_flag("no-check");
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  ServeConfig cfg;
+  cfg.max_batch = std::max(1, args.get_int("max-batch", 16));
+  cfg.max_wait_us = std::max(0, args.get_int("max-wait-us", 0));
+  cfg.cache_entries = static_cast<std::size_t>(std::max(0, args.get_int("cache", 0)));
+  cfg.scale_product_bits = args.get_int("scale-bits", -1);
+
+  // ---- Assemble the model mix ----
+  std::vector<SoakModel> models;
+  for (const std::string& which : split_list(builtin, ',')) {
+    models.push_back(SoakModel{which, [which] { return build_builtin(which); }, {}, {}, {}, {}});
+  }
+  for (const std::string& spec : split_list(packages, ',')) {
+    const std::size_t eq = spec.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= spec.size()) {
+      std::cerr << "vsq_soak: --packages entries must be name=path, got: " << spec << "\n";
+      return 2;
+    }
+    const std::string name = spec.substr(0, eq), path = spec.substr(eq + 1);
+    models.push_back(
+        SoakModel{name, [path] { return QuantizedModelPackage::load(path); }, {}, {}, {}, {}});
+  }
+  if (models.empty()) {
+    std::cerr << "vsq_soak: no models (--builtin and --packages both empty)\n";
+    return 2;
+  }
+
+  // ---- Reference oracles + deterministic input pools + registry load ----
+  ModelRegistry registry(cfg);
+  try {
+    for (std::size_t m = 0; m < models.size(); ++m) {
+      SoakModel& sm = models[m];
+      sm.ref_pkg = sm.build();
+      sm.ref = std::make_unique<QuantizedModelRunner>(sm.ref_pkg, cfg.scale_product_bits);
+      const std::int64_t in = sm.ref->in_features();
+      Rng rng(seed + 7919ull * (m + 1));
+      for (int i = 0; i < unique; ++i) {
+        Tensor t(Shape{1, in});
+        for (auto& v : t.span()) v = static_cast<float>(rng.normal());
+        sm.inputs.push_back(std::move(t));
+      }
+      if (check) {
+        // The differential oracle: sequential single-sample execution
+        // through an independently built runner, computed before any
+        // serving traffic exists.
+        for (const Tensor& t : sm.inputs) sm.expected.push_back(sm.ref->forward(t));
+      }
+      // A copy of the already-built package is just as independent of the
+      // oracle runner as a second build() would be, without repeating the
+      // most expensive setup work (chaos reloads still rebuild).
+      registry.load(sm.name, sm.ref_pkg);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "vsq_soak: model setup failed: " << e.what() << "\n";
+    return 1;
+  }
+
+  std::cout << "soaking " << models.size() << " models (";
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    std::cout << (m ? ", " : "") << models[m].name << " " << models[m].ref->in_features()
+              << "->" << models[m].ref->out_features();
+  }
+  std::cout << "): " << clients << " clients, " << total_requests
+            << " requests, burst<=" << burst_max << ", max_batch=" << cfg.max_batch
+            << ", reload every " << reload_every << " requests\n";
+
+  // ---- Chaos: hot unload + reload, round-robin, triggered every
+  // `reload_every` claimed requests. The client whose burst claim crosses
+  // a trigger point performs the cycle inline while every other client
+  // keeps hammering the registry — so load/unload always overlaps live
+  // traffic, and the number of cycles is deterministic for a given
+  // request budget (unlike a timer, which a fast machine outruns).
+  std::atomic<std::uint64_t> reloads{0}, reload_failures{0};
+  std::atomic<std::uint64_t> reload_seq{0};  // round-robin model cursor
+  std::mutex chaos_mu;  // one cycle at a time (two could race one name)
+  const auto chaos_cycle = [&] {
+    std::lock_guard chaos_lock(chaos_mu);
+    const SoakModel& sm =
+        models[reload_seq.fetch_add(1, std::memory_order_relaxed) % models.size()];
+    try {
+      registry.unload(sm.name);  // drains in-flight work for this model
+      registry.load(sm.name, sm.build());
+      reloads.fetch_add(1, std::memory_order_relaxed);
+    } catch (const std::exception& e) {
+      // A failed rebuild would leave the model unrouted; surface it.
+      reload_failures.fetch_add(1, std::memory_order_relaxed);
+      std::cerr << "vsq_soak: reload of " << sm.name << " failed: " << e.what() << "\n";
+    }
+  };
+
+  // ---- Client threads ----
+  std::atomic<std::uint64_t> remaining{total_requests};
+  std::atomic<std::uint64_t> completed{0}, rejected{0}, dropped{0}, mismatches{0}, audited{0};
+  // Per-model completions: the oracle demands every model actually served
+  // (a reload bug could otherwise starve one model into 100% rejections
+  // while the totals still look healthy).
+  std::vector<std::atomic<std::uint64_t>> model_completed(models.size());
+  std::mutex report_mu;  // first few mismatch reports, unscrambled
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng(seed + 104729ull * static_cast<std::uint64_t>(c + 1));
+      std::vector<std::pair<std::size_t, std::size_t>> sent;  // (model, input idx)
+      std::vector<std::future<Tensor>> futures;
+      for (;;) {
+        // Claim a burst of 1..burst_max requests from the global budget:
+        // random burst sizes vary how many rows each batcher coalesces.
+        const auto want = 1 + rng.uniform_u64(static_cast<std::uint64_t>(burst_max));
+        std::uint64_t got = 0;
+        std::uint64_t rem = remaining.load(std::memory_order_relaxed);
+        while (rem > 0 && !remaining.compare_exchange_weak(rem, rem - std::min(want, rem))) {
+        }
+        got = std::min(want, rem);
+        if (got == 0) return;
+        if (reload_every > 0) {
+          // One cycle per trigger boundary this claim crossed (a burst can
+          // straddle several when reload_every <= burst_max, and the
+          // deterministic total-cycle count must not depend on how bursts
+          // happen to land on the boundaries).
+          const std::uint64_t before = total_requests - rem;
+          const std::uint64_t cycles =
+              (before + got) / reload_every - before / reload_every;
+          for (std::uint64_t k = 0; k < cycles; ++k) chaos_cycle();
+        }
+
+        sent.clear();
+        futures.clear();
+        for (std::uint64_t i = 0; i < got; ++i) {
+          const auto m = static_cast<std::size_t>(rng.uniform_u64(models.size()));
+          const auto idx =
+              static_cast<std::size_t>(rng.uniform_u64(models[m].inputs.size()));
+          try {
+            futures.push_back(registry.submit(models[m].name, models[m].inputs[idx]));
+            sent.emplace_back(m, idx);
+          } catch (const std::out_of_range&) {
+            // Model mid-reload, not currently routed: a graceful
+            // rejection, never a wrong answer.
+            rejected.fetch_add(1, std::memory_order_relaxed);
+          } catch (const std::runtime_error&) {
+            // Pinned session whose queue just closed for the drain: same
+            // reload collateral class.
+            rejected.fetch_add(1, std::memory_order_relaxed);
+          } catch (const std::exception&) {
+            // Anything else (e.g. a shape rejection) is a serving bug,
+            // not reload collateral — fail the run.
+            dropped.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        for (std::size_t i = 0; i < futures.size(); ++i) {
+          Tensor y;
+          try {
+            y = futures[i].get();
+          } catch (const std::exception&) {
+            // NOT a reload rejection: submit() accepted this request, and
+            // the registry contract says every accepted request resolves
+            // (unload drains before returning). A throwing future is a
+            // dropped answer — a serving bug — and fails the run below.
+            dropped.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          completed.fetch_add(1, std::memory_order_relaxed);
+          model_completed[sent[i].first].fetch_add(1, std::memory_order_relaxed);
+          if (!check) continue;
+          const SoakModel& sm = models[sent[i].first];
+          const Tensor& want_out = sm.expected[sent[i].second];
+          bool ok = y.numel() == want_out.numel();
+          for (std::int64_t j = 0; ok && j < want_out.numel(); ++j) ok = y[j] == want_out[j];
+          audited.fetch_add(1, std::memory_order_relaxed);
+          if (!ok) {
+            const auto n = mismatches.fetch_add(1, std::memory_order_relaxed);
+            if (n < 8) {
+              std::lock_guard lock(report_mu);
+              std::cerr << "MISMATCH: client " << c << " model " << sm.name << " input "
+                        << sent[i].second << ": served response differs from sequential"
+                        << " reference\n";
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // ---- Report ----
+  registry.print_stats(std::cout);
+  std::cout << "soak totals: " << completed.load() << " completed, " << rejected.load()
+            << " rejected mid-reload, " << reloads.load() << " hot reloads\n";
+  if (reload_failures.load() > 0) {
+    std::cerr << "vsq_soak: " << reload_failures.load() << " reloads FAILED\n";
+    return 1;
+  }
+  if (dropped.load() > 0) {
+    std::cerr << "vsq_soak: " << dropped.load()
+              << " accepted requests never resolved (dropped answers)\n";
+    return 1;
+  }
+  if (completed.load() == 0) {
+    // A soak where nothing completed proves nothing — a drain or submit
+    // regression that rejects every request must not read as a pass.
+    std::cerr << "vsq_soak: no requests completed (all " << rejected.load()
+              << " rejected)\n";
+    return 1;
+  }
+  if (reloads.load() == 0 && rejected.load() > 0) {
+    // Rejections are only legitimate as collateral of a hot reload; with
+    // no reload cycle performed, every one of them is a serving bug.
+    std::cerr << "vsq_soak: " << rejected.load()
+              << " requests rejected with no reload in flight\n";
+    return 1;
+  }
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    if (model_completed[m].load() == 0) {
+      // Healthy totals can hide one model starved into 100% rejections.
+      std::cerr << "vsq_soak: model " << models[m].name << " completed zero requests\n";
+      return 1;
+    }
+  }
+  if (check) {
+    if (mismatches.load() > 0) {
+      std::cerr << "vsq_soak: " << mismatches.load() << " of " << audited.load()
+                << " audited responses MISMATCHED the sequential reference\n";
+      return 1;
+    }
+    if (audited.load() == 0) {
+      std::cerr << "vsq_soak: audit enabled but zero responses audited\n";
+      return 1;
+    }
+    std::cout << audited.load() << " responses verified bit-identical to sequential execution\n";
+  }
+  return 0;
+}
