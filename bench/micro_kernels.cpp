@@ -3,7 +3,13 @@
 // integer GEMM and PE datapath, and fp16 scale rounding.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
 #include "hw/pe_simulator.h"
+#include "kernels/isa.h"
 #include "quant/fake_quant.h"
 #include "quant/int_conv.h"
 #include "quant/int_gemm.h"
@@ -179,6 +185,94 @@ void BM_IntConv(benchmark::State& state) {
                           k_out);
 }
 BENCHMARK(BM_IntConv)->Arg(16)->Arg(64);
+
+// ---- per-ISA-tier entries ----
+//
+// The same BM_IntGemm / BM_ConvFused workloads pinned to each kernel
+// dispatch tier via the VSQ_ISA cap, registered only for tiers this CPU
+// supports. Baselines carry the tiers of the machine that recorded them;
+// compare_bench.py treats hardware-dependent entries as optional
+// (--optional=avx512_vnni) so the gate ports across runners.
+
+class ScopedIsa {
+ public:
+  explicit ScopedIsa(const std::string& tier) {
+    if (const char* prev = std::getenv("VSQ_ISA")) prev_ = prev;
+    setenv("VSQ_ISA", tier.c_str(), 1);
+  }
+  ~ScopedIsa() {
+    if (prev_) {
+      setenv("VSQ_ISA", prev_->c_str(), 1);
+    } else {
+      unsetenv("VSQ_ISA");
+    }
+  }
+
+ private:
+  std::optional<std::string> prev_;
+};
+
+void bm_int_gemm_isa(benchmark::State& state, const std::string& tier) {
+  const ScopedIsa cap(tier);
+  const std::int64_t n = 256;
+  Rng rng(11);
+  Tensor w(Shape{n, n}), a(Shape{n, n});
+  for (auto& v : w.span()) v = static_cast<float>(rng.normal());
+  for (auto& v : a.span()) v = static_cast<float>(rng.normal());
+
+  QuantSpec wspec;
+  wspec.enabled = true;
+  wspec.fmt = QuantFormat{4, true};
+  wspec.granularity = Granularity::kPerVector;
+  wspec.vector_size = 16;
+  wspec.scale_dtype = ScaleDtype::kTwoLevelInt;
+  wspec.scale_fmt = QuantFormat{6, false};
+  QuantSpec aspec = wspec;
+  aspec.dynamic = true;
+
+  const QuantizedMatrix wq = quantize_weights_int(w, wspec);
+  const float amax = amax_per_tensor(a);
+  const float gamma =
+      scale_from_amax(amax, aspec.fmt) / static_cast<float>(aspec.scale_fmt.qmax());
+  const QuantizedMatrix aq = quantize_activations_int(a, aspec, amax, gamma);
+
+  for (auto _ : state) {
+    Tensor y = int_gemm(aq, wq, /*scale_product_bits=*/6, nullptr);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+
+void bm_conv_fused_isa(benchmark::State& state, const std::string& tier) {
+  const ScopedIsa cap(tier);
+  const std::int64_t c = 64;
+  const ConvGeom g{16, 16, c, 3, 1, 1};
+  const std::int64_t n = 8, k_out = c;
+  Rng rng(21);
+  Tensor x(Shape{n, g.in_h, g.in_w, c}), w(Shape{k_out, g.patch_len()}), bias(Shape{k_out});
+  for (auto& v : x.span()) v = static_cast<float>(rng.normal());
+  for (auto& v : w.span()) v = static_cast<float>(rng.normal());
+  for (auto& v : bias.span()) v = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    Tensor y = conv2d_nhwc(x, g, w, bias.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * g.out_h() * g.out_w() * g.patch_len() *
+                          k_out);
+}
+
+const int kIsaTierBenches = [] {
+  std::vector<std::string> tiers{"portable"};
+  if (isa::features().avx2) tiers.push_back("avx2");
+  if (isa::features().avx512_vnni) tiers.push_back("avx512_vnni");
+  for (const std::string& t : tiers) {
+    benchmark::RegisterBenchmark(("BM_IntGemm/isa:" + t + "/256").c_str(),
+                                 bm_int_gemm_isa, t);
+    benchmark::RegisterBenchmark(("BM_ConvFused/isa:" + t + "/64").c_str(),
+                                 bm_conv_fused_isa, t);
+  }
+  return 0;
+}();
 
 void BM_Fp16Round(benchmark::State& state) {
   const Tensor x = random_matrix(64, 512, 7);

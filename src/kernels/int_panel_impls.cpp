@@ -1,0 +1,244 @@
+// Built-in implementations of the int-panel and panel-acc primitives.
+// Every implementation computes EXACTLY the arithmetic of the portable
+// loop — the registry's bit-exactness contract — and differs only in how
+// it feeds the MAC units:
+//
+//   portable          plain C++ [c][j] int16 panel walk
+//   avx2              8 int32 lanes per step (mullo), [c][j] panel
+//   avx2_madd         [pair][j][2] interleave, _mm256_madd_epi16 (2x MACs);
+//                     even vector lengths only
+//   avx512_vnni       [quad][j][4] int8 panel, vpdpbusd (4 MACs/lane/step);
+//                     operands must fit 8 bits (see vnni_eligible)
+//
+// The VNNI kernel's unsigned-by-signed trick: vpdpbusd multiplies UNSIGNED
+// bytes by signed bytes, but our activations are signed. The row is biased
+// to u8 (a + 128) once per row, and each panel stores, per (vector,
+// output), the negated bias term
+//   ncomp[v][j] = -128 * sum_c w[j][c]
+// as the accumulator's initial value, so
+//   ncomp + sum_c (a[c] + 128) * w[j][c] = sum_c a[c] * w[j][c]
+// exactly — the zero-point compensation idiom of oneDNN's int8 GEMMs.
+// Quads are zero-padded in the WEIGHTS, so the up-to-3-byte activation
+// overread past a vector (or row) end contributes zero; the biased row
+// buffer carries 4 zeroed tail bytes for the row end.
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+
+#include "kernels/builtin_impls.h"
+#include "kernels/isa.h"
+#include "kernels/registry.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define VSQ_KERNELS_X86 1
+#include <immintrin.h>
+#else
+#define VSQ_KERNELS_X86 0
+#endif
+
+namespace vsq::kernels {
+namespace {
+
+constexpr int PNR = kPanelCols;
+
+// ---- int-panel implementations --------------------------------------------
+
+void int_panel_portable(const PanelArgs& a) {
+  const auto* wp = static_cast<const std::int16_t*>(a.wp);
+  for (std::int64_t v = 0; v < a.nvec; ++v) {
+    const std::int16_t* ap = a.arow + a.vr[v].c0;
+    const std::int32_t len = a.vr[v].len;
+    std::int32_t acc[PNR] = {};
+    for (std::int32_t c = 0; c < len; ++c) {
+      const std::int32_t av = ap[c];
+      const std::int16_t* wc = wp + static_cast<std::int64_t>(c) * PNR;
+      for (int j = 0; j < PNR; ++j) acc[j] += av * wc[j];
+    }
+    wp += static_cast<std::int64_t>(len) * PNR;
+    std::int32_t* d = a.dp + v * PNR;
+    for (int j = 0; j < PNR; ++j) d[j] = acc[j];
+  }
+}
+
+#if VSQ_KERNELS_X86
+// AVX2: 8 int32 lanes = one panel-width of dot products per instruction.
+__attribute__((target("avx2"))) void int_panel_avx2(const PanelArgs& a) {
+  const auto* wp = static_cast<const std::int16_t*>(a.wp);
+  for (std::int64_t v = 0; v < a.nvec; ++v) {
+    const std::int16_t* ap = a.arow + a.vr[v].c0;
+    const std::int32_t len = a.vr[v].len;
+    __m256i acc = _mm256_setzero_si256();
+    for (std::int32_t c = 0; c < len; ++c) {
+      const __m256i av = _mm256_set1_epi32(ap[c]);
+      const __m256i wv = _mm256_cvtepi16_epi32(
+          _mm_load_si128(reinterpret_cast<const __m128i*>(wp + static_cast<std::int64_t>(c) * PNR)));
+      acc = _mm256_add_epi32(acc, _mm256_mullo_epi32(av, wv));
+    }
+    wp += static_cast<std::int64_t>(len) * PNR;
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a.dp + v * PNR), acc);
+  }
+}
+
+// AVX2 madd variant for even vector lengths: the panel interleaves column
+// PAIRS ([pair][j][2] int16), so one _mm256_madd_epi16 performs 16
+// multiplies and the pairwise adds in a single instruction — 2x the MAC
+// rate of the mullo path. Bit-exact: products of (<=10-bit)x(<=10-bit)
+// values and their pairwise sums are exact in int32 (the caller already
+// guarantees the whole V-length dot product fits int32), and integer
+// addition reassociates freely.
+__attribute__((target("avx2"))) void int_panel_avx2_madd(const PanelArgs& a) {
+  const auto* wp = static_cast<const std::int16_t*>(a.wp);
+  for (std::int64_t v = 0; v < a.nvec; ++v) {
+    const std::int16_t* ap = a.arow + a.vr[v].c0;
+    const std::int32_t pairs = a.vr[v].len / 2;
+    __m256i acc = _mm256_setzero_si256();
+    for (std::int32_t p = 0; p < pairs; ++p) {
+      std::int32_t apair;
+      std::memcpy(&apair, ap + 2 * p, sizeof(apair));  // (a[2p], a[2p+1])
+      const __m256i av = _mm256_set1_epi32(apair);
+      const __m256i wv = _mm256_load_si256(
+          reinterpret_cast<const __m256i*>(wp + static_cast<std::int64_t>(p) * 2 * PNR));
+      acc = _mm256_add_epi32(acc, _mm256_madd_epi16(wv, av));
+    }
+    wp += static_cast<std::int64_t>(pairs) * 2 * PNR;
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a.dp + v * PNR), acc);
+  }
+}
+
+// AVX512-VNNI (VL-encoded, 256-bit): one vpdpbusd per column QUAD — 4
+// u8 x s8 MACs per lane per instruction, 4x the madd path's MAC rate on
+// 8-bit-and-under operands. Consumes the biased-u8 row image (a.arow8) and
+// the [quad][j][4] int8 panel; the accumulator starts at the panel's
+// compensation block (see the file comment) so results equal the signed
+// dot product bit-for-bit. vpdpbusd WRAPS on int32 overflow (it is the
+// non-saturating form), which vnni_eligible's range guard rules out.
+__attribute__((target("avx512vnni,avx512vl,avx512bw,avx512f"))) void int_panel_vnni(
+    const PanelArgs& a) {
+  const auto* wp = static_cast<const std::int8_t*>(a.wp);
+  for (std::int64_t v = 0; v < a.nvec; ++v) {
+    const std::uint8_t* ap = a.arow8 + a.vr[v].c0;
+    const std::int32_t quads = (a.vr[v].len + 3) / 4;
+    __m256i acc =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(a.ncomp + v * PNR));
+    for (std::int32_t q = 0; q < quads; ++q) {
+      std::uint32_t aquad;
+      std::memcpy(&aquad, ap + 4 * q, sizeof(aquad));  // (a[4q..4q+3]) biased u8
+      const __m256i av = _mm256_set1_epi32(static_cast<std::int32_t>(aquad));
+      const __m256i wv = _mm256_load_si256(
+          reinterpret_cast<const __m256i*>(wp + static_cast<std::int64_t>(q) * 4 * PNR));
+      acc = _mm256_dpbusd_epi32(acc, av, wv);
+    }
+    wp += static_cast<std::int64_t>(quads) * 4 * PNR;
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a.dp + v * PNR), acc);
+  }
+}
+#endif  // VSQ_KERNELS_X86
+
+bool madd_eligible(const KernelDesc& d) { return d.shape.even_vectors; }
+
+// The VNNI path is exact only when (1) the biased activation fits u8,
+// (2) the weight fits s8, and (3) the wrapping vpdpbusd accumulator can
+// never leave int32: the running value is bounded by the compensation term
+// (128 * wmax * len) plus the biased partial sums ((amax + 128) * wmax *
+// padded-len), folded into one conservative product below.
+bool vnni_eligible(const KernelDesc& d) {
+  const QuantFormatLite& a = d.quant.act;
+  const QuantFormatLite& w = d.quant.wgt;
+  const std::int64_t bias = a.is_signed ? 128 : 0;
+  if (a.qmax() + bias > 255 || a.qmin() + bias < 0) return false;
+  if (w.qmax() > 127 || w.qmin() < -128) return false;
+  const std::int64_t wmax = std::max(std::abs(w.qmin()), w.qmax());
+  const std::int64_t plen = (std::max<std::int64_t>(d.shape.max_vec_len, 1) + 3) / 4 * 4;
+  return (a.qmax() + 2 * bias) * wmax * plen <= INT32_MAX;
+}
+
+// ---- panel-acc implementations --------------------------------------------
+
+void panel_acc_portable(const std::int32_t* dp, const std::uint32_t* wsq,
+                        const std::uint16_t* asq, std::int64_t vpr, int full_bits,
+                        int scale_product_bits, std::int64_t* acc) {
+  for (std::int64_t v = 0; v < vpr; ++v) {
+    const std::uint32_t as_v = asq ? asq[v] : 1;
+    const std::int32_t* dv = dp + v * PNR;
+    const std::uint32_t* sv = wsq + v * PNR;
+    for (int j = 0; j < PNR; ++j) {
+      const std::uint32_t sp = round_scale_product(as_v * sv[j], full_bits, scale_product_bits);
+      acc[j] += static_cast<std::int64_t>(dv[j]) * sp;
+    }
+  }
+}
+
+#if VSQ_KERNELS_X86
+// 8 scale-multiply-accumulates per step: widen dp and the (rounded) scale
+// products into 64-bit lanes and fuse into two int64 accumulators. Valid
+// while every scale product fits 31 bits (max_full_bits = 30 below).
+__attribute__((target("avx2"))) void panel_acc_avx2(const std::int32_t* dp,
+                                                    const std::uint32_t* wsq,
+                                                    const std::uint16_t* asq, std::int64_t vpr,
+                                                    int full_bits, int scale_product_bits,
+                                                    std::int64_t* acc) {
+  const bool do_round = scale_product_bits > 0 && scale_product_bits < full_bits;
+  const int shift = do_round ? full_bits - scale_product_bits : 0;
+  const __m256i half = _mm256_set1_epi32(do_round ? 1 << (shift - 1) : 0);
+  __m256i acc_even = _mm256_setzero_si256();  // j = 0, 2, 4, 6
+  __m256i acc_odd = _mm256_setzero_si256();   // j = 1, 3, 5, 7
+  for (std::int64_t v = 0; v < vpr; ++v) {
+    const std::int32_t as_v = asq ? asq[v] : 1;
+    __m256i sp = _mm256_mullo_epi32(
+        _mm256_set1_epi32(as_v),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(wsq + v * PNR)));
+    if (do_round) {
+      sp = _mm256_slli_epi32(_mm256_srli_epi32(_mm256_add_epi32(sp, half), shift), shift);
+    }
+    const __m256i dv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dp + v * PNR));
+    // mul_epi32 multiplies the low 32 bits of each 64-bit lane (lanes
+    // 0/2/4/6 of the 8x32 view) into exact 64-bit products.
+    acc_even = _mm256_add_epi64(acc_even, _mm256_mul_epi32(dv, sp));
+    acc_odd = _mm256_add_epi64(
+        acc_odd, _mm256_mul_epi32(_mm256_srli_epi64(dv, 32), _mm256_srli_epi64(sp, 32)));
+  }
+  alignas(32) std::int64_t even[4], odd[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(even), acc_even);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(odd), acc_odd);
+  for (int h = 0; h < 4; ++h) {
+    acc[2 * h] = even[h];
+    acc[2 * h + 1] = odd[h];
+  }
+}
+#endif  // VSQ_KERNELS_X86
+
+}  // namespace
+
+std::vector<IntPanelImpl> builtin_int_panel_impls() {
+  std::vector<IntPanelImpl> impls;
+  impls.push_back({"portable", isa::Tier::kPortable, PanelLayout::kPlain,
+                   /*needs_u8_row=*/false, nullptr, int_panel_portable});
+#if VSQ_KERNELS_X86
+  const isa::Features& f = isa::features();
+  if (f.avx2) {
+    impls.push_back({"avx2", isa::Tier::kAvx2, PanelLayout::kPlain,
+                     /*needs_u8_row=*/false, nullptr, int_panel_avx2});
+    impls.push_back({"avx2_madd", isa::Tier::kAvx2, PanelLayout::kPairInterleaved,
+                     /*needs_u8_row=*/false, madd_eligible, int_panel_avx2_madd});
+  }
+  if (f.avx512_vnni) {
+    impls.push_back({"avx512_vnni", isa::Tier::kAvx512Vnni, PanelLayout::kQuadInt8,
+                     /*needs_u8_row=*/true, vnni_eligible, int_panel_vnni});
+  }
+#endif
+  return impls;
+}
+
+std::vector<PanelAccImpl> builtin_panel_acc_impls() {
+  std::vector<PanelAccImpl> impls;
+  impls.push_back({"portable", isa::Tier::kPortable, /*max_full_bits=*/64, panel_acc_portable});
+#if VSQ_KERNELS_X86
+  if (isa::features().avx2) {
+    impls.push_back({"avx2", isa::Tier::kAvx2, /*max_full_bits=*/30, panel_acc_avx2});
+  }
+#endif
+  return impls;
+}
+
+}  // namespace vsq::kernels

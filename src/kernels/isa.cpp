@@ -1,0 +1,81 @@
+#include "kernels/isa.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define VSQ_ISA_X86 1
+#else
+#define VSQ_ISA_X86 0
+#endif
+
+namespace vsq::isa {
+namespace {
+
+Features probe() {
+  Features f;
+#if VSQ_ISA_X86
+  __builtin_cpu_init();
+  f.avx2 = __builtin_cpu_supports("avx2");
+  f.fma = __builtin_cpu_supports("fma");
+  f.avx512_core = __builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512bw") &&
+                  __builtin_cpu_supports("avx512vl");
+  f.avx512_vnni = f.avx512_core && __builtin_cpu_supports("avx512vnni");
+#endif
+  return f;
+}
+
+}  // namespace
+
+const Features& features() {
+  static const Features f = probe();
+  return f;
+}
+
+const char* tier_name(Tier t) {
+  switch (t) {
+    case Tier::kPortable: return "portable";
+    case Tier::kAvx2: return "avx2";
+    case Tier::kAvx512Vnni: return "avx512_vnni";
+  }
+  return "?";
+}
+
+Tier max_cpu_tier() {
+  const Features& f = features();
+  if (f.avx512_vnni) return Tier::kAvx512Vnni;
+  if (f.avx2) return Tier::kAvx2;
+  return Tier::kPortable;
+}
+
+std::optional<Tier> env_cap() {
+  const char* env = std::getenv("VSQ_ISA");
+  if (env == nullptr) return std::nullopt;
+  const std::string v(env);
+  if (v.empty() || v == "native" || v == "auto") return std::nullopt;
+  if (v == "portable" || v == "scalar") return Tier::kPortable;
+  if (v == "avx2") return Tier::kAvx2;
+  if (v == "avx512_vnni" || v == "vnni" || v == "avx512") return Tier::kAvx512Vnni;
+  throw std::invalid_argument("VSQ_ISA: unknown isa '" + v +
+                              "' (expected portable|avx2|avx512_vnni|native)");
+}
+
+Tier effective_cap() {
+  const Tier hw = max_cpu_tier();
+  const std::optional<Tier> cap = env_cap();
+  if (!cap) return hw;
+  return static_cast<int>(*cap) < static_cast<int>(hw) ? *cap : hw;
+}
+
+std::string summary() {
+  const Features& f = features();
+  std::string s;
+  if (f.avx2) s += f.fma ? "avx2+fma" : "avx2";
+  if (f.avx512_vnni) s += std::string(s.empty() ? "" : " ") + "avx512_vnni";
+  if (s.empty()) s = "portable only";
+  const std::optional<Tier> cap = env_cap();
+  if (cap) s += std::string(" (cap: ") + tier_name(*cap) + " via VSQ_ISA)";
+  return s;
+}
+
+}  // namespace vsq::isa

@@ -1,0 +1,65 @@
+// Single source of CPU-feature truth for the kernel layer. Every runtime
+// dispatch decision in the library (the primitive registry in
+// kernels/registry.h, the fp GEMM microkernel, tool banners) funnels
+// through features() — one __builtin_cpu_init probe, cached for the
+// process — instead of the per-file __builtin_cpu_supports checks the
+// kernels used to carry.
+//
+// Implementations are ranked in tiers. The portable tier is always
+// present and bit-identical to every SIMD tier (the integer datapath is
+// exact, so dispatch can never change results, only speed). The VSQ_ISA
+// environment variable caps the tier at resolution time:
+//
+//   VSQ_ISA=portable      scalar kernels only
+//   VSQ_ISA=avx2          AVX2 kernels allowed, AVX-512/VNNI excluded
+//   VSQ_ISA=avx512_vnni   everything the CPU supports (alias: vnni, avx512)
+//   VSQ_ISA=native        no cap (same as unset; alias: auto)
+//
+// The variable is re-read on every resolution (resolutions happen at
+// package load, not per request), so tests can flip tiers between runner
+// constructions without process restarts. Unknown values throw
+// std::invalid_argument — a typo must not silently serve portable.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace vsq::isa {
+
+struct Features {
+  bool avx2 = false;
+  bool fma = false;
+  // AVX-512 F+BW+VL: what the VL-encoded (256-bit) int8 kernels need.
+  bool avx512_core = false;
+  // avx512_core plus the AVX512-VNNI dot-product extension (vpdpbusd).
+  bool avx512_vnni = false;
+};
+
+// Probed once per process (the only __builtin_cpu_init site in the tree).
+const Features& features();
+
+// Implementation tiers, ordered: a kernel of tier T runs on any CPU whose
+// max_cpu_tier() >= T. kPortable kernels are plain C++ and always run.
+enum class Tier : int {
+  kPortable = 0,
+  kAvx2 = 1,
+  kAvx512Vnni = 2,
+};
+
+const char* tier_name(Tier t);
+
+// Highest tier this CPU can execute.
+Tier max_cpu_tier();
+
+// The VSQ_ISA override, re-read per call. nullopt when unset or
+// native/auto. Throws std::invalid_argument on an unknown value.
+std::optional<Tier> env_cap();
+
+// min(max_cpu_tier(), env_cap()): the ceiling the registry resolves under.
+Tier effective_cap();
+
+// One-line provenance string for tool banners, e.g.
+// "avx2+fma avx512_vnni (cap: portable via VSQ_ISA)".
+std::string summary();
+
+}  // namespace vsq::isa

@@ -1,0 +1,266 @@
+#include "kernels/registry.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "kernels/builtin_impls.h"
+#include "util/scratch.h"
+
+namespace vsq::kernels {
+namespace {
+
+// Implementation tables. std::deque keeps registered impls at stable
+// addresses (resolution hands out references that live as long as the
+// process). Built-ins install on first use; register_*_impl appends.
+struct Tables {
+  std::mutex mu;
+  std::deque<IntPanelImpl> int_panel;
+  std::deque<PanelAccImpl> panel_acc;
+  std::deque<FpMicroImpl> fp_micro;
+  // Chooser cache: (candidate set, shape class) -> winner. Synthetic-bench
+  // ties are timed once per shape class, not per pack.
+  std::map<std::string, const IntPanelImpl*> chooser;
+  // fp-micro resolution cache, keyed by the VSQ_ISA value it was resolved
+  // under (the env is re-read so tests can flip tiers between calls).
+  std::string fp_key = "\x01unresolved";
+  const FpMicroImpl* fp_cached = nullptr;
+};
+
+Tables& tables() {
+  static Tables* t = [] {
+    auto* tt = new Tables();
+    for (const IntPanelImpl& i : builtin_int_panel_impls()) tt->int_panel.push_back(i);
+    for (const PanelAccImpl& i : builtin_panel_acc_impls()) tt->panel_acc.push_back(i);
+    for (const FpMicroImpl& i : builtin_fp_micro_impls()) tt->fp_micro.push_back(i);
+    return tt;
+  }();
+  return *t;
+}
+
+std::atomic<std::uint64_t> g_resolutions{0};
+
+void count_resolution() { g_resolutions.fetch_add(1, std::memory_order_relaxed); }
+
+bool impl_eligible(const IntPanelImpl& impl, const KernelDesc& desc, isa::Tier cap) {
+  if (static_cast<int>(impl.tier) > static_cast<int>(cap)) return false;
+  return impl.eligible == nullptr || impl.eligible(desc);
+}
+
+// ---- micro-benchmark tie-break --------------------------------------------
+//
+// When two SIMD implementations are eligible for a shape class (today:
+// plain AVX2 vs the madd pair-interleave on even vectors, plus VNNI where
+// the CPU has it), neither tier ranking nor heuristics answer which is
+// faster — vector length, panel count and layout interact with the cache.
+// So the registry times the candidates once, on synthetic zeroed operands
+// of the same shape class, and caches the winner. Any choice is CORRECT
+// (all tiers are bit-exact); the bench only decides speed, so a handful of
+// reps suffices.
+
+std::int64_t padded4(std::int64_t len) { return (len + 3) / 4 * 4; }
+
+double time_candidate(const IntPanelImpl& impl, const ShapeClass& shape) {
+  ScratchArena& arena = ScratchArena::thread_local_arena();
+  ScratchRegion region(arena);
+
+  // Synthetic operands of the shape class: the vectors tile cols with the
+  // class's max length (respecting evenness), all values zero — the
+  // kernels' control flow does not depend on data.
+  std::int64_t len = std::max<std::int64_t>(1, shape.max_vec_len);
+  if (shape.even_vectors && len % 2 != 0) ++len;
+  const std::int64_t nvec = std::max<std::int64_t>(1, (shape.cols + len - 1) / len);
+  auto* vr = arena.alloc_n<VecRange>(static_cast<std::size_t>(nvec));
+  std::int64_t padded_cols = 0;
+  for (std::int64_t v = 0; v < nvec; ++v) {
+    const std::int64_t c0 = v * len;
+    const std::int64_t l = std::min(len, std::max<std::int64_t>(1, shape.cols - c0));
+    vr[v] = VecRange{static_cast<std::int32_t>(c0), static_cast<std::int32_t>(l)};
+    padded_cols += padded4(l);
+  }
+  const std::int64_t cols = vr[nvec - 1].c0 + vr[nvec - 1].len;
+
+  const std::size_t panel_bytes = static_cast<std::size_t>(
+      std::max(cols * kPanelCols * static_cast<std::int64_t>(sizeof(std::int16_t)),
+               padded_cols * kPanelCols * static_cast<std::int64_t>(sizeof(std::int8_t))));
+  auto* wp = arena.alloc(panel_bytes);
+  std::memset(wp, 0, panel_bytes);
+  auto* arow = arena.alloc_n<std::int16_t>(static_cast<std::size_t>(cols));
+  std::memset(arow, 0, static_cast<std::size_t>(cols) * sizeof(std::int16_t));
+  auto* arow8 = arena.alloc_n<std::uint8_t>(static_cast<std::size_t>(cols + 4));
+  std::memset(arow8, 0, static_cast<std::size_t>(cols + 4));
+  auto* ncomp = arena.alloc_n<std::int32_t>(static_cast<std::size_t>(nvec * kPanelCols));
+  std::memset(ncomp, 0, static_cast<std::size_t>(nvec * kPanelCols) * sizeof(std::int32_t));
+  auto* dp = arena.alloc_n<std::int32_t>(static_cast<std::size_t>(nvec * kPanelCols));
+
+  PanelArgs a;
+  a.arow = arow;
+  a.arow8 = arow8;
+  a.wp = wp;
+  a.ncomp = ncomp;
+  a.vr = vr;
+  a.nvec = nvec;
+  a.dp = dp;
+
+  using Clock = std::chrono::steady_clock;
+  impl.fn(a);  // warm
+  double best = 1e30;
+  for (int trial = 0; trial < 3; ++trial) {
+    int reps = 1;
+    for (;;) {
+      const auto t0 = Clock::now();
+      for (int r = 0; r < reps; ++r) impl.fn(a);
+      const double ns =
+          std::chrono::duration<double, std::nano>(Clock::now() - t0).count();
+      if (ns >= 20000.0 || reps >= 4096) {
+        best = std::min(best, ns / reps);
+        break;
+      }
+      reps *= 4;
+    }
+  }
+  return best;
+}
+
+std::string chooser_key(const std::vector<const IntPanelImpl*>& cands, const ShapeClass& s) {
+  std::string k;
+  for (const IntPanelImpl* c : cands) k += std::string(c->name) + "|";
+  k += std::to_string(s.cols) + "/" + std::to_string(s.max_vec_len) +
+       (s.even_vectors ? "/e" : "/o");
+  return k;
+}
+
+}  // namespace
+
+const IntPanelImpl& resolve_int_panel(const KernelDesc& desc) {
+  count_resolution();
+  const isa::Tier cap = isa::effective_cap();  // throws on a bad VSQ_ISA
+  Tables& t = tables();
+  std::lock_guard lock(t.mu);
+  std::vector<const IntPanelImpl*> cands;
+  for (const IntPanelImpl& impl : t.int_panel) {
+    if (impl_eligible(impl, desc, cap)) cands.push_back(&impl);
+  }
+  // The portable tier registers unconditionally and is always eligible.
+  const auto top = static_cast<int>(
+      (*std::max_element(cands.begin(), cands.end(),
+                         [](const IntPanelImpl* x, const IntPanelImpl* y) {
+                           return static_cast<int>(x->tier) < static_cast<int>(y->tier);
+                         }))
+          ->tier);
+  if (top == static_cast<int>(isa::Tier::kPortable)) {
+    for (const IntPanelImpl* c : cands) {
+      if (static_cast<int>(c->tier) == top) return *c;
+    }
+  }
+  // Several SIMD implementations eligible: micro-benchmark once per shape
+  // class (portable never contends with SIMD on speed, so it is excluded
+  // from the tie-break).
+  std::vector<const IntPanelImpl*> simd;
+  for (const IntPanelImpl* c : cands) {
+    if (c->tier != isa::Tier::kPortable) simd.push_back(c);
+  }
+  if (simd.size() == 1) return *simd.front();
+  const std::string key = chooser_key(simd, desc.shape);
+  const auto it = t.chooser.find(key);
+  if (it != t.chooser.end()) return *it->second;
+  const IntPanelImpl* best = nullptr;
+  double best_ns = 1e30;
+  for (const IntPanelImpl* c : simd) {
+    const double ns = time_candidate(*c, desc.shape);
+    if (ns < best_ns) {
+      best_ns = ns;
+      best = c;
+    }
+  }
+  t.chooser.emplace(key, best);
+  return *best;
+}
+
+const PanelAccImpl& resolve_panel_acc(const KernelDesc& desc) {
+  count_resolution();
+  const isa::Tier cap = isa::effective_cap();
+  Tables& t = tables();
+  std::lock_guard lock(t.mu);
+  const PanelAccImpl* best = nullptr;
+  for (const PanelAccImpl& impl : t.panel_acc) {
+    if (static_cast<int>(impl.tier) > static_cast<int>(cap)) continue;
+    if (desc.quant.full_bits > impl.max_full_bits) continue;
+    if (best == nullptr || static_cast<int>(impl.tier) > static_cast<int>(best->tier)) {
+      best = &impl;
+    }
+  }
+  return *best;  // the portable impl (max_full_bits = 64) always qualifies
+}
+
+const FpMicroImpl& resolve_fp_micro() {
+  const isa::Tier cap = isa::effective_cap();
+  const char* env = std::getenv("VSQ_ISA");
+  const std::string key = env ? env : "";
+  Tables& t = tables();
+  std::lock_guard lock(t.mu);
+  if (t.fp_cached != nullptr && t.fp_key == key) return *t.fp_cached;
+  count_resolution();
+  const FpMicroImpl* best = nullptr;
+  for (const FpMicroImpl& impl : t.fp_micro) {
+    if (static_cast<int>(impl.tier) > static_cast<int>(cap)) continue;
+    if (best == nullptr || static_cast<int>(impl.tier) > static_cast<int>(best->tier)) {
+      best = &impl;
+    }
+  }
+  t.fp_cached = best;
+  t.fp_key = key;
+  return *best;
+}
+
+const PanelAccImpl& portable_panel_acc() {
+  Tables& t = tables();
+  std::lock_guard lock(t.mu);
+  for (const PanelAccImpl& impl : t.panel_acc) {
+    if (impl.tier == isa::Tier::kPortable) return impl;
+  }
+  return t.panel_acc.front();
+}
+
+std::uint64_t dispatch_resolutions_total() {
+  return g_resolutions.load(std::memory_order_relaxed);
+}
+
+const IntPanelImpl* find_int_panel_impl(const char* name) {
+  Tables& t = tables();
+  std::lock_guard lock(t.mu);
+  for (const IntPanelImpl& impl : t.int_panel) {
+    if (std::strcmp(impl.name, name) == 0) return &impl;
+  }
+  return nullptr;
+}
+
+void register_int_panel_impl(const IntPanelImpl& impl) {
+  Tables& t = tables();
+  std::lock_guard lock(t.mu);
+  t.int_panel.push_back(impl);
+  t.chooser.clear();
+}
+
+void register_panel_acc_impl(const PanelAccImpl& impl) {
+  Tables& t = tables();
+  std::lock_guard lock(t.mu);
+  t.panel_acc.push_back(impl);
+}
+
+void register_fp_micro_impl(const FpMicroImpl& impl) {
+  Tables& t = tables();
+  std::lock_guard lock(t.mu);
+  t.fp_micro.push_back(impl);
+  t.fp_cached = nullptr;
+}
+
+}  // namespace vsq::kernels

@@ -1,0 +1,194 @@
+// Primitive dispatch registry for the compute kernels, after oneDNN's
+// primitive-descriptor idiom: a caller describes WHAT it needs — the op,
+// the shape class, the quantization attributes — and the registry resolves
+// WHICH implementation runs, once, at descriptor-creation time. The
+// resolved implementation is then applied to many executions (the packed
+// weight panels of a layer live for the deployment; the fp microkernel for
+// the process), so steady-state serving performs zero dispatch lookups —
+// asserted by tests via dispatch_resolutions_total().
+//
+// Three primitive kinds cover the library today:
+//   int-panel   the per-vector integer dot-product microkernel (the VS-Quant
+//               MAC array): one activation row x one packed weight panel ->
+//               kPanelCols dot products per vector
+//   panel-acc   the scale-multiply-accumulate reduction over a panel's
+//               vectors (the datapath's int64 accumulator)
+//   fp-micro    the MR x NR register-tile microkernel of the fp32 GEMM
+//
+// Implementations register with an ISA tier (kernels/isa.h) and an
+// eligibility predicate over the descriptor; resolution picks the highest
+// tier the CPU (and the VSQ_ISA cap) allows. Every tier computes EXACTLY
+// the same arithmetic — integer kernels are exact and fp kernels share one
+// accumulation order — so dispatch can change speed, never results. When
+// several SIMD implementations are eligible for a shape, a cached
+// micro-benchmark on synthetic operands of that shape class breaks the tie.
+//
+// New backends (sub-byte packing, bitplane kernels, other ISAs) plug in by
+// appending an implementation with register_*_impl; no dispatch site
+// changes.
+#pragma once
+
+#include <cstdint>
+
+#include "kernels/isa.h"
+
+namespace vsq::kernels {
+
+// Weight rows per packed panel: a panel microkernel produces kPanelCols
+// dot products per vector at once from a j-contiguous panel.
+inline constexpr int kPanelCols = 8;
+
+struct VecRange {
+  std::int32_t c0;
+  std::int32_t len;
+};
+
+// Which primitive a descriptor asks for (carried for introspection).
+enum class OpKind { kIntPanel, kPanelAcc, kFpMicro };
+
+// The shape class of one resolved layer: enough geometry to pick (and
+// micro-benchmark) an implementation, far less than the full operand.
+struct ShapeClass {
+  std::int64_t cols = 0;         // reduction length (activation row width)
+  std::int64_t k_out = 0;        // output columns
+  std::int64_t max_vec_len = 0;  // longest per-vector dot product
+  bool even_vectors = false;     // every vector length even
+};
+
+// quant/format.h's QuantFormat, mirrored so the kernel layer stays below
+// the quant layer in the include order. Aggregate-identical on purpose.
+struct QuantFormatLite {
+  int bits = 8;
+  bool is_signed = true;
+
+  std::int64_t max_level() const { return (std::int64_t{1} << (is_signed ? bits - 1 : bits)) - 1; }
+  std::int64_t qmin() const { return is_signed ? -max_level() : 0; }
+  std::int64_t qmax() const { return max_level(); }
+};
+
+// Quantization attributes bound at descriptor creation, oneDNN-style: the
+// operand formats decide eligibility (e.g. the int8 VNNI kernel needs both
+// operands to fit 8 bits and the biased-u8 accumulation to stay in int32).
+struct QuantAttrs {
+  QuantFormatLite act{8, true};
+  QuantFormatLite wgt{8, true};
+  int full_bits = 0;  // combined width of the per-vector scale product
+};
+
+struct KernelDesc {
+  OpKind op = OpKind::kIntPanel;
+  ShapeClass shape;
+  QuantAttrs quant;
+};
+
+// ---- int-panel primitive ---------------------------------------------------
+
+// How IntWeightPanels must lay the weights out for an implementation.
+enum class PanelLayout {
+  kPlain,            // [c][j] int16
+  kPairInterleaved,  // [pair][j][2] int16 (madd; even vector lengths only)
+  kQuadInt8,         // [quad][j][4] int8, quads zero-padded (VNNI)
+};
+
+// Execution arguments of one (activation row) x (weight panel) pass.
+// arow8/ncomp are set only for layouts that need them (kQuadInt8: the
+// biased-u8 row image and the panel's compensation block, see
+// int_panel_impls.cpp).
+struct PanelArgs {
+  const std::int16_t* arow = nullptr;
+  const std::uint8_t* arow8 = nullptr;
+  const void* wp = nullptr;            // packed panel, layout per the impl
+  const std::int32_t* ncomp = nullptr; // [v][j] accumulator init (else zero)
+  const VecRange* vr = nullptr;
+  std::int64_t nvec = 0;
+  std::int32_t* dp = nullptr;          // out: [v][j] int32 dot products
+};
+
+using IntPanelFn = void (*)(const PanelArgs&);
+
+struct IntPanelImpl {
+  const char* name;
+  isa::Tier tier;
+  PanelLayout layout = PanelLayout::kPlain;
+  bool needs_u8_row = false;
+  // Can this implementation compute desc exactly? (nullptr = always.)
+  bool (*eligible)(const KernelDesc&) = nullptr;
+  IntPanelFn fn = nullptr;
+};
+
+// ---- panel-acc primitive ---------------------------------------------------
+
+// Round an unsigned scale product to keep `bits` MSBs of a `full_bits`-wide
+// value (round-half-up) — the paper's Fig. 3 energy optimization. The
+// canonical definition; vsq::round_scale_product (quant/int_gemm.h)
+// forwards here so the kernel implementations and the quant layer cannot
+// drift apart.
+inline std::uint32_t round_scale_product(std::uint32_t p, int full_bits, int bits) {
+  if (bits <= 0 || bits >= full_bits) return p;
+  const int shift = full_bits - bits;
+  const std::uint32_t half = 1u << (shift - 1);
+  return ((p + half) >> shift) << shift;
+}
+
+// acc[j] += round(asq[v] * wsq[v*kPanelCols+j]) * dp[v*kPanelCols+j] over
+// a panel's vectors (asq == nullptr -> scale 1, the coarse bypass).
+using PanelAccFn = void (*)(const std::int32_t* dp, const std::uint32_t* wsq,
+                            const std::uint16_t* asq, std::int64_t vpr, int full_bits,
+                            int scale_product_bits, std::int64_t* acc);
+
+struct PanelAccImpl {
+  const char* name;
+  isa::Tier tier;
+  int max_full_bits = 64;  // valid while the scale product width fits this
+  PanelAccFn fn = nullptr;
+};
+
+// ---- fp-micro primitive ----------------------------------------------------
+
+// ab[MR*NR] = A_panel * B_panel over kc (tensor/gemm_kernel.h tiling).
+using GemmMicroFn = void (*)(std::int64_t kc, const float* pa, const float* pb, float* ab);
+
+struct FpMicroImpl {
+  const char* name;
+  isa::Tier tier;
+  GemmMicroFn fn = nullptr;
+};
+
+// ---- resolution ------------------------------------------------------------
+
+// Pick the implementation for a descriptor under the current VSQ_ISA cap
+// (isa::effective_cap(); throws std::invalid_argument on an unknown
+// VSQ_ISA value). The portable tier is always present and always eligible,
+// so resolution cannot fail. Returned references stay valid for the
+// process lifetime. Each call counts one dispatch resolution.
+const IntPanelImpl& resolve_int_panel(const KernelDesc& desc);
+const PanelAccImpl& resolve_panel_acc(const KernelDesc& desc);
+
+// The fp microkernel has no per-layer descriptor (one shape class); its
+// resolution is cached per VSQ_ISA value and only a cache miss counts as
+// a dispatch resolution.
+const FpMicroImpl& resolve_fp_micro();
+
+// The always-present scalar scale-accumulate, for callers that must
+// bypass a resolved SIMD impl at run time (stats instrumentation; rows
+// whose full_bits exceed the resolved impl's max_full_bits).
+const PanelAccImpl& portable_panel_acc();
+
+// Process-wide count of dispatch resolutions (relaxed atomic). Serving
+// tests assert steady-state traffic leaves this flat: every resolution
+// happens at package-load time.
+std::uint64_t dispatch_resolutions_total();
+
+// Look up a registered int-panel implementation by name, nullptr when
+// absent (e.g. "avx512_vnni" on a CPU without it). Introspection for the
+// registry tests, which pin a specific kernel instead of riding the
+// tie-break; resolution paths never use this.
+const IntPanelImpl* find_int_panel_impl(const char* name);
+
+// Append an implementation (addresses of registered impls are stable).
+// Built-in tiers self-register on first resolution.
+void register_int_panel_impl(const IntPanelImpl& impl);
+void register_panel_acc_impl(const PanelAccImpl& impl);
+void register_fp_micro_impl(const FpMicroImpl& impl);
+
+}  // namespace vsq::kernels

@@ -153,12 +153,16 @@ QuantizedLayerPackage export_conv(const Conv2d& conv) {
   return pkg;
 }
 
-Tensor run_packaged_layer(const QuantizedLayerPackage& layer, const Tensor& x2d,
-                          int scale_product_bits, IntGemmStats* stats,
-                          const detail::IntWeightPanels* prepacked) {
+namespace {
+
+// Shared body of the gemm-layer paths: quantize the batch, run the packed
+// (or per-call-packing, prepacked == nullptr) integer GEMM, apply bias.
+Tensor gemm_layer_exec(const QuantizedLayerPackage& layer, const Tensor& x2d,
+                       int scale_product_bits, IntGemmStats* stats,
+                       const detail::IntWeightPanels* prepacked) {
   const QuantizedMatrix acts =
       quantize_activations_int(x2d, layer.act_spec, layer.act_amax, layer.act_gamma);
-  Tensor y = int_gemm(acts, layer.weights, scale_product_bits, stats, prepacked);
+  Tensor y = detail::int_gemm_packed(acts, layer.weights, scale_product_bits, stats, prepacked);
   if (!layer.bias.empty()) {
     const std::int64_t rows = y.shape()[0], outs = y.shape()[1];
     if (static_cast<std::int64_t>(layer.bias.size()) != outs) {
@@ -169,9 +173,9 @@ Tensor run_packaged_layer(const QuantizedLayerPackage& layer, const Tensor& x2d,
   return y;
 }
 
-Tensor run_packaged_conv_layer(const QuantizedLayerPackage& layer, const Tensor& x4d,
-                               int scale_product_bits, IntGemmStats* stats,
-                               const detail::IntWeightPanels* prepacked) {
+Tensor conv_layer_exec(const QuantizedLayerPackage& layer, const Tensor& x4d,
+                       int scale_product_bits, IntGemmStats* stats,
+                       const detail::IntWeightPanels* prepacked) {
   if (layer.kind != PackagedLayerKind::kConv) {
     throw std::invalid_argument("run_packaged_conv_layer: " + layer.name +
                                 " is not a conv package");
@@ -181,30 +185,60 @@ Tensor run_packaged_conv_layer(const QuantizedLayerPackage& layer, const Tensor&
   }
   const ConvGeom g{x4d.shape()[1], x4d.shape()[2], x4d.shape()[3], layer.kernel, layer.stride,
                    layer.pad};
-  return int_conv(x4d, g, layer.weights, layer.act_spec, layer.act_amax, layer.act_gamma,
-                  layer.bias, scale_product_bits, stats, prepacked);
+  return detail::int_conv_packed(x4d, g, layer.weights, layer.act_spec, layer.act_amax,
+                                 layer.act_gamma, layer.bias, scale_product_bits, stats,
+                                 prepacked);
 }
 
-PackedWeightCache::PackedWeightCache(const QuantizedModelPackage& pkg) {
-  for (const auto& [name, l] : pkg.layers) {
-    // Panels are packed with the ACT operand's layout, exactly as
-    // int_gemm/int_conv would per call (packaged layers copy the weight
-    // vector geometry onto act_spec, so the two agree by construction).
-    const VectorLayout layout = l.act_spec.layout(l.weights.cols());
-    // Only the int32-exact packed row loop consumes panels; operands wide
-    // enough to need the int64 reference loop never pack, so caching for
-    // them would be wasted memory.
-    if (!detail::int32_dot_exact(l.act_spec.fmt, l.weights.fmt, layout)) continue;
-    panels_.emplace(name,
-                    std::make_unique<const detail::IntWeightPanels>(l.weights, layout));
+}  // namespace
+
+Tensor run_packaged_layer(const QuantizedLayerPackage& layer, const Tensor& x2d,
+                          int scale_product_bits, IntGemmStats* stats) {
+  return gemm_layer_exec(layer, x2d, scale_product_bits, stats, nullptr);
+}
+
+Tensor run_packaged_conv_layer(const QuantizedLayerPackage& layer, const Tensor& x4d,
+                               int scale_product_bits, IntGemmStats* stats) {
+  return conv_layer_exec(layer, x4d, scale_product_bits, stats, nullptr);
+}
+
+IntLayerPrimitive::IntLayerPrimitive(const QuantizedLayerPackage& layer) : layer_(&layer) {
+  // Panels are packed with the ACT operand's layout, exactly as
+  // int_gemm/int_conv would per call (packaged layers copy the weight
+  // vector geometry onto act_spec, so the two agree by construction).
+  const VectorLayout layout = layer.act_spec.layout(layer.weights.cols());
+  // Only the int32-exact packed row loop consumes panels; operands wide
+  // enough to need the int64 reference loop never pack, so resolving a
+  // panel kernel for them would be wasted memory and a broken promise.
+  if (detail::int32_dot_exact(layer.act_spec.fmt, layer.weights.fmt, layout)) {
+    panels_.emplace(layer.weights, layout, detail::IntActAttrs::of(layer.act_spec));
   }
 }
 
-PackedWeightCache::~PackedWeightCache() = default;
+Tensor IntLayerPrimitive::execute(const Tensor& x, const IntExecContext& ctx) const {
+  const detail::IntWeightPanels* pp = panels_ ? &*panels_ : nullptr;
+  // Conv packages execute spatially on NHWC batches; their 2-D form (the
+  // materialized patch matrix) stays available for the reference oracle.
+  if (layer_->kind == PackagedLayerKind::kConv && x.shape().rank() == 4) {
+    return conv_layer_exec(*layer_, x, ctx.scale_product_bits, ctx.stats, pp);
+  }
+  return gemm_layer_exec(*layer_, x, ctx.scale_product_bits, ctx.stats, pp);
+}
 
-const detail::IntWeightPanels* PackedWeightCache::find(const std::string& layer) const {
-  const auto it = panels_.find(layer);
-  return it == panels_.end() ? nullptr : it->second.get();
+const char* IntLayerPrimitive::op_name() const {
+  return layer_->kind == PackagedLayerKind::kConv ? "int_conv" : "int_gemm";
+}
+
+const char* IntLayerPrimitive::impl_name() const {
+  return panels_ ? panels_->panel_impl().name : "int64_ref";
+}
+
+const char* IntLayerPrimitive::acc_name() const {
+  return panels_ ? panels_->acc_impl().name : "int64_ref";
+}
+
+const char* IntLayerPrimitive::isa_name() const {
+  return panels_ ? isa::tier_name(panels_->panel_impl().tier) : "-";
 }
 
 void QuantizedModelPackage::save(const std::string& path) const {
@@ -459,7 +493,6 @@ QuantizedModelRunner::QuantizedModelRunner(const QuantizedModelPackage& pkg,
   // produced a fresh h since the last save (true for every generated
   // program; reject hand-crafted ones that would alias-and-mutate).
   bool fresh_h = false;
-  steps_.reserve(program_.size());
   for (const ForwardStep& step : program_) {
     const QuantizedLayerPackage* layer = nullptr;
     if (op_uses_layer(step.op)) {
@@ -470,7 +503,6 @@ QuantizedModelRunner::QuantizedModelRunner(const QuantizedModelPackage& pkg,
       }
       layer = &it->second;
     }
-    steps_.push_back(layer);
     // ReLU after a step applies to the main-path activation h. Reject it
     // on ops that write `saved` (or alias h with it): silently relu-ing
     // the wrong tensor would corrupt outputs with no diagnostic.
@@ -556,13 +588,19 @@ QuantizedModelRunner::QuantizedModelRunner(const QuantizedModelPackage& pkg,
   }
   out_features_ = cur.spatial ? cur.h * cur.w * cur.c : cur.features;
 
-  // Pack every layer's weight panels once, after validation passed: the
-  // per-request path then streams prepacked panels and never repacks.
-  packed_ = PackedWeightCache(pkg);
-  step_panels_.reserve(steps_.size());
-  for (std::size_t i = 0; i < steps_.size(); ++i) {
-    step_panels_.push_back(steps_[i] ? packed_.find(program_[i].layer) : nullptr);
+  // Resolve every layer into its primitive once, after validation passed
+  // (kernel dispatch + weight-panel pack): the per-request path then
+  // executes resolved primitives — zero repacks, zero dispatch lookups.
+  for (const auto& [name, l] : pkg.layers) prims_.try_emplace(name, l);
+  step_prims_.reserve(program_.size());
+  for (const ForwardStep& step : program_) {
+    step_prims_.push_back(op_uses_layer(step.op) ? &prims_.at(step.layer) : nullptr);
   }
+}
+
+const IntLayerPrimitive* QuantizedModelRunner::primitive(const std::string& layer) const {
+  const auto it = prims_.find(layer);
+  return it == prims_.end() ? nullptr : &it->second;
 }
 
 QuantizedModelRunner::~QuantizedModelRunner() = default;
@@ -583,17 +621,15 @@ Tensor QuantizedModelRunner::forward(const Tensor& x, IntGemmStats* stats) const
   const std::int64_t rows = x.shape()[0];
   Tensor h = spatial_ ? x.reshape(Shape{rows, pkg_->in_h, pkg_->in_w, pkg_->in_c}) : x;
   Tensor saved;
-  for (std::size_t i = 0; i < steps_.size(); ++i) {
+  const IntExecContext ctx{scale_product_bits_, stats};
+  for (std::size_t i = 0; i < step_prims_.size(); ++i) {
     switch (program_[i].op) {
       case Op::kGemm:
-        h = run_packaged_layer(*steps_[i], h, scale_product_bits_, stats, step_panels_[i]);
-        break;
       case Op::kConv:
-        h = run_packaged_conv_layer(*steps_[i], h, scale_product_bits_, stats, step_panels_[i]);
+        h = step_prims_[i]->execute(h, ctx);
         break;
       case Op::kConvSaved:
-        saved = run_packaged_conv_layer(*steps_[i], saved, scale_product_bits_, stats,
-                                        step_panels_[i]);
+        saved = step_prims_[i]->execute(saved, ctx);
         break;
       case Op::kSave:
         saved = h;  // shallow: the next conv produces a fresh h
@@ -623,11 +659,15 @@ IntegerExecutionGuard::IntegerExecutionGuard(std::vector<QuantizableGemm*> gemms
     }
   }
   for (QuantizableGemm* g : gemms_) {
-    // The map node is stable for the guard's lifetime (caller keeps pkg
-    // alive, as the constructor reference implies).
-    const QuantizedLayerPackage* layer = &pkg.layers.at(g->gemm_name());
-    g->set_gemm_override([this, layer, scale_product_bits](const Tensor& x2d) {
-      return run_packaged_layer(*layer, x2d, scale_product_bits, &stats_);
+    // Resolve the layer's primitive once; the override then streams every
+    // forward through the prepacked panels. Map nodes are stable for the
+    // guard's lifetime (and the caller keeps pkg alive, as the
+    // constructor reference implies).
+    const auto [it, inserted] =
+        prims_.try_emplace(g->gemm_name(), pkg.layers.at(g->gemm_name()));
+    const IntLayerPrimitive* prim = &it->second;
+    g->set_gemm_override([this, prim, scale_product_bits](const Tensor& x2d) {
+      return prim->execute(x2d, IntExecContext{scale_product_bits, &stats_});
     });
   }
 }

@@ -8,12 +8,13 @@
 #pragma once
 
 #include <map>
-#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "nn/layer.h"
 #include "quant/int_gemm.h"
+#include "quant/int_kernel.h"
 #include "quant/quantized_tensor.h"
 #include "util/archive.h"
 
@@ -88,52 +89,72 @@ QuantizedLayerPackage export_gemm(const QuantizableGemm& gemm, const std::vector
 // layer's fp bias (BatchNorm folding moves the BN affine there).
 QuantizedLayerPackage export_conv(const Conv2d& conv);
 
-// Weight panels packed once per model load instead of once per int_gemm /
-// int_conv call. The construction walks every layer of the package and
-// prepacks the ones the int32-exact packed row loop will actually consume
-// (everything the paper's configs produce); layers that would route
-// through the int64 reference fallback get no entry and keep their
-// per-call behavior. Entries point into the package's QuantizedMatrix
-// objects, so the package must outlive the cache — QuantizedModelRunner
-// owns one and satisfies that by construction. Before this cache existed,
-// every serving request re-packed every layer's panels; at batch 1 the
-// pack writes about as many elements as the GEMM multiplies, so hoisting
-// it sped the batch-1 forward ~4x on the committed baselines
-// (BENCH_serve.json). Steady-state serving now performs zero packs
-// (asserted by tests/test_serve.cpp via IntGemmStats::panels_packed).
-class PackedWeightCache {
+// Execution-time parameters of a resolved primitive — everything that may
+// legitimately vary per call, separated from what the primitive bound at
+// creation (weights, quantization attributes, kernel implementations),
+// after oneDNN's execution-context idiom.
+struct IntExecContext {
+  int scale_product_bits = -1;    // as in int_gemm; < 0 keeps the full product
+  IntGemmStats* stats = nullptr;  // accumulate datapath stats when non-null
+};
+
+// One packaged layer resolved into an executable primitive. Construction
+// is the descriptor step: it asks the kernel dispatch registry
+// (kernels/registry.h) which implementations run for this layer's shape
+// class and quantization attributes, and packs the weight panels once in
+// the layout that implementation consumes. execute() then applies the
+// resolved kernels to one activation batch — no per-call packing, no
+// dispatch lookups, no nullable prepacked-panel plumbing (this API
+// replaced the IntWeightPanels* parameters that used to thread through
+// run_packaged_* and the runner). Layers whose operand widths exceed
+// int32-exact accumulation resolve to the int64 reference loop instead
+// (no panels; bit-identical, packs per call inside int_gemm). The bound
+// package entry must outlive the primitive.
+//
+// Before load-time packing existed, every serving request re-packed every
+// layer's panels; at batch 1 the pack writes about as many elements as
+// the GEMM multiplies, so hoisting it sped the batch-1 forward ~4x on the
+// committed baselines (BENCH_serve.json). Steady-state serving performs
+// zero packs and zero dispatch resolutions (asserted by tests via
+// IntGemmStats::panels_packed and kernels::dispatch_resolutions_total).
+class IntLayerPrimitive {
  public:
-  PackedWeightCache() = default;
-  explicit PackedWeightCache(const QuantizedModelPackage& pkg);
-  ~PackedWeightCache();
+  explicit IntLayerPrimitive(const QuantizedLayerPackage& layer);
 
-  PackedWeightCache(PackedWeightCache&&) noexcept = default;
-  PackedWeightCache& operator=(PackedWeightCache&&) noexcept = default;
+  // x: [rows, features] for a GEMM layer (for conv packages this 2-D form
+  // is the *materialized* patch matrix — the reference path), NHWC
+  // [N, H, W, C] for a conv layer. Applies the layer op and its bias;
+  // program-level ReLU stays with the runner.
+  Tensor execute(const Tensor& x, const IntExecContext& ctx = {}) const;
 
-  // nullptr when the layer has no prepacked panels (unknown name, or the
-  // layer routes through the reference fallback).
-  const detail::IntWeightPanels* find(const std::string& layer) const;
-  std::size_t size() const { return panels_.size(); }
+  const QuantizedLayerPackage& layer() const { return *layer_; }
+  // False when the layer routes through the int64 reference fallback.
+  bool prepacked() const { return panels_.has_value(); }
+
+  // Introspection (vsq_inspect --kernels): the resolved kernel identities.
+  const char* op_name() const;    // "int_gemm" / "int_conv"
+  const char* impl_name() const;  // panel impl, or "int64_ref" (no panels)
+  const char* acc_name() const;   // scale-accumulate impl, or "int64_ref"
+  const char* isa_name() const;   // ISA tier of the panel impl, or "-"
 
  private:
-  std::map<std::string, std::unique_ptr<const detail::IntWeightPanels>> panels_;
+  const QuantizedLayerPackage* layer_;
+  std::optional<detail::IntWeightPanels> panels_;
 };
 
 // Run one packaged layer on an activation matrix through the integer
 // datapath. scale_product_bits as in int_gemm. For conv packages x2d is
 // the *materialized* patch matrix — the reference path; the runner serves
-// convs through run_packaged_conv_layer instead. `prepacked` as in
-// int_gemm: panels previously packed from this layer's weights
-// (PackedWeightCache::find) skip the per-call pack.
+// convs through run_packaged_conv_layer instead. Packs panels per call;
+// deployments resolve an IntLayerPrimitive once instead — outputs are
+// bit-identical either way.
 Tensor run_packaged_layer(const QuantizedLayerPackage& layer, const Tensor& x2d,
-                          int scale_product_bits = -1, IntGemmStats* stats = nullptr,
-                          const detail::IntWeightPanels* prepacked = nullptr);
+                          int scale_product_bits = -1, IntGemmStats* stats = nullptr);
 
 // Run one packaged conv layer on an NHWC activation tensor through the
 // tiled integer conv datapath (quant/int_conv.h). Returns [N, OH, OW, K].
 Tensor run_packaged_conv_layer(const QuantizedLayerPackage& layer, const Tensor& x4d,
-                               int scale_product_bits = -1, IntGemmStats* stats = nullptr,
-                               const detail::IntWeightPanels* prepacked = nullptr);
+                               int scale_product_bits = -1, IntGemmStats* stats = nullptr);
 
 // Standalone integer-datapath model executor: runs a package's forward
 // program (layer chain, ReLUs, conv/residual/pool ops) entirely through
@@ -151,8 +172,8 @@ class QuantizedModelRunner {
   // must outlive the runner. Throws std::invalid_argument when a program
   // step names a missing layer, consecutive layers' shapes don't chain, or
   // a spatial program lacks the package input geometry. Construction also
-  // packs every layer's integer weight panels (PackedWeightCache), so
-  // forward() never repacks.
+  // resolves every layer into an IntLayerPrimitive (kernel dispatch +
+  // weight-panel pack), so forward() never repacks and never dispatches.
   explicit QuantizedModelRunner(const QuantizedModelPackage& pkg, int scale_product_bits = -1);
   ~QuantizedModelRunner();
 
@@ -171,14 +192,16 @@ class QuantizedModelRunner {
   std::int64_t out_features() const { return out_features_; }
   bool spatial() const { return spatial_; }
   const std::vector<ForwardStep>& program() const { return program_; }
-  const PackedWeightCache& packed_weights() const { return packed_; }
+  // The layer's resolved primitive (nullptr for unknown names), and the
+  // full load-time resolution — what vsq_inspect --kernels prints.
+  const IntLayerPrimitive* primitive(const std::string& layer) const;
+  const std::map<std::string, IntLayerPrimitive>& primitives() const { return prims_; }
 
  private:
   const QuantizedModelPackage* pkg_;
   std::vector<ForwardStep> program_;
-  std::vector<const QuantizedLayerPackage*> steps_;  // resolved, in order
-  std::vector<const detail::IntWeightPanels*> step_panels_;  // parallel to steps_
-  PackedWeightCache packed_;
+  std::map<std::string, IntLayerPrimitive> prims_;  // resolved at load time
+  std::vector<const IntLayerPrimitive*> step_prims_;  // parallel to program_
   int scale_product_bits_;
   bool spatial_ = false;  // program starts on an NHWC image
   std::int64_t in_features_ = 0, out_features_ = 0;
@@ -187,8 +210,10 @@ class QuantizedModelRunner {
 // RAII deployment runner: installs a GEMM override on every listed layer so
 // the model's own forward() executes each GEMM through the bit-accurate
 // integer datapath of its package entry (the layer still applies its fp
-// bias, exactly as the fake-quant path does). Uninstalls on destruction.
-// Aggregate datapath statistics (vector ops, gating) accumulate in stats().
+// bias, exactly as the fake-quant path does). Construction resolves one
+// IntLayerPrimitive per layer, so the overridden forwards never repack.
+// Uninstalls on destruction. Aggregate datapath statistics (vector ops,
+// gating) accumulate in stats().
 //
 //   QuantizedModelPackage pkg = QuantizedModelPackage::load(path);
 //   {
@@ -209,6 +234,7 @@ class IntegerExecutionGuard {
 
  private:
   std::vector<QuantizableGemm*> gemms_;
+  std::map<std::string, IntLayerPrimitive> prims_;  // stable addresses
   IntGemmStats stats_;
 };
 

@@ -44,26 +44,46 @@ void add_bias_rows(float* dst, std::int64_t rows, std::int64_t k_out,
   add_row_bias(dst, rows, k_out, bias.data());
 }
 
-}  // namespace
-
-Tensor int_conv_reference(const Tensor& x, const ConvGeom& g, const QuantizedMatrix& wgt,
-                          const QuantSpec& act_spec, float act_amax, float act_gamma,
-                          const std::vector<float>& bias, int scale_product_bits,
-                          IntGemmStats* stats, const detail::IntWeightPanels* prepacked) {
+// Shared body of int_conv_reference and the reference fallbacks inside
+// detail::int_conv_packed (which thread a prepacked set through to the
+// materialized int_gemm).
+Tensor conv_reference_packed(const Tensor& x, const ConvGeom& g, const QuantizedMatrix& wgt,
+                             const QuantSpec& act_spec, float act_amax, float act_gamma,
+                             const std::vector<float>& bias, int scale_product_bits,
+                             IntGemmStats* stats, const detail::IntWeightPanels* prepacked) {
   const VectorLayout act_layout = act_spec.layout(g.patch_len());
   check_conv_operands(x, g, wgt, act_layout);
   const std::int64_t n = x.shape()[0], oh = g.out_h(), ow = g.out_w();
   const Tensor cols = im2col(x, g);
   const QuantizedMatrix acts = quantize_activations_int(cols, act_spec, act_amax, act_gamma);
-  Tensor y = int_gemm(acts, wgt, scale_product_bits, stats, prepacked);
+  Tensor y = detail::int_gemm_packed(acts, wgt, scale_product_bits, stats, prepacked);
   add_bias_rows(y.data(), n * oh * ow, wgt.rows, bias);
   return y.reshape(Shape{n, oh, ow, wgt.rows});
 }
 
+}  // namespace
+
+Tensor int_conv_reference(const Tensor& x, const ConvGeom& g, const QuantizedMatrix& wgt,
+                          const QuantSpec& act_spec, float act_amax, float act_gamma,
+                          const std::vector<float>& bias, int scale_product_bits,
+                          IntGemmStats* stats) {
+  return conv_reference_packed(x, g, wgt, act_spec, act_amax, act_gamma, bias,
+                               scale_product_bits, stats, nullptr);
+}
+
 Tensor int_conv(const Tensor& x, const ConvGeom& g, const QuantizedMatrix& wgt,
                 const QuantSpec& act_spec, float act_amax, float act_gamma,
-                const std::vector<float>& bias, int scale_product_bits, IntGemmStats* stats,
-                const detail::IntWeightPanels* prepacked) {
+                const std::vector<float>& bias, int scale_product_bits, IntGemmStats* stats) {
+  return detail::int_conv_packed(x, g, wgt, act_spec, act_amax, act_gamma, bias,
+                                 scale_product_bits, stats, nullptr);
+}
+
+namespace detail {
+
+Tensor int_conv_packed(const Tensor& x, const ConvGeom& g, const QuantizedMatrix& wgt,
+                       const QuantSpec& act_spec, float act_amax, float act_gamma,
+                       const std::vector<float>& bias, int scale_product_bits,
+                       IntGemmStats* stats, const IntWeightPanels* prepacked) {
   if (!act_spec.enabled) throw std::invalid_argument("int_conv: activation spec disabled");
   const std::int64_t plen = g.patch_len();
   const VectorLayout act_layout = act_spec.layout(plen);
@@ -85,15 +105,15 @@ Tensor int_conv(const Tensor& x, const ConvGeom& g, const QuantizedMatrix& wgt,
   // (coarse activations calibrate statically); route the corner case
   // through the materialized reference.
   if (!per_vector && act_spec.dynamic) {
-    return int_conv_reference(x, g, wgt, act_spec, act_amax, act_gamma, bias,
-                              scale_product_bits, stats, prepacked);
+    return conv_reference_packed(x, g, wgt, act_spec, act_amax, act_gamma, bias,
+                                 scale_product_bits, stats, prepacked);
   }
 
   // int32-exactness checked before packing: the int64 reference fallback
   // (which packs inside int_gemm) must not pay for a discarded pack here.
-  if (!detail::int32_dot_exact(act_spec.fmt, wgt.fmt, act_layout)) {
-    return int_conv_reference(x, g, wgt, act_spec, act_amax, act_gamma, bias,
-                              scale_product_bits, stats, prepacked);
+  if (!int32_dot_exact(act_spec.fmt, wgt.fmt, act_layout)) {
+    return conv_reference_packed(x, g, wgt, act_spec, act_amax, act_gamma, bias,
+                                 scale_product_bits, stats, prepacked);
   }
 
   const std::int64_t n = x.shape()[0], oh = g.out_h(), ow = g.out_w();
@@ -103,15 +123,15 @@ Tensor int_conv(const Tensor& x, const ConvGeom& g, const QuantizedMatrix& wgt,
 
   ScratchArena& arena = ScratchArena::thread_local_arena();
   ScratchRegion region(arena);
-  std::optional<detail::IntWeightPanels> local_panels;
-  if (prepacked != nullptr && !prepacked->matches(wgt, act_layout)) {
+  std::optional<IntWeightPanels> local_panels;
+  if (prepacked != nullptr && !prepacked->matches(wgt, act_layout, act_spec.fmt)) {
     throw std::invalid_argument("int_conv: prepacked panels do not match the operands");
   }
   if (prepacked == nullptr) {
-    local_panels.emplace(wgt, act_layout, arena);
+    local_panels.emplace(wgt, act_layout, IntActAttrs::of(act_spec), arena);
     if (stats) ++stats->panels_packed;
   }
-  const detail::IntWeightPanels& panels = prepacked ? *prepacked : *local_panels;
+  const IntWeightPanels& panels = prepacked ? *prepacked : *local_panels;
 
   int full_bits = 0;
   if (per_vector) full_bits += act_spec.scale_fmt.bits;
@@ -142,8 +162,12 @@ Tensor int_conv(const Tensor& x, const ConvGeom& g, const QuantizedMatrix& wgt,
     auto* frow = ta.alloc_n<float>(static_cast<std::size_t>(plen));
     auto* qrow = ta.alloc_n<std::int16_t>(static_cast<std::size_t>(plen));
     auto* sqrow = ta.alloc_n<std::uint16_t>(static_cast<std::size_t>(vpr));
-    auto* dp = ta.alloc_n<std::int32_t>(static_cast<std::size_t>(vpr * detail::kIntPanelCols));
-    detail::IntRowStats t;
+    auto* dp = ta.alloc_n<std::int32_t>(static_cast<std::size_t>(vpr * kIntPanelCols));
+    std::uint8_t* u8row =
+        panels.needs_u8_row()
+            ? ta.alloc_n<std::uint8_t>(static_cast<std::size_t>(panels.u8_row_len()))
+            : nullptr;
+    IntRowStats t;
     for (std::size_t r = rb; r < re; ++r) {
       const auto ri = static_cast<std::int64_t>(r);
       im2col_rows(src, g, ri, ri + 1, frow, plen);
@@ -158,7 +182,7 @@ Tensor int_conv(const Tensor& x, const ConvGeom& g, const QuantizedMatrix& wgt,
       }
       float* drow = dst + ri * k_out;
       panels.run_row<kStats>(qrow, per_vector ? sqrow : nullptr, aout, drow, full_bits,
-                             scale_product_bits, dp, t);
+                             scale_product_bits, dp, u8row, t);
       if (!bias.empty()) {
         for (std::int64_t k = 0; k < k_out; ++k) drow[k] += bias[static_cast<std::size_t>(k)];
       }
@@ -182,5 +206,7 @@ Tensor int_conv(const Tensor& x, const ConvGeom& g, const QuantizedMatrix& wgt,
   }
   return out;
 }
+
+}  // namespace detail
 
 }  // namespace vsq

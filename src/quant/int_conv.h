@@ -30,17 +30,13 @@ namespace vsq {
 // quant/export. bias: K fp values added after de-scaling, or empty.
 // Returns [N, OH, OW, K]. Falls back to the materialized reference when
 // the operand widths exceed int32-exact accumulation or the activation
-// quantization is not row-local (dynamic per-tensor amax).
-//
-// `prepacked` as in int_gemm: a weight-panel set built from `wgt` with the
-// patch-row activation layout skips the per-call pack (both on the tiled
-// path and inside the materialized reference's int_gemm). Bit-identical
-// either way.
+// quantization is not row-local (dynamic per-tensor amax). Packs the
+// weight panels per call; deployments resolve an IntLayerPrimitive once
+// instead (quant/export.h) — outputs are bit-identical either way.
 Tensor int_conv(const Tensor& x, const ConvGeom& g, const QuantizedMatrix& wgt,
                 const QuantSpec& act_spec, float act_amax, float act_gamma,
                 const std::vector<float>& bias, int scale_product_bits = -1,
-                IntGemmStats* stats = nullptr,
-                const detail::IntWeightPanels* prepacked = nullptr);
+                IntGemmStats* stats = nullptr);
 
 // Reference oracle: materialized im2col -> quantize_activations_int ->
 // int_gemm -> bias. Also the memory baseline the conv benches compare
@@ -48,7 +44,20 @@ Tensor int_conv(const Tensor& x, const ConvGeom& g, const QuantizedMatrix& wgt,
 Tensor int_conv_reference(const Tensor& x, const ConvGeom& g, const QuantizedMatrix& wgt,
                           const QuantSpec& act_spec, float act_amax, float act_gamma,
                           const std::vector<float>& bias, int scale_product_bits = -1,
-                          IntGemmStats* stats = nullptr,
-                          const detail::IntWeightPanels* prepacked = nullptr);
+                          IntGemmStats* stats = nullptr);
+
+namespace detail {
+
+// Prepacked entry point behind int_conv, for resolved primitives
+// (IntLayerPrimitive): a weight-panel set built from `wgt` with the
+// patch-row activation layout skips the per-call pack (both on the tiled
+// path and inside the materialized reference's int_gemm). Bit-identical
+// either way; a mismatched set throws std::invalid_argument.
+Tensor int_conv_packed(const Tensor& x, const ConvGeom& g, const QuantizedMatrix& wgt,
+                       const QuantSpec& act_spec, float act_amax, float act_gamma,
+                       const std::vector<float>& bias, int scale_product_bits,
+                       IntGemmStats* stats, const IntWeightPanels* prepacked);
+
+}  // namespace detail
 
 }  // namespace vsq

@@ -15,10 +15,7 @@
 namespace vsq {
 
 std::uint32_t round_scale_product(std::uint32_t p, int full_bits, int bits) {
-  if (bits <= 0 || bits >= full_bits) return p;
-  const int shift = full_bits - bits;
-  const std::uint32_t half = 1u << (shift - 1);
-  return ((p + half) >> shift) << shift;
+  return kernels::round_scale_product(p, full_bits, bits);
 }
 
 namespace {
@@ -33,7 +30,15 @@ void int_gemm_wide(const QuantizedMatrix& act, const QuantizedMatrix& wgt,
 }  // namespace
 
 Tensor int_gemm(const QuantizedMatrix& act, const QuantizedMatrix& wgt, int scale_product_bits,
-                IntGemmStats* stats, const detail::IntWeightPanels* prepacked) {
+                IntGemmStats* stats) {
+  return detail::int_gemm_packed(act, wgt, scale_product_bits, stats, nullptr);
+}
+
+namespace detail {
+
+Tensor int_gemm_packed(const QuantizedMatrix& act, const QuantizedMatrix& wgt,
+                       int scale_product_bits, IntGemmStats* stats,
+                       const IntWeightPanels* prepacked) {
   if (act.cols() != wgt.cols()) throw std::invalid_argument("int_gemm: reduction dims differ");
   if (act.layout.vector_size != wgt.layout.vector_size ||
       act.layout.block_len() != wgt.layout.block_len()) {
@@ -55,28 +60,29 @@ Tensor int_gemm(const QuantizedMatrix& act, const QuantizedMatrix& wgt, int scal
   // int32 per-vector accumulation is exact iff the widest possible dot
   // product fits (2N + log2 V bits); otherwise take the int64 path
   // (checked before packing so the fallback never pays for a pack).
-  if (!detail::int32_dot_exact(act.fmt, wgt.fmt, layout)) {
+  if (!int32_dot_exact(act.fmt, wgt.fmt, layout)) {
     int_gemm_wide(act, wgt, scale_product_bits, full_bits, dst, rows, k_out, stats);
     return out;
   }
 
-  // Prepacked panels (PackedWeightCache) skip the per-call pack; otherwise
+  // Prepacked panels (IntLayerPrimitive) skip the per-call pack; otherwise
   // pack into this call's arena region as before. A prepacked set must
   // have been built from this exact wgt operand (the panels keep scale
   // pointers into it) under act's vector geometry — the boundary fields,
   // not just the vector count, or two layouts with equal vpr but shifted
-  // vector edges would slip through and produce silently wrong scales.
+  // vector edges would slip through and produce silently wrong scales —
+  // and act's element format, which parameterized kernel resolution.
   ScratchArena& arena = ScratchArena::thread_local_arena();
   ScratchRegion region(arena);
-  std::optional<detail::IntWeightPanels> local_panels;
-  if (prepacked != nullptr && !prepacked->matches(wgt, layout)) {
+  std::optional<IntWeightPanels> local_panels;
+  if (prepacked != nullptr && !prepacked->matches(wgt, layout, act.fmt)) {
     throw std::invalid_argument("int_gemm: prepacked panels do not match the operands");
   }
   if (prepacked == nullptr) {
-    local_panels.emplace(wgt, layout, arena);
+    local_panels.emplace(wgt, layout, IntActAttrs::of(act), arena);
     if (stats) ++stats->panels_packed;
   }
-  const detail::IntWeightPanels& panels = prepacked ? *prepacked : *local_panels;
+  const IntWeightPanels& panels = prepacked ? *prepacked : *local_panels;
 
   // Per-chunk stat accumulation merged under a (cold) mutex.
   std::mutex stats_mu;
@@ -95,15 +101,19 @@ Tensor int_gemm(const QuantizedMatrix& act, const QuantizedMatrix& wgt, int scal
                                          std::bool_constant<kStats>) {
     ScratchArena& ta = ScratchArena::thread_local_arena();
     ScratchRegion tr(ta);
-    auto* dp = ta.alloc_n<std::int32_t>(static_cast<std::size_t>(vpr * detail::kIntPanelCols));
-    detail::IntRowStats t;
+    auto* dp = ta.alloc_n<std::int32_t>(static_cast<std::size_t>(vpr * kIntPanelCols));
+    std::uint8_t* u8row =
+        panels.needs_u8_row()
+            ? ta.alloc_n<std::uint8_t>(static_cast<std::size_t>(panels.u8_row_len()))
+            : nullptr;
+    IntRowStats t;
     for (std::size_t r = rb; r < re; ++r) {
       const auto ri = static_cast<std::int64_t>(r);
       const std::int16_t* arow = act.q.data() + ri * cols;
       const std::uint16_t* asq =
           act.two_level ? act.two_level->sq.data() + ri * vpr : nullptr;
       panels.run_row<kStats>(arow, asq, act.outer_scale(ri), dst + ri * k_out, full_bits,
-                             scale_product_bits, dp, t);
+                             scale_product_bits, dp, u8row, t);
     }
     if constexpr (kStats) {
       std::lock_guard lock(stats_mu);
@@ -124,6 +134,8 @@ Tensor int_gemm(const QuantizedMatrix& act, const QuantizedMatrix& wgt, int scal
   }
   return out;
 }
+
+}  // namespace detail
 
 namespace {
 

@@ -45,23 +45,33 @@ struct IntGemmStats {
 
 // Round an unsigned scale product to keep `bits` MSBs of a `full_bits`-wide
 // value (round-half-up). bits <= 0 or bits >= full_bits returns p unchanged.
+// (Forwards to kernels::round_scale_product, the canonical definition.)
 std::uint32_t round_scale_product(std::uint32_t p, int full_bits, int bits);
 
 // act: [rows, L] quantized activations; wgt: [K, L] quantized weights.
 // Returns float [rows, K]. scale_product_bits < 0 keeps the full product.
-// Stats are accumulated into *stats when non-null.
-//
-// `prepacked` (optional) is a weight-panel set previously built from this
-// exact `wgt` object with the act operand's vector layout (see
-// PackedWeightCache in quant/export.h; identity and layout geometry are
-// verified, a mismatch throws): when supplied, the per-call pack is
-// skipped entirely — at batch 1 the pack rivals the GEMM itself, so this
-// is most of what made serving ~4x faster at small batches.
-// The operand widths must still admit int32-exact accumulation; when they
-// don't, the int64 reference loop runs and `prepacked` is ignored.
-// Outputs are bit-identical with and without a prepacked set.
+// Stats are accumulated into *stats when non-null. Packs the weight
+// panels per call (counted in stats->panels_packed); deployments that
+// stream many calls over fixed weights resolve an IntLayerPrimitive once
+// instead (quant/export.h) — outputs are bit-identical either way.
 Tensor int_gemm(const QuantizedMatrix& act, const QuantizedMatrix& wgt, int scale_product_bits,
-                IntGemmStats* stats = nullptr,
-                const detail::IntWeightPanels* prepacked = nullptr);
+                IntGemmStats* stats = nullptr);
+
+namespace detail {
+
+// Prepacked entry point behind int_gemm, for resolved primitives
+// (IntLayerPrimitive) and the kernel-registry tests. `prepacked` must have
+// been built from this exact `wgt` object under act's vector layout and
+// element format (IntWeightPanels::matches; a mismatch throws
+// std::invalid_argument) — when supplied, the per-call pack is skipped
+// entirely. At batch 1 the pack rivals the GEMM itself, so this is most
+// of what made serving ~4x faster at small batches. The operand widths
+// must still admit int32-exact accumulation; when they don't, the int64
+// reference loop runs and `prepacked` is ignored.
+Tensor int_gemm_packed(const QuantizedMatrix& act, const QuantizedMatrix& wgt,
+                       int scale_product_bits, IntGemmStats* stats,
+                       const IntWeightPanels* prepacked);
+
+}  // namespace detail
 
 }  // namespace vsq

@@ -1,252 +1,159 @@
 #include "quant/int_kernel.h"
 
 #include <atomic>
-#include <cstring>
-
-#if defined(__x86_64__) || defined(__i386__)
-#define VSQ_INT_KERNEL_X86 1
-#include <immintrin.h>
-#else
-#define VSQ_INT_KERNEL_X86 0
-#endif
 
 namespace vsq::detail {
 namespace {
 
 constexpr int PNR = kIntPanelCols;
 
-// dp[v*PNR + j] = sum_c arow[c0_v + c] * wp[v-th block][c*PNR + j].
-// Accumulation is int32: exact (no wrap) whenever
-//   max|a| * max|w| * V <= INT32_MAX
-// (IntWeightPanels::int32_exact); the caller falls back to the int64
-// reference loop otherwise. The packed panel wp concatenates the vectors of
-// the row in column order, each as len x PNR with output column j
-// contiguous.
-void int_panel_generic(const std::int16_t* arow, const std::int16_t* wp, const VecRange* vr,
-                       std::int64_t nvec, std::int32_t* dp) {
-  for (std::int64_t v = 0; v < nvec; ++v) {
-    const std::int16_t* ap = arow + vr[v].c0;
-    const std::int32_t len = vr[v].len;
-    std::int32_t acc[PNR] = {};
-    for (std::int32_t c = 0; c < len; ++c) {
-      const std::int32_t av = ap[c];
-      const std::int16_t* wc = wp + static_cast<std::int64_t>(c) * PNR;
-      for (int j = 0; j < PNR; ++j) acc[j] += av * wc[j];
-    }
-    wp += static_cast<std::int64_t>(len) * PNR;
-    std::int32_t* d = dp + v * PNR;
-    for (int j = 0; j < PNR; ++j) d[j] = acc[j];
-  }
-}
+std::int64_t padded4(std::int64_t len) { return (len + 3) / 4 * 4; }
 
-#if VSQ_INT_KERNEL_X86
-// AVX2: 8 int32 lanes = one panel-width of dot products per instruction.
-__attribute__((target("avx2"))) void int_panel_avx2(const std::int16_t* arow,
-                                                    const std::int16_t* wp, const VecRange* vr,
-                                                    std::int64_t nvec, std::int32_t* dp) {
-  for (std::int64_t v = 0; v < nvec; ++v) {
-    const std::int16_t* ap = arow + vr[v].c0;
-    const std::int32_t len = vr[v].len;
-    __m256i acc = _mm256_setzero_si256();
-    for (std::int32_t c = 0; c < len; ++c) {
-      const __m256i av = _mm256_set1_epi32(ap[c]);
-      const __m256i wv = _mm256_cvtepi16_epi32(
-          _mm_load_si128(reinterpret_cast<const __m128i*>(wp + static_cast<std::int64_t>(c) * PNR)));
-      acc = _mm256_add_epi32(acc, _mm256_mullo_epi32(av, wv));
-    }
-    wp += static_cast<std::int64_t>(len) * PNR;
-    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dp + v * PNR), acc);
-  }
-}
-
-// AVX2 madd variant for even vector lengths: the panel interleaves column
-// PAIRS ([pair][j][2] int16), so one _mm256_madd_epi16 performs 16
-// multiplies and the pairwise adds in a single instruction — 2x the MAC
-// rate of the mullo path. Bit-exact: products of (<=10-bit)x(<=10-bit)
-// values and their pairwise sums are exact in int32 (the caller already
-// guarantees the whole V-length dot product fits int32), and integer
-// addition reassociates freely.
-__attribute__((target("avx2"))) void int_panel_avx2_madd(const std::int16_t* arow,
-                                                         const std::int16_t* wp,
-                                                         const VecRange* vr, std::int64_t nvec,
-                                                         std::int32_t* dp) {
-  for (std::int64_t v = 0; v < nvec; ++v) {
-    const std::int16_t* ap = arow + vr[v].c0;
-    const std::int32_t pairs = vr[v].len / 2;
-    __m256i acc = _mm256_setzero_si256();
-    for (std::int32_t p = 0; p < pairs; ++p) {
-      std::int32_t apair;
-      std::memcpy(&apair, ap + 2 * p, sizeof(apair));  // (a[2p], a[2p+1])
-      const __m256i av = _mm256_set1_epi32(apair);
-      const __m256i wv = _mm256_load_si256(
-          reinterpret_cast<const __m256i*>(wp + static_cast<std::int64_t>(p) * 2 * PNR));
-      acc = _mm256_add_epi32(acc, _mm256_madd_epi16(wv, av));
-    }
-    wp += static_cast<std::int64_t>(pairs) * 2 * PNR;
-    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dp + v * PNR), acc);
-  }
-}
-#endif  // VSQ_INT_KERNEL_X86
-
-#if VSQ_INT_KERNEL_X86
-// 8 scale-multiply-accumulates per step: widen dp and the (rounded) scale
-// products into 64-bit lanes and fused into two int64 accumulators. Valid
-// while every scale product fits 31 bits (callers guard on full_bits).
-__attribute__((target("avx2"))) void panel_acc_avx2(const std::int32_t* dp,
-                                                    const std::uint32_t* wsq,
-                                                    const std::uint16_t* asq, std::int64_t vpr,
-                                                    int full_bits, int scale_product_bits,
-                                                    std::int64_t* acc) {
-  const bool do_round = scale_product_bits > 0 && scale_product_bits < full_bits;
-  const int shift = do_round ? full_bits - scale_product_bits : 0;
-  const __m256i half = _mm256_set1_epi32(do_round ? 1 << (shift - 1) : 0);
-  __m256i acc_even = _mm256_setzero_si256();  // j = 0, 2, 4, 6
-  __m256i acc_odd = _mm256_setzero_si256();   // j = 1, 3, 5, 7
-  for (std::int64_t v = 0; v < vpr; ++v) {
-    const std::int32_t as_v = asq ? asq[v] : 1;
-    __m256i sp = _mm256_mullo_epi32(
-        _mm256_set1_epi32(as_v),
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(wsq + v * PNR)));
-    if (do_round) {
-      sp = _mm256_slli_epi32(_mm256_srli_epi32(_mm256_add_epi32(sp, half), shift), shift);
-    }
-    const __m256i dv =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dp + v * PNR));
-    // mul_epi32 multiplies the low 32 bits of each 64-bit lane (lanes
-    // 0/2/4/6 of the 8x32 view) into exact 64-bit products.
-    acc_even = _mm256_add_epi64(acc_even, _mm256_mul_epi32(dv, sp));
-    acc_odd = _mm256_add_epi64(
-        acc_odd, _mm256_mul_epi32(_mm256_srli_epi64(dv, 32), _mm256_srli_epi64(sp, 32)));
-  }
-  alignas(32) std::int64_t even[4], odd[4];
-  _mm256_store_si256(reinterpret_cast<__m256i*>(even), acc_even);
-  _mm256_store_si256(reinterpret_cast<__m256i*>(odd), acc_odd);
-  for (int h = 0; h < 4; ++h) {
-    acc[2 * h] = even[h];
-    acc[2 * h + 1] = odd[h];
-  }
-}
-#endif  // VSQ_INT_KERNEL_X86
-
-PanelAccFn pick_panel_acc_avx2() {
-#if VSQ_INT_KERNEL_X86
-  __builtin_cpu_init();
-  if (__builtin_cpu_supports("avx2")) return panel_acc_avx2;
-#endif
-  return nullptr;
-}
-
-IntPanelFn pick_int_panel() {
-#if VSQ_INT_KERNEL_X86
-  __builtin_cpu_init();
-  if (__builtin_cpu_supports("avx2")) return int_panel_avx2;
-#endif
-  return int_panel_generic;
-}
-
-const IntPanelFn g_int_panel = pick_int_panel();
-
-// madd variant usable only when every vector length is even (the pair
-// interleave would otherwise read one activation past the row).
-IntPanelFn pick_int_panel_madd() {
-#if VSQ_INT_KERNEL_X86
-  __builtin_cpu_init();
-  if (__builtin_cpu_supports("avx2")) return int_panel_avx2_madd;
-#endif
-  return nullptr;
-}
-
-const IntPanelFn g_int_panel_madd = pick_int_panel_madd();
-
-}  // namespace
-
-void panel_acc_scalar(const std::int32_t* dp, const std::uint32_t* wsq,
-                      const std::uint16_t* asq, std::int64_t vpr, int full_bits,
-                      int scale_product_bits, std::int64_t* acc) {
-  for (std::int64_t v = 0; v < vpr; ++v) {
-    const std::uint32_t as_v = asq ? asq[v] : 1;
-    const std::int32_t* dv = dp + v * PNR;
-    const std::uint32_t* sv = wsq + v * PNR;
-    for (int j = 0; j < PNR; ++j) {
-      const std::uint32_t sp = round_scale_product(as_v * sv[j], full_bits, scale_product_bits);
-      acc[j] += static_cast<std::int64_t>(dv[j]) * sp;
-    }
-  }
-}
-
-const PanelAccFn g_panel_acc_avx2 = pick_panel_acc_avx2();
-
-namespace {
 std::atomic<std::uint64_t> g_panels_packed{0};
+
 }  // namespace
 
 std::uint64_t panels_packed_total() { return g_panels_packed.load(std::memory_order_relaxed); }
 
 IntWeightPanels::IntWeightPanels(const QuantizedMatrix& wgt, const VectorLayout& layout,
-                                 ScratchArena& arena)
+                                 const IntActAttrs& act, ScratchArena& arena)
     : wgt_(&wgt), cols_(layout.cols), k_out_(wgt.rows), vpr_(layout.vectors_per_row()) {
-  pack(wgt, layout, arena);
+  pack(wgt, layout, act, arena);
 }
 
-IntWeightPanels::IntWeightPanels(const QuantizedMatrix& wgt, const VectorLayout& layout)
+IntWeightPanels::IntWeightPanels(const QuantizedMatrix& wgt, const VectorLayout& layout,
+                                 const IntActAttrs& act)
     : wgt_(&wgt),
       cols_(layout.cols),
       k_out_(wgt.rows),
       vpr_(layout.vectors_per_row()),
       own_(std::make_unique<ScratchArena>()) {
-  pack(wgt, layout, *own_);
+  pack(wgt, layout, act, *own_);
 }
 
 void IntWeightPanels::pack(const QuantizedMatrix& wgt, const VectorLayout& layout,
-                           ScratchArena& arena) {
+                           const IntActAttrs& act, ScratchArena& arena) {
   g_panels_packed.fetch_add(1, std::memory_order_relaxed);
   vector_size_ = layout.vector_size;
   block_len_ = layout.block_len();
-  // Vector column ranges, precomputed once per call.
+  act_fmt_ = act.fmt;
+  u8_bias_ = act.fmt.is_signed ? 128 : 0;
+
+  // Vector column ranges (and the shape class they imply), precomputed
+  // once per pack.
   auto* vr = arena.alloc_n<VecRange>(static_cast<std::size_t>(vpr_));
   bool all_even = true;
+  std::int64_t max_len = 0, quad_cols = 0;
   for (std::int64_t v = 0; v < vpr_; ++v) {
     const auto [c0, c1] = layout.col_range(v);
     vr[v] = VecRange{static_cast<std::int32_t>(c0), static_cast<std::int32_t>(c1 - c0)};
     all_even = all_even && (c1 - c0) % 2 == 0;
+    max_len = std::max(max_len, c1 - c0);
+    quad_cols += padded4(c1 - c0);
   }
   vr_ = vr;
-  const bool use_madd = all_even && g_int_panel_madd != nullptr;
-  panel_fn_ = use_madd ? g_int_panel_madd : g_int_panel;
 
-  // Pack the weight matrix into PNR-column panels once; every activation
-  // row then streams the panel with unit stride instead of re-striding
-  // wgt.q per output element. Two layouts, chosen with the kernel:
-  //  - plain: [c][j] (j = output column within the panel)
-  //  - madd (even vector lengths only): [pair][j][2], column pairs
-  //    interleaved so _mm256_madd_epi16 consumes them directly
-  // Scales are [v][j]; everything is zero-padded past k_out so the kernels
-  // never branch on panel width.
+  // Descriptor-time resolution: bind the shape class and the quant attrs,
+  // ask the registry which implementations run. This is the only dispatch
+  // this pack (and every row streamed through it) ever performs.
+  kernels::KernelDesc desc;
+  desc.op = kernels::OpKind::kIntPanel;
+  desc.shape = {cols_, k_out_, max_len, all_even};
+  desc.quant.act = {act.fmt.bits, act.fmt.is_signed};
+  desc.quant.wgt = {wgt.fmt.bits, wgt.fmt.is_signed};
+  desc.quant.full_bits =
+      act.scale_bits + (wgt.two_level ? wgt.two_level->scale_fmt.bits : 0);
+  panel_impl_ = &kernels::resolve_int_panel(desc);
+  desc.op = kernels::OpKind::kPanelAcc;
+  acc_impl_ = &kernels::resolve_panel_acc(desc);
+  acc_fallback_ = kernels::portable_panel_acc().fn;
+
+  // Pack the weight matrix into PNR-column panels once, in the layout the
+  // resolved implementation consumes (see kernels/registry.h's
+  // PanelLayout); every activation row then streams the panel with unit
+  // stride instead of re-striding wgt.q per output element. Scales are
+  // [v][j]; everything is zero-padded past k_out so the kernels never
+  // branch on panel width.
   n_panels_ = (k_out_ + PNR - 1) / PNR;
-  auto* pw = arena.alloc_n<std::int16_t>(static_cast<std::size_t>(n_panels_ * cols_ * PNR));
+  const kernels::PanelLayout pl = panel_impl_->layout;
+  panel_stride_ = pl == kernels::PanelLayout::kQuadInt8
+                      ? quad_cols * PNR * static_cast<std::int64_t>(sizeof(std::int8_t))
+                      : cols_ * PNR * static_cast<std::int64_t>(sizeof(std::int16_t));
+  auto* pw = static_cast<unsigned char*>(
+      arena.alloc(static_cast<std::size_t>(n_panels_ * panel_stride_)));
   auto* psq = arena.alloc_n<std::uint32_t>(static_cast<std::size_t>(n_panels_ * vpr_ * PNR));
+  std::int32_t* ncomp = nullptr;
+  if (pl == kernels::PanelLayout::kQuadInt8) {
+    ncomp = arena.alloc_n<std::int32_t>(static_cast<std::size_t>(n_panels_ * vpr_ * PNR));
+  }
+
   for (std::int64_t kp = 0; kp < n_panels_; ++kp) {
     const std::int64_t k0 = kp * PNR;
     const int nr = static_cast<int>(std::min<std::int64_t>(PNR, k_out_ - k0));
-    std::int16_t* vd = pw + kp * cols_ * PNR;
-    if (use_madd) {
-      for (std::int64_t v = 0; v < vpr_; ++v) {
-        const std::int64_t c0 = vr[v].c0, pairs = vr[v].len / 2;
-        for (std::int64_t p = 0; p < pairs; ++p) {
+    unsigned char* pd = pw + kp * panel_stride_;
+    switch (pl) {
+      case kernels::PanelLayout::kPlain: {
+        auto* vd = reinterpret_cast<std::int16_t*>(pd);
+        for (std::int64_t c = 0; c < cols_; ++c) {
           for (int j = 0; j < PNR; ++j) {
-            for (int h = 0; h < 2; ++h) {
-              vd[p * 2 * PNR + j * 2 + h] =
-                  j < nr ? wgt.q[static_cast<std::size_t>((k0 + j) * cols_ + c0 + 2 * p + h)] : 0;
-            }
+            vd[c * PNR + j] = j < nr ? wgt.q[static_cast<std::size_t>((k0 + j) * cols_ + c)] : 0;
           }
         }
-        vd += pairs * 2 * PNR;
+        break;
       }
-    } else {
-      for (std::int64_t c = 0; c < cols_; ++c) {
-        for (int j = 0; j < PNR; ++j) {
-          vd[c * PNR + j] = j < nr ? wgt.q[static_cast<std::size_t>((k0 + j) * cols_ + c)] : 0;
+      case kernels::PanelLayout::kPairInterleaved: {
+        auto* vd = reinterpret_cast<std::int16_t*>(pd);
+        for (std::int64_t v = 0; v < vpr_; ++v) {
+          const std::int64_t c0 = vr[v].c0, pairs = vr[v].len / 2;
+          for (std::int64_t p = 0; p < pairs; ++p) {
+            for (int j = 0; j < PNR; ++j) {
+              for (int h = 0; h < 2; ++h) {
+                vd[p * 2 * PNR + j * 2 + h] =
+                    j < nr ? wgt.q[static_cast<std::size_t>((k0 + j) * cols_ + c0 + 2 * p + h)]
+                           : 0;
+              }
+            }
+          }
+          vd += pairs * 2 * PNR;
         }
+        break;
+      }
+      case kernels::PanelLayout::kQuadInt8: {
+        // int8 quads, zero-padded to a multiple of 4 per vector (the
+        // padding neutralizes the kernel's 4-byte activation reads), plus
+        // the compensation block: ncomp[v][j] = -bias * sum_c w[j][c],
+        // the accumulator's initial value under the biased-u8 row (see
+        // kernels/int_panel_impls.cpp). vnni_eligible guaranteed the
+        // weights fit s8.
+        auto* vd = reinterpret_cast<std::int8_t*>(pd);
+        std::int32_t* nc = ncomp + kp * vpr_ * PNR;
+        for (std::int64_t v = 0; v < vpr_; ++v) {
+          const std::int64_t c0 = vr[v].c0, len = vr[v].len;
+          const std::int64_t quads = padded4(len) / 4;
+          for (std::int64_t q = 0; q < quads; ++q) {
+            for (int j = 0; j < PNR; ++j) {
+              for (int h = 0; h < 4; ++h) {
+                const std::int64_t c = 4 * q + h;
+                vd[q * 4 * PNR + j * 4 + h] =
+                    (j < nr && c < len)
+                        ? static_cast<std::int8_t>(
+                              wgt.q[static_cast<std::size_t>((k0 + j) * cols_ + c0 + c)])
+                        : 0;
+              }
+            }
+          }
+          for (int j = 0; j < PNR; ++j) {
+            std::int32_t wsum = 0;
+            if (j < nr) {
+              for (std::int64_t c = 0; c < len; ++c) {
+                wsum += wgt.q[static_cast<std::size_t>((k0 + j) * cols_ + c0 + c)];
+              }
+            }
+            nc[v * PNR + j] = -static_cast<std::int32_t>(u8_bias_) * wsum;
+          }
+          vd += quads * 4 * PNR;
+        }
+        break;
       }
     }
     std::uint32_t* sd = psq + kp * vpr_ * PNR;
@@ -258,6 +165,7 @@ void IntWeightPanels::pack(const QuantizedMatrix& wgt, const VectorLayout& layou
   }
   pw_ = pw;
   psq_ = psq;
+  ncomp_ = ncomp;
 }
 
 }  // namespace vsq::detail

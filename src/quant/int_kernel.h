@@ -1,7 +1,7 @@
 // Internal building blocks of the bit-accurate integer datapath, shared by
 // int_gemm (whole-matrix operands) and int_conv (patch rows streamed from
-// the tiled im2col generator): the packed weight panels, the
-// runtime-dispatched panel microkernels, and the per-row
+// the tiled im2col generator): the packed weight panels with their
+// registry-resolved microkernels (kernels/registry.h), and the per-row
 // accumulate-and-scale loop. Everything here computes EXACTLY the
 // arithmetic of int_gemm's reference loop — callers differ only in where
 // the activation rows come from.
@@ -9,45 +9,42 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 
+#include "kernels/registry.h"
 #include "quant/int_gemm.h"
 #include "quant/quantized_tensor.h"
 #include "util/scratch.h"
 
 namespace vsq::detail {
 
-// Weight rows per packed panel: the panel microkernel produces
-// kIntPanelCols dot products per vector at once from a j-contiguous panel,
-// so one pass over the activation row feeds kIntPanelCols output columns.
-inline constexpr int kIntPanelCols = 8;
+// Weight rows per packed panel (kernels/registry.h's kPanelCols): the
+// panel microkernel produces kIntPanelCols dot products per vector at once
+// from a j-contiguous panel, so one pass over the activation row feeds
+// kIntPanelCols output columns.
+inline constexpr int kIntPanelCols = kernels::kPanelCols;
 
-struct VecRange {
-  std::int32_t c0;
-  std::int32_t len;
+using VecRange = kernels::VecRange;
+
+// The activation-side quantization attributes a pack binds, descriptor
+// style: the element format decides kernel eligibility (the VNNI tier
+// needs operands that fit 8 bits) and the scale width feeds the combined
+// full_bits of the scale product. Built from either the concrete operand
+// (int_gemm) or the layer's spec (int_conv / package load) — the two agree
+// by construction, quantize_activations_int materializes exactly the spec.
+struct IntActAttrs {
+  QuantFormat fmt{8, true};
+  int scale_bits = 0;  // per-vector integer scale width; 0 = coarse bypass
+
+  static IntActAttrs of(const QuantizedMatrix& act) {
+    return {act.fmt, act.two_level ? act.two_level->scale_fmt.bits : 0};
+  }
+  static IntActAttrs of(const QuantSpec& spec) {
+    return {spec.fmt,
+            spec.granularity == Granularity::kPerVector ? spec.scale_fmt.bits : 0};
+  }
 };
-
-// dp[v*kIntPanelCols + j] = sum_c arow[c0_v + c] * panel[v][c][j].
-using IntPanelFn = void (*)(const std::int16_t* arow, const std::int16_t* wp,
-                            const VecRange* vr, std::int64_t nvec, std::int32_t* dp);
-
-// acc[j] = sum_v round(asq[v] * wsq[v*kIntPanelCols + j]) * dp[v*kIntPanelCols + j]
-// over all vpr vectors of one panel (asq == nullptr -> scale 1, the coarse
-// bypass). This scale-multiply-accumulate is the scalar hot loop of the
-// datapath — one int64 op per (vector, output) pair — so it has an AVX2
-// variant doing 8 outputs per step. Integer addition reassociates freely,
-// so both orders produce identical accumulators.
-using PanelAccFn = void (*)(const std::int32_t* dp, const std::uint32_t* wsq,
-                            const std::uint16_t* asq, std::int64_t vpr, int full_bits,
-                            int scale_product_bits, std::int64_t* acc);
-
-void panel_acc_scalar(const std::int32_t* dp, const std::uint32_t* wsq,
-                      const std::uint16_t* asq, std::int64_t vpr, int full_bits,
-                      int scale_product_bits, std::int64_t* acc);
-
-// nullptr when the CPU lacks AVX2. Valid for scale products below 2^31
-// (full_bits <= 30); run_row falls back to the scalar loop otherwise.
-extern const PanelAccFn g_panel_acc_avx2;
 
 // True when every per-vector dot product of act_fmt x wgt_fmt operands
 // over `layout`'s vectors is exact in int32 (2N + log2 V bits fit). Cheap
@@ -80,21 +77,32 @@ struct IntRowStats {
   }
 };
 
-// The integer weight operand packed for the row loop: kIntPanelCols-column
-// int16 element panels (plain [c][j] layout, or the madd pair-interleaved
-// [pair][j][2] layout when every vector length is even and AVX2 is
-// available) plus [v][j] per-vector scale panels, both zero-padded past
-// k_out. Buffers come from the caller's ScratchArena and stay valid until
-// its region rewinds; pack once, stream many rows.
+// The integer weight operand packed for the row loop — the library's
+// resolved primitive in the oneDNN sense. Construction is the descriptor
+// step: it binds the weight operand, the vector geometry and the
+// activation attributes, asks the registry which panel and accumulate
+// implementations run (kernels/registry.h; one dispatch resolution each),
+// and packs the weights in the layout THAT implementation consumes:
+//
+//   kPlain            [c][j] int16
+//   kPairInterleaved  [pair][j][2] int16 (avx2_madd; even vector lengths)
+//   kQuadInt8         [quad][j][4] int8, zero-padded quads, plus the
+//                     [v][j] u8-bias compensation block (avx512_vnni)
+//
+// plus [v][j] per-vector scale panels, everything zero-padded past k_out.
+// Buffers come from the caller's ScratchArena and stay valid until its
+// region rewinds; pack once, stream many rows.
 class IntWeightPanels {
  public:
-  IntWeightPanels(const QuantizedMatrix& wgt, const VectorLayout& layout, ScratchArena& arena);
+  IntWeightPanels(const QuantizedMatrix& wgt, const VectorLayout& layout,
+                  const IntActAttrs& act, ScratchArena& arena);
 
   // Owning variant: panels live in a private arena instead of the caller's,
   // so the pack survives the call that built it. This is what
-  // PackedWeightCache (quant/export.h) stores per layer — pack once at model
+  // IntLayerPrimitive (quant/export.h) holds per layer — pack once at model
   // load, stream rows for the lifetime of the deployment.
-  IntWeightPanels(const QuantizedMatrix& wgt, const VectorLayout& layout);
+  IntWeightPanels(const QuantizedMatrix& wgt, const VectorLayout& layout,
+                  const IntActAttrs& act);
 
   std::int64_t vpr() const { return vpr_; }
   std::int64_t k_out() const { return k_out_; }
@@ -109,34 +117,66 @@ class IntWeightPanels {
   int vector_size() const { return vector_size_; }
   std::int64_t block_len() const { return block_len_; }
 
+  // The registry's resolution for this pack, for introspection
+  // (vsq_inspect --kernels) and the forced-tier tests.
+  const kernels::IntPanelImpl& panel_impl() const { return *panel_impl_; }
+  const kernels::PanelAccImpl& acc_impl() const { return *acc_impl_; }
+
+  // True when run_row needs the biased-u8 row image (the VNNI layout);
+  // callers then pass a scratch buffer of u8_row_len() bytes.
+  bool needs_u8_row() const { return panel_impl_->needs_u8_row; }
+  std::int64_t u8_row_len() const { return cols_ + 4; }
+
   // True when this pack may stand in for a per-call pack of `wgt` under
-  // `layout` — the single validation every prepacked-accepting entry point
-  // (int_gemm, int_conv) uses, so the identity contract cannot drift
-  // between them.
-  bool matches(const QuantizedMatrix& wgt, const VectorLayout& layout) const {
+  // `layout` with `act_fmt` activations — the single validation every
+  // prepacked-accepting entry point (detail::int_gemm_packed /
+  // int_conv_packed) uses, so the identity contract cannot drift between
+  // them. The act format participates because the resolved implementation
+  // (and for VNNI, the exactness guarantee itself) depends on it.
+  bool matches(const QuantizedMatrix& wgt, const VectorLayout& layout,
+               const QuantFormat& act_fmt) const {
     return wgt_ == &wgt && cols_ == layout.cols && vector_size_ == layout.vector_size &&
-           block_len_ == layout.block_len();
+           block_len_ == layout.block_len() && act_fmt_ == act_fmt;
   }
 
   // One activation row -> one output row of k_out floats. asq: the row's
   // per-vector integer scales (nullptr = coarse bypass, scale 1). aout:
   // the row's outer fp factor. dp: caller scratch of vpr*kIntPanelCols
-  // int32, reused across rows.
+  // int32, reused across rows. u8row: caller scratch of u8_row_len()
+  // bytes when needs_u8_row(), else may be nullptr.
   template <bool kStats>
   void run_row(const std::int16_t* arow, const std::uint16_t* asq, float aout, float* drow,
-               int full_bits, int scale_product_bits, std::int32_t* dp, IntRowStats& st) const {
+               int full_bits, int scale_product_bits, std::int32_t* dp, std::uint8_t* u8row,
+               IntRowStats& st) const {
     constexpr int PNR = kIntPanelCols;
-    // Stats off (the serving hot path): SIMD scale-accumulate when
-    // available. Stats on: the scalar loop, which counts per-product
-    // gating. Accumulators are bit-identical either way (exact int64
-    // arithmetic in both, and integer addition reassociates).
-    const PanelAccFn acc_fn = (!kStats && g_panel_acc_avx2 != nullptr && full_bits <= 30)
-                                  ? g_panel_acc_avx2
-                                  : panel_acc_scalar;
+    // The VNNI layout consumes the row as biased u8 (see
+    // kernels/int_panel_impls.cpp); built once per row, shared by panels.
+    if (panel_impl_->needs_u8_row) {
+      for (std::int64_t c = 0; c < cols_; ++c) {
+        u8row[c] = static_cast<std::uint8_t>(arow[c] + u8_bias_);
+      }
+      std::memset(u8row + cols_, 0, 4);  // quad overread past the row end
+    }
+    // Stats off (the serving hot path): the resolved SIMD scale-accumulate
+    // when the scale product width permits. Stats on: the portable loop,
+    // which counts per-product gating. Accumulators are bit-identical
+    // either way (exact int64 arithmetic in both, and integer addition
+    // reassociates).
+    const kernels::PanelAccFn acc_fn =
+        (!kStats && full_bits <= acc_impl_->max_full_bits) ? acc_impl_->fn : acc_fallback_;
+    kernels::PanelArgs pa;
+    pa.arow = arow;
+    pa.arow8 = u8row;
+    pa.vr = vr_;
+    pa.nvec = vpr_;
+    pa.dp = dp;
+    const kernels::IntPanelFn panel_fn = panel_impl_->fn;
     for (std::int64_t kp = 0; kp < n_panels_; ++kp) {
       const std::int64_t k0 = kp * PNR;
       const int nr = static_cast<int>(std::min<std::int64_t>(PNR, k_out_ - k0));
-      panel_fn_(arow, pw_ + kp * cols_ * PNR, vr_, vpr_, dp);
+      pa.wp = pw_ + kp * panel_stride_;
+      pa.ncomp = ncomp_ == nullptr ? nullptr : ncomp_ + kp * vpr_ * PNR;
+      panel_fn(pa);
       const std::uint32_t* wsq = psq_ + kp * vpr_ * PNR;
       std::int64_t acc[PNR] = {};
       if constexpr (kStats) {
@@ -168,16 +208,23 @@ class IntWeightPanels {
   }
 
  private:
-  void pack(const QuantizedMatrix& wgt, const VectorLayout& layout, ScratchArena& arena);
+  void pack(const QuantizedMatrix& wgt, const VectorLayout& layout, const IntActAttrs& act,
+            ScratchArena& arena);
 
   const QuantizedMatrix* wgt_;
   const VecRange* vr_ = nullptr;
-  const std::int16_t* pw_ = nullptr;
+  const unsigned char* pw_ = nullptr;    // panel bytes, layout per panel_impl_
   const std::uint32_t* psq_ = nullptr;
+  const std::int32_t* ncomp_ = nullptr;  // kQuadInt8 only
   std::int64_t n_panels_ = 0, cols_ = 0, k_out_ = 0, vpr_ = 0;
+  std::int64_t panel_stride_ = 0;        // bytes between consecutive panels
   int vector_size_ = 0;
   std::int64_t block_len_ = 0;
-  IntPanelFn panel_fn_ = nullptr;
+  QuantFormat act_fmt_{8, true};
+  std::int16_t u8_bias_ = 0;
+  const kernels::IntPanelImpl* panel_impl_ = nullptr;
+  const kernels::PanelAccImpl* acc_impl_ = nullptr;
+  kernels::PanelAccFn acc_fallback_ = nullptr;  // portable, for stats/wide rows
   // Set only by the owning constructor. Arena blocks never move, so the
   // pointers above stay valid when the IntWeightPanels itself is moved.
   std::unique_ptr<ScratchArena> own_;
@@ -185,8 +232,8 @@ class IntWeightPanels {
 
 // Process-wide count of IntWeightPanels constructions (relaxed atomic).
 // The serving tests assert that steady-state traffic leaves this flat:
-// with PackedWeightCache every pack happens at model-load time, never on
-// the per-request path.
+// with the runner's load-time primitives every pack happens at model-load
+// time, never on the per-request path.
 std::uint64_t panels_packed_total();
 
 }  // namespace vsq::detail

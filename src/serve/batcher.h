@@ -3,9 +3,9 @@
 // runs the session's batched integer forward pass, and scatters the
 // output rows back to each request's promise. One batched forward
 // amortizes activation staging, output allocation and per-call
-// bookkeeping across its rows (layer weights are prepacked once at model
-// load by PackedWeightCache, so they cost nothing per batch OR per
-// request).
+// bookkeeping across its rows (each layer's IntLayerPrimitive resolves
+// its kernels and prepacks its weight panels once at model load, so they
+// cost nothing per batch OR per request).
 #pragma once
 
 #include <condition_variable>

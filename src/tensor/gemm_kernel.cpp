@@ -2,21 +2,20 @@
 
 #include <algorithm>
 
+#include "kernels/registry.h"
 #include "util/scratch.h"
 #include "util/thread_pool.h"
-
-#if defined(__x86_64__) || defined(__i386__)
-#define VSQ_GEMM_X86 1
-#include <immintrin.h>
-#else
-#define VSQ_GEMM_X86 0
-#endif
 
 namespace vsq {
 namespace {
 
 constexpr int MR = kGemmMR;
 constexpr int NR = kGemmNR;
+
+// The registered fp-micro implementations hard-code the tile shape; the
+// registry has no per-shape descriptor for them (kernels/fp_micro.cpp).
+static_assert(kGemmMR == 6 && kGemmNR == 16,
+              "fp-micro registry impls are built for the 6x16 tile");
 
 // Cache blocking. KC x NR B-slivers (16 KiB) sit in L1 alongside the
 // MR x KC A-panel (6 KiB); the MC x KC A-block (~120 KiB) targets L2.
@@ -73,88 +72,6 @@ void pack_b(const GemmMatView& b, std::int64_t p0, std::int64_t j0, std::int64_t
   }
 }
 
-// ---- Microkernels --------------------------------------------------------
-// ab[MR*NR] = A_panel * B_panel over kc. Panels are unit-stride; the
-// accumulator block lives in registers for the whole K loop.
-using MicroFn = void (*)(std::int64_t kc, const float* pa, const float* pb, float* ab);
-
-void micro_generic(std::int64_t kc, const float* pa, const float* pb, float* ab) {
-  float acc[MR * NR] = {};
-  for (std::int64_t p = 0; p < kc; ++p, pa += MR, pb += NR) {
-    for (int i = 0; i < MR; ++i) {
-      const float av = pa[i];
-      for (int j = 0; j < NR; ++j) acc[i * NR + j] += av * pb[j];
-    }
-  }
-  std::copy(acc, acc + MR * NR, ab);
-}
-
-#if VSQ_GEMM_X86
-// 6x16 FMA microkernel: 12 YMM accumulators + 2 B registers + 1 broadcast.
-__attribute__((target("avx2,fma"))) void micro_avx2(std::int64_t kc, const float* pa,
-                                                    const float* pb, float* ab) {
-  __m256 c00 = _mm256_setzero_ps(), c01 = _mm256_setzero_ps();
-  __m256 c10 = _mm256_setzero_ps(), c11 = _mm256_setzero_ps();
-  __m256 c20 = _mm256_setzero_ps(), c21 = _mm256_setzero_ps();
-  __m256 c30 = _mm256_setzero_ps(), c31 = _mm256_setzero_ps();
-  __m256 c40 = _mm256_setzero_ps(), c41 = _mm256_setzero_ps();
-  __m256 c50 = _mm256_setzero_ps(), c51 = _mm256_setzero_ps();
-  for (std::int64_t p = 0; p < kc; ++p, pa += MR, pb += NR) {
-    const __m256 b0 = _mm256_load_ps(pb);
-    const __m256 b1 = _mm256_load_ps(pb + 8);
-    __m256 av;
-    av = _mm256_broadcast_ss(pa + 0);
-    c00 = _mm256_fmadd_ps(av, b0, c00);
-    c01 = _mm256_fmadd_ps(av, b1, c01);
-    av = _mm256_broadcast_ss(pa + 1);
-    c10 = _mm256_fmadd_ps(av, b0, c10);
-    c11 = _mm256_fmadd_ps(av, b1, c11);
-    av = _mm256_broadcast_ss(pa + 2);
-    c20 = _mm256_fmadd_ps(av, b0, c20);
-    c21 = _mm256_fmadd_ps(av, b1, c21);
-    av = _mm256_broadcast_ss(pa + 3);
-    c30 = _mm256_fmadd_ps(av, b0, c30);
-    c31 = _mm256_fmadd_ps(av, b1, c31);
-    av = _mm256_broadcast_ss(pa + 4);
-    c40 = _mm256_fmadd_ps(av, b0, c40);
-    c41 = _mm256_fmadd_ps(av, b1, c41);
-    av = _mm256_broadcast_ss(pa + 5);
-    c50 = _mm256_fmadd_ps(av, b0, c50);
-    c51 = _mm256_fmadd_ps(av, b1, c51);
-  }
-  _mm256_storeu_ps(ab + 0 * NR, c00);
-  _mm256_storeu_ps(ab + 0 * NR + 8, c01);
-  _mm256_storeu_ps(ab + 1 * NR, c10);
-  _mm256_storeu_ps(ab + 1 * NR + 8, c11);
-  _mm256_storeu_ps(ab + 2 * NR, c20);
-  _mm256_storeu_ps(ab + 2 * NR + 8, c21);
-  _mm256_storeu_ps(ab + 3 * NR, c30);
-  _mm256_storeu_ps(ab + 3 * NR + 8, c31);
-  _mm256_storeu_ps(ab + 4 * NR, c40);
-  _mm256_storeu_ps(ab + 4 * NR + 8, c41);
-  _mm256_storeu_ps(ab + 5 * NR, c50);
-  _mm256_storeu_ps(ab + 5 * NR + 8, c51);
-}
-#endif  // VSQ_GEMM_X86
-
-bool cpu_has_avx2_fma() {
-#if VSQ_GEMM_X86
-  __builtin_cpu_init();
-  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
-#else
-  return false;
-#endif
-}
-
-MicroFn pick_micro() {
-#if VSQ_GEMM_X86
-  if (cpu_has_avx2_fma()) return micro_avx2;
-#endif
-  return micro_generic;
-}
-
-const MicroFn g_micro = pick_micro();
-
 // Scatter the register tile into (strided) C; `add` covers both caller
 // accumulation and K-block accumulation beyond the first panel. `bias`
 // (indexed by tile column, non-null only while the final K block merges)
@@ -195,11 +112,8 @@ class StridedAPacker final : public GemmAPacker {
 }  // namespace
 
 bool gemm_kernel_uses_avx2() {
-#if VSQ_GEMM_X86
-  return g_micro == micro_avx2;
-#else
-  return false;
-#endif
+  return static_cast<int>(kernels::resolve_fp_micro().tier) >=
+         static_cast<int>(isa::Tier::kAvx2);
 }
 
 void gemm_blocked(const GemmMatView& a, const GemmMatView& b, float* c, std::int64_t ldc,
@@ -229,7 +143,9 @@ void gemm_blocked_packa(const GemmAPacker& a, const GemmMatView& b, float* c, st
     }
     return;
   }
-  const MicroFn micro = g_micro;
+  // Registry-resolved microkernel: cached per VSQ_ISA value, so the hot
+  // path pays one atomic-free cache read per GEMM, not a dispatch.
+  const kernels::GemmMicroFn micro = kernels::resolve_fp_micro().fn;
   ScratchArena& arena = ScratchArena::thread_local_arena();
   ScratchRegion region(arena);
 

@@ -22,6 +22,7 @@
 #include "hw/mac_config.h"
 #include "models/zoo.h"
 #include "quant/export.h"
+#include "tensor/gemm_kernel.h"
 #include "util/rng.h"
 
 namespace vsq {
@@ -108,6 +109,12 @@ TEST(GoldenPackage, FreshExportMatchesCommittedArchive) {
   // Quantizing the deterministic tiny model today must reproduce the
   // committed package bit-for-bit: calibration, scale factorization and
   // weight quantization are all deterministic functions of the seed.
+  // Calibration runs the fp32 forward, whose microkernel tiers round
+  // differently (FMA), so the archives pin the tier they were exported
+  // under; runner outputs on the committed package stay asserted per tier.
+  if (!gemm_kernel_uses_avx2()) {
+    GTEST_SKIP() << "archives exported under the avx2 fp tier";
+  }
   const std::string tmp = std::filesystem::temp_directory_path() / "vsq_golden_fresh.vsqa";
   build_tiny_package().save(tmp);
   EXPECT_EQ(read_bytes(tmp), read_bytes(golden_package_path()))
@@ -194,6 +201,9 @@ TEST(GoldenConvPackage, StructureMatchesCommittedExpectations) {
 }
 
 TEST(GoldenConvPackage, FreshExportMatchesCommittedArchive) {
+  if (!gemm_kernel_uses_avx2()) {
+    GTEST_SKIP() << "archives exported under the avx2 fp tier";
+  }
   const std::string tmp = std::filesystem::temp_directory_path() / "vsq_golden_conv_fresh.vsqa";
   build_tiny_conv_package().save(tmp);
   EXPECT_EQ(read_bytes(tmp), read_bytes(golden_conv_package_path()))

@@ -13,6 +13,7 @@
 
 #include "exp/ptq.h"
 #include "hw/mac_config.h"
+#include "kernels/registry.h"
 #include "models/zoo.h"
 #include "quant/int_kernel.h"
 #include "serve/session.h"
@@ -193,7 +194,7 @@ TEST(InferenceSession, DatapathStatsAccumulateWhenEnabled) {
 // ---- Weight-panel cache: pack at load, never per request ----
 
 TEST(PanelCache, SteadyStateServingRepacksZeroPanels) {
-  // Locks in the PackedWeightCache win: before it, every request re-packed
+  // Locks in the load-time prepack win: before it, every request re-packed
   // every layer's IntWeightPanels (most of the batch-1 forward's cost).
   // Session construction (runner + warmup) may pack; serving traffic must
   // not.
@@ -247,9 +248,8 @@ TEST(PanelCache, ConvPrepackedBitIdenticalToPerCallPack) {
     Tensor x(Shape{2, 8, 8, l.conv_in_channels()});
     for (auto& v : x.span()) v = static_cast<float>(rng.uniform(-1.5, 1.5));
     const Tensor per_call = run_packaged_conv_layer(l, x);
-    const detail::IntWeightPanels panels(l.weights, l.act_spec.layout(l.weights.cols()));
-    const Tensor prepacked = run_packaged_conv_layer(l, x, -1, nullptr, &panels);
-    expect_bitwise_equal(per_call, prepacked);
+    const IntLayerPrimitive prim(l);  // load-time resolution + pack
+    expect_bitwise_equal(per_call, prim.execute(x));
   }
   EXPECT_GT(convs, 0);
 }
@@ -259,25 +259,51 @@ TEST(PanelCache, MismatchedPrepackedPanelsRejected) {
   const QuantizedLayerPackage& fc1 = pkg.layers.at("fc1");
   const QuantizedLayerPackage& fc2 = pkg.layers.at("fc2");
   const Tensor x = random_rows(2, fc1.weights.cols(), 605);
+  const QuantizedMatrix acts =
+      quantize_activations_int(x, fc1.act_spec, fc1.act_amax, fc1.act_gamma);
+  const auto run_with = [&](const detail::IntWeightPanels& panels) {
+    return detail::int_gemm_packed(acts, fc1.weights, -1, nullptr, &panels);
+  };
   // Panels packed from another layer's weights: wrong source -> throw,
   // never silent garbage.
-  const detail::IntWeightPanels wrong(fc2.weights, fc2.act_spec.layout(fc2.weights.cols()));
-  EXPECT_THROW((void)run_packaged_layer(fc1, x, -1, nullptr, &wrong), std::invalid_argument);
+  const detail::IntWeightPanels wrong(fc2.weights, fc2.act_spec.layout(fc2.weights.cols()),
+                                      detail::IntActAttrs::of(fc2.act_spec));
+  EXPECT_THROW((void)run_with(wrong), std::invalid_argument);
   // Same weights but packed under different vector boundaries (the vpr may
   // even coincide): geometry mismatch -> throw.
   VectorLayout shifted = fc1.act_spec.layout(fc1.weights.cols());
   shifted.vector_size *= 2;
-  const detail::IntWeightPanels wrong_geom(fc1.weights, shifted);
-  EXPECT_THROW((void)run_packaged_layer(fc1, x, -1, nullptr, &wrong_geom),
-               std::invalid_argument);
+  const detail::IntWeightPanels wrong_geom(fc1.weights, shifted,
+                                           detail::IntActAttrs::of(fc1.act_spec));
+  EXPECT_THROW((void)run_with(wrong_geom), std::invalid_argument);
+  // Same weights and geometry but packed for a different activation
+  // element format: kernel resolution was parameterized by it -> throw.
+  detail::IntActAttrs wide_act = detail::IntActAttrs::of(fc1.act_spec);
+  wide_act.fmt.bits += 1;
+  const detail::IntWeightPanels wrong_fmt(
+      fc1.weights, fc1.act_spec.layout(fc1.weights.cols()), wide_act);
+  EXPECT_THROW((void)run_with(wrong_fmt), std::invalid_argument);
   // A value-identical copy of the weights is still the wrong object: the
   // panels carry pointers into their source operand, so identity is the
   // contract.
   QuantizedLayerPackage copy = fc1;
   const detail::IntWeightPanels from_copy(copy.weights,
-                                          copy.act_spec.layout(copy.weights.cols()));
-  EXPECT_THROW((void)run_packaged_layer(fc1, x, -1, nullptr, &from_copy),
-               std::invalid_argument);
+                                          copy.act_spec.layout(copy.weights.cols()),
+                                          detail::IntActAttrs::of(copy.act_spec));
+  EXPECT_THROW((void)run_with(from_copy), std::invalid_argument);
+}
+
+TEST(PanelCache, SteadyStateServingResolvesZeroDispatches) {
+  // The registry analogue of the repack assertion: every kernel dispatch
+  // resolution happens while the runner (and its warmup) loads; serving
+  // traffic afterwards runs entirely on resolved primitives.
+  InferenceSession session(tiny_package(), ServeConfig{});
+  (void)session.infer(random_rows(1, TinyMlp::kIn, 640));  // settle lazily-built state
+  const std::uint64_t resolved_after_load = kernels::dispatch_resolutions_total();
+  for (int i = 0; i < 16; ++i) {
+    (void)session.infer(random_rows(1, TinyMlp::kIn, 641 + static_cast<std::uint64_t>(i)));
+  }
+  EXPECT_EQ(kernels::dispatch_resolutions_total(), resolved_after_load);
 }
 
 // ---- Determinism across thread counts ----
@@ -438,10 +464,10 @@ double closed_loop_rps(const QuantizedModelPackage& pkg, int max_batch) {
 }
 
 TEST(ServeThroughput, PanelCacheSpeedsUpBatchOneForward) {
-  // The PackedWeightCache win, as a paired in-process comparison: batch-1
+  // The load-time prepack win, as a paired in-process comparison: batch-1
   // inference through the prepacked runner vs the identical program
   // executed with per-call weight packing — what every request paid
-  // before the cache existed. At batch 1 the fc1 pack writes about as
+  // before load-time IntLayerPrimitive resolution existed. At batch 1 the fc1 pack writes about as
   // many elements as the GEMM multiplies, so the cached path must win by
   // a clear margin. (The historical ">= 2x from batching" gate lived
   // here; that gap WAS the per-call pack amortizing, and with packs
@@ -478,7 +504,7 @@ TEST(ServeThroughput, PanelCacheSpeedsUpBatchOneForward) {
 }
 
 TEST(ServeThroughput, BatchingDoesNotRegressClosedLoop) {
-  // Closed-loop 8-client serving. Before the PackedWeightCache (PR 5)
+  // Closed-loop 8-client serving. Before load-time prepacking (PR 5)
   // batch-1 paid a full weight repack per request, so batch-16 cleared 2x
   // here; packs now happen once at load for every batch size, batch-1
   // serving got ~2x faster, and what remains of the gap on a 1-core

@@ -160,7 +160,7 @@ TEST(TwoLevelChannelFirst, NoExtraClipping) {
 // (so every row ends in a short tail vector), every element width the
 // int16 operand storage supports, and several scale widths. Each case is
 // cross-checked three ways: the production int_gemm (which packs per
-// call), the prepacked-panel path (PackedWeightCache's entry point), and
+// call), the prepacked-panel path (IntLayerPrimitive's entry point), and
 // a from-scratch int64 reference loop mirroring the seed arithmetic —
 // all three must agree bit-for-bit.
 
@@ -269,8 +269,9 @@ TEST_P(TwoLevelOddVec, PrepackedGemmBitExactVsSeedReferenceLoop) {
           quantize_activations_int(a, odd_act_spec(bits, m, v), amax, gamma);
 
       const Tensor y_percall = int_gemm(aq, wq, sp_bits, nullptr);
-      const detail::IntWeightPanels panels(wq, aq.layout);  // owning pack
-      const Tensor y_prepacked = int_gemm(aq, wq, sp_bits, nullptr, &panels);
+      const detail::IntWeightPanels panels(wq, aq.layout,
+                                           detail::IntActAttrs::of(aq));  // owning pack
+      const Tensor y_prepacked = detail::int_gemm_packed(aq, wq, sp_bits, nullptr, &panels);
       const Tensor y_seed = int_gemm_seed_reference(aq, wq, sp_bits);
       ASSERT_EQ(y_percall.numel(), y_seed.numel());
       for (std::int64_t i = 0; i < y_seed.numel(); ++i) {

@@ -8,7 +8,14 @@ not report throughput).
 
 Usage:
   compare_bench.py BASELINE.json CURRENT.json [--max-regress=0.15]
+  compare_bench.py BASELINE.json CURRENT.json --optional=avx512_vnni
   compare_bench.py BASELINE.json CURRENT.json --update
+
+Baseline entries whose name contains an --optional substring (repeatable)
+are hardware-dependent: they are still gated when the current run reports
+them, but their absence is not an error. Used for per-ISA-tier kernel
+entries (e.g. BM_IntGemm/isa:avx512_vnni/...) that only exist on machines
+with that instruction set.
 
 Exit status: 0 when no benchmark regressed more than --max-regress
 (default 15%), 1 otherwise. --update rewrites BASELINE.json with CURRENT's
@@ -52,6 +59,10 @@ def main():
                     help="allowed fractional throughput drop (default 0.15)")
     ap.add_argument("--update", action="store_true",
                     help="replace the baseline file with the current results")
+    ap.add_argument("--optional", action="append", default=[], metavar="SUBSTR",
+                    help="baseline entries containing SUBSTR may be absent from "
+                         "the current run (hardware-dependent benchmarks); "
+                         "repeatable")
     args = ap.parse_args()
 
     if args.update:
@@ -67,6 +78,10 @@ def main():
     print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  ratio")
     for name in sorted(base):
         if name not in cur:
+            if any(s in name for s in args.optional):
+                print(f"{name:<{width}}  {human(base[name]):>12}  {'(absent)':>12}  "
+                      f"-  optional")
+                continue
             print(f"{name:<{width}}  {human(base[name]):>12}  {'MISSING':>12}  -")
             regressions.append((name, "missing from current run"))
             continue

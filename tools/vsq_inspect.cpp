@@ -5,10 +5,16 @@
 // Sec. 4.4), and the forward program (with conv/residual/pool ops) when
 // the package carries one.
 //
-//   vsq_inspect --package=artifacts/resnet_int.vsqa [--threads=N]
+// With --kernels, additionally resolve the package against the kernel
+// dispatch registry (as a deployment would at load time) and print the
+// implementation each layer's primitive bound to — op, ISA tier, panel and
+// accumulator kernel names — under the current CPU and VSQ_ISA cap.
+//
+//   vsq_inspect --package=artifacts/resnet_int.vsqa [--threads=N] [--kernels]
 #include <iostream>
 #include <map>
 
+#include "kernels/isa.h"
 #include "quant/export.h"
 #include "util/args.h"
 #include "util/table.h"
@@ -18,6 +24,7 @@ int main(int argc, char** argv) {
   const Args args(argc, argv);
   if (!apply_threads_flag(args)) return 1;
   const std::string path = args.get_str("package", "artifacts/resnet_int.vsqa");
+  const bool show_kernels = args.get_flag("kernels");
 
   const QuantizedModelPackage pkg = QuantizedModelPackage::load(path);
   std::cout << "package " << path << ": " << pkg.layers.size() << " layers";
@@ -86,6 +93,16 @@ int main(int argc, char** argv) {
     std::cout << "\ntotal weight payload: " << Table::num(total_weight_bits / 8 / 1024, 1)
               << " KiB; per-vector scales add "
               << Table::num(100.0 * total_scale_bits / total_weight_bits, 2) << "%\n";
+  }
+
+  if (show_kernels) {
+    std::cout << "\ncpu: " << isa::summary() << "\n";
+    const QuantizedModelRunner runner(pkg);
+    Table kt({"Layer", "Op", "ISA", "Panel kernel", "Accumulator"});
+    for (const auto& [name, prim] : runner.primitives()) {
+      kt.add_row({name, prim.op_name(), prim.isa_name(), prim.impl_name(), prim.acc_name()});
+    }
+    kt.print(std::cout);
   }
   return 0;
 }

@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "kernels/isa.h"
 #include "serve/session.h"
 #include "util/args.h"
 #include "util/rng.h"
@@ -65,6 +66,7 @@ int main(int argc, char** argv) {
             << clients << " clients x " << (total_requests / clients) << "+ requests, max_batch="
             << cfg.max_batch << ", max_wait=" << cfg.max_wait_us << "us, cache="
             << cfg.cache_entries << "\n";
+  std::cout << "cpu: " << isa::summary() << "\n";
 
   // Deterministic inputs, pre-generated before the clock starts (the
   // generator must not bill payload synthesis to the engine). With

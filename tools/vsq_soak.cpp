@@ -40,6 +40,7 @@
 
 #include "exp/ptq.h"
 #include "hw/mac_config.h"
+#include "kernels/isa.h"
 #include "models/resnetv.h"
 #include "models/zoo.h"
 #include "serve/registry.h"
@@ -199,6 +200,7 @@ int main(int argc, char** argv) {
   std::cout << "): " << clients << " clients, " << total_requests
             << " requests, burst<=" << burst_max << ", max_batch=" << cfg.max_batch
             << ", reload every " << reload_every << " requests\n";
+  std::cout << "cpu: " << isa::summary() << "\n";
 
   // ---- Chaos: hot unload + reload, round-robin, triggered every
   // `reload_every` claimed requests. The client whose burst claim crosses
