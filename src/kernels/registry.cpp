@@ -68,7 +68,8 @@ bool impl_eligible(const IntPanelImpl& impl, const KernelDesc& desc, isa::Tier c
 
 std::int64_t padded4(std::int64_t len) { return (len + 3) / 4 * 4; }
 
-double time_candidate(const IntPanelImpl& impl, const ShapeClass& shape) {
+double time_candidate(const IntPanelImpl& impl, const KernelDesc& desc) {
+  const ShapeClass& shape = desc.shape;
   ScratchArena& arena = ScratchArena::thread_local_arena();
   ScratchRegion region(arena);
 
@@ -88,6 +89,9 @@ double time_candidate(const IntPanelImpl& impl, const ShapeClass& shape) {
   }
   const std::int64_t cols = vr[nvec - 1].c0 + vr[nvec - 1].len;
 
+  // Sized for the widest layout; every packed layout is strictly smaller
+  // (kBitPacked: cols*b + 8 slack <= cols*16; the nibble layouts halve the
+  // int8 sizes).
   const std::size_t panel_bytes = static_cast<std::size_t>(
       std::max(cols * kPanelCols * static_cast<std::int64_t>(sizeof(std::int16_t)),
                padded_cols * kPanelCols * static_cast<std::int64_t>(sizeof(std::int8_t))));
@@ -99,6 +103,8 @@ double time_candidate(const IntPanelImpl& impl, const ShapeClass& shape) {
   std::memset(arow8, 0, static_cast<std::size_t>(cols + 4));
   auto* ncomp = arena.alloc_n<std::int32_t>(static_cast<std::size_t>(nvec * kPanelCols));
   std::memset(ncomp, 0, static_cast<std::size_t>(nvec * kPanelCols) * sizeof(std::int32_t));
+  auto* vcomp = arena.alloc_n<std::int32_t>(static_cast<std::size_t>(nvec));
+  std::memset(vcomp, 0, static_cast<std::size_t>(nvec) * sizeof(std::int32_t));
   auto* dp = arena.alloc_n<std::int32_t>(static_cast<std::size_t>(nvec * kPanelCols));
 
   PanelArgs a;
@@ -106,8 +112,10 @@ double time_candidate(const IntPanelImpl& impl, const ShapeClass& shape) {
   a.arow8 = arow8;
   a.wp = wp;
   a.ncomp = ncomp;
+  a.vcomp = vcomp;
   a.vr = vr;
   a.nvec = nvec;
+  a.wbits = desc.quant.wgt.bits;
   a.dp = dp;
 
   using Clock = std::chrono::steady_clock;
@@ -130,12 +138,31 @@ double time_candidate(const IntPanelImpl& impl, const ShapeClass& shape) {
   return best;
 }
 
-std::string chooser_key(const std::vector<const IntPanelImpl*>& cands, const ShapeClass& s) {
+std::string chooser_key(const std::vector<const IntPanelImpl*>& cands, const KernelDesc& d) {
+  const ShapeClass& s = d.shape;
   std::string k;
   for (const IntPanelImpl* c : cands) k += std::string(c->name) + "|";
   k += std::to_string(s.cols) + "/" + std::to_string(s.max_vec_len) +
-       (s.even_vectors ? "/e" : "/o");
+       (s.even_vectors ? "/e" : "/o") + "/b" + std::to_string(d.quant.wgt.bits);
   return k;
+}
+
+// Packed sub-byte layouts are preferred over byte-width ones whenever any
+// is eligible: the synthetic chooser bench runs cache-resident and cannot
+// see the bandwidth win that motivates packing, and the packed tiers are
+// bit-exact like everything else, so the preference trades only speed for
+// resident bytes. The trade is deliberate and density-first: a 4-bit
+// model keeps ~1/3 the panel bytes of the int16 layout (the multi-model
+// serving story), streams ~1/3 the weight bytes when panels outgrow
+// cache (where the VNNI packed tier also wins outright), and pays an
+// unpack-ALU premium at cache-resident toy sizes — BENCH_micro.json's
+// bits:4 entries record both regimes. VSQ_PACKED=0 opts serving back
+// into the byte-width layouts (and is how the identity tests obtain the
+// reference pack). Re-read per resolution, like VSQ_ISA, so tests can
+// flip it between packs.
+bool packed_enabled() {
+  const char* env = std::getenv("VSQ_PACKED");
+  return env == nullptr || std::string(env) != "0";
 }
 
 }  // namespace
@@ -146,8 +173,19 @@ const IntPanelImpl& resolve_int_panel(const KernelDesc& desc) {
   Tables& t = tables();
   std::lock_guard lock(t.mu);
   std::vector<const IntPanelImpl*> cands;
+  const bool want_packed = packed_enabled();
   for (const IntPanelImpl& impl : t.int_panel) {
-    if (impl_eligible(impl, desc, cap)) cands.push_back(&impl);
+    if (!impl_eligible(impl, desc, cap)) continue;
+    if (!want_packed && panel_layout_sub_byte(impl.layout)) continue;
+    cands.push_back(&impl);
+  }
+  if (want_packed &&
+      std::any_of(cands.begin(), cands.end(), [](const IntPanelImpl* c) {
+        return panel_layout_sub_byte(c->layout);
+      })) {
+    std::erase_if(cands, [](const IntPanelImpl* c) {
+      return !panel_layout_sub_byte(c->layout);
+    });
   }
   // The portable tier registers unconditionally and is always eligible.
   const auto top = static_cast<int>(
@@ -169,13 +207,13 @@ const IntPanelImpl& resolve_int_panel(const KernelDesc& desc) {
     if (c->tier != isa::Tier::kPortable) simd.push_back(c);
   }
   if (simd.size() == 1) return *simd.front();
-  const std::string key = chooser_key(simd, desc.shape);
+  const std::string key = chooser_key(simd, desc);
   const auto it = t.chooser.find(key);
   if (it != t.chooser.end()) return *it->second;
   const IntPanelImpl* best = nullptr;
   double best_ns = 1e30;
   for (const IntPanelImpl* c : simd) {
-    const double ns = time_candidate(*c, desc.shape);
+    const double ns = time_candidate(*c, desc);
     if (ns < best_ns) {
       best_ns = ns;
       best = c;

@@ -83,24 +83,67 @@ struct KernelDesc {
 
 // ---- int-panel primitive ---------------------------------------------------
 
-// How IntWeightPanels must lay the weights out for an implementation.
+// How IntWeightPanels must lay the weights out for an implementation. The
+// first three store every code at byte-or-wider width; the k*Packed tiers
+// store b-bit codes densely and unpack IN REGISTERS (shift/mask) inside the
+// microkernel, so a 4-bit model streams half the weight bytes of kQuadInt8
+// and a quarter of kPlain.
 enum class PanelLayout {
   kPlain,            // [c][j] int16
   kPairInterleaved,  // [pair][j][2] int16 (madd; even vector lengths only)
   kQuadInt8,         // [quad][j][4] int8, quads zero-padded (VNNI)
+  kBitPacked,        // [c] groups of 8 j-codes x wbits bits, LSB-first
+                     // (codes = w & mask, two's-complement truncated);
+                     // b bytes per column + 8 slack bytes per panel
+  kNibblePair,       // [pair][j] u8: lo nibble = even col, hi = odd col
+                     // (codes = w & 0xF; even vector lengths only)
+  kNibbleQuad,       // [quad][j][2] u8: byte h packs cols 2h / 2h+1 as
+                     // lo/hi nibbles; codes BIASED (w + 8), padding code 0
+                     // (VNNI: codes are the unsigned vpdpbusd operand)
+};
+
+inline const char* panel_layout_name(PanelLayout l) {
+  switch (l) {
+    case PanelLayout::kPlain: return "plain-i16";
+    case PanelLayout::kPairInterleaved: return "pair-i16";
+    case PanelLayout::kQuadInt8: return "quad-i8";
+    case PanelLayout::kBitPacked: return "bitpacked";
+    case PanelLayout::kNibblePair: return "nibble-pair";
+    case PanelLayout::kNibbleQuad: return "nibble-quad";
+  }
+  return "?";
+}
+
+// True when the layout stores codes below byte width.
+inline bool panel_layout_sub_byte(PanelLayout l) {
+  return l == PanelLayout::kBitPacked || l == PanelLayout::kNibblePair ||
+         l == PanelLayout::kNibbleQuad;
+}
+
+// Which per-row activation image an implementation consumes beside the
+// int16 row: the VNNI int8 tier needs the row rebiased to u8; the packed
+// VNNI tier keeps the row signed (the WEIGHT codes are the unsigned
+// operand) and needs the per-vector row-sum compensation block instead.
+enum class RowImage {
+  kNone,      // arow only
+  kBiasedU8,  // arow8[c] = a[c] + 128 (+ 4 zero tail bytes)
+  kSignedI8,  // arow8[c] = (uint8)(int8)a[c] (+ tail) and vcomp[v] = -bias * sum_c a[c]
 };
 
 // Execution arguments of one (activation row) x (weight panel) pass.
-// arow8/ncomp are set only for layouts that need them (kQuadInt8: the
-// biased-u8 row image and the panel's compensation block, see
-// int_panel_impls.cpp).
+// arow8/ncomp/vcomp/wbits are set only for layouts that need them
+// (kQuadInt8: the biased-u8 row image and the panel's compensation block;
+// the packed tiers: the code width and, for kNibbleQuad, the signed row
+// image plus the per-ROW compensation block — see int_panel_impls.cpp).
 struct PanelArgs {
   const std::int16_t* arow = nullptr;
   const std::uint8_t* arow8 = nullptr;
   const void* wp = nullptr;            // packed panel, layout per the impl
   const std::int32_t* ncomp = nullptr; // [v][j] accumulator init (else zero)
+  const std::int32_t* vcomp = nullptr; // [v] row-sum compensation (kSignedI8)
   const VecRange* vr = nullptr;
   std::int64_t nvec = 0;
+  int wbits = 0;                       // code width of packed layouts
   std::int32_t* dp = nullptr;          // out: [v][j] int32 dot products
 };
 
@@ -110,7 +153,7 @@ struct IntPanelImpl {
   const char* name;
   isa::Tier tier;
   PanelLayout layout = PanelLayout::kPlain;
-  bool needs_u8_row = false;
+  RowImage row_image = RowImage::kNone;
   // Can this implementation compute desc exactly? (nullptr = always.)
   bool (*eligible)(const KernelDesc&) = nullptr;
   IntPanelFn fn = nullptr;

@@ -241,11 +241,57 @@ const char* IntLayerPrimitive::isa_name() const {
   return panels_ ? isa::tier_name(panels_->panel_impl().tier) : "-";
 }
 
-void QuantizedModelPackage::save(const std::string& path) const {
+const char* IntLayerPrimitive::layout_name() const {
+  return panels_ ? kernels::panel_layout_name(panels_->layout()) : "-";
+}
+
+std::int64_t IntLayerPrimitive::resident_bytes() const {
+  return panels_ ? panels_->resident_bytes() : 0;
+}
+
+std::int64_t IntLayerPrimitive::baseline_bytes() const {
+  return panels_ ? panels_->baseline_bytes() : 0;
+}
+
+namespace {
+
+// Dense persistence of the weight codes: b-bit BIASED-UNSIGNED codes
+// (q - qmin, in 0 .. qmax-qmin, which fits b bits), 24/b codes per archive
+// float. Each float carries an exact integer below 2^24, so the packing
+// survives the archive's float transport losslessly for every b <= 8.
+int packed_codes_per_float(int bits) { return 24 / bits; }
+
+std::vector<float> pack_weight_codes(const QuantizedMatrix& w) {
+  const int b = w.fmt.bits, k = packed_codes_per_float(b);
+  const std::int64_t qmin = w.fmt.qmin();
+  const std::size_t n = w.q.size();
+  std::vector<float> out((n + k - 1) / k, 0.0f);
+  for (std::size_t g = 0; g < out.size(); ++g) {
+    std::uint32_t word = 0;
+    for (int s = 0; s < k; ++s) {
+      const std::size_t i = g * k + s;
+      if (i >= n) break;  // tail slots stay zero — deterministic bytes
+      word |= static_cast<std::uint32_t>(w.q[i] - qmin) << (s * b);
+    }
+    out[g] = static_cast<float>(word);
+  }
+  return out;
+}
+
+}  // namespace
+
+void QuantizedModelPackage::save(const std::string& path, bool pack_weights) const {
   Archive a;
   for (const auto& [name, l] : layers) {
     const QuantizedMatrix& w = l.weights;
-    a.put(key(name, "q"), {w.rows, w.cols()}, to_float(w.q));
+    if (pack_weights && w.fmt.bits <= 8) {
+      a.put(key(name, "q_packed"),
+            {static_cast<std::int64_t>((w.q.size() + packed_codes_per_float(w.fmt.bits) - 1) /
+                                       packed_codes_per_float(w.fmt.bits))},
+            pack_weight_codes(w));
+    } else {
+      a.put(key(name, "q"), {w.rows, w.cols()}, to_float(w.q));
+    }
     // meta: rows, cols, elem bits, signed, V, block, act bits, act signed,
     // act granularity (0 coarse / 1 per-vector), act scale bits, amax, gamma
     a.put(key(name, "meta"), {12},
@@ -357,18 +403,58 @@ QuantizedModelPackage QuantizedModelPackage::load(const std::string& path) {
     }
     const auto vpr = static_cast<std::uint64_t>(w.layout.vectors_per_row());
 
-    const auto& q = need(a, key(name, "q")).data;
-    check_size(q.size(), static_cast<std::uint64_t>(w.rows) *
-                             static_cast<std::uint64_t>(w.layout.cols),
-               "weight data of " + name);
-    w.q.assign(q.size(), 0);
-    // Bound elements by the DECLARED format, not the int16 storage: the
-    // packed kernels derive their int32-exactness guarantee from
-    // fmt.qmax(), so an element outside the format is corruption that
-    // would void that premise.
+    const auto n_elems =
+        static_cast<std::uint64_t>(w.rows) * static_cast<std::uint64_t>(w.layout.cols);
     const std::string q_what = "weight element of " + name;
-    for (std::size_t i = 0; i < q.size(); ++i) {
-      w.q[i] = static_cast<std::int16_t>(checked_i64(q[i], w.fmt.qmin(), w.fmt.qmax(), q_what));
+    if (a.contains(key(name, "q_packed"))) {
+      // Densely packed codes (the current save() form). Every word must be
+      // an exact small integer and every code must sit inside the declared
+      // format — the packed kernels derive their int32-exactness guarantee
+      // from fmt.qmax(), so an element outside the format is corruption
+      // that would void that premise.
+      if (w.fmt.bits > 8) {
+        throw std::runtime_error("QuantizedModelPackage: packed weights of " + name +
+                                 " with a wider-than-8-bit format");
+      }
+      const int b = w.fmt.bits, k = packed_codes_per_float(b);
+      const auto& qp = need(a, key(name, "q_packed")).data;
+      check_size(qp.size(), (n_elems + k - 1) / k, "packed weight data of " + name);
+      const std::uint32_t mask = (1u << b) - 1;
+      const auto span = static_cast<std::uint32_t>(w.fmt.qmax() - w.fmt.qmin());
+      w.q.assign(n_elems, 0);
+      for (std::size_t g = 0; g < qp.size(); ++g) {
+        const float v = qp[g];
+        if (!(v >= 0.0f && v < 16777216.0f) || v != std::floor(v)) {
+          throw std::runtime_error("QuantizedModelPackage: packed weight word of " + name +
+                                   " is not a valid code group");
+        }
+        const auto word = static_cast<std::uint32_t>(v);
+        for (int s = 0; s < k; ++s) {
+          const std::uint64_t i = static_cast<std::uint64_t>(g) * k + s;
+          const std::uint32_t code = (word >> (s * b)) & mask;
+          if (i >= n_elems) {
+            if (code != 0) {
+              throw std::runtime_error("QuantizedModelPackage: " + q_what +
+                                       " past the weight tail");
+            }
+            continue;
+          }
+          if (code > span) {
+            throw std::runtime_error("QuantizedModelPackage: " + q_what + " out of range");
+          }
+          w.q[i] = static_cast<std::int16_t>(static_cast<std::int64_t>(code) + w.fmt.qmin());
+        }
+      }
+    } else {
+      // Legacy one-float-per-code entry: older archives keep loading (and
+      // serving bit-identically — the weights decode to the same q).
+      const auto& q = need(a, key(name, "q")).data;
+      check_size(q.size(), n_elems, "weight data of " + name);
+      w.q.assign(q.size(), 0);
+      for (std::size_t i = 0; i < q.size(); ++i) {
+        w.q[i] =
+            static_cast<std::int16_t>(checked_i64(q[i], w.fmt.qmin(), w.fmt.qmax(), q_what));
+      }
     }
 
     if (a.contains(key(name, "sq"))) {

@@ -77,7 +77,14 @@ struct QuantizedModelPackage {
   // contains spatial ops; 0 for MLP-style packages.
   std::int64_t in_h = 0, in_w = 0, in_c = 0;
 
-  void save(const std::string& path) const;
+  // save() stores weight codes densely packed ("<layer>/q_packed": biased
+  // unsigned b-bit codes, 24/b codes per archive float as an exact < 2^24
+  // integer — a 4-bit layer's payload is 6x smaller than the legacy
+  // one-float-per-code "<layer>/q" entry). save(path, false) writes the
+  // legacy byte-width entry instead; load() accepts both, bit-identically
+  // (the compat tests pin that old archives keep loading and serving).
+  void save(const std::string& path) const { save(path, true); }
+  void save(const std::string& path, bool pack_weights) const;
   static QuantizedModelPackage load(const std::string& path);
 };
 
@@ -132,10 +139,16 @@ class IntLayerPrimitive {
   bool prepacked() const { return panels_.has_value(); }
 
   // Introspection (vsq_inspect --kernels): the resolved kernel identities.
-  const char* op_name() const;    // "int_gemm" / "int_conv"
-  const char* impl_name() const;  // panel impl, or "int64_ref" (no panels)
-  const char* acc_name() const;   // scale-accumulate impl, or "int64_ref"
-  const char* isa_name() const;   // ISA tier of the panel impl, or "-"
+  const char* op_name() const;     // "int_gemm" / "int_conv"
+  const char* impl_name() const;   // panel impl, or "int64_ref" (no panels)
+  const char* acc_name() const;    // scale-accumulate impl, or "int64_ref"
+  const char* isa_name() const;    // ISA tier of the panel impl, or "-"
+  const char* layout_name() const; // panel layout, or "-" (no panels)
+  // Resident bytes of the packed panels (0 without panels) and what the
+  // same pack would occupy in the byte-width int16 layout — the memory
+  // side of the sub-byte tiers (a 4-bit layer sits near 0.25x).
+  std::int64_t resident_bytes() const;
+  std::int64_t baseline_bytes() const;
 
  private:
   const QuantizedLayerPackage* layer_;

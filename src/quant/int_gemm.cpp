@@ -80,7 +80,10 @@ Tensor int_gemm_packed(const QuantizedMatrix& act, const QuantizedMatrix& wgt,
   }
   if (prepacked == nullptr) {
     local_panels.emplace(wgt, layout, IntActAttrs::of(act), arena);
-    if (stats) ++stats->panels_packed;
+    if (stats) {
+      ++stats->panels_packed;
+      if (local_panels->materialized_sub_byte()) ++stats->panels_unpacked_materialized;
+    }
   }
   const IntWeightPanels& panels = prepacked ? *prepacked : *local_panels;
 

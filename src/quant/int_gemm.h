@@ -33,6 +33,9 @@ struct IntGemmStats {
   std::uint64_t zero_dot_products = 0;   // dp == 0 (gateable)
   std::uint64_t panels_packed = 0;       // per-call weight-panel packs (0 when
                                          // the caller supplied a prepacked set)
+  std::uint64_t panels_unpacked_materialized = 0;  // packs where sub-byte-format
+                                         // weights materialized at byte width
+                                         // (no packed tier eligible)
   std::int64_t max_abs_psum = 0;         // widest partial sum observed
 
   double gateable_fraction() const {

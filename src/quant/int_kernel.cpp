@@ -10,10 +10,15 @@ constexpr int PNR = kIntPanelCols;
 std::int64_t padded4(std::int64_t len) { return (len + 3) / 4 * 4; }
 
 std::atomic<std::uint64_t> g_panels_packed{0};
+std::atomic<std::uint64_t> g_panels_unpacked_materialized{0};
 
 }  // namespace
 
 std::uint64_t panels_packed_total() { return g_panels_packed.load(std::memory_order_relaxed); }
+
+std::uint64_t panels_unpacked_materialized_total() {
+  return g_panels_unpacked_materialized.load(std::memory_order_relaxed);
+}
 
 IntWeightPanels::IntWeightPanels(const QuantizedMatrix& wgt, const VectorLayout& layout,
                                  const IntActAttrs& act, ScratchArena& arena)
@@ -76,9 +81,34 @@ void IntWeightPanels::pack(const QuantizedMatrix& wgt, const VectorLayout& layou
   // branch on panel width.
   n_panels_ = (k_out_ + PNR - 1) / PNR;
   const kernels::PanelLayout pl = panel_impl_->layout;
-  panel_stride_ = pl == kernels::PanelLayout::kQuadInt8
-                      ? quad_cols * PNR * static_cast<std::int64_t>(sizeof(std::int8_t))
-                      : cols_ * PNR * static_cast<std::int64_t>(sizeof(std::int16_t));
+  const int wb = wgt.fmt.bits;
+  switch (pl) {
+    case kernels::PanelLayout::kQuadInt8:
+      panel_stride_ = quad_cols * PNR * static_cast<std::int64_t>(sizeof(std::int8_t));
+      break;
+    case kernels::PanelLayout::kBitPacked:
+      // b bytes per column (8 codes x b bits) + 8 slack bytes so the
+      // kernel's fixed 4/8-byte group loads never leave the panel.
+      panel_stride_ = cols_ * wb + 8;
+      break;
+    case kernels::PanelLayout::kNibblePair:
+      // One byte per column pair per output: (cols/2) * PNR nibble pairs.
+      panel_stride_ = (cols_ / 2) * PNR;
+      break;
+    case kernels::PanelLayout::kNibbleQuad:
+      // Two bytes per column quad per output.
+      panel_stride_ = (quad_cols / 4) * 2 * PNR;
+      break;
+    default:
+      panel_stride_ = cols_ * PNR * static_cast<std::int64_t>(sizeof(std::int16_t));
+      break;
+  }
+  if (kernels::panel_layout_sub_byte(pl)) {
+    wbits_ = wb;
+  } else if (wb < 8) {
+    g_panels_unpacked_materialized.fetch_add(1, std::memory_order_relaxed);
+  }
+  vcomp_off_ = (cols_ + 4 + 3) / 4 * 4;
   auto* pw = static_cast<unsigned char*>(
       arena.alloc(static_cast<std::size_t>(n_panels_ * panel_stride_)));
   auto* psq = arena.alloc_n<std::uint32_t>(static_cast<std::size_t>(n_panels_ * vpr_ * PNR));
@@ -86,6 +116,14 @@ void IntWeightPanels::pack(const QuantizedMatrix& wgt, const VectorLayout& layou
   if (pl == kernels::PanelLayout::kQuadInt8) {
     ncomp = arena.alloc_n<std::int32_t>(static_cast<std::size_t>(n_panels_ * vpr_ * PNR));
   }
+  const std::int64_t psq_bytes =
+      n_panels_ * vpr_ * PNR * static_cast<std::int64_t>(sizeof(std::uint32_t));
+  resident_bytes_ = n_panels_ * panel_stride_ + psq_bytes +
+                    (ncomp != nullptr
+                         ? n_panels_ * vpr_ * PNR * static_cast<std::int64_t>(sizeof(std::int32_t))
+                         : 0);
+  baseline_bytes_ =
+      n_panels_ * cols_ * PNR * static_cast<std::int64_t>(sizeof(std::int16_t)) + psq_bytes;
 
   for (std::int64_t kp = 0; kp < n_panels_; ++kp) {
     const std::int64_t k0 = kp * PNR;
@@ -152,6 +190,80 @@ void IntWeightPanels::pack(const QuantizedMatrix& wgt, const VectorLayout& layou
             nc[v * PNR + j] = -static_cast<std::int32_t>(u8_bias_) * wsum;
           }
           vd += quads * 4 * PNR;
+        }
+        break;
+      }
+      case kernels::PanelLayout::kBitPacked: {
+        // Per column: one b-byte group holding the 8 output codes, LSB
+        // first. Codes are two's-complement TRUNCATED (w & mask) — exact
+        // over the signed b-bit range the eligibility predicate
+        // guaranteed — and zero past k_out (code 0 decodes to 0).
+        const auto mask = static_cast<std::uint64_t>((1 << wb) - 1);
+        for (std::int64_t c = 0; c < cols_; ++c) {
+          std::uint64_t bits = 0;
+          for (int j = 0; j < nr; ++j) {
+            const auto code = static_cast<std::uint64_t>(
+                                  wgt.q[static_cast<std::size_t>((k0 + j) * cols_ + c)]) &
+                              mask;
+            bits |= code << (j * wb);
+          }
+          for (int h = 0; h < wb; ++h) {
+            pd[c * wb + h] = static_cast<unsigned char>(bits >> (8 * h));
+          }
+        }
+        std::memset(pd + cols_ * wb, 0, 8);  // group-load slack
+        break;
+      }
+      case kernels::PanelLayout::kNibblePair: {
+        // One byte per column pair per output: lo nibble = even column,
+        // hi = odd (even vector lengths only, so pairs tile exactly).
+        for (std::int64_t v = 0; v < vpr_; ++v) {
+          const std::int64_t c0 = vr[v].c0, pairs = vr[v].len / 2;
+          for (std::int64_t p = 0; p < pairs; ++p) {
+            for (int j = 0; j < PNR; ++j) {
+              unsigned lo = 0, hi = 0;
+              if (j < nr) {
+                lo = static_cast<unsigned>(
+                         wgt.q[static_cast<std::size_t>((k0 + j) * cols_ + c0 + 2 * p)]) &
+                     0xF;
+                hi = static_cast<unsigned>(
+                         wgt.q[static_cast<std::size_t>((k0 + j) * cols_ + c0 + 2 * p + 1)]) &
+                     0xF;
+              }
+              pd[p * PNR + j] = static_cast<unsigned char>(lo | (hi << 4));
+            }
+          }
+          pd += pairs * PNR;
+        }
+        break;
+      }
+      case kernels::PanelLayout::kNibbleQuad: {
+        // Two bytes per column quad per output: byte h packs columns
+        // 4q+2h / 4q+2h+1 as lo/hi nibbles. Codes are BIASED UNSIGNED
+        // (w + 8, in 1..15) — the vpdpbusd unsigned operand — with
+        // padding code 0, which multiplies to zero against whatever the
+        // kernel's 4-byte activation overread picks up.
+        for (std::int64_t v = 0; v < vpr_; ++v) {
+          const std::int64_t c0 = vr[v].c0, len = vr[v].len;
+          const std::int64_t quads = padded4(len) / 4;
+          for (std::int64_t q = 0; q < quads; ++q) {
+            for (int j = 0; j < PNR; ++j) {
+              for (int h = 0; h < 2; ++h) {
+                unsigned lo = 0, hi = 0;
+                const std::int64_t ce = 4 * q + 2 * h, co = ce + 1;
+                if (j < nr && ce < len) {
+                  lo = static_cast<unsigned>(
+                      wgt.q[static_cast<std::size_t>((k0 + j) * cols_ + c0 + ce)] + 8);
+                }
+                if (j < nr && co < len) {
+                  hi = static_cast<unsigned>(
+                      wgt.q[static_cast<std::size_t>((k0 + j) * cols_ + c0 + co)] + 8);
+                }
+                pd[q * 2 * PNR + j * 2 + h] = static_cast<unsigned char>(lo | (hi << 4));
+              }
+            }
+          }
+          pd += quads * 2 * PNR;
         }
         break;
       }

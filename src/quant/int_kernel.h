@@ -88,8 +88,15 @@ struct IntRowStats {
 //   kPairInterleaved  [pair][j][2] int16 (avx2_madd; even vector lengths)
 //   kQuadInt8         [quad][j][4] int8, zero-padded quads, plus the
 //                     [v][j] u8-bias compensation block (avx512_vnni)
+//   kBitPacked        [c] b-bit code groups (portable_sub / avx2_sub)
+//   kNibblePair       [pair][j] nibble pairs (avx2_sub4_madd)
+//   kNibbleQuad       [quad][j][2] biased nibble quads (avx512_vnni_sub4)
 //
 // plus [v][j] per-vector scale panels, everything zero-padded past k_out.
+// The sub-byte layouts store 3-6 bit codes at code width — a 4-bit pack is
+// ~0.25x the kPlain bytes — and their kernels unpack in registers, so no
+// byte-width copy of the weights ever materializes (asserted by the
+// serving tests via panels_unpacked_materialized_total()).
 // Buffers come from the caller's ScratchArena and stay valid until its
 // region rewinds; pack once, stream many rows.
 class IntWeightPanels {
@@ -121,11 +128,35 @@ class IntWeightPanels {
   // (vsq_inspect --kernels) and the forced-tier tests.
   const kernels::IntPanelImpl& panel_impl() const { return *panel_impl_; }
   const kernels::PanelAccImpl& acc_impl() const { return *acc_impl_; }
+  kernels::PanelLayout layout() const { return panel_impl_->layout; }
 
-  // True when run_row needs the biased-u8 row image (the VNNI layout);
-  // callers then pass a scratch buffer of u8_row_len() bytes.
-  bool needs_u8_row() const { return panel_impl_->needs_u8_row; }
-  std::int64_t u8_row_len() const { return cols_ + 4; }
+  // Memory accounting for the footprint introspection (vsq_inspect
+  // --kernels, ServeStats): the bytes this pack keeps resident (weight
+  // panels + scale panels + compensation), and what the same pack would
+  // occupy in the byte-width kPlain int16 layout. resident/baseline <= 0.3
+  // for a 4-bit model is the point of the packed tiers.
+  std::int64_t resident_bytes() const { return resident_bytes_; }
+  std::int64_t baseline_bytes() const { return baseline_bytes_; }
+
+  // True when sub-byte-format weights (bits < 8) had to materialize at
+  // byte width because no packed tier was eligible (odd bit widths, or
+  // VSQ_PACKED=0).
+  bool materialized_sub_byte() const {
+    return wgt_->fmt.bits < 8 && !kernels::panel_layout_sub_byte(layout());
+  }
+
+  // True when run_row needs a per-row image buffer beside the int16 row
+  // (the VNNI layouts); callers then pass a scratch buffer of
+  // u8_row_len() bytes. kBiasedU8 holds the rebiased row; kSignedI8 holds
+  // the raw-s8 row plus, at vcomp_off_, the [v] int32 row-sum compensation
+  // block (the buffer start is arena/64-byte aligned, vcomp_off_ is
+  // 4-aligned, so the int32 view is in bounds and aligned).
+  bool needs_u8_row() const { return panel_impl_->row_image != kernels::RowImage::kNone; }
+  std::int64_t u8_row_len() const {
+    return panel_impl_->row_image == kernels::RowImage::kSignedI8
+               ? vcomp_off_ + vpr_ * static_cast<std::int64_t>(sizeof(std::int32_t))
+               : cols_ + 4;
+  }
 
   // True when this pack may stand in for a per-call pack of `wgt` under
   // `layout` with `act_fmt` activations — the single validation every
@@ -149,13 +180,31 @@ class IntWeightPanels {
                int full_bits, int scale_product_bits, std::int32_t* dp, std::uint8_t* u8row,
                IntRowStats& st) const {
     constexpr int PNR = kIntPanelCols;
-    // The VNNI layout consumes the row as biased u8 (see
+    // The VNNI layouts consume a per-row byte image (see
     // kernels/int_panel_impls.cpp); built once per row, shared by panels.
-    if (panel_impl_->needs_u8_row) {
+    // kBiasedU8: the row rebiased to u8. kSignedI8 (packed 4-bit VNNI):
+    // the raw s8 row plus the per-vector row-sum compensation
+    // vcomp[v] = -8 * sum_c a[c], carved from the same scratch buffer.
+    const std::int32_t* vcomp = nullptr;
+    if (panel_impl_->row_image == kernels::RowImage::kBiasedU8) {
       for (std::int64_t c = 0; c < cols_; ++c) {
         u8row[c] = static_cast<std::uint8_t>(arow[c] + u8_bias_);
       }
       std::memset(u8row + cols_, 0, 4);  // quad overread past the row end
+    } else if (panel_impl_->row_image == kernels::RowImage::kSignedI8) {
+      for (std::int64_t c = 0; c < cols_; ++c) {
+        u8row[c] = static_cast<std::uint8_t>(static_cast<std::int8_t>(arow[c]));
+      }
+      std::memset(u8row + cols_, 0, 4);
+      auto* vc = reinterpret_cast<std::int32_t*>(u8row + vcomp_off_);
+      const std::int32_t bias = 1 << (wbits_ - 1);
+      for (std::int64_t v = 0; v < vpr_; ++v) {
+        std::int32_t s = 0;
+        const std::int16_t* av = arow + vr_[v].c0;
+        for (std::int32_t c = 0; c < vr_[v].len; ++c) s += av[c];
+        vc[v] = -bias * s;
+      }
+      vcomp = vc;
     }
     // Stats off (the serving hot path): the resolved SIMD scale-accumulate
     // when the scale product width permits. Stats on: the portable loop,
@@ -167,8 +216,10 @@ class IntWeightPanels {
     kernels::PanelArgs pa;
     pa.arow = arow;
     pa.arow8 = u8row;
+    pa.vcomp = vcomp;
     pa.vr = vr_;
     pa.nvec = vpr_;
+    pa.wbits = wbits_;
     pa.dp = dp;
     const kernels::IntPanelFn panel_fn = panel_impl_->fn;
     for (std::int64_t kp = 0; kp < n_panels_; ++kp) {
@@ -218,7 +269,10 @@ class IntWeightPanels {
   const std::int32_t* ncomp_ = nullptr;  // kQuadInt8 only
   std::int64_t n_panels_ = 0, cols_ = 0, k_out_ = 0, vpr_ = 0;
   std::int64_t panel_stride_ = 0;        // bytes between consecutive panels
+  std::int64_t resident_bytes_ = 0, baseline_bytes_ = 0;
+  std::int64_t vcomp_off_ = 0;           // kSignedI8: vcomp offset in u8row
   int vector_size_ = 0;
+  int wbits_ = 0;                        // code width of packed layouts, else 0
   std::int64_t block_len_ = 0;
   QuantFormat act_fmt_{8, true};
   std::int16_t u8_bias_ = 0;
@@ -235,5 +289,11 @@ class IntWeightPanels {
 // with the runner's load-time primitives every pack happens at model-load
 // time, never on the per-request path.
 std::uint64_t panels_packed_total();
+
+// Process-wide count of packs where sub-byte-format weights (bits < 8)
+// materialized at byte width (see IntWeightPanels::materialized_sub_byte).
+// The serving tests assert steady-state 4-bit traffic leaves this flat AND
+// zero-incremented at load: the packed layouts unpack in registers only.
+std::uint64_t panels_unpacked_materialized_total();
 
 }  // namespace vsq::detail

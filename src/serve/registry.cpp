@@ -57,6 +57,11 @@ ServeStatsSnapshot merge_snapshots(ServeStatsSnapshot a, const ServeStatsSnapsho
   if (a.batch_hist.size() < b.batch_hist.size()) a.batch_hist.resize(b.batch_hist.size(), 0);
   for (std::size_t i = 0; i < b.batch_hist.size(); ++i) a.batch_hist[i] += b.batch_hist[i];
   a.mean_batch = mean_batch_from_hist(a.batch_hist, a.batches);
+  // Resident packed-panel bytes describe the loaded model, not traffic:
+  // two windows of the same name serve the same (or a reloaded) model, so
+  // take the max rather than summing footprints that never coexisted as
+  // one serving instance.
+  a.packed_weight_bytes = std::max(a.packed_weight_bytes, b.packed_weight_bytes);
   return a;
 }
 
@@ -270,22 +275,25 @@ std::vector<RegistryModelStats> ModelRegistry::stats_all() const {
 void ModelRegistry::print_stats(std::ostream& os) const {
   const std::vector<RegistryModelStats> all = stats_all();
   Table t({"Model", "Requests", "Batches", "Mean batch", "Cache hits", "Throughput r/s",
-           "p50 us", "p95 us", "p99 us"});
-  std::uint64_t requests = 0, batches = 0, hits = 0;
+           "p50 us", "p95 us", "p99 us", "Packed wt KiB"});
+  std::uint64_t requests = 0, batches = 0, hits = 0, packed = 0;
   double rps = 0.0;
   for (const RegistryModelStats& m : all) {
     const ServeStatsSnapshot& s = m.serve;
     t.add_row({m.name, std::to_string(s.requests), std::to_string(s.batches),
                Table::num(s.mean_batch, 2), std::to_string(s.cache_hits),
                Table::num(s.throughput_rps, 1), Table::num(s.p50_us, 1),
-               Table::num(s.p95_us, 1), Table::num(s.p99_us, 1)});
+               Table::num(s.p95_us, 1), Table::num(s.p99_us, 1),
+               Table::num(static_cast<double>(s.packed_weight_bytes) / 1024.0, 1)});
     requests += s.requests;
     batches += s.batches;
     hits += s.cache_hits;
     rps += s.throughput_rps;
+    packed += s.packed_weight_bytes;
   }
   t.add_row({"TOTAL", std::to_string(requests), std::to_string(batches), "-",
-             std::to_string(hits), Table::num(rps, 1), "-", "-", "-"});
+             std::to_string(hits), Table::num(rps, 1), "-", "-", "-",
+             Table::num(static_cast<double>(packed) / 1024.0, 1)});
   t.print(os);
 }
 

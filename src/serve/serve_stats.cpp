@@ -91,10 +91,11 @@ double mean_batch_from_hist(const std::vector<std::uint64_t>& hist, std::uint64_
 
 void ServeStatsSnapshot::print_table(std::ostream& os) const {
   Table t({"Requests", "Batches", "Mean batch", "Cache hits", "Throughput r/s", "p50 us",
-           "p95 us", "p99 us", "max us"});
+           "p95 us", "p99 us", "max us", "Packed wt KiB"});
   t.add_row({std::to_string(requests), std::to_string(batches), Table::num(mean_batch, 2),
              std::to_string(cache_hits), Table::num(throughput_rps, 1), Table::num(p50_us, 1),
-             Table::num(p95_us, 1), Table::num(p99_us, 1), Table::num(max_us, 1)});
+             Table::num(p95_us, 1), Table::num(p99_us, 1), Table::num(max_us, 1),
+             Table::num(static_cast<double>(packed_weight_bytes) / 1024.0, 1)});
   t.print(os);
 }
 
@@ -106,7 +107,8 @@ std::string ServeStatsSnapshot::json() const {
      << ",\"throughput_rps\":" << throughput_rps << ",\"mean_batch\":" << mean_batch
      << ",\"latency_us\":{\"p50\":" << p50_us << ",\"p95\":" << p95_us << ",\"p99\":" << p99_us
      << ",\"mean\":" << mean_us << ",\"max\":" << max_us
-     << ",\"percentile_window\":" << percentile_window << "},\"batch_hist\":[";
+     << ",\"percentile_window\":" << percentile_window
+     << "},\"packed_weight_bytes\":" << packed_weight_bytes << ",\"batch_hist\":[";
   for (std::size_t b = 0; b < batch_hist.size(); ++b) {
     if (b) os << ',';
     os << batch_hist[b];

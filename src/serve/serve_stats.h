@@ -37,6 +37,11 @@ struct ServeStatsSnapshot {
   // double-counted time when windows overlap (an old session draining
   // while its replacement serves).
   double window_start_s = 0.0, window_end_s = 0.0;
+  // Resident bytes of the session's pre-packed weight panels (sub-byte
+  // packed layouts shrink this below the int16-panel footprint). A
+  // property of the loaded model, not a counter: ModelRegistry's
+  // cross-reload merge takes the max, never the sum.
+  std::uint64_t packed_weight_bytes = 0;
 
   // Two-row aligned table (util/Table) for terminal output.
   void print_table(std::ostream& os) const;

@@ -13,6 +13,9 @@ InferenceSession::InferenceSession(QuantizedModelPackage pkg, ServeConfig cfg)
       runner_(pkg_, cfg.scale_product_bits),
       cache_(cfg.cache_entries),
       queue_(cfg.queue_depth) {
+  for (const auto& [name, prim] : runner_.primitives()) {
+    packed_weight_bytes_ += static_cast<std::uint64_t>(prim.resident_bytes());
+  }
   BatcherConfig bc;
   bc.max_batch = cfg_.max_batch;
   bc.max_wait_us = cfg_.max_wait_us;
@@ -41,6 +44,7 @@ InferenceSession::InferenceSession(QuantizedModelPackage pkg, ServeConfig cfg)
       gemm_stats_.zero_scale_products += local.zero_scale_products;
       gemm_stats_.zero_dot_products += local.zero_dot_products;
       gemm_stats_.panels_packed += local.panels_packed;
+      gemm_stats_.panels_unpacked_materialized += local.panels_unpacked_materialized;
       gemm_stats_.max_abs_psum = std::max(gemm_stats_.max_abs_psum, local.max_abs_psum);
       return y;
     };

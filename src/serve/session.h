@@ -67,7 +67,13 @@ class InferenceSession {
 
   const QuantizedModelRunner& runner() const { return runner_; }
   const QuantizedModelPackage& package() const { return pkg_; }
-  ServeStatsSnapshot stats() const { return stats_.snapshot(); }
+  // Snapshot carries the session's resident packed-panel bytes (a static
+  // property of the loaded model, summed over its primitives at load).
+  ServeStatsSnapshot stats() const {
+    ServeStatsSnapshot s = stats_.snapshot();
+    s.packed_weight_bytes = packed_weight_bytes_;
+    return s;
+  }
   // Aggregate integer-datapath stats over every batched forward pass.
   IntGemmStats datapath_stats() const;
 
@@ -76,6 +82,7 @@ class InferenceSession {
   ServeConfig cfg_;
   QuantizedModelRunner runner_;
   ServeStats stats_;
+  std::uint64_t packed_weight_bytes_ = 0;
   BlobCache cache_;
   RequestQueue queue_;
   mutable std::mutex gemm_stats_mu_;

@@ -126,7 +126,10 @@ TEST(ExportRoundTrip, SixteenBitScalePackageSurvivesLoad) {
 
 // A small but fully featured package (per-vector weights, two-level
 // scales, bias, forward program) written to a temp file; returns its path.
-std::string write_fuzz_package(const std::string& tag) {
+// `pack_weights` selects the on-disk weight encoding (packed sub-byte
+// codes vs the legacy one-float-per-code form) so the fuzz sweeps cover
+// both parse paths.
+std::string write_fuzz_package(const std::string& tag, bool pack_weights = true) {
   Rng rng(55);
   Linear layer("fc1", 24, 6, rng);
   layer.set_quant(specs::weight_pv(4, ScaleDtype::kTwoLevelInt, 6),
@@ -140,7 +143,7 @@ std::string write_fuzz_package(const std::string& tag) {
   pkg.program = {{"fc1", false}};
   const std::string path =
       (std::filesystem::temp_directory_path() / ("vsq_fuzz_" + tag + ".vsqa")).string();
-  pkg.save(path);
+  pkg.save(path, pack_weights);
   return path;
 }
 
@@ -200,52 +203,132 @@ TEST(ArchiveFuzz, WrongMagicFailsCleanly) {
 }
 
 TEST(ArchiveFuzz, TruncationsFailCleanly) {
-  const std::string path = write_fuzz_package("trunc");
-  const std::vector<char> bytes = read_bytes(path);
-  ASSERT_GT(bytes.size(), 64u);
-  std::vector<std::size_t> cuts{0, 1, 3, 4, 7, 8, 11, 12, 15, 16, 20, 40, 64};
-  for (std::size_t frac = 1; frac < 8; ++frac) cuts.push_back(bytes.size() * frac / 8);
-  cuts.push_back(bytes.size() - 1);
-  for (const std::size_t cut : cuts) {
-    write_bytes(path, {bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(cut)});
-    EXPECT_THROW((void)Archive::load(path), std::runtime_error) << "cut=" << cut;
-    EXPECT_THROW((void)QuantizedModelPackage::load(path), std::runtime_error) << "cut=" << cut;
+  for (const bool pack : {false, true}) {
+    const std::string path =
+        write_fuzz_package(pack ? "trunc_packed" : "trunc_legacy", pack);
+    const std::vector<char> bytes = read_bytes(path);
+    ASSERT_GT(bytes.size(), 64u);
+    std::vector<std::size_t> cuts{0, 1, 3, 4, 7, 8, 11, 12, 15, 16, 20, 40, 64};
+    for (std::size_t frac = 1; frac < 8; ++frac) cuts.push_back(bytes.size() * frac / 8);
+    cuts.push_back(bytes.size() - 1);
+    for (const std::size_t cut : cuts) {
+      write_bytes(path, {bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(cut)});
+      EXPECT_THROW((void)Archive::load(path), std::runtime_error)
+          << "cut=" << cut << " pack=" << pack;
+      EXPECT_THROW((void)QuantizedModelPackage::load(path), std::runtime_error)
+          << "cut=" << cut << " pack=" << pack;
+    }
+    // The registry path on a representative truncation.
+    write_bytes(path,
+                {bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(bytes.size() / 2)});
+    ModelRegistry reg;
+    EXPECT_THROW(reg.load_file("m", path), std::runtime_error);
+    std::remove(path.c_str());
   }
-  // The registry path on a representative truncation.
-  write_bytes(path, {bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(bytes.size() / 2)});
-  ModelRegistry reg;
-  EXPECT_THROW(reg.load_file("m", path), std::runtime_error);
-  std::remove(path.c_str());
 }
 
 TEST(ArchiveFuzz, BitFlipsNeverCrash) {
-  const std::string path = write_fuzz_package("flip");
-  const std::vector<char> bytes = read_bytes(path);
-  std::size_t loaded = 0, rejected = 0;
-  // Dense sweep over the header + structural region, sparse over the
-  // payload: every byte of the first 96, then every 7th byte after, with
-  // a rotating bit position. Deterministic, so a failure reproduces.
-  std::vector<std::size_t> positions;
-  for (std::size_t i = 0; i < std::min<std::size_t>(96, bytes.size()); ++i) positions.push_back(i);
-  for (std::size_t i = 96; i < bytes.size(); i += 7) positions.push_back(i);
-  for (std::size_t n = 0; n < positions.size(); ++n) {
-    const std::size_t pos = positions[n];
-    std::vector<char> corrupt = bytes;
-    corrupt[pos] = static_cast<char>(corrupt[pos] ^ (1 << (n % 8)));
-    write_bytes(path, corrupt);
-    // The registry spin-up is heavier than a parse; exercise it on a
-    // deterministic subsample.
-    if (load_all_surfaces(path, /*through_registry=*/n % 16 == 0)) {
-      ++loaded;
-    } else {
-      ++rejected;
+  for (const bool pack : {false, true}) {
+    const std::string path =
+        write_fuzz_package(pack ? "flip_packed" : "flip_legacy", pack);
+    const std::vector<char> bytes = read_bytes(path);
+    std::size_t loaded = 0, rejected = 0;
+    // Dense sweep over the header + structural region, sparse over the
+    // payload: every byte of the first 96, then every 7th byte after, with
+    // a rotating bit position. Deterministic, so a failure reproduces.
+    std::vector<std::size_t> positions;
+    for (std::size_t i = 0; i < std::min<std::size_t>(96, bytes.size()); ++i)
+      positions.push_back(i);
+    for (std::size_t i = 96; i < bytes.size(); i += 7) positions.push_back(i);
+    for (std::size_t n = 0; n < positions.size(); ++n) {
+      const std::size_t pos = positions[n];
+      std::vector<char> corrupt = bytes;
+      corrupt[pos] = static_cast<char>(corrupt[pos] ^ (1 << (n % 8)));
+      write_bytes(path, corrupt);
+      // The registry spin-up is heavier than a parse; exercise it on a
+      // deterministic subsample.
+      if (load_all_surfaces(path, /*through_registry=*/n % 16 == 0)) {
+        ++loaded;
+      } else {
+        ++rejected;
+      }
     }
+    // The sweep must have exercised both outcomes: flips in payload floats
+    // load fine (legacy), or at minimum flips in structural fields get
+    // rejected. The packed encoding validates every weight byte (range,
+    // integrality, tail zeros), so a payload flip there may also reject —
+    // only the legacy form guarantees some flips still load.
+    if (!pack) {
+      EXPECT_GT(loaded, 0u);
+    }
+    EXPECT_GT(rejected, 0u);
+    std::remove(path.c_str());
   }
-  // The sweep must have exercised both outcomes: flips in payload floats
-  // load fine, flips in structural fields get rejected.
-  EXPECT_GT(loaded, 0u);
-  EXPECT_GT(rejected, 0u);
-  std::remove(path.c_str());
+}
+
+// ---- Sub-byte packed weight encoding: forward/backward compatibility ----
+//
+// PR introducing q_packed: new saves pack 24/bits weight codes per float
+// (biased-unsigned, exact integers); old archives carry one float per code
+// under name/q. Both parse paths must stay live, and a model must run
+// bit-identically regardless of which encoding it was loaded from.
+
+void expect_tensors_bitwise_equal(const Tensor& a, const Tensor& b) {
+  ASSERT_EQ(a.numel(), b.numel());
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << "element " << i;
+  }
+}
+
+TEST(PackedArchiveCompat, LegacyArchiveLoadsAndRunsBitIdenticalToPacked) {
+  // tiny_int_legacy.vsqa is the committed pre-q_packed golden; tiny_int.vsqa
+  // is the same model re-exported in the packed encoding.
+  const std::string legacy = std::string(VSQ_GOLDEN_DIR) + "/tiny_int_legacy.vsqa";
+  const std::string packed = std::string(VSQ_GOLDEN_DIR) + "/tiny_int.vsqa";
+  const QuantizedModelPackage from_legacy = QuantizedModelPackage::load(legacy);
+  const QuantizedModelPackage from_packed = QuantizedModelPackage::load(packed);
+  ASSERT_EQ(from_legacy.layers.size(), from_packed.layers.size());
+  for (const auto& [name, l] : from_legacy.layers) {
+    ASSERT_TRUE(from_packed.layers.count(name));
+    EXPECT_EQ(l.weights.q, from_packed.layers.at(name).weights.q)
+        << "decoded weight codes differ for layer " << name;
+  }
+  const QuantizedModelRunner run_legacy(from_legacy), run_packed(from_packed);
+  Rng rng(909);
+  Tensor x(Shape{4, run_legacy.in_features()});
+  for (auto& v : x.span()) v = static_cast<float>(rng.uniform(-2.0, 2.0));
+  expect_tensors_bitwise_equal(run_legacy.forward(x), run_packed.forward(x));
+}
+
+TEST(PackedArchiveCompat, LegacyConvArchiveRunsBitIdenticalToPacked) {
+  const std::string legacy = std::string(VSQ_GOLDEN_DIR) + "/tiny_conv_legacy.vsqa";
+  const std::string packed = std::string(VSQ_GOLDEN_DIR) + "/tiny_conv.vsqa";
+  // The runner points into its package; both must outlive the forwards.
+  const QuantizedModelPackage from_legacy = QuantizedModelPackage::load(legacy);
+  const QuantizedModelPackage from_packed = QuantizedModelPackage::load(packed);
+  const QuantizedModelRunner run_legacy(from_legacy), run_packed(from_packed);
+  Rng rng(910);
+  Tensor x(Shape{2, run_legacy.in_features()});
+  for (auto& v : x.span()) v = static_cast<float>(rng.uniform(-2.0, 2.0));
+  expect_tensors_bitwise_equal(run_legacy.forward(x), run_packed.forward(x));
+}
+
+TEST(PackedArchiveCompat, BothEncodingsAreSaveFixedPoints) {
+  // save(load(x)) must be byte-identical to x for BOTH encodings: the
+  // legacy writer (pack_weights=false) reproduces a legacy archive, the
+  // packed writer reproduces a packed one — compat code must not silently
+  // rewrite archives it merely passed through.
+  const std::string legacy = std::string(VSQ_GOLDEN_DIR) + "/tiny_int_legacy.vsqa";
+  const std::string packed = std::string(VSQ_GOLDEN_DIR) + "/tiny_int.vsqa";
+  const std::string tmp =
+      (std::filesystem::temp_directory_path() / "vsq_compat_fixed_point.vsqa").string();
+  QuantizedModelPackage::load(legacy).save(tmp, /*pack_weights=*/false);
+  EXPECT_EQ(read_bytes(tmp), read_bytes(legacy))
+      << "legacy-encoding writer drifted from the committed pre-packed archive";
+  QuantizedModelPackage::load(packed).save(tmp, /*pack_weights=*/true);
+  EXPECT_EQ(read_bytes(tmp), read_bytes(packed))
+      << "packed-encoding writer is not a round-trip fixed point";
+  std::remove(tmp.c_str());
 }
 
 // ---- Learned per-vector scales ----

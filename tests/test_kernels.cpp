@@ -384,7 +384,7 @@ TEST(Vnni, EligibilityBoundaries) {
   }
   ASSERT_NE(impl->eligible, nullptr);
   EXPECT_EQ(impl->layout, kernels::PanelLayout::kQuadInt8);
-  EXPECT_TRUE(impl->needs_u8_row);
+  EXPECT_EQ(impl->row_image, kernels::RowImage::kBiasedU8);
   // Signed 8-bit acts bias to u8 exactly; unsigned 8-bit fit directly.
   EXPECT_TRUE(impl->eligible(vnni_desc(8, true, 16)));
   EXPECT_TRUE(impl->eligible(vnni_desc(8, false, 16)));
@@ -467,6 +467,141 @@ TEST(Vnni, QuadKernelMatchesScalarDotProducts) {
       EXPECT_EQ(dp[v * PNR + j], want) << "v=" << v << " j=" << j;
     }
   }
+}
+
+// ---- Sub-byte packed layouts: property sweep ----
+
+// Scoped VSQ_PACKED override (same contract as EnvIsa): "0" forces every
+// resolution onto byte-width panels, unset restores the packed preference.
+class EnvPacked {
+ public:
+  explicit EnvPacked(const char* v) {
+    if (const char* prev = std::getenv("VSQ_PACKED")) prev_ = prev;
+    if (v) {
+      setenv("VSQ_PACKED", v, 1);
+    } else {
+      unsetenv("VSQ_PACKED");
+    }
+  }
+  ~EnvPacked() {
+    if (prev_) {
+      setenv("VSQ_PACKED", prev_->c_str(), 1);
+    } else {
+      unsetenv("VSQ_PACKED");
+    }
+  }
+  EnvPacked(const EnvPacked&) = delete;
+  EnvPacked& operator=(const EnvPacked&) = delete;
+
+ private:
+  std::optional<std::string> prev_;
+};
+
+TEST(PackedSweep, SubByteGemmBitIdenticalToByteWidthPanels) {
+  // Property sweep: every packed code width x odd/even vector sizes x
+  // shapes ending in tail vectors and tail panel columns. For each case
+  // the byte-width panel path (VSQ_PACKED=0) is the reference; the packed
+  // preference under every available tier must reproduce it bit for bit —
+  // which proves the pack -> unpack-in-register round trip is the
+  // identity on every code (random operands exercise the full code range,
+  // sign extension included, and zero-padded tails must stay neutral).
+  struct Case {
+    std::int64_t cols;
+    int v;
+  };
+  // 29/3, 45/5, 33/7: odd V with short tail vectors (bitpacked tier only);
+  // 64/16: even, vector-aligned (madd/VNNI nibble layouts eligible at 4
+  // bits); 37/16: even V with a ragged tail vector. k_out=11 leaves a
+  // 3-column tail panel.
+  const Case cases[] = {{29, 3}, {45, 5}, {33, 7}, {64, 16}, {37, 16}};
+  int sub_byte_packs = 0;
+  for (const int bits : {3, 4, 5, 6, 8}) {
+    for (const Case& c : cases) {
+      const GemmOperands ops =
+          make_operands(3, c.cols, 11, bits, 6, c.v,
+                        static_cast<std::uint64_t>(7000 + bits * 100 + c.cols));
+      Tensor base;
+      {
+        EnvPacked off("0");
+        base = int_gemm(ops.act, ops.wgt, -1);
+      }
+      // Forced onto byte-width panels, sub-byte formats must report the
+      // materialized fallback (the counter the serving assertion watches).
+      {
+        EnvPacked off("0");
+        const detail::IntWeightPanels p(ops.wgt, ops.act.layout,
+                                        detail::IntActAttrs::of(ops.act));
+        EXPECT_EQ(p.materialized_sub_byte(), bits < 8) << "bits=" << bits;
+      }
+      for (const TierCase& tier : kTiers) {
+        if (!tier.available()) continue;
+        EnvIsa e(tier.env);
+        const Tensor y = int_gemm(ops.act, ops.wgt, -1);
+        expect_bitwise_equal(base, y, std::string("packed tier ") +
+                                          (tier.env ? tier.env : "native") +
+                                          " bits=" + std::to_string(bits) +
+                                          " cols=" + std::to_string(c.cols) +
+                                          " v=" + std::to_string(c.v));
+        // The packed preference must actually engage for every sub-byte
+        // width (the portable bitpacked tier is always eligible), and the
+        // packed form must be smaller than the int16 panels it replaces.
+        const detail::IntWeightPanels p(ops.wgt, ops.act.layout,
+                                        detail::IntActAttrs::of(ops.act));
+        if (bits < 8) {
+          EXPECT_TRUE(kernels::panel_layout_sub_byte(p.layout()))
+              << "bits=" << bits << " tier=" << (tier.env ? tier.env : "native");
+          EXPECT_FALSE(p.materialized_sub_byte());
+          EXPECT_LT(p.resident_bytes(), p.baseline_bytes());
+          ++sub_byte_packs;
+        }
+      }
+    }
+  }
+  EXPECT_GT(sub_byte_packs, 0);
+}
+
+TEST(PackedSweep, PrepackedSubBytePanelsMatchPerCallPack) {
+  // The load-time prepack path (what IntLayerPrimitive holds) through the
+  // same sub-byte layouts: bit-identical to the per-call pack.
+  for (const int bits : {3, 4, 5, 6}) {
+    const GemmOperands ops =
+        make_operands(4, 37, 9, bits, 6, 16, static_cast<std::uint64_t>(7600 + bits));
+    const Tensor per_call = int_gemm(ops.act, ops.wgt, -1);
+    const detail::IntWeightPanels panels(ops.wgt, ops.act.layout,
+                                         detail::IntActAttrs::of(ops.act));
+    EXPECT_TRUE(kernels::panel_layout_sub_byte(panels.layout())) << "bits=" << bits;
+    const Tensor prepacked = detail::int_gemm_packed(ops.act, ops.wgt, -1, nullptr, &panels);
+    expect_bitwise_equal(per_call, prepacked, "prepacked bits=" + std::to_string(bits));
+  }
+}
+
+TEST(PackedSweep, ConvPackedBitIdenticalToByteWidthPanels) {
+  // The conv datapath streams patch rows through the same panels; the
+  // packed preference must not change a single conv output bit vs the
+  // byte-width panel path, on any tier.
+  MacConfig mac = MacConfig::parse("4/8/6/10");
+  mac.act_unsigned = true;
+  const QuantizedModelPackage pkg = tiny_conv_package(mac);
+  Rng rng(7800);
+  int convs = 0;
+  for (const auto& [name, l] : pkg.layers) {
+    if (l.kind != PackagedLayerKind::kConv) continue;
+    ++convs;
+    Tensor x(Shape{2, 8, 8, l.conv_in_channels()});
+    for (auto& v : x.span()) v = static_cast<float>(rng.uniform(-1.5, 1.5));
+    Tensor base;
+    {
+      EnvPacked off("0");
+      base = run_packaged_conv_layer(l, x);
+    }
+    for (const TierCase& tier : kTiers) {
+      if (!tier.available()) continue;
+      EnvIsa e(tier.env);
+      expect_bitwise_equal(base, run_packaged_conv_layer(l, x),
+                           name + " packed tier " + (tier.env ? tier.env : "native"));
+    }
+  }
+  EXPECT_GT(convs, 0);
 }
 
 TEST(Vnni, IneligibleOperandsFallBackUnderVnniCap) {

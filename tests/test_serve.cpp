@@ -211,6 +211,29 @@ TEST(PanelCache, SteadyStateServingRepacksZeroPanels) {
   EXPECT_EQ(detail::panels_packed_total(), packed_after_load);
 }
 
+TEST(PanelCache, SteadyStateServingMaterializesZeroSubByteUnpacks) {
+  // The tiny model's 4-bit weights must serve from a sub-byte packed
+  // layout on every tier (the portable bitpacked tier exists exactly so
+  // no ISA lane falls back): a "materialized" unpack — sub-byte format
+  // stored in a byte-width panel — would silently forfeit the footprint
+  // win. Load may not materialize, and steady-state traffic must not
+  // move the counter at all.
+  const std::uint64_t materialized_before = detail::panels_unpacked_materialized_total();
+  ServeConfig cfg;
+  cfg.collect_datapath_stats = true;
+  InferenceSession session(tiny_package(), cfg);
+  EXPECT_EQ(detail::panels_unpacked_materialized_total(), materialized_before)
+      << "4-bit load-time packs landed in a byte-width panel layout";
+  for (int i = 0; i < 32; ++i) {
+    (void)session.infer(random_rows(1, TinyMlp::kIn, 660 + static_cast<std::uint64_t>(i)));
+  }
+  EXPECT_EQ(session.datapath_stats().panels_unpacked_materialized, 0u);
+  EXPECT_EQ(detail::panels_unpacked_materialized_total(), materialized_before);
+  // And the snapshot reports the resident packed footprint the session
+  // computed at load (nonzero for any model with resolved panels).
+  EXPECT_GT(session.stats().packed_weight_bytes, 0u);
+}
+
 TEST(PanelCache, PerCallPathCountsPacksPrepackedDoesNot) {
   QuantizedModelPackage pkg = tiny_package();
   const QuantizedLayerPackage& fc1 = pkg.layers.at("fc1");

@@ -98,11 +98,31 @@ int main(int argc, char** argv) {
   if (show_kernels) {
     std::cout << "\ncpu: " << isa::summary() << "\n";
     const QuantizedModelRunner runner(pkg);
-    Table kt({"Layer", "Op", "ISA", "Panel kernel", "Accumulator"});
+    Table kt({"Layer", "Op", "ISA", "Panel kernel", "Accumulator", "Layout", "Resident KiB",
+              "B/wt", "vs int16"});
+    std::int64_t total_resident = 0, total_baseline = 0;
     for (const auto& [name, prim] : runner.primitives()) {
-      kt.add_row({name, prim.op_name(), prim.isa_name(), prim.impl_name(), prim.acc_name()});
+      const std::int64_t res = prim.resident_bytes(), base = prim.baseline_bytes();
+      total_resident += res;
+      total_baseline += base;
+      const auto& w = prim.layer().weights;
+      const double n_w = static_cast<double>(w.rows) * static_cast<double>(w.cols());
+      kt.add_row({name, prim.op_name(), prim.isa_name(), prim.impl_name(), prim.acc_name(),
+                  prim.layout_name(), Table::num(static_cast<double>(res) / 1024.0, 1),
+                  res > 0 ? Table::num(static_cast<double>(res) / n_w, 2) : "-",
+                  base > 0 ? Table::num(static_cast<double>(res) / static_cast<double>(base), 2) +
+                                 "x"
+                           : "-"});
     }
     kt.print(std::cout);
+    if (total_baseline > 0) {
+      std::cout << "\npacked panels resident: "
+                << Table::num(static_cast<double>(total_resident) / 1024.0, 1) << " KiB ("
+                << Table::num(
+                       static_cast<double>(total_resident) / static_cast<double>(total_baseline),
+                       2)
+                << "x of the int16 panel layout)\n";
+    }
   }
   return 0;
 }
