@@ -1,5 +1,7 @@
 #include "exp/ptq.h"
 
+#include <stdexcept>
+
 #include "hw/mac_config.h"
 #include "nn/conv2d.h"
 #include "nn/linear.h"
@@ -124,6 +126,45 @@ QuantizedModelPackage tiny_conv_package(const MacConfig& mac) {
   pkg.in_w = config.in_w;
   pkg.in_c = config.in_c;
   return pkg;
+}
+
+QuantizedModelPackage builtin_serving_package(const std::string& which) {
+  if (which == "tiny") {
+    return tiny_mlp_package(MacConfig::parse("4/8/6/10"));
+  }
+  if (which == "tiny8") {
+    // Same MLP graph at a wider integer configuration: exercises a second
+    // set of operand widths (and scale formats) through the same registry.
+    return tiny_mlp_package(MacConfig::parse("8/8/6/6"));
+  }
+  MacConfig mac = MacConfig::parse("4/8/6/10");
+  mac.act_unsigned = true;  // post-ReLU activations, as vsq_quantize does
+  if (which == "tiny_conv") {
+    return tiny_conv_package(mac);
+  }
+  if (which == "resnet") {
+    // Untrained ResNetV at the default 16x16 scale: the full residual CNN
+    // topology (stem, plain + projection-shortcut blocks, pool, fc head)
+    // without needing a trained checkpoint. Deterministic seeds make every
+    // rebuild bit-identical.
+    ResNetVConfig config;
+    config.blocks_per_stage = 1;
+    config.seed = 11;
+    ResNetV model(config);
+    model.fold_batchnorm();
+    Rng rng(11);
+    Tensor calib(Shape{8, config.in_h, config.in_w, config.in_c});
+    for (auto& v : calib.span()) v = static_cast<float>(rng.uniform(-2.0, 2.0));
+    QuantizedModelPackage pkg =
+        calibrate_and_export(model.gemms(), mac.weight_spec(), mac.act_spec(),
+                             [&] { model.forward(calib, false); });
+    pkg.program = model.export_program();
+    pkg.in_h = config.in_h;
+    pkg.in_w = config.in_w;
+    pkg.in_c = config.in_c;
+    return pkg;
+  }
+  throw std::invalid_argument("unknown builtin model: " + which);
 }
 
 double PtqRunner::eval_bert_quantized(bool large, const QuantSpec& w, const QuantSpec& a) {

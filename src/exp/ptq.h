@@ -75,4 +75,14 @@ QuantizedModelPackage tiny_mlp_package(const MacConfig& mac);
 // archive all build EXACTLY this.
 QuantizedModelPackage tiny_conv_package(const MacConfig& mac);
 
+// The builtin serving-model menu shared by the soak driver and the
+// network server tool (vsq_soak --builtin, vsq_serve_net --builtin), all
+// deterministic — rebuilding a name yields a bit-identical package, which
+// the soak's differential audit relies on across chaos reloads:
+//   tiny       TinyMlp at 4/8/6/10         tiny8  TinyMlp at 8/8/6/6
+//   tiny_conv  tiny CNN at 4/8/6/10 (unsigned post-ReLU activations)
+//   resnet     untrained full ResNetV topology (seed 11), same mac
+// Throws std::invalid_argument for any other name.
+QuantizedModelPackage builtin_serving_package(const std::string& which);
+
 }  // namespace vsq

@@ -1,0 +1,100 @@
+#include "net/client.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "net/socket_io.h"
+
+namespace vsq::net {
+
+NetClient::NetClient(const std::string& host, int port, int timeout_ms)
+    : fd_(connect_tcp(host, port, timeout_ms)), timeout_ms_(timeout_ms) {}
+
+NetClient::NetClient(NetClient&& other) noexcept : fd_(other.fd_), timeout_ms_(other.timeout_ms_) {
+  other.fd_ = -1;
+}
+
+NetClient::~NetClient() { close(); }
+
+void NetClient::close() {
+  close_fd(fd_);
+  fd_ = -1;
+}
+
+ResponseFrame NetClient::read_response() {
+  std::uint8_t header[kHeaderBytes];
+  if (!read_full(fd_, header, kHeaderBytes, timeout_ms_, timeout_ms_)) {
+    throw std::runtime_error("NetClient: no response (connection closed or timed out)");
+  }
+  std::uint32_t body_len = 0;
+  if (!parse_header(header, &body_len)) {
+    throw std::runtime_error("NetClient: response with bad magic");
+  }
+  // A response is at most status + u32 + rows of floats; anything past
+  // the request cap would mean a wildly confused peer.
+  if (body_len > (64u << 20)) {
+    throw std::runtime_error("NetClient: oversized response frame");
+  }
+  std::vector<std::uint8_t> body(body_len);
+  if (body_len > 0 && !read_full(fd_, body.data(), body.size(), timeout_ms_, timeout_ms_)) {
+    throw std::runtime_error("NetClient: response body truncated");
+  }
+  ResponseFrame resp;
+  std::string err;
+  if (!decode_response(std::span<const std::uint8_t>(body.data(), body.size()), &resp, &err)) {
+    throw std::runtime_error("NetClient: undecodable response: " + err);
+  }
+  return resp;
+}
+
+ResponseFrame NetClient::infer(const std::string& model, const std::vector<float>& row,
+                               Priority priority) {
+  if (fd_ < 0) throw std::runtime_error("NetClient: connection is closed");
+  if (model.empty() || model.size() > kMaxNameLen) {
+    throw std::runtime_error("NetClient: model name length out of range");
+  }
+  RequestFrame req;
+  req.model = model;
+  req.priority = priority;
+  req.row = row;
+  const auto frame = encode_request(req);
+  if (!write_full(fd_, frame.data(), frame.size(), timeout_ms_)) {
+    throw std::runtime_error("NetClient: request write failed");
+  }
+  return read_response();
+}
+
+std::string http_get(const std::string& host, int port, const std::string& path, int timeout_ms) {
+  const int fd = connect_tcp(host, port, timeout_ms);
+  std::string resp;
+  try {
+    const std::string req = "GET " + path + " HTTP/1.1\r\nHost: " + host + "\r\n\r\n";
+    if (!write_full(fd, req.data(), req.size(), timeout_ms)) {
+      throw std::runtime_error("http_get: request write failed");
+    }
+    // The server sends Connection: close, so read to EOF.
+    char buf[4096];
+    for (;;) {
+      bool eof = false;
+      if (!read_full(fd, buf, 1, timeout_ms, timeout_ms, &eof)) {
+        if (eof) break;
+        throw std::runtime_error("http_get: response timed out");
+      }
+      resp.push_back(buf[0]);
+      if (resp.size() > (8u << 20)) throw std::runtime_error("http_get: oversized response");
+    }
+  } catch (...) {
+    close_fd(fd);
+    throw;
+  }
+  close_fd(fd);
+  if (resp.rfind("HTTP/1.1 200", 0) != 0) {
+    const std::size_t eol = resp.find('\r');
+    throw std::runtime_error("http_get " + path + ": " +
+                             resp.substr(0, eol == std::string::npos ? resp.size() : eol));
+  }
+  const std::size_t body = resp.find("\r\n\r\n");
+  return body == std::string::npos ? std::string() : resp.substr(body + 4);
+}
+
+}  // namespace vsq::net

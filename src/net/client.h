@@ -1,0 +1,50 @@
+// NetClient: one TCP connection speaking the vsq_serve_net frame
+// protocol. Used by the soak harness's network mode and the tests; every
+// operation is deadline-bounded — a dead or shedding server yields an
+// exception or an explicit non-kOk status, never a hang.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+
+namespace vsq::net {
+
+class NetClient {
+ public:
+  // Connects eagerly; throws std::runtime_error on refusal/timeout.
+  NetClient(const std::string& host, int port, int timeout_ms = 5000);
+  ~NetClient();
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+  NetClient(NetClient&& other) noexcept;
+  NetClient& operator=(NetClient&&) = delete;
+
+  // One request/response round trip. The returned frame's status is the
+  // server's verdict (kOk row, kShed, kUnknownModel, ...); transport
+  // failures (connection died, response timeout, undecodable frame)
+  // throw std::runtime_error — after which the connection is unusable.
+  ResponseFrame infer(const std::string& model, const std::vector<float>& row,
+                      Priority priority = Priority::kNormal);
+
+  // Reads one response frame without sending anything first — for the
+  // connection-cap handshake, where the server speaks first (kBusy).
+  ResponseFrame read_response();
+
+  int fd() const { return fd_; }
+  void close();
+
+ private:
+  int fd_ = -1;
+  int timeout_ms_;
+};
+
+// One-shot HTTP GET against the server's text endpoints (/stats,
+// /healthz). Returns the response body; throws on transport failure or a
+// non-200 status line.
+std::string http_get(const std::string& host, int port, const std::string& path,
+                     int timeout_ms = 5000);
+
+}  // namespace vsq::net

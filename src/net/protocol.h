@@ -1,0 +1,84 @@
+// vsq_serve_net wire protocol: length-prefixed binary frames over TCP,
+// little-endian (the serving fleet is x86; the encode/decode helpers
+// serialize byte-by-byte so a big-endian peer would still interoperate).
+//
+// Every frame is  [u32 magic "VSQB"] [u32 body_len] [body].
+//
+// Request body   (client -> server):
+//   u8  priority        0 high, 1 normal, 2 low (admission lane)
+//   u8  name_len        model name length (1..kMaxNameLen)
+//   ..  name            model name bytes
+//   u32 n               input row length in floats
+//   ..  n x f32         the input row
+//
+// Response body  (server -> client):
+//   u8  status          Status below
+//   kOk:        u32 n, n x f32   the output row
+//   otherwise:  u16 msg_len, msg diagnostic text
+//
+// A full queue answers kShed — the wire equivalent of HTTP 503: the
+// request was NOT executed and the client may retry, back off, or drop
+// QoS. Connections are cheap to refuse too: past the server's connection
+// cap, accept() is answered with a single kBusy frame and a close.
+//
+// The same port speaks a minimal HTTP GET subset so operators can curl
+// the stats: "GET /stats" returns the registry's ServeStatsSnapshot JSON
+// plus server counters (see NetServer::stats_json), "GET /healthz"
+// returns "ok". Dispatch is unambiguous: binary frames start with the
+// magic bytes "VSQB", never with "GET ".
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "serve/session.h"  // Priority
+
+namespace vsq::net {
+
+// "VSQB" on the wire (byte order: 'V','S','Q','B').
+inline constexpr std::uint32_t kMagic = 0x42515356u;
+inline constexpr std::size_t kHeaderBytes = 8;
+inline constexpr std::size_t kMaxNameLen = 255;
+
+enum class Status : std::uint8_t {
+  kOk = 0,            // row follows
+  kShed = 1,          // admission control rejected: queue full (retry/back off)
+  kUnknownModel = 2,  // no such model routed (possibly mid hot-reload)
+  kBadRequest = 3,    // malformed frame, bad shape, unknown priority
+  kError = 4,         // accepted but execution failed (batch threw)
+  kUnavailable = 5,   // model draining / server shutting down
+  kBusy = 6,          // connection-level shed: server at connection cap
+};
+const char* status_name(Status s);
+
+struct RequestFrame {
+  std::string model;
+  Priority priority = Priority::kNormal;
+  std::vector<float> row;
+};
+
+struct ResponseFrame {
+  Status status = Status::kOk;
+  std::vector<float> row;  // kOk only
+  std::string message;     // diagnostic for non-kOk statuses
+};
+
+// Header helpers. parse_header validates the magic.
+void encode_header(std::uint32_t body_len, std::uint8_t out[kHeaderBytes]);
+bool parse_header(const std::uint8_t in[kHeaderBytes], std::uint32_t* body_len);
+
+// Whole-frame encoders (header + body).
+std::vector<std::uint8_t> encode_request(const RequestFrame& f);
+std::vector<std::uint8_t> encode_response(const ResponseFrame& f);
+
+// Body decoders: strict — every length must be internally consistent and
+// the body fully consumed. False (with *err set) on any violation.
+bool decode_request(std::span<const std::uint8_t> body, RequestFrame* out, std::string* err);
+bool decode_response(std::span<const std::uint8_t> body, ResponseFrame* out, std::string* err);
+
+// Minimal JSON string escaping for model names embedded in /stats output.
+std::string json_escape(const std::string& s);
+
+}  // namespace vsq::net

@@ -1,0 +1,154 @@
+#include "net/socket_io.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+namespace vsq::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Remaining milliseconds until `deadline`, clamped to [0, INT_MAX] for
+// poll(). Negative timeout inputs mean "no deadline" and map to -1.
+int remaining_ms(Clock::time_point deadline, bool unbounded) {
+  if (unbounded) return -1;
+  const auto left =
+      std::chrono::duration_cast<std::chrono::milliseconds>(deadline - Clock::now()).count();
+  if (left <= 0) return 0;
+  return left > 1000000 ? 1000000 : static_cast<int>(left);
+}
+
+// Wait for `events` on fd until deadline. True when ready.
+bool wait_for(int fd, short events, Clock::time_point deadline, bool unbounded) {
+  for (;;) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = events;
+    const int timeout = remaining_ms(deadline, unbounded);
+    const int rc = ::poll(&pfd, 1, timeout);
+    if (rc > 0) return true;  // ready (or HUP/ERR — let the read/write see it)
+    if (rc == 0) return false;  // timeout
+    if (errno == EINTR) continue;
+    return false;
+  }
+}
+
+}  // namespace
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw std::runtime_error("net: fcntl(O_NONBLOCK) failed");
+  }
+}
+
+void close_fd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+int connect_tcp(const std::string& host, int port, int timeout_ms) {
+  if (port <= 0 || port > 65535) {
+    throw std::runtime_error("net: invalid port " + std::to_string(port));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  const std::string ip = (host == "localhost" || host.empty()) ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("net: cannot parse address: " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw std::runtime_error("net: socket() failed");
+  try {
+    set_nonblocking(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+    if (rc != 0 && errno != EINPROGRESS) {
+      throw std::runtime_error("net: connect() failed: " + std::string(std::strerror(errno)));
+    }
+    if (rc != 0) {
+      const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+      if (!wait_for(fd, POLLOUT, deadline, timeout_ms < 0)) {
+        throw std::runtime_error("net: connect timed out");
+      }
+      int err = 0;
+      socklen_t len = sizeof(err);
+      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+        throw std::runtime_error("net: connect failed: " +
+                                 std::string(std::strerror(err ? err : errno)));
+      }
+    }
+  } catch (...) {
+    close_fd(fd);
+    throw;
+  }
+  return fd;
+}
+
+bool write_full(int fd, const void* buf, std::size_t n, int timeout_ms) {
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms < 0 ? 0 : timeout_ms);
+  std::size_t sent = 0;
+  while (sent < n) {
+    // MSG_NOSIGNAL: a peer that vanished mid-write is a false return, not
+    // a process-wide SIGPIPE.
+    const ssize_t rc = ::send(fd, p + sent, n - sent, MSG_NOSIGNAL);
+    if (rc > 0) {
+      sent += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!wait_for(fd, POLLOUT, deadline, timeout_ms < 0)) return false;  // stalled reader
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    return false;  // reset / closed
+  }
+  return true;
+}
+
+bool read_full(int fd, void* buf, std::size_t n, int first_timeout_ms, int rest_timeout_ms,
+               bool* eof) {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  if (eof) *eof = false;
+  std::size_t got = 0;
+  auto deadline = Clock::now() + std::chrono::milliseconds(first_timeout_ms < 0 ? 0 : first_timeout_ms);
+  bool unbounded = first_timeout_ms < 0;
+  while (got < n) {
+    const ssize_t rc = ::recv(fd, p + got, n - got, 0);
+    if (rc > 0) {
+      if (got == 0) {
+        // First byte arrived: switch to the mid-frame deadline.
+        deadline = Clock::now() + std::chrono::milliseconds(rest_timeout_ms < 0 ? 0 : rest_timeout_ms);
+        unbounded = rest_timeout_ms < 0;
+      }
+      got += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc == 0) {
+      if (eof && got == 0) *eof = true;  // clean close between frames
+      return false;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!wait_for(fd, POLLIN, deadline, unbounded)) return false;  // timeout
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace vsq::net

@@ -1,0 +1,39 @@
+// Small POSIX TCP helpers shared by the network server, the client, and
+// the misbehaving-client tests: deadline-bounded full-buffer reads and
+// writes over non-blocking sockets (poll-based, EINTR-safe, SIGPIPE-free)
+// and a timeout-bounded connect. Everything returns/throws instead of
+// blocking forever — a slow or dead peer costs a bounded wait, never a
+// wedged thread.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace vsq::net {
+
+// Connect to host:port (IPv4 dotted quad or "localhost"). Returns a
+// connected non-blocking fd; throws std::runtime_error on failure or
+// timeout.
+int connect_tcp(const std::string& host, int port, int timeout_ms);
+
+// Write exactly n bytes. False on timeout, peer reset, or a peer whose
+// receive window stays full past the deadline (a stalled reader). Never
+// raises SIGPIPE.
+bool write_full(int fd, const void* buf, std::size_t n, int timeout_ms);
+
+// Read exactly n bytes. `first_timeout_ms` bounds the wait for the first
+// byte (idle time between frames); once a byte arrived, `rest_timeout_ms`
+// bounds the whole remainder (a peer that trickles bytes cannot hold the
+// read open indefinitely). False on timeout, EOF, or error; *eof
+// (optional) reports whether the peer closed cleanly before any byte of
+// this read arrived.
+bool read_full(int fd, void* buf, std::size_t n, int first_timeout_ms, int rest_timeout_ms,
+               bool* eof = nullptr);
+
+// Best-effort close (EINTR-safe, idempotent on -1).
+void close_fd(int fd);
+
+// Mark an fd non-blocking; throws on fcntl failure.
+void set_nonblocking(int fd);
+
+}  // namespace vsq::net

@@ -65,8 +65,12 @@ void DynamicBatcher::run() {
     try {
       y = fn_(x);
     } catch (...) {
+      // The failed batch still counts as an executed batch; its requests
+      // count as errors (their promises carry the exception, no row was
+      // produced), never as completed requests.
       const auto err = std::current_exception();
       stats_.record_batch(batch.size());
+      stats_.record_errors(batch.size());
       for (Request& r : batch) r.promise.set_exception(err);
       continue;
     }

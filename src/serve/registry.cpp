@@ -35,6 +35,11 @@ ServeStatsSnapshot merge_snapshots(ServeStatsSnapshot a, const ServeStatsSnapsho
   a.requests = total;
   a.batches += b.batches;
   a.cache_hits += b.cache_hits;
+  a.errors += b.errors;
+  a.shed += b.shed;
+  // Queue depth is a point-in-time gauge; retired/drained windows carry 0,
+  // so summing reports exactly the live backlog.
+  a.queue_depth += b.queue_depth;
   // The merged wall clock is the SPAN from the earliest window start to
   // the latest window end. That is the same semantic a single window
   // already uses (first submit -> last completion, idle gaps included),
@@ -274,25 +279,31 @@ std::vector<RegistryModelStats> ModelRegistry::stats_all() const {
 
 void ModelRegistry::print_stats(std::ostream& os) const {
   const std::vector<RegistryModelStats> all = stats_all();
-  Table t({"Model", "Requests", "Batches", "Mean batch", "Cache hits", "Throughput r/s",
-           "p50 us", "p95 us", "p99 us", "Packed wt KiB"});
-  std::uint64_t requests = 0, batches = 0, hits = 0, packed = 0;
+  Table t({"Model", "Requests", "Batches", "Mean batch", "Cache hits", "Errors", "Shed",
+           "Queue", "Throughput r/s", "p50 us", "p95 us", "p99 us", "Packed wt KiB"});
+  std::uint64_t requests = 0, batches = 0, hits = 0, errors = 0, shed = 0, queued = 0,
+                packed = 0;
   double rps = 0.0;
   for (const RegistryModelStats& m : all) {
     const ServeStatsSnapshot& s = m.serve;
     t.add_row({m.name, std::to_string(s.requests), std::to_string(s.batches),
                Table::num(s.mean_batch, 2), std::to_string(s.cache_hits),
+               std::to_string(s.errors), std::to_string(s.shed), std::to_string(s.queue_depth),
                Table::num(s.throughput_rps, 1), Table::num(s.p50_us, 1),
                Table::num(s.p95_us, 1), Table::num(s.p99_us, 1),
                Table::num(static_cast<double>(s.packed_weight_bytes) / 1024.0, 1)});
     requests += s.requests;
     batches += s.batches;
     hits += s.cache_hits;
+    errors += s.errors;
+    shed += s.shed;
+    queued += s.queue_depth;
     rps += s.throughput_rps;
     packed += s.packed_weight_bytes;
   }
   t.add_row({"TOTAL", std::to_string(requests), std::to_string(batches), "-",
-             std::to_string(hits), Table::num(rps, 1), "-", "-", "-",
+             std::to_string(hits), std::to_string(errors), std::to_string(shed),
+             std::to_string(queued), Table::num(rps, 1), "-", "-", "-",
              Table::num(static_cast<double>(packed) / 1024.0, 1)});
   t.print(os);
 }

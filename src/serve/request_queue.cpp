@@ -1,18 +1,58 @@
 #include "serve/request_queue.h"
 
+#include <algorithm>
+
 namespace vsq {
 
 RequestQueue::RequestQueue(std::size_t max_depth) : max_depth_(max_depth) {}
 
+std::size_t RequestQueue::effective_limit(std::size_t depth_limit) const {
+  if (max_depth_ == 0) return depth_limit;
+  if (depth_limit == 0) return max_depth_;
+  return std::min(max_depth_, depth_limit);
+}
+
+bool RequestQueue::has_space(std::size_t limit) const {
+  return limit == 0 || q_.size() < limit;
+}
+
 bool RequestQueue::push(Request r) {
   {
     std::unique_lock lock(mu_);
-    cv_push_.wait(lock, [&] { return closed_ || max_depth_ == 0 || q_.size() < max_depth_; });
+    cv_push_.wait(lock, [&] { return closed_ || has_space(max_depth_); });
     if (closed_) return false;
     q_.push_back(std::move(r));
   }
   cv_pop_.notify_one();
   return true;
+}
+
+PushStatus RequestQueue::try_push(Request& r, std::size_t depth_limit) {
+  {
+    std::unique_lock lock(mu_);
+    if (closed_) return PushStatus::kClosed;
+    if (!has_space(effective_limit(depth_limit))) return PushStatus::kFull;
+    q_.push_back(std::move(r));
+  }
+  cv_pop_.notify_one();
+  return PushStatus::kOk;
+}
+
+PushStatus RequestQueue::try_push_until(Request& r, std::chrono::steady_clock::time_point deadline,
+                                        std::size_t depth_limit) {
+  {
+    std::unique_lock lock(mu_);
+    const std::size_t limit = effective_limit(depth_limit);
+    // wait_until returns false only on timeout with the predicate still
+    // false — i.e. the queue stayed at or above the limit the whole wait.
+    if (!cv_push_.wait_until(lock, deadline, [&] { return closed_ || has_space(limit); })) {
+      return PushStatus::kFull;
+    }
+    if (closed_) return PushStatus::kClosed;
+    q_.push_back(std::move(r));
+  }
+  cv_pop_.notify_one();
+  return PushStatus::kOk;
 }
 
 std::vector<Request> RequestQueue::pop_batch(std::size_t max_batch,

@@ -3,6 +3,15 @@
 // batches: pop_batch() blocks for the first request, then keeps the batch
 // open up to `max_wait` for more requests to arrive (or until `max_batch`
 // accumulate), trading a bounded latency hit for batched GEMM efficiency.
+//
+// Admission: push() is the legacy blocking producer (waits for space on a
+// bounded queue — under sustained overload that is a head-of-line stall,
+// not backpressure). try_push()/try_push_until() are the admission-control
+// primitives: they fail fast (or by a deadline) with kFull so the caller
+// can shed load explicitly, and they take an optional per-call depth limit
+// so priority lanes can reserve headroom — a low-priority producer capped
+// at half the queue starts shedding while high-priority traffic still
+// admits.
 #pragma once
 
 #include <chrono>
@@ -11,6 +20,7 @@
 #include <deque>
 #include <future>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -28,15 +38,40 @@ struct Request {
   std::string cache_key;  // non-empty -> result goes into the session cache
 };
 
+// Outcome of a non-blocking / deadline-bounded push. On kFull/kClosed the
+// request is NOT consumed — the caller still owns it (and its promise).
+enum class PushStatus { kOk, kFull, kClosed };
+
+// Thrown by InferenceSession::submit when admission control sheds the
+// request (queue full within the configured deadline). A distinct type so
+// callers can tell "server says no, retry later / lower the rate" apart
+// from the generic shutdown std::runtime_error.
+class QueueFullError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 class RequestQueue {
  public:
-  // max_depth bounds outstanding requests (push blocks when full);
-  // 0 = unbounded.
+  // max_depth bounds outstanding requests (blocking push waits when full,
+  // try_push sheds); 0 = unbounded.
   explicit RequestQueue(std::size_t max_depth = 0);
 
-  // False when the queue is closed (the request is returned unfulfilled in
-  // that case — the caller owns the promise again).
+  // Blocking push: waits for space on a bounded queue. False when the
+  // queue is closed (the request is returned unfulfilled in that case —
+  // the caller owns the promise again).
   bool push(Request r);
+
+  // Non-blocking push. `depth_limit` optionally tightens the bound for
+  // this call (0 = the queue's own max_depth): the effective limit is the
+  // smaller of the two, which is how priority lanes carve headroom out of
+  // one shared queue. kFull when the effective limit is reached.
+  PushStatus try_push(Request& r, std::size_t depth_limit = 0);
+
+  // Deadline-bounded push: waits until space appears, the queue closes, or
+  // `deadline` passes (-> kFull). Same depth_limit semantics as try_push.
+  PushStatus try_push_until(Request& r, std::chrono::steady_clock::time_point deadline,
+                            std::size_t depth_limit = 0);
 
   // Pops up to max_batch requests. Blocks until at least one request is
   // available, then waits at most `max_wait` (from the moment the batch
@@ -44,12 +79,18 @@ class RequestQueue {
   // closed and fully drained.
   std::vector<Request> pop_batch(std::size_t max_batch, std::chrono::microseconds max_wait);
 
-  // Close: pushes fail from now on; pop_batch drains what remains.
+  // Close: pushes fail from now on (blocked pushers wake and return
+  // false/kClosed promptly); pop_batch drains what remains.
   void close();
   bool closed() const;
   std::size_t depth() const;
+  std::size_t max_depth() const { return max_depth_; }
 
  private:
+  // Effective bound for one push call; 0 = unbounded.
+  std::size_t effective_limit(std::size_t depth_limit) const;
+  bool has_space(std::size_t limit) const;
+
   mutable std::mutex mu_;
   std::condition_variable cv_pop_;   // batcher waits for requests
   std::condition_variable cv_push_;  // producers wait for space

@@ -25,6 +25,9 @@ double percentile_us(std::vector<double> sample, double p) {
   return sample[lo] + frac * (sample[lo + 1] - sample[lo]);
 }
 
+ServeStats::ServeStats(std::size_t latency_window)
+    : window_cap_(std::max<std::size_t>(1, latency_window)) {}
+
 void ServeStats::mark_start() {
   const auto now = std::chrono::steady_clock::now();
   std::lock_guard lock(mu_);
@@ -38,7 +41,18 @@ void ServeStats::mark_start() {
 void ServeStats::record_request(double latency_us, bool cache_hit) {
   const auto now = std::chrono::steady_clock::now();
   std::lock_guard lock(mu_);
-  latencies_us_.push_back(latency_us);
+  // Sliding window: grow until the capacity is reached, then overwrite the
+  // oldest sample in ring order. The ring never reallocates past
+  // window_cap_, so per-session memory is flat in request count.
+  if (window_.size() < window_cap_) {
+    window_.push_back(latency_us);
+  } else {
+    window_[window_next_] = latency_us;
+    window_next_ = (window_next_ + 1) % window_cap_;
+  }
+  ++requests_;
+  latency_sum_us_ += latency_us;
+  latency_max_us_ = std::max(latency_max_us_, latency_us);
   if (cache_hit) ++cache_hits_;
   last_ = now;
 }
@@ -50,15 +64,32 @@ void ServeStats::record_batch(std::size_t batch_size) {
   ++batches_;
 }
 
+void ServeStats::record_errors(std::uint64_t failed_requests) {
+  std::lock_guard lock(mu_);
+  errors_ += failed_requests;
+}
+
+void ServeStats::record_shed() {
+  std::lock_guard lock(mu_);
+  ++shed_;
+}
+
 ServeStatsSnapshot ServeStats::snapshot() const {
   std::vector<double> lat;
   ServeStatsSnapshot s;
   {
     std::lock_guard lock(mu_);
-    lat = latencies_us_;
+    lat = window_;  // percentile input order is irrelevant (sorted inside)
     s.batch_hist = batch_hist_;
+    s.requests = requests_;
     s.batches = batches_;
     s.cache_hits = cache_hits_;
+    s.errors = errors_;
+    s.shed = shed_;
+    if (requests_ > 0) {
+      s.mean_us = latency_sum_us_ / static_cast<double>(requests_);
+      s.max_us = latency_max_us_;
+    }
     if (started_) {
       s.wall_seconds = std::chrono::duration<double>(last_ - first_).count();
       s.window_start_s =
@@ -66,11 +97,8 @@ ServeStatsSnapshot ServeStats::snapshot() const {
       s.window_end_s = std::chrono::duration<double>(last_.time_since_epoch()).count();
     }
   }
-  s.requests = lat.size();
-  s.percentile_window = s.requests;
+  s.percentile_window = lat.size();
   if (!lat.empty()) {
-    s.mean_us = std::accumulate(lat.begin(), lat.end(), 0.0) / static_cast<double>(lat.size());
-    s.max_us = *std::max_element(lat.begin(), lat.end());
     s.p50_us = percentile_us(lat, 50.0);
     s.p95_us = percentile_us(lat, 95.0);
     s.p99_us = percentile_us(lat, 99.0);
@@ -90,10 +118,11 @@ double mean_batch_from_hist(const std::vector<std::uint64_t>& hist, std::uint64_
 }
 
 void ServeStatsSnapshot::print_table(std::ostream& os) const {
-  Table t({"Requests", "Batches", "Mean batch", "Cache hits", "Throughput r/s", "p50 us",
-           "p95 us", "p99 us", "max us", "Packed wt KiB"});
+  Table t({"Requests", "Batches", "Mean batch", "Cache hits", "Errors", "Shed", "Queue",
+           "Throughput r/s", "p50 us", "p95 us", "p99 us", "max us", "Packed wt KiB"});
   t.add_row({std::to_string(requests), std::to_string(batches), Table::num(mean_batch, 2),
-             std::to_string(cache_hits), Table::num(throughput_rps, 1), Table::num(p50_us, 1),
+             std::to_string(cache_hits), std::to_string(errors), std::to_string(shed),
+             std::to_string(queue_depth), Table::num(throughput_rps, 1), Table::num(p50_us, 1),
              Table::num(p95_us, 1), Table::num(p99_us, 1), Table::num(max_us, 1),
              Table::num(static_cast<double>(packed_weight_bytes) / 1024.0, 1)});
   t.print(os);
@@ -103,7 +132,9 @@ std::string ServeStatsSnapshot::json() const {
   std::ostringstream os;
   os.precision(6);
   os << "{\"requests\":" << requests << ",\"batches\":" << batches
-     << ",\"cache_hits\":" << cache_hits << ",\"wall_seconds\":" << wall_seconds
+     << ",\"cache_hits\":" << cache_hits << ",\"errors\":" << errors << ",\"shed\":" << shed
+     << ",\"queue_depth\":" << queue_depth << ",\"wall_seconds\":" << wall_seconds
+     << ",\"window_start_s\":" << window_start_s << ",\"window_end_s\":" << window_end_s
      << ",\"throughput_rps\":" << throughput_rps << ",\"mean_batch\":" << mean_batch
      << ",\"latency_us\":{\"p50\":" << p50_us << ",\"p95\":" << p95_us << ",\"p99\":" << p99_us
      << ",\"mean\":" << mean_us << ",\"max\":" << max_us

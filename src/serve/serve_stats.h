@@ -1,7 +1,15 @@
 // Serving metrics: per-request latency percentiles, batch-size histogram
 // and throughput. Recording is thread-safe (client threads record cache
-// hits, the batcher worker records batches); snapshot() takes a coherent
-// copy for reporting.
+// hits and sheds, the batcher worker records batches and errors);
+// snapshot() takes a coherent copy for reporting.
+//
+// Latency samples live in a bounded sliding window (the last
+// `latency_window` completions), so a session's memory footprint is flat
+// no matter how long it serves — the original unbounded history grew 8
+// bytes per request for the life of the session, a linear leak under
+// soak traffic. Percentiles therefore describe recent traffic (window
+// size reported in percentile_window); request counts, the latency mean
+// and max are tracked as exact running aggregates over ALL requests.
 #pragma once
 
 #include <chrono>
@@ -17,17 +25,29 @@ struct ServeStatsSnapshot {
   std::uint64_t requests = 0;    // completed requests (cache hits included)
   std::uint64_t batches = 0;     // forward passes executed
   std::uint64_t cache_hits = 0;  // requests short-circuited by BlobCache
+  // Requests whose batch's forward pass threw: the promise carried the
+  // exception instead of a row. Failed batches still count in `batches`
+  // and the batch histogram; their requests count here, never in
+  // `requests`.
+  std::uint64_t errors = 0;
+  // Requests rejected by admission control (queue full within the
+  // caller's deadline) — shed load, never enqueued, never a row.
+  std::uint64_t shed = 0;
+  // Queue depth gauge sampled at snapshot time (requests admitted but not
+  // yet popped by the batcher). A point-in-time reading, not a counter;
+  // cross-reload merges sum it (drained windows contribute 0).
+  std::uint64_t queue_depth = 0;
   double wall_seconds = 0.0;     // first submit -> last completion
   double throughput_rps = 0.0;   // requests / wall_seconds
   double p50_us = 0.0, p95_us = 0.0, p99_us = 0.0;
   double mean_us = 0.0, max_us = 0.0;
   double mean_batch = 0.0;                // requests per executed batch
   std::vector<std::uint64_t> batch_hist;  // index = batch size (0 unused)
-  // Requests in the single serving window the latency percentiles were
-  // computed over — equal to `requests` for a plain snapshot. When
-  // ModelRegistry merges windows across hot reloads it keeps the
-  // percentiles of the largest single window and records that window's
-  // size here (quantiles cannot be merged from summaries).
+  // Latency samples the percentiles were computed over: the sliding
+  // window's occupancy, i.e. min(requests, window capacity) for a plain
+  // snapshot. When ModelRegistry merges windows across hot reloads it
+  // keeps the percentiles of the largest single window and records that
+  // window's size here (quantiles cannot be merged from summaries).
   std::uint64_t percentile_window = 0;
   // Window bounds in steady-clock seconds (process-relative; 0/0 when no
   // request was ever recorded). ModelRegistry's cross-reload merge sets
@@ -45,12 +65,20 @@ struct ServeStatsSnapshot {
 
   // Two-row aligned table (util/Table) for terminal output.
   void print_table(std::ostream& os) const;
-  // Single-line JSON object, machine-readable (vsq_serve --json-out).
+  // Single-line JSON object, machine-readable (vsq_serve --json-out, the
+  // net server's /stats endpoint). Carries every snapshot field.
   std::string json() const;
 };
 
 class ServeStats {
  public:
+  // Latency samples retained for percentile estimation. 8192 doubles =
+  // 64 KiB per session, enough that p99 is a real tail statistic while a
+  // week-long soak holds exactly as much memory as a minute-long one.
+  static constexpr std::size_t kDefaultLatencyWindow = 8192;
+
+  explicit ServeStats(std::size_t latency_window = kDefaultLatencyWindow);
+
   // Start of the measurement window; called on every submit, only the
   // first call sets the clock.
   void mark_start();
@@ -58,14 +86,26 @@ class ServeStats {
   void record_request(double latency_us, bool cache_hit = false);
   // A batched forward pass over `batch_size` requests executed.
   void record_batch(std::size_t batch_size);
+  // A batch's forward pass threw; its `failed_requests` promises carried
+  // the exception.
+  void record_errors(std::uint64_t failed_requests);
+  // Admission control rejected a request (queue full): shed load.
+  void record_shed();
 
   ServeStatsSnapshot snapshot() const;
 
+  std::size_t latency_window_capacity() const { return window_cap_; }
+
  private:
   mutable std::mutex mu_;
-  std::vector<double> latencies_us_;
+  const std::size_t window_cap_;
+  std::vector<double> window_;    // ring buffer, size() <= window_cap_
+  std::size_t window_next_ = 0;   // overwrite cursor once the ring is full
+  std::uint64_t requests_ = 0;
+  double latency_sum_us_ = 0.0;   // exact running aggregates over ALL
+  double latency_max_us_ = 0.0;   // requests, window-independent
   std::vector<std::uint64_t> batch_hist_;
-  std::uint64_t batches_ = 0, cache_hits_ = 0;
+  std::uint64_t batches_ = 0, cache_hits_ = 0, errors_ = 0, shed_ = 0;
   bool started_ = false;
   std::chrono::steady_clock::time_point first_, last_;
 };

@@ -11,6 +11,7 @@ InferenceSession::InferenceSession(QuantizedModelPackage pkg, ServeConfig cfg)
     : pkg_(std::move(pkg)),
       cfg_(cfg),
       runner_(pkg_, cfg.scale_product_bits),
+      stats_(cfg.latency_window),
       cache_(cfg.cache_entries),
       queue_(cfg.queue_depth) {
   for (const auto& [name, prim] : runner_.primitives()) {
@@ -61,7 +62,7 @@ void InferenceSession::shutdown() {
   if (batcher_) batcher_->stop();
 }
 
-std::future<Tensor> InferenceSession::submit(const Tensor& input) {
+std::future<Tensor> InferenceSession::submit(const Tensor& input, Priority priority) {
   const std::int64_t d = runner_.in_features();
   const Shape& s = input.shape();
   const bool ok = (s.rank() == 1 && s[0] == d) || (s.rank() == 2 && s[0] == 1 && s[1] == d);
@@ -103,13 +104,48 @@ std::future<Tensor> InferenceSession::submit(const Tensor& input) {
   req.input = input;
 
   std::future<Tensor> f = req.promise.get_future();
-  if (!queue_.push(std::move(req))) {
+
+  // Admission. The lane's depth limit carves headroom out of the shared
+  // queue (0 = the queue's own bound): on a bounded queue, kLow sheds
+  // first, then kNormal, while kHigh admits up to the full depth.
+  std::size_t lane_limit = 0;
+  if (cfg_.queue_depth > 0 && priority != Priority::kHigh) {
+    const double frac =
+        priority == Priority::kLow ? cfg_.low_lane_fraction : cfg_.normal_lane_fraction;
+    const double clamped = std::min(1.0, std::max(0.0, frac));
+    lane_limit = std::max<std::size_t>(
+        1, static_cast<std::size_t>(clamped * static_cast<double>(cfg_.queue_depth)));
+  }
+
+  PushStatus st;
+  if (cfg_.admission_timeout_us < 0) {
+    // Legacy blocking admission — but still honor the lane bound, and
+    // return promptly (kClosed) when a shutdown races the wait.
+    st = PushStatus::kFull;
+    while (st == PushStatus::kFull) {
+      st = queue_.try_push_until(
+          req, std::chrono::steady_clock::now() + std::chrono::milliseconds(50), lane_limit);
+    }
+  } else if (cfg_.admission_timeout_us == 0) {
+    st = queue_.try_push(req, lane_limit);
+  } else {
+    st = queue_.try_push_until(
+        req, std::chrono::steady_clock::now() + std::chrono::microseconds(cfg_.admission_timeout_us),
+        lane_limit);
+  }
+  if (st == PushStatus::kFull) {
+    stats_.record_shed();
+    throw QueueFullError("InferenceSession::submit: queue full, request shed");
+  }
+  if (st == PushStatus::kClosed) {
     throw std::runtime_error("InferenceSession::submit: session is shut down");
   }
   return f;
 }
 
-Tensor InferenceSession::infer(const Tensor& input) { return submit(input).get(); }
+Tensor InferenceSession::infer(const Tensor& input, Priority priority) {
+  return submit(input, priority).get();
+}
 
 IntGemmStats InferenceSession::datapath_stats() const {
   std::lock_guard lock(gemm_stats_mu_);

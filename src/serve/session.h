@@ -24,6 +24,14 @@
 
 namespace vsq {
 
+// Priority lane of a request. Lanes layer on the ONE shared RequestQueue
+// as admission headroom, not separate queues: a lane's requests are shed
+// once the queue is fuller than that lane's fraction of queue_depth, so
+// under overload low-priority traffic starts shedding first and high-
+// priority requests still admit into the space the lower lanes may not
+// use. Batching/FIFO order inside the queue is unchanged.
+enum class Priority : std::uint8_t { kHigh = 0, kNormal = 1, kLow = 2 };
+
 struct ServeConfig {
   int max_batch = 16;
   // Extra time a freshly opened batch lingers for stragglers. 0 (the
@@ -40,6 +48,23 @@ struct ServeConfig {
   // counters cost measurable time per scale product, so serving defaults
   // to off; enable for datapath analysis (vsq_serve --datapath-stats).
   bool collect_datapath_stats = false;
+  // Admission control at submit() on a bounded queue (queue_depth > 0):
+  //   < 0  (default) block until space frees — the legacy in-process
+  //        behavior, where backpressure is the caller's blocked thread;
+  //   == 0 shed immediately when the lane is full (throw QueueFullError);
+  //   > 0  wait up to this many microseconds for space, then shed.
+  // A server front-end wants 0 (or small): an explicit rejection the
+  // client can act on beats an invisible head-of-line stall.
+  int admission_timeout_us = -1;
+  // Per-lane admission headroom as fractions of queue_depth (only
+  // meaningful on a bounded queue). kHigh always admits up to the full
+  // depth. Defaults keep kNormal at the full depth (so existing callers
+  // see no behavior change) and shed kLow once the queue is half full.
+  double normal_lane_fraction = 1.0;
+  double low_lane_fraction = 0.5;
+  // Latency samples retained for percentile estimation (bounded sliding
+  // window; memory per session is flat in request count).
+  std::size_t latency_window = ServeStats::kDefaultLatencyWindow;
 };
 
 class InferenceSession {
@@ -55,11 +80,14 @@ class InferenceSession {
   // input: [in_features] or [1, in_features]. The tensor's storage is
   // shared (no copy) — do not mutate it before the future resolves. The
   // future resolves to the [1, out_features] output row. Throws
-  // std::runtime_error after shutdown().
-  std::future<Tensor> submit(const Tensor& input);
+  // std::runtime_error after shutdown(), and QueueFullError when
+  // admission control sheds the request (bounded queue full within
+  // cfg.admission_timeout_us — never thrown with the default blocking
+  // admission). `priority` picks the admission lane (see Priority).
+  std::future<Tensor> submit(const Tensor& input, Priority priority = Priority::kNormal);
 
   // Blocking convenience: submit + get.
-  Tensor infer(const Tensor& input);
+  Tensor infer(const Tensor& input, Priority priority = Priority::kNormal);
 
   // Stop accepting requests, drain the queue, join the worker. Idempotent;
   // the destructor calls it.
@@ -68,10 +96,12 @@ class InferenceSession {
   const QuantizedModelRunner& runner() const { return runner_; }
   const QuantizedModelPackage& package() const { return pkg_; }
   // Snapshot carries the session's resident packed-panel bytes (a static
-  // property of the loaded model, summed over its primitives at load).
+  // property of the loaded model, summed over its primitives at load) and
+  // the live queue-depth gauge sampled at call time.
   ServeStatsSnapshot stats() const {
     ServeStatsSnapshot s = stats_.snapshot();
     s.packed_weight_bytes = packed_weight_bytes_;
+    s.queue_depth = queue_.depth();
     return s;
   }
   // Aggregate integer-datapath stats over every batched forward pass.

@@ -1,0 +1,389 @@
+// Network front-end tests: wire-protocol encode/decode, the NetServer
+// request path (bit-exactness across TCP against a sequential reference
+// runner), explicit overload shedding, the connection cap, slow and
+// misbehaving clients (partial frames, stalls, mid-request disconnects —
+// bounded cost, never a wedged server), and the /stats + /healthz HTTP
+// surface.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/ptq.h"
+#include "hw/mac_config.h"
+#include "models/zoo.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "net/socket_io.h"
+#include "serve/registry.h"
+#include "util/rng.h"
+
+namespace vsq {
+namespace {
+
+QuantizedModelPackage tiny_package() {
+  return tiny_mlp_package(MacConfig::parse("4/8/6/10"));
+}
+
+std::vector<float> random_row(std::int64_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> row(static_cast<std::size_t>(n));
+  for (auto& v : row) v = static_cast<float>(rng.normal());
+  return row;
+}
+
+// ---- Protocol framing ----
+
+TEST(NetProtocol, RequestFrameRoundTrips) {
+  net::RequestFrame in;
+  in.model = "tiny";
+  in.priority = Priority::kLow;
+  in.row = {1.5f, -2.25f, 0.0f, 3.75f};
+  const std::vector<std::uint8_t> bytes = net::encode_request(in);
+  std::uint32_t body_len = 0;
+  ASSERT_TRUE(net::parse_header(bytes.data(), &body_len));
+  ASSERT_EQ(bytes.size(), net::kHeaderBytes + body_len);
+  net::RequestFrame out;
+  std::string err;
+  ASSERT_TRUE(net::decode_request({bytes.data() + net::kHeaderBytes, body_len}, &out, &err))
+      << err;
+  EXPECT_EQ(out.model, "tiny");
+  EXPECT_EQ(out.priority, Priority::kLow);
+  EXPECT_EQ(out.row, in.row);
+}
+
+TEST(NetProtocol, ResponseFramesRoundTripBothShapes) {
+  net::ResponseFrame ok;
+  ok.status = net::Status::kOk;
+  ok.row = {7.0f, -0.125f};
+  const auto ok_bytes = net::encode_response(ok);
+  net::ResponseFrame out;
+  std::string err;
+  std::uint32_t body_len = 0;
+  ASSERT_TRUE(net::parse_header(ok_bytes.data(), &body_len));
+  ASSERT_TRUE(net::decode_response({ok_bytes.data() + net::kHeaderBytes, body_len}, &out, &err));
+  EXPECT_EQ(out.status, net::Status::kOk);
+  EXPECT_EQ(out.row, ok.row);
+
+  net::ResponseFrame shed;
+  shed.status = net::Status::kShed;
+  shed.message = "queue full";
+  const auto shed_bytes = net::encode_response(shed);
+  ASSERT_TRUE(net::parse_header(shed_bytes.data(), &body_len));
+  ASSERT_TRUE(
+      net::decode_response({shed_bytes.data() + net::kHeaderBytes, body_len}, &out, &err));
+  EXPECT_EQ(out.status, net::Status::kShed);
+  EXPECT_EQ(out.message, "queue full");
+  EXPECT_TRUE(out.row.empty());
+}
+
+TEST(NetProtocol, DecodersRejectMalformedBodies) {
+  net::RequestFrame req;
+  req.model = "m";
+  req.row = {1.0f};
+  auto bytes = net::encode_request(req);
+  const std::uint32_t body_len = static_cast<std::uint32_t>(bytes.size() - net::kHeaderBytes);
+  net::RequestFrame out;
+  std::string err;
+  // Truncated at every prefix length: never a crash, always a diagnostic.
+  for (std::uint32_t cut = 0; cut < body_len; ++cut) {
+    EXPECT_FALSE(net::decode_request({bytes.data() + net::kHeaderBytes, cut}, &out, &err));
+    EXPECT_FALSE(err.empty());
+  }
+  // Trailing bytes after a complete body.
+  bytes.push_back(0);
+  EXPECT_FALSE(
+      net::decode_request({bytes.data() + net::kHeaderBytes, body_len + 1}, &out, &err));
+  // Bad magic fails the header parse.
+  std::uint8_t header[net::kHeaderBytes] = {0};
+  std::uint32_t n = 0;
+  EXPECT_FALSE(net::parse_header(header, &n));
+  // Unknown priority / empty name.
+  std::vector<std::uint8_t> bad = {9, 1, 'm', 1, 0, 0, 0, 0, 0, 0, 0};
+  EXPECT_FALSE(net::decode_request({bad.data(), bad.size()}, &out, &err));
+  EXPECT_NE(err.find("priority"), std::string::npos);
+  bad = {0, 0, 0, 0, 0, 0};
+  EXPECT_FALSE(net::decode_request({bad.data(), bad.size()}, &out, &err));
+  EXPECT_NE(err.find("name"), std::string::npos);
+}
+
+TEST(NetProtocol, JsonEscapeHandlesControlAndQuote) {
+  EXPECT_EQ(net::json_escape("plain"), "plain");
+  EXPECT_EQ(net::json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(net::json_escape("x\ny"), "x\\ny");
+  EXPECT_EQ(net::json_escape(std::string("\x01", 1)), "\\u0001");
+}
+
+// ---- Server round trip + error statuses ----
+
+TEST(NetServe, RoundTripBitExactAgainstSequentialReference) {
+  QuantizedModelPackage pkg = tiny_package();
+  const QuantizedModelRunner reference(pkg);
+  ModelRegistry registry;
+  registry.load("tiny", std::move(pkg));
+  net::NetServer server(registry);
+
+  net::NetClient client(server.host(), server.port());
+  for (int i = 0; i < 16; ++i) {
+    const std::vector<float> row = random_row(TinyMlp::kIn, 900 + static_cast<std::uint64_t>(i));
+    const net::ResponseFrame resp = client.infer("tiny", row);
+    ASSERT_EQ(resp.status, net::Status::kOk) << resp.message;
+    Tensor in(Shape{1, TinyMlp::kIn});
+    std::memcpy(in.data(), row.data(), row.size() * sizeof(float));
+    const Tensor want = reference.forward(in);
+    ASSERT_EQ(static_cast<std::int64_t>(resp.row.size()), want.numel());
+    for (std::int64_t j = 0; j < want.numel(); ++j) {
+      ASSERT_EQ(resp.row[static_cast<std::size_t>(j)], want[j]) << "element " << j;
+    }
+  }
+  EXPECT_EQ(server.frames_ok(), 16u);
+  EXPECT_EQ(server.frames_rejected(), 0u);
+  EXPECT_EQ(server.protocol_errors(), 0u);
+}
+
+TEST(NetServe, UnknownModelAndBadShapeAreExplicitStatuses) {
+  ModelRegistry registry;
+  registry.load("tiny", tiny_package());
+  net::NetServer server(registry);
+  net::NetClient client(server.host(), server.port());
+
+  const net::ResponseFrame unknown = client.infer("nope", random_row(4, 1));
+  EXPECT_EQ(unknown.status, net::Status::kUnknownModel);
+  EXPECT_NE(unknown.message.find("nope"), std::string::npos);
+
+  // Wrong input width: rejected per-request, and the connection survives.
+  const net::ResponseFrame bad = client.infer("tiny", random_row(TinyMlp::kIn + 3, 2));
+  EXPECT_EQ(bad.status, net::Status::kBadRequest);
+  const net::ResponseFrame ok = client.infer("tiny", random_row(TinyMlp::kIn, 3));
+  EXPECT_EQ(ok.status, net::Status::kOk);
+  EXPECT_EQ(server.frames_rejected(), 2u);
+}
+
+TEST(NetServe, BadMagicAndOversizedBodyAreRejected) {
+  ModelRegistry registry;
+  registry.load("tiny", tiny_package());
+  net::NetServerConfig cfg;
+  cfg.max_body_bytes = 1024;
+  net::NetServer server(registry, cfg);
+
+  {  // garbage where the magic belongs: kBadRequest, then the server closes
+    net::NetClient client(server.host(), server.port(), 2000);
+    ASSERT_TRUE(net::write_full(client.fd(), "XXXXXXXXXXXX", 12, 1000));
+    const net::ResponseFrame resp = client.read_response();
+    EXPECT_EQ(resp.status, net::Status::kBadRequest);
+    EXPECT_NE(resp.message.find("magic"), std::string::npos);
+    char byte = 0;
+    bool eof = false;
+    EXPECT_FALSE(net::read_full(client.fd(), &byte, 1, 2000, 2000, &eof));
+    EXPECT_TRUE(eof);  // connection closed: the stream was unrecoverable
+  }
+  {  // a header promising more than max_body_bytes
+    net::NetClient client(server.host(), server.port(), 2000);
+    std::uint8_t header[net::kHeaderBytes];
+    net::encode_header(4096, header);
+    ASSERT_TRUE(net::write_full(client.fd(), header, sizeof(header), 1000));
+    const net::ResponseFrame resp = client.read_response();
+    EXPECT_EQ(resp.status, net::Status::kBadRequest);
+    EXPECT_NE(resp.message.find("large"), std::string::npos);
+  }
+  EXPECT_EQ(server.protocol_errors(), 2u);
+  EXPECT_EQ(server.frames_ok(), 0u);
+}
+
+// ---- Overload: explicit sheds, accepted requests stay bit-exact ----
+
+TEST(NetServe, OverloadShedsExplicitlyAndAcceptedStayBitExact) {
+  QuantizedModelPackage pkg = tiny_package();
+  const QuantizedModelRunner reference(pkg);
+  // Tiny bounded queue, immediate shedding, and a lingering batcher (the
+  // linger holds admitted requests in the queue, so saturation is easy to
+  // hit deterministically even on one core).
+  ServeConfig cfg;
+  cfg.queue_depth = 2;
+  cfg.admission_timeout_us = 0;
+  cfg.max_batch = 16;
+  cfg.max_wait_us = 200000;
+  ModelRegistry registry(cfg);
+  registry.load("tiny", std::move(pkg));
+  net::NetServer server(registry);
+
+  constexpr int kClients = 6, kPerClient = 6;
+  std::atomic<std::uint64_t> oks{0}, sheds{0}, others{0}, mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      net::NetClient client(server.host(), server.port(), 10000);
+      for (int i = 0; i < kPerClient; ++i) {
+        const std::vector<float> row =
+            random_row(TinyMlp::kIn, 1000 + static_cast<std::uint64_t>(c * kPerClient + i));
+        const net::ResponseFrame resp = client.infer("tiny", row);
+        if (resp.status == net::Status::kShed) {
+          sheds.fetch_add(1);
+          continue;
+        }
+        if (resp.status != net::Status::kOk) {
+          others.fetch_add(1);
+          continue;
+        }
+        oks.fetch_add(1);
+        Tensor in(Shape{1, TinyMlp::kIn});
+        std::memcpy(in.data(), row.data(), row.size() * sizeof(float));
+        const Tensor want = reference.forward(in);
+        bool match = static_cast<std::int64_t>(resp.row.size()) == want.numel();
+        for (std::int64_t j = 0; match && j < want.numel(); ++j) {
+          match = resp.row[static_cast<std::size_t>(j)] == want[j];
+        }
+        if (!match) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  EXPECT_GT(oks.load(), 0u);
+  EXPECT_GT(sheds.load(), 0u) << "overload never shed: queue bound not enforced";
+  EXPECT_EQ(others.load(), 0u);
+  EXPECT_EQ(mismatches.load(), 0u);
+  // One story across the three ledgers: wire sheds == server counter ==
+  // the registry's admission-control stat.
+  EXPECT_EQ(server.frames_shed(), sheds.load());
+  EXPECT_EQ(server.frames_ok(), oks.load());
+  EXPECT_EQ(registry.stats("tiny").shed, sheds.load());
+  EXPECT_EQ(registry.stats("tiny").errors, 0u);
+}
+
+TEST(NetServe, ConnectionCapAnswersBusy) {
+  ModelRegistry registry;
+  registry.load("tiny", tiny_package());
+  net::NetServerConfig cfg;
+  cfg.max_connections = 1;
+  net::NetServer server(registry, cfg);
+
+  net::NetClient holder(server.host(), server.port(), 2000);
+  // One completed round trip pins the slot (the connection thread is
+  // provably up before the second connect races it).
+  ASSERT_EQ(holder.infer("tiny", random_row(TinyMlp::kIn, 5)).status, net::Status::kOk);
+
+  net::NetClient second(server.host(), server.port(), 2000);
+  const net::ResponseFrame busy = second.read_response();  // server speaks first
+  EXPECT_EQ(busy.status, net::Status::kBusy);
+  EXPECT_EQ(server.busy_rejects(), 1u);
+
+  // The held connection still serves; freeing it frees the slot.
+  EXPECT_EQ(holder.infer("tiny", random_row(TinyMlp::kIn, 6)).status, net::Status::kOk);
+  holder.close();
+  for (int i = 0; i < 100; ++i) {  // reap runs on the accept thread's 100ms tick
+    try {
+      net::NetClient third(server.host(), server.port(), 2000);
+      if (third.infer("tiny", random_row(TinyMlp::kIn, 7)).status == net::Status::kOk) return;
+    } catch (const std::exception&) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  FAIL() << "slot never freed after the holding client disconnected";
+}
+
+// ---- Slow / misbehaving clients: bounded cost, no wedge, no leak ----
+
+TEST(NetServe, SlowAndVanishingClientsDoNotWedgeTheServer) {
+  ModelRegistry registry;
+  registry.load("tiny", tiny_package());
+  net::NetServerConfig cfg;
+  cfg.idle_timeout_ms = 400;   // short deadlines keep the test fast
+  cfg.frame_timeout_ms = 200;
+  net::NetServer server(registry, cfg);
+
+  {  // half a header, then silence: cut off at the idle/frame deadline
+    const int fd = net::connect_tcp(server.host(), server.port(), 1000);
+    ASSERT_TRUE(net::write_full(fd, "VS", 2, 500));
+    char byte = 0;
+    bool eof = false;
+    // The server must close this connection on its own (bounded wait) —
+    // the deadline proves the slot is reclaimed, not parked forever.
+    EXPECT_FALSE(net::read_full(fd, &byte, 1, 2000, 2000, &eof));
+    EXPECT_TRUE(eof);
+    net::close_fd(fd);
+  }
+  {  // header promising a body that trickles 3 of 100 bytes then stalls
+    const int fd = net::connect_tcp(server.host(), server.port(), 1000);
+    std::uint8_t header[net::kHeaderBytes];
+    net::encode_header(100, header);
+    ASSERT_TRUE(net::write_full(fd, header, sizeof(header), 500));
+    ASSERT_TRUE(net::write_full(fd, "abc", 3, 500));
+    char byte = 0;
+    bool eof = false;
+    EXPECT_FALSE(net::read_full(fd, &byte, 1, 2000, 2000, &eof));
+    EXPECT_TRUE(eof);
+    net::close_fd(fd);
+  }
+  {  // a complete valid request, then vanish without reading the answer
+    const int fd = net::connect_tcp(server.host(), server.port(), 1000);
+    net::RequestFrame req;
+    req.model = "tiny";
+    req.row = random_row(TinyMlp::kIn, 8);
+    const auto frame = net::encode_request(req);
+    ASSERT_TRUE(net::write_full(fd, frame.data(), frame.size(), 500));
+    net::close_fd(fd);
+  }
+
+  // The server took two protocol errors and one executed-but-unread
+  // request, and it still answers a normal client correctly. No promise
+  // leaked: the vanished request's batch ran (frames_ok counts it).
+  net::NetClient probe(server.host(), server.port(), 5000);
+  const net::ResponseFrame resp = probe.infer("tiny", random_row(TinyMlp::kIn, 9));
+  EXPECT_EQ(resp.status, net::Status::kOk) << resp.message;
+  EXPECT_GE(server.protocol_errors(), 2u);
+  // The vanished request + the probe. The vanished one finishes on its own
+  // connection thread, so give its counter a moment.
+  for (int i = 0; i < 100 && server.frames_ok() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_EQ(server.frames_ok(), 2u);
+  EXPECT_EQ(registry.stats("tiny").errors, 0u);
+
+  // Every abused connection is reaped: only the probe can remain.
+  for (int i = 0; i < 100 && server.active_connections() > 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_LE(server.active_connections(), 1u);
+}
+
+// ---- HTTP surface ----
+
+TEST(NetServe, StatsAndHealthzSpeakHttp) {
+  ModelRegistry registry;
+  registry.load("tiny", tiny_package());
+  net::NetServer server(registry);
+  net::NetClient client(server.host(), server.port());
+  ASSERT_EQ(client.infer("tiny", random_row(TinyMlp::kIn, 11)).status, net::Status::kOk);
+
+  EXPECT_EQ(net::http_get(server.host(), server.port(), "/healthz"), "ok\n");
+  const std::string stats = net::http_get(server.host(), server.port(), "/stats");
+  EXPECT_NE(stats.find("\"frames_ok\":1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"name\":\"tiny\""), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"queue_depth\""), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"shed\""), std::string::npos) << stats;
+  EXPECT_THROW((void)net::http_get(server.host(), server.port(), "/nope"), std::runtime_error);
+  EXPECT_EQ(server.http_requests(), 3u);
+}
+
+TEST(NetServe, StopWithLiveConnectionsReturnsPromptly) {
+  ModelRegistry registry;
+  registry.load("tiny", tiny_package());
+  auto server = std::make_unique<net::NetServer>(registry);
+  net::NetClient idle(server->host(), server->port());  // parked, mid-idle-wait
+  ASSERT_EQ(idle.infer("tiny", random_row(TinyMlp::kIn, 12)).status, net::Status::kOk);
+  const auto t0 = std::chrono::steady_clock::now();
+  server->stop();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  // stop() must wake the parked connection out of its 10s idle wait, not
+  // sit it out.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(), 5);
+}
+
+}  // namespace
+}  // namespace vsq

@@ -115,6 +115,52 @@ TEST(ModelRegistry, HotReloadReusesNameAndAccumulatesStats) {
   EXPECT_EQ(all[0].serve.requests, 2u);
 }
 
+TEST(ModelRegistry, ShedCounterAccumulatesAcrossHotReloads) {
+  // A shed is an explicit serving decision; losing the count on reload
+  // would hide overload history from /stats. Saturate a depth-1 queue
+  // under a lingering batcher in two separate incarnations and the
+  // merged snapshot must carry both windows' sheds.
+  ServeConfig cfg;
+  cfg.queue_depth = 1;
+  cfg.admission_timeout_us = 0;  // full queue -> immediate QueueFullError
+  cfg.max_batch = 16;
+  cfg.max_wait_us = 400000;  // linger holds admitted requests in the queue
+  ModelRegistry reg(cfg);
+  const Tensor input = random_row(TinyMlp::kIn, 16);
+
+  const auto shed_some = [&]() -> std::uint64_t {
+    std::uint64_t sheds = 0;
+    std::vector<std::future<Tensor>> accepted;
+    for (int i = 0; i < 64 && sheds < 3; ++i) {
+      try {
+        accepted.push_back(reg.submit("m", input));
+      } catch (const QueueFullError&) {
+        ++sheds;
+      }
+    }
+    for (auto& f : accepted) (void)f.get();
+    return sheds;
+  };
+
+  reg.load("m", tiny_package());
+  const std::uint64_t first = shed_some();
+  ASSERT_GT(first, 0u) << "depth-1 lingering queue never shed";
+  EXPECT_EQ(reg.stats("m").shed, first);
+  ASSERT_TRUE(reg.unload("m"));
+  // Retired window still reports its sheds while the model is unloaded.
+  EXPECT_EQ(reg.stats("m").shed, first);
+
+  reg.load("m", tiny_package());
+  const std::uint64_t second = shed_some();
+  ASSERT_GT(second, 0u);
+  const ServeStatsSnapshot merged = reg.stats("m");
+  EXPECT_EQ(merged.shed, first + second);
+  // Errors ride the same merge path; none were provoked here.
+  EXPECT_EQ(merged.errors, 0u);
+  ASSERT_TRUE(reg.unload("m"));
+  EXPECT_EQ(reg.stats("m").shed, first + second);
+}
+
 TEST(ModelRegistry, StatsStayVisibleWhileDraining) {
   ServeConfig cfg;
   cfg.max_batch = 1;

@@ -1,0 +1,154 @@
+// vsq_serve_net — TCP network front-end for the multi-model serving
+// registry (src/net/server.h over src/serve/registry.h). Loads builtin
+// and/or archived models, binds a port, and serves the length-prefixed
+// binary inference protocol plus the GET /stats and GET /healthz text
+// endpoints until SIGINT/SIGTERM.
+//
+//   vsq_serve_net [--builtin=tiny,tiny8,...]     deterministic builtins
+//                 [--packages=name=path,...]     .vsqa archives
+//                 [--host=127.0.0.1] [--port=0]  0 = ephemeral, see banner
+//                 [--max-connections=64]
+//                 [--max-batch=16] [--max-wait-us=0] [--cache=0]
+//                 [--scale-bits=-1] [--threads=N]
+//                 [--queue-depth=256]            bounded per-model queue
+//                 [--admission-timeout-us=0]     0 = shed immediately when
+//                                                full; -1 = block (no shed)
+//                 [--low-lane=0.5]               kLow admission fraction
+//                 [--selfcheck]                  loopback round trip + exit
+//
+// Serving a network port wants explicit load shedding, so unlike the
+// in-process tools the queue is bounded by default and a full queue
+// answers kShed instead of stalling the connection. The startup banner
+// "vsq_serve_net listening on HOST:PORT" is printed (and flushed) once
+// the socket is live, so scripts can scrape the ephemeral port.
+#include <atomic>
+#include <csignal>
+#include <iostream>
+#include <thread>
+
+#include "exp/ptq.h"
+#include "kernels/isa.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "util/args.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+void handle_signal(int) { g_stop.store(true); }
+
+std::vector<std::string> split_list(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t end = s.find(sep, start);
+    if (end == std::string::npos) {
+      if (start < s.size()) out.push_back(s.substr(start));
+      break;
+    }
+    if (end > start) out.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vsq;
+  const Args args(argc, argv);
+  if (!apply_threads_flag(args)) return 2;
+  const std::string packages = args.get_str("packages", "");
+  const std::string builtin = args.get_str("builtin", packages.empty() ? "tiny" : "");
+  const bool selfcheck = args.get_flag("selfcheck");
+
+  ServeConfig cfg;
+  cfg.max_batch = std::max(1, args.get_int("max-batch", 16));
+  cfg.max_wait_us = std::max(0, args.get_int("max-wait-us", 0));
+  cfg.cache_entries = static_cast<std::size_t>(std::max(0, args.get_int("cache", 0)));
+  cfg.scale_product_bits = args.get_int("scale-bits", -1);
+  cfg.queue_depth = static_cast<std::size_t>(std::max(0, args.get_int("queue-depth", 256)));
+  cfg.admission_timeout_us = args.get_int("admission-timeout-us", 0);
+  cfg.low_lane_fraction = args.get_double("low-lane", 0.5);
+
+  vsq::net::NetServerConfig net_cfg;
+  net_cfg.host = args.get_str("host", "127.0.0.1");
+  net_cfg.port = args.get_int("port", 0);
+  net_cfg.max_connections = std::max(1, args.get_int("max-connections", 64));
+
+  ModelRegistry registry(cfg);
+  std::vector<std::string> names;
+  try {
+    for (const std::string& which : split_list(builtin, ',')) {
+      registry.load(which, builtin_serving_package(which));
+      names.push_back(which);
+    }
+    for (const std::string& spec : split_list(packages, ',')) {
+      const std::size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= spec.size()) {
+        std::cerr << "vsq_serve_net: --packages entries must be name=path, got: " << spec << "\n";
+        return 2;
+      }
+      registry.load(spec.substr(0, eq), QuantizedModelPackage::load(spec.substr(eq + 1)));
+      names.push_back(spec.substr(0, eq));
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "vsq_serve_net: model load failed: " << e.what() << "\n";
+    return 1;
+  }
+  if (names.empty()) {
+    std::cerr << "vsq_serve_net: no models (--builtin and --packages both empty)\n";
+    return 2;
+  }
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  try {
+    vsq::net::NetServer server(registry, net_cfg);
+    std::cout << "serving " << names.size() << " models (";
+    for (std::size_t i = 0; i < names.size(); ++i) std::cout << (i ? ", " : "") << names[i];
+    std::cout << "), max_batch=" << cfg.max_batch << ", queue_depth=" << cfg.queue_depth
+              << ", admission_timeout_us=" << cfg.admission_timeout_us << "\n";
+    std::cout << "cpu: " << isa::summary() << "\n";
+    std::cout << "vsq_serve_net listening on " << server.host() << ":" << server.port()
+              << std::endl;  // flushed: scripts scrape the ephemeral port from this line
+
+    if (selfcheck) {
+      // Loopback round trip through the real socket path: one inference
+      // against the first model, plus both text endpoints.
+      vsq::net::NetClient client(server.host(), server.port());
+      const auto in = registry.session(names.front())->runner().in_features();
+      const vsq::net::ResponseFrame resp =
+          client.infer(names.front(), std::vector<float>(static_cast<std::size_t>(in), 0.25f));
+      if (resp.status != vsq::net::Status::kOk) {
+        std::cerr << "vsq_serve_net: selfcheck inference failed: "
+                  << vsq::net::status_name(resp.status) << " " << resp.message << "\n";
+        return 1;
+      }
+      if (vsq::net::http_get(server.host(), server.port(), "/healthz") != "ok\n") {
+        std::cerr << "vsq_serve_net: selfcheck /healthz mismatch\n";
+        return 1;
+      }
+      const std::string stats = vsq::net::http_get(server.host(), server.port(), "/stats");
+      if (stats.find("\"frames_ok\":1") == std::string::npos) {
+        std::cerr << "vsq_serve_net: selfcheck /stats missing frames_ok: " << stats << "\n";
+        return 1;
+      }
+      std::cout << "selfcheck ok: " << resp.row.size() << " output features, stats "
+                << stats.size() << " bytes\n";
+      return 0;
+    }
+
+    while (!g_stop.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+    std::cout << "shutting down\n";
+    server.stop();
+  } catch (const std::exception& e) {
+    std::cerr << "vsq_serve_net: " << e.what() << "\n";
+    return 1;
+  }
+  registry.print_stats(std::cout);
+  return 0;
+}

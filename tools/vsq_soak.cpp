@@ -10,6 +10,20 @@
 // routing, caching or drain bug that alters even one output bit fails the
 // run.
 //
+// Network mode (--net) runs the same oracle ACROSS THE WIRE: an
+// in-process NetServer (src/net/server.h) fronts the registry on an
+// ephemeral loopback port and every client drives it through a real TCP
+// NetClient, so framing, admission shedding, HTTP stats and
+// slow/misbehaving peers are exercised under the identical bit-exactness
+// contract. With a bounded queue and non-blocking admission
+// (--queue-depth, --admission-timeout-us) overload must produce explicit
+// kShed responses — never a hang, never a wrong answer — and the client-
+// observed shed count must agree with both the server's frame counter and
+// the registry's per-model stats. --connect=host:port points the same
+// traffic at an external vsq_serve_net instead (chaos reloads and
+// server-side assertions are disabled; the audit still applies when the
+// remote serves the same deterministic builtins).
+//
 //   vsq_soak [--builtin=tiny,tiny8,tiny_conv,resnet]   in-process models
 //            [--packages=name=path,name2=path]         .vsqa archives
 //            [--clients=8] [--requests=1024]           total, all clients
@@ -23,17 +37,34 @@
 //            [--max-batch=16] [--max-wait-us=0] [--cache=0]
 //            [--scale-bits=-1] [--seed=1] [--threads=N]
 //            [--no-check]         skip the differential audit
+//            [--net]              traffic over TCP via in-process NetServer
+//            [--connect=host:port] traffic to an external vsq_serve_net
+//            [--queue-depth=0]    bounded per-model queue (0 = unbounded)
+//            [--admission-timeout-us=-1]  -1 block, 0 shed at once, >0 wait
+//            [--expect-shed]      fail unless overload shed >= 1 request
+//            [--slow-clients]     run misbehaving-peer scenarios after the
+//                                 main traffic (partial frames, stalls,
+//                                 disconnects), then prove the server
+//                                 still answers correctly
 //
 // Exit status: 0 clean, 1 on any bit mismatch (or a model that failed to
 // build/load), so CI can gate on it — ctest soak_smoke runs a short
-// deterministic-seed pass over a 2-model registry, and the slow-labeled
+// deterministic-seed pass over a 2-model registry, serve_net_smoke the
+// network mode with forced overload + slow clients, and the slow-labeled
 // soak_long the full builtin mix.
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
+#include <cstring>
 #include <exception>
+#include <fstream>
 #include <functional>
 #include <future>
 #include <iostream>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -41,8 +72,10 @@
 #include "exp/ptq.h"
 #include "hw/mac_config.h"
 #include "kernels/isa.h"
-#include "models/resnetv.h"
-#include "models/zoo.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "net/socket_io.h"
 #include "serve/registry.h"
 #include "util/args.h"
 #include "util/rng.h"
@@ -64,45 +97,6 @@ struct SoakModel {
   std::vector<Tensor> expected;                    // ref outputs, per input
 };
 
-QuantizedModelPackage build_builtin(const std::string& which) {
-  if (which == "tiny") {
-    return tiny_mlp_package(MacConfig::parse("4/8/6/10"));
-  }
-  if (which == "tiny8") {
-    // Same MLP graph at a wider integer configuration: exercises a second
-    // set of operand widths (and scale formats) through the same registry.
-    return tiny_mlp_package(MacConfig::parse("8/8/6/6"));
-  }
-  MacConfig mac = MacConfig::parse("4/8/6/10");
-  mac.act_unsigned = true;  // post-ReLU activations, as vsq_quantize does
-  if (which == "tiny_conv") {
-    return tiny_conv_package(mac);
-  }
-  if (which == "resnet") {
-    // Untrained ResNetV at the default 16x16 scale: the full residual CNN
-    // topology (stem, plain + projection-shortcut blocks, pool, fc head)
-    // without needing a trained checkpoint. Deterministic seeds make every
-    // rebuild bit-identical, which the differential audit relies on.
-    ResNetVConfig config;
-    config.blocks_per_stage = 1;
-    config.seed = 11;
-    ResNetV model(config);
-    model.fold_batchnorm();
-    Rng rng(11);
-    Tensor calib(Shape{8, config.in_h, config.in_w, config.in_c});
-    for (auto& v : calib.span()) v = static_cast<float>(rng.uniform(-2.0, 2.0));
-    QuantizedModelPackage pkg =
-        calibrate_and_export(model.gemms(), mac.weight_spec(), mac.act_spec(),
-                             [&] { model.forward(calib, false); });
-    pkg.program = model.export_program();
-    pkg.in_h = config.in_h;
-    pkg.in_w = config.in_w;
-    pkg.in_c = config.in_c;
-    return pkg;
-  }
-  throw std::invalid_argument("vsq_soak: unknown builtin model " + which);
-}
-
 std::vector<std::string> split_list(const std::string& s, char sep) {
   std::vector<std::string> out;
   std::size_t start = 0;
@@ -118,6 +112,24 @@ std::vector<std::string> split_list(const std::string& s, char sep) {
   return out;
 }
 
+// Resident set size in bytes (/proc/self/statm field 2, pages). 0 when
+// unreadable (non-Linux), which disables the RSS gate.
+std::uint64_t rss_bytes() {
+  std::ifstream statm("/proc/self/statm");
+  std::uint64_t size = 0, resident = 0;
+  if (!(statm >> size >> resident)) return 0;
+  return resident * static_cast<std::uint64_t>(::sysconf(_SC_PAGESIZE));
+}
+
+// A served row equals the reference tensor bit-for-bit.
+bool row_matches(const std::vector<float>& got, const Tensor& want) {
+  if (static_cast<std::int64_t>(got.size()) != want.numel()) return false;
+  for (std::int64_t j = 0; j < want.numel(); ++j) {
+    if (got[static_cast<std::size_t>(j)] != want[j]) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -131,21 +143,37 @@ int main(int argc, char** argv) {
   const auto total_requests = static_cast<std::uint64_t>(std::max(1, args.get_int("requests", 1024)));
   const int burst_max = std::max(1, args.get_int("burst-max", 4));
   const int unique = std::max(1, args.get_int("unique", 24));
-  const auto reload_every =
-      static_cast<std::uint64_t>(std::max(0, args.get_int("reload-every", 64)));
   const bool check = !args.get_flag("no-check");
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const std::string connect = args.get_str("connect", "");
+  const bool net = args.get_flag("net") || !connect.empty();
+  const bool external = !connect.empty();
+  const bool expect_shed = args.get_flag("expect-shed");
+  const bool slow_clients = args.get_flag("slow-clients");
+  // An external server cannot be chaos-reloaded from here.
+  const auto reload_every = external ? 0ull
+      : static_cast<std::uint64_t>(std::max(0, args.get_int("reload-every", 64)));
 
   ServeConfig cfg;
   cfg.max_batch = std::max(1, args.get_int("max-batch", 16));
   cfg.max_wait_us = std::max(0, args.get_int("max-wait-us", 0));
   cfg.cache_entries = static_cast<std::size_t>(std::max(0, args.get_int("cache", 0)));
   cfg.scale_product_bits = args.get_int("scale-bits", -1);
+  cfg.queue_depth = static_cast<std::size_t>(std::max(0, args.get_int("queue-depth", 0)));
+  cfg.admission_timeout_us = args.get_int("admission-timeout-us", -1);
+  // Sheds are only a legitimate outcome when the operator asked for
+  // non-blocking admission on a bounded queue.
+  const bool shed_possible = external || (cfg.queue_depth > 0 && cfg.admission_timeout_us >= 0);
+  if (expect_shed && !shed_possible) {
+    std::cerr << "vsq_soak: --expect-shed needs --queue-depth>0 and --admission-timeout-us>=0\n";
+    return 2;
+  }
 
   // ---- Assemble the model mix ----
   std::vector<SoakModel> models;
   for (const std::string& which : split_list(builtin, ',')) {
-    models.push_back(SoakModel{which, [which] { return build_builtin(which); }, {}, {}, {}, {}});
+    models.push_back(
+        SoakModel{which, [which] { return builtin_serving_package(which); }, {}, {}, {}, {}});
   }
   for (const std::string& spec : split_list(packages, ',')) {
     const std::size_t eq = spec.find('=');
@@ -184,12 +212,36 @@ int main(int argc, char** argv) {
       }
       // A copy of the already-built package is just as independent of the
       // oracle runner as a second build() would be, without repeating the
-      // most expensive setup work (chaos reloads still rebuild).
-      registry.load(sm.name, sm.ref_pkg);
+      // most expensive setup work (chaos reloads still rebuild). An
+      // external server loads its own copies; ours would just idle.
+      if (!external) registry.load(sm.name, sm.ref_pkg);
     }
   } catch (const std::exception& e) {
     std::cerr << "vsq_soak: model setup failed: " << e.what() << "\n";
     return 1;
+  }
+
+  // ---- Network front-end (when requested) ----
+  std::unique_ptr<vsq::net::NetServer> server;
+  std::string host = "127.0.0.1";
+  int port = 0;
+  if (net && !external) {
+    vsq::net::NetServerConfig net_cfg;  // ephemeral loopback port
+    net_cfg.max_connections = clients + 8;  // headroom for the HTTP/slow probes
+    // Short deadlines so the slow-client scenarios resolve in test time.
+    net_cfg.idle_timeout_ms = 5000;
+    net_cfg.frame_timeout_ms = 1000;
+    net_cfg.write_timeout_ms = 2000;
+    server = std::make_unique<vsq::net::NetServer>(registry, net_cfg);
+    port = server->port();
+  } else if (external) {
+    const std::size_t colon = connect.rfind(':');
+    if (colon == std::string::npos) {
+      std::cerr << "vsq_soak: --connect must be host:port, got: " << connect << "\n";
+      return 2;
+    }
+    host = connect.substr(0, colon);
+    port = std::stoi(connect.substr(colon + 1));
   }
 
   std::cout << "soaking " << models.size() << " models (";
@@ -199,8 +251,12 @@ int main(int argc, char** argv) {
   }
   std::cout << "): " << clients << " clients, " << total_requests
             << " requests, burst<=" << burst_max << ", max_batch=" << cfg.max_batch
-            << ", reload every " << reload_every << " requests\n";
+            << ", reload every " << reload_every << " requests";
+  if (net) std::cout << ", over TCP " << host << ":" << port;
+  std::cout << "\n";
   std::cout << "cpu: " << isa::summary() << "\n";
+
+  const std::uint64_t rss_before = net && !external ? rss_bytes() : 0;
 
   // ---- Chaos: hot unload + reload, round-robin, triggered every
   // `reload_every` claimed requests. The client whose burst claim crosses
@@ -228,19 +284,45 @@ int main(int argc, char** argv) {
 
   // ---- Client threads ----
   std::atomic<std::uint64_t> remaining{total_requests};
-  std::atomic<std::uint64_t> completed{0}, rejected{0}, dropped{0}, mismatches{0}, audited{0};
+  std::atomic<std::uint64_t> completed{0}, rejected{0}, shed{0}, dropped{0}, mismatches{0},
+      audited{0};
   // Per-model completions: the oracle demands every model actually served
   // (a reload bug could otherwise starve one model into 100% rejections
   // while the totals still look healthy).
   std::vector<std::atomic<std::uint64_t>> model_completed(models.size());
   std::mutex report_mu;  // first few mismatch reports, unscrambled
+  const auto report = [&](const std::string& what) {
+    std::lock_guard lock(report_mu);
+    std::cerr << what << "\n";
+  };
+
+  // Audit + count one served row; shared by the in-process and network
+  // paths so the two modes cannot drift on what "correct" means.
+  const auto account_row = [&](int c, std::size_t m, std::size_t idx,
+                               const std::vector<float>& row) {
+    completed.fetch_add(1, std::memory_order_relaxed);
+    model_completed[m].fetch_add(1, std::memory_order_relaxed);
+    if (!check) return;
+    audited.fetch_add(1, std::memory_order_relaxed);
+    if (!row_matches(row, models[m].expected[idx])) {
+      const auto n = mismatches.fetch_add(1, std::memory_order_relaxed);
+      if (n < 8) {
+        report("MISMATCH: client " + std::to_string(c) + " model " + models[m].name +
+               " input " + std::to_string(idx) +
+               ": served response differs from sequential reference");
+      }
+    }
+  };
+
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(clients));
   for (int c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
       Rng rng(seed + 104729ull * static_cast<std::uint64_t>(c + 1));
+      std::optional<vsq::net::NetClient> client;
       std::vector<std::pair<std::size_t, std::size_t>> sent;  // (model, input idx)
       std::vector<std::future<Tensor>> futures;
+      std::vector<float> row;
       for (;;) {
         // Claim a burst of 1..burst_max requests from the global budget:
         // random burst sizes vary how many rows each batcher coalesces.
@@ -262,6 +344,52 @@ int main(int argc, char** argv) {
           for (std::uint64_t k = 0; k < cycles; ++k) chaos_cycle();
         }
 
+        if (net) {
+          // Network path: one persistent connection per client, closed-
+          // loop request/response. Every outcome is an explicit wire
+          // status — a transport failure (timeout, dead connection) is a
+          // hang/wedge bug by definition and fails the run as `dropped`.
+          for (std::uint64_t i = 0; i < got; ++i) {
+            const auto m = static_cast<std::size_t>(rng.uniform_u64(models.size()));
+            const auto idx =
+                static_cast<std::size_t>(rng.uniform_u64(models[m].inputs.size()));
+            // Mostly kNormal with a kLow minority, so the lane headroom
+            // logic runs under real traffic (kLow sheds first).
+            const auto prio = rng.uniform_u64(4) == 0 ? Priority::kLow : Priority::kNormal;
+            const Tensor& in = models[m].inputs[idx];
+            row.assign(in.data(), in.data() + in.numel());
+            try {
+              if (!client) client.emplace(host, port, 10000);
+              const vsq::net::ResponseFrame resp =
+                  client->infer(models[m].name, row, prio);
+              switch (resp.status) {
+                case vsq::net::Status::kOk:
+                  account_row(c, m, idx, resp.row);
+                  break;
+                case vsq::net::Status::kShed:
+                  shed.fetch_add(1, std::memory_order_relaxed);
+                  break;
+                case vsq::net::Status::kUnknownModel:
+                case vsq::net::Status::kUnavailable:
+                  // Model mid-reload: graceful rejection, never a wrong
+                  // answer.
+                  rejected.fetch_add(1, std::memory_order_relaxed);
+                  break;
+                default:
+                  dropped.fetch_add(1, std::memory_order_relaxed);
+                  report("vsq_soak: unexpected status " +
+                         std::string(vsq::net::status_name(resp.status)) + ": " + resp.message);
+                  break;
+              }
+            } catch (const std::exception& e) {
+              dropped.fetch_add(1, std::memory_order_relaxed);
+              report("vsq_soak: transport failure: " + std::string(e.what()));
+              client.reset();  // next request reconnects
+            }
+          }
+          continue;
+        }
+
         sent.clear();
         futures.clear();
         for (std::uint64_t i = 0; i < got; ++i) {
@@ -271,6 +399,9 @@ int main(int argc, char** argv) {
           try {
             futures.push_back(registry.submit(models[m].name, models[m].inputs[idx]));
             sent.emplace_back(m, idx);
+          } catch (const QueueFullError&) {
+            // Bounded queue + non-blocking admission: explicit shed.
+            shed.fetch_add(1, std::memory_order_relaxed);
           } catch (const std::out_of_range&) {
             // Model mid-reload, not currently routed: a graceful
             // rejection, never a wrong answer.
@@ -297,33 +428,91 @@ int main(int argc, char** argv) {
             dropped.fetch_add(1, std::memory_order_relaxed);
             continue;
           }
-          completed.fetch_add(1, std::memory_order_relaxed);
-          model_completed[sent[i].first].fetch_add(1, std::memory_order_relaxed);
-          if (!check) continue;
-          const SoakModel& sm = models[sent[i].first];
-          const Tensor& want_out = sm.expected[sent[i].second];
-          bool ok = y.numel() == want_out.numel();
-          for (std::int64_t j = 0; ok && j < want_out.numel(); ++j) ok = y[j] == want_out[j];
-          audited.fetch_add(1, std::memory_order_relaxed);
-          if (!ok) {
-            const auto n = mismatches.fetch_add(1, std::memory_order_relaxed);
-            if (n < 8) {
-              std::lock_guard lock(report_mu);
-              std::cerr << "MISMATCH: client " << c << " model " << sm.name << " input "
-                        << sent[i].second << ": served response differs from sequential"
-                        << " reference\n";
-            }
-          }
+          row.assign(y.data(), y.data() + y.numel());
+          account_row(c, sent[i].first, sent[i].second, row);
         }
       }
     });
   }
   for (auto& t : threads) t.join();
 
+  // ---- Slow / misbehaving clients: every scenario must cost the server
+  // at most a bounded wait, never a wedged connection slot or a leaked
+  // promise — proven by a normal request per model succeeding afterwards.
+  if (net && slow_clients) {
+    std::cout << "running slow-client scenarios\n";
+    try {
+      {  // half a header, then vanish
+        const int fd = vsq::net::connect_tcp(host, port, 2000);
+        vsq::net::write_full(fd, "VS", 2, 1000);
+        vsq::net::close_fd(fd);
+      }
+      {  // garbage magic
+        const int fd = vsq::net::connect_tcp(host, port, 2000);
+        vsq::net::write_full(fd, "XXXXXXXX", 8, 1000);
+        char resp[64];
+        // The server answers kBadRequest and closes; draining is optional
+        // for the peer, but doing so proves the response actually came.
+        vsq::net::read_full(fd, resp, sizeof(resp), 2000, 500);
+        vsq::net::close_fd(fd);
+      }
+      {  // header promising a body that never arrives (mid-frame stall)
+        const int fd = vsq::net::connect_tcp(host, port, 2000);
+        std::uint8_t header[vsq::net::kHeaderBytes];
+        vsq::net::encode_header(100, header);
+        vsq::net::write_full(fd, header, sizeof(header), 1000);
+        vsq::net::write_full(fd, "abc", 3, 1000);  // 3 of the promised 100
+        std::this_thread::sleep_for(std::chrono::milliseconds(1500));  // > frame timeout
+        vsq::net::close_fd(fd);
+      }
+      {  // a full valid request, then disconnect without reading the answer
+        const int fd = vsq::net::connect_tcp(host, port, 2000);
+        vsq::net::RequestFrame req;
+        req.model = models[0].name;
+        const Tensor& in = models[0].inputs[0];
+        req.row.assign(in.data(), in.data() + in.numel());
+        const auto frame = vsq::net::encode_request(req);
+        vsq::net::write_full(fd, frame.data(), frame.size(), 1000);
+        vsq::net::close_fd(fd);  // the accepted request still executes server-side
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "vsq_soak: slow-client scenario failed to run: " << e.what() << "\n";
+      return 1;
+    }
+    // The proof: the server still answers every model, correctly, with
+    // admission lanes bypassed by kHigh so a still-full queue cannot
+    // confuse "not wedged" with "shedding".
+    for (std::size_t m = 0; m < models.size(); ++m) {
+      try {
+        vsq::net::NetClient probe(host, port, 10000);
+        const Tensor& in = models[m].inputs[0];
+        const vsq::net::ResponseFrame resp = probe.infer(
+            models[m].name, std::vector<float>(in.data(), in.data() + in.numel()),
+            Priority::kHigh);
+        if (resp.status != vsq::net::Status::kOk) {
+          std::cerr << "vsq_soak: post-abuse probe of " << models[m].name << " got "
+                    << vsq::net::status_name(resp.status) << ": " << resp.message << "\n";
+          return 1;
+        }
+        if (check && !row_matches(resp.row, models[m].expected[0])) {
+          std::cerr << "vsq_soak: post-abuse probe of " << models[m].name
+                    << " MISMATCHED the sequential reference\n";
+          return 1;
+        }
+      } catch (const std::exception& e) {
+        std::cerr << "vsq_soak: post-abuse probe of " << models[m].name
+                  << " failed (server wedged?): " << e.what() << "\n";
+        return 1;
+      }
+    }
+    std::cout << "slow-client scenarios passed (server answers normally after abuse)\n";
+  }
+
   // ---- Report ----
-  registry.print_stats(std::cout);
-  std::cout << "soak totals: " << completed.load() << " completed, " << rejected.load()
-            << " rejected mid-reload, " << reloads.load() << " hot reloads\n";
+  if (!external) registry.print_stats(std::cout);
+  std::cout << "soak totals: " << completed.load() << " completed, " << shed.load()
+            << " shed, " << rejected.load() << " rejected mid-reload, " << reloads.load()
+            << " hot reloads\n";
   if (reload_failures.load() > 0) {
     std::cerr << "vsq_soak: " << reload_failures.load() << " reloads FAILED\n";
     return 1;
@@ -336,15 +525,24 @@ int main(int argc, char** argv) {
   if (completed.load() == 0) {
     // A soak where nothing completed proves nothing — a drain or submit
     // regression that rejects every request must not read as a pass.
-    std::cerr << "vsq_soak: no requests completed (all " << rejected.load()
-              << " rejected)\n";
+    std::cerr << "vsq_soak: no requests completed (all " << rejected.load() + shed.load()
+              << " rejected or shed)\n";
     return 1;
   }
-  if (reloads.load() == 0 && rejected.load() > 0) {
+  if (reloads.load() == 0 && rejected.load() > 0 && !external) {
     // Rejections are only legitimate as collateral of a hot reload; with
     // no reload cycle performed, every one of them is a serving bug.
     std::cerr << "vsq_soak: " << rejected.load()
               << " requests rejected with no reload in flight\n";
+    return 1;
+  }
+  if (!shed_possible && shed.load() > 0) {
+    std::cerr << "vsq_soak: " << shed.load()
+              << " requests shed under blocking admission (must be impossible)\n";
+    return 1;
+  }
+  if (expect_shed && shed.load() == 0) {
+    std::cerr << "vsq_soak: --expect-shed but no request was shed (overload never bit)\n";
     return 1;
   }
   for (std::size_t m = 0; m < models.size(); ++m) {
@@ -354,6 +552,58 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+
+  // ---- Network-mode cross-checks: client-observed counts, the server's
+  // frame counters and the registry's per-model stats must tell one story.
+  if (net && !external && server) {
+    std::uint64_t stats_shed = 0;
+    for (const RegistryModelStats& m : registry.stats_all()) stats_shed += m.serve.shed;
+    // Client sheds came through the wire 1:1 (QueueFullError is the only
+    // shed source and every one was answered with a kShed frame). The
+    // slow-client "send and vanish" request may add an extra frames_ok
+    // the clients never counted, hence >= on that side.
+    if (server->frames_shed() != shed.load() || stats_shed != shed.load()) {
+      std::cerr << "vsq_soak: shed counters disagree: clients saw " << shed.load()
+                << ", server sent " << server->frames_shed() << ", registry recorded "
+                << stats_shed << "\n";
+      return 1;
+    }
+    if (server->frames_ok() < completed.load()) {
+      std::cerr << "vsq_soak: server frames_ok " << server->frames_ok()
+                << " < client completions " << completed.load() << "\n";
+      return 1;
+    }
+    try {
+      if (vsq::net::http_get(host, port, "/healthz") != "ok\n") {
+        std::cerr << "vsq_soak: /healthz did not answer ok\n";
+        return 1;
+      }
+      const std::string stats = vsq::net::http_get(host, port, "/stats");
+      if (stats.find("\"frames_shed\":" + std::to_string(shed.load())) == std::string::npos ||
+          stats.find("\"queue_depth\"") == std::string::npos) {
+        std::cerr << "vsq_soak: /stats JSON missing expected counters: " << stats << "\n";
+        return 1;
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "vsq_soak: stats endpoint failed: " << e.what() << "\n";
+      return 1;
+    }
+    if (rss_before > 0) {
+      const std::uint64_t rss_after = rss_bytes();
+      // Generous backstop: bounded latency windows + bounded queues mean
+      // serving memory is flat; catch only a real leak, not allocator
+      // noise.
+      if (rss_after > rss_before + (64ull << 20)) {
+        std::cerr << "vsq_soak: RSS grew " << (rss_after - rss_before) / (1ull << 20)
+                  << " MiB over the soak (leak?)\n";
+        return 1;
+      }
+      std::cout << "rss: " << rss_before / (1ull << 20) << " -> " << rss_after / (1ull << 20)
+                << " MiB\n";
+    }
+    server->stop();
+  }
+
   if (check) {
     if (mismatches.load() > 0) {
       std::cerr << "vsq_soak: " << mismatches.load() << " of " << audited.load()
