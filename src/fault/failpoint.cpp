@@ -1,0 +1,291 @@
+#include "fault/failpoint.h"
+
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <random>
+#include <thread>
+
+namespace vsq::fault {
+namespace {
+
+struct Point {
+  Spec spec;
+  bool armed = false;
+  std::uint64_t evals = 0;
+  std::uint64_t fires = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Point> points;
+  std::mt19937_64 rng{0x5eedfa11u};
+  std::uint64_t total_fires = 0;
+  int armed_count = 0;  // mirrored into detail::g_armed under mu
+};
+
+// Function-local static so sites that run during static init of other
+// translation units see a constructed registry.
+Registry& reg() {
+  static Registry r;
+  return r;
+}
+
+void publish_armed_count(const Registry& r) {
+  detail::g_armed.store(r.armed_count, std::memory_order_relaxed);
+}
+
+// Parses a leading non-negative number (integer or decimal) from s starting
+// at pos; advances pos past it. Returns false if no digits present.
+bool parse_number(const std::string& s, std::size_t& pos, double& out) {
+  std::size_t start = pos;
+  while (pos < s.size() && (std::isdigit(static_cast<unsigned char>(s[pos])) || s[pos] == '.')) {
+    ++pos;
+  }
+  if (pos == start) return false;
+  try {
+    out = std::stod(s.substr(start, pos - start));
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+struct EnvLoader {
+  EnvLoader() { configure_from_env(); }
+};
+// Arms VSQ_FAILPOINTS before main() so env-driven chaos needs no code hook.
+EnvLoader g_env_loader;
+
+}  // namespace
+
+namespace detail {
+std::atomic<int> g_armed{0};
+
+bool eval(const char* name) {
+  Spec spec;
+  {
+    Registry& r = reg();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.points.find(name);
+    if (it == r.points.end() || !it->second.armed) return false;
+    Point& p = it->second;
+    ++p.evals;
+    if (p.spec.max_fires != 0 && p.fires >= p.spec.max_fires) return false;
+    if (p.spec.probability < 1.0) {
+      std::uniform_real_distribution<double> dist(0.0, 1.0);
+      if (dist(r.rng) >= p.spec.probability) return false;
+    }
+    ++p.fires;
+    ++r.total_fires;
+    spec = p.spec;
+  }
+  switch (spec.kind) {
+    case Kind::kError:
+      throw FailpointError(name, spec.message.empty() ? std::string("failpoint: ") + name
+                                                      : spec.message);
+    case Kind::kDelay:
+      std::this_thread::sleep_for(std::chrono::microseconds(spec.delay_us));
+      return true;
+    case Kind::kTrigger:
+      return true;
+  }
+  return false;
+}
+}  // namespace detail
+
+Spec parse_spec(const std::string& action) {
+  Spec spec;
+  std::size_t pos = 0;
+  // Optional "P%" prefix.
+  {
+    std::size_t probe = pos;
+    double value = 0.0;
+    if (parse_number(action, probe, value) && probe < action.size() && action[probe] == '%') {
+      if (value < 0.0 || value > 100.0) {
+        throw std::invalid_argument("failpoint: probability out of range in '" + action + "'");
+      }
+      spec.probability = value / 100.0;
+      pos = probe + 1;
+    }
+  }
+  // Optional "N*" prefix.
+  {
+    std::size_t probe = pos;
+    double value = 0.0;
+    if (parse_number(action, probe, value) && probe < action.size() && action[probe] == '*') {
+      if (value < 1.0 || value != static_cast<std::uint64_t>(value)) {
+        throw std::invalid_argument("failpoint: bad fire count in '" + action + "'");
+      }
+      spec.max_fires = static_cast<std::uint64_t>(value);
+      pos = probe + 1;
+    }
+  }
+  std::size_t open = action.find('(', pos);
+  std::string kind = action.substr(pos, open == std::string::npos ? std::string::npos : open - pos);
+  std::string arg;
+  if (open != std::string::npos) {
+    if (action.back() != ')') {
+      throw std::invalid_argument("failpoint: missing ')' in '" + action + "'");
+    }
+    arg = action.substr(open + 1, action.size() - open - 2);
+  }
+  if (kind == "error") {
+    spec.kind = Kind::kError;
+    spec.message = arg;
+  } else if (kind == "delay") {
+    spec.kind = Kind::kDelay;
+    if (arg.empty()) {
+      throw std::invalid_argument("failpoint: delay needs microseconds in '" + action + "'");
+    }
+    try {
+      long long us = std::stoll(arg);
+      if (us < 0) throw std::invalid_argument("negative");
+      spec.delay_us = static_cast<std::uint32_t>(us);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("failpoint: bad delay in '" + action + "'");
+    }
+  } else if (kind == "trigger") {
+    spec.kind = Kind::kTrigger;
+  } else if (kind == "off") {
+    spec.kind = Kind::kTrigger;
+    spec.probability = 0.0;
+  } else {
+    throw std::invalid_argument("failpoint: unknown kind '" + kind + "' in '" + action + "'");
+  }
+  return spec;
+}
+
+void enable(const std::string& name, const Spec& spec) {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  Point& p = r.points[name];
+  if (!p.armed) ++r.armed_count;
+  p.spec = spec;
+  p.armed = true;
+  p.evals = 0;
+  p.fires = 0;
+  publish_armed_count(r);
+}
+
+void enable(const std::string& name, const std::string& action) {
+  enable(name, parse_spec(action));
+}
+
+bool disable(const std::string& name) {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.points.find(name);
+  if (it == r.points.end() || !it->second.armed) return false;
+  it->second.armed = false;
+  --r.armed_count;
+  publish_armed_count(r);
+  return true;
+}
+
+void disable_all() {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& [name, p] : r.points) p.armed = false;
+  r.armed_count = 0;
+  publish_armed_count(r);
+}
+
+void configure(const std::string& list) {
+  std::size_t pos = 0;
+  while (pos < list.size()) {
+    std::size_t comma = list.find(',', pos);
+    std::string entry =
+        list.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? list.size() : comma + 1;
+    // Trim surrounding whitespace.
+    std::size_t b = entry.find_first_not_of(" \t");
+    std::size_t e = entry.find_last_not_of(" \t");
+    if (b == std::string::npos) continue;
+    entry = entry.substr(b, e - b + 1);
+    std::size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("failpoint: entry missing '=' in '" + entry + "'");
+    }
+    std::string name = entry.substr(0, eq);
+    std::string action = entry.substr(eq + 1);
+    if (name.empty()) {
+      throw std::invalid_argument("failpoint: empty point name in '" + entry + "'");
+    }
+    if (action.empty() || action == "off") {
+      disable(name);
+    } else {
+      enable(name, parse_spec(action));
+    }
+  }
+}
+
+void configure_from_env() {
+  const char* env = std::getenv("VSQ_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return;
+  configure(env);
+}
+
+std::uint64_t evals(const std::string& name) {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.points.find(name);
+  return it == r.points.end() ? 0 : it->second.evals;
+}
+
+std::uint64_t fires(const std::string& name) {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.points.find(name);
+  return it == r.points.end() ? 0 : it->second.fires;
+}
+
+std::uint64_t total_fires() {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.total_fires;
+}
+
+std::vector<std::string> armed_points() {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::string> out;
+  for (const auto& [name, p] : r.points) {
+    if (p.armed) out.push_back(name);
+  }
+  return out;
+}
+
+void reseed(std::uint64_t seed) {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.rng.seed(seed);
+}
+
+ScopedFailpoint::ScopedFailpoint(std::string name, const Spec& spec) : name_(std::move(name)) {
+  Registry& r = reg();
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.points.find(name_);
+    if (it != r.points.end() && it->second.armed) {
+      had_prev_ = true;
+      prev_ = it->second.spec;
+    }
+  }
+  enable(name_, spec);
+}
+
+ScopedFailpoint::ScopedFailpoint(std::string name, const std::string& action)
+    : ScopedFailpoint(std::move(name), parse_spec(action)) {}
+
+ScopedFailpoint::~ScopedFailpoint() {
+  if (had_prev_) {
+    enable(name_, prev_);
+  } else {
+    disable(name_);
+  }
+}
+
+}  // namespace vsq::fault

@@ -1,0 +1,139 @@
+// Failpoint fault injection: named sites compiled into the production code
+// paths that do nothing until armed, then inject errors, delays, or boolean
+// triggers under a per-point policy. Modeled on the tikv/etcd failpoint
+// idiom: sites are cheap enough to leave in release builds (one relaxed
+// atomic load when no point anywhere is armed), and policies are set either
+// programmatically (tests, chaos harness) or via the VSQ_FAILPOINTS
+// environment variable (whole-process chaos without recompiling).
+//
+//   VSQ_FAILPOINT("serve.batcher.pre_forward");          // may throw
+//   if (VSQ_FAILPOINT_TRIGGERED("net.server.write.partial")) { ...torn path... }
+//
+// Policy grammar (one action per point):
+//   action   := [prob '%'] [count '*'] kind [ '(' arg ')' ]
+//   kind     := "error" | "delay" | "trigger" | "off"
+//     error(msg)   -> throw FailpointError(msg) at the site
+//     delay(us)    -> sleep us microseconds, then report triggered
+//     trigger      -> report triggered (site decides what that means)
+//   prob     := integer or decimal percentage, e.g. "25%" fires 1 in 4 evals
+//   count    := fire at most N times, e.g. "3*error"
+// Environment form: VSQ_FAILPOINTS="name=action,name2=action2".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace vsq::fault {
+
+// Thrown by an armed kError failpoint. Catchable as std::runtime_error so
+// existing error paths (batcher catch blocks, net status mapping) treat an
+// injected fault exactly like a natural one; the point name is preserved so
+// tests can assert which site fired.
+class FailpointError : public std::runtime_error {
+ public:
+  FailpointError(std::string point, const std::string& message)
+      : std::runtime_error(message), point_(std::move(point)) {}
+  const std::string& point() const { return point_; }
+
+ private:
+  std::string point_;
+};
+
+enum class Kind : std::uint8_t {
+  kError,    // throw FailpointError at the site
+  kDelay,    // sleep delay_us, then report triggered
+  kTrigger,  // report triggered; the site chooses the failure behavior
+};
+
+struct Spec {
+  Kind kind = Kind::kTrigger;
+  double probability = 1.0;      // fraction of evals that fire, (0, 1]
+  std::uint64_t max_fires = 0;   // 0 = unlimited
+  std::uint32_t delay_us = 0;    // kDelay only
+  std::string message;           // kError only; defaults to the point name
+};
+
+// Parses the action grammar above. Throws std::invalid_argument on
+// malformed input ("off" is accepted and returned as probability 0).
+Spec parse_spec(const std::string& action);
+
+// Arm `name` with the given policy. Replaces any existing policy and resets
+// the point's fire/eval counters.
+void enable(const std::string& name, const Spec& spec);
+void enable(const std::string& name, const std::string& action);
+
+// Disarm one point (returns false if it was not armed) or every point.
+bool disable(const std::string& name);
+void disable_all();
+
+// Arm a comma-separated list: "a=error,b=10%delay(500)". Entries with an
+// empty action or action "off" disarm that point.
+void configure(const std::string& list);
+
+// Load VSQ_FAILPOINTS from the environment. Called once automatically at
+// static-init time; safe and idempotent to call again.
+void configure_from_env();
+
+// Counters for assertions: how many times the site was evaluated while
+// armed, and how many of those evaluations actually fired. Zero for
+// unknown/never-armed points. Counters survive disable() until the point is
+// re-enabled.
+std::uint64_t evals(const std::string& name);
+std::uint64_t fires(const std::string& name);
+std::uint64_t total_fires();
+
+// Names of all currently armed points (for chaos-harness logging).
+std::vector<std::string> armed_points();
+
+// Reseed the RNG behind probabilistic policies so chaos runs replay
+// deterministically.
+void reseed(std::uint64_t seed);
+
+// RAII guard: arms a point for a scope and restores the previous state
+// (armed-with-old-spec or disarmed) on destruction.
+class ScopedFailpoint {
+ public:
+  ScopedFailpoint(std::string name, const Spec& spec);
+  ScopedFailpoint(std::string name, const std::string& action);
+  ~ScopedFailpoint();
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+ private:
+  std::string name_;
+  bool had_prev_ = false;
+  Spec prev_;
+};
+
+namespace detail {
+// Count of armed points; the macros collapse to one relaxed load + branch
+// when this is zero, which is the permanent state in production.
+extern std::atomic<int> g_armed;
+// Slow path: returns true if the point fired as kDelay/kTrigger, throws on
+// kError, returns false when the point is unarmed or didn't fire.
+bool eval(const char* name);
+}  // namespace detail
+
+inline bool armed() {
+  return detail::g_armed.load(std::memory_order_relaxed) != 0;
+}
+
+}  // namespace vsq::fault
+
+// Statement site: injects errors/delays; a kTrigger policy here only delays
+// accounting, not control flow.
+#define VSQ_FAILPOINT(name)                                  \
+  do {                                                       \
+    if (::vsq::fault::armed()) {                             \
+      (void)::vsq::fault::detail::eval(name);                \
+    }                                                        \
+  } while (0)
+
+// Expression site: true when the point fires as delay/trigger, so the
+// surrounding code can take an explicit failure branch (torn write, early
+// return). kError policies still throw.
+#define VSQ_FAILPOINT_TRIGGERED(name) \
+  (::vsq::fault::armed() && ::vsq::fault::detail::eval(name))

@@ -1,16 +1,27 @@
 #include "net/client.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <random>
 #include <stdexcept>
+#include <thread>
 
+#include "fault/failpoint.h"
 #include "net/socket_io.h"
 
 namespace vsq::net {
 
 NetClient::NetClient(const std::string& host, int port, int timeout_ms)
-    : fd_(connect_tcp(host, port, timeout_ms)), timeout_ms_(timeout_ms) {}
+    : host_(host), port_(port), timeout_ms_(timeout_ms) {
+  reconnect();
+}
 
-NetClient::NetClient(NetClient&& other) noexcept : fd_(other.fd_), timeout_ms_(other.timeout_ms_) {
+NetClient::NetClient(NetClient&& other) noexcept
+    : host_(std::move(other.host_)),
+      port_(other.port_),
+      fd_(other.fd_),
+      timeout_ms_(other.timeout_ms_) {
   other.fd_ = -1;
 }
 
@@ -19,6 +30,13 @@ NetClient::~NetClient() { close(); }
 void NetClient::close() {
   close_fd(fd_);
   fd_ = -1;
+}
+
+void NetClient::reconnect() {
+  close();
+  // Injected dial failure (refused / unreachable / timed-out connect).
+  VSQ_FAILPOINT("net.client.connect");
+  fd_ = connect_tcp(host_, port_, timeout_ms_);
 }
 
 ResponseFrame NetClient::read_response() {
@@ -48,7 +66,7 @@ ResponseFrame NetClient::read_response() {
 }
 
 ResponseFrame NetClient::infer(const std::string& model, const std::vector<float>& row,
-                               Priority priority) {
+                               Priority priority, std::uint32_t deadline_ms) {
   if (fd_ < 0) throw std::runtime_error("NetClient: connection is closed");
   if (model.empty() || model.size() > kMaxNameLen) {
     throw std::runtime_error("NetClient: model name length out of range");
@@ -56,12 +74,86 @@ ResponseFrame NetClient::infer(const std::string& model, const std::vector<float
   RequestFrame req;
   req.model = model;
   req.priority = priority;
+  req.deadline_ms = deadline_ms;
   req.row = row;
   const auto frame = encode_request(req);
   if (!write_full(fd_, frame.data(), frame.size(), timeout_ms_)) {
     throw std::runtime_error("NetClient: request write failed");
   }
   return read_response();
+}
+
+ResponseFrame NetClient::infer_retry(const std::string& model, const std::vector<float>& row,
+                                     Priority priority, RetryPolicy policy) {
+  const int attempts = std::max(1, policy.max_attempts);
+  const auto budget_deadline =
+      policy.total_deadline_ms > 0
+          ? std::chrono::steady_clock::now() + std::chrono::milliseconds(policy.total_deadline_ms)
+          : std::chrono::steady_clock::time_point::max();
+  std::mt19937_64 rng(policy.seed != 0 ? policy.seed : 0x7e5eedu);
+  double backoff_ms = std::max(0, policy.initial_backoff_ms);
+  std::string last_transport_error;
+
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    // Remaining budget -> this attempt's wire deadline, so the server
+    // sweeps (kShed) instead of executing work we already gave up on.
+    std::uint32_t deadline_ms = 0;
+    if (budget_deadline != std::chrono::steady_clock::time_point::max()) {
+      const auto left_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                               budget_deadline - std::chrono::steady_clock::now())
+                               .count();
+      if (left_ms <= 0) break;  // budget exhausted
+      deadline_ms = static_cast<std::uint32_t>(left_ms);
+    }
+
+    bool transport_failed = false;
+    try {
+      if (fd_ < 0) reconnect();
+      const ResponseFrame resp = infer(model, row, priority, deadline_ms);
+      // kShed/kBusy/kUnavailable: the server explicitly said "back off and
+      // try again". Everything else is definitive.
+      if (resp.status != Status::kShed && resp.status != Status::kBusy &&
+          resp.status != Status::kUnavailable) {
+        return resp;
+      }
+      if (attempt + 1 >= attempts) return resp;  // out of attempts: report it
+    } catch (const std::exception& e) {
+      // Transport failure: the connection is poisoned — drop it so the
+      // next attempt redials.
+      close();
+      transport_failed = true;
+      last_transport_error = e.what();
+      if (attempt + 1 >= attempts) break;
+    }
+    (void)transport_failed;
+
+    // Jittered exponential backoff, truncated to the remaining budget.
+    std::uniform_real_distribution<double> jit(1.0 - policy.jitter, 1.0 + policy.jitter);
+    double sleep_ms = backoff_ms * jit(rng);
+    backoff_ms = std::min(backoff_ms * std::max(1.0, policy.multiplier),
+                          static_cast<double>(std::max(1, policy.max_backoff_ms)));
+    if (budget_deadline != std::chrono::steady_clock::time_point::max()) {
+      const auto left_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                               budget_deadline - std::chrono::steady_clock::now())
+                               .count();
+      if (left_ms <= 0) break;
+      sleep_ms = std::min(sleep_ms, static_cast<double>(left_ms));
+    }
+    if (sleep_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(static_cast<std::int64_t>(sleep_ms * 1000.0)));
+    }
+  }
+  if (!last_transport_error.empty()) {
+    throw std::runtime_error("NetClient::infer_retry: all attempts failed, last transport error: " +
+                             last_transport_error);
+  }
+  // Budget ran out between backoff-status attempts: report the shed
+  // contract explicitly rather than inventing a transport failure.
+  ResponseFrame out;
+  out.status = Status::kShed;
+  out.message = "infer_retry: total deadline budget exhausted";
+  return out;
 }
 
 std::string http_get(const std::string& host, int port, const std::string& path, int timeout_ms) {

@@ -4,6 +4,7 @@
 // exception or an explicit non-kOk status, never a hang.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -11,9 +12,31 @@
 
 namespace vsq::net {
 
+// Backoff/retry contract for infer_retry: jittered exponential backoff
+// honoring the server's explicit back-off statuses (kShed, kBusy,
+// kUnavailable) and transport failures (dead connection, torn frame),
+// bounded by BOTH an attempt cap and a total-deadline budget. Definitive
+// statuses (kOk, kUnknownModel, kBadRequest, kError) return immediately —
+// retrying a malformed request or an executed-but-failed one buys nothing.
+struct RetryPolicy {
+  int max_attempts = 4;           // total tries, first included
+  int initial_backoff_ms = 10;    // sleep before attempt 2
+  int max_backoff_ms = 1000;      // exponential growth cap
+  double multiplier = 2.0;        // backoff growth per retry
+  double jitter = 0.5;            // uniform in [1-j, 1+j] scales each sleep
+  // Total wall-clock budget across all attempts and sleeps. Also sent to
+  // the server as each attempt's deadline_ms (the remaining budget), so
+  // the server sweeps rather than executes a request the client already
+  // gave up on. <= 0 = no budget (attempt cap only).
+  int total_deadline_ms = 5000;
+  std::uint64_t seed = 0;         // jitter RNG seed (reproducible tests)
+};
+
 class NetClient {
  public:
-  // Connects eagerly; throws std::runtime_error on refusal/timeout.
+  // Connects eagerly; throws std::runtime_error on refusal/timeout (the
+  // connect itself is non-blocking + poll with `timeout_ms`, so a
+  // black-holed server costs a bounded wait, never a hang).
   NetClient(const std::string& host, int port, int timeout_ms = 5000);
   ~NetClient();
 
@@ -25,18 +48,35 @@ class NetClient {
   // One request/response round trip. The returned frame's status is the
   // server's verdict (kOk row, kShed, kUnknownModel, ...); transport
   // failures (connection died, response timeout, undecodable frame)
-  // throw std::runtime_error — after which the connection is unusable.
+  // throw std::runtime_error — after which the connection is unusable
+  // until reconnect(). `deadline_ms` rides the request frame (0 = none):
+  // the server sheds rather than executes once it expires.
   ResponseFrame infer(const std::string& model, const std::vector<float>& row,
-                      Priority priority = Priority::kNormal);
+                      Priority priority = Priority::kNormal, std::uint32_t deadline_ms = 0);
+
+  // infer() + RetryPolicy: retries kShed/kBusy/kUnavailable and transport
+  // failures (reconnecting first) with jittered exponential backoff until
+  // a definitive status, the attempt cap, or the total-deadline budget.
+  // Each attempt carries the REMAINING budget as its wire deadline.
+  // Returns the last response; throws only when every attempt failed at
+  // the transport layer.
+  ResponseFrame infer_retry(const std::string& model, const std::vector<float>& row,
+                            Priority priority = Priority::kNormal, RetryPolicy policy = {});
 
   // Reads one response frame without sending anything first — for the
   // connection-cap handshake, where the server speaks first (kBusy).
   ResponseFrame read_response();
 
+  // Drop the current connection (if any) and dial host:port again.
+  // Throws like the constructor on failure.
+  void reconnect();
+
   int fd() const { return fd_; }
   void close();
 
  private:
+  std::string host_;
+  int port_;
   int fd_ = -1;
   int timeout_ms_;
 };

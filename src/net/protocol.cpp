@@ -114,6 +114,7 @@ bool parse_header(const std::uint8_t in[kHeaderBytes], std::uint32_t* body_len) 
 std::vector<std::uint8_t> encode_request(const RequestFrame& f) {
   std::vector<std::uint8_t> out(kHeaderBytes);
   out.push_back(static_cast<std::uint8_t>(f.priority));
+  put_u32(out, f.deadline_ms);
   out.push_back(static_cast<std::uint8_t>(f.model.size()));
   out.insert(out.end(), f.model.begin(), f.model.end());
   put_u32(out, static_cast<std::uint32_t>(f.row.size()));
@@ -144,6 +145,8 @@ bool decode_request(std::span<const std::uint8_t> body, RequestFrame* out, std::
   if (prio > static_cast<std::uint8_t>(Priority::kLow)) {
     return fail(err, "unknown priority value");
   }
+  std::uint32_t deadline_ms = 0;
+  if (!c.get_u32(&deadline_ms)) return fail(err, "request truncated: missing deadline");
   if (!c.get_u8(&name_len)) return fail(err, "request truncated: missing name length");
   if (name_len == 0) return fail(err, "empty model name");
   const std::uint8_t* name = nullptr;
@@ -151,6 +154,7 @@ bool decode_request(std::span<const std::uint8_t> body, RequestFrame* out, std::
   std::uint32_t n = 0;
   if (!c.get_u32(&n)) return fail(err, "request truncated: missing row length");
   out->priority = static_cast<Priority>(prio);
+  out->deadline_ms = deadline_ms;
   out->model.assign(reinterpret_cast<const char*>(name), name_len);
   if (!c.get_floats(n, &out->row)) return fail(err, "request truncated: missing row data");
   if (!c.done()) return fail(err, "trailing bytes after request body");

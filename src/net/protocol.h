@@ -6,6 +6,13 @@
 //
 // Request body   (client -> server):
 //   u8  priority        0 high, 1 normal, 2 low (admission lane)
+//   u32 deadline_ms     client latency budget in ms, relative to frame
+//                       receipt (0 = none). The server converts it to an
+//                       absolute steady-clock deadline and propagates it
+//                       into the batcher: a request whose budget expires
+//                       before its batch executes is swept out UNexecuted
+//                       and answered kShed. Relative-on-the-wire avoids
+//                       any clock agreement between client and server.
 //   u8  name_len        model name length (1..kMaxNameLen)
 //   ..  name            model name bytes
 //   u32 n               input row length in floats
@@ -56,6 +63,8 @@ const char* status_name(Status s);
 struct RequestFrame {
   std::string model;
   Priority priority = Priority::kNormal;
+  // Latency budget in ms, relative to server receipt; 0 = no deadline.
+  std::uint32_t deadline_ms = 0;
   std::vector<float> row;
 };
 

@@ -12,6 +12,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "fault/failpoint.h"
 #include "net/protocol.h"
 #include "net/socket_io.h"
 
@@ -160,6 +161,19 @@ void NetServer::accept_loop() {
     }
     const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC | SOCK_NONBLOCK);
     if (fd < 0) continue;
+    // Injected accept failure: the connection is dropped on the floor as
+    // if accept4 had failed post-handshake (client sees a reset/EOF and
+    // must handle it as a transport error, not a protocol reply).
+    bool drop = false;
+    try {
+      drop = VSQ_FAILPOINT_TRIGGERED("net.server.accept");
+    } catch (...) {
+      drop = true;  // an error-policy failpoint must not kill the accept thread
+    }
+    if (drop) {
+      close_fd(fd);
+      continue;
+    }
     accepted_.fetch_add(1);
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -169,6 +183,7 @@ void NetServer::accept_loop() {
       if (cfg_.max_connections > 0 &&
           conns_.size() >= static_cast<std::size_t>(cfg_.max_connections)) {
         busy_rejects_.fetch_add(1);
+        frames_by_status_[static_cast<std::size_t>(Status::kBusy)].fetch_add(1);
         ResponseFrame busy;
         busy.status = Status::kBusy;
         busy.message = "server at connection cap";
@@ -213,7 +228,19 @@ bool NetServer::serve_http(int fd, const std::array<char, 4>& first) {
 }
 
 void NetServer::serve_conn(Conn* conn) {
-  const int fd = conn->fd;
+  // An escaped exception (an armed error-policy failpoint included) must
+  // drop THIS connection, never the process: std::thread + uncaught throw
+  // is std::terminate.
+  try {
+    serve_conn_loop(conn->fd);
+  } catch (...) {
+    protocol_errors_.fetch_add(1);
+  }
+  linger_drain(conn->fd, 500);
+  conn->done.store(true, std::memory_order_release);
+}
+
+void NetServer::serve_conn_loop(const int fd) {
   while (!stopping_.load()) {
     // First byte of a frame may idle-wait; everything after it is a
     // started frame and runs on the (tighter) frame deadline, so a peer
@@ -244,6 +271,7 @@ void NetServer::serve_conn(Conn* conn) {
     if (!parse_header(header, &body_len)) {
       protocol_errors_.fetch_add(1);
       frames_rejected_.fetch_add(1);
+      frames_by_status_[static_cast<std::size_t>(Status::kBadRequest)].fetch_add(1);
       ResponseFrame bad;
       bad.status = Status::kBadRequest;
       bad.message = "bad magic";
@@ -254,6 +282,7 @@ void NetServer::serve_conn(Conn* conn) {
     if (body_len > cfg_.max_body_bytes) {
       protocol_errors_.fetch_add(1);
       frames_rejected_.fetch_add(1);
+      frames_by_status_[static_cast<std::size_t>(Status::kBadRequest)].fetch_add(1);
       ResponseFrame bad;
       bad.status = Status::kBadRequest;
       bad.message = "body too large: " + std::to_string(body_len) + " bytes";
@@ -261,6 +290,10 @@ void NetServer::serve_conn(Conn* conn) {
       write_full(fd, frame.data(), frame.size(), cfg_.write_timeout_ms);
       break;  // refusing to buffer it means refusing to skip it: resync by closing
     }
+    // Injected slow/failed read between header and body (delay models a
+    // trickling peer; an error policy drops the connection like a read
+    // failure would — the outer catch maps it to a protocol error).
+    VSQ_FAILPOINT("net.server.read.pre_body");
     std::vector<std::uint8_t> body(body_len);
     if (body_len > 0 && !read_full(fd, body.data(), body.size(), cfg_.frame_timeout_ms,
                                    cfg_.frame_timeout_ms)) {
@@ -274,13 +307,20 @@ void NetServer::serve_conn(Conn* conn) {
       case Status::kShed: frames_shed_.fetch_add(1); break;
       default: frames_rejected_.fetch_add(1); break;
     }
+    frames_by_status_[static_cast<std::size_t>(resp.status)].fetch_add(1);
     const auto frame = encode_response(resp);
+    // Injected torn write: send only half the frame, then drop the
+    // connection. The client must surface a clean transport error (its
+    // strict decoder rejects the truncated frame), never hang or accept
+    // partial bytes as a response.
+    if (VSQ_FAILPOINT_TRIGGERED("net.server.write.partial")) {
+      write_full(fd, frame.data(), frame.size() / 2, cfg_.write_timeout_ms);
+      break;
+    }
     if (!write_full(fd, frame.data(), frame.size(), cfg_.write_timeout_ms)) {
       break;  // peer vanished or stalled reading its own answer
     }
   }
-  linger_drain(fd, 500);
-  conn->done.store(true, std::memory_order_release);
 }
 
 ResponseFrame NetServer::handle_request(const std::vector<std::uint8_t>& body) {
@@ -305,11 +345,22 @@ ResponseFrame NetServer::handle_request(const std::vector<std::uint8_t>& body) {
   Tensor input(Shape{static_cast<std::int64_t>(req.row.size())});
   std::memcpy(input.data(), req.row.data(), req.row.size() * sizeof(float));
 
+  // Wire deadline -> absolute steady-clock deadline at receipt. Relative
+  // on the wire, so no client/server clock agreement is needed.
+  const auto deadline = req.deadline_ms > 0
+                            ? std::chrono::steady_clock::now() +
+                                  std::chrono::milliseconds(req.deadline_ms)
+                            : std::chrono::steady_clock::time_point::max();
+
   std::future<Tensor> fut;
   try {
-    fut = sess->submit(input, req.priority);
+    fut = sess->submit(input, req.priority, deadline);
   } catch (const QueueFullError& e) {
     resp.status = Status::kShed;
+    resp.message = e.what();
+    return resp;
+  } catch (const DeadlineExpiredError& e) {
+    resp.status = Status::kShed;  // expired at the door: shed, never ran
     resp.message = e.what();
     return resp;
   } catch (const std::invalid_argument& e) {
@@ -323,12 +374,25 @@ ResponseFrame NetServer::handle_request(const std::vector<std::uint8_t>& body) {
   }
 
   try {
-    // Safe to block: the batcher resolves every accepted promise, even
-    // through shutdown's drain.
+    // Safe to block: the batcher resolves every accepted promise — even
+    // through shutdown's drain, and a dead worker's abandoned promises
+    // break (std::future_error below) rather than hang.
     Tensor y = fut.get();
     const auto n = static_cast<std::size_t>(y.numel());
     resp.row.assign(y.data(), y.data() + n);
     resp.status = Status::kOk;
+  } catch (const DeadlineExpiredError& e) {
+    // Swept out of the batch unexecuted: same contract as an admission
+    // shed from the client's point of view.
+    resp.status = Status::kShed;
+    resp.message = e.what();
+  } catch (const UnavailableError& e) {
+    resp.status = Status::kUnavailable;  // worker failed over; may retry
+    resp.message = e.what();
+  } catch (const std::future_error&) {
+    // Broken promise: the serving worker died holding this request.
+    resp.status = Status::kUnavailable;
+    resp.message = "serving worker died mid-request";
   } catch (const std::exception& e) {
     resp.status = Status::kError;  // accepted but the batch threw
     resp.message = e.what();
@@ -347,7 +411,13 @@ std::string NetServer::stats_json() const {
      << ",\"frames_rejected\":" << frames_rejected()
      << ",\"protocol_errors\":" << protocol_errors()
      << ",\"http_requests\":" << http_requests()
-     << "},\"models\":[";
+     << ",\"frames_by_status\":{";
+  for (int s = 0; s <= static_cast<int>(Status::kBusy); ++s) {
+    if (s) os << ',';
+    os << '"' << status_name(static_cast<Status>(s))
+       << "\":" << frames_by_status(static_cast<Status>(s));
+  }
+  os << "}},\"models\":[";
   bool first = true;
   for (const RegistryModelStats& m : registry_.stats_all()) {
     if (!first) os << ",";

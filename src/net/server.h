@@ -75,6 +75,13 @@ class NetServer {
   // body, undecodable or half-delivered frames, stalled peers.
   std::uint64_t protocol_errors() const { return protocol_errors_.load(); }
   std::uint64_t http_requests() const { return http_requests_.load(); }
+  // Exact per-status response ledger: frames_by_status(s) counts every
+  // response frame sent with status s (kOk..kBusy; busy frames sent at
+  // the connection cap included). Tests assert this against the client's
+  // own tally — the taxonomy must account for every frame, no "other".
+  std::uint64_t frames_by_status(Status s) const {
+    return frames_by_status_[static_cast<std::size_t>(s)].load();
+  }
   std::size_t active_connections() const;
 
   // The /stats payload: server counters + per-model ServeStatsSnapshots.
@@ -89,6 +96,9 @@ class NetServer {
 
   void accept_loop();
   void serve_conn(Conn* conn);
+  // Frame loop for one connection; may throw (failpoints) — serve_conn
+  // catches so a thread never escapes an exception.
+  void serve_conn_loop(int fd);
   bool serve_http(int fd, const std::array<char, 4>& first);
   // Decode + route + execute one request; never throws — every failure
   // mode is a Status on the response frame.
@@ -112,6 +122,8 @@ class NetServer {
   std::atomic<std::uint64_t> frames_rejected_{0};
   std::atomic<std::uint64_t> protocol_errors_{0};
   std::atomic<std::uint64_t> http_requests_{0};
+  // Index = wire Status value (kOk=0 .. kBusy=6).
+  std::array<std::atomic<std::uint64_t>, 7> frames_by_status_{};
 };
 
 }  // namespace vsq::net

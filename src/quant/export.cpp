@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "fault/failpoint.h"
 #include "nn/conv2d.h"
 #include "quant/int_conv.h"
 #include "quant/int_gemm.h"
@@ -338,6 +339,9 @@ void QuantizedModelPackage::save(const std::string& path, bool pack_weights) con
 
 QuantizedModelPackage QuantizedModelPackage::load(const std::string& path) {
   const Archive a = Archive::load(path);
+  // Simulates a validation failure after the archive itself parsed — the
+  // window where hot reload has real bytes but a semantically bad model.
+  VSQ_FAILPOINT("package.load.validate");
   QuantizedModelPackage pkg;
   std::vector<std::pair<std::size_t, ForwardStep>> prog;
   for (const std::string& entry : a.names()) {

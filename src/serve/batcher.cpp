@@ -3,7 +3,18 @@
 #include <algorithm>
 #include <cstring>
 
+#include "fault/failpoint.h"
+
 namespace vsq {
+namespace {
+
+std::int64_t now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 DynamicBatcher::DynamicBatcher(RequestQueue& queue, BatchFn fn, std::int64_t in_features,
                                BatcherConfig cfg, ServeStats& stats, ResultHook on_result)
@@ -15,6 +26,7 @@ DynamicBatcher::DynamicBatcher(RequestQueue& queue, BatchFn fn, std::int64_t in_
       on_result_(std::move(on_result)) {
   if (cfg_.max_batch < 1) cfg_.max_batch = 1;
   if (cfg_.max_wait_us < 0) cfg_.max_wait_us = 0;
+  heartbeat_us_.store(now_us(), std::memory_order_release);
   worker_ = std::thread([this] { run(); });
   if (cfg_.warmup) {
     // Block until the worker's warmup forward finished: the session is
@@ -28,11 +40,37 @@ DynamicBatcher::DynamicBatcher(RequestQueue& queue, BatchFn fn, std::int64_t in_
 DynamicBatcher::~DynamicBatcher() { stop(); }
 
 void DynamicBatcher::stop() {
-  queue_.close();
+  if (close_queue_on_stop_.load(std::memory_order_acquire)) queue_.close();
   if (worker_.joinable()) worker_.join();
 }
 
+void DynamicBatcher::retire() { close_queue_on_stop_.store(false, std::memory_order_release); }
+
+void DynamicBatcher::join_dead() {
+  if (worker_.joinable()) worker_.join();
+}
+
+std::chrono::microseconds DynamicBatcher::heartbeat_age() const {
+  return std::chrono::microseconds(
+      std::max<std::int64_t>(0, now_us() - heartbeat_us_.load(std::memory_order_acquire)));
+}
+
+void DynamicBatcher::beat() { heartbeat_us_.store(now_us(), std::memory_order_release); }
+
 void DynamicBatcher::run() {
+  // Nothing the worker does may escape as an unhandled exception (that
+  // would terminate the process) — an escaped throw marks the worker dead
+  // and the session watchdog restarts it. Promises still held by popped
+  // requests break on unwind, delivering std::future_error to waiters.
+  try {
+    run_loop();
+  } catch (...) {
+  }
+  busy_.store(false, std::memory_order_release);
+  dead_.store(true, std::memory_order_release);
+}
+
+void DynamicBatcher::run_loop() {
   if (cfg_.warmup) {
     // Touch every allocation the steady state needs (packing buffers in
     // this thread's ScratchArena, the output tensor) before the first
@@ -49,10 +87,57 @@ void DynamicBatcher::run() {
     warm_cv_.notify_all();
   }
   for (;;) {
+    beat();
     std::vector<Request> batch =
         queue_.pop_batch(static_cast<std::size_t>(cfg_.max_batch),
                          std::chrono::microseconds(cfg_.max_wait_us));
     if (batch.empty()) return;  // queue closed and drained
+
+    busy_.store(true, std::memory_order_release);
+    beat();
+
+    // Injected worker death: return while still holding the popped batch.
+    // The requests' promises break on destruction (std::future_error /
+    // broken_promise at the waiters), exactly like a crashed thread, and
+    // the watchdog sees dead() with an open queue.
+    if (VSQ_FAILPOINT_TRIGGERED("serve.batcher.worker_exit")) {
+      busy_.store(false, std::memory_order_release);
+      dead_.store(true, std::memory_order_release);
+      return;
+    }
+    // Injected stall (delay policy): the worker wedges here, heartbeat
+    // stale, busy set — the watchdog's stalled-worker signal.
+    VSQ_FAILPOINT("serve.batcher.worker_stall");
+
+    // Deadline sweep: resolve already-expired requests as shed WITHOUT
+    // executing them. When the whole batch expired no forward runs at all
+    // (and no batch is recorded — `batches` counts executed passes).
+    const auto sweep_now = std::chrono::steady_clock::now();
+    std::size_t expired = 0;
+    for (const Request& r : batch) {
+      if (r.deadline <= sweep_now) ++expired;
+    }
+    if (expired > 0) {
+      // Count BEFORE resolving the promises: a waiter that observes the
+      // exception must also observe the stat (exact-ledger tests race us
+      // from the moment their future throws).
+      stats_.record_deadline_expired(expired);
+      std::size_t kept = 0;
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (batch[i].deadline <= sweep_now) {
+          batch[i].promise.set_exception(std::make_exception_ptr(
+              DeadlineExpiredError("DynamicBatcher: deadline expired before execution")));
+        } else {
+          if (kept != i) batch[kept] = std::move(batch[i]);
+          ++kept;
+        }
+      }
+      batch.resize(kept);
+      if (batch.empty()) {
+        busy_.store(false, std::memory_order_release);
+        continue;
+      }
+    }
 
     const auto rows = static_cast<std::int64_t>(batch.size());
     Tensor x(Shape{rows, in_features_});
@@ -63,6 +148,9 @@ void DynamicBatcher::run() {
 
     Tensor y;
     try {
+      // Injected batch-fn failure: flows through the same catch as a real
+      // forward-pass throw (errors counted, promises carry the exception).
+      VSQ_FAILPOINT("serve.batcher.pre_forward");
       y = fn_(x);
     } catch (...) {
       // The failed batch still counts as an executed batch; its requests
@@ -72,6 +160,7 @@ void DynamicBatcher::run() {
       stats_.record_batch(batch.size());
       stats_.record_errors(batch.size());
       for (Request& r : batch) r.promise.set_exception(err);
+      busy_.store(false, std::memory_order_release);
       continue;
     }
 
@@ -95,6 +184,7 @@ void DynamicBatcher::run() {
       }
       req.promise.set_value(std::move(row));
     }
+    busy_.store(false, std::memory_order_release);
   }
 }
 

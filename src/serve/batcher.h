@@ -8,6 +8,8 @@
 // cost nothing per batch OR per request).
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -50,10 +52,36 @@ class DynamicBatcher {
   DynamicBatcher& operator=(const DynamicBatcher&) = delete;
 
   // Close the queue and join the worker after it drains. Idempotent.
+  // A retired batcher (see retire()) skips the close — the replacement
+  // still owns the shared queue.
   void stop();
+
+  // --- Watchdog surface (InferenceSession health monitoring) ---------
+  // The worker thread has exited — normally (queue closed and drained) or
+  // abnormally (escaped exception, injected worker death). A dead worker
+  // with an open queue is the watchdog's restart signal.
+  bool dead() const { return dead_.load(std::memory_order_acquire); }
+  // The worker is inside the batch function right now. Combined with a
+  // stale heartbeat this distinguishes "stalled in forward" from "idle
+  // waiting for requests" (the heartbeat only updates around pop/forward).
+  bool busy() const { return busy_.load(std::memory_order_acquire); }
+  // Time since the worker last proved liveness (before blocking in
+  // pop_batch and after every batch). Large + busy() -> stalled.
+  std::chrono::microseconds heartbeat_age() const;
+  // Detach this batcher from queue ownership: stop()/destruction will no
+  // longer close the shared queue. Used when the watchdog replaces a
+  // stalled worker it cannot join — the zombie is parked and reaped at
+  // shutdown (join blocks until the stuck call returns, so a permanently
+  // wedged forward holds shutdown; bounded stalls recover cleanly).
+  void retire();
+  // Join a dead worker WITHOUT closing the queue, so a replacement
+  // batcher can keep serving the same queue. Only call when dead().
+  void join_dead();
 
  private:
   void run();
+  void run_loop();
+  void beat();
 
   RequestQueue& queue_;
   BatchFn fn_;
@@ -64,6 +92,10 @@ class DynamicBatcher {
   std::mutex warm_mu_;
   std::condition_variable warm_cv_;
   bool warmed_ = false;
+  std::atomic<bool> dead_{false};
+  std::atomic<bool> busy_{false};
+  std::atomic<bool> close_queue_on_stop_{true};
+  std::atomic<std::int64_t> heartbeat_us_{0};  // steady_clock, us since epoch
   std::thread worker_;
 };
 

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "fault/failpoint.h"
 #include "util/table.h"
 
 namespace vsq {
@@ -37,6 +38,8 @@ ServeStatsSnapshot merge_snapshots(ServeStatsSnapshot a, const ServeStatsSnapsho
   a.cache_hits += b.cache_hits;
   a.errors += b.errors;
   a.shed += b.shed;
+  a.deadline_expired += b.deadline_expired;
+  a.worker_restarts += b.worker_restarts;
   // Queue depth is a point-in-time gauge; retired/drained windows carry 0,
   // so summing reports exactly the live backlog.
   a.queue_depth += b.queue_depth;
@@ -137,6 +140,12 @@ bool ModelRegistry::unload(const std::string& name) {
     // drain can take as long as the queued work) — only routing stops.
     draining_[name].push_back(victim);
   }
+  drain_and_retire(name, victim);
+  return true;
+}
+
+void ModelRegistry::drain_and_retire(const std::string& name,
+                                     const std::shared_ptr<InferenceSession>& victim) {
   // Drain outside the lock: shutdown() blocks until the queue is empty and
   // the batcher joined, and routing to other models must continue
   // meanwhile. Clients that pinned the session via session() can still
@@ -160,7 +169,51 @@ bool ModelRegistry::unload(const std::string& name) {
       it->second = merge_snapshots(it->second, last);
     }
   }
-  return true;
+}
+
+void ModelRegistry::reload(const std::string& name, QuantizedModelPackage pkg) {
+  reload(name, std::move(pkg), default_cfg_);
+}
+
+void ModelRegistry::reload(const std::string& name, QuantizedModelPackage pkg,
+                           const ServeConfig& cfg) {
+  // Rollback-safe hot reload: the REPLACEMENT session is fully constructed
+  // (runner built, batcher warmed) before the old one leaves routing. Any
+  // failure up to the swap — construction throw, injected fault — leaves
+  // the old session serving untouched; there is no unloaded gap like the
+  // unload-then-load idiom has. A name that is not currently serving
+  // degrades to a plain load, so reload is also the crash-safe way to
+  // (re)install a model unconditionally.
+  auto replacement = std::make_shared<InferenceSession>(std::move(pkg), cfg);
+  // Simulates a failure after the expensive construction but before the
+  // swap (the last instant rollback must still hold).
+  try {
+    VSQ_FAILPOINT("serve.registry.reload");
+  } catch (...) {
+    replacement->shutdown();
+    throw;
+  }
+  std::shared_ptr<InferenceSession> old;
+  {
+    std::unique_lock lock(mu_);
+    auto& slot = sessions_[name];
+    old = std::move(slot);
+    slot = replacement;
+    if (old) draining_[name].push_back(old);
+  }
+  if (old) drain_and_retire(name, old);
+}
+
+void ModelRegistry::reload_file(const std::string& name, const std::string& path) {
+  reload_file(name, path, default_cfg_);
+}
+
+void ModelRegistry::reload_file(const std::string& name, const std::string& path,
+                                const ServeConfig& cfg) {
+  // QuantizedModelPackage::load throws on corrupt/invalid archives BEFORE
+  // any registry state changes — the old model keeps serving through a
+  // failed reload, which is the load_file rollback contract.
+  reload(name, QuantizedModelPackage::load(path), cfg);
 }
 
 bool ModelRegistry::contains(const std::string& name) const {
@@ -280,30 +333,35 @@ std::vector<RegistryModelStats> ModelRegistry::stats_all() const {
 void ModelRegistry::print_stats(std::ostream& os) const {
   const std::vector<RegistryModelStats> all = stats_all();
   Table t({"Model", "Requests", "Batches", "Mean batch", "Cache hits", "Errors", "Shed",
-           "Queue", "Throughput r/s", "p50 us", "p95 us", "p99 us", "Packed wt KiB"});
-  std::uint64_t requests = 0, batches = 0, hits = 0, errors = 0, shed = 0, queued = 0,
-                packed = 0;
+           "Expired", "Restarts", "Queue", "Throughput r/s", "p50 us", "p95 us", "p99 us",
+           "Packed wt KiB"});
+  std::uint64_t requests = 0, batches = 0, hits = 0, errors = 0, shed = 0, expired = 0,
+                restarts = 0, queued = 0, packed = 0;
   double rps = 0.0;
   for (const RegistryModelStats& m : all) {
     const ServeStatsSnapshot& s = m.serve;
     t.add_row({m.name, std::to_string(s.requests), std::to_string(s.batches),
                Table::num(s.mean_batch, 2), std::to_string(s.cache_hits),
-               std::to_string(s.errors), std::to_string(s.shed), std::to_string(s.queue_depth),
-               Table::num(s.throughput_rps, 1), Table::num(s.p50_us, 1),
-               Table::num(s.p95_us, 1), Table::num(s.p99_us, 1),
+               std::to_string(s.errors), std::to_string(s.shed),
+               std::to_string(s.deadline_expired), std::to_string(s.worker_restarts),
+               std::to_string(s.queue_depth), Table::num(s.throughput_rps, 1),
+               Table::num(s.p50_us, 1), Table::num(s.p95_us, 1), Table::num(s.p99_us, 1),
                Table::num(static_cast<double>(s.packed_weight_bytes) / 1024.0, 1)});
     requests += s.requests;
     batches += s.batches;
     hits += s.cache_hits;
     errors += s.errors;
     shed += s.shed;
+    expired += s.deadline_expired;
+    restarts += s.worker_restarts;
     queued += s.queue_depth;
     rps += s.throughput_rps;
     packed += s.packed_weight_bytes;
   }
   t.add_row({"TOTAL", std::to_string(requests), std::to_string(batches), "-",
              std::to_string(hits), std::to_string(errors), std::to_string(shed),
-             std::to_string(queued), Table::num(rps, 1), "-", "-", "-",
+             std::to_string(expired), std::to_string(restarts), std::to_string(queued),
+             Table::num(rps, 1), "-", "-", "-",
              Table::num(static_cast<double>(packed) / 1024.0, 1)});
   t.print(os);
 }

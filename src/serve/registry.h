@@ -65,6 +65,18 @@ class ModelRegistry {
   // the name is not serving (nothing happens).
   bool unload(const std::string& name);
 
+  // Rollback-safe hot reload: build a replacement session for `name`, swap
+  // it into routing only once fully constructed, then drain + retire the
+  // old one. On ANY failure before the swap (corrupt archive, validation
+  // error, injected fault) the old model keeps serving untouched and the
+  // exception propagates — there is never an unloaded gap, unlike the
+  // unload-then-load idiom. A name not currently serving degrades to a
+  // plain load.
+  void reload(const std::string& name, QuantizedModelPackage pkg);
+  void reload(const std::string& name, QuantizedModelPackage pkg, const ServeConfig& cfg);
+  void reload_file(const std::string& name, const std::string& path);
+  void reload_file(const std::string& name, const std::string& path, const ServeConfig& cfg);
+
   bool contains(const std::string& name) const;
   std::size_t size() const;
   std::vector<std::string> models() const;  // sorted names
@@ -97,6 +109,10 @@ class ModelRegistry {
 
  private:
   std::shared_ptr<InferenceSession> find(const std::string& name) const;
+  // Shared tail of unload()/reload(): drain the session outside the lock,
+  // then publish its final snapshot into retired_.
+  void drain_and_retire(const std::string& name,
+                        const std::shared_ptr<InferenceSession>& victim);
 
   ServeConfig default_cfg_;
   mutable std::shared_mutex mu_;

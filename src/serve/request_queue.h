@@ -35,6 +35,10 @@ struct Request {
   Tensor input;  // [1, in_features]
   std::promise<Tensor> promise;
   std::chrono::steady_clock::time_point enqueue_time;
+  // Client deadline: the batcher sweeps requests whose deadline has passed
+  // out of each popped batch and resolves them with DeadlineExpiredError
+  // WITHOUT executing them. max() = no deadline.
+  std::chrono::steady_clock::time_point deadline = std::chrono::steady_clock::time_point::max();
   std::string cache_key;  // non-empty -> result goes into the session cache
 };
 
@@ -47,6 +51,24 @@ enum class PushStatus { kOk, kFull, kClosed };
 // callers can tell "server says no, retry later / lower the rate" apart
 // from the generic shutdown std::runtime_error.
 class QueueFullError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Carried by a request's future (or thrown straight from submit) when its
+// deadline passed before the model ran: the request was shed, not executed.
+// The wire front-end maps this to Status::kShed like an admission shed —
+// from the client's side both mean "the server declined, nothing ran".
+class DeadlineExpiredError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Carried by a request's future when the serving worker died with the
+// request pending and the watchdog (or shutdown) failed it over: the
+// request MAY not have executed and MAY be retried. The wire front-end
+// maps this to Status::kUnavailable.
+class UnavailableError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
 };

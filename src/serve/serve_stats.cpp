@@ -74,6 +74,16 @@ void ServeStats::record_shed() {
   ++shed_;
 }
 
+void ServeStats::record_deadline_expired(std::uint64_t n) {
+  std::lock_guard lock(mu_);
+  deadline_expired_ += n;
+}
+
+void ServeStats::record_worker_restart() {
+  std::lock_guard lock(mu_);
+  ++worker_restarts_;
+}
+
 ServeStatsSnapshot ServeStats::snapshot() const {
   std::vector<double> lat;
   ServeStatsSnapshot s;
@@ -86,6 +96,8 @@ ServeStatsSnapshot ServeStats::snapshot() const {
     s.cache_hits = cache_hits_;
     s.errors = errors_;
     s.shed = shed_;
+    s.deadline_expired = deadline_expired_;
+    s.worker_restarts = worker_restarts_;
     if (requests_ > 0) {
       s.mean_us = latency_sum_us_ / static_cast<double>(requests_);
       s.max_us = latency_max_us_;
@@ -118,10 +130,12 @@ double mean_batch_from_hist(const std::vector<std::uint64_t>& hist, std::uint64_
 }
 
 void ServeStatsSnapshot::print_table(std::ostream& os) const {
-  Table t({"Requests", "Batches", "Mean batch", "Cache hits", "Errors", "Shed", "Queue",
-           "Throughput r/s", "p50 us", "p95 us", "p99 us", "max us", "Packed wt KiB"});
+  Table t({"Requests", "Batches", "Mean batch", "Cache hits", "Errors", "Shed", "Expired",
+           "Restarts", "Queue", "Throughput r/s", "p50 us", "p95 us", "p99 us", "max us",
+           "Packed wt KiB"});
   t.add_row({std::to_string(requests), std::to_string(batches), Table::num(mean_batch, 2),
              std::to_string(cache_hits), std::to_string(errors), std::to_string(shed),
+             std::to_string(deadline_expired), std::to_string(worker_restarts),
              std::to_string(queue_depth), Table::num(throughput_rps, 1), Table::num(p50_us, 1),
              Table::num(p95_us, 1), Table::num(p99_us, 1), Table::num(max_us, 1),
              Table::num(static_cast<double>(packed_weight_bytes) / 1024.0, 1)});
@@ -133,6 +147,7 @@ std::string ServeStatsSnapshot::json() const {
   os.precision(6);
   os << "{\"requests\":" << requests << ",\"batches\":" << batches
      << ",\"cache_hits\":" << cache_hits << ",\"errors\":" << errors << ",\"shed\":" << shed
+     << ",\"deadline_expired\":" << deadline_expired << ",\"worker_restarts\":" << worker_restarts
      << ",\"queue_depth\":" << queue_depth << ",\"wall_seconds\":" << wall_seconds
      << ",\"window_start_s\":" << window_start_s << ",\"window_end_s\":" << window_end_s
      << ",\"throughput_rps\":" << throughput_rps << ",\"mean_batch\":" << mean_batch

@@ -33,6 +33,14 @@ struct ServeStatsSnapshot {
   // Requests rejected by admission control (queue full within the
   // caller's deadline) — shed load, never enqueued, never a row.
   std::uint64_t shed = 0;
+  // Requests whose client deadline had already passed when the batcher
+  // popped them (or at submit): swept out of the batch and resolved as
+  // shed WITHOUT executing a forward pass — wasted work eliminated, not
+  // just reported. Disjoint from `shed` (those never enqueued) and from
+  // `requests`/`errors` (no row, no exception from the model).
+  std::uint64_t deadline_expired = 0;
+  // Times the session watchdog replaced a dead or stalled batcher worker.
+  std::uint64_t worker_restarts = 0;
   // Queue depth gauge sampled at snapshot time (requests admitted but not
   // yet popped by the batcher). A point-in-time reading, not a counter;
   // cross-reload merges sum it (drained windows contribute 0).
@@ -91,6 +99,10 @@ class ServeStats {
   void record_errors(std::uint64_t failed_requests);
   // Admission control rejected a request (queue full): shed load.
   void record_shed();
+  // `n` requests were swept unexecuted because their deadline had passed.
+  void record_deadline_expired(std::uint64_t n);
+  // The watchdog replaced a dead/stalled batcher worker.
+  void record_worker_restart();
 
   ServeStatsSnapshot snapshot() const;
 
@@ -106,6 +118,7 @@ class ServeStats {
   double latency_max_us_ = 0.0;   // requests, window-independent
   std::vector<std::uint64_t> batch_hist_;
   std::uint64_t batches_ = 0, cache_hits_ = 0, errors_ = 0, shed_ = 0;
+  std::uint64_t deadline_expired_ = 0, worker_restarts_ = 0;
   bool started_ = false;
   std::chrono::steady_clock::time_point first_, last_;
 };

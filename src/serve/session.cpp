@@ -17,17 +17,12 @@ InferenceSession::InferenceSession(QuantizedModelPackage pkg, ServeConfig cfg)
   for (const auto& [name, prim] : runner_.primitives()) {
     packed_weight_bytes_ += static_cast<std::uint64_t>(prim.resident_bytes());
   }
-  BatcherConfig bc;
-  bc.max_batch = cfg_.max_batch;
-  bc.max_wait_us = cfg_.max_wait_us;
-  bc.warmup = cfg_.warmup;
-  DynamicBatcher::ResultHook hook;
   if (cfg_.cache_entries > 0) {
     // Cache entries store input || output: the key is only a 64-bit hash,
     // so hits re-verify the input bytes before trusting the stored row —
     // a collision degrades to a miss, never to a wrong answer.
-    hook = [this](const std::string& key, std::span<const float> input,
-                  std::span<const float> output) {
+    result_hook_ = [this](const std::string& key, std::span<const float> input,
+                          std::span<const float> output) {
       std::vector<float> entry;
       entry.reserve(input.size() + output.size());
       entry.insert(entry.end(), input.begin(), input.end());
@@ -35,9 +30,8 @@ InferenceSession::InferenceSession(QuantizedModelPackage pkg, ServeConfig cfg)
       cache_.put(key, std::move(entry));
     };
   }
-  DynamicBatcher::BatchFn batch_fn;
   if (cfg_.collect_datapath_stats) {
-    batch_fn = [this](const Tensor& batch) {
+    batch_fn_ = [this](const Tensor& batch) {
       IntGemmStats local;
       Tensor y = runner_.forward(batch, &local);
       std::lock_guard lock(gemm_stats_mu_);
@@ -50,19 +44,109 @@ InferenceSession::InferenceSession(QuantizedModelPackage pkg, ServeConfig cfg)
       return y;
     };
   } else {
-    batch_fn = [this](const Tensor& batch) { return runner_.forward(batch); };
+    batch_fn_ = [this](const Tensor& batch) { return runner_.forward(batch); };
   }
-  batcher_ = std::make_unique<DynamicBatcher>(queue_, std::move(batch_fn), runner_.in_features(),
-                                              bc, stats_, std::move(hook));
+  batcher_ = make_batcher(cfg_.warmup);
+  if (cfg_.watchdog) {
+    watchdog_ = std::thread([this] { watchdog_loop(); });
+  }
+}
+
+std::unique_ptr<DynamicBatcher> InferenceSession::make_batcher(bool warmup) {
+  BatcherConfig bc;
+  bc.max_batch = cfg_.max_batch;
+  bc.max_wait_us = cfg_.max_wait_us;
+  bc.warmup = warmup;
+  return std::make_unique<DynamicBatcher>(queue_, batch_fn_, runner_.in_features(), bc, stats_,
+                                          result_hook_);
 }
 
 InferenceSession::~InferenceSession() { shutdown(); }
 
 void InferenceSession::shutdown() {
+  // Stop the watchdog FIRST so it cannot race batcher replacement with
+  // teardown; then stop the active batcher (closes the queue, drains,
+  // joins) and reap any parked zombies (their run loops exit once the
+  // stuck call returns and they observe the closed queue).
+  {
+    std::lock_guard lock(watchdog_mu_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
+
+  std::lock_guard lock(batcher_mu_);
   if (batcher_) batcher_->stop();
+  // A restart-budget fail-over may have left promises in the closed
+  // queue; shutdown must not strand them either.
+  fail_over_pending();
+  for (auto& z : zombies_) z->stop();  // retired: joins without re-closing
+  zombies_.clear();
 }
 
-std::future<Tensor> InferenceSession::submit(const Tensor& input, Priority priority) {
+void InferenceSession::fail_over_pending() {
+  // Only meaningful once the queue is closed (pop_batch never blocks
+  // then): drain whatever was admitted and fail it with a typed status.
+  if (!queue_.closed()) return;
+  for (;;) {
+    std::vector<Request> pending = queue_.pop_batch(64, std::chrono::microseconds(0));
+    if (pending.empty()) return;
+    stats_.record_errors(pending.size());
+    for (Request& r : pending) {
+      r.promise.set_exception(std::make_exception_ptr(
+          UnavailableError("InferenceSession: serving worker unavailable")));
+    }
+  }
+}
+
+void InferenceSession::watchdog_loop() {
+  for (;;) {
+    {
+      std::unique_lock lock(watchdog_mu_);
+      watchdog_cv_.wait_for(lock, std::chrono::milliseconds(cfg_.watchdog_interval_ms),
+                            [this] { return watchdog_stop_; });
+      if (watchdog_stop_) return;
+    }
+    std::lock_guard lock(batcher_mu_);
+    if (!batcher_ || queue_.closed()) continue;
+
+    const bool worker_dead = batcher_->dead();
+    const bool worker_stalled =
+        !worker_dead && batcher_->busy() &&
+        batcher_->heartbeat_age() > std::chrono::milliseconds(cfg_.stall_timeout_ms);
+    if (!worker_dead && !worker_stalled) continue;
+
+    if (restarts_used_ >= cfg_.max_worker_restarts) {
+      // Budget exhausted: the worker is crash-looping (poisoned model,
+      // deterministic fault). Fail the session over instead of burning
+      // CPU on restarts — pending and future requests get a typed error.
+      queue_.close();
+      fail_over_pending();
+      batcher_->retire();  // queue already closed; don't double-close
+      zombies_.push_back(std::move(batcher_));
+      continue;
+    }
+    ++restarts_used_;
+    stats_.record_worker_restart();
+    batcher_->retire();
+    if (worker_dead) {
+      // Exited thread: join it and let the replacement own the queue.
+      batcher_->join_dead();
+      batcher_.reset();
+    } else {
+      // Stalled thread: unjoinable until the stuck call returns. Park it;
+      // pending promises it holds break (std::future_error) if it ever
+      // unwinds, and shutdown reaps it. The replacement serves the queue
+      // immediately (pop_batch is mutex-guarded, two poppers are safe).
+      zombies_.push_back(std::move(batcher_));
+    }
+    // No warmup: the arena cost was paid once; restart must be fast.
+    batcher_ = make_batcher(/*warmup=*/false);
+  }
+}
+
+std::future<Tensor> InferenceSession::submit(const Tensor& input, Priority priority,
+                                             std::chrono::steady_clock::time_point deadline) {
   const std::int64_t d = runner_.in_features();
   const Shape& s = input.shape();
   const bool ok = (s.rank() == 1 && s[0] == d) || (s.rank() == 2 && s[0] == 1 && s[1] == d);
@@ -72,10 +156,17 @@ std::future<Tensor> InferenceSession::submit(const Tensor& input, Priority prior
   }
   stats_.mark_start();
   const auto t0 = std::chrono::steady_clock::now();
+  if (deadline <= t0) {
+    // Already hopeless at the door: same contract as the batcher sweep
+    // (shed unexecuted), surfaced synchronously.
+    stats_.record_deadline_expired(1);
+    throw DeadlineExpiredError("InferenceSession::submit: deadline already expired");
+  }
 
   Request req;
   req.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   req.enqueue_time = t0;
+  req.deadline = deadline;
   if (cfg_.cache_entries > 0) {
     req.cache_key = blob_key(input.span());
     if (auto hit = cache_.get(req.cache_key)) {

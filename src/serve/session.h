@@ -13,8 +13,13 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <future>
 #include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 #include "quant/export.h"
 #include "serve/batcher.h"
@@ -65,6 +70,20 @@ struct ServeConfig {
   // Latency samples retained for percentile estimation (bounded sliding
   // window; memory per session is flat in request count).
   std::size_t latency_window = ServeStats::kDefaultLatencyWindow;
+  // Batcher watchdog: a monitor thread that detects a dead worker (thread
+  // exited with the queue still open — escaped exception, injected death)
+  // or a stalled one (busy in the forward pass with a stale heartbeat)
+  // and replaces it, so one poisoned batch cannot take the session down.
+  bool watchdog = true;
+  int watchdog_interval_ms = 100;  // health-check cadence
+  // busy + no heartbeat for this long -> stalled. Generous by default:
+  // a legitimate huge batch on a slow machine must not trip it.
+  int stall_timeout_ms = 5000;
+  // Worker replacements before the watchdog gives up and fails the
+  // session over: the queue closes and every pending request's promise
+  // carries UnavailableError. Guards against a deterministically
+  // poisoned model crash-looping the worker forever.
+  int max_worker_restarts = 3;
 };
 
 class InferenceSession {
@@ -84,7 +103,15 @@ class InferenceSession {
   // admission control sheds the request (bounded queue full within
   // cfg.admission_timeout_us — never thrown with the default blocking
   // admission). `priority` picks the admission lane (see Priority).
-  std::future<Tensor> submit(const Tensor& input, Priority priority = Priority::kNormal);
+  //
+  // `deadline` (steady clock, max() = none) propagates into the batcher:
+  // a request whose deadline passes before its batch executes is swept
+  // out unexecuted and its future carries DeadlineExpiredError (counted
+  // as deadline_expired, the wire maps it to kShed). A deadline that has
+  // already passed at submit throws DeadlineExpiredError directly.
+  std::future<Tensor> submit(
+      const Tensor& input, Priority priority = Priority::kNormal,
+      std::chrono::steady_clock::time_point deadline = std::chrono::steady_clock::time_point::max());
 
   // Blocking convenience: submit + get.
   Tensor infer(const Tensor& input, Priority priority = Priority::kNormal);
@@ -108,6 +135,12 @@ class InferenceSession {
   IntGemmStats datapath_stats() const;
 
  private:
+  std::unique_ptr<DynamicBatcher> make_batcher(bool warmup);
+  void watchdog_loop();
+  // Restart-budget exhausted (or shutdown): close the queue and fail every
+  // still-pending request with UnavailableError.
+  void fail_over_pending();
+
   QuantizedModelPackage pkg_;
   ServeConfig cfg_;
   QuantizedModelRunner runner_;
@@ -118,7 +151,21 @@ class InferenceSession {
   mutable std::mutex gemm_stats_mu_;
   IntGemmStats gemm_stats_;
   std::atomic<std::uint64_t> next_id_{0};
-  std::unique_ptr<DynamicBatcher> batcher_;  // last member: joins first
+  // Kept as members so the watchdog can build replacement batchers.
+  DynamicBatcher::BatchFn batch_fn_;
+  DynamicBatcher::ResultHook result_hook_;
+  // Guards batcher_/zombies_/restarts_used_ against watchdog vs shutdown
+  // races. The submit path never takes it (producers only touch queue_).
+  std::mutex batcher_mu_;
+  int restarts_used_ = 0;
+  // Stalled workers the watchdog replaced but could not join: parked here
+  // (still wedged in the forward pass) and reaped at shutdown.
+  std::vector<std::unique_ptr<DynamicBatcher>> zombies_;
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
+  std::unique_ptr<DynamicBatcher> batcher_;
+  std::thread watchdog_;  // last member: must stop before batcher_ dies
 };
 
 }  // namespace vsq

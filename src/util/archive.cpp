@@ -1,9 +1,14 @@
 #include "util/archive.h"
 
+#include <atomic>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
+
+#include <unistd.h>
+
+#include "fault/failpoint.h"
 
 namespace vsq {
 namespace {
@@ -50,23 +55,51 @@ std::vector<std::string> Archive::names() const {
 }
 
 void Archive::save(const std::string& path) const {
-  std::ofstream f(path, std::ios::binary);
-  if (!f) throw std::runtime_error("Archive::save: cannot open " + path);
-  f.write(kMagic, 4);
-  write_pod(f, kVersion);
-  write_pod(f, static_cast<std::uint64_t>(entries_.size()));
-  for (const auto& [name, e] : entries_) {
-    write_pod(f, static_cast<std::uint32_t>(name.size()));
-    f.write(name.data(), static_cast<std::streamsize>(name.size()));
-    write_pod(f, static_cast<std::uint64_t>(e.dims.size()));
-    for (const auto d : e.dims) write_pod(f, d);
-    f.write(reinterpret_cast<const char*>(e.data.data()),
-            static_cast<std::streamsize>(e.data.size() * sizeof(float)));
+  // Crash-safe: write a temp file in the same directory, then rename() into
+  // place. A fault or kill mid-save leaves either the old archive or a
+  // stray ".tmp" — never a torn .vsqa that a later hot reload would ingest.
+  // Same-directory matters: rename() is only atomic within a filesystem.
+  static std::atomic<std::uint64_t> counter{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(counter.fetch_add(1));
+  try {
+    {
+      std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+      if (!f) throw std::runtime_error("Archive::save: cannot open " + tmp);
+      f.write(kMagic, 4);
+      write_pod(f, kVersion);
+      write_pod(f, static_cast<std::uint64_t>(entries_.size()));
+      for (const auto& [name, e] : entries_) {
+        // Simulates a crash/ENOSPC partway through the entry stream; the
+        // temp file holds the torn bytes, the destination must not.
+        VSQ_FAILPOINT("io.archive.save.entry");
+        write_pod(f, static_cast<std::uint32_t>(name.size()));
+        f.write(name.data(), static_cast<std::streamsize>(name.size()));
+        write_pod(f, static_cast<std::uint64_t>(e.dims.size()));
+        for (const auto d : e.dims) write_pod(f, d);
+        f.write(reinterpret_cast<const char*>(e.data.data()),
+                static_cast<std::streamsize>(e.data.size() * sizeof(float)));
+      }
+      f.flush();
+      if (!f) throw std::runtime_error("Archive::save: write failed for " + tmp);
+    }
+    // Simulates dying after the temp file is complete but before publish.
+    VSQ_FAILPOINT("io.archive.save.rename");
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+      throw std::runtime_error("Archive::save: rename to " + path + " failed: " + ec.message());
+    }
+  } catch (...) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    throw;
   }
-  if (!f) throw std::runtime_error("Archive::save: write failed for " + path);
 }
 
 Archive Archive::load(const std::string& path) {
+  // Simulates I/O errors (EIO, vanished file) mid-hot-reload.
+  VSQ_FAILPOINT("io.archive.load");
   std::ifstream f(path, std::ios::binary | std::ios::ate);
   if (!f) throw std::runtime_error("Archive::load: cannot open " + path);
   // Every length field read from the file is validated against the bytes

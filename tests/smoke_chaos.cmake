@@ -1,0 +1,68 @@
+# Chaos smoke test: vsq_soak --chaos under the full bit-exactness oracle.
+#
+# A seeded failpoint storm (src/fault/failpoint.h) randomly arms and
+# disarms injection across the serving stack while concurrent clients
+# hammer a 2-model registry: injected forward faults, worker deaths and
+# stalls (watchdog restarts), rollback-safe reload failures, torn
+# response writes, dropped/refused connections. The gates:
+#
+#   - every served row is bit-identical to a sequential reference runner
+#     (any injected fault corrupting even one output bit fails the run);
+#   - every injected fault surfaces as a clean typed status, counted
+#     `faulted` — a hang or crash blows the exit code / timeout;
+#   - at least one failpoint actually fired (a storm that never landed
+#     proves nothing);
+#   - after the storm, recovery probes must serve EVERY model bit-exactly
+#     again (watchdog restarts and reload rollbacks leave no damage);
+#   - RSS stays flat across the run (fault churn must not leak).
+#
+# Two legs: in-process (registry API) and over TCP (--net), because the
+# fault surfaces differ (broken promises vs wire statuses and torn
+# frames). Pass/fail rides on vsq_soak's exit code plus output markers.
+# Invoked from ctest with -DVSQ_SOAK=<path> -DWORK_DIR=<scratch dir>
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(ENV{VSQ_ARTIFACTS} "${WORK_DIR}/artifacts")
+
+execute_process(
+  COMMAND "${VSQ_SOAK}" --chaos --builtin=tiny,tiny8
+          --clients=6 --requests=500 --burst-max=4 --reload-every=50
+          --chaos-interval-ms=15 --seed=3
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out ERROR_VARIABLE out)
+message(STATUS "vsq_soak --chaos (in-process) output:\n${out}")
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "vsq_soak --chaos failed with exit code ${rc}")
+endif()
+if(NOT out MATCHES "responses verified bit-identical to sequential execution")
+  message(FATAL_ERROR "vsq_soak --chaos did not report the differential audit")
+endif()
+if(NOT out MATCHES "chaos storm: [1-9]")
+  message(FATAL_ERROR "vsq_soak --chaos storm never fired a failpoint")
+endif()
+if(NOT out MATCHES "post-chaos recovery probes passed")
+  message(FATAL_ERROR "vsq_soak --chaos did not run recovery probes")
+endif()
+
+execute_process(
+  COMMAND "${VSQ_SOAK}" --chaos --net --builtin=tiny,tiny8
+          --clients=6 --requests=500 --burst-max=4 --reload-every=50
+          --chaos-interval-ms=15 --seed=5
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out ERROR_VARIABLE out)
+message(STATUS "vsq_soak --chaos --net output:\n${out}")
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "vsq_soak --chaos --net failed with exit code ${rc}")
+endif()
+if(NOT out MATCHES "responses verified bit-identical to sequential execution")
+  message(FATAL_ERROR "vsq_soak --chaos --net did not report the differential audit")
+endif()
+if(NOT out MATCHES "chaos storm: [1-9]")
+  message(FATAL_ERROR "vsq_soak --chaos --net storm never fired a failpoint")
+endif()
+if(NOT out MATCHES "post-chaos recovery probes passed")
+  message(FATAL_ERROR "vsq_soak --chaos --net did not run recovery probes")
+endif()
+if(NOT out MATCHES "rss: ")
+  message(FATAL_ERROR "vsq_soak --chaos --net did not report the RSS gate")
+endif()

@@ -1,0 +1,167 @@
+// Failpoint subsystem: policy grammar, arming/disarming, counters, scoped
+// guards, and the macro fast path. The injection *sites* are exercised where
+// they live (test_util for the archive, test_serve for the batcher,
+// test_registry for reload, test_net for the wire) — this file pins the
+// subsystem semantics those tests rely on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "fault/failpoint.h"
+
+namespace vf = vsq::fault;
+
+namespace {
+
+// Every test starts and ends disarmed so suites can run in any order.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { vf::disable_all(); }
+  void TearDown() override { vf::disable_all(); }
+};
+
+TEST_F(FailpointTest, DisarmedSiteIsInertAndCheap) {
+  EXPECT_FALSE(vf::armed());
+  // Macro form: must be valid as a plain statement and do nothing.
+  VSQ_FAILPOINT("test.nowhere");
+  EXPECT_FALSE(VSQ_FAILPOINT_TRIGGERED("test.nowhere"));
+  EXPECT_EQ(vf::evals("test.nowhere"), 0u);
+}
+
+TEST_F(FailpointTest, ErrorPolicyThrowsTypedErrorWithPointName) {
+  vf::enable("test.err", "error(boom)");
+  EXPECT_TRUE(vf::armed());
+  try {
+    VSQ_FAILPOINT("test.err");
+    FAIL() << "failpoint did not throw";
+  } catch (const vf::FailpointError& e) {
+    EXPECT_STREQ(e.what(), "boom");
+    EXPECT_EQ(e.point(), "test.err");
+  }
+  // FailpointError is a runtime_error so existing catch blocks absorb it.
+  vf::enable("test.err", "error");
+  EXPECT_THROW(VSQ_FAILPOINT("test.err"), std::runtime_error);
+}
+
+TEST_F(FailpointTest, TriggerAndDelayReportFiredFromExpressionSite) {
+  vf::enable("test.trig", "trigger");
+  EXPECT_TRUE(VSQ_FAILPOINT_TRIGGERED("test.trig"));
+
+  vf::enable("test.delay", "delay(2000)");
+  auto t0 = std::chrono::steady_clock::now();
+  EXPECT_TRUE(VSQ_FAILPOINT_TRIGGERED("test.delay"));
+  auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+  EXPECT_GE(us, 2000);
+}
+
+TEST_F(FailpointTest, MaxFiresCapsInjection) {
+  vf::enable("test.cap", "2*trigger");
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (VSQ_FAILPOINT_TRIGGERED("test.cap")) ++fired;
+  }
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(vf::evals("test.cap"), 10u);
+  EXPECT_EQ(vf::fires("test.cap"), 2u);
+}
+
+TEST_F(FailpointTest, ProbabilityIsDeterministicUnderReseed) {
+  auto run = [] {
+    vf::reseed(42);
+    vf::enable("test.prob", "30%trigger");
+    std::vector<bool> pattern;
+    for (int i = 0; i < 64; ++i) pattern.push_back(VSQ_FAILPOINT_TRIGGERED("test.prob"));
+    return pattern;
+  };
+  auto a = run();
+  auto b = run();
+  EXPECT_EQ(a, b);
+  int fired = 0;
+  for (bool f : a) fired += f ? 1 : 0;
+  EXPECT_GT(fired, 0);
+  EXPECT_LT(fired, 64);
+}
+
+TEST_F(FailpointTest, ParseSpecGrammar) {
+  auto s = vf::parse_spec("25%3*error(disk gone)");
+  EXPECT_EQ(s.kind, vf::Kind::kError);
+  EXPECT_DOUBLE_EQ(s.probability, 0.25);
+  EXPECT_EQ(s.max_fires, 3u);
+  EXPECT_EQ(s.message, "disk gone");
+
+  s = vf::parse_spec("delay(500)");
+  EXPECT_EQ(s.kind, vf::Kind::kDelay);
+  EXPECT_EQ(s.delay_us, 500u);
+  EXPECT_DOUBLE_EQ(s.probability, 1.0);
+
+  s = vf::parse_spec("off");
+  EXPECT_DOUBLE_EQ(s.probability, 0.0);
+
+  EXPECT_THROW(vf::parse_spec("explode"), std::invalid_argument);
+  EXPECT_THROW(vf::parse_spec("150%error"), std::invalid_argument);
+  EXPECT_THROW(vf::parse_spec("delay"), std::invalid_argument);
+  EXPECT_THROW(vf::parse_spec("delay(-5)"), std::invalid_argument);
+  EXPECT_THROW(vf::parse_spec("error(unclosed"), std::invalid_argument);
+}
+
+TEST_F(FailpointTest, ConfigureParsesCommaSeparatedListAndOff) {
+  vf::configure("test.a=error(x), test.b=10%delay(100)");
+  EXPECT_THROW(VSQ_FAILPOINT("test.a"), vf::FailpointError);
+  auto armed = vf::armed_points();
+  EXPECT_EQ(armed.size(), 2u);
+  vf::configure("test.a=off");
+  VSQ_FAILPOINT("test.a");  // no longer throws
+  EXPECT_EQ(vf::armed_points().size(), 1u);
+  EXPECT_THROW(vf::configure("noequals"), std::invalid_argument);
+  EXPECT_THROW(vf::configure("=error"), std::invalid_argument);
+}
+
+TEST_F(FailpointTest, ScopedGuardRestoresPreviousState) {
+  {
+    vf::ScopedFailpoint g("test.scoped", "trigger");
+    EXPECT_TRUE(VSQ_FAILPOINT_TRIGGERED("test.scoped"));
+  }
+  EXPECT_FALSE(VSQ_FAILPOINT_TRIGGERED("test.scoped"));
+
+  // Nested guard restores the outer policy, not "off".
+  vf::enable("test.scoped", "error(outer)");
+  {
+    vf::ScopedFailpoint g("test.scoped", "trigger");
+    EXPECT_TRUE(VSQ_FAILPOINT_TRIGGERED("test.scoped"));
+  }
+  EXPECT_THROW(VSQ_FAILPOINT("test.scoped"), vf::FailpointError);
+  vf::disable("test.scoped");
+}
+
+TEST_F(FailpointTest, DisableReturnsWhetherPointWasArmed) {
+  EXPECT_FALSE(vf::disable("test.never"));
+  vf::enable("test.once", "trigger");
+  EXPECT_TRUE(vf::disable("test.once"));
+  EXPECT_FALSE(vf::disable("test.once"));
+  EXPECT_FALSE(vf::armed());
+}
+
+TEST_F(FailpointTest, ConcurrentEvalIsSafeAndCountsEveryCall) {
+  vf::enable("test.mt", "50%trigger");
+  constexpr int kThreads = 8;
+  constexpr int kIters = 500;
+  std::atomic<int> fired{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        if (VSQ_FAILPOINT_TRIGGERED("test.mt")) fired.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(vf::evals("test.mt"), static_cast<std::uint64_t>(kThreads * kIters));
+  EXPECT_EQ(vf::fires("test.mt"), static_cast<std::uint64_t>(fired.load()));
+}
+
+}  // namespace

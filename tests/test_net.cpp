@@ -6,6 +6,10 @@
 // surface.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstring>
@@ -14,6 +18,7 @@
 #include <vector>
 
 #include "exp/ptq.h"
+#include "fault/failpoint.h"
 #include "hw/mac_config.h"
 #include "models/zoo.h"
 #include "net/client.h"
@@ -254,6 +259,209 @@ TEST(NetServe, OverloadShedsExplicitlyAndAcceptedStayBitExact) {
   EXPECT_EQ(server.frames_ok(), oks.load());
   EXPECT_EQ(registry.stats("tiny").shed, sheds.load());
   EXPECT_EQ(registry.stats("tiny").errors, 0u);
+  // And the per-status ledger is EXACT — every response frame the clients
+  // counted appears under its status, and no other status fired at all.
+  EXPECT_EQ(server.frames_by_status(net::Status::kOk), oks.load());
+  EXPECT_EQ(server.frames_by_status(net::Status::kShed), sheds.load());
+  for (const net::Status s :
+       {net::Status::kUnknownModel, net::Status::kBadRequest, net::Status::kError,
+        net::Status::kUnavailable, net::Status::kBusy}) {
+    EXPECT_EQ(server.frames_by_status(s), 0u) << net::status_name(s);
+  }
+}
+
+TEST(NetServe, PerStatusLedgerCountsEveryResponseFrame) {
+  ModelRegistry registry;
+  registry.load("tiny", tiny_package());
+  net::NetServer server(registry);
+  net::NetClient client(server.host(), server.port());
+
+  // A known mix: 3 ok, 2 unknown-model, 1 bad-shape.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(client.infer("tiny", random_row(TinyMlp::kIn, 20 + static_cast<std::uint64_t>(i)))
+                  .status,
+              net::Status::kOk);
+  }
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_EQ(client.infer("ghost", random_row(4, 30)).status, net::Status::kUnknownModel);
+  }
+  ASSERT_EQ(client.infer("tiny", random_row(TinyMlp::kIn + 1, 31)).status,
+            net::Status::kBadRequest);
+
+  EXPECT_EQ(server.frames_by_status(net::Status::kOk), 3u);
+  EXPECT_EQ(server.frames_by_status(net::Status::kUnknownModel), 2u);
+  EXPECT_EQ(server.frames_by_status(net::Status::kBadRequest), 1u);
+  std::uint64_t total = 0;
+  for (int s = 0; s <= static_cast<int>(net::Status::kBusy); ++s) {
+    total += server.frames_by_status(static_cast<net::Status>(s));
+  }
+  EXPECT_EQ(total, 6u);  // the taxonomy accounts for every frame sent
+
+  // The ledger rides /stats for operators.
+  const std::string stats = server.stats_json();
+  EXPECT_NE(stats.find("\"frames_by_status\""), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"ok\":3"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"unknown_model\":2"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"bad_request\":1"), std::string::npos) << stats;
+}
+
+// ---- Deadline propagation over the wire ----
+
+TEST(NetServe, WireDeadlineShedsInsteadOfExecuting) {
+  // A lingering batcher (400ms) holds the request in the queue past its
+  // 1ms wire deadline: the sweep resolves it kShed WITHOUT running the
+  // forward pass, and the deadline_expired stat proves which path fired.
+  ServeConfig cfg;
+  cfg.max_batch = 16;
+  cfg.max_wait_us = 400000;
+  ModelRegistry registry(cfg);
+  registry.load("tiny", tiny_package());
+  net::NetServer server(registry);
+  net::NetClient client(server.host(), server.port());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const net::ResponseFrame resp =
+      client.infer("tiny", random_row(TinyMlp::kIn, 50), Priority::kNormal, /*deadline_ms=*/1);
+  EXPECT_EQ(resp.status, net::Status::kShed) << resp.message;
+  EXPECT_NE(resp.message.find("deadline"), std::string::npos) << resp.message;
+  const ServeStatsSnapshot s = registry.stats("tiny");
+  EXPECT_EQ(s.deadline_expired, 1u);
+  EXPECT_EQ(s.requests, 0u);  // never executed
+  EXPECT_EQ(server.frames_by_status(net::Status::kShed), 1u);
+  // The response still had to ride out the linger — but a generous
+  // deadline on the same connection serves fine afterwards.
+  (void)t0;
+  const net::ResponseFrame ok =
+      client.infer("tiny", random_row(TinyMlp::kIn, 51), Priority::kNormal, /*deadline_ms=*/30000);
+  EXPECT_EQ(ok.status, net::Status::kOk) << ok.message;
+}
+
+// ---- Client retry policy ----
+
+TEST(NetServe, InferRetryRecoversFromInjectedWorkerDeath) {
+  vsq::fault::disable_all();
+  ServeConfig cfg;
+  cfg.watchdog_interval_ms = 10;  // fast replacement for the retry to hit
+  ModelRegistry registry(cfg);
+  registry.load("tiny", tiny_package());
+  net::NetServer server(registry);
+  net::NetClient client(server.host(), server.port());
+
+  // Kill the serving worker once: the first attempt comes back
+  // kUnavailable (broken promise), the retry lands on the watchdog's
+  // replacement and succeeds — the client never sees the fault.
+  vsq::fault::enable("serve.batcher.worker_exit", "1*trigger");
+  net::RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.initial_backoff_ms = 20;
+  policy.total_deadline_ms = 10000;
+  policy.seed = 42;
+  const net::ResponseFrame resp =
+      client.infer_retry("tiny", random_row(TinyMlp::kIn, 60), Priority::kNormal, policy);
+  vsq::fault::disable_all();
+  EXPECT_EQ(resp.status, net::Status::kOk) << resp.message;
+  EXPECT_GE(server.frames_by_status(net::Status::kUnavailable), 1u);
+  EXPECT_GE(registry.stats("tiny").worker_restarts, 1u);
+}
+
+TEST(NetServe, InferRetryReconnectsThroughTornWritesAndDroppedReads) {
+  vsq::fault::disable_all();
+  ModelRegistry registry;
+  registry.load("tiny", tiny_package());
+  net::NetServer server(registry);
+  net::NetClient client(server.host(), server.port(), 2000);
+
+  // Torn response: the server sends half a frame and drops the
+  // connection. A bare infer() surfaces a clean transport error (never a
+  // hang, never garbage bits)...
+  vsq::fault::enable("net.server.write.partial", "1*trigger");
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW((void)client.infer("tiny", random_row(TinyMlp::kIn, 61)), std::runtime_error);
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(10));
+
+  // ...and infer_retry redials through it: arm one more torn write plus
+  // one injected server-side read failure, then the third attempt lands.
+  vsq::fault::enable("net.server.write.partial", "1*trigger");
+  vsq::fault::enable("net.server.read.pre_body", "1*error(injected read fault)");
+  net::RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_backoff_ms = 10;
+  policy.total_deadline_ms = 10000;
+  policy.seed = 7;
+  const net::ResponseFrame resp =
+      client.infer_retry("tiny", random_row(TinyMlp::kIn, 62), Priority::kNormal, policy);
+  vsq::fault::disable_all();
+  EXPECT_EQ(resp.status, net::Status::kOk) << resp.message;
+}
+
+TEST(NetServe, InferRetryHonorsTotalDeadlineBudgetAgainstDeadWorkers) {
+  vsq::fault::disable_all();
+  ServeConfig cfg;
+  cfg.watchdog_interval_ms = 10;
+  cfg.max_worker_restarts = 1;
+  ModelRegistry registry(cfg);
+  registry.load("tiny", tiny_package());
+  net::NetServer server(registry);
+  net::NetClient client(server.host(), server.port());
+
+  // EVERY worker incarnation dies: the server answers kUnavailable
+  // forever. The client's retry loop must give up at its total-deadline
+  // budget — bounded wall clock, explicit backoff-status result, no spin.
+  vsq::fault::enable("serve.batcher.worker_exit", "trigger");
+  net::RetryPolicy policy;
+  policy.max_attempts = 1000;  // attempts would spin ~forever; budget must bound it
+  policy.initial_backoff_ms = 20;
+  policy.max_backoff_ms = 100;
+  policy.total_deadline_ms = 400;
+  policy.seed = 9;
+  const auto t0 = std::chrono::steady_clock::now();
+  const net::ResponseFrame resp =
+      client.infer_retry("tiny", random_row(TinyMlp::kIn, 63), Priority::kNormal, policy);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  vsq::fault::disable_all();
+  EXPECT_TRUE(resp.status == net::Status::kShed || resp.status == net::Status::kUnavailable)
+      << net::status_name(resp.status) << ": " << resp.message;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(100));  // it did retry for a while
+  EXPECT_LT(elapsed, std::chrono::seconds(5)) << "budget did not bound the retry loop";
+}
+
+// ---- Connect deadline: a black-holed server costs a bounded wait ----
+
+TEST(NetServe, ConnectTimesOutAgainstFullBacklogInsteadOfHanging) {
+  // A listener that never accepts, with a zero-length backlog: once the
+  // accept queue fills, further SYNs are dropped and the client's connect
+  // must fail by ITS deadline (non-blocking connect + poll), not block in
+  // the kernel's minutes-long retransmit schedule.
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = ::htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(listener, 0), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const int port = static_cast<int>(::ntohs(addr.sin_port));
+
+  std::vector<int> held;
+  bool timed_out = false;
+  for (int i = 0; i < 32 && !timed_out; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+      held.push_back(net::connect_tcp("127.0.0.1", port, 300));
+    } catch (const std::runtime_error&) {
+      const auto elapsed = std::chrono::steady_clock::now() - t0;
+      // The wait is the configured deadline, give or take scheduling —
+      // NOT the kernel's default connect timeout (minutes).
+      EXPECT_GE(elapsed, std::chrono::milliseconds(250));
+      EXPECT_LT(elapsed, std::chrono::seconds(3));
+      timed_out = true;
+    }
+  }
+  for (const int fd : held) net::close_fd(fd);
+  net::close_fd(listener);
+  EXPECT_TRUE(timed_out) << "backlog never filled; connect deadline untested";
 }
 
 TEST(NetServe, ConnectionCapAnswersBusy) {

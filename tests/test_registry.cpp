@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "exp/ptq.h"
+#include "fault/failpoint.h"
 #include "hw/mac_config.h"
 #include "models/zoo.h"
 #include "serve/registry.h"
@@ -293,6 +294,123 @@ TEST(ModelRegistry, ConcurrentReloadNeverCorruptsResponses) {
   stop.store(true);
   for (auto& t : clients) t.join();
   EXPECT_EQ(wrong.load(), 0);
+  EXPECT_GT(served.load(), 0);
+}
+
+TEST(ModelRegistry, ReloadSwapsNewWeightsWithoutUnloadGap) {
+  QuantizedModelPackage a = tiny_package();
+  QuantizedModelPackage b = tiny8_package();
+  const QuantizedModelRunner ref_a(a);
+  const QuantizedModelRunner ref_b(b);
+
+  ModelRegistry reg;
+  // On a name not yet serving, reload degrades to a plain load.
+  reg.reload("m", tiny_package());
+  const Tensor x = random_row(TinyMlp::kIn, 40);
+  expect_bitwise_equal(ref_a.forward(x), reg.infer("m", x));
+
+  // Swap in a differently quantized package: the new bits serve, the old
+  // window's stats still count, and the name was routable throughout.
+  reg.reload("m", tiny8_package());
+  expect_bitwise_equal(ref_b.forward(x), reg.infer("m", x));
+  EXPECT_EQ(reg.stats("m").requests, 2u);
+}
+
+TEST(ModelRegistry, ReloadRollbackLeavesOldModelServing) {
+  vsq::fault::disable_all();
+  QuantizedModelPackage pkg = tiny_package();
+  const QuantizedModelRunner ref(pkg);
+
+  ModelRegistry reg;
+  reg.load("m", tiny_package());
+  const Tensor x = random_row(TinyMlp::kIn, 41);
+  expect_bitwise_equal(ref.forward(x), reg.infer("m", x));
+
+  // Inject a failure at the last instant before the swap (replacement
+  // session fully built): the reload must throw and the OLD model must
+  // keep serving the same bits — no unloaded gap, no half-swap.
+  {
+    vsq::fault::ScopedFailpoint fp("serve.registry.reload", "error(injected reload fault)");
+    EXPECT_THROW(reg.reload("m", tiny8_package()), vsq::fault::FailpointError);
+  }
+  EXPECT_TRUE(reg.contains("m"));
+  expect_bitwise_equal(ref.forward(x), reg.infer("m", x));
+
+  // Same contract when the replacement package itself is corrupt (the
+  // validate failpoint models a torn archive read mid-reload).
+  const std::string path =
+      std::filesystem::temp_directory_path().string() + "/vsq_reload_rollback.vsqa";
+  tiny8_package().save(path);
+  {
+    vsq::fault::ScopedFailpoint fp("package.load.validate", "error(corrupt package)");
+    EXPECT_THROW(reg.reload_file("m", path), vsq::fault::FailpointError);
+  }
+  expect_bitwise_equal(ref.forward(x), reg.infer("m", x));
+  std::remove(path.c_str());
+
+  // With the faults gone the very same reload lands.
+  QuantizedModelPackage pkg8 = tiny8_package();
+  const QuantizedModelRunner ref8(pkg8);
+  reg.reload("m", tiny8_package());
+  expect_bitwise_equal(ref8.forward(x), reg.infer("m", x));
+}
+
+TEST(ModelRegistry, ReloadChurnWithInjectedFailuresNeverDropsService) {
+  // The rollback guarantee under concurrency: clients hammer a model while
+  // reloads churn, ~half of them failing by injection. Because reload
+  // never unloads first, EVERY infer must succeed (no mid-reload rejection
+  // window like unload+load has) and every row must be bit-exact — all
+  // incarnations are the same deterministic package.
+  vsq::fault::disable_all();
+  QuantizedModelPackage pkg = tiny_package();
+  const QuantizedModelRunner ref(pkg);
+
+  ModelRegistry reg;
+  reg.load("m", tiny_package());
+  std::atomic<bool> stop{false};
+  std::atomic<int> wrong{0};
+  std::atomic<int> refused{0};
+  std::atomic<int> served{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(500 + static_cast<std::uint64_t>(c));
+      while (!stop.load(std::memory_order_relaxed)) {
+        const Tensor x = random_row(TinyMlp::kIn, rng.next_u64());
+        Tensor got;
+        try {
+          got = reg.infer("m", x);
+        } catch (const std::exception&) {
+          refused.fetch_add(1);
+          continue;
+        }
+        const Tensor want = ref.forward(x);
+        for (std::int64_t j = 0; j < want.numel(); ++j) {
+          if (got[j] != want[j]) {
+            wrong.fetch_add(1);
+            break;
+          }
+        }
+        served.fetch_add(1);
+      }
+    });
+  }
+  vsq::fault::enable("serve.registry.reload", "50%error(reload churn fault)");
+  int failed_reloads = 0;
+  for (int r = 0; r < 12; ++r) {
+    try {
+      reg.reload("m", tiny_package());
+    } catch (const vsq::fault::FailpointError&) {
+      ++failed_reloads;
+    }
+  }
+  vsq::fault::disable_all();
+  while (served.load() < 32) std::this_thread::yield();
+  stop.store(true);
+  for (auto& t : clients) t.join();
+  EXPECT_GT(failed_reloads, 0) << "injection never fired; churn test proved nothing";
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_EQ(refused.load(), 0) << "reload opened a service gap";
   EXPECT_GT(served.load(), 0);
 }
 

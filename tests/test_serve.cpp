@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "exp/ptq.h"
+#include "fault/failpoint.h"
 #include "hw/mac_config.h"
 #include "kernels/registry.h"
 #include "models/zoo.h"
@@ -767,6 +768,230 @@ TEST(ServeThroughput, BatchingDoesNotRegressClosedLoop) {
   }
   EXPECT_GE(best_ratio, 0.75) << "batched serving regressed closed-loop throughput; "
                               << "rps(max_batch=1) vs rps(max_batch=16) per attempt:" << attempts;
+}
+
+TEST(DeadlineSweep, ExpiredRequestsResolveShedWithZeroForwardExecutions) {
+  // The acceptance property: requests whose deadline passed before their
+  // batch executed are resolved DeadlineExpiredError WITHOUT a forward
+  // pass — counter-verified on both sides (forward calls AND the
+  // deadline_expired stat).
+  RequestQueue queue;
+  ServeStats stats;
+  BatcherConfig cfg;
+  cfg.max_batch = 8;
+  cfg.warmup = false;
+  constexpr std::int64_t kIn = 4;
+  std::atomic<int> forward_calls{0};
+
+  std::vector<std::future<Tensor>> futures;
+  const auto past = std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  for (int i = 0; i < 5; ++i) {
+    Request r;
+    r.input = Tensor(Shape{1, kIn});
+    r.enqueue_time = std::chrono::steady_clock::now();
+    r.deadline = past;  // already hopeless when the batcher pops it
+    futures.push_back(r.promise.get_future());
+    ASSERT_TRUE(queue.push(std::move(r)));
+  }
+  {
+    DynamicBatcher batcher(
+        queue,
+        [&](const Tensor& batch) {
+          forward_calls.fetch_add(1);
+          return Tensor(Shape{batch.shape()[0], 2});
+        },
+        kIn, cfg, stats);
+  }
+  for (auto& f : futures) {
+    EXPECT_THROW((void)f.get(), DeadlineExpiredError);
+  }
+  EXPECT_EQ(forward_calls.load(), 0);  // zero forward executions
+  const ServeStatsSnapshot s = stats.snapshot();
+  EXPECT_EQ(s.deadline_expired, 5u);
+  EXPECT_EQ(s.batches, 0u);   // nothing executed -> no batch recorded
+  EXPECT_EQ(s.requests, 0u);  // swept requests never count as completed
+  EXPECT_EQ(s.errors, 0u);    // and never as errors — a distinct taxon
+}
+
+TEST(DeadlineSweep, MixedBatchExecutesOnlyUnexpiredRows) {
+  RequestQueue queue;
+  ServeStats stats;
+  BatcherConfig cfg;
+  cfg.max_batch = 8;
+  cfg.warmup = false;
+  constexpr std::int64_t kIn = 4;
+  std::atomic<std::int64_t> rows_executed{0};
+
+  std::vector<std::future<Tensor>> expired, live;
+  for (int i = 0; i < 4; ++i) {
+    Request r;
+    r.input = Tensor(Shape{1, kIn});
+    r.input.span()[0] = static_cast<float>(i);
+    r.enqueue_time = std::chrono::steady_clock::now();
+    if (i % 2 == 0) {
+      r.deadline = std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+      expired.push_back(r.promise.get_future());
+    } else {
+      live.push_back(r.promise.get_future());
+    }
+    ASSERT_TRUE(queue.push(std::move(r)));
+  }
+  {
+    DynamicBatcher batcher(
+        queue,
+        [&](const Tensor& batch) {
+          rows_executed.fetch_add(batch.shape()[0]);
+          Tensor y(Shape{batch.shape()[0], 1});
+          for (std::int64_t r = 0; r < batch.shape()[0]; ++r) {
+            y.span()[static_cast<std::size_t>(r)] = batch.data()[r * kIn] * 10.0f;
+          }
+          return y;
+        },
+        kIn, cfg, stats);
+  }
+  for (auto& f : expired) EXPECT_THROW((void)f.get(), DeadlineExpiredError);
+  // The surviving rows ran, with their own inputs (the sweep compacts the
+  // batch without scrambling request/row pairing).
+  ASSERT_EQ(live.size(), 2u);
+  EXPECT_EQ(live[0].get()[0], 10.0f);  // input 1 -> 10
+  EXPECT_EQ(live[1].get()[0], 30.0f);  // input 3 -> 30
+  EXPECT_EQ(rows_executed.load(), 2);
+  const ServeStatsSnapshot s = stats.snapshot();
+  EXPECT_EQ(s.deadline_expired, 2u);
+  EXPECT_EQ(s.requests, 2u);
+}
+
+TEST(DeadlineSweep, SubmitRejectsAlreadyExpiredDeadlineAtTheDoor) {
+  InferenceSession session(tiny_package());
+  const Tensor input = random_rows(1, TinyMlp::kIn, 91);
+  EXPECT_THROW((void)session.submit(input, Priority::kNormal,
+                                    std::chrono::steady_clock::now() - std::chrono::seconds(1)),
+               DeadlineExpiredError);
+  EXPECT_EQ(session.stats().deadline_expired, 1u);
+  // A generous deadline serves normally.
+  const Tensor y = session
+                       .submit(input, Priority::kNormal,
+                               std::chrono::steady_clock::now() + std::chrono::seconds(30))
+                       .get();
+  EXPECT_EQ(y.shape()[0], 1);
+}
+
+TEST(Watchdog, RestartsDeadWorkerAndKeepsServingBitExact) {
+  vsq::fault::disable_all();
+  ServeConfig cfg;
+  cfg.watchdog_interval_ms = 10;
+  cfg.warmup = false;
+  InferenceSession session(tiny_package(), cfg);
+  InferenceSession reference(tiny_package(), [] {
+    ServeConfig c;
+    c.watchdog = false;
+    return c;
+  }());
+  const Tensor input = random_rows(1, TinyMlp::kIn, 7);
+  const Tensor want = reference.infer(input);
+
+  // Healthy first: bit-exact against an unchaosed session.
+  expect_bitwise_equal(session.infer(input), want);
+
+  // Kill the worker exactly once: it pops the next request and exits
+  // holding it — the abandoned promise breaks (std::future_error).
+  vsq::fault::enable("serve.batcher.worker_exit", "1*trigger");
+  std::future<Tensor> doomed = session.submit(input);
+  EXPECT_THROW((void)doomed.get(), std::future_error);
+
+  // The watchdog replaces the worker; subsequent requests serve the same
+  // bits as before the fault. Allow a little time for the restart tick.
+  Tensor after;
+  bool served = false;
+  for (int i = 0; i < 100 && !served; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    try {
+      after = session.infer(input);
+      served = true;
+    } catch (const std::exception&) {
+      // Restart not complete yet (or this request rode a dying worker).
+    }
+  }
+  vsq::fault::disable_all();
+  ASSERT_TRUE(served) << "watchdog never restored service";
+  expect_bitwise_equal(after, want);
+  EXPECT_GE(session.stats().worker_restarts, 1u);
+}
+
+TEST(Watchdog, RestartBudgetExhaustionFailsSessionOverCleanly) {
+  vsq::fault::disable_all();
+  ServeConfig cfg;
+  cfg.watchdog_interval_ms = 5;
+  cfg.max_worker_restarts = 2;
+  cfg.warmup = false;
+  InferenceSession session(tiny_package(), cfg);
+  const Tensor input = random_rows(1, TinyMlp::kIn, 8);
+
+  // EVERY worker incarnation dies on its first pop: the watchdog burns its
+  // whole restart budget, then fails the session over (queue closes, the
+  // next submit throws, pending promises carry a typed error) — it must
+  // not crash-loop forever or hang.
+  vsq::fault::enable("serve.batcher.worker_exit", "trigger");
+  bool closed = false;
+  for (int i = 0; i < 400 && !closed; ++i) {
+    try {
+      std::future<Tensor> f = session.submit(input);
+      // Every accepted request resolves with SOME exception (broken
+      // promise from the dying worker, or UnavailableError from the
+      // fail-over drain) — never a hang, never a row.
+      EXPECT_THROW((void)f.get(), std::exception);
+    } catch (const std::runtime_error&) {
+      closed = true;  // fail-over complete: admission is off
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  vsq::fault::disable_all();
+  EXPECT_TRUE(closed) << "session never failed over after exhausting its restart budget";
+  EXPECT_EQ(session.stats().worker_restarts, 2u);
+}
+
+TEST(Watchdog, ReplacesStalledWorkerWithoutLosingItsBatch) {
+  vsq::fault::disable_all();
+  ServeConfig cfg;
+  cfg.watchdog_interval_ms = 10;
+  cfg.stall_timeout_ms = 60;
+  cfg.warmup = false;
+  InferenceSession session(tiny_package(), cfg);
+  InferenceSession reference(tiny_package(), [] {
+    ServeConfig c;
+    c.watchdog = false;
+    return c;
+  }());
+  const Tensor input = random_rows(1, TinyMlp::kIn, 9);
+  const Tensor want = reference.infer(input);
+
+  // One 400ms stall: far past stall_timeout_ms, so the watchdog parks the
+  // wedged worker as a zombie and spins up a replacement while the zombie
+  // is still asleep. The zombie's batch is NOT lost — when the sleep ends
+  // it executes normally (bounded stall, not death).
+  vsq::fault::enable("serve.batcher.worker_stall", "1*delay(400000)");
+  const auto t0 = std::chrono::steady_clock::now();
+  std::future<Tensor> stalled = session.submit(input);
+  // While the first worker is wedged, a second request must be served by
+  // the replacement — well before the 400ms stall ends.
+  Tensor fresh;
+  bool served = false;
+  for (int i = 0; i < 50 && !served; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    try {
+      fresh = session.infer(input);
+      served = true;
+    } catch (const std::exception&) {
+    }
+  }
+  vsq::fault::disable_all();
+  ASSERT_TRUE(served);
+  const auto served_after = std::chrono::steady_clock::now() - t0;
+  expect_bitwise_equal(fresh, want);
+  expect_bitwise_equal(stalled.get(), want);  // the zombie finished its batch
+  EXPECT_GE(session.stats().worker_restarts, 1u);
+  EXPECT_LT(served_after, std::chrono::milliseconds(390))
+      << "replacement did not serve until the stalled worker woke up";
 }
 
 }  // namespace

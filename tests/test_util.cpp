@@ -6,6 +6,7 @@
 #include <sstream>
 #include <vector>
 
+#include "fault/failpoint.h"
 #include "util/archive.h"
 #include "util/args.h"
 #include "util/fp16.h"
@@ -160,6 +161,70 @@ TEST(Archive, SaveLoadRoundTrip) {
   EXPECT_EQ(l.size(), 2u);
   EXPECT_EQ(l.get("w").dims, (std::vector<std::int64_t>{2, 3}));
   EXPECT_EQ(l.get("b").data[1], -0.5f);
+  std::remove(path.c_str());
+}
+
+TEST(Archive, SaveIsCrashSafeAgainstTornWrites) {
+  // Archive::save writes a temp file and rename()s it into place, so a
+  // fault mid-save can NEVER leave a torn .vsqa at the destination: either
+  // the old bytes survive intact or the new bytes land whole.
+  namespace fs = std::filesystem;
+  const std::string path = fs::temp_directory_path() / "vsq_test_torn.vsqa";
+  const auto dir = fs::path(path).parent_path();
+  const auto count_temps = [&] {
+    std::size_t n = 0;
+    for (const auto& e : fs::directory_iterator(dir)) {
+      if (e.path().filename().string().rfind("vsq_test_torn.vsqa.tmp", 0) == 0) ++n;
+    }
+    return n;
+  };
+  Archive good;
+  good.put("w", {2, 2}, {1, 2, 3, 4});
+  good.save(path);
+
+  Archive update;
+  update.put("w", {2, 2}, {9, 9, 9, 9});
+  update.put("extra", {1}, {7});
+  {
+    // Fault in the entry stream: the temp file is torn at that point
+    // (header written, entries cut short); the destination is untouched.
+    vsq::fault::ScopedFailpoint fp("io.archive.save.entry", "error(disk gone)");
+    EXPECT_THROW(update.save(path), vsq::fault::FailpointError);
+  }
+  Archive survived = Archive::load(path);  // old bytes, fully valid
+  EXPECT_EQ(survived.get("w").data, (std::vector<float>{1, 2, 3, 4}));
+  EXPECT_EQ(survived.size(), 1u);
+  EXPECT_EQ(count_temps(), 0u);  // the torn temp was cleaned up
+
+  {
+    // Fault after the temp file completed but before the rename: still no
+    // torn destination, still no leaked temp.
+    vsq::fault::ScopedFailpoint fp("io.archive.save.rename", "error(killed pre-rename)");
+    EXPECT_THROW(update.save(path), vsq::fault::FailpointError);
+  }
+  Archive survived2 = Archive::load(path);
+  EXPECT_EQ(survived2.get("w").data, (std::vector<float>{1, 2, 3, 4}));
+  EXPECT_EQ(count_temps(), 0u);
+
+  // Fault cleared: the update lands atomically and whole.
+  update.save(path);
+  Archive fresh = Archive::load(path);
+  EXPECT_EQ(fresh.size(), 2u);
+  EXPECT_EQ(fresh.get("w").data, (std::vector<float>{9, 9, 9, 9}));
+  EXPECT_EQ(count_temps(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Archive, LoadFailpointInjectsIoError) {
+  const std::string path = std::filesystem::temp_directory_path() / "vsq_test_loadfp.vsqa";
+  Archive a;
+  a.put("w", {1}, {1});
+  a.save(path);
+  {
+    vsq::fault::ScopedFailpoint fp("io.archive.load", "error(EIO)");
+    EXPECT_THROW(Archive::load(path), vsq::fault::FailpointError);
+  }
+  EXPECT_EQ(Archive::load(path).size(), 1u);  // recovered once disarmed
   std::remove(path.c_str());
 }
 

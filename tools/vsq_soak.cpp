@@ -46,6 +46,20 @@
 //                                 main traffic (partial frames, stalls,
 //                                 disconnects), then prove the server
 //                                 still answers correctly
+//            [--chaos]            a seeded storm thread randomly arms and
+//                                 disarms failpoints (src/fault) across the
+//                                 serving stack while traffic runs: injected
+//                                 forward faults, worker deaths and stalls,
+//                                 reload failures, torn writes, dropped
+//                                 connections. Every injected fault must
+//                                 surface as a clean typed status (counted
+//                                 `faulted`, never a hang, crash, or wrong
+//                                 bits); hot reloads use the rollback-safe
+//                                 registry.reload() path; after the storm,
+//                                 recovery probes must serve every model
+//                                 bit-exactly again. Incompatible with
+//                                 --connect (failpoints are in-process).
+//            [--chaos-interval-ms=25]  storm re-arm cadence
 //
 // Exit status: 0 clean, 1 on any bit mismatch (or a model that failed to
 // build/load), so CI can gate on it — ctest soak_smoke runs a short
@@ -61,6 +75,7 @@
 #include <fstream>
 #include <functional>
 #include <future>
+#include <iterator>
 #include <iostream>
 #include <memory>
 #include <mutex>
@@ -70,6 +85,7 @@
 #include <vector>
 
 #include "exp/ptq.h"
+#include "fault/failpoint.h"
 #include "hw/mac_config.h"
 #include "kernels/isa.h"
 #include "net/client.h"
@@ -150,6 +166,13 @@ int main(int argc, char** argv) {
   const bool external = !connect.empty();
   const bool expect_shed = args.get_flag("expect-shed");
   const bool slow_clients = args.get_flag("slow-clients");
+  const bool chaos = args.get_flag("chaos");
+  const int chaos_interval_ms = std::max(1, args.get_int("chaos-interval-ms", 25));
+  if (chaos && external) {
+    std::cerr << "vsq_soak: --chaos injects in-process failpoints and cannot target an "
+                 "external server (--connect)\n";
+    return 2;
+  }
   // An external server cannot be chaos-reloaded from here.
   const auto reload_every = external ? 0ull
       : static_cast<std::uint64_t>(std::max(0, args.get_int("reload-every", 64)));
@@ -161,6 +184,15 @@ int main(int argc, char** argv) {
   cfg.scale_product_bits = args.get_int("scale-bits", -1);
   cfg.queue_depth = static_cast<std::size_t>(std::max(0, args.get_int("queue-depth", 0)));
   cfg.admission_timeout_us = args.get_int("admission-timeout-us", -1);
+  if (chaos) {
+    // Injected worker deaths/stalls are routine under the storm: make the
+    // watchdog aggressive and its restart budget effectively unlimited so
+    // the session recovers rather than failing over mid-run (budget
+    // exhaustion has its own dedicated unit test).
+    cfg.watchdog_interval_ms = 10;
+    cfg.stall_timeout_ms = 150;
+    cfg.max_worker_restarts = 1 << 30;
+  }
   // Sheds are only a legitimate outcome when the operator asked for
   // non-blocking admission on a bounded queue.
   const bool shed_possible = external || (cfg.queue_depth > 0 && cfg.admission_timeout_us >= 0);
@@ -253,10 +285,11 @@ int main(int argc, char** argv) {
             << " requests, burst<=" << burst_max << ", max_batch=" << cfg.max_batch
             << ", reload every " << reload_every << " requests";
   if (net) std::cout << ", over TCP " << host << ":" << port;
+  if (chaos) std::cout << ", chaos storm every " << chaos_interval_ms << "ms";
   std::cout << "\n";
   std::cout << "cpu: " << isa::summary() << "\n";
 
-  const std::uint64_t rss_before = net && !external ? rss_bytes() : 0;
+  const std::uint64_t rss_before = (net || chaos) && !external ? rss_bytes() : 0;
 
   // ---- Chaos: hot unload + reload, round-robin, triggered every
   // `reload_every` claimed requests. The client whose burst claim crosses
@@ -264,7 +297,7 @@ int main(int argc, char** argv) {
   // keeps hammering the registry — so load/unload always overlaps live
   // traffic, and the number of cycles is deterministic for a given
   // request budget (unlike a timer, which a fast machine outruns).
-  std::atomic<std::uint64_t> reloads{0}, reload_failures{0};
+  std::atomic<std::uint64_t> reloads{0}, reload_failures{0}, injected_reload_failures{0};
   std::atomic<std::uint64_t> reload_seq{0};  // round-robin model cursor
   std::mutex chaos_mu;  // one cycle at a time (two could race one name)
   const auto chaos_cycle = [&] {
@@ -272,9 +305,23 @@ int main(int argc, char** argv) {
     const SoakModel& sm =
         models[reload_seq.fetch_add(1, std::memory_order_relaxed) % models.size()];
     try {
-      registry.unload(sm.name);  // drains in-flight work for this model
-      registry.load(sm.name, sm.build());
-      reloads.fetch_add(1, std::memory_order_relaxed);
+      if (chaos) {
+        // Rollback-safe path: reload() swaps only a fully built
+        // replacement, so a failure — including the storm's injected
+        // reload/package faults — leaves the old incarnation serving with
+        // no unrouted gap. Injected failures are therefore expected and
+        // harmless here; anything else is still a real bug.
+        try {
+          registry.reload(sm.name, sm.build());
+          reloads.fetch_add(1, std::memory_order_relaxed);
+        } catch (const fault::FailpointError&) {
+          injected_reload_failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      } else {
+        registry.unload(sm.name);  // drains in-flight work for this model
+        registry.load(sm.name, sm.build());
+        reloads.fetch_add(1, std::memory_order_relaxed);
+      }
     } catch (const std::exception& e) {
       // A failed rebuild would leave the model unrouted; surface it.
       reload_failures.fetch_add(1, std::memory_order_relaxed);
@@ -282,10 +329,57 @@ int main(int argc, char** argv) {
     }
   };
 
+  // ---- Failpoint storm: a seeded thread that randomly arms, re-arms and
+  // clears fault injection across the whole serving stack while the
+  // clients run. The oracle's burden is unchanged — every served row must
+  // still be bit-exact — faults may only ADD clean typed failures.
+  std::atomic<bool> storm_stop{false};
+  std::thread storm;
+  if (chaos) {
+    struct ChaosArm {
+      const char* point;
+      const char* spec;
+      bool net_only;
+    };
+    static const ChaosArm kStorm[] = {
+        {"serve.batcher.pre_forward", "10%error(chaos: injected forward fault)", false},
+        {"serve.batcher.worker_stall", "5%delay(20000)", false},
+        {"serve.batcher.worker_stall", "1*delay(250000)", false},  // trips the stall watchdog
+        {"serve.batcher.worker_exit", "1*trigger", false},         // worker death + restart
+        {"serve.registry.reload", "50%error(chaos: injected reload fault)", false},
+        {"package.load.validate", "50%error(chaos: injected package fault)", false},
+        {"net.server.write.partial", "5%trigger", true},
+        {"net.server.read.pre_body", "5%error(chaos: injected read fault)", true},
+        {"net.server.accept", "3%trigger", true},
+        {"net.client.connect", "20%error(chaos: injected connect fault)", true},
+    };
+    storm = std::thread([&, seed] {
+      Rng rng(seed ^ 0xc4a05f00dull);
+      while (!storm_stop.load(std::memory_order_relaxed)) {
+        const auto pick = rng.uniform_u64(std::size(kStorm) + 2);
+        if (pick >= std::size(kStorm)) {
+          // Periodic full disarm: the stack must also serve cleanly in the
+          // gaps, and re-arming keeps one-shot policies firing.
+          fault::disable_all();
+        } else {
+          const ChaosArm& arm = kStorm[pick];
+          if (!arm.net_only || net) fault::enable(arm.point, arm.spec);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(chaos_interval_ms));
+      }
+      fault::disable_all();
+    });
+  }
+
   // ---- Client threads ----
   std::atomic<std::uint64_t> remaining{total_requests};
   std::atomic<std::uint64_t> completed{0}, rejected{0}, shed{0}, dropped{0}, mismatches{0},
       audited{0};
+  // Chaos-only: requests that failed with a clean typed error attributable
+  // to an injected fault (kError/kUnavailable frames, broken promises,
+  // transport failures from torn writes or dropped connections). Outside
+  // --chaos these same outcomes count as `dropped` and fail the run.
+  std::atomic<std::uint64_t> faulted{0};
   // Per-model completions: the oracle demands every model actually served
   // (a reload bug could otherwise starve one model into 100% rejections
   // while the totals still look healthy).
@@ -371,19 +465,31 @@ int main(int argc, char** argv) {
                   break;
                 case vsq::net::Status::kUnknownModel:
                 case vsq::net::Status::kUnavailable:
-                  // Model mid-reload: graceful rejection, never a wrong
-                  // answer.
+                  // Model mid-reload (or, under chaos, a freshly killed
+                  // worker): graceful rejection, never a wrong answer.
                   rejected.fetch_add(1, std::memory_order_relaxed);
                   break;
                 default:
+                  if (chaos) {
+                    // Injected forward faults surface as typed kError
+                    // frames — exactly the contract chaos verifies.
+                    faulted.fetch_add(1, std::memory_order_relaxed);
+                    break;
+                  }
                   dropped.fetch_add(1, std::memory_order_relaxed);
                   report("vsq_soak: unexpected status " +
                          std::string(vsq::net::status_name(resp.status)) + ": " + resp.message);
                   break;
               }
             } catch (const std::exception& e) {
-              dropped.fetch_add(1, std::memory_order_relaxed);
-              report("vsq_soak: transport failure: " + std::string(e.what()));
+              if (chaos) {
+                // Torn writes, injected read faults and dropped/refused
+                // connections all land here as clean transport errors.
+                faulted.fetch_add(1, std::memory_order_relaxed);
+              } else {
+                dropped.fetch_add(1, std::memory_order_relaxed);
+                report("vsq_soak: transport failure: " + std::string(e.what()));
+              }
               client.reset();  // next request reconnects
             }
           }
@@ -413,7 +519,8 @@ int main(int argc, char** argv) {
           } catch (const std::exception&) {
             // Anything else (e.g. a shape rejection) is a serving bug,
             // not reload collateral — fail the run.
-            dropped.fetch_add(1, std::memory_order_relaxed);
+            if (chaos) faulted.fetch_add(1, std::memory_order_relaxed);
+            else dropped.fetch_add(1, std::memory_order_relaxed);
           }
         }
         for (std::size_t i = 0; i < futures.size(); ++i) {
@@ -425,7 +532,10 @@ int main(int argc, char** argv) {
             // the registry contract says every accepted request resolves
             // (unload drains before returning). A throwing future is a
             // dropped answer — a serving bug — and fails the run below.
-            dropped.fetch_add(1, std::memory_order_relaxed);
+            // Under chaos it is the expected face of an injected forward
+            // fault or worker death (typed error / broken promise).
+            if (chaos) faulted.fetch_add(1, std::memory_order_relaxed);
+            else dropped.fetch_add(1, std::memory_order_relaxed);
             continue;
           }
           row.assign(y.data(), y.data() + y.numel());
@@ -435,6 +545,68 @@ int main(int argc, char** argv) {
     });
   }
   for (auto& t : threads) t.join();
+
+  // ---- Chaos teardown + recovery probes: after the storm every fault is
+  // disarmed, and the stack must serve every model bit-exactly again —
+  // injected failures were transient by construction, so lingering
+  // unavailability would mean the recovery machinery (watchdog restart,
+  // reload rollback) left permanent damage.
+  if (chaos) {
+    storm_stop.store(true);
+    storm.join();  // its last act is fault::disable_all()
+    if (fault::total_fires() == 0) {
+      std::cerr << "vsq_soak: --chaos ran but no failpoint ever fired (storm ineffective)\n";
+      return 1;
+    }
+    std::cout << "chaos storm: " << fault::total_fires() << " injected faults, "
+              << faulted.load() << " requests faulted cleanly, "
+              << injected_reload_failures.load() << " reloads failed by injection\n";
+    for (std::size_t m = 0; m < models.size(); ++m) {
+      bool recovered = false;
+      std::string last_error = "no attempt made";
+      for (int attempt = 0; attempt < 50 && !recovered; ++attempt) {
+        try {
+          std::vector<float> got;
+          if (net) {
+            vsq::net::NetClient probe(host, port, 10000);
+            vsq::net::RetryPolicy policy;
+            policy.max_attempts = 8;
+            policy.total_deadline_ms = 10000;
+            policy.seed = seed + m + 1;
+            const vsq::net::ResponseFrame resp = probe.infer_retry(
+                models[m].name,
+                std::vector<float>(models[m].inputs[0].data(),
+                                   models[m].inputs[0].data() + models[m].inputs[0].numel()),
+                Priority::kHigh, policy);
+            if (resp.status != vsq::net::Status::kOk) {
+              last_error = std::string(vsq::net::status_name(resp.status)) + ": " + resp.message;
+              std::this_thread::sleep_for(std::chrono::milliseconds(20));
+              continue;
+            }
+            got = resp.row;
+          } else {
+            const Tensor y = registry.infer(models[m].name, models[m].inputs[0]);
+            got.assign(y.data(), y.data() + y.numel());
+          }
+          if (check && !row_matches(got, models[m].expected[0])) {
+            std::cerr << "vsq_soak: post-chaos probe of " << models[m].name
+                      << " MISMATCHED the sequential reference\n";
+            return 1;
+          }
+          recovered = true;
+        } catch (const std::exception& e) {
+          last_error = e.what();
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+      }
+      if (!recovered) {
+        std::cerr << "vsq_soak: model " << models[m].name
+                  << " never recovered after the chaos storm: " << last_error << "\n";
+        return 1;
+      }
+    }
+    std::cout << "post-chaos recovery probes passed (every model serves bit-exactly)\n";
+  }
 
   // ---- Slow / misbehaving clients: every scenario must cost the server
   // at most a bounded wait, never a wedged connection slot or a leaked
@@ -512,7 +684,9 @@ int main(int argc, char** argv) {
   if (!external) registry.print_stats(std::cout);
   std::cout << "soak totals: " << completed.load() << " completed, " << shed.load()
             << " shed, " << rejected.load() << " rejected mid-reload, " << reloads.load()
-            << " hot reloads\n";
+            << " hot reloads";
+  if (chaos) std::cout << ", " << faulted.load() << " faulted by injection";
+  std::cout << "\n";
   if (reload_failures.load() > 0) {
     std::cerr << "vsq_soak: " << reload_failures.load() << " reloads FAILED\n";
     return 1;
@@ -529,9 +703,11 @@ int main(int argc, char** argv) {
               << " rejected or shed)\n";
     return 1;
   }
-  if (reloads.load() == 0 && rejected.load() > 0 && !external) {
+  if (reloads.load() == 0 && rejected.load() > 0 && !external && !chaos) {
     // Rejections are only legitimate as collateral of a hot reload; with
     // no reload cycle performed, every one of them is a serving bug.
+    // (Under chaos, injected worker deaths legitimately answer
+    // kUnavailable with no reload involved.)
     std::cerr << "vsq_soak: " << rejected.load()
               << " requests rejected with no reload in flight\n";
     return 1;
@@ -556,17 +732,21 @@ int main(int argc, char** argv) {
   // ---- Network-mode cross-checks: client-observed counts, the server's
   // frame counters and the registry's per-model stats must tell one story.
   if (net && !external && server) {
-    std::uint64_t stats_shed = 0;
-    for (const RegistryModelStats& m : registry.stats_all()) stats_shed += m.serve.shed;
-    // Client sheds came through the wire 1:1 (QueueFullError is the only
-    // shed source and every one was answered with a kShed frame). The
-    // slow-client "send and vanish" request may add an extra frames_ok
-    // the clients never counted, hence >= on that side.
-    if (server->frames_shed() != shed.load() || stats_shed != shed.load()) {
-      std::cerr << "vsq_soak: shed counters disagree: clients saw " << shed.load()
-                << ", server sent " << server->frames_shed() << ", registry recorded "
-                << stats_shed << "\n";
-      return 1;
+    // Exact ledger equality only holds without injection: a torn write
+    // can send a frame (counted server-side) the client never decoded.
+    if (!chaos) {
+      std::uint64_t stats_shed = 0;
+      for (const RegistryModelStats& m : registry.stats_all()) stats_shed += m.serve.shed;
+      // Client sheds came through the wire 1:1 (QueueFullError is the only
+      // shed source and every one was answered with a kShed frame). The
+      // slow-client "send and vanish" request may add an extra frames_ok
+      // the clients never counted, hence >= on that side.
+      if (server->frames_shed() != shed.load() || stats_shed != shed.load()) {
+        std::cerr << "vsq_soak: shed counters disagree: clients saw " << shed.load()
+                  << ", server sent " << server->frames_shed() << ", registry recorded "
+                  << stats_shed << "\n";
+        return 1;
+      }
     }
     if (server->frames_ok() < completed.load()) {
       std::cerr << "vsq_soak: server frames_ok " << server->frames_ok()
@@ -579,29 +759,34 @@ int main(int argc, char** argv) {
         return 1;
       }
       const std::string stats = vsq::net::http_get(host, port, "/stats");
-      if (stats.find("\"frames_shed\":" + std::to_string(shed.load())) == std::string::npos ||
-          stats.find("\"queue_depth\"") == std::string::npos) {
+      if (stats.find("\"queue_depth\"") == std::string::npos ||
+          stats.find("\"frames_by_status\"") == std::string::npos) {
         std::cerr << "vsq_soak: /stats JSON missing expected counters: " << stats << "\n";
+        return 1;
+      }
+      if (!chaos &&
+          stats.find("\"frames_shed\":" + std::to_string(shed.load())) == std::string::npos) {
+        std::cerr << "vsq_soak: /stats JSON shed count disagrees with clients: " << stats << "\n";
         return 1;
       }
     } catch (const std::exception& e) {
       std::cerr << "vsq_soak: stats endpoint failed: " << e.what() << "\n";
       return 1;
     }
-    if (rss_before > 0) {
-      const std::uint64_t rss_after = rss_bytes();
-      // Generous backstop: bounded latency windows + bounded queues mean
-      // serving memory is flat; catch only a real leak, not allocator
-      // noise.
-      if (rss_after > rss_before + (64ull << 20)) {
-        std::cerr << "vsq_soak: RSS grew " << (rss_after - rss_before) / (1ull << 20)
-                  << " MiB over the soak (leak?)\n";
-        return 1;
-      }
-      std::cout << "rss: " << rss_before / (1ull << 20) << " -> " << rss_after / (1ull << 20)
-                << " MiB\n";
-    }
     server->stop();
+  }
+  if (rss_before > 0) {
+    const std::uint64_t rss_after = rss_bytes();
+    // Generous backstop: bounded latency windows + bounded queues mean
+    // serving memory is flat even under fault churn (restarted workers,
+    // rolled-back reloads); catch only a real leak, not allocator noise.
+    if (rss_after > rss_before + (64ull << 20)) {
+      std::cerr << "vsq_soak: RSS grew " << (rss_after - rss_before) / (1ull << 20)
+                << " MiB over the soak (leak?)\n";
+      return 1;
+    }
+    std::cout << "rss: " << rss_before / (1ull << 20) << " -> " << rss_after / (1ull << 20)
+              << " MiB\n";
   }
 
   if (check) {
