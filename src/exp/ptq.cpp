@@ -1,5 +1,6 @@
 #include "exp/ptq.h"
 
+#include <map>
 #include <stdexcept>
 
 #include "hw/mac_config.h"
@@ -128,6 +129,53 @@ QuantizedModelPackage tiny_conv_package(const MacConfig& mac) {
   return pkg;
 }
 
+QuantizedModelPackage tiny_bert_package(const MacConfig& mac) {
+  const TransformerConfig config = tiny_bert_config();
+  TransformerEncoder model(config);
+  // Token ids drawn with uniform() only (no libm), floored to exact small
+  // integers — the calibration stream, and therefore the exported
+  // package, is bit-reproducible on every platform.
+  Rng rng(7);
+  Tensor calib(Shape{32, config.max_len});
+  for (auto& v : calib.span()) {
+    auto id = static_cast<std::int64_t>(rng.uniform(0.0, static_cast<double>(config.vocab)));
+    if (id >= config.vocab) id = config.vocab - 1;
+    v = static_cast<float>(id);
+  }
+  QuantizedModelPackage pkg =
+      calibrate_and_export(model.gemms(), mac.weight_spec(), mac.act_spec(),
+                           [&] { model.forward(calib, false); });
+  pkg.program = model.export_program();
+  pkg.max_seq = config.max_len;
+  pkg.seq_dim = config.dim;
+  pkg.heads = config.heads;
+
+  // The fp side of the recipe: layernorm affines and embedding tables ship
+  // unquantized, pulled from the model's named parameters.
+  std::map<std::string, const Tensor*> by_name;
+  for (Param* p : model.params()) by_name.emplace(p->name, &p->value);
+  const auto fp = [&](const std::string& n) { return by_name.at(n)->to_vector(); };
+  EmbeddingPackage emb;
+  emb.vocab = config.vocab;
+  emb.max_len = config.max_len;
+  emb.dim = config.dim;
+  emb.tok = fp("emb.tok");
+  emb.pos = fp("emb.pos");
+  pkg.embeddings.emplace("emb", std::move(emb));
+  const auto add_ln = [&](const std::string& n) {
+    LayerNormPackage ln;
+    ln.gamma = fp(n + ".gamma");
+    ln.beta = fp(n + ".beta");
+    pkg.norms.emplace(n, std::move(ln));
+  };
+  for (int l = 0; l < config.layers; ++l) {
+    add_ln("layer" + std::to_string(l) + ".ln1");
+    add_ln("layer" + std::to_string(l) + ".ln2");
+  }
+  add_ln("final_ln");
+  return pkg;
+}
+
 QuantizedModelPackage builtin_serving_package(const std::string& which) {
   if (which == "tiny") {
     return tiny_mlp_package(MacConfig::parse("4/8/6/10"));
@@ -136,6 +184,11 @@ QuantizedModelPackage builtin_serving_package(const std::string& which) {
     // Same MLP graph at a wider integer configuration: exercises a second
     // set of operand widths (and scale formats) through the same registry.
     return tiny_mlp_package(MacConfig::parse("8/8/6/6"));
+  }
+  if (which == "tiny_bert") {
+    // Activations stay signed: embeddings and pre-LN activations are
+    // zero-mean, not post-ReLU.
+    return tiny_bert_package(MacConfig::parse("4/8/6/10"));
   }
   MacConfig mac = MacConfig::parse("4/8/6/10");
   mac.act_unsigned = true;  // post-ReLU activations, as vsq_quantize does

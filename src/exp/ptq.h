@@ -75,12 +75,22 @@ QuantizedModelPackage tiny_mlp_package(const MacConfig& mac);
 // archive all build EXACTLY this.
 QuantizedModelPackage tiny_conv_package(const MacConfig& mac);
 
+// The deterministic tiny transformer deployment package (models/zoo.h
+// tiny_bert_config, untrained, 32-row uniform token-id calibration batch,
+// TransformerEncoder::export_program + sequence geometry + fp layernorm /
+// embedding parameter sets attached). Quantizes the per-head projection
+// and FFN GEMMs and keeps softmax/layernorm/embeddings fp, the Q8BERT /
+// I-BERT recipe. vsq_quantize --model=tiny_bert, the transformer serving
+// smoke test and the tiny_bert golden archive all build EXACTLY this.
+QuantizedModelPackage tiny_bert_package(const MacConfig& mac);
+
 // The builtin serving-model menu shared by the soak driver and the
 // network server tool (vsq_soak --builtin, vsq_serve_net --builtin), all
 // deterministic — rebuilding a name yields a bit-identical package, which
 // the soak's differential audit relies on across chaos reloads:
 //   tiny       TinyMlp at 4/8/6/10         tiny8  TinyMlp at 8/8/6/6
 //   tiny_conv  tiny CNN at 4/8/6/10 (unsigned post-ReLU activations)
+//   tiny_bert  tiny transformer at 4/8/6/10 (signed embeddings/activations)
 //   resnet     untrained full ResNetV topology (seed 11), same mac
 // Throws std::invalid_argument for any other name.
 QuantizedModelPackage builtin_serving_package(const std::string& which);

@@ -4,6 +4,7 @@
 
 #include <stdexcept>
 
+#include "quant/export.h"
 #include "tensor/ops.h"
 
 namespace vsq {
@@ -142,6 +143,31 @@ std::vector<QuantizableGemm*> TransformerEncoder::gemms() {
   }
   gs.push_back(span_head_.get());
   return gs;
+}
+
+std::vector<ForwardStep> TransformerEncoder::export_program() const {
+  // Mirrors EncoderBlock::forward exactly: y = x + attn(ln1(x)), then
+  // z = y + fc2(gelu(fc1(ln2(y)))). kSave/kAddSaved carry each residual
+  // branch; attention's four projections hang off the "<block>.attn"
+  // prefix.
+  std::vector<ForwardStep> program;
+  program.push_back(ForwardStep::embed("emb"));
+  for (int l = 0; l < config_.layers; ++l) {
+    const std::string block = "layer" + std::to_string(l);
+    program.push_back(ForwardStep::save());
+    program.push_back(ForwardStep::layernorm(block + ".ln1"));
+    program.push_back(ForwardStep::attention(block + ".attn"));
+    program.push_back(ForwardStep::add_saved(false));
+    program.push_back(ForwardStep::save());
+    program.push_back(ForwardStep::layernorm(block + ".ln2"));
+    program.push_back(ForwardStep::gemm(block + ".fc1", false));
+    program.push_back(ForwardStep::gelu());
+    program.push_back(ForwardStep::gemm(block + ".fc2", false));
+    program.push_back(ForwardStep::add_saved(false));
+  }
+  program.push_back(ForwardStep::layernorm("final_ln"));
+  program.push_back(ForwardStep::gemm("span_head", false));
+  return program;
 }
 
 std::vector<std::pair<std::string, Tensor*>> TransformerEncoder::named_tensors() const {

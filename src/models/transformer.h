@@ -62,6 +62,12 @@ class TransformerEncoder {
   std::vector<QuantizableGemm*> gemms();
   const TransformerConfig& config() const { return config_; }
 
+  // The forward pass as a packaged runner program (embed, pre-LN blocks
+  // with residual save/add, final LN, span head) — mirrors forward()
+  // step for step. The fp-side parameter sets (layernorm gamma/beta,
+  // embedding tables) travel separately; exp/ptq.h attaches both.
+  std::vector<struct ForwardStep> export_program() const;
+
   void save(const std::string& path) const;
   void load(const std::string& path);
   void on_weights_updated();

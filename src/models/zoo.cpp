@@ -24,6 +24,18 @@ ResNetVConfig tiny_conv_config() {
   return c;
 }
 
+TransformerConfig tiny_bert_config() {
+  TransformerConfig c;
+  c.vocab = 64;
+  c.max_len = 32;
+  c.dim = 32;
+  c.heads = 4;
+  c.layers = 2;
+  c.ffn_mult = 2;
+  c.seed = 7;
+  return c;
+}
+
 namespace {
 
 ImageDatasetConfig image_config(std::int64_t count, std::uint64_t seed) {

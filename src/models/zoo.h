@@ -44,6 +44,13 @@ struct TinyMlp {
 // tiny_conv golden archive all build exactly this configuration (seed 7).
 ResNetVConfig tiny_conv_config();
 
+// A milliseconds-scale transformer encoder (2 pre-LN blocks, dim 32,
+// 4 heads, vocab 64, 32-token rows). Exercises every sequence-serving op —
+// embed/layernorm/attention/gelu/residual-add/gemm — end to end.
+// vsq_quantize --model=tiny_bert, the transformer serving smoke test and
+// the tiny_bert golden archive all build exactly this configuration.
+TransformerConfig tiny_bert_config();
+
 class ModelZoo {
  public:
   // artifacts_dir is created if missing.

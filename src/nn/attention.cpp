@@ -15,12 +15,20 @@ void scale_inplace(float* p, std::int64_t n, float s) {
   for (std::int64_t i = 0; i < n; ++i) p[i] *= s;
 }
 
+// Validates (heads, dim) BEFORE the head_dim_ division in the member-init
+// list runs — heads == 0 would otherwise divide by zero before any check.
+std::int64_t checked_head_dim(const std::string& name, std::int64_t dim, std::int64_t heads) {
+  if (heads <= 0) throw std::invalid_argument(name + ": heads must be positive");
+  if (dim % heads != 0) throw std::invalid_argument(name + ": heads must divide dim");
+  return dim / heads;
+}
+
 }  // namespace
 
 MultiHeadSelfAttention::MultiHeadSelfAttention(std::string name, std::int64_t dim,
                                                std::int64_t heads, Rng& rng)
-    : name_(std::move(name)), dim_(dim), heads_(heads), head_dim_(dim / heads) {
-  if (dim % heads != 0) throw std::invalid_argument(name_ + ": dim must divide heads");
+    : name_(std::move(name)), dim_(dim), heads_(heads),
+      head_dim_(checked_head_dim(name_, dim, heads)) {
   q_ = std::make_unique<Linear>(name_ + ".q", dim, dim, rng);
   k_ = std::make_unique<Linear>(name_ + ".k", dim, dim, rng);
   v_ = std::make_unique<Linear>(name_ + ".v", dim, dim, rng);
@@ -31,9 +39,11 @@ Tensor MultiHeadSelfAttention::forward(const Tensor& x, bool train) {
   if (x.shape().rank() != 3 || x.shape()[2] != dim_) {
     throw std::invalid_argument(name_ + ": expected [B, T, D]");
   }
-  batch_ = x.shape()[0];
-  seq_ = x.shape()[1];
-  const std::int64_t b = batch_, t = seq_, h = heads_, dh = head_dim_;
+  // Eval forward must stay stateless: a shared module serving concurrent
+  // inference would race on these members. Dims are cached (with the
+  // activations below) only under train, where backward needs them.
+  const std::int64_t b = x.shape()[0], t = x.shape()[1];
+  const std::int64_t h = heads_, dh = head_dim_;
 
   Tensor q = q_->forward(x, train);
   Tensor k = k_->forward(x, train);
@@ -66,6 +76,8 @@ Tensor MultiHeadSelfAttention::forward(const Tensor& x, bool train) {
     }
   }
   if (train) {
+    batch_ = b;
+    seq_ = t;
     qt_ = std::move(q);
     kt_ = std::move(k);
     vt_ = std::move(v);

@@ -53,7 +53,14 @@ void Linear::set_quant(const QuantSpec& weight_spec, const QuantSpec& act_spec) 
 void Linear::set_quant_mode(QuantMode mode) { quant_.set_mode(mode); }
 
 Tensor Linear::forward(const Tensor& x, bool train) {
-  in_shape_ = x.shape();
+  // in_shape_ is backward's reshape target, so it may only track the
+  // train-path forward: an eval forward with a different geometry (e.g. a
+  // validation batch between forward(train) and backward) must not
+  // redirect the pending gradient's shape. dims_ stays a last-forward
+  // probe on BOTH paths — the hw modeling and OCS consumers read it after
+  // calibration, which runs eval forwards only.
+  const Shape in_shape = x.shape();
+  if (train) in_shape_ = in_shape;
   const Tensor x2d = as_rows(x, in_features_, "Linear");
   const std::int64_t rows = x2d.shape()[0];
   dims_ = GemmDims{rows, in_features_, out_features_};
@@ -81,7 +88,7 @@ Tensor Linear::forward(const Tensor& x, bool train) {
       for (std::int64_t o = 0; o < out_features_; ++o) yd[r * out_features_ + o] += bd[o];
     }
   }
-  return y.reshape(with_last_axis(in_shape_, out_features_));
+  return y.reshape(with_last_axis(in_shape, out_features_));
 }
 
 Tensor Linear::backward(const Tensor& grad_out) {

@@ -1,6 +1,7 @@
 #include "nn/softmax.h"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace vsq {
@@ -15,6 +16,14 @@ Tensor softmax_last_axis(const Tensor& x) {
     float* yr = y.data() + r * d;
     float m = xr[0];
     for (std::int64_t c = 1; c < d; ++c) m = std::max(m, xr[c]);
+    // A fully-masked row (every score -inf, e.g. a padded query position
+    // attending over nothing) would compute exp(-inf - -inf) = NaN and
+    // 0/0 below. Define its softmax as all zeros: pad positions carry no
+    // probability mass instead of poisoning downstream GEMMs with NaN.
+    if (m == -std::numeric_limits<float>::infinity()) {
+      for (std::int64_t c = 0; c < d; ++c) yr[c] = 0.0f;
+      continue;
+    }
     float sum = 0.0f;
     for (std::int64_t c = 0; c < d; ++c) {
       yr[c] = std::exp(xr[c] - m);

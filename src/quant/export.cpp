@@ -8,10 +8,13 @@
 #include <utility>
 
 #include "fault/failpoint.h"
+#include "nn/activations.h"
 #include "nn/conv2d.h"
+#include "nn/softmax.h"
 #include "quant/int_conv.h"
 #include "quant/int_gemm.h"
 #include "quant/int_kernel.h"
+#include "tensor/gemm.h"
 #include "tensor/ops.h"
 
 namespace vsq {
@@ -28,6 +31,16 @@ constexpr const char* kProgramPrefix = "__program__/";
 // Input image geometry of spatial programs: {in_h, in_w, in_c}.
 constexpr const char* kInputGeomKey = "__input__";
 
+// Sequence geometry of transformer programs: {max_seq, dim, heads}.
+constexpr const char* kSeqGeomKey = "__seq__";
+
+// Fp parameter entries of transformer programs. Layernorm:
+// "__ln__/<name>" = {dim, gamma[dim], beta[dim]}. Embedding:
+// "__emb__/<name>" = {vocab, max_len, dim, tok[vocab*dim], pos[max_len*dim]}.
+// Both are self-describing so load order never matters.
+constexpr const char* kLayerNormPrefix = "__ln__/";
+constexpr const char* kEmbeddingPrefix = "__emb__/";
+
 ForwardStep::Op op_from_code(int code, const std::string& entry) {
   using Op = ForwardStep::Op;
   switch (code) {
@@ -37,6 +50,11 @@ ForwardStep::Op op_from_code(int code, const std::string& entry) {
     case 3: return Op::kSave;
     case 4: return Op::kAddSaved;
     case 5: return Op::kGlobalPool;
+    case 6: return Op::kEmbed;
+    case 7: return Op::kLayerNorm;
+    case 8: return Op::kAttention;
+    case 9: return Op::kSoftmax;
+    case 10: return Op::kGelu;
     default:
       throw std::runtime_error("QuantizedModelPackage: unknown program op in " + entry);
   }
@@ -45,6 +63,11 @@ ForwardStep::Op op_from_code(int code, const std::string& entry) {
 bool op_uses_layer(ForwardStep::Op op) {
   using Op = ForwardStep::Op;
   return op == Op::kGemm || op == Op::kConv || op == Op::kConvSaved;
+}
+
+bool op_is_sequence(ForwardStep::Op op) {
+  using Op = ForwardStep::Op;
+  return op == Op::kEmbed || op == Op::kLayerNorm || op == Op::kAttention;
 }
 
 void relu_inplace(Tensor& t) {
@@ -334,6 +357,31 @@ void QuantizedModelPackage::save(const std::string& path, bool pack_weights) con
     a.put(kInputGeomKey, {3},
           {static_cast<float>(in_h), static_cast<float>(in_w), static_cast<float>(in_c)});
   }
+  if (max_seq > 0) {
+    a.put(kSeqGeomKey, {3},
+          {static_cast<float>(max_seq), static_cast<float>(seq_dim),
+           static_cast<float>(heads)});
+  }
+  for (const auto& [name, ln] : norms) {
+    std::vector<float> data;
+    data.reserve(1 + ln.gamma.size() + ln.beta.size());
+    data.push_back(static_cast<float>(ln.gamma.size()));
+    data.insert(data.end(), ln.gamma.begin(), ln.gamma.end());
+    data.insert(data.end(), ln.beta.begin(), ln.beta.end());
+    const auto n = static_cast<std::int64_t>(data.size());
+    a.put(kLayerNormPrefix + name, {n}, std::move(data));
+  }
+  for (const auto& [name, emb] : embeddings) {
+    std::vector<float> data;
+    data.reserve(3 + emb.tok.size() + emb.pos.size());
+    data.push_back(static_cast<float>(emb.vocab));
+    data.push_back(static_cast<float>(emb.max_len));
+    data.push_back(static_cast<float>(emb.dim));
+    data.insert(data.end(), emb.tok.begin(), emb.tok.end());
+    data.insert(data.end(), emb.pos.begin(), emb.pos.end());
+    const auto n = static_cast<std::int64_t>(data.size());
+    a.put(kEmbeddingPrefix + name, {n}, std::move(data));
+  }
   a.save(path);
 }
 
@@ -351,6 +399,87 @@ QuantizedModelPackage QuantizedModelPackage::load(const std::string& path) {
       pkg.in_h = checked_i64(geom[0], 0, 1 << 20, "input height");
       pkg.in_w = checked_i64(geom[1], 0, 1 << 20, "input width");
       pkg.in_c = checked_i64(geom[2], 0, 1 << 20, "input channels");
+      continue;
+    }
+    if (entry == kSeqGeomKey) {
+      const auto& geom = a.get(entry).data;
+      check_size(geom.size(), 3, "sequence geometry");
+      pkg.max_seq = checked_i64(geom[0], 1, 1 << 20, "max sequence length");
+      pkg.seq_dim = checked_i64(geom[1], 1, 1 << 20, "sequence model dim");
+      pkg.heads = checked_i64(geom[2], 1, 4096, "attention heads");
+      if (pkg.seq_dim % pkg.heads != 0) {
+        throw std::runtime_error(
+            "QuantizedModelPackage: attention heads do not divide model dim");
+      }
+      continue;
+    }
+    if (entry.rfind(kLayerNormPrefix, 0) == 0) {
+      const std::string name = entry.substr(std::string(kLayerNormPrefix).size());
+      if (name.empty()) {
+        throw std::runtime_error("QuantizedModelPackage: unnamed layernorm entry");
+      }
+      // Self-describing: {dim, gamma[dim], beta[dim]} so load order never
+      // matters relative to the geometry entry.
+      const auto& data = a.get(entry).data;
+      if (data.empty()) {
+        throw std::runtime_error("QuantizedModelPackage: empty layernorm entry " + entry);
+      }
+      const std::int64_t d = checked_i64(data[0], 1, 1 << 20, "layernorm dim of " + name);
+      check_size(data.size(), static_cast<std::size_t>(1 + 2 * d),
+                 "layernorm entry for " + name);
+      LayerNormPackage ln;
+      ln.gamma.assign(data.begin() + 1, data.begin() + 1 + d);
+      ln.beta.assign(data.begin() + 1 + d, data.begin() + 1 + 2 * d);
+      for (float v : ln.gamma) {
+        if (!std::isfinite(v)) {
+          throw std::runtime_error("QuantizedModelPackage: non-finite layernorm gamma of " +
+                                   name);
+        }
+      }
+      for (float v : ln.beta) {
+        if (!std::isfinite(v)) {
+          throw std::runtime_error("QuantizedModelPackage: non-finite layernorm beta of " +
+                                   name);
+        }
+      }
+      pkg.norms.emplace(name, std::move(ln));
+      continue;
+    }
+    if (entry.rfind(kEmbeddingPrefix, 0) == 0) {
+      const std::string name = entry.substr(std::string(kEmbeddingPrefix).size());
+      if (name.empty()) {
+        throw std::runtime_error("QuantizedModelPackage: unnamed embedding entry");
+      }
+      // Self-describing: {vocab, max_len, dim, tok[vocab*dim], pos[max_len*dim]}.
+      const auto& data = a.get(entry).data;
+      if (data.size() < 3) {
+        throw std::runtime_error("QuantizedModelPackage: truncated embedding entry " + entry);
+      }
+      EmbeddingPackage e;
+      e.vocab = checked_i64(data[0], 1, 1 << 20, "embedding vocab of " + name);
+      e.max_len = checked_i64(data[1], 1, 1 << 20, "embedding max_len of " + name);
+      e.dim = checked_i64(data[2], 1, 1 << 20, "embedding dim of " + name);
+      const std::uint64_t tok_n =
+          static_cast<std::uint64_t>(e.vocab) * static_cast<std::uint64_t>(e.dim);
+      const std::uint64_t pos_n =
+          static_cast<std::uint64_t>(e.max_len) * static_cast<std::uint64_t>(e.dim);
+      check_size(data.size(), static_cast<std::size_t>(3 + tok_n + pos_n),
+                 "embedding entry for " + name);
+      e.tok.assign(data.begin() + 3, data.begin() + 3 + static_cast<std::ptrdiff_t>(tok_n));
+      e.pos.assign(data.begin() + 3 + static_cast<std::ptrdiff_t>(tok_n), data.end());
+      for (float v : e.tok) {
+        if (!std::isfinite(v)) {
+          throw std::runtime_error("QuantizedModelPackage: non-finite token embedding of " +
+                                   name);
+        }
+      }
+      for (float v : e.pos) {
+        if (!std::isfinite(v)) {
+          throw std::runtime_error(
+              "QuantizedModelPackage: non-finite position embedding of " + name);
+        }
+      }
+      pkg.embeddings.emplace(name, std::move(e));
       continue;
     }
     if (entry.rfind(kProgramPrefix, 0) == 0) {
@@ -552,6 +681,75 @@ struct ActDims {
   bool operator==(const ActDims&) const = default;
 };
 
+// Mirrors nn/LayerNorm::forward numerics exactly (same accumulation order,
+// eps = 1e-5), applied row-wise over a flattened [N, D] activation. Rows
+// are independent, so batched results match sequential bit-for-bit.
+Tensor layernorm_exec(const Tensor& x, const LayerNormPackage& ln) {
+  const auto d = static_cast<std::int64_t>(ln.gamma.size());
+  const std::int64_t rows = x.numel() / d;
+  Tensor y(x.shape());
+  const auto fd = static_cast<float>(d);
+  constexpr float kEps = 1e-5f;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* xr = x.data() + r * d;
+    float* yr = y.data() + r * d;
+    float mean = 0.0f;
+    for (std::int64_t c = 0; c < d; ++c) mean += xr[c];
+    mean /= fd;
+    float var = 0.0f;
+    for (std::int64_t c = 0; c < d; ++c) {
+      const float dv = xr[c] - mean;
+      var += dv * dv;
+    }
+    var /= fd;
+    const float is = 1.0f / std::sqrt(var + kEps);
+    for (std::int64_t c = 0; c < d; ++c) {
+      yr[c] = (xr[c] - mean) * is * ln.gamma[c] + ln.beta[c];
+    }
+  }
+  return y;
+}
+
+Tensor gelu_exec(const Tensor& x) {
+  Tensor y(x.shape());
+  const float* src = x.data();
+  float* dst = y.data();
+  const std::int64_t n = x.numel();
+  for (std::int64_t i = 0; i < n; ++i) dst[i] = gelu_value(src[i]);
+  return y;
+}
+
+// Per-sample true-length multi-head attention. Sample r's tokens occupy
+// rows [r*t, r*t + lens[r]) of the flattened [rows*t, d] q/k/v
+// projections; its scores, softmax and context reduce over exactly
+// lens[r] positions — the same GEMM shapes a sequential [1, lens[r]] call
+// makes — so batched results are bit-identical to sequential execution by
+// construction (padding to t never lengthens a reduction axis, which
+// would regroup the blocked kernels' partial sums). Pad rows stay zero.
+Tensor attention_context(const Tensor& q, const Tensor& k, const Tensor& v,
+                         const std::vector<std::int64_t>& lens, std::int64_t t,
+                         std::int64_t d, std::int64_t heads) {
+  const auto rows = static_cast<std::int64_t>(lens.size());
+  const std::int64_t dh = d / heads;
+  const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(dh));
+  Tensor ctx(Shape{rows * t, d});  // zero-initialized: pad rows stay zero
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const std::int64_t l = lens[r];
+    for (std::int64_t hi = 0; hi < heads; ++hi) {
+      const float* qh = q.data() + r * t * d + hi * dh;
+      const float* kh = k.data() + r * t * d + hi * dh;
+      const float* vh = v.data() + r * t * d + hi * dh;
+      float* ch = ctx.data() + r * t * d + hi * dh;
+      Tensor scores(Shape{l, l});
+      gemm_nt_strided(qh, d, kh, d, scores.data(), l, l, l, dh);
+      for (float& s : scores.span()) s *= inv_sqrt;
+      const Tensor probs = softmax_last_axis(scores);
+      gemm_nn_strided(probs.data(), l, vh, d, ch, d, l, dh, l);
+    }
+  }
+  return ctx;
+}
+
 }  // namespace
 
 QuantizedModelRunner::QuantizedModelRunner(const QuantizedModelPackage& pkg,
@@ -572,6 +770,23 @@ QuantizedModelRunner::QuantizedModelRunner(const QuantizedModelPackage& pkg,
         "QuantizedModelRunner: spatial program but package has no input geometry");
   }
   spatial_ = any_spatial;
+
+  const bool any_seq = std::any_of(program_.begin(), program_.end(),
+                                   [](const ForwardStep& s) { return op_is_sequence(s.op); });
+  if (any_seq) {
+    if (any_spatial) {
+      throw std::invalid_argument("QuantizedModelRunner: program mixes spatial and sequence ops");
+    }
+    if (program_[0].op != Op::kEmbed) {
+      throw std::invalid_argument(
+          "QuantizedModelRunner: sequence program must start with an embed step");
+    }
+    if (pkg.max_seq <= 0 || pkg.seq_dim <= 0 || pkg.heads <= 0) {
+      throw std::invalid_argument(
+          "QuantizedModelRunner: sequence program but package has no sequence geometry");
+    }
+  }
+  seq_ = any_seq;
 
   // Static shape propagation: every step's input/output dims are fixed up
   // front (batch excepted), so forward() never re-validates.
@@ -670,21 +885,112 @@ QuantizedModelRunner::QuantizedModelRunner(const QuantizedModelPackage& pkg,
         cur = ActDims{false, 0, 0, 0, cur.c};
         fresh_h = true;
         break;
+      case Op::kEmbed: {
+        if (&step != &program_.front()) {
+          throw std::invalid_argument(
+              "QuantizedModelRunner: embed must be the program's first step");
+        }
+        const auto it = pkg.embeddings.find(step.layer);
+        if (it == pkg.embeddings.end()) {
+          throw std::invalid_argument("QuantizedModelRunner: program names missing embedding " +
+                                      step.layer);
+        }
+        const EmbeddingPackage& e = it->second;
+        if (e.dim != pkg.seq_dim) {
+          throw std::invalid_argument("QuantizedModelRunner: embedding " + step.layer +
+                                      " width does not match the sequence geometry");
+        }
+        if (e.max_len < pkg.max_seq) {
+          throw std::invalid_argument("QuantizedModelRunner: embedding " + step.layer +
+                                      " covers fewer positions than max_seq");
+        }
+        vocab_ = e.vocab;
+        cur.features = e.dim;
+        fresh_h = true;
+        break;
+      }
+      case Op::kLayerNorm: {
+        const auto it = pkg.norms.find(step.layer);
+        if (it == pkg.norms.end()) {
+          throw std::invalid_argument("QuantizedModelRunner: program names missing layernorm " +
+                                      step.layer);
+        }
+        if (cur.spatial || cur.features < 0 ||
+            static_cast<std::int64_t>(it->second.gamma.size()) != cur.features) {
+          throw std::invalid_argument("QuantizedModelRunner: layernorm " + step.layer +
+                                      " width does not match the activation");
+        }
+        fresh_h = true;
+        break;
+      }
+      case Op::kAttention: {
+        if (cur.spatial || cur.features != pkg.seq_dim) {
+          throw std::invalid_argument("QuantizedModelRunner: attention " + step.layer +
+                                      " expects the package model width " +
+                                      std::to_string(pkg.seq_dim));
+        }
+        for (const char* suffix : {".q", ".k", ".v", ".out"}) {
+          const auto it = pkg.layers.find(step.layer + suffix);
+          if (it == pkg.layers.end()) {
+            throw std::invalid_argument("QuantizedModelRunner: program names missing layer " +
+                                        step.layer + suffix);
+          }
+          const QuantizedMatrix& w = it->second.weights;
+          if (w.rows != pkg.seq_dim || w.cols() != pkg.seq_dim) {
+            throw std::invalid_argument("QuantizedModelRunner: attention projection " +
+                                        step.layer + suffix +
+                                        " is not a square model-width layer");
+          }
+        }
+        fresh_h = true;
+        break;
+      }
+      case Op::kSoftmax:
+      case Op::kGelu:
+        if (cur.spatial || cur.features < 0) {
+          throw std::invalid_argument("QuantizedModelRunner: elementwise step on an unshaped "
+                                      "activation");
+        }
+        fresh_h = true;
+        break;
     }
   }
   if (spatial_) in_features_ = pkg.in_h * pkg.in_w * pkg.in_c;
+  if (seq_) {
+    // Sequence packages take token rows: a full-width input is one id per
+    // position; shorter rows are a prefix of that.
+    max_seq_ = pkg.max_seq;
+    in_features_ = max_seq_;
+  }
   if (in_features_ <= 0) {
     throw std::invalid_argument("QuantizedModelRunner: program has no input layer");
   }
-  out_features_ = cur.spatial ? cur.h * cur.w * cur.c : cur.features;
+  if (seq_) {
+    out_per_token_ = cur.features;
+    out_features_ = max_seq_ * out_per_token_;
+  } else {
+    out_features_ = cur.spatial ? cur.h * cur.w * cur.c : cur.features;
+  }
 
   // Resolve every layer into its primitive once, after validation passed
   // (kernel dispatch + weight-panel pack): the per-request path then
   // executes resolved primitives — zero repacks, zero dispatch lookups.
   for (const auto& [name, l] : pkg.layers) prims_.try_emplace(name, l);
   step_prims_.reserve(program_.size());
-  for (const ForwardStep& step : program_) {
+  step_attn_.resize(program_.size());
+  step_norms_.resize(program_.size(), nullptr);
+  step_embeds_.resize(program_.size(), nullptr);
+  for (std::size_t i = 0; i < program_.size(); ++i) {
+    const ForwardStep& step = program_[i];
     step_prims_.push_back(op_uses_layer(step.op) ? &prims_.at(step.layer) : nullptr);
+    if (step.op == Op::kAttention) {
+      step_attn_[i] = AttnPrims{&prims_.at(step.layer + ".q"), &prims_.at(step.layer + ".k"),
+                                &prims_.at(step.layer + ".v"), &prims_.at(step.layer + ".out")};
+    } else if (step.op == Op::kLayerNorm) {
+      step_norms_[i] = &pkg.norms.at(step.layer);
+    } else if (step.op == Op::kEmbed) {
+      step_embeds_[i] = &pkg.embeddings.at(step.layer);
+    }
   }
 }
 
@@ -704,6 +1010,7 @@ std::vector<ForwardStep> QuantizedModelRunner::mlp_program(const QuantizedModelP
 
 Tensor QuantizedModelRunner::forward(const Tensor& x, IntGemmStats* stats) const {
   using Op = ForwardStep::Op;
+  if (seq_) return forward_seq(x, stats);
   if (x.shape().rank() != 2 || x.shape()[1] != in_features_) {
     throw std::invalid_argument("QuantizedModelRunner: input must be [rows, " +
                                 std::to_string(in_features_) + "]");
@@ -730,11 +1037,121 @@ Tensor QuantizedModelRunner::forward(const Tensor& x, IntGemmStats* stats) const
       case Op::kGlobalPool:
         h = global_avg_pool_nhwc(h);
         break;
+      case Op::kSoftmax:
+        h = softmax_last_axis(h);
+        break;
+      case Op::kGelu:
+        h = gelu_exec(h);
+        break;
+      case Op::kEmbed:
+      case Op::kLayerNorm:
+      case Op::kAttention:
+        break;  // sequence-only ops route through forward_seq (ctor guarantees)
     }
     if (program_[i].relu) relu_inplace(h);
   }
   if (h.shape().rank() != 2) h = h.reshape(Shape{rows, out_features_});
   return h;
+}
+
+Tensor QuantizedModelRunner::forward_seq(const Tensor& x, IntGemmStats* stats) const {
+  using Op = ForwardStep::Op;
+  if (x.shape().rank() != 2 || x.shape()[1] < 1 || x.shape()[1] > max_seq_) {
+    throw std::invalid_argument("QuantizedModelRunner: input must be [rows, T] token ids with "
+                                "1 <= T <= " +
+                                std::to_string(max_seq_));
+  }
+  const std::int64_t rows = x.shape()[0], t = x.shape()[1];
+
+  // Per-row true length = the unpadded prefix before the first -1.0f
+  // sentinel. Validated at the door: a malformed row (interior pad,
+  // fractional or out-of-vocab id) must fail this call with a clear
+  // diagnostic, never index the embedding table.
+  std::vector<std::int64_t> lens(rows, t);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* row = x.data() + r * t;
+    std::int64_t l = 0;
+    while (l < t && row[l] != -1.0f) ++l;
+    if (l == 0) {
+      throw std::invalid_argument("QuantizedModelRunner: empty token row");
+    }
+    for (std::int64_t j = l; j < t; ++j) {
+      if (row[j] != -1.0f) {
+        throw std::invalid_argument(
+            "QuantizedModelRunner: pad sentinel inside a token row (suffix padding only)");
+      }
+    }
+    for (std::int64_t j = 0; j < l; ++j) {
+      const float v = row[j];
+      if (!(v >= 0.0f && v < static_cast<float>(vocab_)) ||
+          v != static_cast<float>(static_cast<std::int64_t>(v))) {
+        throw std::invalid_argument("QuantizedModelRunner: token id out of range [0, " +
+                                    std::to_string(vocab_) + ")");
+      }
+    }
+    lens[r] = l;
+  }
+
+  // Embedding lookup (always step 0): [rows, t] ids -> flattened
+  // [rows*t, D] activations, zeros at pad positions. Every later op is
+  // row-independent over this flattening (attention partitions it per
+  // sample), which is what makes batched == sequential bit-exact.
+  const EmbeddingPackage& e = *step_embeds_[0];
+  Tensor h(Shape{rows * t, e.dim});
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* row = x.data() + r * t;
+    for (std::int64_t j = 0; j < lens[r]; ++j) {
+      const auto id = static_cast<std::int64_t>(row[j]);
+      const float* te = e.tok.data() + id * e.dim;
+      const float* pe = e.pos.data() + j * e.dim;
+      float* dst = h.data() + (r * t + j) * e.dim;
+      for (std::int64_t c = 0; c < e.dim; ++c) dst[c] = te[c] + pe[c];
+    }
+  }
+  if (program_[0].relu) relu_inplace(h);
+
+  Tensor saved;
+  const IntExecContext ctx{scale_product_bits_, stats};
+  for (std::size_t i = 1; i < program_.size(); ++i) {
+    switch (program_[i].op) {
+      case Op::kGemm:
+        h = step_prims_[i]->execute(h, ctx);
+        break;
+      case Op::kSave:
+        saved = h;  // shallow: the next op produces a fresh h (validated)
+        break;
+      case Op::kAddSaved:
+        add_inplace(h, saved);
+        break;
+      case Op::kLayerNorm:
+        h = layernorm_exec(h, *step_norms_[i]);
+        break;
+      case Op::kGelu:
+        h = gelu_exec(h);
+        break;
+      case Op::kSoftmax:
+        h = softmax_last_axis(h);
+        break;
+      case Op::kAttention: {
+        const AttnPrims& p = step_attn_[i];
+        const Tensor q = p.q->execute(h, ctx);
+        const Tensor k = p.k->execute(h, ctx);
+        const Tensor v = p.v->execute(h, ctx);
+        h = p.out->execute(attention_context(q, k, v, lens, t, pkg_->seq_dim, pkg_->heads),
+                           ctx);
+        break;
+      }
+      case Op::kEmbed:
+      case Op::kConv:
+      case Op::kConvSaved:
+      case Op::kGlobalPool:
+        break;  // rejected at construction
+    }
+    if (program_[i].relu) relu_inplace(h);
+  }
+  // [rows*t, out_per_token] -> [rows, t*out_per_token]; only the first
+  // lens[r]*out_per_token values of a row are meaningful.
+  return h.reshape(Shape{rows, t * out_per_token_});
 }
 
 IntegerExecutionGuard::IntegerExecutionGuard(std::vector<QuantizableGemm*> gemms,

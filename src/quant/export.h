@@ -46,7 +46,11 @@ struct QuantizedLayerPackage {
 // One step of a packaged model's forward pass. MLP-style graphs only use
 // kGemm chains; CNN graphs add convolution, the residual save/add pair
 // (one saved-activation slot, enough for ResNet-style chains) and global
-// average pooling. ReLU applies after the op when `relu` is set.
+// average pooling; transformer graphs add embedding lookup, layernorm,
+// per-head self-attention, softmax and GELU over sequence activations
+// (kGemm and the save/add pair work position-wise on sequences too, which
+// covers the residual-over-sequence joins). ReLU applies after the op
+// when `relu` is set.
 struct ForwardStep {
   enum class Op {
     kGemm = 0,        // h = layer(h)                 [rows, features]
@@ -55,8 +59,14 @@ struct ForwardStep {
     kSave = 3,        // saved = h
     kAddSaved = 4,    // h += saved                   residual join
     kGlobalPool = 5,  // h = mean over H, W:          [N,H,W,C] -> [N, C]
+    kEmbed = 6,       // h = tok[id] + pos[j]:        [rows, T] -> [rows, T, D]
+    kLayerNorm = 7,   // h = layernorm(h) over D      fp gamma/beta params
+    kAttention = 8,   // h = MHSA(h): layer is the prefix of the four
+                      // quantized projections <p>.q/.k/.v/.out
+    kSoftmax = 9,     // h = softmax over the last axis
+    kGelu = 10,       // h = gelu(h), tanh approximation (nn/activations)
   };
-  std::string layer;  // layer name for kGemm/kConv/kConvSaved; a token otherwise
+  std::string layer;  // layer name for layer-bearing ops; a token otherwise
   bool relu = false;
   Op op = Op::kGemm;
 
@@ -66,6 +76,25 @@ struct ForwardStep {
   static ForwardStep save() { return {"save", false, Op::kSave}; }
   static ForwardStep add_saved(bool r) { return {"add", r, Op::kAddSaved}; }
   static ForwardStep global_pool() { return {"gap", false, Op::kGlobalPool}; }
+  static ForwardStep embed(std::string e) { return {std::move(e), false, Op::kEmbed}; }
+  static ForwardStep layernorm(std::string n) { return {std::move(n), false, Op::kLayerNorm}; }
+  static ForwardStep attention(std::string p) { return {std::move(p), false, Op::kAttention}; }
+  static ForwardStep softmax() { return {"softmax", false, Op::kSoftmax}; }
+  static ForwardStep gelu() { return {"gelu", false, Op::kGelu}; }
+};
+
+// Floating-point (unquantized) parameter sets of a packaged transformer.
+// The paper's BERT recipe — like Q8BERT / I-BERT — quantizes the weighted
+// projection and FFN GEMMs and keeps normalization, softmax and the
+// embedding tables in floating point; these carry that fp side.
+struct LayerNormPackage {
+  std::vector<float> gamma, beta;  // [dim] each
+};
+
+struct EmbeddingPackage {
+  std::int64_t vocab = 0, max_len = 0, dim = 0;
+  std::vector<float> tok;  // [vocab, dim] row-major
+  std::vector<float> pos;  // [max_len, dim] row-major
 };
 
 struct QuantizedModelPackage {
@@ -76,6 +105,14 @@ struct QuantizedModelPackage {
   // Input image geometry, required (and persisted) when the program
   // contains spatial ops; 0 for MLP-style packages.
   std::int64_t in_h = 0, in_w = 0, in_c = 0;
+  // Sequence geometry, required (and persisted, "__seq__") when the
+  // program contains sequence ops: the longest servable token row, the
+  // model width and the attention head count. 0 for non-sequence packages.
+  std::int64_t max_seq = 0, seq_dim = 0, heads = 0;
+  // Fp parameter sets referenced by kLayerNorm / kEmbed steps, persisted
+  // as "__ln__/<name>" and "__emb__/<name>" entries.
+  std::map<std::string, LayerNormPackage> norms;
+  std::map<std::string, EmbeddingPackage> embeddings;
 
   // save() stores weight codes densely packed ("<layer>/q_packed": biased
   // unsigned b-bit codes, 24/b codes per archive float as an exact < 2^24
@@ -179,6 +216,16 @@ Tensor run_packaged_conv_layer(const QuantizedLayerPackage& layer, const Tensor&
 // CNN packages execute on flattened inputs: forward() takes [rows, H*W*C]
 // rows (what the dynamic batcher assembles), reshapes to NHWC internally,
 // and flattens the final activation back to 2-D.
+//
+// Sequence (transformer) packages execute on token rows: forward() takes
+// [rows, T] token ids as floats for ANY 1 <= T <= max_seq, with shorter
+// rows padded to T by the -1.0f sentinel (suffix padding only). Each
+// row's true length L is its unpadded prefix; attention runs per sample
+// over exactly its L positions (identical GEMM shapes whether the row is
+// served alone or inside a padded batch), so batched outputs are
+// bit-identical to sequential [1, L] execution by construction. The
+// output is [rows, T * out_per_token]; only the first L * out_per_token
+// values of a row are meaningful (the serving layer slices them).
 class QuantizedModelRunner {
  public:
   // Uses pkg.program when non-empty, else mlp_program(pkg). The package
@@ -204,6 +251,14 @@ class QuantizedModelRunner {
   std::int64_t in_features() const { return in_features_; }
   std::int64_t out_features() const { return out_features_; }
   bool spatial() const { return spatial_; }
+  // Sequence-program surface: seq() marks a token-row model; max_seq is
+  // the longest servable row (in_features() == max_seq), out_per_token the
+  // per-position output width (out_features() == max_seq * out_per_token),
+  // vocab the valid token-id range [0, vocab). All 0/false otherwise.
+  bool seq() const { return seq_; }
+  std::int64_t max_seq() const { return max_seq_; }
+  std::int64_t out_per_token() const { return out_per_token_; }
+  std::int64_t vocab() const { return vocab_; }
   const std::vector<ForwardStep>& program() const { return program_; }
   // The layer's resolved primitive (nullptr for unknown names), and the
   // full load-time resolution — what vsq_inspect --kernels prints.
@@ -211,13 +266,28 @@ class QuantizedModelRunner {
   const std::map<std::string, IntLayerPrimitive>& primitives() const { return prims_; }
 
  private:
+  Tensor forward_seq(const Tensor& x, IntGemmStats* stats) const;
+
   const QuantizedModelPackage* pkg_;
   std::vector<ForwardStep> program_;
   std::map<std::string, IntLayerPrimitive> prims_;  // resolved at load time
   std::vector<const IntLayerPrimitive*> step_prims_;  // parallel to program_
+  // Per-step resolved references for the sequence ops (all parallel to
+  // program_; only the slot matching the step's op is non-null).
+  struct AttnPrims {
+    const IntLayerPrimitive* q = nullptr;
+    const IntLayerPrimitive* k = nullptr;
+    const IntLayerPrimitive* v = nullptr;
+    const IntLayerPrimitive* out = nullptr;
+  };
+  std::vector<AttnPrims> step_attn_;
+  std::vector<const LayerNormPackage*> step_norms_;
+  std::vector<const EmbeddingPackage*> step_embeds_;
   int scale_product_bits_;
   bool spatial_ = false;  // program starts on an NHWC image
+  bool seq_ = false;      // program starts on a token row (kEmbed first)
   std::int64_t in_features_ = 0, out_features_ = 0;
+  std::int64_t max_seq_ = 0, out_per_token_ = 0, vocab_ = 0;
 };
 
 // RAII deployment runner: installs a GEMM override on every listed layer so

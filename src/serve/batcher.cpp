@@ -140,10 +140,37 @@ void DynamicBatcher::run_loop() {
     }
 
     const auto rows = static_cast<std::int64_t>(batch.size());
-    Tensor x(Shape{rows, in_features_});
+    const bool seq = !cfg_.seq_buckets.empty();
+    std::vector<std::int64_t> lens, buckets;
+    std::int64_t t_exec = in_features_;
+    if (seq) {
+      // Bucket assignment: each request gets the smallest bucket covering
+      // its token count; the batch executes at its widest member bucket.
+      // Padding never changes a row's result (the runner's attention
+      // reduces over the true length), so sharing is free.
+      lens.resize(batch.size());
+      buckets.resize(batch.size());
+      t_exec = 0;
+      for (std::size_t r = 0; r < batch.size(); ++r) {
+        lens[r] = batch[r].input.numel();
+        std::int64_t bucket = cfg_.seq_buckets.back();
+        for (const std::int64_t w : cfg_.seq_buckets) {
+          if (w >= lens[r]) {
+            bucket = w;
+            break;
+          }
+        }
+        buckets[r] = bucket;
+        t_exec = std::max(t_exec, bucket);
+      }
+    }
+    Tensor x(Shape{rows, t_exec});
+    if (seq) x.fill(-1.0f);  // pad sentinel; each row overwrites its prefix
     for (std::int64_t r = 0; r < rows; ++r) {
-      std::memcpy(x.data() + r * in_features_, batch[static_cast<std::size_t>(r)].input.data(),
-                  static_cast<std::size_t>(in_features_) * sizeof(float));
+      const Request& req = batch[static_cast<std::size_t>(r)];
+      const std::int64_t n = seq ? lens[static_cast<std::size_t>(r)] : in_features_;
+      std::memcpy(x.data() + r * t_exec, req.input.data(),
+                  static_cast<std::size_t>(n) * sizeof(float));
     }
 
     Tensor y;
@@ -169,18 +196,31 @@ void DynamicBatcher::run_loop() {
     const std::int64_t out = y.shape()[1];
     const auto done = std::chrono::steady_clock::now();
     stats_.record_batch(batch.size());
+    if (seq) stats_.record_bucket_batch(buckets);
     for (Request& req : batch) {
       stats_.record_request(
           std::chrono::duration<double, std::micro>(done - req.enqueue_time).count());
     }
     for (std::int64_t r = 0; r < rows; ++r) {
       Request& req = batch[static_cast<std::size_t>(r)];
-      Tensor row = y.view_rows(r, r + 1);  // zero-copy [1, out] view
+      Tensor row;
+      if (seq) {
+        // Deep-copy the meaningful prefix (this row's true length times
+        // out_per_token): the padded batch output is worker-owned scratch
+        // and the tail of the row describes pad positions.
+        const std::int64_t want = lens[static_cast<std::size_t>(r)] * cfg_.out_per_token;
+        row = Tensor(Shape{1, want});
+        std::memcpy(row.data(), y.data() + r * out,
+                    static_cast<std::size_t>(want) * sizeof(float));
+      } else {
+        row = y.view_rows(r, r + 1);  // zero-copy [1, out] view
+      }
       if (on_result_ && !req.cache_key.empty()) {
         on_result_(req.cache_key,
                    std::span<const float>(req.input.data(),
-                                          static_cast<std::size_t>(in_features_)),
-                   std::span<const float>(row.data(), static_cast<std::size_t>(out)));
+                                          static_cast<std::size_t>(req.input.numel())),
+                   std::span<const float>(row.data(),
+                                          static_cast<std::size_t>(row.numel())));
       }
       req.promise.set_value(std::move(row));
     }

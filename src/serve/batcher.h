@@ -17,6 +17,7 @@
 #include <span>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "serve/request_queue.h"
 #include "serve/serve_stats.h"
@@ -28,6 +29,15 @@ struct BatcherConfig {
   int max_wait_us = 0;     // linger for stragglers once a batch opens
   bool warmup = true;      // run one max_batch forward before serving so
                            // the worker's ScratchArena is preallocated
+  // Sequence serving (non-empty = sequence mode): requests are unpadded
+  // token rows of varying length; each is assigned the smallest bucket
+  // width >= its length (ascending; the last bucket must cover max_seq)
+  // and a batch executes at the widest bucket among its members with
+  // -1.0f suffix padding — a 16-token and a 128-token request share one
+  // forward pass, and bucket occupancy lands in ServeStats. out_per_token
+  // sizes the per-request output slice (row L gets L * out_per_token).
+  std::vector<std::int64_t> seq_buckets;
+  std::int64_t out_per_token = 0;
 };
 
 class DynamicBatcher {

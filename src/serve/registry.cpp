@@ -65,6 +65,8 @@ ServeStatsSnapshot merge_snapshots(ServeStatsSnapshot a, const ServeStatsSnapsho
   if (a.batch_hist.size() < b.batch_hist.size()) a.batch_hist.resize(b.batch_hist.size(), 0);
   for (std::size_t i = 0; i < b.batch_hist.size(); ++i) a.batch_hist[i] += b.batch_hist[i];
   a.mean_batch = mean_batch_from_hist(a.batch_hist, a.batches);
+  for (const auto& [w, n] : b.bucket_hist) a.bucket_hist[w] += n;
+  a.mixed_bucket_batches += b.mixed_bucket_batches;
   // Resident packed-panel bytes describe the loaded model, not traffic:
   // two windows of the same name serve the same (or a reloaded) model, so
   // take the max rather than summing footprints that never coexisted as

@@ -84,6 +84,17 @@ void ServeStats::record_worker_restart() {
   ++worker_restarts_;
 }
 
+void ServeStats::record_bucket_batch(const std::vector<std::int64_t>& request_buckets) {
+  if (request_buckets.empty()) return;
+  std::lock_guard lock(mu_);
+  bool mixed = false;
+  for (const std::int64_t w : request_buckets) {
+    ++bucket_hist_[w];
+    if (w != request_buckets.front()) mixed = true;
+  }
+  if (mixed) ++mixed_bucket_batches_;
+}
+
 ServeStatsSnapshot ServeStats::snapshot() const {
   std::vector<double> lat;
   ServeStatsSnapshot s;
@@ -91,6 +102,8 @@ ServeStatsSnapshot ServeStats::snapshot() const {
     std::lock_guard lock(mu_);
     lat = window_;  // percentile input order is irrelevant (sorted inside)
     s.batch_hist = batch_hist_;
+    s.bucket_hist = bucket_hist_;
+    s.mixed_bucket_batches = mixed_bucket_batches_;
     s.requests = requests_;
     s.batches = batches_;
     s.cache_hits = cache_hits_;
@@ -140,6 +153,11 @@ void ServeStatsSnapshot::print_table(std::ostream& os) const {
              Table::num(p95_us, 1), Table::num(p99_us, 1), Table::num(max_us, 1),
              Table::num(static_cast<double>(packed_weight_bytes) / 1024.0, 1)});
   t.print(os);
+  if (!bucket_hist.empty()) {
+    os << "sequence buckets (width: requests):";
+    for (const auto& [w, n] : bucket_hist) os << " " << w << ":" << n;
+    os << "; mixed-bucket batches: " << mixed_bucket_batches << "\n";
+  }
 }
 
 std::string ServeStatsSnapshot::json() const {
@@ -154,7 +172,15 @@ std::string ServeStatsSnapshot::json() const {
      << ",\"latency_us\":{\"p50\":" << p50_us << ",\"p95\":" << p95_us << ",\"p99\":" << p99_us
      << ",\"mean\":" << mean_us << ",\"max\":" << max_us
      << ",\"percentile_window\":" << percentile_window
-     << "},\"packed_weight_bytes\":" << packed_weight_bytes << ",\"batch_hist\":[";
+     << "},\"packed_weight_bytes\":" << packed_weight_bytes
+     << ",\"mixed_bucket_batches\":" << mixed_bucket_batches << ",\"bucket_hist\":{";
+  bool first_bucket = true;
+  for (const auto& [w, n] : bucket_hist) {
+    if (!first_bucket) os << ',';
+    first_bucket = false;
+    os << "\"" << w << "\":" << n;
+  }
+  os << "},\"batch_hist\":[";
   for (std::size_t b = 0; b < batch_hist.size(); ++b) {
     if (b) os << ',';
     os << batch_hist[b];

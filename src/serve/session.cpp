@@ -17,6 +17,21 @@ InferenceSession::InferenceSession(QuantizedModelPackage pkg, ServeConfig cfg)
   for (const auto& [name, prim] : runner_.primitives()) {
     packed_weight_bytes_ += static_cast<std::uint64_t>(prim.resident_bytes());
   }
+  if (runner_.seq()) {
+    // Resolve the bucket ladder once: sorted, deduplicated, positive, and
+    // always ending in max_seq so every admissible length has a bucket.
+    // Empty config -> doubling widths (8, 16, ... max_seq).
+    auto& b = cfg_.seq_buckets;
+    b.erase(std::remove_if(b.begin(), b.end(),
+                           [this](std::int64_t w) { return w < 1 || w > runner_.max_seq(); }),
+            b.end());
+    if (b.empty()) {
+      for (std::int64_t w = 8; w < runner_.max_seq(); w *= 2) b.push_back(w);
+    }
+    std::sort(b.begin(), b.end());
+    b.erase(std::unique(b.begin(), b.end()), b.end());
+    if (b.empty() || b.back() < runner_.max_seq()) b.push_back(runner_.max_seq());
+  }
   if (cfg_.cache_entries > 0) {
     // Cache entries store input || output: the key is only a 64-bit hash,
     // so hits re-verify the input bytes before trusting the stored row —
@@ -57,6 +72,10 @@ std::unique_ptr<DynamicBatcher> InferenceSession::make_batcher(bool warmup) {
   bc.max_batch = cfg_.max_batch;
   bc.max_wait_us = cfg_.max_wait_us;
   bc.warmup = warmup;
+  if (runner_.seq()) {
+    bc.seq_buckets = cfg_.seq_buckets;
+    bc.out_per_token = runner_.out_per_token();
+  }
   return std::make_unique<DynamicBatcher>(queue_, batch_fn_, runner_.in_features(), bc, stats_,
                                           result_hook_);
 }
@@ -149,10 +168,33 @@ std::future<Tensor> InferenceSession::submit(const Tensor& input, Priority prior
                                              std::chrono::steady_clock::time_point deadline) {
   const std::int64_t d = runner_.in_features();
   const Shape& s = input.shape();
-  const bool ok = (s.rank() == 1 && s[0] == d) || (s.rank() == 2 && s[0] == 1 && s[1] == d);
-  if (!ok) {
-    throw std::invalid_argument("InferenceSession::submit: input must be [" +
-                                std::to_string(d) + "] or [1, " + std::to_string(d) + "]");
+  std::int64_t out_n = runner_.out_features();
+  if (runner_.seq()) {
+    // Sequence model: an UNPADDED token row of any length up to max_seq.
+    const std::int64_t t = s.rank() == 1 ? s[0] : (s.rank() == 2 && s[0] == 1 ? s[1] : 0);
+    if (t < 1 || t > runner_.max_seq()) {
+      throw std::invalid_argument(
+          "InferenceSession::submit: sequence input must be [T] or [1, T] with 1 <= T <= " +
+          std::to_string(runner_.max_seq()));
+    }
+    // Validate tokens at the door so one malformed request fails alone
+    // instead of failing every batch-mate it rides with. Clients send
+    // unpadded rows; the pad sentinel (-1) is the batcher's to add.
+    const float vocab = static_cast<float>(runner_.vocab());
+    for (const float v : input.span()) {
+      if (!(v >= 0.0f && v < vocab && v == static_cast<float>(static_cast<std::int64_t>(v)))) {
+        throw std::invalid_argument(
+            "InferenceSession::submit: token ids must be integral and in [0, " +
+            std::to_string(runner_.vocab()) + ")");
+      }
+    }
+    out_n = t * runner_.out_per_token();
+  } else {
+    const bool ok = (s.rank() == 1 && s[0] == d) || (s.rank() == 2 && s[0] == 1 && s[1] == d);
+    if (!ok) {
+      throw std::invalid_argument("InferenceSession::submit: input must be [" +
+                                  std::to_string(d) + "] or [1, " + std::to_string(d) + "]");
+    }
   }
   stats_.mark_start();
   const auto t0 = std::chrono::steady_clock::now();
@@ -172,13 +214,15 @@ std::future<Tensor> InferenceSession::submit(const Tensor& input, Priority prior
     if (auto hit = cache_.get(req.cache_key)) {
       // Entry layout: input || output. Confirm the stored input actually
       // matches before serving the row (hash collisions become misses).
-      const auto in_n = static_cast<std::size_t>(d);
-      if (hit->size() == in_n + static_cast<std::size_t>(runner_.out_features()) &&
+      // Sequence entries are per-length: in_n/out_n already reflect this
+      // request's token count, so a different-length row can't match.
+      const auto in_n = static_cast<std::size_t>(input.numel());
+      if (hit->size() == in_n + static_cast<std::size_t>(out_n) &&
           std::memcmp(hit->data(), input.data(), in_n * sizeof(float)) == 0) {
         std::promise<Tensor> p;
         std::future<Tensor> f = p.get_future();
         p.set_value(Tensor::from_vector(
-            Shape{1, runner_.out_features()},
+            Shape{1, out_n},
             std::vector<float>(hit->begin() + static_cast<std::ptrdiff_t>(in_n), hit->end())));
         stats_.record_request(
             std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t0)

@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <vector>
 
 #include "exp/experiment_context.h"
+#include "exp/ptq.h"
+#include "hw/mac_config.h"
 #include "nn/linear.h"
 #include "quant/export.h"
 #include "quant/learned_scale.h"
@@ -264,6 +267,90 @@ TEST(ArchiveFuzz, BitFlipsNeverCrash) {
     EXPECT_GT(rejected, 0u);
     std::remove(path.c_str());
   }
+}
+
+// ---- Sequence-package entries (__seq__, __ln__/*, __emb__/*) ------------
+//
+// The transformer package adds three new archive entry families: sequence
+// geometry, fp32 layernorm parameters, and fp32 embedding tables. The
+// same robustness contract applies — corrupting any of them must surface
+// as a clean std::runtime_error (or load fine when only payload floats
+// moved), never a crash or a poisoned runner.
+
+std::string write_seq_fuzz_package(const std::string& tag) {
+  const QuantizedModelPackage pkg = tiny_bert_package(MacConfig::parse("4/8/6/10"));
+  const std::string path =
+      (std::filesystem::temp_directory_path() / ("vsq_fuzz_" + tag + ".vsqa")).string();
+  pkg.save(path);
+  return path;
+}
+
+// Byte offsets of `needle` in `haystack` (entry names are stored verbatim
+// in the archive, so this locates each new entry's neighborhood).
+std::vector<std::size_t> find_all(const std::vector<char>& haystack, const std::string& needle) {
+  std::vector<std::size_t> hits;
+  if (needle.empty() || haystack.size() < needle.size()) return hits;
+  for (std::size_t i = 0; i + needle.size() <= haystack.size(); ++i) {
+    if (std::memcmp(haystack.data() + i, needle.data(), needle.size()) == 0) hits.push_back(i);
+  }
+  return hits;
+}
+
+TEST(ArchiveFuzz, SequencePackageTruncationsFailCleanly) {
+  const std::string path = write_seq_fuzz_package("seq_trunc");
+  const std::vector<char> bytes = read_bytes(path);
+  ASSERT_GT(bytes.size(), 256u);
+  std::vector<std::size_t> cuts{0, 1, 4, 8, 16, 64};
+  for (std::size_t frac = 1; frac < 8; ++frac) cuts.push_back(bytes.size() * frac / 8);
+  cuts.push_back(bytes.size() - 1);
+  // Cut right at and just inside each new entry family, so the loader's
+  // "truncated" branches for __seq__/__ln__/__emb__ actually execute.
+  for (const std::string name : {"__seq__", "__ln__/", "__emb__/"}) {
+    for (const std::size_t at : find_all(bytes, name)) {
+      cuts.push_back(at);
+      cuts.push_back(at + name.size() + 4);
+    }
+  }
+  for (const std::size_t cut : cuts) {
+    if (cut >= bytes.size()) continue;
+    write_bytes(path, {bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(cut)});
+    EXPECT_THROW((void)Archive::load(path), std::runtime_error) << "cut=" << cut;
+    EXPECT_THROW((void)QuantizedModelPackage::load(path), std::runtime_error) << "cut=" << cut;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ArchiveFuzz, SequenceEntryBitFlipsNeverCrash) {
+  const std::string path = write_seq_fuzz_package("seq_flip");
+  const std::vector<char> bytes = read_bytes(path);
+  // Dense sweep over each new entry's neighborhood (name + dims + the
+  // leading payload words: geometry fields, the ln/emb self-describing
+  // headers), sparse over the rest of the file.
+  std::vector<std::size_t> positions;
+  for (const std::string name : {"__seq__", "__ln__/", "__emb__/"}) {
+    for (const std::size_t at : find_all(bytes, name)) {
+      for (std::size_t i = at; i < std::min(bytes.size(), at + 96); ++i) positions.push_back(i);
+    }
+  }
+  ASSERT_FALSE(positions.empty()) << "no sequence entries found in the archive";
+  for (std::size_t i = 0; i < bytes.size(); i += 97) positions.push_back(i);
+  std::size_t loaded = 0, rejected = 0;
+  for (std::size_t n = 0; n < positions.size(); ++n) {
+    const std::size_t pos = positions[n];
+    std::vector<char> corrupt = bytes;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ (1 << (n % 8)));
+    write_bytes(path, corrupt);
+    if (load_all_surfaces(path, /*through_registry=*/n % 64 == 0)) {
+      ++loaded;
+    } else {
+      ++rejected;
+    }
+  }
+  // Both outcomes must occur: flips in fp payload (embedding/layernorm
+  // floats) may load, flips in names/dims/geometry must reject.
+  EXPECT_GT(loaded, 0u);
+  EXPECT_GT(rejected, 0u);
+  std::remove(path.c_str());
 }
 
 // ---- Sub-byte packed weight encoding: forward/backward compatibility ----

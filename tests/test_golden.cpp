@@ -33,6 +33,8 @@ std::string golden_package_path() { return golden_dir() + "/tiny_int.vsqa"; }
 std::string golden_io_path() { return golden_dir() + "/tiny_io.vsqa"; }
 std::string golden_conv_package_path() { return golden_dir() + "/tiny_conv.vsqa"; }
 std::string golden_conv_io_path() { return golden_dir() + "/tiny_conv_io.vsqa"; }
+std::string golden_bert_package_path() { return golden_dir() + "/tiny_bert.vsqa"; }
+std::string golden_bert_io_path() { return golden_dir() + "/tiny_bert_io.vsqa"; }
 
 // The exact package vsq_quantize --model=tiny exports (same seed, same
 // calibration stream, same config — one shared definition in exp/ptq).
@@ -228,6 +230,115 @@ TEST(GoldenConvPackage, RunnerReproducesCommittedOutputsBitExactly) {
   }
 }
 
+// ---- Transformer package goldens -----------------------------------------
+// The sequence-serving deployment format: the __seq__ geometry entry, the
+// self-describing __ln__/__emb__ fp32 parameter entries, and the op-coded
+// embed/layernorm/attention/softmax/gelu forward program, plus the padded
+// mixed-length batched forward through the sequence runner.
+
+// Likewise for --model=tiny_bert: the 2-layer encoder package.
+QuantizedModelPackage build_tiny_bert_package() {
+  return tiny_bert_package(MacConfig::parse("4/8/6/10"));
+}
+
+// Padded token batch at mixed true lengths (suffix -1.0f sentinel), so the
+// committed output also pins the true-length attention/pad handling.
+Tensor golden_bert_input() {
+  Rng rng(1717);
+  const TransformerConfig config = tiny_bert_config();
+  const std::int64_t lens[] = {5, 19, config.max_len};
+  Tensor x(Shape{3, config.max_len});
+  x.fill(-1.0f);
+  for (std::int64_t r = 0; r < 3; ++r) {
+    for (std::int64_t j = 0; j < lens[r]; ++j) {
+      x.at2(r, j) =
+          static_cast<float>(rng.uniform_u64(static_cast<std::uint64_t>(config.vocab)));
+    }
+  }
+  return x;
+}
+
+TEST(GoldenBertPackage, SaveLoadRoundTripIsByteIdentical) {
+  const std::string tmp1 = std::filesystem::temp_directory_path() / "vsq_golden_bert_rt1.vsqa";
+  const std::string tmp2 = std::filesystem::temp_directory_path() / "vsq_golden_bert_rt2.vsqa";
+  const QuantizedModelPackage pkg = QuantizedModelPackage::load(golden_bert_package_path());
+  pkg.save(tmp1);
+  EXPECT_EQ(read_bytes(tmp1), read_bytes(golden_bert_package_path()))
+      << "save(load(golden)) differs from the committed bert archive - the "
+         "sequence package format drifted";
+  QuantizedModelPackage::load(tmp1).save(tmp2);
+  EXPECT_EQ(read_bytes(tmp1), read_bytes(tmp2));
+  std::remove(tmp1.c_str());
+  std::remove(tmp2.c_str());
+}
+
+TEST(GoldenBertPackage, StructureMatchesCommittedExpectations) {
+  const QuantizedModelPackage pkg = QuantizedModelPackage::load(golden_bert_package_path());
+  const TransformerConfig config = tiny_bert_config();
+  EXPECT_EQ(pkg.max_seq, config.max_len);
+  EXPECT_EQ(pkg.seq_dim, config.dim);
+  EXPECT_EQ(pkg.heads, config.heads);
+  // 2 blocks x (4 attention projections + 2 FFN gemms) + the span head.
+  EXPECT_EQ(pkg.layers.size(), 13u);
+  ASSERT_TRUE(pkg.layers.count("layer0.attn.q"));
+  ASSERT_TRUE(pkg.layers.count("layer1.fc2"));
+  ASSERT_TRUE(pkg.layers.count("span_head"));
+  EXPECT_EQ(pkg.layers.at("layer0.attn.q").weights.fmt.bits, 4);
+  // fp32 sidecars: one embedding, 2 layernorms per block + the final one.
+  ASSERT_EQ(pkg.embeddings.size(), 1u);
+  const EmbeddingPackage& emb = pkg.embeddings.at("emb");
+  EXPECT_EQ(emb.vocab, config.vocab);
+  EXPECT_EQ(emb.max_len, config.max_len);
+  EXPECT_EQ(emb.dim, config.dim);
+  ASSERT_EQ(pkg.norms.size(), 5u);
+  EXPECT_EQ(static_cast<std::int64_t>(pkg.norms.at("final_ln").gamma.size()), config.dim);
+  // Program: embed + 2 x (save ln attn +res save ln fc1 gelu fc2 +res) +
+  // final_ln + span_head = 1 + 2*10 + 2 steps.
+  ASSERT_EQ(pkg.program.size(), 23u);
+  EXPECT_EQ(pkg.program[0].op, ForwardStep::Op::kEmbed);
+  EXPECT_EQ(pkg.program[0].layer, "emb");
+  EXPECT_EQ(pkg.program[1].op, ForwardStep::Op::kSave);
+  EXPECT_EQ(pkg.program[2].op, ForwardStep::Op::kLayerNorm);
+  EXPECT_EQ(pkg.program[3].op, ForwardStep::Op::kAttention);
+  EXPECT_EQ(pkg.program[3].layer, "layer0.attn");
+  EXPECT_EQ(pkg.program[4].op, ForwardStep::Op::kAddSaved);
+  EXPECT_EQ(pkg.program[7].op, ForwardStep::Op::kGemm);
+  EXPECT_EQ(pkg.program[8].op, ForwardStep::Op::kGelu);
+  EXPECT_EQ(pkg.program[21].op, ForwardStep::Op::kLayerNorm);
+  EXPECT_EQ(pkg.program[21].layer, "final_ln");
+  EXPECT_EQ(pkg.program[22].op, ForwardStep::Op::kGemm);
+  EXPECT_EQ(pkg.program[22].layer, "span_head");
+}
+
+TEST(GoldenBertPackage, FreshExportMatchesCommittedArchive) {
+  if (!gemm_kernel_uses_avx2()) {
+    GTEST_SKIP() << "archives exported under the avx2 fp tier";
+  }
+  const std::string tmp = std::filesystem::temp_directory_path() / "vsq_golden_bert_fresh.vsqa";
+  build_tiny_bert_package().save(tmp);
+  EXPECT_EQ(read_bytes(tmp), read_bytes(golden_bert_package_path()))
+      << "fresh tiny_bert export differs from the committed archive - the "
+         "transformer calibration/export pipeline drifted";
+  std::remove(tmp.c_str());
+}
+
+TEST(GoldenBertPackage, RunnerReproducesCommittedOutputsBitExactly) {
+  const QuantizedModelPackage pkg = QuantizedModelPackage::load(golden_bert_package_path());
+  const QuantizedModelRunner runner(pkg);
+  ASSERT_TRUE(runner.seq());
+  const Archive io = Archive::load(golden_bert_io_path());
+  const ArchiveEntry& in = io.get("input");
+  const ArchiveEntry& expected = io.get("output");
+  ASSERT_EQ(in.dims.size(), 2u);
+  const Tensor x = Tensor::from_vector(Shape{in.dims[0], in.dims[1]}, in.data);
+  const Tensor y = runner.forward(x);
+  ASSERT_EQ(static_cast<std::size_t>(y.numel()), expected.data.size());
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    ASSERT_EQ(y[i], expected.data[static_cast<std::size_t>(i)])
+        << "sequence datapath output drifted at element " << i;
+  }
+}
+
 // Manual regeneration hook (see file header). Disabled so normal runs
 // never rewrite the golden files.
 TEST(GoldenPackage, DISABLED_RegenerateGoldenFiles) {
@@ -250,9 +361,20 @@ TEST(GoldenPackage, DISABLED_RegenerateGoldenFiles) {
   conv_io.put("input", {cx.shape()[0], cx.shape()[1]}, cx.to_vector());
   conv_io.put("output", {cy.shape()[0], cy.shape()[1]}, cy.to_vector());
   conv_io.save(golden_conv_io_path());
-  std::printf("regenerated %s, %s, %s and %s\n", golden_package_path().c_str(),
+
+  const QuantizedModelPackage bert_pkg = build_tiny_bert_package();
+  bert_pkg.save(golden_bert_package_path());
+  const QuantizedModelRunner bert_runner(bert_pkg);
+  const Tensor bx = golden_bert_input();
+  const Tensor by = bert_runner.forward(bx);
+  Archive bert_io;
+  bert_io.put("input", {bx.shape()[0], bx.shape()[1]}, bx.to_vector());
+  bert_io.put("output", {by.shape()[0], by.shape()[1]}, by.to_vector());
+  bert_io.save(golden_bert_io_path());
+  std::printf("regenerated %s, %s, %s, %s, %s and %s\n", golden_package_path().c_str(),
               golden_io_path().c_str(), golden_conv_package_path().c_str(),
-              golden_conv_io_path().c_str());
+              golden_conv_io_path().c_str(), golden_bert_package_path().c_str(),
+              golden_bert_io_path().c_str());
 }
 
 }  // namespace

@@ -31,11 +31,29 @@ int main(int argc, char** argv) {
   if (pkg.in_h > 0) {
     std::cout << ", input " << pkg.in_h << "x" << pkg.in_w << "x" << pkg.in_c << " NHWC";
   }
+  if (pkg.max_seq > 0) {
+    std::cout << ", sequence max_seq=" << pkg.max_seq << " dim=" << pkg.seq_dim
+              << " heads=" << pkg.heads;
+  }
   std::cout << "\n";
+  if (!pkg.embeddings.empty() || !pkg.norms.empty()) {
+    std::cout << "fp params:";
+    for (const auto& [name, e] : pkg.embeddings) {
+      std::cout << " emb(" << name << " vocab=" << e.vocab << " max_len=" << e.max_len
+                << " dim=" << e.dim << ")";
+    }
+    for (const auto& [name, ln] : pkg.norms) {
+      std::cout << " ln(" << name << " dim=" << ln.gamma.size() << ")";
+    }
+    std::cout << "\n";
+  }
   if (!pkg.program.empty()) {
     std::cout << "forward program:";
     for (const ForwardStep& s : pkg.program) {
       using Op = ForwardStep::Op;
+      // Every op code is named explicitly — an op this tool does not know
+      // never reaches here, because the package loader rejects unknown
+      // codes with "unknown program op" instead of printing garbage.
       switch (s.op) {
         case Op::kGemm: std::cout << " " << s.layer; break;
         case Op::kConv: std::cout << " conv(" << s.layer << ")"; break;
@@ -43,6 +61,14 @@ int main(int argc, char** argv) {
         case Op::kSave: std::cout << " save"; break;
         case Op::kAddSaved: std::cout << " +residual"; break;
         case Op::kGlobalPool: std::cout << " gap"; break;
+        case Op::kEmbed: std::cout << " embed(" << s.layer << ")"; break;
+        case Op::kLayerNorm: std::cout << " ln(" << s.layer << ")"; break;
+        case Op::kAttention:
+          std::cout << " attn(" << s.layer << " heads=" << pkg.heads << " dim=" << pkg.seq_dim
+                    << ")";
+          break;
+        case Op::kSoftmax: std::cout << " softmax"; break;
+        case Op::kGelu: std::cout << " gelu"; break;
       }
       if (s.relu) std::cout << "+relu";
     }

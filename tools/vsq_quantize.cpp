@@ -2,7 +2,7 @@
 // in the paper's W/A/ws/as notation and export the integer deployment
 // package (quant/export.h).
 //
-//   vsq_quantize --model=tiny|tiny_conv|resnet|bert_base|bert_large
+//   vsq_quantize --model=tiny|tiny_conv|tiny_bert|resnet|bert_base|bert_large
 //                --config=4/8/6/10
 //                [--out=artifacts/model_int.vsqa] [--vector=16] [--threads=N]
 //
@@ -48,6 +48,11 @@ int main(int argc, char** argv) {
     // conv geometry, the conv/residual/pool forward program and the input
     // image shape.
     pkg = tiny_conv_package(mac);
+  } else if (which == "tiny_bert") {
+    // Checkpoint-free transformer encoder: the package carries the
+    // embed/layernorm/attention program, the sequence geometry and the fp
+    // layernorm/embedding parameter sets (activations stay signed).
+    pkg = tiny_bert_package(mac);
   } else if (which == "resnet") {
     ModelZoo zoo(artifacts_dir());
     auto model = zoo.resnet();

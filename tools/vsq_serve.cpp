@@ -16,7 +16,10 @@
 //
 // The package must carry a forward program (vsq_quantize --model=tiny
 // writes one); MLP-style packages without one fall back to lexicographic
-// layer order with ReLU between layers.
+// layer order with ReLU between layers. Sequence packages (vsq_quantize
+// --model=tiny_bert) are served with token rows of random length in
+// [1, max_seq], so the run exercises the length-bucketed batcher and the
+// stats table reports bucket occupancy and mixed-bucket batches.
 #include <algorithm>
 #include <future>
 #include <iostream>
@@ -60,13 +63,39 @@ int main(int argc, char** argv) {
   QuantizedModelPackage pkg = QuantizedModelPackage::load(path);
   InferenceSession session(std::move(pkg), cfg);
   const std::int64_t in_features = session.runner().in_features();
+  // Sequence packages take unpadded token rows of varying length; the
+  // generator mixes lengths across the bucket ladder so the run actually
+  // exercises mixed-bucket batches.
+  const bool seq = session.runner().seq();
 
-  std::cout << "serving " << path << ": " << session.package().layers.size() << " layers, "
-            << in_features << " -> " << session.runner().out_features() << " features, "
-            << clients << " clients x " << (total_requests / clients) << "+ requests, max_batch="
+  std::cout << "serving " << path << ": " << session.package().layers.size() << " layers, ";
+  if (seq) {
+    std::cout << "sequence max_seq=" << session.runner().max_seq()
+              << " vocab=" << session.runner().vocab()
+              << " out/token=" << session.runner().out_per_token() << ", ";
+  } else {
+    std::cout << in_features << " -> " << session.runner().out_features() << " features, ";
+  }
+  std::cout << clients << " clients x " << (total_requests / clients) << "+ requests, max_batch="
             << cfg.max_batch << ", max_wait=" << cfg.max_wait_us << "us, cache="
             << cfg.cache_entries << "\n";
   std::cout << "cpu: " << isa::summary() << "\n";
+
+  const auto gen_input = [&](Rng& rng) {
+    if (seq) {
+      const auto max_seq = static_cast<std::uint64_t>(session.runner().max_seq());
+      const std::int64_t len = static_cast<std::int64_t>(1 + rng.uniform_u64(max_seq));
+      Tensor t(Shape{len});
+      for (auto& v : t.span()) {
+        v = static_cast<float>(
+            rng.uniform_u64(static_cast<std::uint64_t>(session.runner().vocab())));
+      }
+      return t;
+    }
+    Tensor t(Shape{in_features});
+    for (auto& v : t.span()) v = static_cast<float>(rng.normal());
+    return t;
+  };
 
   // Deterministic inputs, pre-generated before the clock starts (the
   // generator must not bill payload synthesis to the engine). With
@@ -76,11 +105,7 @@ int main(int argc, char** argv) {
   std::vector<Tensor> pool;
   if (pooled) {
     Rng prng(seed);
-    for (int i = 0; i < unique; ++i) {
-      Tensor t(Shape{in_features});
-      for (auto& v : t.span()) v = static_cast<float>(prng.normal());
-      pool.push_back(std::move(t));
-    }
+    for (int i = 0; i < unique; ++i) pool.push_back(gen_input(prng));
   }
   std::vector<ClientLog> logs(static_cast<std::size_t>(clients));
   for (int c = 0; c < clients; ++c) {
@@ -93,9 +118,7 @@ int main(int argc, char** argv) {
       if (pooled) {
         log.inputs.push_back(pool[rng.uniform_u64(static_cast<std::uint64_t>(pool.size()))]);
       } else {
-        Tensor t(Shape{in_features});
-        for (auto& v : t.span()) v = static_cast<float>(rng.normal());
-        log.inputs.push_back(std::move(t));
+        log.inputs.push_back(gen_input(rng));
       }
     }
     log.outputs.resize(log.inputs.size());
@@ -132,8 +155,10 @@ int main(int argc, char** argv) {
     std::uint64_t checked = 0;
     for (const ClientLog& log : logs) {
       for (std::size_t i = 0; i < log.inputs.size(); ++i) {
+        // Sequence inputs replay at their own true length [1, L]; the
+        // served row and the sequential reference are both [1, L * opt].
         const Tensor ref =
-            runner.forward(log.inputs[i].reshape(Shape{1, in_features}));
+            runner.forward(log.inputs[i].reshape(Shape{1, log.inputs[i].numel()}));
         const Tensor& got = log.outputs[i];
         for (std::int64_t j = 0; j < ref.numel(); ++j) {
           if (ref[j] != got[j]) {

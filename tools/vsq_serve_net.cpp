@@ -23,6 +23,7 @@
 // the socket is live, so scripts can scrape the ephemeral port.
 #include <atomic>
 #include <csignal>
+#include <cstring>
 #include <iostream>
 #include <thread>
 
@@ -115,23 +116,51 @@ int main(int argc, char** argv) {
               << std::endl;  // flushed: scripts scrape the ephemeral port from this line
 
     if (selfcheck) {
-      // Loopback round trip through the real socket path: one inference
-      // against the first model, plus both text endpoints.
+      // Loopback round trip through the real socket path: inference
+      // against the first model, plus both text endpoints. Sequence
+      // models get token rows at two lengths (exercising two pad
+      // buckets over the wire); every row is audited bit-exact against
+      // local sequential execution through the same runner.
       vsq::net::NetClient client(server.host(), server.port());
-      const auto in = registry.session(names.front())->runner().in_features();
-      const vsq::net::ResponseFrame resp =
-          client.infer(names.front(), std::vector<float>(static_cast<std::size_t>(in), 0.25f));
-      if (resp.status != vsq::net::Status::kOk) {
-        std::cerr << "vsq_serve_net: selfcheck inference failed: "
-                  << vsq::net::status_name(resp.status) << " " << resp.message << "\n";
-        return 1;
+      const QuantizedModelRunner& runner = registry.session(names.front())->runner();
+      std::vector<std::vector<float>> payloads;
+      if (runner.seq()) {
+        const auto max_seq = static_cast<std::size_t>(runner.max_seq());
+        for (const std::size_t len : {std::max<std::size_t>(1, max_seq / 4), max_seq}) {
+          std::vector<float> row(len);
+          for (std::size_t j = 0; j < len; ++j) {
+            row[j] = static_cast<float>((3 * j + 1) % static_cast<std::size_t>(runner.vocab()));
+          }
+          payloads.push_back(std::move(row));
+        }
+      } else {
+        const auto in = static_cast<std::size_t>(runner.in_features());
+        payloads.emplace_back(in, 0.25f);
+      }
+      vsq::net::ResponseFrame resp;
+      for (const auto& payload : payloads) {
+        resp = client.infer(names.front(), payload);
+        if (resp.status != vsq::net::Status::kOk) {
+          std::cerr << "vsq_serve_net: selfcheck inference failed: "
+                    << vsq::net::status_name(resp.status) << " " << resp.message << "\n";
+          return 1;
+        }
+        const Tensor ref = runner.forward(Tensor::from_vector(
+            Shape{1, static_cast<std::int64_t>(payload.size())}, payload));
+        if (static_cast<std::int64_t>(resp.row.size()) != ref.numel() ||
+            std::memcmp(resp.row.data(), ref.data(),
+                        resp.row.size() * sizeof(float)) != 0) {
+          std::cerr << "vsq_serve_net: selfcheck wire output differs from local "
+                       "sequential execution\n";
+          return 1;
+        }
       }
       if (vsq::net::http_get(server.host(), server.port(), "/healthz") != "ok\n") {
         std::cerr << "vsq_serve_net: selfcheck /healthz mismatch\n";
         return 1;
       }
       const std::string stats = vsq::net::http_get(server.host(), server.port(), "/stats");
-      if (stats.find("\"frames_ok\":1") == std::string::npos) {
+      if (stats.find("\"frames_ok\":" + std::to_string(payloads.size())) == std::string::npos) {
         std::cerr << "vsq_serve_net: selfcheck /stats missing frames_ok: " << stats << "\n";
         return 1;
       }
